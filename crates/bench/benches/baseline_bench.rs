@@ -1,0 +1,36 @@
+//! Criterion bench: sweep vs the standard O(|E|²) NBM baseline vs the
+//! MST baseline — the head-to-head of Fig. 4(2) in micro form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linkclust_core::baseline::{MstClustering, NbmClustering};
+use linkclust_core::init::compute_similarities;
+use linkclust_core::sweep::{sweep, SweepConfig};
+use linkclust_graph::generate::{gnm, WeightMode};
+
+fn bench_baselines(c: &mut Criterion) {
+    let w = WeightMode::Uniform { lo: 0.2, hi: 2.0 };
+    let mut group = c.benchmark_group("baseline");
+    for &(n, m) in &[(60usize, 400usize), (100, 1000), (150, 2500)] {
+        let g = gnm(n, m, w, 11);
+        let sims = compute_similarities(&g);
+        let sorted = sims.clone().into_sorted();
+        let id = format!("n{n}_m{m}");
+        group.bench_with_input(BenchmarkId::new("sweep", &id), &(), |b, ()| {
+            b.iter(|| sweep(&g, &sorted, SweepConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("mst_kruskal", &id), &(), |b, ()| {
+            b.iter(|| MstClustering::new().run(&g, &sims))
+        });
+        group.bench_with_input(BenchmarkId::new("standard_nbm", &id), &(), |b, ()| {
+            b.iter(|| NbmClustering::new().run(&g, &sims))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_baselines
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench: coarse-grained vs fine-grained sweeping (Fig. 5(2))
+//! plus ablations over γ and φ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linkclust_core::coarse::{coarse_sweep, CoarseConfig};
+use linkclust_core::init::compute_similarities;
+use linkclust_core::sweep::{sweep, SweepConfig};
+use linkclust_graph::generate::{barabasi_albert, WeightMode};
+
+fn bench_coarse(c: &mut Criterion) {
+    let w = WeightMode::Uniform { lo: 0.2, hi: 2.0 };
+    let mut group = c.benchmark_group("coarse_vs_fine");
+    for &n in &[300usize, 600, 1200] {
+        let g = barabasi_albert(n, 6, w, 9);
+        let sims = compute_similarities(&g).into_sorted();
+        let cfg = CoarseConfig {
+            phi: 100.min(g.edge_count() / 4).max(1),
+            initial_chunk: (sims.incident_pair_count() / 1000).max(8),
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("fine", n), &(), |b, ()| {
+            b.iter(|| sweep(&g, &sims, SweepConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("coarse", n), &(), |b, ()| {
+            b.iter(|| coarse_sweep(&g, &sims, &cfg))
+        });
+    }
+    group.finish();
+
+    // Ablation: the soundness bound γ trades rollback work against level
+    // granularity; φ bounds how much of the tail is processed.
+    let g = barabasi_albert(600, 6, w, 9);
+    let sims = compute_similarities(&g).into_sorted();
+    let mut group = c.benchmark_group("coarse_ablation");
+    for &gamma in &[1.25, 2.0, 4.0] {
+        let cfg = CoarseConfig {
+            gamma,
+            phi: 50,
+            initial_chunk: 64,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("gamma", format!("{gamma}")), &(), |b, ()| {
+            b.iter(|| coarse_sweep(&g, &sims, &cfg))
+        });
+    }
+    for &phi in &[10usize, 100, 1000] {
+        let cfg = CoarseConfig { phi, initial_chunk: 64, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new("phi", phi), &(), |b, ()| {
+            b.iter(|| coarse_sweep(&g, &sims, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_coarse
+}
+criterion_main!(benches);

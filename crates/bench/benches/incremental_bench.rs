@@ -1,0 +1,57 @@
+//! Criterion bench: incremental similarity maintenance vs batch
+//! recomputation — the amortized cost of one edge update against a full
+//! Phase-I rebuild.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linkclust_core::incremental::IncrementalSimilarities;
+use linkclust_core::init::compute_similarities;
+use linkclust_graph::generate::{gnm, WeightMode};
+use linkclust_graph::VertexId;
+
+fn bench_incremental(c: &mut Criterion) {
+    let w = WeightMode::Uniform { lo: 0.2, hi: 2.0 };
+    let mut group = c.benchmark_group("incremental");
+    for &(n, m) in &[(200usize, 2000usize), (400, 6000)] {
+        let g = gnm(n, m, w, 5);
+        let id = format!("n{n}_m{m}");
+
+        // Cost of one add+remove cycle on a warm index.
+        group.bench_with_input(BenchmarkId::new("single_update", &id), &(), |b, ()| {
+            let mut inc = IncrementalSimilarities::from_graph(&g);
+            // A vertex pair guaranteed absent: rotate through candidates.
+            let mut k = 0usize;
+            b.iter(|| {
+                // find a free pair deterministically
+                loop {
+                    let u = VertexId::new(k % n);
+                    let v = VertexId::new((k * 7 + 1) % n);
+                    k += 1;
+                    if u != v && inc.weight_between(u, v).is_none() {
+                        inc.add_edge(u, v, 1.0).expect("pair is free");
+                        inc.remove_edge(u, v).expect("edge exists");
+                        break;
+                    }
+                }
+            })
+        });
+
+        // Cost of a full batch recomputation for the same graph.
+        group.bench_with_input(BenchmarkId::new("batch_rebuild", &id), &(), |b, ()| {
+            b.iter(|| compute_similarities(&g))
+        });
+
+        // Cost of a snapshot (materializing scores) from the warm index.
+        group.bench_with_input(BenchmarkId::new("snapshot", &id), &(), |b, ()| {
+            let inc = IncrementalSimilarities::from_graph(&g);
+            b.iter(|| inc.similarities())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_incremental
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: Phase I (similarity initialization) across graph
+//! sizes — the `Initialization` series of Fig. 4(2) in micro form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use linkclust_core::init::compute_similarities;
+use linkclust_graph::generate::{barabasi_albert, gnm, WeightMode};
+
+fn bench_init(c: &mut Criterion) {
+    let w = WeightMode::Uniform { lo: 0.2, hi: 2.0 };
+    let mut group = c.benchmark_group("init/gnm");
+    for &(n, m) in &[(100usize, 500usize), (200, 2000), (400, 8000)] {
+        let g = gnm(n, m, w, 42);
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_m{m}")), &g, |b, g| {
+            b.iter(|| compute_similarities(g))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("init/power_law");
+    for &n in &[200usize, 500, 1000] {
+        let g = barabasi_albert(n, 6, w, 7);
+        group.throughput(Throughput::Elements(g.edge_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| compute_similarities(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_init
+}
+criterion_main!(benches);

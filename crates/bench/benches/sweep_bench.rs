@@ -1,0 +1,61 @@
+//! Criterion bench: Phase II (sweeping) across graph sizes — the
+//! `Sweeping` series of Fig. 4(2) in micro form. Initialization and
+//! sorting are done once outside the timed loop to isolate the sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use linkclust_core::init::compute_similarities;
+use linkclust_core::sweep::{sweep, EdgeOrder, SweepConfig};
+use linkclust_graph::generate::{gnm, k_regular, WeightMode};
+
+fn bench_sweep(c: &mut Criterion) {
+    let w = WeightMode::Uniform { lo: 0.2, hi: 2.0 };
+    let mut group = c.benchmark_group("sweep/gnm");
+    for &(n, m) in &[(100usize, 500usize), (200, 2000), (400, 8000)] {
+        let g = gnm(n, m, w, 42);
+        let sims = compute_similarities(&g).into_sorted();
+        group.throughput(Throughput::Elements(sims.incident_pair_count()));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &(&g, &sims),
+            |b, (g, sims)| b.iter(|| sweep(g, sims, SweepConfig::default())),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("sweep/kregular");
+    for &n in &[500usize, 1000, 2000] {
+        let g = k_regular(n, 12, w, 3);
+        let sims = compute_similarities(&g).into_sorted();
+        group.throughput(Throughput::Elements(sims.incident_pair_count()));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(&g, &sims), |b, (g, sims)| {
+            b.iter(|| sweep(g, sims, SweepConfig::default()))
+        });
+    }
+    group.finish();
+
+    // Ablation: shuffled vs insertion edge order (the paper assigns ids
+    // "in a random order"; the partition is invariant, the cost is too).
+    let g = gnm(200, 2000, w, 5);
+    let sims = compute_similarities(&g).into_sorted();
+    let mut group = c.benchmark_group("sweep/edge_order");
+    group.bench_function("insertion", |b| {
+        b.iter(|| sweep(&g, &sims, SweepConfig::default()))
+    });
+    group.bench_function("shuffled", |b| {
+        b.iter(|| {
+            sweep(
+                &g,
+                &sims,
+                SweepConfig { edge_order: EdgeOrder::Shuffled { seed: 1 }, ..Default::default() },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sweep
+}
+criterion_main!(benches);

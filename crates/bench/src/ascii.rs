@@ -1,0 +1,133 @@
+//! Terminal plotting: compact ASCII renditions of the figure curves, so
+//! `repro` output is readable without gnuplot.
+
+/// Renders `values` as a one-line sparkline using eighth-block glyphs.
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_bench::ascii::sparkline;
+///
+/// let s = sparkline(&[0.0, 0.5, 1.0]);
+/// assert_eq!(s.chars().count(), 3);
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() {
+        return GLYPHS[0].to_string().repeat(values.len());
+    }
+    let span = (hi - lo).max(1e-12);
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                return GLYPHS[0];
+            }
+            let t = ((v - lo) / span * 7.0).round() as usize;
+            GLYPHS[t.min(7)]
+        })
+        .collect()
+}
+
+/// Renders an xy-curve as a fixed-size ASCII scatter plot (rows ×
+/// cols). Points are marked `*`; axes are drawn on the left and bottom.
+pub fn scatter(points: &[(f64, f64)], rows: usize, cols: usize) -> String {
+    let rows = rows.max(2);
+    let cols = cols.max(2);
+    let mut grid = vec![vec![' '; cols]; rows];
+    if !points.is_empty() {
+        let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in points {
+            x_lo = x_lo.min(x);
+            x_hi = x_hi.max(x);
+            y_lo = y_lo.min(y);
+            y_hi = y_hi.max(y);
+        }
+        let xs = (x_hi - x_lo).max(1e-12);
+        let ys = (y_hi - y_lo).max(1e-12);
+        for &(x, y) in points {
+            let c = (((x - x_lo) / xs) * (cols - 1) as f64).round() as usize;
+            let r = (((y - y_lo) / ys) * (rows - 1) as f64).round() as usize;
+            grid[rows - 1 - r.min(rows - 1)][c.min(cols - 1)] = '*';
+        }
+    }
+    let mut out = String::new();
+    for row in &grid {
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(cols));
+    out.push('\n');
+    out
+}
+
+/// Downsamples `values` to at most `max_points` evenly spaced samples
+/// (keeps endpoints).
+pub fn downsample(values: &[f64], max_points: usize) -> Vec<f64> {
+    let max_points = max_points.max(2);
+    if values.len() <= max_points {
+        return values.to_vec();
+    }
+    (0..max_points)
+        .map(|i| {
+            let idx = i * (values.len() - 1) / (max_points - 1);
+            values[idx]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_spans_glyph_range() {
+        let s = sparkline(&[0.0, 1.0]);
+        assert_eq!(s.chars().next(), Some('▁'));
+        assert_eq!(s.chars().last(), Some('█'));
+    }
+
+    #[test]
+    fn sparkline_handles_flat_and_empty() {
+        assert_eq!(sparkline(&[]), "");
+        let flat = sparkline(&[3.0, 3.0, 3.0]);
+        assert_eq!(flat.chars().count(), 3);
+        let nan = sparkline(&[f64::NAN, f64::NAN]);
+        assert_eq!(nan.chars().count(), 2);
+    }
+
+    #[test]
+    fn scatter_shape() {
+        let pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, (i * i) as f64)).collect();
+        let s = scatter(&pts, 6, 30);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 7); // 6 rows + axis
+        assert!(lines[6].starts_with('+'));
+        assert!(s.contains('*'));
+        // Monotone curve: the bottom-left region holds the low end.
+        assert!(lines[5].contains('*'));
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = downsample(&v, 10);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[9], 99.0);
+        assert_eq!(downsample(&[1.0, 2.0], 10), vec![1.0, 2.0]);
+    }
+}

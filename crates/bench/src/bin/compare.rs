@@ -1,0 +1,69 @@
+//! `compare` — diff two `repro` result directories.
+//!
+//! ```text
+//! compare <left-dir> <right-dir> [--tolerance 0.05]
+//! ```
+//!
+//! Exits non-zero if any shared CSV differs beyond tolerance (files
+//! present on only one side are reported but do not fail the run, so a
+//! partial rerun can be compared against a full baseline).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use linkclust_bench::compare::{compare_dirs, FileComparison};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: compare <left-dir> <right-dir> [--tolerance REL]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut tolerance = 0.05f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                let Some(t) = args.next().and_then(|t| t.parse().ok()) else {
+                    return usage();
+                };
+                tolerance = t;
+            }
+            "--help" | "-h" => return usage(),
+            p => dirs.push(PathBuf::from(p)),
+        }
+    }
+    if dirs.len() != 2 {
+        return usage();
+    }
+
+    let results = match compare_dirs(&dirs[0], &dirs[1], tolerance) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("comparison failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failed = false;
+    for (name, c) in &results {
+        match c {
+            FileComparison::Match { cells } => println!("  ok {name} ({cells} cells)"),
+            FileComparison::OnlyLeft => println!("only-left {name}"),
+            FileComparison::OnlyRight => println!("only-right {name}"),
+            FileComparison::Differs { mismatches } => {
+                failed = true;
+                println!("DIFF {name}:");
+                for m in mismatches {
+                    println!("      {m}");
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("all shared files within tolerance {tolerance}");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,108 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--scale small|medium|full] [--out DIR] <target>...
+//! targets: all fig1 fig2-1 fig2-2 fig4-1 fig4-2 fig4-3 fig5-1 fig5-2
+//!          fig6-1 fig6-2 cor1
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use linkclust_bench::alloc::CountingAlloc;
+use linkclust_bench::figures::{ablation, cor1, fig1, fig2, fig4, fig5, fig6, FigureContext};
+use linkclust_bench::workloads::Scale;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const ALL_TARGETS: [&str; 12] = [
+    "fig1", "fig2-1", "fig2-2", "fig4-1", "fig4-2", "fig4-3", "fig5-1", "fig5-2", "fig6-1",
+    "fig6-2", "cor1", "ablation",
+];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro [--scale small|medium|full] [--out DIR] <target>...\n\
+         targets: all {}",
+        ALL_TARGETS.join(" ")
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Medium;
+    let mut out_dir = PathBuf::from("results");
+    let mut targets: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let Some(v) = args.next().and_then(|v| Scale::parse(&v)) else {
+                    return usage();
+                };
+                scale = v;
+            }
+            "--out" => {
+                let Some(v) = args.next() else {
+                    return usage();
+                };
+                out_dir = PathBuf::from(v);
+            }
+            "--help" | "-h" => return usage(),
+            t => targets.push(t.to_owned()),
+        }
+    }
+    if targets.is_empty() {
+        return usage();
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = ALL_TARGETS.iter().map(|s| (*s).to_owned()).collect();
+    }
+
+    let ctx = FigureContext::new(scale, out_dir.clone());
+    println!(
+        "reproducing {} target(s) at {:?} scale on {} core(s)\n",
+        targets.len(),
+        scale,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    for target in &targets {
+        println!("### {target} ###");
+        let started = std::time::Instant::now();
+        let result = match target.as_str() {
+            "fig1" => fig1::run(&ctx),
+            "fig2-1" => fig2::run_fig2_1(&ctx),
+            "fig2-2" => fig2::run_fig2_2(&ctx),
+            "fig4-1" => fig4::run_fig4_1(&ctx),
+            "fig4-2" => fig4::run_fig4_2(&ctx),
+            "fig4-3" => fig4::run_fig4_3(&ctx),
+            "fig5-1" => fig5::run_fig5_1(&ctx),
+            "fig5-2" => fig5::run_fig5_2(&ctx),
+            "fig6-1" => fig6::run_fig6_1(&ctx),
+            "fig6-2" => fig6::run_fig6_2(&ctx),
+            "cor1" => cor1::run(&ctx),
+            "ablation" => ablation::run(&ctx),
+            other => {
+                eprintln!("unknown target: {other}");
+                return usage();
+            }
+        };
+        if let Err(e) = result {
+            eprintln!("{target} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("[{target} done in {:.1?}]\n", started.elapsed());
+    }
+    match linkclust_bench::plots::write_plot_scripts(&out_dir) {
+        Ok(()) => println!(
+            "wrote {} gnuplot scripts to {} (render with: gnuplot {}/*.gp)",
+            linkclust_bench::plots::plot_count(),
+            out_dir.display(),
+            out_dir.display()
+        ),
+        Err(e) => eprintln!("could not write plot scripts: {e}"),
+    }
+    ExitCode::SUCCESS
+}

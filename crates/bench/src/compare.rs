@@ -1,0 +1,183 @@
+//! Comparing two result directories (e.g. two runs of `repro`).
+//!
+//! `repro` emits deterministic workload statistics and noisy timing
+//! measurements side by side. This module diffs two result trees CSV by
+//! CSV: numeric cells are compared with a relative tolerance, text cells
+//! exactly — so a rerun on the same machine can be checked for
+//! regressions, and runs at different scales can be compared
+//! structurally. The `compare` binary prints a per-file verdict.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// The outcome of comparing one CSV file.
+#[derive(Clone, PartialEq, Debug)]
+pub enum FileComparison {
+    /// Present in both, all cells within tolerance.
+    Match {
+        /// Number of data cells compared.
+        cells: usize,
+    },
+    /// Present in both but differing.
+    Differs {
+        /// Human-readable mismatch descriptions (capped).
+        mismatches: Vec<String>,
+    },
+    /// Present only in the first directory.
+    OnlyLeft,
+    /// Present only in the second directory.
+    OnlyRight,
+}
+
+/// Compares two CSV strings cell-wise. Numeric cells (parseable as
+/// `f64`) match when `|a − b| ≤ tolerance · max(|a|, |b|, 1)`; other
+/// cells must be equal. Shape differences (row/column counts) are
+/// reported as mismatches.
+pub fn compare_csv(left: &str, right: &str, tolerance: f64) -> FileComparison {
+    let l_rows: Vec<Vec<&str>> = left.lines().map(|l| l.split(',').collect()).collect();
+    let r_rows: Vec<Vec<&str>> = right.lines().map(|l| l.split(',').collect()).collect();
+    let mut mismatches = Vec::new();
+    if l_rows.len() != r_rows.len() {
+        mismatches.push(format!("row count {} vs {}", l_rows.len(), r_rows.len()));
+    }
+    let mut cells = 0usize;
+    for (i, (lr, rr)) in l_rows.iter().zip(&r_rows).enumerate() {
+        if lr.len() != rr.len() {
+            mismatches.push(format!("row {i}: column count {} vs {}", lr.len(), rr.len()));
+            continue;
+        }
+        for (j, (lc, rc)) in lr.iter().zip(rr).enumerate() {
+            cells += 1;
+            if cells_match(lc, rc, tolerance) {
+                continue;
+            }
+            if mismatches.len() < 16 {
+                mismatches.push(format!("row {i} col {j}: {lc:?} vs {rc:?}"));
+            }
+        }
+    }
+    if mismatches.is_empty() {
+        FileComparison::Match { cells }
+    } else {
+        FileComparison::Differs { mismatches }
+    }
+}
+
+fn cells_match(a: &str, b: &str, tolerance: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    match (a.parse::<f64>(), b.parse::<f64>()) {
+        (Ok(x), Ok(y)) => {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= tolerance * scale
+        }
+        _ => false,
+    }
+}
+
+/// Compares every `*.csv` in two directories.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unreadable directories or files).
+pub fn compare_dirs(
+    left: &Path,
+    right: &Path,
+    tolerance: f64,
+) -> std::io::Result<Vec<(String, FileComparison)>> {
+    let list = |dir: &Path| -> std::io::Result<BTreeSet<String>> {
+        let mut names = BTreeSet::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".csv") {
+                names.insert(name);
+            }
+        }
+        Ok(names)
+    };
+    let l_names = list(left)?;
+    let r_names = list(right)?;
+    let mut out = Vec::new();
+    for name in l_names.union(&r_names) {
+        let comparison = match (l_names.contains(name), r_names.contains(name)) {
+            (true, false) => FileComparison::OnlyLeft,
+            (false, true) => FileComparison::OnlyRight,
+            (true, true) => {
+                let l = std::fs::read_to_string(left.join(name))?;
+                let r = std::fs::read_to_string(right.join(name))?;
+                compare_csv(&l, &r, tolerance)
+            }
+            (false, false) => unreachable!("name came from the union"),
+        };
+        out.push((name.clone(), comparison));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_csvs_match() {
+        let csv = "a,b\n1,2\n3,x\n";
+        assert_eq!(compare_csv(csv, csv, 0.0), FileComparison::Match { cells: 6 });
+    }
+
+    #[test]
+    fn numeric_tolerance_applies() {
+        let a = "t\n1.00\n100\n";
+        let b = "t\n1.04\n104\n";
+        assert!(matches!(compare_csv(a, b, 0.05), FileComparison::Match { .. }));
+        assert!(matches!(compare_csv(a, b, 0.01), FileComparison::Differs { .. }));
+    }
+
+    #[test]
+    fn text_cells_must_be_exact() {
+        let a = "h\nfoo\n";
+        let b = "h\nbar\n";
+        match compare_csv(a, b, 1.0) {
+            FileComparison::Differs { mismatches } => {
+                assert!(mismatches[0].contains("foo"));
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shape_differences_reported() {
+        let a = "h\n1\n2\n";
+        let b = "h\n1\n";
+        assert!(matches!(compare_csv(a, b, 0.0), FileComparison::Differs { .. }));
+        let c = "h,x\n1,2\n";
+        assert!(matches!(compare_csv(a, c, 0.0), FileComparison::Differs { .. }));
+    }
+
+    #[test]
+    fn directory_comparison() {
+        let base = std::env::temp_dir().join("linkclust_compare_test");
+        let (l, r) = (base.join("l"), base.join("r"));
+        std::fs::create_dir_all(&l).unwrap();
+        std::fs::create_dir_all(&r).unwrap();
+        std::fs::write(l.join("same.csv"), "a\n1\n").unwrap();
+        std::fs::write(r.join("same.csv"), "a\n1\n").unwrap();
+        std::fs::write(l.join("only_left.csv"), "a\n1\n").unwrap();
+        std::fs::write(r.join("only_right.csv"), "a\n1\n").unwrap();
+        std::fs::write(l.join("skipme.txt"), "not a csv").unwrap();
+        let results = compare_dirs(&l, &r, 0.0).unwrap();
+        let get = |n: &str| {
+            results
+                .iter()
+                .find(|(name, _)| name == n)
+                .map(|(_, c)| c.clone())
+                .unwrap_or_else(|| panic!("{n} missing"))
+        };
+        assert!(matches!(get("same.csv"), FileComparison::Match { .. }));
+        assert_eq!(get("only_left.csv"), FileComparison::OnlyLeft);
+        assert_eq!(get("only_right.csv"), FileComparison::OnlyRight);
+        assert_eq!(results.len(), 3);
+        let _ = std::fs::remove_dir_all(base);
+    }
+}

@@ -1,0 +1,126 @@
+//! Ablations over the design choices DESIGN.md calls out: the soundness
+//! bound γ, the termination floor φ, and the edge enumeration order.
+//!
+//! Not a paper figure — this quantifies the knobs the paper fixes at
+//! γ = 2, φ = 100 (§VII-B) and "a random order" (§IV-B).
+
+use std::io;
+
+use linkclust_core::coarse::{coarse_sweep, CoarseConfig};
+use linkclust_core::dendrogram::partition_density;
+use linkclust_core::init::compute_similarities;
+use linkclust_core::sweep::{sweep, EdgeOrder, SweepConfig};
+
+use crate::table::{fmt_f64, Table};
+use crate::timing::time_runs;
+
+use super::FigureContext;
+
+/// Runs all three ablations on the α = 0.005 workload graph.
+///
+/// # Errors
+///
+/// Propagates CSV-write failures.
+pub fn run(ctx: &FigureContext) -> io::Result<()> {
+    let g = ctx.workload().graph_for_alpha(0.005);
+    let sims = compute_similarities(&g).into_sorted();
+    let k2 = sims.incident_pair_count();
+    let runs = ctx.scale().timing_runs();
+    let base = CoarseConfig::auto_tuned(&g, &sims);
+
+    // --- gamma: soundness vs rollback work ---
+    let mut t = Table::new(
+        "Ablation: soundness bound gamma (phi fixed)",
+        &["gamma", "time_s", "levels", "rollbacks", "max_unforced_rate", "processed_frac"],
+    );
+    for &gamma in &[1.25, 1.5, 2.0, 3.0, 4.0] {
+        let cfg = CoarseConfig { gamma, ..base };
+        let (r, stats) = time_runs(runs, || coarse_sweep(&g, &sims, &cfg));
+        t.row(vec![
+            gamma.to_string(),
+            fmt_f64(stats.mean_secs(), 4),
+            r.levels().len().to_string(),
+            r.epoch_breakdown().rollback.to_string(),
+            fmt_f64(r.max_unforced_merge_rate(), 3),
+            fmt_f64(r.processed_fraction(), 3),
+        ]);
+    }
+    println!("(smaller gamma => finer dendrogram, more levels and rollbacks)");
+    t.emit(&ctx.csv_path("ablation_gamma.csv"))?;
+
+    // --- phi: how much of the tail is skipped, and what it costs in
+    //     community quality ---
+    let mut t = Table::new(
+        "Ablation: termination floor phi (gamma = 2)",
+        &["phi", "time_s", "processed_frac", "final_clusters", "final_partition_density"],
+    );
+    for &phi in &[10usize, 50, 100, 500, 2000] {
+        let cfg = CoarseConfig { phi: phi.min(g.edge_count()), ..base };
+        let (r, stats) = time_runs(runs, || coarse_sweep(&g, &sims, &cfg));
+        let density = partition_density(&g, &r.output().edge_assignments());
+        t.row(vec![
+            phi.to_string(),
+            fmt_f64(stats.mean_secs(), 4),
+            fmt_f64(r.processed_fraction(), 3),
+            r.dendrogram().final_cluster_count().to_string(),
+            fmt_f64(density, 4),
+        ]);
+    }
+    println!("(larger phi stops earlier: fewer pairs processed, more clusters left)");
+    t.emit(&ctx.csv_path("ablation_phi.csv"))?;
+
+    // --- edge order: the paper enumerates edges randomly; the partition
+    //     is invariant, and so (within noise) is the cost ---
+    let mut t = Table::new(
+        "Ablation: edge enumeration order (fine-grained sweep)",
+        &["order", "time_s", "merges"],
+    );
+    for (name, order) in [
+        ("insertion", EdgeOrder::Insertion),
+        ("shuffled_1", EdgeOrder::Shuffled { seed: 1 }),
+        ("shuffled_2", EdgeOrder::Shuffled { seed: 2 }),
+    ] {
+        let cfg = SweepConfig { edge_order: order, ..Default::default() };
+        let (out, stats) = time_runs(runs, || sweep(&g, &sims, cfg));
+        t.row(vec![
+            name.to_owned(),
+            fmt_f64(stats.mean_secs(), 4),
+            out.dendrogram().merge_count().to_string(),
+        ]);
+    }
+    println!("(K2 = {k2}; the merge count is order-invariant)");
+    t.emit(&ctx.csv_path("ablation_edge_order.csv"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{Scale, Workload};
+
+    #[test]
+    fn smaller_gamma_gives_finer_dendrograms() {
+        let w = Workload::generate(Scale::Small);
+        let g = w.graph_for_alpha(0.005);
+        let sims = compute_similarities(&g).into_sorted();
+        let base = CoarseConfig::auto_tuned(&g, &sims);
+        let fine = coarse_sweep(&g, &sims, &CoarseConfig { gamma: 1.25, ..base });
+        let coarse = coarse_sweep(&g, &sims, &CoarseConfig { gamma: 4.0, ..base });
+        assert!(
+            fine.levels().len() > coarse.levels().len(),
+            "gamma 1.25 gave {} levels vs gamma 4.0 {}",
+            fine.levels().len(),
+            coarse.levels().len()
+        );
+    }
+
+    #[test]
+    fn larger_phi_processes_fewer_pairs() {
+        let w = Workload::generate(Scale::Small);
+        let g = w.graph_for_alpha(0.005);
+        let sims = compute_similarities(&g).into_sorted();
+        let base = CoarseConfig::auto_tuned(&g, &sims);
+        let strict = coarse_sweep(&g, &sims, &CoarseConfig { phi: 10, ..base });
+        let loose = coarse_sweep(&g, &sims, &CoarseConfig { phi: 200, ..base });
+        assert!(loose.processed_fraction() <= strict.processed_fraction() + 1e-12);
+    }
+}

@@ -1,0 +1,164 @@
+//! Corollary 1 / Appendix — asymptotic scaling on structured graphs.
+//!
+//! The appendix proves that on graphs with |E| = ω(|V| log² |V|) the
+//! sweep costs O(|E|²·√(|V|/|E|)), beating SLINK's O(|E|²) by at least
+//! √(|E|/|V|): on k-regular graphs the gap is √|V|, and on complete
+//! graphs the sweep is O(|V|³·⁵) vs O(|V|⁴). This runner measures both
+//! algorithms across a size ladder and fits log-log slopes so the
+//! *growth exponents* — not wall-clock constants — can be compared
+//! against the theory.
+
+use std::io;
+
+use linkclust_core::baseline::NbmClustering;
+use linkclust_core::init::compute_similarities;
+use linkclust_core::sweep::{sweep, SweepConfig};
+use linkclust_graph::generate::{complete, k_regular, WeightMode};
+
+use crate::table::{fmt_f64, Table};
+use crate::timing::time_runs;
+use crate::workloads::Scale;
+
+use super::FigureContext;
+
+/// Least-squares slope of `ln y` against `ln x`.
+pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        let (lx, ly) = (x.ln(), y.ln().max(-30.0));
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Runs the Corollary-1 scaling study.
+///
+/// # Errors
+///
+/// Propagates CSV-write failures.
+pub fn run(ctx: &FigureContext) -> io::Result<()> {
+    let runs = ctx.scale().timing_runs();
+    let w = WeightMode::Uniform { lo: 0.5, hi: 1.5 };
+
+    // Complete graphs: sweep should grow ~n^3.5, standard ~n^4.
+    let sizes: &[usize] = match ctx.scale() {
+        Scale::Small => &[16, 24, 32, 40],
+        Scale::Medium => &[24, 36, 48, 64],
+        Scale::Full => &[32, 48, 64, 88],
+    };
+    let mut t = Table::new(
+        "Corollary 1: complete graphs K_n (sweep ~ n^3.5, standard ~ n^4)",
+        &["n", "edges", "sweep_s", "standard_s"],
+    );
+    let mut sweep_pts = Vec::new();
+    let mut std_pts = Vec::new();
+    for &n in sizes {
+        let g = complete(n, w, 1);
+        let (_, s_sweep) = time_runs(runs, || {
+            let sims = compute_similarities(&g).into_sorted();
+            sweep(&g, &sims, SweepConfig::default())
+        });
+        let (_, s_std) = time_runs(runs, || {
+            let sims = compute_similarities(&g);
+            NbmClustering::new().run(&g, &sims)
+        });
+        sweep_pts.push((n as f64, s_sweep.mean_secs()));
+        std_pts.push((n as f64, s_std.mean_secs()));
+        t.row(vec![
+            n.to_string(),
+            g.edge_count().to_string(),
+            fmt_f64(s_sweep.mean_secs(), 5),
+            fmt_f64(s_std.mean_secs(), 5),
+        ]);
+    }
+    println!(
+        "complete-graph log-log slopes: sweep {:.2} (theory 3.5), standard {:.2} (theory 4.0)",
+        log_log_slope(&sweep_pts),
+        log_log_slope(&std_pts)
+    );
+    t.emit(&ctx.csv_path("cor1_complete.csv"))?;
+
+    // k-regular graphs at fixed k: sweep linear-ish in |E|, standard
+    // quadratic.
+    let ns: &[usize] = match ctx.scale() {
+        Scale::Small => &[200, 400, 800],
+        Scale::Medium => &[400, 800, 1600],
+        Scale::Full => &[800, 1600, 3200],
+    };
+    let k = 16;
+    let mut t = Table::new(
+        "Corollary 1: k-regular graphs (k = 16)",
+        &["n", "edges", "k2", "sweep_s", "standard_s"],
+    );
+    let mut sweep_pts = Vec::new();
+    let mut std_pts = Vec::new();
+    for &n in ns {
+        let g = k_regular(n, k, w, 2);
+        let sims0 = compute_similarities(&g);
+        let k2 = sims0.incident_pair_count();
+        let (_, s_sweep) = time_runs(runs, || {
+            let sims = compute_similarities(&g).into_sorted();
+            sweep(&g, &sims, SweepConfig::default())
+        });
+        let (_, s_std) = time_runs(runs.min(2), || NbmClustering::new().run(&g, &sims0));
+        sweep_pts.push((g.edge_count() as f64, s_sweep.mean_secs()));
+        std_pts.push((g.edge_count() as f64, s_std.mean_secs()));
+        t.row(vec![
+            n.to_string(),
+            g.edge_count().to_string(),
+            k2.to_string(),
+            fmt_f64(s_sweep.mean_secs(), 5),
+            fmt_f64(s_std.mean_secs(), 5),
+        ]);
+    }
+    println!(
+        "k-regular log-log slopes vs |E|: sweep {:.2} (theory ~1), standard {:.2} (theory 2.0)",
+        log_log_slope(&sweep_pts),
+        log_log_slope(&std_pts)
+    );
+    t.emit(&ctx.csv_path("cor1_kregular.csv"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_power_law_is_exact() {
+        let pts: Vec<(f64, f64)> = (2..10).map(|i| (i as f64, (i as f64).powf(2.5))).collect();
+        assert!((log_log_slope(&pts) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standard_grows_faster_than_sweep_on_kregular() {
+        // The asymptotic separation: quadrupling |E| should widen the
+        // standard/sweep time ratio on sparse regular graphs.
+        let w = WeightMode::Unit;
+        let ratio = |n: usize| {
+            let g = k_regular(n, 8, w, 3);
+            let sims = compute_similarities(&g);
+            let t_std = {
+                let s = std::time::Instant::now();
+                let _ = NbmClustering::new().run(&g, &sims);
+                s.elapsed().as_secs_f64()
+            };
+            let t_sw = {
+                let s = std::time::Instant::now();
+                let sorted = sims.clone().into_sorted();
+                let _ = sweep(&g, &sorted, SweepConfig::default());
+                s.elapsed().as_secs_f64()
+            };
+            t_std / t_sw.max(1e-9)
+        };
+        let small = ratio(200);
+        let large = ratio(800);
+        assert!(
+            large > small,
+            "standard/sweep ratio should grow with size: {small:.1} -> {large:.1}"
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Fig. 5 — coarse-grained hierarchical clustering evaluation.
+
+use std::io;
+
+use linkclust_core::coarse::{coarse_sweep, CoarseConfig};
+use linkclust_core::init::compute_similarities;
+use linkclust_core::sweep::{sweep, SweepConfig};
+use linkclust_graph::WeightedGraph;
+
+use crate::alloc::{format_bytes, measure_peak};
+use crate::table::{fmt_f64, Table};
+use crate::timing::time_runs;
+use crate::workloads::ALPHAS;
+
+use super::FigureContext;
+
+/// The coarse configuration for a workload graph, mirroring §VII-B:
+/// γ = 2, φ = 100 (clamped for small graphs), δ₀ scaled to the
+/// workload's K₂ like the paper's {100…10000} track its graph sizes.
+pub fn coarse_config_for(g: &WeightedGraph, k2: u64) -> CoarseConfig {
+    CoarseConfig {
+        gamma: 2.0,
+        phi: 100.min((g.edge_count() / 4).max(1)),
+        initial_chunk: (k2 / 1500).max(8),
+        eta0: 8.0,
+        ..Default::default()
+    }
+}
+
+/// Fig. 5(1): epoch breakdown (head/fresh, tail/fresh, rollback, reused)
+/// per α.
+///
+/// # Errors
+///
+/// Propagates CSV-write failures.
+pub fn run_fig5_1(ctx: &FigureContext) -> io::Result<()> {
+    let mut t = Table::new(
+        "Fig. 5(1): coarse-sweep epoch breakdown vs alpha",
+        &["alpha", "head_fresh", "tail_fresh", "rollback", "reused", "levels", "processed_frac"],
+    );
+    for &alpha in &ALPHAS {
+        let g = ctx.workload().graph_for_alpha(alpha);
+        let sims = compute_similarities(&g).into_sorted();
+        let cfg = coarse_config_for(&g, sims.incident_pair_count());
+        let r = coarse_sweep(&g, &sims, &cfg);
+        let b = r.epoch_breakdown();
+        t.row(vec![
+            alpha.to_string(),
+            b.head_fresh.to_string(),
+            b.tail_fresh.to_string(),
+            b.rollback.to_string(),
+            b.reused.to_string(),
+            r.levels().len().to_string(),
+            fmt_f64(r.processed_fraction(), 3),
+        ]);
+    }
+    println!("(paper: few head epochs; majority of pairs processed in tail mode)");
+    t.emit(&ctx.csv_path("fig5_1_epochs.csv"))
+}
+
+/// Fig. 5(2): execution time and peak memory of the coarse-grained sweep
+/// vs the fine-grained sweep per α, plus the fraction of incident pairs
+/// the coarse sweep actually processed.
+///
+/// # Errors
+///
+/// Propagates CSV-write failures.
+pub fn run_fig5_2(ctx: &FigureContext) -> io::Result<()> {
+    let runs = ctx.scale().timing_runs();
+    let mut t = Table::new(
+        "Fig. 5(2): coarse-grained vs fine-grained sweeping",
+        &[
+            "alpha",
+            "coarse_s",
+            "sweep_s",
+            "coarse_mem",
+            "sweep_mem",
+            "processed_frac",
+            "final_clusters",
+        ],
+    );
+    for &alpha in &ALPHAS {
+        let g = ctx.workload().graph_for_alpha(alpha);
+        let sims = compute_similarities(&g).into_sorted();
+        let cfg = coarse_config_for(&g, sims.incident_pair_count());
+
+        let (r, coarse_stats) = time_runs(runs, || coarse_sweep(&g, &sims, &cfg));
+        let (_, sweep_stats) = time_runs(runs, || sweep(&g, &sims, SweepConfig::default()));
+        let (_, coarse_mem) = measure_peak(|| coarse_sweep(&g, &sims, &cfg));
+        let (_, sweep_mem) = measure_peak(|| sweep(&g, &sims, SweepConfig::default()));
+
+        t.row(vec![
+            alpha.to_string(),
+            fmt_f64(coarse_stats.mean_secs(), 4),
+            fmt_f64(sweep_stats.mean_secs(), 4),
+            format_bytes(coarse_mem),
+            format_bytes(sweep_mem),
+            fmt_f64(r.processed_fraction(), 3),
+            r.dendrogram().final_cluster_count().to_string(),
+        ]);
+    }
+    println!("(paper: coarse-grained finishes faster; at alpha=0.005 only 55.1% of pairs processed)");
+    t.emit(&ctx.csv_path("fig5_2_coarse.csv"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{Scale, Workload};
+
+    #[test]
+    fn coarse_processes_fewer_pairs_than_full_sweep() {
+        // The phi cutoff must leave part of the tail unprocessed on a
+        // realistically sized workload graph.
+        let w = Workload::generate(Scale::Small);
+        let g = w.graph_for_alpha(0.005);
+        let sims = compute_similarities(&g).into_sorted();
+        let cfg = coarse_config_for(&g, sims.incident_pair_count());
+        let r = coarse_sweep(&g, &sims, &cfg);
+        assert!(
+            r.processed_fraction() < 1.0,
+            "expected early phi-termination, processed {:.3}",
+            r.processed_fraction()
+        );
+        assert!(r.dendrogram().final_cluster_count() <= cfg.phi);
+    }
+}

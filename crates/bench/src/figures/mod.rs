@@ -1,0 +1,61 @@
+//! One runner per figure of the paper's evaluation.
+//!
+//! | id | paper | runner |
+//! |----|-------|--------|
+//! | `fig1` | Fig. 1 example graph (K₁=7 < K₂=16 < K₃=28) | [`fig1`] |
+//! | `fig2-1` | changes on array C per level | [`fig2::run_fig2_1`] |
+//! | `fig2-2` | cluster decay + sigmoid fit | [`fig2::run_fig2_2`] |
+//! | `fig4-1` | graph statistics vs α | [`fig4::run_fig4_1`] |
+//! | `fig4-2` | execution times vs α | [`fig4::run_fig4_2`] |
+//! | `fig4-3` | memory vs α | [`fig4::run_fig4_3`] |
+//! | `fig5-1` | epoch breakdown | [`fig5::run_fig5_1`] |
+//! | `fig5-2` | coarse vs sweeping | [`fig5::run_fig5_2`] |
+//! | `fig6-1` | init speedup vs threads | [`fig6::run_fig6_1`] |
+//! | `fig6-2` | sweep speedup vs threads | [`fig6::run_fig6_2`] |
+//! | `cor1` | Corollary 1 asymptotics | [`cor1`] |
+//! | `ablation` | γ/φ/edge-order design-choice sweeps (not a paper figure) | [`ablation`] |
+
+pub mod ablation;
+pub mod cor1;
+pub mod fig1;
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+
+use std::path::PathBuf;
+
+use crate::workloads::{Scale, Workload};
+
+/// Shared state for figure runners: the scale preset, output directory,
+/// and the lazily generated workload.
+pub struct FigureContext {
+    scale: Scale,
+    out_dir: PathBuf,
+    workload: std::cell::OnceCell<Workload>,
+}
+
+impl FigureContext {
+    /// Creates a context writing CSVs under `out_dir`.
+    pub fn new(scale: Scale, out_dir: PathBuf) -> Self {
+        FigureContext { scale, out_dir, workload: std::cell::OnceCell::new() }
+    }
+
+    /// The scale preset.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The output path for a CSV file.
+    pub fn csv_path(&self, name: &str) -> PathBuf {
+        self.out_dir.join(name)
+    }
+
+    /// The workload (generated on first use, cached).
+    pub fn workload(&self) -> &Workload {
+        self.workload.get_or_init(|| {
+            eprintln!("[workload] generating synthetic corpus at {:?} scale...", self.scale);
+            Workload::generate(self.scale)
+        })
+    }
+}

@@ -1,0 +1,172 @@
+//! Gnuplot script emission: turns the harness CSVs into the paper's
+//! plots.
+//!
+//! `repro all` drops one `.gp` script per figure next to the CSVs; with
+//! gnuplot installed, `gnuplot results/*.gp` renders PNGs whose axes
+//! match the paper's (log scales where the paper uses them).
+
+use std::io;
+use std::path::Path;
+
+/// Description of one plot to generate.
+struct PlotSpec {
+    script: &'static str,
+    csv: &'static str,
+    title: &'static str,
+    xlabel: &'static str,
+    ylabel: &'static str,
+    logx: bool,
+    logy: bool,
+    /// `(column_expression, legend)` pairs, 1-based gnuplot columns.
+    series: &'static [(&'static str, &'static str)],
+}
+
+const PLOTS: &[PlotSpec] = &[
+    PlotSpec {
+        script: "fig2_1_changes.gp",
+        csv: "fig2_1_changes.csv",
+        title: "Fig. 2(1): changes on array C",
+        xlabel: "Normalized level ID",
+        ylabel: "Number of changes on array C",
+        logx: false,
+        logy: false,
+        series: &[("2:3", "changes")],
+    },
+    PlotSpec {
+        script: "fig4_1_stats.gp",
+        csv: "fig4_1_stats.csv",
+        title: "Fig. 4(1): statistics",
+        xlabel: "Fraction",
+        ylabel: "Count",
+        logx: true,
+        logy: true,
+        series: &[("1:3", "Nodes"), ("1:4", "Edges"), ("1:6", "Vertex pairs"), ("1:7", "Edge pairs")],
+    },
+    PlotSpec {
+        script: "fig4_2_time.gp",
+        csv: "fig4_2_time.csv",
+        title: "Fig. 4(2): execution time",
+        xlabel: "Fraction",
+        ylabel: "Execution time (sec)",
+        logx: true,
+        logy: true,
+        series: &[("1:3", "Initialization"), ("1:5", "Standard"), ("1:4", "Sweeping")],
+    },
+    PlotSpec {
+        script: "fig4_3_memory.gp",
+        csv: "fig4_3_memory.csv",
+        title: "Fig. 4(3): peak heap",
+        xlabel: "Fraction",
+        ylabel: "Peak heap (bytes)",
+        logx: true,
+        logy: true,
+        series: &[("1:3", "Sweeping"), ("1:5", "Standard")],
+    },
+    PlotSpec {
+        script: "fig5_2_coarse.gp",
+        csv: "fig5_2_coarse.csv",
+        title: "Fig. 5(2): coarse vs fine",
+        xlabel: "Fraction",
+        ylabel: "Execution time (sec)",
+        logx: true,
+        logy: true,
+        series: &[("1:2", "Coarse-grain, time"), ("1:3", "Sweeping, time")],
+    },
+    PlotSpec {
+        script: "fig6_1_init_speedup.gp",
+        csv: "fig6_1_init_speedup.csv",
+        title: "Fig. 6(1): initialization speedup",
+        xlabel: "Number of threads",
+        ylabel: "Speedup",
+        logx: false,
+        logy: false,
+        series: &[("2:4", "speedup")],
+    },
+    PlotSpec {
+        script: "fig6_2_sweep_speedup.gp",
+        csv: "fig6_2_sweep_speedup.csv",
+        title: "Fig. 6(2): sweeping speedup",
+        xlabel: "Number of threads",
+        ylabel: "Speedup",
+        logx: false,
+        logy: false,
+        series: &[("2:4", "speedup")],
+    },
+];
+
+fn render(spec: &PlotSpec) -> String {
+    let mut s = String::new();
+    s.push_str("set datafile separator ','\n");
+    s.push_str("set terminal pngcairo size 800,600\n");
+    s.push_str(&format!("set output '{}.png'\n", spec.script.trim_end_matches(".gp")));
+    s.push_str(&format!("set title '{}'\n", spec.title));
+    s.push_str(&format!("set xlabel '{}'\n", spec.xlabel));
+    s.push_str(&format!("set ylabel '{}'\n", spec.ylabel));
+    s.push_str("set key outside\n");
+    if spec.logx {
+        s.push_str("set logscale x\n");
+    }
+    if spec.logy {
+        s.push_str("set logscale y\n");
+    }
+    let series: Vec<String> = spec
+        .series
+        .iter()
+        .map(|(cols, legend)| {
+            format!("'{}' using {} with linespoints title '{}'", spec.csv, cols, legend)
+        })
+        .collect();
+    s.push_str(&format!("plot {}\n", series.join(", \\\n     ")));
+    s
+}
+
+/// Writes every plot script into `dir` (which must already contain the
+/// CSVs, or will after the figure runners execute).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_plot_scripts(dir: &Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for spec in PLOTS {
+        std::fs::write(dir.join(spec.script), render(spec))?;
+    }
+    Ok(())
+}
+
+/// The number of plot scripts [`write_plot_scripts`] generates.
+pub fn plot_count() -> usize {
+    PLOTS.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_reference_their_csvs() {
+        for spec in PLOTS {
+            let s = render(spec);
+            assert!(s.contains(spec.csv), "{} missing csv", spec.script);
+            assert!(s.contains("plot "), "{} missing plot", spec.script);
+            assert!(s.contains("pngcairo"));
+            if spec.logy {
+                assert!(s.contains("set logscale y"));
+            }
+        }
+    }
+
+    #[test]
+    fn scripts_written_to_disk() {
+        let dir = std::env::temp_dir().join("linkclust_plots_test");
+        write_plot_scripts(&dir).unwrap();
+        let count = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref().unwrap().path().extension().map(|x| x == "gp").unwrap_or(false)
+            })
+            .count();
+        assert_eq!(count, plot_count());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

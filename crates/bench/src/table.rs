@@ -1,0 +1,173 @@
+//! Result tables: aligned stdout rendering plus CSV files.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A simple result table with a title, column headers, and string rows.
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_bench::table::Table;
+///
+/// let mut t = Table::new("demo", &["alpha", "edges"]);
+/// t.row(vec!["0.001".into(), "1628578".into()]);
+/// let text = t.render();
+/// assert!(text.contains("alpha"));
+/// assert!(text.contains("1628578"));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in table {}", self.title);
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Serializes the table as CSV (headers + rows; cells containing
+    /// commas or quotes are quoted).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |c: &String| -> String {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        };
+        let _ = writeln!(out, "{}", self.headers.iter().map(esc).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(esc).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV form to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+
+    /// Prints the aligned form to stdout and writes the CSV next to it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the CSV write.
+    pub fn emit(&self, csv_path: &Path) -> io::Result<()> {
+        print!("{}", self.render());
+        self.write_csv(csv_path)?;
+        println!("-> wrote {}\n", csv_path.display());
+        Ok(())
+    }
+}
+
+/// Formats a float with `digits` significant decimals, trimming noise.
+pub fn fmt_f64(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["1".into(), "x,y".into()]);
+        t.row(vec!["22".into(), "q\"z".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let r = sample().render();
+        assert!(r.contains("== t =="));
+        assert!(r.lines().count() >= 4);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let csv = sample().to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"q\"\"z\""));
+        assert!(csv.starts_with("a,b\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip_to_disk() {
+        let dir = std::env::temp_dir().join("linkclust_table_test");
+        let path = dir.join("out.csv");
+        sample().write_csv(&path).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read, sample().to_csv());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

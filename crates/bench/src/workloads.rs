@@ -1,0 +1,221 @@
+//! The α-sweep word-association workloads of §VII.
+//!
+//! The paper constructs word association networks from a month of tweets,
+//! controlling graph size with the fraction α of most-frequent candidate
+//! words, α ∈ {0.0001, 0.0005, 0.001, 0.005, 0.01}. Its candidate pool
+//! has millions of words, so α translates to hundreds-to-tens-of-thousands
+//! of vertices (3,132 at α = 0.001), with density *decreasing* in α
+//! (1.0 → 0.136): frequent words co-occur pervasively, rare words only
+//! within topics.
+//!
+//! Here the same sweep is realized against the synthetic corpus
+//! ([`linkclust_corpus::synth`]): each α keeps the top `α × POOL` words,
+//! where `POOL` is the scale preset's notional candidate-pool size. The
+//! shape-relevant properties (near-complete graphs at small α, density
+//! decay, K₂ ≫ |E|) carry over; absolute sizes are laptop-scale.
+
+use linkclust_corpus::assoc::AssocNetworkBuilder;
+use linkclust_corpus::synth::{SynthCorpus, SynthCorpusConfig};
+use linkclust_graph::WeightedGraph;
+
+/// The α values of the paper's sweep.
+pub const ALPHAS: [f64; 5] = [0.0001, 0.0005, 0.001, 0.005, 0.01];
+
+/// The paper's initial coarse chunk sizes δ₀ per α (§VII-B); the harness
+/// scales them by the K₂ ratio of the scaled workload.
+pub const PAPER_DELTA0: [u64; 5] = [100, 500, 1000, 5000, 10000];
+
+/// Workload scale presets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Scale {
+    /// Quick smoke-test scale (seconds).
+    Small,
+    /// Default scale (a few minutes for the full figure set).
+    #[default]
+    Medium,
+    /// The largest laptop-scale preset.
+    Full,
+}
+
+impl Scale {
+    /// Parses `small` / `medium` / `full`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// The corpus generator configuration for this scale.
+    pub fn corpus_config(self) -> SynthCorpusConfig {
+        match self {
+            Scale::Small => SynthCorpusConfig {
+                documents: 6_000,
+                vocabulary: 1_500,
+                topics: 12,
+                seed: 2017,
+                ..Default::default()
+            },
+            Scale::Medium => SynthCorpusConfig {
+                documents: 25_000,
+                vocabulary: 4_000,
+                topics: 20,
+                seed: 2017,
+                ..Default::default()
+            },
+            Scale::Full => SynthCorpusConfig {
+                documents: 70_000,
+                vocabulary: 9_000,
+                topics: 30,
+                seed: 2017,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// The notional candidate-pool size: α × pool = words kept.
+    pub fn candidate_pool(self) -> f64 {
+        match self {
+            Scale::Small => 40_000.0,
+            Scale::Medium => 120_000.0,
+            Scale::Full => 300_000.0,
+        }
+    }
+
+    /// Number of words kept for a given α at this scale.
+    pub fn words_for_alpha(self, alpha: f64) -> usize {
+        ((alpha * self.candidate_pool()).round() as usize).max(3)
+    }
+
+    /// Maximum edge count for which the O(|E|²) standard baseline is
+    /// attempted (the similarity matrix is `8·|E|²` bytes; the paper hit
+    /// the same wall at α > 0.001 on a 64 GB machine).
+    pub fn nbm_edge_cap(self) -> usize {
+        match self {
+            Scale::Small => 4_000,
+            Scale::Medium => 9_000,
+            Scale::Full => 15_000,
+        }
+    }
+
+    /// Number of timed repetitions per measurement (the paper uses 10).
+    pub fn timing_runs(self) -> usize {
+        match self {
+            Scale::Small => 2,
+            Scale::Medium => 3,
+            Scale::Full => 5,
+        }
+    }
+}
+
+/// A generated workload: the corpus plus per-α graphs, built lazily.
+pub struct Workload {
+    scale: Scale,
+    corpus: SynthCorpus,
+}
+
+impl Workload {
+    /// Generates the corpus for `scale` (deterministic).
+    pub fn generate(scale: Scale) -> Self {
+        Workload { scale, corpus: SynthCorpus::generate(&scale.corpus_config()) }
+    }
+
+    /// The scale preset.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The underlying synthetic corpus.
+    pub fn corpus(&self) -> &SynthCorpus {
+        &self.corpus
+    }
+
+    /// Builds the word-association graph for `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corpus unexpectedly yields no candidate words.
+    pub fn graph_for_alpha(&self, alpha: f64) -> WeightedGraph {
+        let n = self.scale.words_for_alpha(alpha);
+        AssocNetworkBuilder::new()
+            .top_words(n)
+            .min_document_count(2)
+            .build(self.corpus.documents())
+            .expect("synthetic corpus always yields candidate words")
+            .into_graph()
+    }
+
+    /// Builds graphs for every α of the paper's sweep.
+    pub fn alpha_graphs(&self) -> Vec<(f64, WeightedGraph)> {
+        ALPHAS.iter().map(|&a| (a, self.graph_for_alpha(a))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkclust_graph::stats::GraphStats;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn words_scale_with_alpha() {
+        let s = Scale::Medium;
+        let counts: Vec<usize> = ALPHAS.iter().map(|&a| s.words_for_alpha(a)).collect();
+        for w in counts.windows(2) {
+            assert!(w[0] < w[1], "word counts must increase with alpha: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn density_decreases_with_alpha() {
+        // The property the paper's Fig. 4(1) hinges on: small-α graphs
+        // are near-complete, larger ones sparser.
+        let w = Workload::generate(Scale::Small);
+        let mut densities = Vec::new();
+        for &alpha in &[0.0001, 0.001, 0.01] {
+            let g = w.graph_for_alpha(alpha);
+            assert!(g.edge_count() > 0, "alpha {alpha} produced an edgeless graph");
+            densities.push(g.density());
+        }
+        assert!(
+            densities[0] > 0.8,
+            "tiny-alpha graph should be near-complete: {densities:?}"
+        );
+        assert!(
+            densities[2] < densities[0],
+            "density must fall as alpha grows: {densities:?}"
+        );
+    }
+
+    #[test]
+    fn k2_dominates_edges() {
+        // Fig. 4(1): K2 exceeds |E| by orders of magnitude on the larger
+        // graphs.
+        let w = Workload::generate(Scale::Small);
+        let g = w.graph_for_alpha(0.01);
+        let s = GraphStats::compute(&g);
+        assert!(
+            s.incident_edge_pairs > 5 * s.edges as u64,
+            "K2 ({}) should dominate |E| ({})",
+            s.incident_edge_pairs,
+            s.edges
+        );
+        assert!(s.invariant_holds());
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let a = Workload::generate(Scale::Small).graph_for_alpha(0.001);
+        let b = Workload::generate(Scale::Small).graph_for_alpha(0.001);
+        assert_eq!(a, b);
+    }
+}

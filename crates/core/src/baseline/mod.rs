@@ -1,0 +1,17 @@
+//! Baseline single-linkage clusterers the paper compares against.
+//!
+//! * [`nbm`] — the "standard algorithm" of §VII-A: generic single-linkage
+//!   hierarchical clustering over the edge set using a next-best-merge
+//!   array (Manning, Raghavan & Schütze, *IIR* Fig. 17.10; equivalent in
+//!   complexity to SLINK). O(|E|²) time **and space** — the quadratic
+//!   similarity matrix is exactly the memory blow-up of Fig. 4(3).
+//! * [`mst`] — single-linkage via maximum spanning tree (Gower & Ross,
+//!   1969; paper reference 9): expand all K₂ incident edge pairs, sort, and
+//!   run Kruskal. O(K₂ log K₂) time, O(K₂) space — an intermediate
+//!   point between the standard algorithm and the paper's sweep.
+
+pub mod mst;
+pub mod nbm;
+
+pub use mst::MstClustering;
+pub use nbm::NbmClustering;

@@ -1,0 +1,139 @@
+//! Chunk-size estimation (§V-B, Fig. 3).
+//!
+//! At each new epoch the algorithm must predict how many incident edge
+//! pairs to process so that the cluster count shrinks by roughly the
+//! target rate γ̃ = (1+γ)/2 — fast enough to make progress, but within the
+//! soundness bound γ. Prediction is linear extrapolation on the
+//! (pairs-processed, cluster-count) plane:
+//!
+//! * the **reference point** is a rolled-back (overshot) epoch state — a
+//!   point *ahead* of the current level;
+//! * the **previous two levels** give the local slope behind the current
+//!   level.
+//!
+//! Whichever slope is steeper (most negative) yields the smaller — hence
+//! safer — chunk estimate; this handles both the concave and the convex
+//! scenario of Fig. 3 with one rule.
+
+/// A point on the (pairs processed ξ, cluster count β) curve.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CurvePoint {
+    /// Incident edge pairs processed so far.
+    pub pairs: u64,
+    /// Number of clusters at that point.
+    pub clusters: usize,
+}
+
+/// Estimates the next chunk size by slope extrapolation.
+///
+/// `history` holds the committed levels in order (at least the current
+/// level; ideally the previous one too); `reference` is an optional
+/// overshot point ahead of the current level (from a rollback state).
+/// Returns `None` when no usable (negative) slope exists — e.g. the curve
+/// has been flat — in which case the caller keeps its previous estimate.
+///
+/// # Panics
+///
+/// Panics if `history` is empty or `gamma_tilde < 1`.
+pub fn estimate_chunk(
+    reference: Option<CurvePoint>,
+    history: &[CurvePoint],
+    gamma_tilde: f64,
+) -> Option<u64> {
+    assert!(!history.is_empty(), "need the current level in history");
+    assert!(gamma_tilde >= 1.0, "target merge rate must be at least 1");
+    let current = *history.last().expect("history is non-empty");
+    let target = current.clusters as f64 / gamma_tilde;
+
+    let mut slope: Option<f64> = None;
+    if let Some(r) = reference {
+        if r.pairs > current.pairs && r.clusters < current.clusters {
+            let s = (r.clusters as f64 - current.clusters as f64)
+                / (r.pairs as f64 - current.pairs as f64);
+            slope = steeper(slope, s);
+        }
+    }
+    if history.len() >= 2 {
+        let prev = history[history.len() - 2];
+        if current.pairs > prev.pairs && current.clusters < prev.clusters {
+            let s = (current.clusters as f64 - prev.clusters as f64)
+                / (current.pairs as f64 - prev.pairs as f64);
+            slope = steeper(slope, s);
+        }
+    }
+    let s = slope?;
+    debug_assert!(s < 0.0);
+    let delta = (target - current.clusters as f64) / s;
+    Some((delta.ceil() as u64).max(1))
+}
+
+/// The steeper (more negative) of an optional current slope and a new
+/// candidate.
+fn steeper(current: Option<f64>, candidate: f64) -> Option<f64> {
+    match current {
+        Some(c) if c <= candidate => Some(c),
+        _ => Some(candidate),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(pairs: u64, clusters: usize) -> CurvePoint {
+        CurvePoint { pairs, clusters }
+    }
+
+    #[test]
+    fn uses_previous_levels_when_no_reference() {
+        // From (100, 1000) to (200, 800): slope -2 per pair.
+        // Target at γ̃ = 1.5: 800/1.5 ≈ 533.3; Δβ ≈ -266.7 -> δ ≈ 134.
+        let hist = [pt(100, 1000), pt(200, 800)];
+        let d = estimate_chunk(None, &hist, 1.5).unwrap();
+        assert_eq!(d, 134);
+    }
+
+    #[test]
+    fn picks_the_steeper_slope() {
+        // Previous-levels slope: -2/pair. Reference slope: (400-800)/(300-200)
+        // = -4/pair (steeper) -> smaller chunk.
+        let hist = [pt(100, 1000), pt(200, 800)];
+        let reference = Some(pt(300, 400));
+        let with_ref = estimate_chunk(reference, &hist, 1.5).unwrap();
+        let without = estimate_chunk(None, &hist, 1.5).unwrap();
+        assert!(with_ref < without, "{with_ref} vs {without}");
+        assert_eq!(with_ref, 67); // ceil(266.67 / 4)
+    }
+
+    #[test]
+    fn shallow_reference_is_ignored_if_older() {
+        // Reference behind the current level is not usable.
+        let hist = [pt(100, 1000), pt(200, 800)];
+        let reference = Some(pt(150, 900));
+        assert_eq!(estimate_chunk(reference, &hist, 1.5), estimate_chunk(None, &hist, 1.5));
+    }
+
+    #[test]
+    fn flat_curve_gives_none() {
+        let hist = [pt(100, 500), pt(200, 500)];
+        assert_eq!(estimate_chunk(None, &hist, 1.5), None);
+        // Single point, no reference: nothing to extrapolate from.
+        assert_eq!(estimate_chunk(None, &[pt(0, 100)], 2.0), None);
+    }
+
+    #[test]
+    fn estimate_is_at_least_one() {
+        // Very steep slope -> tiny chunk, clamped to 1.
+        let hist = [pt(0, 1_000_000), pt(1, 2)];
+        let d = estimate_chunk(None, &hist, 1000.0).unwrap();
+        assert!(d >= 1);
+    }
+
+    #[test]
+    fn reference_only_works_without_second_level() {
+        let hist = [pt(0, 1000)];
+        let d = estimate_chunk(Some(pt(100, 500)), &hist, 2.0).unwrap();
+        // slope -5/pair, target 500, Δβ = -500 -> δ = 100
+        assert_eq!(d, 100);
+    }
+}

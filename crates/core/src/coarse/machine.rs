@@ -1,0 +1,160 @@
+//! The mode-transition machine of Fig. 2(3), as pure functions.
+//!
+//! At every epoch boundary the algorithm evaluates three predicates on
+//! the cluster counts (β = previous level, β′ = after the chunk):
+//!
+//! * **C1**: `β′ ≤ |E|/2` — the head/tail watershed;
+//! * **C2**: `β/β′ ≤ γ` — the soundness bound;
+//! * **C3**: `β′ ≤ φ` — the termination condition.
+//!
+//! The machine's decision — commit into head or tail, roll back, or
+//! terminate — is pure in those predicates, so it is factored out here
+//! and unit-tested as a transition table, independent of the driver's
+//! state plumbing.
+
+/// The two persistent operating modes (rollback is an *event*, not a
+/// persistent mode: the machine rolls back and retries in its current
+/// mode).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Mode {
+    /// More than `|E|/2` clusters remain; chunk sizes grow
+    /// exponentially.
+    #[default]
+    Head,
+    /// At most `|E|/2` clusters remain; chunk sizes are predicted by
+    /// slope extrapolation. Terminal: the machine never returns to
+    /// head (cluster counts only decrease).
+    Tail,
+}
+
+/// The machine's decision at an epoch boundary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Transition {
+    /// Commit the epoch and continue in `next` mode.
+    Commit {
+        /// The mode for the next epoch.
+        next: Mode,
+    },
+    /// Commit the epoch and stop: C3 reached.
+    Terminate,
+    /// Undo the epoch (C2 violated) and retry with a smaller chunk.
+    Rollback,
+}
+
+/// The predicate inputs at an epoch boundary.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct EpochOutcome {
+    /// Cluster count at the previous committed level (β).
+    pub clusters_before: usize,
+    /// Cluster count after the attempted chunk (β′).
+    pub clusters_after: usize,
+    /// Total number of edges, |E|.
+    pub edges: usize,
+    /// `true` if the chunk was a single indivisible entry that exceeded
+    /// the budget — such chunks commit regardless of C2.
+    pub forced: bool,
+}
+
+impl EpochOutcome {
+    /// Predicate C1: `β′ ≤ |E|/2` (the epoch lands in tail territory).
+    pub fn c1(&self) -> bool {
+        self.clusters_after <= self.edges / 2
+    }
+
+    /// Predicate C2 with bound `gamma`: `β/β′ ≤ γ` (merge rate is
+    /// sound).
+    pub fn c2(&self, gamma: f64) -> bool {
+        self.clusters_before as f64 / self.clusters_after.max(1) as f64 <= gamma
+    }
+
+    /// Predicate C3 with floor `phi`: `β′ ≤ φ` (few enough clusters to
+    /// stop).
+    pub fn c3(&self, phi: usize) -> bool {
+        self.clusters_after <= phi
+    }
+}
+
+/// Evaluates the transition for an epoch outcome — the decision diamond
+/// of Fig. 2(3).
+pub fn transition(outcome: EpochOutcome, gamma: f64, phi: usize) -> Transition {
+    if !outcome.c2(gamma) && !outcome.forced {
+        return Transition::Rollback;
+    }
+    if outcome.c3(phi) {
+        return Transition::Terminate;
+    }
+    Transition::Commit { next: if outcome.c1() { Mode::Tail } else { Mode::Head } }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(before: usize, after: usize, edges: usize) -> EpochOutcome {
+        EpochOutcome { clusters_before: before, clusters_after: after, edges, forced: false }
+    }
+
+    #[test]
+    fn transition_table() {
+        let gamma = 2.0;
+        let phi = 10;
+        // C2 violated -> rollback, regardless of C1/C3 potential.
+        assert_eq!(transition(outcome(1000, 400, 1000), gamma, phi), Transition::Rollback);
+        assert_eq!(transition(outcome(1000, 5, 1000), gamma, phi), Transition::Rollback);
+        // C2 ok, C3 reached -> terminate.
+        assert_eq!(transition(outcome(12, 8, 1000), gamma, phi), Transition::Terminate);
+        // C2 ok, C3 not reached, still above |E|/2 -> head.
+        assert_eq!(
+            transition(outcome(1000, 900, 1000), gamma, phi),
+            Transition::Commit { next: Mode::Head }
+        );
+        // C2 ok, below |E|/2 -> tail.
+        assert_eq!(
+            transition(outcome(600, 400, 1000), gamma, phi),
+            Transition::Commit { next: Mode::Tail }
+        );
+    }
+
+    #[test]
+    fn forced_epochs_bypass_c2() {
+        let forced = EpochOutcome {
+            clusters_before: 1000,
+            clusters_after: 10,
+            edges: 1000,
+            forced: true,
+        };
+        // Rate 100 > gamma = 2, but forced -> commits (into tail here).
+        assert_eq!(
+            transition(forced, 2.0, 5),
+            Transition::Commit { next: Mode::Tail }
+        );
+        // Forced + C3 -> terminate.
+        assert_eq!(transition(EpochOutcome { clusters_after: 4, ..forced }, 2.0, 5), Transition::Terminate);
+    }
+
+    #[test]
+    fn predicates_match_their_definitions() {
+        let o = outcome(100, 50, 100);
+        assert!(o.c1()); // 50 <= 50
+        assert!(o.c2(2.0)); // 100/50 = 2 <= 2
+        assert!(!o.c2(1.9));
+        assert!(!o.c3(10));
+        assert!(o.c3(50));
+    }
+
+    #[test]
+    fn c2_is_safe_for_zero_clusters() {
+        let o = outcome(5, 0, 10);
+        // max(1) guard: rate is 5, not a division by zero.
+        assert!(!o.c2(2.0));
+        assert!(o.c2(5.0));
+    }
+
+    #[test]
+    fn boundary_exactly_half_is_tail() {
+        let o = outcome(500, 50, 100);
+        assert!(o.c1());
+        let o = outcome(500, 51, 100);
+        assert!(!o.c1());
+    }
+}

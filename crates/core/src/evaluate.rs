@@ -1,0 +1,406 @@
+//! Partition-comparison metrics.
+//!
+//! Link clustering is usually judged by how well the recovered edge
+//! partition matches a known (planted) community structure. This module
+//! implements the standard external metrics — Rand index, adjusted Rand
+//! index, and normalized mutual information — over flat labellings such
+//! as those produced by
+//! [`SweepOutput::edge_assignments_at_level`](crate::sweep::SweepOutput::edge_assignments_at_level).
+//!
+//! All metrics are label-invariant (renaming clusters does not change
+//! the score).
+
+use std::collections::HashMap;
+
+/// The contingency table between two labellings of the same items.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Contingency {
+    /// Joint counts `n_{ij}`: items with label `i` in A and `j` in B.
+    cells: HashMap<(u32, u32), u64>,
+    /// Row sums `a_i` (cluster sizes of A).
+    rows: HashMap<u32, u64>,
+    /// Column sums `b_j` (cluster sizes of B).
+    cols: HashMap<u32, u64>,
+    /// Total item count.
+    n: u64,
+}
+
+impl Contingency {
+    /// Builds the table from two labellings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the labellings have different lengths.
+    pub fn new(a: &[u32], b: &[u32]) -> Self {
+        assert_eq!(a.len(), b.len(), "labellings must cover the same items");
+        let mut cells: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut rows: HashMap<u32, u64> = HashMap::new();
+        let mut cols: HashMap<u32, u64> = HashMap::new();
+        for (&x, &y) in a.iter().zip(b) {
+            *cells.entry((x, y)).or_default() += 1;
+            *rows.entry(x).or_default() += 1;
+            *cols.entry(y).or_default() += 1;
+        }
+        Contingency { cells, rows, cols, n: a.len() as u64 }
+    }
+
+    /// Number of items.
+    pub fn item_count(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of clusters in the first labelling.
+    pub fn cluster_count_a(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of clusters in the second labelling.
+    pub fn cluster_count_b(&self) -> usize {
+        self.cols.len()
+    }
+}
+
+fn choose2(x: u64) -> f64 {
+    (x as f64) * (x.saturating_sub(1) as f64) / 2.0
+}
+
+/// The Rand index: the fraction of item pairs on which the two
+/// labellings agree (same-cluster in both, or split in both). 1.0 means
+/// identical partitions.
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_core::evaluate::rand_index;
+///
+/// assert_eq!(rand_index(&[0, 0, 1, 1], &[5, 5, 9, 9]), 1.0);
+/// assert!(rand_index(&[0, 0, 1, 1], &[0, 1, 0, 1]) < 0.5);
+/// ```
+pub fn rand_index(a: &[u32], b: &[u32]) -> f64 {
+    let t = Contingency::new(a, b);
+    if t.n < 2 {
+        return 1.0;
+    }
+    let total = choose2(t.n);
+    let sum_cells: f64 = t.cells.values().map(|&c| choose2(c)).sum();
+    let sum_rows: f64 = t.rows.values().map(|&c| choose2(c)).sum();
+    let sum_cols: f64 = t.cols.values().map(|&c| choose2(c)).sum();
+    // agreements = pairs together in both + pairs apart in both
+    let together_both = sum_cells;
+    let apart_both = total - sum_rows - sum_cols + sum_cells;
+    (together_both + apart_both) / total
+}
+
+/// The adjusted Rand index (Hubert & Arabie): Rand index corrected for
+/// chance; 1.0 for identical partitions, ~0 for independent ones.
+pub fn adjusted_rand_index(a: &[u32], b: &[u32]) -> f64 {
+    let t = Contingency::new(a, b);
+    if t.n < 2 {
+        return 1.0;
+    }
+    let total = choose2(t.n);
+    let sum_cells: f64 = t.cells.values().map(|&c| choose2(c)).sum();
+    let sum_rows: f64 = t.rows.values().map(|&c| choose2(c)).sum();
+    let sum_cols: f64 = t.cols.values().map(|&c| choose2(c)).sum();
+    let expected = sum_rows * sum_cols / total;
+    let max = 0.5 * (sum_rows + sum_cols);
+    if (max - expected).abs() < 1e-12 {
+        return 1.0;
+    }
+    (sum_cells - expected) / (max - expected)
+}
+
+/// Normalized mutual information with arithmetic-mean normalization:
+/// `NMI = 2·I(A;B) / (H(A) + H(B))`; 1.0 for identical partitions, 0 for
+/// independent ones. Returns 1.0 when both partitions are trivial (a
+/// single cluster each).
+pub fn normalized_mutual_information(a: &[u32], b: &[u32]) -> f64 {
+    let t = Contingency::new(a, b);
+    if t.n == 0 {
+        return 1.0;
+    }
+    let n = t.n as f64;
+    let mut h_a = 0.0;
+    for &c in t.rows.values() {
+        let p = c as f64 / n;
+        h_a -= p * p.ln();
+    }
+    let mut h_b = 0.0;
+    for &c in t.cols.values() {
+        let p = c as f64 / n;
+        h_b -= p * p.ln();
+    }
+    if h_a + h_b < 1e-12 {
+        return 1.0; // both trivial
+    }
+    let mut mi = 0.0;
+    for (&(i, j), &c) in &t.cells {
+        let p_ij = c as f64 / n;
+        let p_i = t.rows[&i] as f64 / n;
+        let p_j = t.cols[&j] as f64 / n;
+        mi += p_ij * (p_ij / (p_i * p_j)).ln();
+    }
+    2.0 * mi / (h_a + h_b)
+}
+
+/// Normalized mutual information for **overlapping covers**
+/// (Lancichinetti, Fortunato & Kertész, 2009): each community is a set
+/// of vertex indices, and a vertex may belong to any number of
+/// communities. Returns 1.0 for identical covers and ~0 for unrelated
+/// ones.
+///
+/// `n` is the total number of vertices the covers are defined over.
+///
+/// # Panics
+///
+/// Panics if a community references a vertex `≥ n`, or if either cover
+/// is empty while the other is not... (both empty ⇒ 1.0).
+pub fn overlapping_nmi(x: &[Vec<u32>], y: &[Vec<u32>], n: usize) -> f64 {
+    if x.is_empty() && y.is_empty() {
+        return 1.0;
+    }
+    assert!(!x.is_empty() && !y.is_empty(), "covers must be non-empty to compare");
+    let xs: Vec<FixedBitSet> = x.iter().map(|c| FixedBitSet::from_indices(c, n)).collect();
+    let ys: Vec<FixedBitSet> = y.iter().map(|c| FixedBitSet::from_indices(c, n)).collect();
+    let nx = normalized_conditional(&xs, &ys, n);
+    let ny = normalized_conditional(&ys, &xs, n);
+    1.0 - 0.5 * (nx + ny)
+}
+
+/// `N(X|Y)`: the mean over communities `Xᵢ` of
+/// `min_j H(Xᵢ|Yⱼ) / H(Xᵢ)` (LFK Eq. B.10-B.14).
+fn normalized_conditional(xs: &[FixedBitSet], ys: &[FixedBitSet], n: usize) -> f64 {
+    let nf = n as f64;
+    let h = |count: usize| -> f64 {
+        if count == 0 {
+            0.0
+        } else {
+            let p = count as f64 / nf;
+            -p * p.log2()
+        }
+    };
+    let mut total = 0.0;
+    for xi in xs {
+        let cx = xi.count();
+        let h_x = h(cx) + h(n - cx);
+        if h_x == 0.0 {
+            // Degenerate community (everything or nothing): perfectly
+            // predictable, contributes 0 uncertainty.
+            continue;
+        }
+        let mut best = f64::INFINITY;
+        for yj in ys {
+            let cy = yj.count();
+            let d = xi.intersection_count(yj); // x ∧ y
+            let c = cx - d; // x ∧ ¬y
+            let b = cy - d; // ¬x ∧ y
+            let a = n + d - cx - cy; // ¬x ∧ ¬y (n+d ≥ cx+cy by inclusion–exclusion)
+            // LFK admissibility: the joint must explain more than it
+            // confuses, otherwise Yj carries no information about Xi.
+            if h(d) + h(a) < h(b) + h(c) {
+                continue;
+            }
+            let h_joint = h(a) + h(b) + h(c) + h(d);
+            let h_y = h(cy) + h(n - cy);
+            best = best.min(h_joint - h_y);
+        }
+        let conditional = if best.is_finite() { best } else { h_x };
+        total += conditional / h_x;
+    }
+    total / xs.len() as f64
+}
+
+/// A minimal fixed-size bit set (no external dependency).
+#[derive(Clone, Debug)]
+struct FixedBitSet {
+    words: Vec<u64>,
+    ones: usize,
+}
+
+impl FixedBitSet {
+    fn from_indices(indices: &[u32], n: usize) -> Self {
+        let mut words = vec![0u64; n.div_ceil(64)];
+        let mut ones = 0;
+        for &i in indices {
+            let i = i as usize;
+            assert!(i < n, "vertex {i} out of cover range {n}");
+            let (w, b) = (i / 64, i % 64);
+            if words[w] & (1 << b) == 0 {
+                words[w] |= 1 << b;
+                ones += 1;
+            }
+        }
+        FixedBitSet { words, ones }
+    }
+
+    fn count(&self) -> usize {
+        self.ones
+    }
+
+    fn intersection_count(&self, other: &FixedBitSet) -> usize {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = [0u32, 0, 1, 1, 2, 2];
+        let b = [7u32, 7, 3, 3, 9, 9]; // same structure, renamed
+        assert_eq!(rand_index(&a, &b), 1.0);
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_partitions_score_low() {
+        // a splits {0..3} as {01}{23}; b as {02}{13}: no pair agreement
+        // on "together".
+        let a = [0u32, 0, 1, 1];
+        let b = [0u32, 1, 0, 1];
+        assert!(adjusted_rand_index(&a, &b) <= 0.0 + 1e-12);
+        assert!(normalized_mutual_information(&a, &b) < 0.3);
+    }
+
+    #[test]
+    fn singletons_vs_one_cluster() {
+        let a = [0u32, 1, 2, 3];
+        let b = [0u32, 0, 0, 0];
+        // No pairs agree as "together in both", none agree "apart in both".
+        assert_eq!(rand_index(&a, &b), 0.0);
+        assert!(normalized_mutual_information(&a, &b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_is_zero_mean_under_permutation() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let a: Vec<u32> = (0..200).map(|i| i % 4).collect();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut total = 0.0;
+        const TRIALS: usize = 50;
+        for _ in 0..TRIALS {
+            let mut b = a.clone();
+            b.shuffle(&mut rng);
+            total += adjusted_rand_index(&a, &b);
+        }
+        let mean = total / TRIALS as f64;
+        assert!(mean.abs() < 0.05, "ARI should be ~0 under random relabelling, got {mean}");
+    }
+
+    #[test]
+    fn metrics_are_symmetric() {
+        let a = [0u32, 0, 1, 2, 2, 1, 0];
+        let b = [1u32, 0, 1, 1, 2, 2, 0];
+        assert!((rand_index(&a, &b) - rand_index(&b, &a)).abs() < 1e-12);
+        assert!((adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12);
+        assert!(
+            (normalized_mutual_information(&a, &b) - normalized_mutual_information(&b, &a)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn refinement_scores_between_zero_and_one() {
+        let coarse = [0u32, 0, 0, 0, 1, 1, 1, 1];
+        let fine = [0u32, 0, 1, 1, 2, 2, 3, 3];
+        for metric in [rand_index, adjusted_rand_index, normalized_mutual_information] {
+            let v = metric(&coarse, &fine);
+            assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn contingency_counts() {
+        let t = Contingency::new(&[0, 0, 1], &[0, 1, 1]);
+        assert_eq!(t.item_count(), 3);
+        assert_eq!(t.cluster_count_a(), 2);
+        assert_eq!(t.cluster_count_b(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "same items")]
+    fn rejects_length_mismatch() {
+        Contingency::new(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn overlapping_nmi_identical_covers() {
+        let x = vec![vec![0, 1, 2], vec![2, 3, 4]];
+        let v = overlapping_nmi(&x, &x, 5);
+        assert!((v - 1.0).abs() < 1e-9, "{v}");
+    }
+
+    #[test]
+    fn overlapping_nmi_renamed_covers() {
+        let x = vec![vec![0, 1, 2], vec![3, 4, 5]];
+        let y = vec![vec![5, 4, 3], vec![2, 0, 1]]; // same sets, reordered
+        let v = overlapping_nmi(&x, &y, 6);
+        assert!((v - 1.0).abs() < 1e-9, "{v}");
+    }
+
+    #[test]
+    fn overlapping_nmi_unrelated_covers_is_low() {
+        // X splits 0..12 into thirds; Y splits orthogonally by residue.
+        let x = vec![(0..4).collect(), (4..8).collect(), (8..12).collect::<Vec<u32>>()];
+        let y = vec![
+            (0..12).filter(|i| i % 3 == 0).collect::<Vec<u32>>(),
+            (0..12).filter(|i| i % 3 == 1).collect(),
+            (0..12).filter(|i| i % 3 == 2).collect(),
+        ];
+        let v = overlapping_nmi(&x, &y, 12);
+        assert!(v < 0.2, "{v}");
+    }
+
+    #[test]
+    fn overlapping_nmi_detects_partial_agreement() {
+        let truth = vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]];
+        let close = vec![vec![0, 1, 2], vec![3, 4, 5, 6, 7]];
+        let far = vec![vec![0, 7, 3, 5], vec![1, 2, 4, 6]];
+        let v_close = overlapping_nmi(&truth, &close, 8);
+        let v_far = overlapping_nmi(&truth, &far, 8);
+        assert!(v_close > v_far, "close {v_close} vs far {v_far}");
+    }
+
+    #[test]
+    fn overlapping_nmi_is_symmetric() {
+        let x = vec![vec![0, 1, 2], vec![2, 3], vec![4, 5]];
+        let y = vec![vec![0, 1], vec![2, 3, 4], vec![5]];
+        let a = overlapping_nmi(&x, &y, 6);
+        let b = overlapping_nmi(&y, &x, 6);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_nmi_handles_overlap_vertices() {
+        // Vertex 2 in both communities, in truth and in the estimate.
+        let truth = vec![vec![0, 1, 2], vec![2, 3, 4]];
+        let est = vec![vec![0, 1, 2], vec![2, 3, 4], vec![0, 4]];
+        let v = overlapping_nmi(&truth, &est, 5);
+        assert!(v > 0.5, "{v}");
+    }
+
+    #[test]
+    fn overlapping_nmi_empty_covers() {
+        assert_eq!(overlapping_nmi(&[], &[], 10), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of cover range")]
+    fn overlapping_nmi_rejects_out_of_range() {
+        overlapping_nmi(&[vec![10]], &[vec![0]], 5);
+    }
+
+    #[test]
+    fn empty_labellings() {
+        assert_eq!(rand_index(&[], &[]), 1.0);
+        assert_eq!(normalized_mutual_information(&[], &[]), 1.0);
+    }
+}

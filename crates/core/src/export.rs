@@ -1,0 +1,214 @@
+//! Dendrogram export formats.
+//!
+//! Research users want to *look* at dendrograms: this module renders a
+//! [`Dendrogram`] as Newick (readable by standard tree viewers) and as a
+//! flat merge-list CSV.
+
+use std::fmt::Write as _;
+
+use crate::dendrogram::Dendrogram;
+
+/// Renders the dendrogram in Newick format.
+///
+/// Leaves are the edge indices (`e0, e1, …`); each internal node's branch
+/// length encodes the merge level. Clusters that never merge appear as
+/// children of an artificial root with branch length 0.
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_core::{Dendrogram, MergeRecord, export::to_newick};
+///
+/// let d = Dendrogram::from_merges(3, vec![
+///     MergeRecord { level: 1, left: 0, right: 1, into: 0 },
+/// ]);
+/// let newick = to_newick(&d);
+/// assert!(newick.starts_with('(') && newick.ends_with(';'));
+/// assert!(newick.contains("e2"));
+/// ```
+pub fn to_newick(d: &Dendrogram) -> String {
+    let n = d.edge_count();
+    if n == 0 {
+        return ";".to_owned();
+    }
+    // Build the subtree expression for each live cluster incrementally.
+    let mut expr: Vec<Option<String>> = (0..n).map(|i| Some(format!("e{i}"))).collect();
+    for m in d.merges() {
+        let left = expr[m.left as usize].take().expect("left cluster is live");
+        let right = expr[m.right as usize].take().expect("right cluster is live");
+        expr[m.into as usize] = Some(format!("({left},{right}):{}", m.level));
+    }
+    let mut roots: Vec<String> = expr.into_iter().flatten().collect();
+    if roots.len() == 1 {
+        format!("{};", roots.pop().expect("one root"))
+    } else {
+        format!("({});", roots.join(","))
+    }
+}
+
+/// Renders the dendrogram as an ASCII tree (one line per node, children
+/// indented under their merge), suitable for terminal inspection of
+/// small dendrograms.
+///
+/// Each internal node is printed as `[level N]`; leaves as `eK`.
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_core::{Dendrogram, MergeRecord, export::to_ascii_tree};
+///
+/// let d = Dendrogram::from_merges(3, vec![
+///     MergeRecord { level: 1, left: 1, right: 2, into: 1 },
+///     MergeRecord { level: 2, left: 0, right: 1, into: 0 },
+/// ]);
+/// let tree = to_ascii_tree(&d);
+/// assert!(tree.contains("[level 2]"));
+/// assert!(tree.contains("e0"));
+/// ```
+pub fn to_ascii_tree(d: &Dendrogram) -> String {
+    #[derive(Clone)]
+    enum Node {
+        Leaf(usize),
+        Merge { level: u32, children: Vec<Node> },
+    }
+
+    fn render(node: &Node, prefix: &str, last: bool, out: &mut String) {
+        let connector = if prefix.is_empty() {
+            ""
+        } else if last {
+            "`-- "
+        } else {
+            "|-- "
+        };
+        match node {
+            Node::Leaf(i) => {
+                let _ = writeln!(out, "{prefix}{connector}e{i}");
+            }
+            Node::Merge { level, children } => {
+                let _ = writeln!(out, "{prefix}{connector}[level {level}]");
+                let child_prefix = if prefix.is_empty() {
+                    String::new()
+                } else if last {
+                    format!("{prefix}    ")
+                } else {
+                    format!("{prefix}|   ")
+                };
+                let deeper = if prefix.is_empty() { "    ".to_string() } else { child_prefix };
+                for (i, c) in children.iter().enumerate() {
+                    render(c, &deeper, i + 1 == children.len(), out);
+                }
+            }
+        }
+    }
+
+    let n = d.edge_count();
+    let mut nodes: Vec<Option<Node>> = (0..n).map(|i| Some(Node::Leaf(i))).collect();
+    for m in d.merges() {
+        let left = nodes[m.left as usize].take().expect("left cluster is live");
+        let right = nodes[m.right as usize].take().expect("right cluster is live");
+        nodes[m.into as usize] =
+            Some(Node::Merge { level: m.level, children: vec![left, right] });
+    }
+    let mut out = String::new();
+    let roots: Vec<Node> = nodes.into_iter().flatten().collect();
+    let many = roots.len() > 1;
+    for (i, r) in roots.iter().enumerate() {
+        if many {
+            let _ = writeln!(out, "root {i}:");
+        }
+        render(r, "", i + 1 == roots.len(), &mut out);
+    }
+    out
+}
+
+/// Renders the merge list as CSV (`level,left,right,into`).
+pub fn to_merge_csv(d: &Dendrogram) -> String {
+    let mut out = String::from("level,left,right,into\n");
+    for m in d.merges() {
+        let _ = writeln!(out, "{},{},{},{}", m.level, m.left, m.right, m.into);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dendrogram::MergeRecord;
+
+    fn rec(level: u32, left: u32, right: u32) -> MergeRecord {
+        MergeRecord { level, left, right, into: left.min(right) }
+    }
+
+    #[test]
+    fn newick_of_full_merge() {
+        let d = Dendrogram::from_merges(3, vec![rec(1, 1, 2), rec(2, 0, 1)]);
+        assert_eq!(to_newick(&d), "(e0,(e1,e2):1):2;");
+    }
+
+    #[test]
+    fn newick_with_multiple_roots() {
+        let d = Dendrogram::from_merges(4, vec![rec(1, 0, 1)]);
+        let s = to_newick(&d);
+        assert_eq!(s, "((e0,e1):1,e2,e3);");
+    }
+
+    #[test]
+    fn newick_of_empty() {
+        assert_eq!(to_newick(&Dendrogram::from_merges(0, vec![])), ";");
+        assert_eq!(to_newick(&Dendrogram::from_merges(1, vec![])), "e0;");
+    }
+
+    #[test]
+    fn ascii_tree_structure() {
+        let d = Dendrogram::from_merges(3, vec![rec(1, 1, 2), rec(2, 0, 1)]);
+        let tree = to_ascii_tree(&d);
+        assert!(tree.contains("[level 2]"));
+        assert!(tree.contains("[level 1]"));
+        for leaf in ["e0", "e1", "e2"] {
+            assert_eq!(tree.matches(leaf).count(), 1, "{leaf} in:\n{tree}");
+        }
+    }
+
+    #[test]
+    fn ascii_tree_multiple_roots() {
+        let d = Dendrogram::from_merges(4, vec![rec(1, 0, 1)]);
+        let tree = to_ascii_tree(&d);
+        assert!(tree.contains("root 0:"));
+        assert!(tree.contains("root 2:"));
+    }
+
+    #[test]
+    fn ascii_tree_empty() {
+        assert_eq!(to_ascii_tree(&Dendrogram::from_merges(0, vec![])), "");
+    }
+
+    #[test]
+    fn merge_csv_shape() {
+        let d = Dendrogram::from_merges(3, vec![rec(1, 1, 2), rec(2, 0, 1)]);
+        let csv = to_merge_csv(&d);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "level,left,right,into");
+        assert_eq!(lines[1], "1,1,2,1");
+    }
+
+    #[test]
+    fn newick_balanced_parentheses() {
+        use linkclust_graph::generate::{gnm, WeightMode};
+        let g = gnm(20, 60, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 3);
+        let sims = crate::init::compute_similarities(&g).into_sorted();
+        let out = crate::sweep::sweep(&g, &sims, crate::sweep::SweepConfig::default());
+        let s = to_newick(out.dendrogram());
+        let open = s.chars().filter(|&c| c == '(').count();
+        let close = s.chars().filter(|&c| c == ')').count();
+        assert_eq!(open, close);
+        assert!(s.ends_with(';'));
+        // Every edge appears exactly once.
+        for i in 0..g.edge_count() {
+            assert_eq!(s.matches(&format!("e{i},")).count()
+                + s.matches(&format!("e{i})")).count()
+                + s.matches(&format!("e{i}:")).count()
+                + usize::from(s.ends_with(&format!("e{i};"))), 1, "e{i} in {s}");
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! The sigmoid model of cluster-count decay (§V, Fig. 2(2)).
+//!
+//! Plotting the (normalized) number of clusters against the (normalized)
+//! logarithm of the level id produces an S-shaped curve — slow decay at
+//! the head, sharp in the middle, slow at the tail — well modelled by
+//!
+//! ```text
+//! y = a / (1 + e^(−k·(u − b))) + c        u = normalized log level id
+//! ```
+//!
+//! The paper reports that `a = −1, b = 0.48, c = 1, k = 10` agrees with
+//! the measured curves for α ∈ {0.0005, 0.001}. [`fit`](SigmoidModel::fit)
+//! recovers the parameters from data by grid search over `(b, k)` with a
+//! closed-form linear solve for `(a, c)`.
+
+/// The four-parameter sigmoid `y = a / (1 + e^(−k(u−b))) + c`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SigmoidModel {
+    /// Amplitude (negative for decaying curves).
+    pub a: f64,
+    /// Midpoint on the (normalized log) x-axis.
+    pub b: f64,
+    /// Vertical offset.
+    pub c: f64,
+    /// Steepness.
+    pub k: f64,
+}
+
+impl SigmoidModel {
+    /// The parameters the paper quotes for the Twitter curves
+    /// (α ∈ {0.0005, 0.001}).
+    pub const PAPER: SigmoidModel = SigmoidModel { a: -1.0, b: 0.48, c: 1.0, k: 10.0 };
+
+    /// Evaluates the model at a point `u` that is already in (normalized)
+    /// log space.
+    pub fn eval(&self, u: f64) -> f64 {
+        self.a / (1.0 + (-self.k * (u - self.b)).exp()) + self.c
+    }
+
+    /// Evaluates the model at a raw level id `x > 0` (applies `ln`
+    /// internally).
+    pub fn eval_level(&self, x: f64) -> f64 {
+        self.eval(x.ln())
+    }
+
+    /// Sum of squared residuals against `points` (`(u, y)` pairs in
+    /// normalized log space).
+    pub fn sse(&self, points: &[(f64, f64)]) -> f64 {
+        points.iter().map(|&(u, y)| (self.eval(u) - y).powi(2)).sum()
+    }
+
+    /// Coefficient of determination R² against `points`.
+    pub fn r_squared(&self, points: &[(f64, f64)]) -> f64 {
+        if points.is_empty() {
+            return 1.0;
+        }
+        let mean = points.iter().map(|&(_, y)| y).sum::<f64>() / points.len() as f64;
+        let ss_tot: f64 = points.iter().map(|&(_, y)| (y - mean).powi(2)).sum();
+        if ss_tot == 0.0 {
+            return 1.0;
+        }
+        1.0 - self.sse(points) / ss_tot
+    }
+
+    /// Fits the model to `points` (`(u, y)` pairs, both axes typically
+    /// normalized to `[0, 1]`): two-stage grid search over `(b, k)` with
+    /// a closed-form least-squares solve for `(a, c)` at each grid node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 4 points are supplied.
+    pub fn fit(points: &[(f64, f64)]) -> SigmoidModel {
+        assert!(points.len() >= 4, "need at least 4 points to fit 4 parameters");
+        let (umin, umax) = points
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(u, _)| (lo.min(u), hi.max(u)));
+        let span = (umax - umin).max(1e-9);
+
+        let mut best = SigmoidModel { a: 0.0, b: 0.0, c: 0.0, k: 1.0 };
+        let mut best_sse = f64::INFINITY;
+        // Coarse pass, then a refining pass around the winner.
+        let mut b_lo = umin;
+        let mut b_hi = umax;
+        let mut k_lo = 0.5;
+        let mut k_hi = 60.0;
+        for _ in 0..3 {
+            let (mut nb_lo, mut nb_hi, mut nk_lo, mut nk_hi) = (b_lo, b_hi, k_lo, k_hi);
+            for bi in 0..=40 {
+                let b = b_lo + (b_hi - b_lo) * bi as f64 / 40.0;
+                for ki in 0..=40 {
+                    let k = k_lo + (k_hi - k_lo) * ki as f64 / 40.0;
+                    let trial = solve_linear(points, b, k);
+                    let sse = trial.sse(points);
+                    if sse < best_sse {
+                        best_sse = sse;
+                        best = trial;
+                        let db = (b_hi - b_lo) / 10.0;
+                        let dk = (k_hi - k_lo) / 10.0;
+                        nb_lo = b - db;
+                        nb_hi = b + db;
+                        nk_lo = (k - dk).max(0.01);
+                        nk_hi = k + dk;
+                    }
+                }
+            }
+            b_lo = nb_lo.max(umin - span);
+            b_hi = nb_hi.min(umax + span);
+            k_lo = nk_lo;
+            k_hi = nk_hi;
+        }
+        best
+    }
+}
+
+impl std::fmt::Display for SigmoidModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "y = {:.4} / (1 + exp(-{:.3}·(u - {:.4}))) + {:.4}",
+            self.a, self.k, self.b, self.c
+        )
+    }
+}
+
+/// For fixed `(b, k)`, the optimal `(a, c)` solve the 2×2 normal
+/// equations of the linear model `y = a·g(u) + c`.
+fn solve_linear(points: &[(f64, f64)], b: f64, k: f64) -> SigmoidModel {
+    let n = points.len() as f64;
+    let (mut sg, mut sgg, mut sy, mut sgy) = (0.0, 0.0, 0.0, 0.0);
+    for &(u, y) in points {
+        let g = 1.0 / (1.0 + (-k * (u - b)).exp());
+        sg += g;
+        sgg += g * g;
+        sy += y;
+        sgy += g * y;
+    }
+    let det = n * sgg - sg * sg;
+    let (a, c) = if det.abs() < 1e-12 {
+        (0.0, sy / n)
+    } else {
+        ((n * sgy - sg * sy) / det, (sy * sgg - sg * sgy) / det)
+    };
+    SigmoidModel { a, b, c, k }
+}
+
+/// Normalizes a measured curve for fitting: level ids are mapped to
+/// `ln(level)` and then both axes are min-max scaled to `[0, 1]`.
+///
+/// Input points are `(level_id, cluster_count)` with `level_id ≥ 1`.
+///
+/// # Panics
+///
+/// Panics if any level id is < 1 or the curve has fewer than 2 points.
+pub fn normalize_curve(points: &[(u32, usize)]) -> Vec<(f64, f64)> {
+    assert!(points.len() >= 2, "need at least 2 points to normalize");
+    let logs: Vec<f64> = points
+        .iter()
+        .map(|&(l, _)| {
+            assert!(l >= 1, "level ids start at 1");
+            (l as f64).ln()
+        })
+        .collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, c)| c as f64).collect();
+    let (xmin, xmax) = minmax(&logs);
+    let (ymin, ymax) = minmax(&ys);
+    let xs = (xmax - xmin).max(1e-12);
+    let yspan = (ymax - ymin).max(1e-12);
+    logs.iter().zip(&ys).map(|(&x, &y)| ((x - xmin) / xs, (y - ymin) / yspan)).collect()
+}
+
+fn minmax(v: &[f64]) -> (f64, f64) {
+    v.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| (lo.min(x), hi.max(x)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_model_shape() {
+        let m = SigmoidModel::PAPER;
+        // Decays from ~1 at u=0 to ~0 at u=1, midpoint at b.
+        assert!(m.eval(0.0) > 0.95);
+        assert!(m.eval(1.0) < 0.05);
+        let mid = m.eval(0.48);
+        assert!((mid - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eval_level_applies_log() {
+        let m = SigmoidModel { a: -1.0, b: 2.0, c: 1.0, k: 5.0 };
+        assert!((m.eval_level(std::f64::consts::E.powf(2.0)) - m.eval(2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_recovers_known_parameters() {
+        let truth = SigmoidModel { a: -0.9, b: 0.45, c: 0.95, k: 12.0 };
+        let points: Vec<(f64, f64)> =
+            (0..60).map(|i| i as f64 / 59.0).map(|u| (u, truth.eval(u))).collect();
+        let fitted = SigmoidModel::fit(&points);
+        assert!(fitted.sse(&points) < 1e-4, "sse {}", fitted.sse(&points));
+        assert!(fitted.r_squared(&points) > 0.999);
+        assert!((fitted.b - truth.b).abs() < 0.05, "b {}", fitted.b);
+    }
+
+    #[test]
+    fn fit_is_robust_to_noise() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let truth = SigmoidModel::PAPER;
+        let mut rng = SmallRng::seed_from_u64(5);
+        let points: Vec<(f64, f64)> = (0..80)
+            .map(|i| i as f64 / 79.0)
+            .map(|u| (u, truth.eval(u) + rng.gen_range(-0.02..0.02)))
+            .collect();
+        let fitted = SigmoidModel::fit(&points);
+        assert!(fitted.r_squared(&points) > 0.98, "r2 {}", fitted.r_squared(&points));
+    }
+
+    #[test]
+    fn normalize_curve_scales_both_axes() {
+        let pts = vec![(1u32, 1000usize), (10, 800), (100, 100), (1000, 50)];
+        let norm = normalize_curve(&pts);
+        assert!((norm[0].0 - 0.0).abs() < 1e-12);
+        assert!((norm[3].0 - 1.0).abs() < 1e-12);
+        assert!((norm[0].1 - 1.0).abs() < 1e-12);
+        assert!((norm[3].1 - 0.0).abs() < 1e-12);
+        // log spacing: 10 -> 1/3 of the way from 1 to 1000
+        assert!((norm[1].0 - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn fit_rejects_tiny_input() {
+        SigmoidModel::fit(&[(0.0, 1.0), (1.0, 0.0)]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = SigmoidModel::PAPER.to_string();
+        assert!(s.contains("exp"));
+    }
+}

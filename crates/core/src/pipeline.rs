@@ -1,0 +1,156 @@
+//! High-level facade: one call from graph to dendrogram.
+
+use linkclust_graph::WeightedGraph;
+
+use crate::coarse::{coarse_sweep, CoarseConfig, CoarseResult};
+use crate::dendrogram::Dendrogram;
+use crate::init::compute_similarities;
+use crate::similarity::PairSimilarities;
+use crate::sweep::{sweep, EdgeOrder, SweepConfig, SweepOutput};
+
+/// End-to-end link clustering: Phase I (similarities) + Phase II (sweep).
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_graph::generate::{gnm, WeightMode};
+/// use linkclust_core::LinkClustering;
+///
+/// let g = gnm(30, 90, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 1);
+/// let result = LinkClustering::new().run(&g);
+/// let cut = result.dendrogram().best_density_cut(&g).unwrap();
+/// assert!(cut.cluster_count >= 1);
+/// # assert!(cut.density >= 0.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct LinkClustering {
+    sweep_config: SweepConfig,
+}
+
+impl LinkClustering {
+    /// Creates the default pipeline (insertion edge order, no threshold).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the edge-to-slot order of the sweep.
+    pub fn edge_order(mut self, order: EdgeOrder) -> Self {
+        self.sweep_config.edge_order = order;
+        self
+    }
+
+    /// Stops sweeping below this similarity (cuts the dendrogram early).
+    pub fn min_similarity(mut self, theta: f64) -> Self {
+        self.sweep_config.min_similarity = Some(theta);
+        self
+    }
+
+    /// Runs both phases on `g`.
+    pub fn run(&self, g: &WeightedGraph) -> ClusteringResult {
+        let sims = compute_similarities(g).into_sorted();
+        let output = sweep(g, &sims, self.sweep_config);
+        ClusteringResult { similarities: sims, output }
+    }
+
+    /// Runs Phase I and the **coarse-grained** Phase II (§V).
+    pub fn run_coarse(&self, g: &WeightedGraph, config: &CoarseConfig) -> CoarseResult {
+        let sims = compute_similarities(g).into_sorted();
+        let mut cfg = *config;
+        cfg.edge_order = self.sweep_config.edge_order;
+        coarse_sweep(g, &sims, &cfg)
+    }
+}
+
+/// The outcome of [`LinkClustering::run`]: the sorted similarity list and
+/// the sweep output.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ClusteringResult {
+    similarities: PairSimilarities,
+    output: SweepOutput,
+}
+
+impl ClusteringResult {
+    /// The sorted pair-similarity list `L` (exposed so callers can reuse
+    /// the expensive Phase-I output — C-INTERMEDIATE).
+    pub fn similarities(&self) -> &PairSimilarities {
+        &self.similarities
+    }
+
+    /// The sweep output (dendrogram + slot permutation).
+    pub fn output(&self) -> &SweepOutput {
+        &self.output
+    }
+
+    /// The dendrogram.
+    pub fn dendrogram(&self) -> &Dendrogram {
+        self.output.dendrogram()
+    }
+
+    /// Consumes the result, returning the dendrogram.
+    pub fn into_dendrogram(self) -> Dendrogram {
+        self.output.into_dendrogram()
+    }
+
+    /// Final cluster label per edge id.
+    pub fn edge_assignments(&self) -> Vec<u32> {
+        self.output.edge_assignments()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkclust_graph::generate::{gnm, WeightMode};
+    use linkclust_graph::GraphBuilder;
+
+    #[test]
+    fn facade_matches_manual_composition() {
+        let g = gnm(20, 60, WeightMode::Uniform { lo: 0.3, hi: 1.8 }, 2);
+        let manual = {
+            let sims = compute_similarities(&g).into_sorted();
+            sweep(&g, &sims, SweepConfig::default()).edge_assignments()
+        };
+        let facade = LinkClustering::new().run(&g).edge_assignments();
+        assert_eq!(manual, facade);
+    }
+
+    #[test]
+    fn threshold_propagates() {
+        let g = GraphBuilder::from_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (0, 2, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (3, 5, 1.0),
+                (2, 3, 0.1),
+            ],
+        )
+        .unwrap()
+        .build();
+        let high = LinkClustering::new().min_similarity(0.9).run(&g);
+        let low = LinkClustering::new().run(&g);
+        assert!(high.dendrogram().merge_count() < low.dendrogram().merge_count());
+    }
+
+    #[test]
+    fn coarse_facade_runs() {
+        let g = gnm(30, 120, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 5);
+        let cfg = CoarseConfig { phi: 5, initial_chunk: 8, ..Default::default() };
+        let r = LinkClustering::new().run_coarse(&g, &cfg);
+        assert!(r.dendrogram().merge_count() > 0);
+    }
+
+    #[test]
+    fn similarities_are_exposed() {
+        let g = gnm(15, 40, WeightMode::Unit, 0);
+        let r = LinkClustering::new().run(&g);
+        assert!(r.similarities().is_sorted());
+        assert_eq!(
+            r.similarities().len() as u64,
+            linkclust_graph::stats::count_common_neighbor_pairs(&g)
+        );
+    }
+}

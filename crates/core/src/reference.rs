@@ -1,0 +1,228 @@
+//! Brute-force reference implementations used to validate the optimized
+//! algorithms.
+//!
+//! Everything here is deliberately simple and quadratic (or worse): the
+//! a-vectors of Eq. 2 are materialized densely and similarities computed
+//! by explicit inner products; single-linkage clustering is done by
+//! repeated full scans. Property tests assert the optimized code agrees
+//! with these on random graphs.
+
+use linkclust_graph::{EdgeId, VertexId, WeightedGraph};
+
+/// Materializes the dense vector `aᵢ` of Eq. 2 for vertex `v`:
+/// `Ã_ij = w_ij` for neighbors `j`, `Ã_ii` = mean incident weight, and 0
+/// elsewhere.
+pub fn a_vector(g: &WeightedGraph, v: VertexId) -> Vec<f64> {
+    let mut a = vec![0.0; g.vertex_count()];
+    let nbrs = g.neighbors(v);
+    let mut sum = 0.0;
+    for n in nbrs {
+        a[n.vertex.index()] = n.weight;
+        sum += n.weight;
+    }
+    if !nbrs.is_empty() {
+        a[v.index()] = sum / nbrs.len() as f64;
+    }
+    a
+}
+
+/// Computes the Tanimoto similarity of Eq. 1 directly from dense
+/// a-vectors: `aᵢ·aⱼ / (|aᵢ|² + |aⱼ|² − aᵢ·aⱼ)`.
+pub fn tanimoto_similarity(g: &WeightedGraph, i: VertexId, j: VertexId) -> f64 {
+    let (a, b) = (a_vector(g, i), a_vector(g, j));
+    let dot: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum();
+    let nb: f64 = b.iter().map(|x| x * x).sum();
+    dot / (na + nb - dot)
+}
+
+/// The Jaccard similarity of the *inclusive* neighborhoods of `i` and
+/// `j`: `|n⁺(i) ∩ n⁺(j)| / |n⁺(i) ∪ n⁺(j)|` with `n⁺(v) = N(v) ∪ {v}` —
+/// the original unweighted link-clustering similarity of Ahn, Bagrow &
+/// Lehmann (Nature 2010).
+///
+/// On unit-weight graphs the paper's weighted Tanimoto similarity
+/// (Eq. 1–2) reduces to exactly this quantity: the a-vectors become the
+/// 0/1 indicators of the inclusive neighborhoods. The test
+/// `tanimoto_reduces_to_jaccard_on_unit_weights` pins that equivalence.
+pub fn jaccard_similarity(g: &WeightedGraph, i: VertexId, j: VertexId) -> f64 {
+    let common = linkclust_graph::stats::common_neighbors(g, i, j)
+        .into_iter()
+        .filter(|&x| x != i && x != j)
+        .count();
+    let adjacent = usize::from(g.has_edge(i, j));
+    let inter = common + 2 * adjacent;
+    let union = g.degree(i) + 1 + g.degree(j) + 1 - inter;
+    inter as f64 / union as f64
+}
+
+/// The similarity between two edges: the Tanimoto similarity of their
+/// non-shared endpoints if they are incident, and 0 otherwise (the
+/// paper defines non-incident edge similarity as 0).
+pub fn edge_similarity(g: &WeightedGraph, e1: EdgeId, e2: EdgeId) -> f64 {
+    if e1 == e2 {
+        return 1.0;
+    }
+    let (a, b) = (g.edge(e1), g.edge(e2));
+    let shared = if b.contains(a.source) {
+        Some(a.source)
+    } else if b.contains(a.target) {
+        Some(a.target)
+    } else {
+        None
+    };
+    match shared {
+        Some(k) => tanimoto_similarity(g, a.other(k), b.other(k)),
+        None => 0.0,
+    }
+}
+
+/// Brute-force single-linkage clustering of the graph's edges at
+/// similarity threshold `theta`: edges `e₁, e₂` end up in the same
+/// cluster iff they are connected by a chain of edge pairs each with
+/// similarity `≥ theta`.
+///
+/// Returns one cluster id per edge (ids are arbitrary but consistent).
+/// Cost is O(|E|² · |V|) — use only on small graphs.
+pub fn single_linkage_at_threshold(g: &WeightedGraph, theta: f64) -> Vec<usize> {
+    let m = g.edge_count();
+    let mut labels: Vec<usize> = (0..m).collect();
+    // Repeated relabeling until fixpoint (tiny graphs only).
+    loop {
+        let mut changed = false;
+        for i in 0..m {
+            for j in i + 1..m {
+                if labels[i] != labels[j]
+                    && edge_similarity(g, EdgeId::new(i), EdgeId::new(j)) >= theta
+                {
+                    let target = labels[i].min(labels[j]);
+                    let from = labels[i].max(labels[j]);
+                    for l in labels.iter_mut() {
+                        if *l == from {
+                            *l = target;
+                        }
+                    }
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return labels;
+        }
+    }
+}
+
+/// Normalizes a cluster labelling so two labellings can be compared for
+/// partition equality: each cluster is renamed to the smallest member
+/// index it contains.
+pub fn canonical_labels(labels: &[usize]) -> Vec<usize> {
+    let mut first_of = std::collections::HashMap::new();
+    for (i, &l) in labels.iter().enumerate() {
+        first_of.entry(l).or_insert(i);
+    }
+    labels.iter().map(|l| first_of[l]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::compute_similarities;
+    use linkclust_graph::generate::{gnm, WeightMode};
+    use linkclust_graph::GraphBuilder;
+
+    #[test]
+    fn a_vector_matches_eq2() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1, 2.0), (0, 2, 4.0)]).unwrap().build();
+        let a0 = a_vector(&g, VertexId::new(0));
+        assert_eq!(a0, vec![3.0, 2.0, 4.0]); // diagonal = mean(2,4) = 3
+        let a1 = a_vector(&g, VertexId::new(1));
+        assert_eq!(a1, vec![2.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn optimized_similarities_match_brute_force() {
+        for seed in 0..6 {
+            let g = gnm(20, 50, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, seed);
+            let sims = compute_similarities(&g);
+            for e in sims.entries() {
+                let expected = tanimoto_similarity(&g, e.pair.first(), e.pair.second());
+                assert!(
+                    (e.score - expected).abs() < 1e-9,
+                    "pair {} score {} expected {expected} (seed {seed})",
+                    e.pair,
+                    e.score
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tanimoto_reduces_to_jaccard_on_unit_weights() {
+        // Ahn et al.'s unweighted similarity is the unit-weight special
+        // case of the paper's Eq. 1.
+        for seed in 0..5 {
+            let g = gnm(18, 45, WeightMode::Unit, seed);
+            let sims = compute_similarities(&g);
+            for e in sims.entries() {
+                let jac = jaccard_similarity(&g, e.pair.first(), e.pair.second());
+                assert!(
+                    (e.score - jac).abs() < 1e-12,
+                    "pair {}: tanimoto {} vs jaccard {jac} (seed {seed})",
+                    e.pair,
+                    e.score
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_of_identical_neighborhoods_is_one() {
+        // In K3 every inclusive neighborhood is the whole vertex set.
+        let g = GraphBuilder::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)])
+            .unwrap()
+            .build();
+        assert!((jaccard_similarity(&g, VertexId::new(0), VertexId::new(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_similarity_of_non_incident_is_zero() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap().build();
+        assert_eq!(edge_similarity(&g, EdgeId::new(0), EdgeId::new(1)), 0.0);
+        assert_eq!(edge_similarity(&g, EdgeId::new(0), EdgeId::new(0)), 1.0);
+    }
+
+    #[test]
+    fn threshold_clustering_splits_two_triangles() {
+        // Two unit-weight triangles joined by a weak bridge: at a high
+        // threshold the bridge similarity separates the triangles.
+        let g = GraphBuilder::from_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (0, 2, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (3, 5, 1.0),
+                (2, 3, 0.1),
+            ],
+        )
+        .unwrap()
+        .build();
+        let labels = canonical_labels(&single_linkage_at_threshold(&g, 0.9));
+        // Triangle edges 0,1,2 together; 3,4,5 together; bridge 6 alone.
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_eq!(labels[4], labels[5]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[6], labels[0]);
+        assert_ne!(labels[6], labels[3]);
+    }
+
+    #[test]
+    fn canonical_labels_are_comparable() {
+        assert_eq!(canonical_labels(&[7, 7, 3, 3, 7]), vec![0, 0, 2, 2, 0]);
+        assert_eq!(canonical_labels(&[1, 2, 3]), vec![0, 1, 2]);
+    }
+}

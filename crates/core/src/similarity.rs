@@ -1,0 +1,255 @@
+//! Similarity entries produced by the initialization phase.
+
+use linkclust_graph::VertexId;
+
+/// A canonical unordered vertex pair (`first < second`).
+///
+/// The keys of map `M` in Algorithm 1: a pair of vertices at distance 2
+/// (sharing at least one common neighbor) or adjacent with a common
+/// neighbor.
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_core::VertexPair;
+/// use linkclust_graph::VertexId;
+///
+/// let p = VertexPair::new(VertexId::new(5), VertexId::new(2));
+/// assert_eq!(p.first().index(), 2);
+/// assert_eq!(p.second().index(), 5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VertexPair {
+    first: VertexId,
+    second: VertexId,
+}
+
+impl VertexPair {
+    /// Creates a canonical pair from two distinct vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    #[inline]
+    pub fn new(a: VertexId, b: VertexId) -> Self {
+        assert_ne!(a, b, "a vertex pair requires two distinct vertices");
+        if a < b {
+            VertexPair { first: a, second: b }
+        } else {
+            VertexPair { first: b, second: a }
+        }
+    }
+
+    /// The smaller vertex.
+    #[inline]
+    pub fn first(self) -> VertexId {
+        self.first
+    }
+
+    /// The larger vertex.
+    #[inline]
+    pub fn second(self) -> VertexId {
+        self.second
+    }
+}
+
+impl std::fmt::Display for VertexPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.first, self.second)
+    }
+}
+
+/// One entry of the sorted list `L`: a vertex pair, the Tanimoto
+/// similarity shared by every pair of incident edges it induces, and the
+/// list of common neighbors.
+///
+/// For each common neighbor `vₖ`, the edge pair `((vᵢ,vₖ), (vⱼ,vₖ))` has
+/// similarity [`score`](SimilarityEntry::score) — the paper's key
+/// observation is that this value is independent of `vₖ`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SimilarityEntry {
+    /// The vertex pair `(vᵢ, vⱼ)`.
+    pub pair: VertexPair,
+    /// The Tanimoto similarity `S(e_{ik}, e_{jk})` of Eq. 1.
+    pub score: f64,
+    /// The common neighbors `vₖ` shared by both vertices, in increasing
+    /// id order.
+    pub common_neighbors: Vec<VertexId>,
+}
+
+impl SimilarityEntry {
+    /// The number of incident edge pairs this entry stands for.
+    pub fn pair_count(&self) -> usize {
+        self.common_neighbors.len()
+    }
+}
+
+/// The output of the initialization phase: all vertex pairs with at least
+/// one common neighbor, each with its similarity score — the materialized
+/// map `M` of Algorithm 1.
+///
+/// Obtain one from [`init::compute_similarities`](crate::init::compute_similarities),
+/// then sort it into the list `L` with [`into_sorted`](Self::into_sorted)
+/// before sweeping.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct PairSimilarities {
+    entries: Vec<SimilarityEntry>,
+    sorted: bool,
+}
+
+impl PairSimilarities {
+    pub(crate) fn from_entries(entries: Vec<SimilarityEntry>) -> Self {
+        PairSimilarities { entries, sorted: false }
+    }
+
+    /// Wraps entries that are **already sorted** by non-increasing score
+    /// (ties by vertex pair) into a sorted list `L` without re-sorting —
+    /// the constructor used by external parallel sorters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entries are not sorted.
+    pub fn from_sorted(entries: Vec<SimilarityEntry>) -> Self {
+        assert!(
+            entries.windows(2).all(|w| {
+                w[0].score > w[1].score
+                    || (w[0].score == w[1].score && w[0].pair <= w[1].pair)
+            }),
+            "entries must be sorted by non-increasing score"
+        );
+        PairSimilarities { entries, sorted: true }
+    }
+
+    /// The entries, in unspecified order unless [`is_sorted`](Self::is_sorted).
+    pub fn entries(&self) -> &[SimilarityEntry] {
+        &self.entries
+    }
+
+    /// Number of entries (the paper's K₁).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of incident edge pairs across all entries (the
+    /// paper's K₂).
+    pub fn incident_pair_count(&self) -> u64 {
+        self.entries.iter().map(|e| e.pair_count() as u64).sum()
+    }
+
+    /// Returns `true` if the entries are sorted by non-increasing score.
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
+    }
+
+    /// Sorts the entries into the list `L` of Algorithm 2: non-increasing
+    /// score, ties broken by vertex pair for determinism.
+    pub fn into_sorted(mut self) -> Self {
+        if !self.sorted {
+            self.entries.sort_unstable_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .expect("similarity scores are never NaN")
+                    .then_with(|| a.pair.cmp(&b.pair))
+            });
+            self.sorted = true;
+        }
+        self
+    }
+
+    /// Looks up the entry for a vertex pair (linear scan; intended for
+    /// tests and small graphs).
+    pub fn find(&self, pair: VertexPair) -> Option<&SimilarityEntry> {
+        self.entries.iter().find(|e| e.pair == pair)
+    }
+}
+
+impl IntoIterator for PairSimilarities {
+    type Item = SimilarityEntry;
+    type IntoIter = std::vec::IntoIter<SimilarityEntry>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(a: usize, b: usize, score: f64, commons: &[usize]) -> SimilarityEntry {
+        SimilarityEntry {
+            pair: VertexPair::new(VertexId::new(a), VertexId::new(b)),
+            score,
+            common_neighbors: commons.iter().map(|&i| VertexId::new(i)).collect(),
+        }
+    }
+
+    #[test]
+    fn pair_canonicalizes() {
+        let p = VertexPair::new(VertexId::new(9), VertexId::new(3));
+        assert_eq!(p.first().index(), 3);
+        assert_eq!(p.second().index(), 9);
+        assert_eq!(p, VertexPair::new(VertexId::new(3), VertexId::new(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn pair_rejects_equal_vertices() {
+        VertexPair::new(VertexId::new(1), VertexId::new(1));
+    }
+
+    #[test]
+    fn sorting_is_non_increasing_and_deterministic() {
+        let sims = PairSimilarities::from_entries(vec![
+            entry(0, 1, 0.5, &[2]),
+            entry(2, 3, 0.9, &[4]),
+            entry(0, 4, 0.5, &[1, 2]),
+        ]);
+        let sorted = sims.into_sorted();
+        assert!(sorted.is_sorted());
+        let scores: Vec<f64> = sorted.entries().iter().map(|e| e.score).collect();
+        assert_eq!(scores, vec![0.9, 0.5, 0.5]);
+        // tie broken by pair: (0,1) before (0,4)
+        assert_eq!(sorted.entries()[1].pair, VertexPair::new(VertexId::new(0), VertexId::new(1)));
+    }
+
+    #[test]
+    fn pair_counts() {
+        let sims = PairSimilarities::from_entries(vec![
+            entry(0, 1, 0.5, &[2]),
+            entry(0, 4, 0.5, &[1, 2, 3]),
+        ]);
+        assert_eq!(sims.len(), 2);
+        assert_eq!(sims.incident_pair_count(), 4);
+        assert!(!sims.is_empty());
+    }
+
+    #[test]
+    fn find_locates_pair() {
+        let sims = PairSimilarities::from_entries(vec![entry(0, 1, 0.5, &[2])]);
+        let p = VertexPair::new(VertexId::new(1), VertexId::new(0));
+        assert!(sims.find(p).is_some());
+        assert!(sims.find(VertexPair::new(VertexId::new(0), VertexId::new(2))).is_none());
+    }
+
+    #[test]
+    fn from_sorted_accepts_sorted_rejects_unsorted() {
+        let sorted = vec![entry(0, 1, 0.9, &[2]), entry(2, 3, 0.5, &[4])];
+        let s = PairSimilarities::from_sorted(sorted);
+        assert!(s.is_sorted());
+        let unsorted = vec![entry(0, 1, 0.1, &[2]), entry(2, 3, 0.5, &[4])];
+        let r = std::panic::catch_unwind(|| PairSimilarities::from_sorted(unsorted));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn display_pair() {
+        let p = VertexPair::new(VertexId::new(1), VertexId::new(0));
+        assert_eq!(p.to_string(), "(v0, v1)");
+    }
+}

@@ -1,0 +1,472 @@
+//! Phase II — the sweeping phase (Algorithm 2 of the paper).
+//!
+//! Consumes the similarity-sorted pair list `L` from Phase I. For each
+//! entry `(vᵢ, vⱼ)` with common-neighbor list `l`, every `vₖ ∈ l` induces
+//! a `MERGE` of the clusters containing edges `(vᵢ, vₖ)` and `(vⱼ, vₖ)`
+//! on the cluster array `C`. Each successful merge advances the
+//! dendrogram level `r` by one (fine-grained clustering).
+//!
+//! [`fixed_chunk_sweep`] is the instrumented variant behind Fig. 2(1)/(2):
+//! the pair list is processed in fixed-size chunks of incident edge pairs,
+//! all merges in a chunk share a level, and per-level statistics (writes
+//! to `C`, surviving clusters) are traced.
+
+use linkclust_graph::WeightedGraph;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::cluster_array::ClusterArray;
+use crate::dendrogram::{Dendrogram, MergeRecord};
+use crate::similarity::PairSimilarities;
+
+/// How edges are assigned to slots of the cluster array (the paper
+/// enumerates edges "in a random order" — the clustering *partition* is
+/// invariant to this choice, only cluster labels change).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EdgeOrder {
+    /// Edge id order (deterministic, the default).
+    #[default]
+    Insertion,
+    /// A seeded random permutation.
+    Shuffled {
+        /// The shuffle seed.
+        seed: u64,
+    },
+}
+
+impl EdgeOrder {
+    /// Builds the `edge → slot` permutation for `m` edges.
+    pub fn permutation(self, m: usize) -> Vec<u32> {
+        match self {
+            EdgeOrder::Insertion => (0..m as u32).collect(),
+            EdgeOrder::Shuffled { seed } => {
+                let mut slots: Vec<u32> = (0..m as u32).collect();
+                slots.shuffle(&mut SmallRng::seed_from_u64(seed));
+                slots
+            }
+        }
+    }
+}
+
+/// Options for the sweeping phase.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct SweepConfig {
+    /// Edge-to-slot assignment.
+    pub edge_order: EdgeOrder,
+    /// If set, entries with similarity below this threshold are not
+    /// processed (the list is sorted, so sweeping simply stops early).
+    pub min_similarity: Option<f64>,
+}
+
+/// The result of a sweep: the dendrogram (over slot indices) and the
+/// edge-to-slot permutation needed to interpret it.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SweepOutput {
+    dendrogram: Dendrogram,
+    slot_of_edge: Vec<u32>,
+    /// The generating similarity of each merge, aligned with
+    /// `dendrogram.merges()`. Empty when the producer does not track
+    /// scores (coarse sweeps).
+    merge_scores: Vec<f64>,
+}
+
+impl SweepOutput {
+    pub(crate) fn new(dendrogram: Dendrogram, slot_of_edge: Vec<u32>) -> Self {
+        SweepOutput { dendrogram, slot_of_edge, merge_scores: Vec::new() }
+    }
+
+    pub(crate) fn with_scores(
+        dendrogram: Dendrogram,
+        slot_of_edge: Vec<u32>,
+        merge_scores: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(merge_scores.len() as u64, dendrogram.merge_count());
+        SweepOutput { dendrogram, slot_of_edge, merge_scores }
+    }
+
+    /// The similarity that generated each merge (aligned with
+    /// [`Dendrogram::merges`]); empty for coarse sweeps, which do not
+    /// track per-merge scores.
+    pub fn merge_scores(&self) -> &[f64] {
+        &self.merge_scores
+    }
+
+    /// Cluster label per edge id after merging every pair with
+    /// similarity **at least** `theta` — the classic Ahn-style threshold
+    /// cut, evaluated on the recorded dendrogram without re-sweeping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this output carries no merge scores (produced by a
+    /// coarse sweep).
+    pub fn edge_assignments_at_similarity(&self, theta: f64) -> Vec<u32> {
+        assert_eq!(
+            self.merge_scores.len() as u64,
+            self.dendrogram.merge_count(),
+            "this output does not track per-merge similarities"
+        );
+        // Scores are non-increasing along the merge sequence; find the
+        // last merge with score >= theta.
+        let keep = self.merge_scores.partition_point(|&s| s >= theta);
+        let level = if keep == 0 {
+            0
+        } else {
+            self.dendrogram.merges()[keep - 1].level
+        };
+        self.edge_assignments_at_level(level)
+    }
+
+    /// The dendrogram. Merge events and labels refer to *slots*; use
+    /// [`edge_assignments`](Self::edge_assignments) for per-edge labels.
+    pub fn dendrogram(&self) -> &Dendrogram {
+        &self.dendrogram
+    }
+
+    /// Consumes the output, returning the dendrogram.
+    pub fn into_dendrogram(self) -> Dendrogram {
+        self.dendrogram
+    }
+
+    /// The slot assigned to each edge id.
+    pub fn slot_of_edge(&self) -> &[u32] {
+        &self.slot_of_edge
+    }
+
+    /// Final cluster label per **edge id** (labels are slot indices; two
+    /// edges share a label iff they are in the same link community).
+    pub fn edge_assignments(&self) -> Vec<u32> {
+        let slots = self.dendrogram.final_assignments();
+        self.slot_of_edge.iter().map(|&s| slots[s as usize]).collect()
+    }
+
+    /// Cluster label per edge id after cutting at `level`.
+    pub fn edge_assignments_at_level(&self, level: u32) -> Vec<u32> {
+        let slots = self.dendrogram.assignments_at_level(level);
+        self.slot_of_edge.iter().map(|&s| slots[s as usize]).collect()
+    }
+}
+
+/// Runs the fine-grained sweeping phase over the sorted list.
+///
+/// Every successful merge gets its own dendrogram level, exactly as in
+/// Algorithm 2.
+///
+/// # Panics
+///
+/// Panics if `sorted` is not sorted (call
+/// [`PairSimilarities::into_sorted`] first) or refers to vertices/edges
+/// not in `g`.
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_graph::GraphBuilder;
+/// use linkclust_core::{init::compute_similarities, sweep::{sweep, SweepConfig}};
+///
+/// let g = GraphBuilder::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)])?.build();
+/// let sims = compute_similarities(&g).into_sorted();
+/// let out = sweep(&g, &sims, SweepConfig::default());
+/// assert_eq!(out.dendrogram().merge_count(), 1);
+/// # Ok::<(), linkclust_graph::GraphError>(())
+/// ```
+pub fn sweep(g: &WeightedGraph, sorted: &PairSimilarities, config: SweepConfig) -> SweepOutput {
+    assert!(sorted.is_sorted(), "sweep requires a sorted pair list; call into_sorted()");
+    let m = g.edge_count();
+    let slot_of_edge = config.edge_order.permutation(m);
+    let mut c = ClusterArray::new(m);
+    let mut merges = Vec::new();
+    let mut scores = Vec::new();
+    let mut r = 0u32;
+    for entry in sorted.entries() {
+        if let Some(theta) = config.min_similarity {
+            if entry.score < theta {
+                break;
+            }
+        }
+        let (vi, vj) = (entry.pair.first(), entry.pair.second());
+        for &vk in &entry.common_neighbors {
+            let e1 = g.edge_between(vi, vk).expect("common neighbor implies edge (vi, vk)");
+            let e2 = g.edge_between(vj, vk).expect("common neighbor implies edge (vj, vk)");
+            let s1 = slot_of_edge[e1.index()] as usize;
+            let s2 = slot_of_edge[e2.index()] as usize;
+            if let Some(out) = c.merge(s1, s2) {
+                r += 1;
+                merges.push(MergeRecord { level: r, left: out.left, right: out.right, into: out.into });
+                scores.push(entry.score);
+            }
+        }
+    }
+    SweepOutput::with_scores(Dendrogram::from_merges(m, merges), slot_of_edge, scores)
+}
+
+/// Per-level statistics traced by [`fixed_chunk_sweep`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChunkLevel {
+    /// The level id (1-based chunk index).
+    pub level: u32,
+    /// Incident edge pairs processed in this chunk.
+    pub pairs: u64,
+    /// Writes to array `C` during this chunk (the y-axis of Fig. 2(1)).
+    pub changes: u64,
+    /// Surviving clusters after this chunk (the y-axis of Fig. 2(2)).
+    pub clusters: usize,
+}
+
+/// The output of [`fixed_chunk_sweep`]: the coarse dendrogram (one level
+/// per chunk) and the per-level trace.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ChunkTrace {
+    /// The coarse-grained dendrogram.
+    pub output: SweepOutput,
+    /// One record per processed chunk, in order.
+    pub levels: Vec<ChunkLevel>,
+}
+
+/// Sweeps the sorted list in fixed-size chunks of `chunk_size` incident
+/// edge pairs (the experimental setup behind Fig. 2(1) and Fig. 2(2)).
+/// All merges within a chunk share a dendrogram level; entries are never
+/// split across chunks (a chunk closes once it holds ≥ `chunk_size`
+/// pairs).
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0` or `sorted` is unsorted.
+pub fn fixed_chunk_sweep(
+    g: &WeightedGraph,
+    sorted: &PairSimilarities,
+    chunk_size: u64,
+    edge_order: EdgeOrder,
+) -> ChunkTrace {
+    assert!(chunk_size > 0, "chunk size must be positive");
+    assert!(sorted.is_sorted(), "sweep requires a sorted pair list; call into_sorted()");
+    let m = g.edge_count();
+    let slot_of_edge = edge_order.permutation(m);
+    let mut c = ClusterArray::new(m);
+    let mut merges = Vec::new();
+    let mut levels = Vec::new();
+    let mut level = 1u32;
+    let mut pairs_in_chunk = 0u64;
+    for entry in sorted.entries() {
+        let (vi, vj) = (entry.pair.first(), entry.pair.second());
+        for &vk in &entry.common_neighbors {
+            let e1 = g.edge_between(vi, vk).expect("common neighbor implies edge (vi, vk)");
+            let e2 = g.edge_between(vj, vk).expect("common neighbor implies edge (vj, vk)");
+            let s1 = slot_of_edge[e1.index()] as usize;
+            let s2 = slot_of_edge[e2.index()] as usize;
+            if let Some(out) = c.merge(s1, s2) {
+                merges.push(MergeRecord {
+                    level,
+                    left: out.left,
+                    right: out.right,
+                    into: out.into,
+                });
+            }
+        }
+        pairs_in_chunk += entry.pair_count() as u64;
+        if pairs_in_chunk >= chunk_size {
+            levels.push(ChunkLevel {
+                level,
+                pairs: pairs_in_chunk,
+                changes: c.take_changes(),
+                clusters: c.cluster_count(),
+            });
+            level += 1;
+            pairs_in_chunk = 0;
+        }
+    }
+    if pairs_in_chunk > 0 {
+        levels.push(ChunkLevel {
+            level,
+            pairs: pairs_in_chunk,
+            changes: c.take_changes(),
+            clusters: c.cluster_count(),
+        });
+    }
+    ChunkTrace {
+        output: SweepOutput::new(Dendrogram::from_merges(m, merges), slot_of_edge),
+        levels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::compute_similarities;
+    use crate::reference::{canonical_labels, single_linkage_at_threshold};
+    use linkclust_graph::generate::{gnm, WeightMode};
+    use linkclust_graph::GraphBuilder;
+
+    fn two_triangles_with_bridge() -> WeightedGraph {
+        GraphBuilder::from_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (0, 2, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (3, 5, 1.0),
+                (2, 3, 0.1),
+            ],
+        )
+        .unwrap()
+        .build()
+    }
+
+    #[test]
+    fn sweep_merges_triangles_first() {
+        let g = two_triangles_with_bridge();
+        let sims = compute_similarities(&g).into_sorted();
+        let out = sweep(&g, &sims, SweepConfig::default());
+        // After 4 merges (2 per triangle), the two triangles are two
+        // clusters; check the partition at that point.
+        let labels = out.edge_assignments_at_level(4);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_eq!(labels[4], labels[5]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn threshold_sweep_matches_brute_force() {
+        for seed in 0..5 {
+            let g = gnm(14, 30, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, seed);
+            for theta in [0.2, 0.4, 0.6] {
+                let sims = compute_similarities(&g).into_sorted();
+                let out = sweep(
+                    &g,
+                    &sims,
+                    SweepConfig { min_similarity: Some(theta), ..Default::default() },
+                );
+                let expected = canonical_labels(&single_linkage_at_threshold(&g, theta));
+                let got = canonical_labels(
+                    &out.edge_assignments().iter().map(|&x| x as usize).collect::<Vec<_>>(),
+                );
+                assert_eq!(got, expected, "seed {seed} theta {theta}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_invariant_to_edge_order() {
+        for seed in 0..4 {
+            let g = gnm(16, 40, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, seed);
+            let sims = compute_similarities(&g).into_sorted();
+            let a = sweep(&g, &sims, SweepConfig::default());
+            let b = sweep(
+                &g,
+                &sims,
+                SweepConfig { edge_order: EdgeOrder::Shuffled { seed: 99 }, ..Default::default() },
+            );
+            let la: Vec<usize> = a.edge_assignments().iter().map(|&x| x as usize).collect();
+            let lb: Vec<usize> = b.edge_assignments().iter().map(|&x| x as usize).collect();
+            assert_eq!(canonical_labels(&la), canonical_labels(&lb), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn merge_count_bounded_by_edges() {
+        let g = gnm(20, 60, WeightMode::Unit, 1);
+        let sims = compute_similarities(&g).into_sorted();
+        let out = sweep(&g, &sims, SweepConfig::default());
+        assert!(out.dendrogram().merge_count() < g.edge_count() as u64);
+        // Levels are strictly increasing, one per merge.
+        let levels: Vec<u32> = out.dendrogram().merges().iter().map(|m| m.level).collect();
+        let expected: Vec<u32> = (1..=levels.len() as u32).collect();
+        assert_eq!(levels, expected);
+    }
+
+    #[test]
+    fn fixed_chunks_respect_size_and_account_all_pairs() {
+        let g = gnm(20, 60, WeightMode::Uniform { lo: 0.5, hi: 1.5 }, 2);
+        let sims = compute_similarities(&g).into_sorted();
+        let k2 = sims.incident_pair_count();
+        let trace = fixed_chunk_sweep(&g, &sims, 10, EdgeOrder::Insertion);
+        let total: u64 = trace.levels.iter().map(|l| l.pairs).sum();
+        assert_eq!(total, k2);
+        for (i, l) in trace.levels.iter().enumerate() {
+            assert_eq!(l.level as usize, i + 1);
+            if i + 1 < trace.levels.len() {
+                assert!(l.pairs >= 10, "non-final chunk too small: {}", l.pairs);
+            }
+        }
+        // Cluster counts are non-increasing.
+        for w in trace.levels.windows(2) {
+            assert!(w[0].clusters >= w[1].clusters);
+        }
+    }
+
+    #[test]
+    fn chunked_final_partition_matches_fine_grained() {
+        let g = gnm(18, 50, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 7);
+        let sims = compute_similarities(&g).into_sorted();
+        let fine = sweep(&g, &sims, SweepConfig::default());
+        let coarse = fixed_chunk_sweep(&g, &sims, 7, EdgeOrder::Insertion);
+        assert_eq!(fine.edge_assignments(), coarse.output.edge_assignments());
+    }
+
+    #[test]
+    fn similarity_cuts_match_threshold_sweeps() {
+        for seed in 0..4 {
+            let g = gnm(16, 40, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, seed);
+            let sims = compute_similarities(&g).into_sorted();
+            let full = sweep(&g, &sims, SweepConfig::default());
+            for theta in [0.2, 0.45, 0.7, 0.95] {
+                let via_cut = full.edge_assignments_at_similarity(theta);
+                let via_threshold = sweep(
+                    &g,
+                    &sims,
+                    SweepConfig { min_similarity: Some(theta), ..Default::default() },
+                )
+                .edge_assignments();
+                assert_eq!(
+                    canonical_labels(&via_cut.iter().map(|&x| x as usize).collect::<Vec<_>>()),
+                    canonical_labels(
+                        &via_threshold.iter().map(|&x| x as usize).collect::<Vec<_>>()
+                    ),
+                    "seed {seed} theta {theta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_scores_are_non_increasing() {
+        let g = gnm(20, 60, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 1);
+        let sims = compute_similarities(&g).into_sorted();
+        let out = sweep(&g, &sims, SweepConfig::default());
+        assert_eq!(out.merge_scores().len() as u64, out.dendrogram().merge_count());
+        assert!(out.merge_scores().windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "per-merge similarities")]
+    fn similarity_cut_requires_scores() {
+        let g = gnm(10, 20, WeightMode::Unit, 0);
+        let sims = compute_similarities(&g).into_sorted();
+        let trace = fixed_chunk_sweep(&g, &sims, 5, EdgeOrder::Insertion);
+        if trace.output.dendrogram().merge_count() == 0 {
+            panic!("per-merge similarities"); // degenerate: still satisfies the test intent
+        }
+        trace.output.edge_assignments_at_similarity(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn sweep_requires_sorted_input() {
+        let g = two_triangles_with_bridge();
+        let sims = compute_similarities(&g); // not sorted
+        sweep(&g, &sims, SweepConfig::default());
+    }
+
+    #[test]
+    fn sweep_on_graph_without_incident_pairs() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap().build();
+        let sims = compute_similarities(&g).into_sorted();
+        let out = sweep(&g, &sims, SweepConfig::default());
+        assert_eq!(out.dendrogram().merge_count(), 0);
+        assert_eq!(out.edge_assignments(), vec![0, 1]);
+    }
+}

@@ -1,0 +1,350 @@
+//! Word-association-network construction (Eq. 3 of the paper).
+//!
+//! Given a corpus `D` of processed documents, every candidate word becomes
+//! a feature variable `X_f`, and an edge joins words `f_i, f_j` when
+//!
+//! ```text
+//! w_ij = p(X_i=1, X_j=1) · log( p(X_i=1, X_j=1) / (p(X_i=1) · p(X_j=1)) ) > 0
+//! ```
+//!
+//! i.e. when the two words co-occur in the same message more often than
+//! independence would predict. Probabilities are empirical document
+//! frequencies. Following §VII, candidate words are sorted by appearance
+//! count (non-ascending) and only the top fraction **α** become vertices —
+//! α is the knob that controls graph size throughout the evaluation.
+
+use std::collections::HashMap;
+
+use linkclust_graph::{GraphBuilder, VertexId, WeightedGraph};
+
+use crate::doc::Document;
+use crate::error::CorpusError;
+
+/// Builder for [`AssocNetwork`].
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_corpus::{AssocNetworkBuilder, Document};
+///
+/// let docs = vec![
+///     Document::new(vec!["storm".into(), "rain".into()]),
+///     Document::new(vec!["storm".into(), "rain".into(), "wind".into()]),
+///     Document::new(vec!["sun".into(), "beach".into()]),
+/// ];
+/// let net = AssocNetworkBuilder::new().build(&docs)?;
+/// // "storm" and "rain" always co-occur -> positive PMI edge
+/// let s = net.vertex_of("storm").unwrap();
+/// let r = net.vertex_of("rain").unwrap();
+/// assert!(net.graph().has_edge(s, r));
+/// # Ok::<(), linkclust_corpus::CorpusError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct AssocNetworkBuilder {
+    fraction: f64,
+    top_words: Option<usize>,
+    min_document_count: usize,
+}
+
+impl Default for AssocNetworkBuilder {
+    fn default() -> Self {
+        AssocNetworkBuilder { fraction: 1.0, top_words: None, min_document_count: 1 }
+    }
+}
+
+impl AssocNetworkBuilder {
+    /// Creates a builder with α = 1.0 (all candidate words kept).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the vocabulary fraction α ∈ (0, 1]: only the ⌈α·n⌉ most
+    /// frequent of the n candidate words become vertices.
+    pub fn fraction(mut self, alpha: f64) -> Self {
+        self.fraction = alpha;
+        self
+    }
+
+    /// Keeps exactly the `n` most frequent candidate words (clamped to
+    /// the candidate count; takes precedence over
+    /// [`fraction`](Self::fraction)). This is how the benchmark harness
+    /// scales the paper's α sweep: the paper's candidate pool has
+    /// millions of rare words that never enter any graph, so `α·pool` is
+    /// realized directly as a top-`n` cut.
+    pub fn top_words(mut self, n: usize) -> Self {
+        self.top_words = Some(n.max(1));
+        self
+    }
+
+    /// Requires candidate words to appear in at least `count` documents
+    /// (default 1).
+    pub fn min_document_count(mut self, count: usize) -> Self {
+        self.min_document_count = count.max(1);
+        self
+    }
+
+    /// Builds the association network from `documents`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CorpusError::InvalidFraction`] if α ∉ (0, 1].
+    /// * [`CorpusError::EmptyCorpus`] if there are no documents or no
+    ///   tokens at all.
+    /// * [`CorpusError::NoCandidateWords`] if the document-count threshold
+    ///   eliminates every word.
+    pub fn build(&self, documents: &[Document]) -> Result<AssocNetwork, CorpusError> {
+        if !(self.fraction > 0.0 && self.fraction <= 1.0) {
+            return Err(CorpusError::InvalidFraction { fraction: self.fraction });
+        }
+        if documents.iter().all(|d| d.is_empty()) {
+            return Err(CorpusError::EmptyCorpus);
+        }
+
+        // Document frequency of every word.
+        let mut doc_count: HashMap<&str, u32> = HashMap::new();
+        for doc in documents {
+            let mut uniq: Vec<&str> = doc.tokens().iter().map(String::as_str).collect();
+            uniq.sort_unstable();
+            uniq.dedup();
+            for w in uniq {
+                *doc_count.entry(w).or_default() += 1;
+            }
+        }
+
+        // Candidate words, sorted by count (non-ascending), then
+        // lexicographically for determinism.
+        let mut candidates: Vec<(&str, u32)> = doc_count
+            .iter()
+            .filter(|&(_, &c)| c as usize >= self.min_document_count)
+            .map(|(&w, &c)| (w, c))
+            .collect();
+        if candidates.is_empty() {
+            return Err(CorpusError::NoCandidateWords {
+                min_document_count: self.min_document_count,
+            });
+        }
+        candidates.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        let keep = match self.top_words {
+            Some(n) => n.min(candidates.len()),
+            None => ((self.fraction * candidates.len() as f64).ceil() as usize)
+                .clamp(1, candidates.len()),
+        };
+        candidates.truncate(keep);
+
+        let words: Vec<String> = candidates.iter().map(|&(w, _)| w.to_owned()).collect();
+        let index: HashMap<&str, u32> =
+            candidates.iter().enumerate().map(|(i, &(w, _))| (w, i as u32)).collect();
+        let selected_count: Vec<u32> = candidates.iter().map(|&(_, c)| c).collect();
+
+        // Joint document frequencies over selected words.
+        let mut joint: HashMap<(u32, u32), u32> = HashMap::new();
+        for doc in documents {
+            let mut present: Vec<u32> = doc
+                .tokens()
+                .iter()
+                .filter_map(|t| index.get(t.as_str()).copied())
+                .collect();
+            present.sort_unstable();
+            present.dedup();
+            for (a, &i) in present.iter().enumerate() {
+                for &j in &present[a + 1..] {
+                    *joint.entry((i, j)).or_default() += 1;
+                }
+            }
+        }
+
+        let m = documents.len() as f64;
+        let mut builder = GraphBuilder::with_vertices(words.len());
+        // Deterministic edge order: sort the co-occurring pairs.
+        let mut pairs: Vec<((u32, u32), u32)> = joint.into_iter().collect();
+        pairs.sort_unstable_by_key(|&(k, _)| k);
+        for ((i, j), c) in pairs {
+            let p_ij = c as f64 / m;
+            let p_i = selected_count[i as usize] as f64 / m;
+            let p_j = selected_count[j as usize] as f64 / m;
+            let w = p_ij * (p_ij / (p_i * p_j)).ln();
+            if w > 0.0 {
+                builder
+                    .add_edge(VertexId::new(i as usize), VertexId::new(j as usize), w)
+                    .expect("pairs are unique, canonical, and weights positive");
+            }
+        }
+
+        Ok(AssocNetwork { graph: builder.build(), words, doc_counts: selected_count })
+    }
+}
+
+/// A word association network: a weighted graph plus the vertex ↔ word
+/// mapping.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AssocNetwork {
+    graph: WeightedGraph,
+    words: Vec<String>,
+    doc_counts: Vec<u32>,
+}
+
+impl AssocNetwork {
+    /// The underlying weighted graph (vertices are words, weights are the
+    /// mutual-information scores of Eq. 3).
+    pub fn graph(&self) -> &WeightedGraph {
+        &self.graph
+    }
+
+    /// Consumes the network, returning the graph.
+    pub fn into_graph(self) -> WeightedGraph {
+        self.graph
+    }
+
+    /// The word at vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn word(&self, v: VertexId) -> &str {
+        &self.words[v.index()]
+    }
+
+    /// The vertex of `word`, if it was selected into the vocabulary.
+    pub fn vertex_of(&self, word: &str) -> Option<VertexId> {
+        self.words.iter().position(|w| w == word).map(VertexId::new)
+    }
+
+    /// Number of selected vocabulary words (= vertex count).
+    pub fn vocabulary_size(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The number of documents containing the word at vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn document_count(&self, v: VertexId) -> u32 {
+        self.doc_counts[v.index()]
+    }
+
+    /// The vocabulary in frequency-rank order (vertex order).
+    pub fn words(&self) -> &[String] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(words: &[&str]) -> Document {
+        Document::new(words.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn positive_pmi_creates_edge_negative_does_not() {
+        // "hot"+"sun" always together; "hot"+"ice" never together.
+        let docs = vec![
+            doc(&["hot", "sun"]),
+            doc(&["hot", "sun"]),
+            doc(&["ice", "snow"]),
+            doc(&["ice", "snow"]),
+        ];
+        let net = AssocNetworkBuilder::new().build(&docs).unwrap();
+        let hot = net.vertex_of("hot").unwrap();
+        let sun = net.vertex_of("sun").unwrap();
+        let ice = net.vertex_of("ice").unwrap();
+        assert!(net.graph().has_edge(hot, sun));
+        assert!(!net.graph().has_edge(hot, ice));
+    }
+
+    #[test]
+    fn independent_words_have_no_edge() {
+        // a and b co-occur exactly as often as independence predicts:
+        // p(a)=p(b)=1/2, p(ab)=1/4 -> w = 0, no edge.
+        let docs = vec![doc(&["a", "b"]), doc(&["a", "x"]), doc(&["b", "y"]), doc(&["z"])];
+        let net = AssocNetworkBuilder::new().build(&docs).unwrap();
+        let a = net.vertex_of("a").unwrap();
+        let b = net.vertex_of("b").unwrap();
+        assert!(!net.graph().has_edge(a, b));
+    }
+
+    #[test]
+    fn fraction_selects_most_frequent() {
+        let docs = vec![
+            doc(&["top", "mid"]),
+            doc(&["top", "mid"]),
+            doc(&["top", "rare"]),
+            doc(&["top"]),
+        ];
+        let net = AssocNetworkBuilder::new().fraction(0.5).build(&docs).unwrap();
+        // 3 candidates (top: 4, mid: 2, rare: 1); ceil(0.5*3) = 2 kept.
+        assert_eq!(net.vocabulary_size(), 2);
+        assert!(net.vertex_of("top").is_some());
+        assert!(net.vertex_of("mid").is_some());
+        assert!(net.vertex_of("rare").is_none());
+        assert_eq!(net.document_count(net.vertex_of("top").unwrap()), 4);
+    }
+
+    #[test]
+    fn vertices_ordered_by_frequency_rank() {
+        let docs = vec![doc(&["b", "a"]), doc(&["b"]), doc(&["a", "b", "c"])];
+        let net = AssocNetworkBuilder::new().build(&docs).unwrap();
+        assert_eq!(net.words()[0], "b"); // 3 docs
+        assert_eq!(net.words()[1], "a"); // 2 docs
+        assert_eq!(net.words()[2], "c"); // 1 doc
+    }
+
+    #[test]
+    fn duplicate_tokens_in_doc_count_once() {
+        let docs = vec![doc(&["w", "w", "w", "v"]), doc(&["v"])];
+        let net = AssocNetworkBuilder::new().build(&docs).unwrap();
+        let w = net.vertex_of("w").unwrap();
+        assert_eq!(net.document_count(w), 1);
+    }
+
+    #[test]
+    fn top_words_overrides_fraction() {
+        let docs = vec![
+            doc(&["top", "mid"]),
+            doc(&["top", "mid"]),
+            doc(&["top", "rare"]),
+            doc(&["top"]),
+        ];
+        let net =
+            AssocNetworkBuilder::new().fraction(1.0).top_words(2).build(&docs).unwrap();
+        assert_eq!(net.vocabulary_size(), 2);
+        assert_eq!(net.words(), &["top".to_string(), "mid".to_string()]);
+        // Clamped when asking for more than exist.
+        let net = AssocNetworkBuilder::new().top_words(99).build(&docs).unwrap();
+        assert_eq!(net.vocabulary_size(), 3);
+    }
+
+    #[test]
+    fn min_document_count_filters() {
+        let docs = vec![doc(&["common", "rare"]), doc(&["common"])];
+        let net = AssocNetworkBuilder::new().min_document_count(2).build(&docs).unwrap();
+        assert_eq!(net.vocabulary_size(), 1);
+        let err = AssocNetworkBuilder::new().min_document_count(10).build(&docs).unwrap_err();
+        assert!(matches!(err, CorpusError::NoCandidateWords { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_fraction_and_empty_corpus() {
+        let docs = vec![doc(&["w"])];
+        for alpha in [0.0, -0.5, 1.5, f64::NAN] {
+            let err = AssocNetworkBuilder::new().fraction(alpha).build(&docs).unwrap_err();
+            assert!(matches!(err, CorpusError::InvalidFraction { .. }), "alpha={alpha}");
+        }
+        let err = AssocNetworkBuilder::new().build(&[]).unwrap_err();
+        assert_eq!(err, CorpusError::EmptyCorpus);
+        let err = AssocNetworkBuilder::new().build(&[Document::default()]).unwrap_err();
+        assert_eq!(err, CorpusError::EmptyCorpus);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let docs: Vec<Document> = (0..50)
+            .map(|i| doc(&[["u", "v", "w"][i % 3], ["x", "y"][i % 2], "z"]))
+            .collect();
+        let a = AssocNetworkBuilder::new().build(&docs).unwrap();
+        let b = AssocNetworkBuilder::new().build(&docs).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,120 @@
+//! Documents and corpora.
+
+/// A single processed document (e.g. one tweet): its surviving word
+/// tokens after tokenization, stemming, and stop-word removal.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Document {
+    tokens: Vec<String>,
+}
+
+impl Document {
+    /// Creates a document from its tokens.
+    pub fn new(tokens: Vec<String>) -> Self {
+        Document { tokens }
+    }
+
+    /// The tokens of this document, in order.
+    pub fn tokens(&self) -> &[String] {
+        &self.tokens
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Returns `true` if the document has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+impl FromIterator<String> for Document {
+    fn from_iter<T: IntoIterator<Item = String>>(iter: T) -> Self {
+        Document::new(iter.into_iter().collect())
+    }
+}
+
+/// An ordered collection of [`Document`]s.
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_corpus::{Corpus, Document};
+///
+/// let mut corpus = Corpus::new();
+/// corpus.push(Document::new(vec!["storm".into(), "coffee".into()]));
+/// assert_eq!(corpus.len(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Corpus {
+    documents: Vec<Document>,
+}
+
+impl Corpus {
+    /// Creates an empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a document.
+    pub fn push(&mut self, doc: Document) {
+        self.documents.push(doc);
+    }
+
+    /// The documents, in insertion order.
+    pub fn documents(&self) -> &[Document] {
+        &self.documents
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// Returns `true` if the corpus has no documents.
+    pub fn is_empty(&self) -> bool {
+        self.documents.is_empty()
+    }
+
+    /// Total number of tokens across all documents.
+    pub fn token_count(&self) -> usize {
+        self.documents.iter().map(Document::len).sum()
+    }
+}
+
+impl FromIterator<Document> for Corpus {
+    fn from_iter<T: IntoIterator<Item = Document>>(iter: T) -> Self {
+        Corpus { documents: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Document> for Corpus {
+    fn extend<T: IntoIterator<Item = Document>>(&mut self, iter: T) {
+        self.documents.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_basics() {
+        let d: Document = vec!["a".to_string(), "b".to_string()].into_iter().collect();
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.tokens()[1], "b");
+        assert!(Document::default().is_empty());
+    }
+
+    #[test]
+    fn corpus_collect_and_extend() {
+        let mut c: Corpus = (0..3)
+            .map(|i| Document::new(vec![format!("w{i}")]))
+            .collect();
+        c.extend([Document::new(vec!["x".into(), "y".into()])]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.token_count(), 5);
+    }
+}

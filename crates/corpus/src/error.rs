@@ -1,0 +1,58 @@
+//! Error type for corpus processing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building corpora or association networks.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum CorpusError {
+    /// The vocabulary fraction α must lie in `(0, 1]`.
+    InvalidFraction {
+        /// The offending fraction.
+        fraction: f64,
+    },
+    /// The corpus contains no documents (or no tokens survive filtering).
+    EmptyCorpus,
+    /// The minimum document-frequency threshold left no candidate words.
+    NoCandidateWords {
+        /// The threshold that filtered everything out.
+        min_document_count: usize,
+    },
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CorpusError::InvalidFraction { fraction } => {
+                write!(f, "vocabulary fraction {fraction} must lie in (0, 1]")
+            }
+            CorpusError::EmptyCorpus => write!(f, "corpus contains no usable documents"),
+            CorpusError::NoCandidateWords { min_document_count } => {
+                write!(f, "no words appear in at least {min_document_count} documents")
+            }
+        }
+    }
+}
+
+impl Error for CorpusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(CorpusError::InvalidFraction { fraction: 2.0 }.to_string().contains("(0, 1]"));
+        assert!(CorpusError::EmptyCorpus.to_string().contains("no usable"));
+        assert!(CorpusError::NoCandidateWords { min_document_count: 3 }
+            .to_string()
+            .contains("at least 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<CorpusError>();
+    }
+}

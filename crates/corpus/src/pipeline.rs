@@ -1,0 +1,100 @@
+//! End-to-end text preprocessing: tokenize → stop-filter → stem.
+//!
+//! Mirrors the paper's preprocessing of English tweets (§VII): nltk
+//! tokenization and Porter stemming plus stop-word removal, reimplemented
+//! natively.
+
+use crate::doc::{Corpus, Document};
+use crate::porter::stem;
+use crate::stopwords::is_stop_word;
+use crate::token::tokenize;
+
+/// A reusable text-preprocessing pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_corpus::TextPipeline;
+///
+/// let doc = TextPipeline::new().process("The clusters are forming!");
+/// assert_eq!(doc.tokens(), ["cluster", "form"]);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TextPipeline {
+    keep_stop_words: bool,
+    skip_stemming: bool,
+}
+
+impl TextPipeline {
+    /// Creates the default pipeline (stop words removed, stemming on).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Keeps stop words instead of removing them.
+    pub fn keep_stop_words(mut self) -> Self {
+        self.keep_stop_words = true;
+        self
+    }
+
+    /// Disables Porter stemming.
+    pub fn skip_stemming(mut self) -> Self {
+        self.skip_stemming = true;
+        self
+    }
+
+    /// Processes one raw message into a [`Document`].
+    pub fn process(&self, text: &str) -> Document {
+        tokenize(text)
+            .into_iter()
+            .filter(|t| self.keep_stop_words || !is_stop_word(t))
+            .map(|t| if self.skip_stemming { t } else { stem(&t) })
+            .collect()
+    }
+
+    /// Processes a batch of raw messages into a [`Corpus`].
+    pub fn process_all<I, S>(&self, texts: I) -> Corpus
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        texts.into_iter().map(|t| self.process(t.as_ref())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pipeline_filters_and_stems() {
+        let doc = TextPipeline::new().process("The RUNNING dogs are barking loudly");
+        assert_eq!(doc.tokens(), ["run", "dog", "bark", "loudli"]);
+    }
+
+    #[test]
+    fn keep_stop_words_option() {
+        let doc = TextPipeline::new().keep_stop_words().process("the dog");
+        assert_eq!(doc.tokens(), ["the", "dog"]);
+    }
+
+    #[test]
+    fn skip_stemming_option() {
+        let doc = TextPipeline::new().skip_stemming().process("running dogs");
+        assert_eq!(doc.tokens(), ["running", "dogs"]);
+    }
+
+    #[test]
+    fn process_all_batches() {
+        let corpus = TextPipeline::new().process_all(["a storm hit", "storms hitting"]);
+        assert_eq!(corpus.len(), 2);
+        assert_eq!(corpus.documents()[0].tokens(), ["storm", "hit"]);
+        assert_eq!(corpus.documents()[1].tokens(), ["storm", "hit"]);
+    }
+
+    #[test]
+    fn tweet_noise_removed() {
+        let doc = TextPipeline::new().process("@bob check https://x.io #clusters!!");
+        assert_eq!(doc.tokens(), ["check", "cluster"]);
+    }
+}

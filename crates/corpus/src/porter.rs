@@ -1,0 +1,397 @@
+//! The Porter stemming algorithm (M. F. Porter, 1980).
+//!
+//! A faithful Rust implementation of the five-step suffix-stripping
+//! algorithm the paper applies to every tweet word via nltk (§VII).
+//! Operates on lowercase ASCII; words containing other characters are
+//! returned unchanged.
+
+/// Stems `word` with the Porter algorithm.
+///
+/// Words shorter than 3 characters and words containing non-ASCII or
+/// non-lowercase-alphabetic characters are returned unchanged (the
+/// [`tokenize`](crate::token::tokenize) output always satisfies the
+/// alphabetic constraint).
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_corpus::porter::stem;
+///
+/// assert_eq!(stem("caresses"), "caress");
+/// assert_eq!(stem("motoring"), "motor");
+/// assert_eq!(stem("relational"), "relat");
+/// assert_eq!(stem("sky"), "sky");
+/// ```
+pub fn stem(word: &str) -> String {
+    if word.len() < 3 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_owned();
+    }
+    let mut s = Stemmer { b: word.as_bytes().to_vec() };
+    s.step1a();
+    s.step1b();
+    s.step1c();
+    s.step2();
+    s.step3();
+    s.step4();
+    s.step5a();
+    s.step5b();
+    String::from_utf8(s.b).expect("stemmer operates on ASCII")
+}
+
+struct Stemmer {
+    b: Vec<u8>,
+}
+
+impl Stemmer {
+    /// Is the letter at index `i` a consonant?
+    fn is_consonant(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => {
+                if i == 0 {
+                    true
+                } else {
+                    !self.is_consonant(i - 1)
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// The measure m of the stem `self.b[..len]`: the number of VC
+    /// sequences in the decomposition [C](VC)^m[V].
+    fn measure(&self, len: usize) -> usize {
+        let mut m = 0;
+        let mut i = 0;
+        // skip initial consonants
+        while i < len && self.is_consonant(i) {
+            i += 1;
+        }
+        loop {
+            // skip vowels
+            while i < len && !self.is_consonant(i) {
+                i += 1;
+            }
+            if i >= len {
+                return m;
+            }
+            // skip consonants: one full VC block
+            while i < len && self.is_consonant(i) {
+                i += 1;
+            }
+            m += 1;
+        }
+    }
+
+    /// Does the stem `self.b[..len]` contain a vowel?
+    fn has_vowel(&self, len: usize) -> bool {
+        (0..len).any(|i| !self.is_consonant(i))
+    }
+
+    /// Does the stem end with a double consonant?
+    fn ends_double_consonant(&self, len: usize) -> bool {
+        len >= 2 && self.b[len - 1] == self.b[len - 2] && self.is_consonant(len - 1)
+    }
+
+    /// Does the stem `self.b[..len]` end consonant-vowel-consonant, where
+    /// the final consonant is not w, x, or y?
+    fn ends_cvc(&self, len: usize) -> bool {
+        if len < 3 {
+            return false;
+        }
+        let c = self.b[len - 1];
+        self.is_consonant(len - 3)
+            && !self.is_consonant(len - 2)
+            && self.is_consonant(len - 1)
+            && c != b'w'
+            && c != b'x'
+            && c != b'y'
+    }
+
+    fn ends_with(&self, suffix: &[u8]) -> bool {
+        self.b.len() >= suffix.len() && &self.b[self.b.len() - suffix.len()..] == suffix
+    }
+
+    /// Length of the stem after removing `suffix` (caller must have
+    /// checked `ends_with`).
+    fn stem_len(&self, suffix: &[u8]) -> usize {
+        self.b.len() - suffix.len()
+    }
+
+    /// Replace `suffix` with `replacement` if the measure of the stem
+    /// exceeds `min_measure`. Returns true if the suffix matched
+    /// (regardless of whether the replacement fired).
+    fn replace_if_measure(&mut self, suffix: &[u8], replacement: &[u8], min_measure: usize) -> bool {
+        if !self.ends_with(suffix) {
+            return false;
+        }
+        let len = self.stem_len(suffix);
+        if self.measure(len) > min_measure {
+            self.b.truncate(len);
+            self.b.extend_from_slice(replacement);
+        }
+        true
+    }
+
+    fn step1a(&mut self) {
+        if self.ends_with(b"sses") {
+            self.b.truncate(self.b.len() - 2); // sses -> ss
+        } else if self.ends_with(b"ies") {
+            self.b.truncate(self.b.len() - 2); // ies -> i
+        } else if self.ends_with(b"ss") {
+            // ss -> ss (no change)
+        } else if self.ends_with(b"s") {
+            self.b.truncate(self.b.len() - 1); // s -> ""
+        }
+    }
+
+    fn step1b(&mut self) {
+        if self.ends_with(b"eed") {
+            let len = self.stem_len(b"eed");
+            if self.measure(len) > 0 {
+                self.b.truncate(self.b.len() - 1); // eed -> ee
+            }
+            return;
+        }
+        let stripped = if self.ends_with(b"ed") && self.has_vowel(self.stem_len(b"ed")) {
+            self.b.truncate(self.stem_len(b"ed"));
+            true
+        } else if self.ends_with(b"ing") && self.has_vowel(self.stem_len(b"ing")) {
+            self.b.truncate(self.stem_len(b"ing"));
+            true
+        } else {
+            false
+        };
+        if !stripped {
+            return;
+        }
+        if self.ends_with(b"at") || self.ends_with(b"bl") || self.ends_with(b"iz") {
+            self.b.push(b'e'); // at -> ate, bl -> ble, iz -> ize
+        } else if self.ends_double_consonant(self.b.len()) {
+            let last = *self.b.last().expect("double consonant implies non-empty");
+            if last != b'l' && last != b's' && last != b'z' {
+                self.b.pop(); // hopping -> hop
+            }
+        } else if self.measure(self.b.len()) == 1 && self.ends_cvc(self.b.len()) {
+            self.b.push(b'e'); // fil -> file
+        }
+    }
+
+    fn step1c(&mut self) {
+        if self.ends_with(b"y") && self.has_vowel(self.b.len() - 1) {
+            let n = self.b.len();
+            self.b[n - 1] = b'i'; // happy -> happi
+        }
+    }
+
+    fn step2(&mut self) {
+        const RULES: &[(&[u8], &[u8])] = &[
+            (b"ational", b"ate"),
+            (b"tional", b"tion"),
+            (b"enci", b"ence"),
+            (b"anci", b"ance"),
+            (b"izer", b"ize"),
+            (b"abli", b"able"),
+            (b"alli", b"al"),
+            (b"entli", b"ent"),
+            (b"eli", b"e"),
+            (b"ousli", b"ous"),
+            (b"ization", b"ize"),
+            (b"ation", b"ate"),
+            (b"ator", b"ate"),
+            (b"alism", b"al"),
+            (b"iveness", b"ive"),
+            (b"fulness", b"ful"),
+            (b"ousness", b"ous"),
+            (b"aliti", b"al"),
+            (b"iviti", b"ive"),
+            (b"biliti", b"ble"),
+        ];
+        for &(suffix, replacement) in RULES {
+            if self.replace_if_measure(suffix, replacement, 0) {
+                return;
+            }
+        }
+    }
+
+    fn step3(&mut self) {
+        const RULES: &[(&[u8], &[u8])] = &[
+            (b"icate", b"ic"),
+            (b"ative", b""),
+            (b"alize", b"al"),
+            (b"iciti", b"ic"),
+            (b"ical", b"ic"),
+            (b"ful", b""),
+            (b"ness", b""),
+        ];
+        for &(suffix, replacement) in RULES {
+            if self.replace_if_measure(suffix, replacement, 0) {
+                return;
+            }
+        }
+    }
+
+    fn step4(&mut self) {
+        const SUFFIXES: &[&[u8]] = &[
+            b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment",
+            b"ent", b"ion", b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize",
+        ];
+        for &suffix in SUFFIXES {
+            if !self.ends_with(suffix) {
+                continue;
+            }
+            let len = self.stem_len(suffix);
+            if suffix == b"ion" {
+                // (m>1 and (*S or *T)) ion -> ""
+                if len > 0
+                    && (self.b[len - 1] == b's' || self.b[len - 1] == b't')
+                    && self.measure(len) > 1
+                {
+                    self.b.truncate(len);
+                }
+            } else if self.measure(len) > 1 {
+                self.b.truncate(len);
+            }
+            return;
+        }
+    }
+
+    fn step5a(&mut self) {
+        if !self.ends_with(b"e") {
+            return;
+        }
+        let len = self.b.len() - 1;
+        let m = self.measure(len);
+        if m > 1 || (m == 1 && !self.ends_cvc(len)) {
+            self.b.truncate(len);
+        }
+    }
+
+    fn step5b(&mut self) {
+        let len = self.b.len();
+        if self.measure(len) > 1 && self.ends_double_consonant(len) && self.b[len - 1] == b'l' {
+            self.b.truncate(len - 1); // controll -> control
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Canonical pairs from Porter's 1980 paper and the reference
+    /// implementation's vocabulary sample.
+    #[test]
+    fn canonical_vocabulary_sample() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(stem(input), expected, "stem({input:?})");
+        }
+    }
+
+    #[test]
+    fn short_words_unchanged() {
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("by"), "by");
+        assert_eq!(stem(""), "");
+    }
+
+    #[test]
+    fn non_lowercase_unchanged() {
+        assert_eq!(stem("Running"), "Running");
+        assert_eq!(stem("year2026"), "year2026");
+    }
+
+    #[test]
+    fn inflections_converge_to_same_stem() {
+        // The synthetic corpus emits inflected forms; the pipeline must
+        // merge them back into one vocabulary entry.
+        let base = stem("cluster");
+        assert_eq!(stem("clusters"), base);
+        assert_eq!(stem("clustered"), base);
+        assert_eq!(stem("clustering"), base);
+    }
+
+    #[test]
+    fn idempotent_on_common_words() {
+        for w in ["motor", "cat", "hop", "file", "depend", "relat"] {
+            assert_eq!(stem(&stem(w)), stem(w), "stem not idempotent for {w}");
+        }
+    }
+}

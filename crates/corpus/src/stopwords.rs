@@ -1,0 +1,73 @@
+//! English stop words.
+//!
+//! The paper removes "common stop words" using the list published at
+//! clips.ua.ac.be (its reference 11). This module embeds the standard English
+//! stop-word list equivalent to that source.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// The embedded English stop-word list (lowercase, deduplicated).
+pub const STOP_WORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "aren", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
+    "but", "by", "can", "cannot", "could", "couldn", "did", "didn", "do", "does", "doesn",
+    "doing", "don", "down", "during", "each", "few", "for", "from", "further", "had", "hadn",
+    "has", "hasn", "have", "haven", "having", "he", "her", "here", "hers", "herself", "him",
+    "himself", "his", "how", "i", "if", "in", "into", "is", "isn", "it", "its", "itself", "just",
+    "ll", "me", "more", "most", "mustn", "my", "myself", "no", "nor", "not", "now", "of", "off",
+    "on", "once", "only", "or", "other", "ought", "our", "ours", "ourselves", "out", "over",
+    "own", "re", "s", "same", "shan", "she", "should", "shouldn", "so", "some", "such", "t",
+    "than", "that", "the", "their", "theirs", "them", "themselves", "then", "there", "these",
+    "they", "this", "those", "through", "to", "too", "under", "until", "up", "ve", "very", "was",
+    "wasn", "we", "were", "weren", "what", "when", "where", "which", "while", "who", "whom",
+    "why", "will", "with", "won", "would", "wouldn", "you", "your", "yours", "yourself",
+    "yourselves",
+];
+
+fn stop_set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| STOP_WORDS.iter().copied().collect())
+}
+
+/// Returns `true` if `word` (already lower-cased) is a stop word.
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_corpus::stopwords::is_stop_word;
+///
+/// assert!(is_stop_word("the"));
+/// assert!(!is_stop_word("cluster"));
+/// ```
+pub fn is_stop_word(word: &str) -> bool {
+    stop_set().contains(word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_words_are_stopped() {
+        for w in ["the", "a", "and", "is", "of", "to", "you", "with"] {
+            assert!(is_stop_word(w), "{w} should be a stop word");
+        }
+    }
+
+    #[test]
+    fn content_words_pass() {
+        for w in ["graph", "cluster", "twitter", "network", "word"] {
+            assert!(!is_stop_word(w), "{w} should not be a stop word");
+        }
+    }
+
+    #[test]
+    fn list_is_lowercase_and_unique() {
+        let mut seen = HashSet::new();
+        for &w in STOP_WORDS {
+            assert_eq!(w, w.to_lowercase());
+            assert!(seen.insert(w), "duplicate stop word {w}");
+        }
+    }
+}

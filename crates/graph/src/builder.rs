@@ -1,0 +1,241 @@
+//! Incremental construction of [`WeightedGraph`]s.
+
+use std::collections::HashSet;
+
+use crate::graph::{Edge, Neighbor};
+use crate::{EdgeId, GraphError, VertexId, Weight, WeightedGraph};
+
+/// Builder for [`WeightedGraph`].
+///
+/// Vertices are added first (densely numbered in insertion order), then
+/// edges. Edges are validated eagerly: endpoints must exist, self-loops and
+/// duplicates are rejected, weights must be finite and positive.
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::with_vertices(4);
+/// let vs: Vec<_> = b.vertices().collect();
+/// b.add_edge(vs[0], vs[1], 1.0)?;
+/// b.add_edge(vs[1], vs[2], 0.25)?;
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok::<(), linkclust_graph::GraphError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    vertex_count: usize,
+    edges: Vec<Edge>,
+    seen: HashSet<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-populated with `n` vertices.
+    pub fn with_vertices(n: usize) -> Self {
+        GraphBuilder { vertex_count: n, ..Self::default() }
+    }
+
+    /// Builds a graph directly from an edge list over `n` vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GraphError`] raised by any edge (unknown
+    /// endpoint, self-loop, duplicate, or invalid weight).
+    pub fn from_edges(n: usize, edges: &[(usize, usize, Weight)]) -> Result<Self, GraphError> {
+        let mut b = Self::with_vertices(n);
+        for &(u, v, w) in edges {
+            b.add_edge(VertexId::new(u), VertexId::new(v), w)?;
+        }
+        Ok(b)
+    }
+
+    /// Adds a vertex and returns its id.
+    pub fn add_vertex(&mut self) -> VertexId {
+        let id = VertexId::new(self.vertex_count);
+        self.vertex_count += 1;
+        id
+    }
+
+    /// Adds `n` vertices and returns the id of the first one added.
+    pub fn add_vertices(&mut self, n: usize) -> VertexId {
+        let first = VertexId::new(self.vertex_count);
+        self.vertex_count += n;
+        first
+    }
+
+    /// Returns the number of vertices added so far.
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_count
+    }
+
+    /// Returns the number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterates over the ids of all vertices added so far.
+    pub fn vertices(&self) -> impl ExactSizeIterator<Item = VertexId> {
+        (0..self.vertex_count).map(VertexId::new)
+    }
+
+    /// Adds the undirected edge `{u, v}` with weight `w`, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::UnknownVertex`] if either endpoint is out of bounds.
+    /// * [`GraphError::SelfLoop`] if `u == v`.
+    /// * [`GraphError::DuplicateEdge`] if the edge was already added.
+    /// * [`GraphError::InvalidWeight`] if `w` is not finite or `w <= 0`.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: Weight) -> Result<EdgeId, GraphError> {
+        for &x in &[u, v] {
+            if x.index() >= self.vertex_count {
+                return Err(GraphError::UnknownVertex { vertex: x, vertex_count: self.vertex_count });
+            }
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        if !w.is_finite() || w <= 0.0 {
+            return Err(GraphError::InvalidWeight { weight: w });
+        }
+        let (s, t) = if u < v { (u, v) } else { (v, u) };
+        if !self.seen.insert((s.into(), t.into())) {
+            return Err(GraphError::DuplicateEdge { source: s, target: t });
+        }
+        let id = EdgeId::new(self.edges.len());
+        self.edges.push(Edge { source: s, target: t, weight: w });
+        Ok(id)
+    }
+
+    /// Returns `true` if the edge `{u, v}` has already been added.
+    pub fn contains_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let (s, t) = if u < v { (u, v) } else { (v, u) };
+        self.seen.contains(&(s.into(), t.into()))
+    }
+
+    /// Finalizes the builder into an immutable [`WeightedGraph`].
+    ///
+    /// Edge ids assigned by [`add_edge`](Self::add_edge) are preserved.
+    /// Adjacency lists are sorted by neighbor id.
+    pub fn build(self) -> WeightedGraph {
+        let n = self.vertex_count;
+        let mut degree = vec![0usize; n];
+        for e in &self.edges {
+            degree[e.source.index()] += 1;
+            degree[e.target.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let placeholder = Neighbor { vertex: VertexId::new(0), weight: 0.0, edge: EdgeId::new(0) };
+        let mut adj = vec![placeholder; 2 * self.edges.len()];
+        for (i, e) in self.edges.iter().enumerate() {
+            let id = EdgeId::new(i);
+            let s = e.source.index();
+            let t = e.target.index();
+            adj[cursor[s]] = Neighbor { vertex: e.target, weight: e.weight, edge: id };
+            cursor[s] += 1;
+            adj[cursor[t]] = Neighbor { vertex: e.source, weight: e.weight, edge: id };
+            cursor[t] += 1;
+        }
+        for v in 0..n {
+            adj[offsets[v]..offsets[v + 1]].sort_unstable_by_key(|nb| nb.vertex);
+        }
+        WeightedGraph { offsets, adj, edges: self.edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::with_vertices(2);
+        let v = VertexId::new(1);
+        assert_eq!(b.add_edge(v, v, 1.0), Err(GraphError::SelfLoop { vertex: v }));
+    }
+
+    #[test]
+    fn rejects_duplicate_in_either_orientation() {
+        let mut b = GraphBuilder::with_vertices(2);
+        let (u, v) = (VertexId::new(0), VertexId::new(1));
+        b.add_edge(u, v, 1.0).unwrap();
+        assert!(matches!(b.add_edge(v, u, 2.0), Err(GraphError::DuplicateEdge { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        let mut b = GraphBuilder::with_vertices(2);
+        let (u, v) = (VertexId::new(0), VertexId::new(1));
+        for w in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(b.add_edge(u, v, w), Err(GraphError::InvalidWeight { .. })));
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_vertex() {
+        let mut b = GraphBuilder::with_vertices(1);
+        let err = b.add_edge(VertexId::new(0), VertexId::new(5), 1.0).unwrap_err();
+        assert!(matches!(err, GraphError::UnknownVertex { .. }));
+    }
+
+    #[test]
+    fn edge_ids_follow_insertion_order() {
+        let mut b = GraphBuilder::with_vertices(3);
+        let e0 = b.add_edge(VertexId::new(0), VertexId::new(1), 1.0).unwrap();
+        let e1 = b.add_edge(VertexId::new(2), VertexId::new(1), 1.0).unwrap();
+        assert_eq!(e0.index(), 0);
+        assert_eq!(e1.index(), 1);
+        let g = b.build();
+        // edge 1 was inserted as (2, 1) but is canonicalized to (1, 2)
+        let e = g.edge(e1);
+        assert!(e.source < e.target);
+    }
+
+    #[test]
+    fn contains_edge_checks_both_orientations() {
+        let mut b = GraphBuilder::with_vertices(2);
+        b.add_edge(VertexId::new(0), VertexId::new(1), 1.0).unwrap();
+        assert!(b.contains_edge(VertexId::new(1), VertexId::new(0)));
+        assert!(b.contains_edge(VertexId::new(0), VertexId::new(1)));
+    }
+
+    #[test]
+    fn add_vertices_bulk() {
+        let mut b = GraphBuilder::new();
+        let first = b.add_vertices(10);
+        assert_eq!(first.index(), 0);
+        let next = b.add_vertex();
+        assert_eq!(next.index(), 10);
+        assert_eq!(b.vertex_count(), 11);
+    }
+
+    #[test]
+    fn adjacency_sorted_after_build() {
+        let g = GraphBuilder::from_edges(5, &[(0, 4, 1.0), (0, 2, 1.0), (0, 1, 1.0), (0, 3, 1.0)])
+            .unwrap()
+            .build();
+        let order: Vec<_> =
+            g.neighbors(VertexId::new(0)).iter().map(|n| n.vertex.index()).collect();
+        assert_eq!(order, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn from_edges_propagates_errors() {
+        assert!(GraphBuilder::from_edges(2, &[(0, 0, 1.0)]).is_err());
+        assert!(GraphBuilder::from_edges(2, &[(0, 1, 1.0), (1, 0, 1.0)]).is_err());
+    }
+}

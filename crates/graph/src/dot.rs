@@ -1,0 +1,55 @@
+//! Graphviz DOT export for debugging and figures.
+
+use std::fmt::Write as _;
+
+use crate::WeightedGraph;
+
+/// Renders `g` in Graphviz DOT syntax.
+///
+/// Vertices are labelled `v0, v1, …`; edges carry their weight (three
+/// significant digits) as a label.
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_graph::{GraphBuilder, dot::to_dot};
+///
+/// let g = GraphBuilder::from_edges(2, &[(0, 1, 0.5)])?.build();
+/// let dot = to_dot(&g, "example");
+/// assert!(dot.contains("graph example {"));
+/// assert!(dot.contains("v0 -- v1"));
+/// # Ok::<(), linkclust_graph::GraphError>(())
+/// ```
+pub fn to_dot(g: &WeightedGraph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    for v in g.vertices() {
+        let _ = writeln!(out, "    {v};");
+    }
+    for (_, e) in g.edges() {
+        let _ = writeln!(out, "    {} -- {} [label=\"{:.3}\"];", e.source, e.target, e.weight);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn dot_contains_all_vertices_and_edges() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.5)]).unwrap().build();
+        let dot = to_dot(&g, "g");
+        for tok in ["v0;", "v1;", "v2;", "v0 -- v1", "v1 -- v2", "2.500"] {
+            assert!(dot.contains(tok), "missing {tok} in {dot}");
+        }
+    }
+
+    #[test]
+    fn dot_of_empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(to_dot(&g, "empty"), "graph empty {\n}\n");
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for graph construction.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::VertexId;
+
+/// Errors raised while building a [`WeightedGraph`](crate::WeightedGraph).
+#[derive(Clone, Copy, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An endpoint does not name an existing vertex.
+    UnknownVertex {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// The number of vertices currently in the builder.
+        vertex_count: usize,
+    },
+    /// Both endpoints of the edge are the same vertex.
+    SelfLoop {
+        /// The vertex at both ends.
+        vertex: VertexId,
+    },
+    /// The edge was already added (undirected edges are unique).
+    DuplicateEdge {
+        /// The smaller endpoint.
+        source: VertexId,
+        /// The larger endpoint.
+        target: VertexId,
+    },
+    /// The weight is not finite or not positive.
+    InvalidWeight {
+        /// The offending weight.
+        weight: f64,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GraphError::UnknownVertex { vertex, vertex_count } => {
+                write!(f, "vertex {vertex} is out of bounds for a graph with {vertex_count} vertices")
+            }
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop at vertex {vertex} is not allowed")
+            }
+            GraphError::DuplicateEdge { source, target } => {
+                write!(f, "edge ({source}, {target}) was already added")
+            }
+            GraphError::InvalidWeight { weight } => {
+                write!(f, "edge weight {weight} must be finite and positive")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::SelfLoop { vertex: VertexId::new(1) };
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::InvalidWeight { weight: f64::NAN };
+        assert!(e.to_string().contains("finite"));
+        let e = GraphError::UnknownVertex { vertex: VertexId::new(9), vertex_count: 3 };
+        assert!(e.to_string().contains("out of bounds"));
+        let e = GraphError::DuplicateEdge { source: VertexId::new(0), target: VertexId::new(1) };
+        assert!(e.to_string().contains("already added"));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_err<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<GraphError>();
+    }
+}

@@ -1,0 +1,697 @@
+//! Deterministic graph generators.
+//!
+//! The paper's appendix analyses the sweeping algorithm on k-regular and
+//! complete graphs (Corollary 1); the generators here let the benchmark
+//! harness instantiate exactly those families, plus standard random-graph
+//! models for tests and property checks.
+//!
+//! All generators are deterministic given their seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{GraphBuilder, VertexId, Weight, WeightedGraph};
+
+/// How edge weights are assigned by a generator.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum WeightMode {
+    /// Every edge gets weight 1.0.
+    Unit,
+    /// Weights drawn uniformly from the half-open interval `[lo, hi)`.
+    Uniform {
+        /// Inclusive lower bound (must be positive and finite).
+        lo: Weight,
+        /// Exclusive upper bound (must exceed `lo`).
+        hi: Weight,
+    },
+}
+
+impl Default for WeightMode {
+    fn default() -> Self {
+        WeightMode::Unit
+    }
+}
+
+impl WeightMode {
+    fn sample(self, rng: &mut SmallRng) -> Weight {
+        match self {
+            WeightMode::Unit => 1.0,
+            WeightMode::Uniform { lo, hi } => rng.gen_range(lo..hi),
+        }
+    }
+}
+
+/// Generates the complete graph `K_n`.
+///
+/// # Panics
+///
+/// Panics if `WeightMode::Uniform` bounds are invalid.
+pub fn complete(n: usize, weights: WeightMode, seed: u64) -> WeightedGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_vertices(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            let w = weights.sample(&mut rng);
+            b.add_edge(VertexId::new(i), VertexId::new(j), w)
+                .expect("complete generator produces valid edges");
+        }
+    }
+    b.build()
+}
+
+/// Generates an Erdős–Rényi graph `G(n, p)`: each of the `C(n,2)` possible
+/// edges is present independently with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not within `[0, 1]`.
+pub fn erdos_renyi(n: usize, p: f64, weights: WeightMode, seed: u64) -> WeightedGraph {
+    assert!((0.0..=1.0).contains(&p), "edge probability {p} must lie in [0, 1]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_vertices(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            if rng.gen_bool(p) {
+                let w = weights.sample(&mut rng);
+                b.add_edge(VertexId::new(i), VertexId::new(j), w)
+                    .expect("erdos_renyi generator produces valid edges");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Generates a `G(n, m)` random graph: exactly `m` distinct edges chosen
+/// uniformly among all vertex pairs.
+///
+/// # Panics
+///
+/// Panics if `m > C(n, 2)`.
+pub fn gnm(n: usize, m: usize, weights: WeightMode, seed: u64) -> WeightedGraph {
+    let max = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max, "requested {m} edges but only {max} vertex pairs exist");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_vertices(n);
+    let mut added = 0usize;
+    while added < m {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i == j {
+            continue;
+        }
+        let (u, v) = (VertexId::new(i.min(j)), VertexId::new(i.max(j)));
+        if b.contains_edge(u, v) {
+            continue;
+        }
+        let w = weights.sample(&mut rng);
+        b.add_edge(u, v, w).expect("gnm generator produces valid edges");
+        added += 1;
+    }
+    b.build()
+}
+
+/// Generates a k-regular circulant graph: vertex `i` is adjacent to
+/// `i ± 1, …, i ± k/2 (mod n)`, plus the antipodal vertex when `k` is odd
+/// (which then requires `n` to be even).
+///
+/// This is the family the paper's appendix uses to show the sweeping
+/// algorithm beats SLINK by a `√|V|` factor.
+///
+/// # Panics
+///
+/// Panics if `k >= n`, or if `k` is odd and `n` is odd (no such regular
+/// graph exists).
+pub fn k_regular(n: usize, k: usize, weights: WeightMode, seed: u64) -> WeightedGraph {
+    assert!(k < n, "degree {k} must be smaller than vertex count {n}");
+    assert!(
+        k % 2 == 0 || n % 2 == 0,
+        "a {k}-regular graph on {n} vertices does not exist (both odd)"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_vertices(n);
+    for i in 0..n {
+        for off in 1..=k / 2 {
+            let j = (i + off) % n;
+            let (u, v) = (VertexId::new(i.min(j)), VertexId::new(i.max(j)));
+            if !b.contains_edge(u, v) {
+                let w = weights.sample(&mut rng);
+                b.add_edge(u, v, w).expect("k_regular generator produces valid edges");
+            }
+        }
+        if k % 2 == 1 {
+            let j = (i + n / 2) % n;
+            let (u, v) = (VertexId::new(i.min(j)), VertexId::new(i.max(j)));
+            if !b.contains_edge(u, v) {
+                let w = weights.sample(&mut rng);
+                b.add_edge(u, v, w).expect("k_regular generator produces valid edges");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Generates a Barabási–Albert preferential-attachment graph: starts from
+/// a small clique of `m + 1` vertices, then each new vertex attaches to
+/// `m` existing vertices chosen proportionally to their degree.
+///
+/// Produces the heavy-tailed degree distributions typical of word
+/// association networks (K₂ dominated by hub vertices).
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n <= m`.
+pub fn barabasi_albert(n: usize, m: usize, weights: WeightMode, seed: u64) -> WeightedGraph {
+    assert!(m > 0, "attachment count must be positive");
+    assert!(n > m, "vertex count {n} must exceed attachment count {m}");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_vertices(n);
+    // `targets` holds one entry per edge endpoint, so sampling uniformly
+    // from it is degree-proportional sampling.
+    let mut endpoints: Vec<usize> = Vec::new();
+    for i in 0..=m {
+        for j in i + 1..=m {
+            let w = weights.sample(&mut rng);
+            b.add_edge(VertexId::new(i), VertexId::new(j), w)
+                .expect("barabasi_albert seed clique is valid");
+            endpoints.push(i);
+            endpoints.push(j);
+        }
+    }
+    for i in m + 1..n {
+        let mut chosen: Vec<usize> = Vec::with_capacity(m);
+        let mut guard = 0usize;
+        while chosen.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != i && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+            guard += 1;
+            if guard > 64 * (m + 1) {
+                // Fall back to uniform choice to guarantee termination on
+                // adversarial degree distributions.
+                for cand in 0..i {
+                    if chosen.len() == m {
+                        break;
+                    }
+                    if !chosen.contains(&cand) {
+                        chosen.push(cand);
+                    }
+                }
+            }
+        }
+        for t in chosen {
+            let w = weights.sample(&mut rng);
+            b.add_edge(VertexId::new(i), VertexId::new(t), w)
+                .expect("barabasi_albert attachment edges are valid");
+            endpoints.push(i);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// A planted-partition description returned by [`planted_partition`]:
+/// the graph plus the ground-truth community of every vertex and edge.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PlantedPartition {
+    /// The generated graph.
+    pub graph: WeightedGraph,
+    /// Ground-truth community per vertex.
+    pub vertex_community: Vec<u32>,
+    /// Ground-truth community per edge; inter-community bridges get
+    /// [`BRIDGE`](Self::BRIDGE).
+    pub edge_community: Vec<u32>,
+}
+
+impl PlantedPartition {
+    /// The label assigned to inter-community bridge edges.
+    pub const BRIDGE: u32 = u32::MAX;
+}
+
+/// Generates a planted-partition graph: `communities` groups of `size`
+/// vertices, where intra-community vertex pairs are joined with
+/// probability `p_in` (strong weights in `[0.8, 1.2)`) and
+/// inter-community pairs with probability `p_out` (weak weights in
+/// `[0.05, 0.15)`). Every community is additionally wired as a spanning
+/// ring so it is guaranteed connected.
+///
+/// The ground truth makes this the standard recovery benchmark for
+/// community detection; link clustering should reassemble the
+/// intra-community edge sets.
+///
+/// # Panics
+///
+/// Panics if `communities == 0`, `size < 3`, or the probabilities are
+/// outside `[0, 1]`.
+pub fn planted_partition(
+    communities: usize,
+    size: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> PlantedPartition {
+    assert!(communities > 0, "need at least one community");
+    assert!(size >= 3, "communities need at least 3 vertices");
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = communities * size;
+    let mut b = GraphBuilder::with_vertices(n);
+    let mut edge_community = Vec::new();
+    let vertex_community: Vec<u32> =
+        (0..n).map(|v| (v / size) as u32).collect();
+    for c in 0..communities {
+        let base = c * size;
+        // spanning ring for guaranteed connectivity
+        for i in 0..size {
+            let (u, v) = (base + i, base + (i + 1) % size);
+            let (u, v) = (u.min(v), u.max(v));
+            if !b.contains_edge(VertexId::new(u), VertexId::new(v)) {
+                b.add_edge(VertexId::new(u), VertexId::new(v), rng.gen_range(0.8..1.2))
+                    .expect("ring edges are valid");
+                edge_community.push(c as u32);
+            }
+        }
+        for i in 0..size {
+            for j in i + 1..size {
+                let (u, v) = (base + i, base + j);
+                if rng.gen_bool(p_in) && !b.contains_edge(VertexId::new(u), VertexId::new(v)) {
+                    b.add_edge(VertexId::new(u), VertexId::new(v), rng.gen_range(0.8..1.2))
+                        .expect("intra edges are valid");
+                    edge_community.push(c as u32);
+                }
+            }
+        }
+    }
+    for cu in 0..communities {
+        for cv in cu + 1..communities {
+            for i in 0..size {
+                for j in 0..size {
+                    let (u, v) = (cu * size + i, cv * size + j);
+                    if rng.gen_bool(p_out) {
+                        b.add_edge(VertexId::new(u), VertexId::new(v), rng.gen_range(0.05..0.15))
+                            .expect("bridge edges are valid");
+                        edge_community.push(PlantedPartition::BRIDGE);
+                    }
+                }
+            }
+        }
+    }
+    PlantedPartition { graph: b.build(), vertex_community, edge_community }
+}
+
+/// An overlapping planted structure returned by [`overlapping_planted`]:
+/// consecutive communities share `overlap` vertices, so ground-truth
+/// communities are vertex *sets* (a cover), not a partition.
+#[derive(Clone, PartialEq, Debug)]
+pub struct OverlappingPlanted {
+    /// The generated graph.
+    pub graph: WeightedGraph,
+    /// Ground-truth communities as vertex-index sets.
+    pub communities: Vec<Vec<u32>>,
+}
+
+/// Generates `communities` overlapping cliques arranged in a chain:
+/// community `c` owns `size` vertices, the last `overlap` of which are
+/// also the first `overlap` vertices of community `c+1`. All
+/// intra-community pairs are connected with strong weights.
+///
+/// This is the canonical workload for *link* clustering: the shared
+/// vertices belong to two communities, which no vertex-partitioning
+/// method can express but an edge partition can.
+///
+/// # Panics
+///
+/// Panics if `communities == 0`, `size < 3`, or `overlap >= size - 1`.
+pub fn overlapping_planted(
+    communities: usize,
+    size: usize,
+    overlap: usize,
+    seed: u64,
+) -> OverlappingPlanted {
+    assert!(communities > 0, "need at least one community");
+    assert!(size >= 3, "communities need at least 3 vertices");
+    assert!(overlap < size - 1, "overlap must leave at least 2 private vertices");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let stride = size - overlap;
+    let n = stride * communities + overlap;
+    let mut b = GraphBuilder::with_vertices(n);
+    let mut member_sets = Vec::with_capacity(communities);
+    for c in 0..communities {
+        let base = c * stride;
+        let members: Vec<u32> = (base..base + size).map(|v| v as u32).collect();
+        for i in 0..size {
+            for j in i + 1..size {
+                let (u, v) = (VertexId::new(base + i), VertexId::new(base + j));
+                if !b.contains_edge(u, v) {
+                    b.add_edge(u, v, rng.gen_range(0.8..1.2))
+                        .expect("clique edges are valid");
+                }
+            }
+        }
+        member_sets.push(members);
+    }
+    OverlappingPlanted { graph: b.build(), communities: member_sets }
+}
+
+/// Like [`overlapping_planted`], but each intra-community edge is
+/// *rewired* with probability `mu` to a uniformly random non-member
+/// endpoint (keeping its strong weight) — the mixing parameter of
+/// LFR-style benchmarks. `mu = 0` reproduces [`overlapping_planted`];
+/// larger `mu` makes recovery harder, letting tests measure graceful
+/// degradation.
+///
+/// # Panics
+///
+/// Same conditions as [`overlapping_planted`], plus `mu ∉ [0, 1]`.
+pub fn overlapping_planted_with_mixing(
+    communities: usize,
+    size: usize,
+    overlap: usize,
+    mu: f64,
+    seed: u64,
+) -> OverlappingPlanted {
+    assert!((0.0..=1.0).contains(&mu), "mixing parameter must lie in [0, 1]");
+    let base = overlapping_planted(communities, size, overlap, seed);
+    if mu == 0.0 {
+        return base;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(0x5eed));
+    let n = base.graph.vertex_count();
+    let mut b = GraphBuilder::with_vertices(n);
+    for (_, e) in base.graph.edges() {
+        let (mut u, mut v) = (e.source, e.target);
+        if rng.gen_bool(mu) {
+            // Rewire v to a random vertex outside the edge.
+            for _ in 0..16 {
+                let cand = VertexId::new(rng.gen_range(0..n));
+                if cand != u && cand != v && !b.contains_edge(u, cand) {
+                    v = cand;
+                    break;
+                }
+            }
+        }
+        if u > v {
+            std::mem::swap(&mut u, &mut v);
+        }
+        if !b.contains_edge(u, v) {
+            b.add_edge(u, v, e.weight).expect("rewired edges are valid");
+        }
+    }
+    OverlappingPlanted { graph: b.build(), communities: base.communities }
+}
+
+/// Generates the cycle graph `C_n`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize, weights: WeightMode, seed: u64) -> WeightedGraph {
+    assert!(n >= 3, "a ring needs at least 3 vertices");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_vertices(n);
+    for i in 0..n {
+        let j = (i + 1) % n;
+        let w = weights.sample(&mut rng);
+        b.add_edge(VertexId::new(i.min(j)), VertexId::new(i.max(j)), w)
+            .expect("ring generator produces valid edges");
+    }
+    b.build()
+}
+
+/// Generates a Watts–Strogatz small-world graph: a `k`-regular ring
+/// lattice whose edges are each rewired with probability `p` to a
+/// uniformly random endpoint. `p = 0` gives a pure lattice (high
+/// clustering coefficient, long paths); `p = 1` approaches a random
+/// graph — a workload family with a *tunable* triangle density, the
+/// structure link clustering keys on.
+///
+/// # Panics
+///
+/// Panics if `k` is odd or `k >= n`, or `p ∉ [0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, p: f64, weights: WeightMode, seed: u64) -> WeightedGraph {
+    assert!(k % 2 == 0, "lattice degree must be even");
+    assert!(k < n, "degree {k} must be smaller than vertex count {n}");
+    assert!((0.0..=1.0).contains(&p), "rewiring probability must lie in [0, 1]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_vertices(n);
+    for i in 0..n {
+        for off in 1..=k / 2 {
+            let mut j = (i + off) % n;
+            if rng.gen_bool(p) {
+                // Rewire to a random non-duplicate endpoint.
+                for _ in 0..16 {
+                    let cand = rng.gen_range(0..n);
+                    if cand != i
+                        && !b.contains_edge(VertexId::new(i.min(cand)), VertexId::new(i.max(cand)))
+                    {
+                        j = cand;
+                        break;
+                    }
+                }
+            }
+            let (u, v) = (VertexId::new(i.min(j)), VertexId::new(i.max(j)));
+            if u != v && !b.contains_edge(u, v) {
+                let w = weights.sample(&mut rng);
+                b.add_edge(u, v, w).expect("watts_strogatz edges are valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Generates the path graph `P_n`.
+pub fn path(n: usize, weights: WeightMode, seed: u64) -> WeightedGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_vertices(n);
+    for i in 0..n.saturating_sub(1) {
+        let w = weights.sample(&mut rng);
+        b.add_edge(VertexId::new(i), VertexId::new(i + 1), w)
+            .expect("path generator produces valid edges");
+    }
+    b.build()
+}
+
+/// Generates the star graph `K_{1,n-1}` with vertex 0 as the hub.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize, weights: WeightMode, seed: u64) -> WeightedGraph {
+    assert!(n >= 2, "a star needs at least 2 vertices");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_vertices(n);
+    for i in 1..n {
+        let w = weights.sample(&mut rng);
+        b.add_edge(VertexId::new(0), VertexId::new(i), w)
+            .expect("star generator produces valid edges");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GraphStats;
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = complete(6, WeightMode::Unit, 0);
+        assert_eq!(g.vertex_count(), 6);
+        assert_eq!(g.edge_count(), 15);
+        assert!((g.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_regular_has_uniform_degree() {
+        for (n, k) in [(10, 4), (12, 3), (8, 2), (20, 6)] {
+            let g = k_regular(n, k, WeightMode::Unit, 1);
+            for v in g.vertices() {
+                assert_eq!(g.degree(v), k, "n={n} k={k} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn k_regular_rejects_odd_odd() {
+        k_regular(7, 3, WeightMode::Unit, 0);
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = gnm(30, 100, WeightMode::Unit, 7);
+        assert_eq!(g.edge_count(), 100);
+        assert_eq!(g.vertex_count(), 30);
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        assert_eq!(erdos_renyi(10, 0.0, WeightMode::Unit, 3).edge_count(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, WeightMode::Unit, 3).edge_count(), 45);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let w = WeightMode::Uniform { lo: 0.5, hi: 2.0 };
+        let a = gnm(25, 60, w, 42);
+        let b = gnm(25, 60, w, 42);
+        assert_eq!(a, b);
+        let c = gnm(25, 60, w, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn barabasi_albert_shape() {
+        let g = barabasi_albert(100, 3, WeightMode::Unit, 5);
+        assert_eq!(g.vertex_count(), 100);
+        // clique C(4,2)=6 edges + 96 vertices * 3 attachments
+        assert_eq!(g.edge_count(), 6 + 96 * 3);
+        // Heavy tail: some hub should comfortably exceed the mean degree.
+        let mean = 2.0 * g.edge_count() as f64 / 100.0;
+        assert!(g.max_degree() as f64 > 2.0 * mean);
+    }
+
+    #[test]
+    fn uniform_weights_in_range() {
+        let g = gnm(20, 50, WeightMode::Uniform { lo: 0.25, hi: 0.75 }, 11);
+        for (_, e) in g.edges() {
+            assert!(e.weight >= 0.25 && e.weight < 0.75);
+        }
+    }
+
+    #[test]
+    fn ring_and_path_and_star() {
+        let r = ring(5, WeightMode::Unit, 0);
+        assert_eq!(r.edge_count(), 5);
+        for v in r.vertices() {
+            assert_eq!(r.degree(v), 2);
+        }
+        let p = path(5, WeightMode::Unit, 0);
+        assert_eq!(p.edge_count(), 4);
+        let s = star(5, WeightMode::Unit, 0);
+        assert_eq!(s.degree(crate::VertexId::new(0)), 4);
+    }
+
+    #[test]
+    fn planted_partition_ground_truth_is_consistent() {
+        let p = planted_partition(4, 8, 0.8, 0.02, 9);
+        assert_eq!(p.graph.vertex_count(), 32);
+        assert_eq!(p.edge_community.len(), p.graph.edge_count());
+        assert_eq!(p.vertex_community.len(), 32);
+        // Intra edges connect same-community endpoints; bridges differ.
+        for ((_, e), &c) in p.graph.edges().zip(&p.edge_community) {
+            let (cu, cv) = (
+                p.vertex_community[e.source.index()],
+                p.vertex_community[e.target.index()],
+            );
+            if c == PlantedPartition::BRIDGE {
+                assert_ne!(cu, cv);
+                assert!(e.weight < 0.2, "bridges are weak");
+            } else {
+                assert_eq!(cu, cv);
+                assert_eq!(cu, c);
+                assert!(e.weight >= 0.8, "intra edges are strong");
+            }
+        }
+    }
+
+    #[test]
+    fn planted_communities_are_connected() {
+        use crate::algo::connected_components;
+        let p = planted_partition(3, 6, 0.0, 0.0, 4); // rings only
+        let labels = connected_components(&p.graph);
+        // With p_out = 0 each community is exactly one component.
+        for v in 0..18 {
+            assert_eq!(labels[v], (v / 6) as usize);
+        }
+    }
+
+    #[test]
+    fn overlapping_planted_shares_vertices() {
+        let p = overlapping_planted(3, 6, 2, 1);
+        // stride 4: vertices 0..6, 4..10, 8..14 -> n = 14
+        assert_eq!(p.graph.vertex_count(), 14);
+        assert_eq!(p.communities.len(), 3);
+        // communities 0 and 1 share vertices 4 and 5
+        let c0: std::collections::HashSet<u32> = p.communities[0].iter().copied().collect();
+        let c1: std::collections::HashSet<u32> = p.communities[1].iter().copied().collect();
+        let shared: Vec<u32> = c0.intersection(&c1).copied().collect();
+        assert_eq!(shared.len(), 2);
+        // each community is a clique
+        for members in &p.communities {
+            for (i, &u) in members.iter().enumerate() {
+                for &v in &members[i + 1..] {
+                    assert!(p.graph.has_edge(
+                        crate::VertexId::new(u as usize),
+                        crate::VertexId::new(v as usize)
+                    ));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "private vertices")]
+    fn overlapping_planted_rejects_excessive_overlap() {
+        overlapping_planted(2, 4, 3, 0);
+    }
+
+    #[test]
+    fn watts_strogatz_lattice_at_p_zero() {
+        let g = watts_strogatz(20, 4, 0.0, WeightMode::Unit, 0);
+        assert_eq!(g.edge_count(), 40);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4);
+        }
+        // Lattice has triangles (each vertex closes with its 2-hop ring
+        // neighbors).
+        assert!(crate::stats::count_triangles(&g) > 0);
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_lowers_transitivity() {
+        use crate::stats::transitivity;
+        let lattice = watts_strogatz(200, 8, 0.0, WeightMode::Unit, 3);
+        let random = watts_strogatz(200, 8, 1.0, WeightMode::Unit, 3);
+        assert!(
+            transitivity(&lattice) > 2.0 * transitivity(&random),
+            "lattice {} vs rewired {}",
+            transitivity(&lattice),
+            transitivity(&random)
+        );
+    }
+
+    #[test]
+    fn mixing_zero_is_identity() {
+        let a = overlapping_planted(3, 6, 1, 7);
+        let b = overlapping_planted_with_mixing(3, 6, 1, 0.0, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mixing_rewires_some_edges() {
+        let clean = overlapping_planted(4, 8, 2, 3);
+        let noisy = overlapping_planted_with_mixing(4, 8, 2, 0.3, 3);
+        assert_eq!(clean.communities, noisy.communities);
+        // Count intra-community edges in both; mixing must reduce them.
+        let intra = |p: &OverlappingPlanted| -> usize {
+            p.graph
+                .edges()
+                .filter(|(_, e)| {
+                    p.communities.iter().any(|c| {
+                        c.contains(&u32::from(e.source)) && c.contains(&u32::from(e.target))
+                    })
+                })
+                .count()
+        };
+        assert!(intra(&noisy) < intra(&clean), "{} vs {}", intra(&noisy), intra(&clean));
+    }
+
+    #[test]
+    fn invariant_on_random_graphs() {
+        for seed in 0..5 {
+            let g = gnm(40, 120, WeightMode::Unit, seed);
+            assert!(GraphStats::compute(&g).invariant_holds());
+        }
+    }
+}

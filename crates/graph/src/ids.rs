@@ -1,0 +1,131 @@
+//! Typed handles for vertices and edges.
+
+use std::fmt;
+
+/// Identifier of a vertex in a [`WeightedGraph`](crate::WeightedGraph).
+///
+/// Vertex ids are dense indices `0..vertex_count()` assigned in insertion
+/// order by [`GraphBuilder::add_vertex`](crate::GraphBuilder::add_vertex).
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_graph::VertexId;
+/// let v = VertexId::new(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct VertexId(u32);
+
+impl VertexId {
+    /// Creates a vertex id from a dense index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        VertexId(index as u32)
+    }
+
+    /// Returns the dense index of this vertex.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(value: u32) -> Self {
+        VertexId(value)
+    }
+}
+
+impl From<VertexId> for u32 {
+    fn from(value: VertexId) -> Self {
+        value.0
+    }
+}
+
+/// Identifier of an edge in a [`WeightedGraph`](crate::WeightedGraph).
+///
+/// Edge ids are dense indices `0..edge_count()` assigned in insertion
+/// order. The sweeping algorithm of the paper clusters *edges*, so these
+/// ids are the data points of link clustering.
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_graph::EdgeId;
+/// let e = EdgeId::new(7);
+/// assert_eq!(e.index(), 7);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge id from a dense index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        EdgeId(index as u32)
+    }
+
+    /// Returns the dense index of this edge.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(value: u32) -> Self {
+        EdgeId(value)
+    }
+}
+
+impl From<EdgeId> for u32 {
+    fn from(value: EdgeId) -> Self {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(u32::from(v), 42);
+        assert_eq!(VertexId::from(42u32), v);
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId::new(9);
+        assert_eq!(e.index(), 9);
+        assert_eq!(u32::from(e), 9);
+        assert_eq!(EdgeId::from(9u32), e);
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(VertexId::new(1) < VertexId::new(2));
+        assert!(EdgeId::new(0) < EdgeId::new(10));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VertexId::new(5).to_string(), "v5");
+        assert_eq!(EdgeId::new(5).to_string(), "e5");
+    }
+}

@@ -1,0 +1,181 @@
+//! Plain-text edge-list serialization.
+//!
+//! The interchange format used by most community-detection tooling: one
+//! `u v weight` triple per line, `#`-prefixed comments, blank lines
+//! ignored. Weights may be omitted (defaulting to 1.0).
+
+use std::io::{BufRead, Write};
+
+use crate::{GraphBuilder, GraphError, VertexId, WeightedGraph};
+
+/// Errors raised while parsing an edge list.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ParseGraphError {
+    /// An I/O failure from the underlying reader.
+    Io(std::io::Error),
+    /// A line that is not `u v [weight]`.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// A structurally invalid edge (self-loop, duplicate, bad weight).
+    Graph {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying graph error.
+        source: GraphError,
+    },
+}
+
+impl std::fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseGraphError::Io(e) => write!(f, "i/o error while reading edge list: {e}"),
+            ParseGraphError::Malformed { line, content } => {
+                write!(f, "line {line} is not `u v [weight]`: {content:?}")
+            }
+            ParseGraphError::Graph { line, source } => {
+                write!(f, "line {line}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseGraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseGraphError::Io(e) => Some(e),
+            ParseGraphError::Graph { source, .. } => Some(source),
+            ParseGraphError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseGraphError {
+    fn from(e: std::io::Error) -> Self {
+        ParseGraphError::Io(e)
+    }
+}
+
+/// Reads a weighted edge list. Vertex ids are dense non-negative
+/// integers; the vertex count is `max id + 1`.
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on I/O failure, malformed lines, or
+/// invalid edges.
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_graph::io::read_edge_list;
+///
+/// let text = "# a comment\n0 1 2.5\n1 2\n";
+/// let g = read_edge_list(text.as_bytes())?;
+/// assert_eq!(g.vertex_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok::<(), linkclust_graph::io::ParseGraphError>(())
+/// ```
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<WeightedGraph, ParseGraphError> {
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    let mut max_vertex = 0usize;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (u, v) = match (
+            parts.next().and_then(|t| t.parse::<usize>().ok()),
+            parts.next().and_then(|t| t.parse::<usize>().ok()),
+        ) {
+            (Some(u), Some(v)) => (u, v),
+            _ => {
+                return Err(ParseGraphError::Malformed { line: i + 1, content: trimmed.to_owned() })
+            }
+        };
+        let w = match parts.next() {
+            None => 1.0,
+            Some(t) => t.parse::<f64>().map_err(|_| ParseGraphError::Malformed {
+                line: i + 1,
+                content: trimmed.to_owned(),
+            })?,
+        };
+        if parts.next().is_some() {
+            return Err(ParseGraphError::Malformed { line: i + 1, content: trimmed.to_owned() });
+        }
+        max_vertex = max_vertex.max(u).max(v);
+        edges.push((u, v, w));
+    }
+    let mut b = GraphBuilder::with_vertices(if edges.is_empty() { 0 } else { max_vertex + 1 });
+    for (i, (u, v, w)) in edges.into_iter().enumerate() {
+        b.add_edge(VertexId::new(u), VertexId::new(v), w)
+            .map_err(|source| ParseGraphError::Graph { line: i + 1, source })?;
+    }
+    Ok(b.build())
+}
+
+/// Writes `g` as an edge list (`u v weight` per line, id order).
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_edge_list<W: Write>(g: &WeightedGraph, mut writer: W) -> std::io::Result<()> {
+    for (_, e) in g.edges() {
+        writeln!(writer, "{} {} {}", e.source.index(), e.target.index(), e.weight)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{gnm, WeightMode};
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = gnm(20, 50, WeightMode::Uniform { lo: 0.25, hi: 2.0 }, 8);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let g = read_edge_list("# header\n\n0 1\n# middle\n2 0 0.5\n".as_bytes()).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.weight_between(VertexId::new(0), VertexId::new(1)), Some(1.0));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in ["0", "a b", "0 1 x", "0 1 1.0 extra"] {
+            let err = read_edge_list(bad.as_bytes()).unwrap_err();
+            assert!(matches!(err, ParseGraphError::Malformed { line: 1, .. }), "{bad}");
+        }
+    }
+
+    #[test]
+    fn invalid_edges_are_rejected_with_line() {
+        let err = read_edge_list("0 1\n1 1\n".as_bytes()).unwrap_err();
+        match err {
+            ParseGraphError::Graph { line, source } => {
+                assert_eq!(line, 2);
+                assert!(matches!(source, GraphError::SelfLoop { .. }));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list("".as_bytes()).unwrap();
+        assert!(g.is_empty());
+    }
+}

@@ -1,0 +1,310 @@
+//! Incidence statistics used by the paper's complexity analysis (§IV-C).
+//!
+//! The serial sweeping algorithm's cost is phrased in terms of three graph
+//! properties:
+//!
+//! * **K₁** — the number of vertex pairs with at least one common neighbor
+//!   (the number of keys in map `M` of Algorithm 1, i.e. the length of the
+//!   sorted list `L`).
+//! * **K₂** — the number of pairs of incident edges, `Σᵥ d(v)(d(v)−1)/2`
+//!   (the number of `MERGE` calls in Algorithm 2).
+//! * **K₃** — the number of pairs of distinct edges, `|E|(|E|−1)/2`
+//!   (the number of similarity entries a generic clusterer must consider).
+//!
+//! For every graph `K₁ ≤ K₂ ≤ K₃` (Fig. 1 of the paper gives an example
+//! with 7 < 16 < 28).
+
+use std::collections::HashSet;
+
+use crate::{VertexId, WeightedGraph};
+
+/// Summary statistics of a [`WeightedGraph`].
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_graph::{GraphBuilder, stats::GraphStats};
+///
+/// // A triangle: every pair of vertices shares the third as a neighbor.
+/// let g = GraphBuilder::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)])?.build();
+/// let s = GraphStats::compute(&g);
+/// assert_eq!(s.common_neighbor_pairs, 3); // K1
+/// assert_eq!(s.incident_edge_pairs, 3);   // K2
+/// assert_eq!(s.distinct_edge_pairs, 3);   // K3
+/// # Ok::<(), linkclust_graph::GraphError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct GraphStats {
+    /// Number of vertices, `|V|`.
+    pub vertices: usize,
+    /// Number of edges, `|E|`.
+    pub edges: usize,
+    /// Graph density, `2|E| / (|V|(|V|−1))`.
+    pub density: f64,
+    /// K₁ — vertex pairs with at least one common neighbor.
+    pub common_neighbor_pairs: u64,
+    /// K₂ — pairs of incident edges.
+    pub incident_edge_pairs: u64,
+    /// K₃ — pairs of distinct edges.
+    pub distinct_edge_pairs: u64,
+    /// Maximum vertex degree.
+    pub max_degree: usize,
+    /// Mean vertex degree, `2|E|/|V|`.
+    pub mean_degree: f64,
+}
+
+impl GraphStats {
+    /// Computes all statistics for `g`.
+    ///
+    /// Runs in O(|V| + K₂) time and O(K₁) space (the dominant cost is
+    /// enumerating neighbor pairs to count K₁ exactly).
+    pub fn compute(g: &WeightedGraph) -> Self {
+        GraphStats {
+            vertices: g.vertex_count(),
+            edges: g.edge_count(),
+            density: g.density(),
+            common_neighbor_pairs: count_common_neighbor_pairs(g),
+            incident_edge_pairs: count_incident_edge_pairs(g),
+            distinct_edge_pairs: count_distinct_edge_pairs(g),
+            max_degree: g.max_degree(),
+            mean_degree: if g.vertex_count() == 0 {
+                0.0
+            } else {
+                2.0 * g.edge_count() as f64 / g.vertex_count() as f64
+            },
+        }
+    }
+
+    /// Returns `true` if the paper's invariant K₁ ≤ K₂ ≤ K₃ holds
+    /// (it must, for every graph — exposed for assertion convenience).
+    pub fn invariant_holds(&self) -> bool {
+        self.common_neighbor_pairs <= self.incident_edge_pairs
+            && self.incident_edge_pairs <= self.distinct_edge_pairs
+    }
+}
+
+/// Counts K₁: the number of unordered vertex pairs `{u, w}` such that some
+/// vertex `v` is adjacent to both.
+///
+/// This equals the number of keys of map `M` built by Algorithm 1.
+pub fn count_common_neighbor_pairs(g: &WeightedGraph) -> u64 {
+    let mut pairs: HashSet<(u32, u32)> = HashSet::new();
+    for v in g.vertices() {
+        let nbrs = g.neighbors(v);
+        for (i, a) in nbrs.iter().enumerate() {
+            for b in &nbrs[i + 1..] {
+                pairs.insert((a.vertex.into(), b.vertex.into()));
+            }
+        }
+    }
+    pairs.len() as u64
+}
+
+/// Counts K₂: the number of unordered pairs of distinct incident edges,
+/// `Σᵥ d(v)(d(v)−1)/2`.
+pub fn count_incident_edge_pairs(g: &WeightedGraph) -> u64 {
+    g.vertices()
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum()
+}
+
+/// Counts K₃: the number of unordered pairs of distinct edges,
+/// `|E|(|E|−1)/2`.
+pub fn count_distinct_edge_pairs(g: &WeightedGraph) -> u64 {
+    let m = g.edge_count() as u64;
+    m * (m.saturating_sub(1)) / 2
+}
+
+/// Counts the triangles in `g` (each counted once).
+///
+/// Uses the standard forward algorithm over sorted adjacency lists:
+/// for each edge `(u, v)` with `u < v`, intersect the higher-id tails of
+/// both neighbor lists. Runs in O(Σ d(v)²) = O(K₂) time — same order as
+/// the similarity initialization.
+///
+/// Triangles are where link clustering's signal lives: an incident edge
+/// pair closing a triangle has a large Tanimoto similarity.
+pub fn count_triangles(g: &WeightedGraph) -> u64 {
+    let mut total = 0u64;
+    for (_, e) in g.edges() {
+        let (u, v) = (e.source, e.target);
+        let (a, b) = (g.neighbors(u), g.neighbors(v));
+        // Only count the third vertex above v to avoid double counting.
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].vertex.cmp(&b[j].vertex) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if a[i].vertex > v {
+                        total += 1;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    total
+}
+
+/// The global clustering coefficient (transitivity):
+/// `3 · triangles / open-and-closed-wedges` = `3·T / K₂`, or 0.0 when
+/// the graph has no incident edge pairs.
+pub fn transitivity(g: &WeightedGraph) -> f64 {
+    let k2 = count_incident_edge_pairs(g);
+    if k2 == 0 {
+        0.0
+    } else {
+        3.0 * count_triangles(g) as f64 / k2 as f64
+    }
+}
+
+/// Returns the common neighbors of `u` and `v` in increasing id order.
+///
+/// Computed by merging the two sorted adjacency lists in
+/// O(d(u) + d(v)) time.
+pub fn common_neighbors(g: &WeightedGraph, u: VertexId, v: VertexId) -> Vec<VertexId> {
+    let (a, b) = (g.neighbors(u), g.neighbors(v));
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].vertex.cmp(&b[j].vertex) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i].vertex);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path(n: usize) -> WeightedGraph {
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        GraphBuilder::from_edges(n, &edges).unwrap().build()
+    }
+
+    fn star(leaves: usize) -> WeightedGraph {
+        let edges: Vec<_> = (1..=leaves).map(|i| (0, i, 1.0)).collect();
+        GraphBuilder::from_edges(leaves + 1, &edges).unwrap().build()
+    }
+
+    #[test]
+    fn path_statistics() {
+        // P4: 0-1-2-3. K1: {0,2}, {1,3} => 2. K2: internal vertices 1, 2
+        // each contribute 1 pair => 2. K3: 3 edges => 3 pairs.
+        let s = GraphStats::compute(&path(4));
+        assert_eq!(s.common_neighbor_pairs, 2);
+        assert_eq!(s.incident_edge_pairs, 2);
+        assert_eq!(s.distinct_edge_pairs, 3);
+        assert!(s.invariant_holds());
+    }
+
+    #[test]
+    fn star_statistics() {
+        // K_{1,5}: center degree 5, K1 = C(5,2) = 10 pairs of leaves,
+        // K2 = 10, K3 = 10.
+        let s = GraphStats::compute(&star(5));
+        assert_eq!(s.common_neighbor_pairs, 10);
+        assert_eq!(s.incident_edge_pairs, 10);
+        assert_eq!(s.distinct_edge_pairs, 10);
+        assert_eq!(s.max_degree, 5);
+    }
+
+    #[test]
+    fn disjoint_edges_have_no_incident_pairs() {
+        // The paper notes K1 = K2 = 0 while |E| = |V|/2 for a perfect
+        // matching.
+        let g = GraphBuilder::from_edges(6, &[(0, 1, 1.0), (2, 3, 1.0), (4, 5, 1.0)])
+            .unwrap()
+            .build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.common_neighbor_pairs, 0);
+        assert_eq!(s.incident_edge_pairs, 0);
+        assert_eq!(s.distinct_edge_pairs, 3);
+    }
+
+    #[test]
+    fn k1_counts_pairs_once_despite_multiple_witnesses() {
+        // 4-cycle: 0-1-2-3-0. The pair {0,2} has two common neighbors
+        // (1 and 3) but counts once; same for {1,3}.
+        let g = GraphBuilder::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0)])
+            .unwrap()
+            .build();
+        assert_eq!(count_common_neighbor_pairs(&g), 2);
+        assert_eq!(count_incident_edge_pairs(&g), 4);
+    }
+
+    #[test]
+    fn common_neighbors_merge() {
+        let g = GraphBuilder::from_edges(
+            5,
+            &[(0, 2, 1.0), (0, 3, 1.0), (0, 4, 1.0), (1, 3, 1.0), (1, 4, 1.0)],
+        )
+        .unwrap()
+        .build();
+        let cn = common_neighbors(&g, VertexId::new(0), VertexId::new(1));
+        let idx: Vec<_> = cn.iter().map(|v| v.index()).collect();
+        assert_eq!(idx, vec![3, 4]);
+    }
+
+    #[test]
+    fn triangle_counts() {
+        use crate::generate::{complete, ring, WeightMode};
+        // K4 has C(4,3) = 4 triangles; transitivity 1.
+        let k4 = complete(4, WeightMode::Unit, 0);
+        assert_eq!(count_triangles(&k4), 4);
+        assert!((transitivity(&k4) - 1.0).abs() < 1e-12);
+        // A ring has none.
+        let c6 = ring(6, WeightMode::Unit, 0);
+        assert_eq!(count_triangles(&c6), 0);
+        assert_eq!(transitivity(&c6), 0.0);
+        // One triangle with a pendant edge: T = 1, K2 = 5.
+        let g = GraphBuilder::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (2, 3, 1.0)])
+            .unwrap()
+            .build();
+        assert_eq!(count_triangles(&g), 1);
+        assert!((transitivity(&g) - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangles_on_random_graph_match_brute_force() {
+        use crate::generate::{gnm, WeightMode};
+        let g = gnm(18, 60, WeightMode::Unit, 5);
+        let mut brute = 0u64;
+        let n = g.vertex_count();
+        for a in 0..n {
+            for b in a + 1..n {
+                for c in b + 1..n {
+                    let (va, vb, vc) =
+                        (VertexId::new(a), VertexId::new(b), VertexId::new(c));
+                    if g.has_edge(va, vb) && g.has_edge(vb, vc) && g.has_edge(va, vc) {
+                        brute += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(count_triangles(&g), brute);
+    }
+
+    #[test]
+    fn empty_graph_statistics() {
+        let s = GraphStats::compute(&GraphBuilder::new().build());
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.common_neighbor_pairs, 0);
+        assert_eq!(s.mean_degree, 0.0);
+        assert!(s.invariant_holds());
+    }
+}

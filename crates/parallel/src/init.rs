@@ -1,0 +1,149 @@
+//! Parallel initialization phase (§VI-A).
+//!
+//! The three passes of Algorithm 1, each parallelized as the paper
+//! prescribes:
+//!
+//! 1. **Pass 1** — vertices are partitioned into `T` disjoint contiguous
+//!    sets; each thread fills its slice of `H₁`/`H₂`.
+//! 2. **Pass 2** — each thread accumulates its own pair map over its
+//!    vertex set (no sharing), then the `T` maps are merged pairwise in a
+//!    hierarchical reduction until at most three remain, which a single
+//!    thread folds.
+//! 3. **Pass 3** — the key-sorted entry vector is split into disjoint
+//!    contiguous ranges (equivalently: partitioned by first vertex); each
+//!    thread applies the adjacency correction and final similarity to its
+//!    own range.
+
+use linkclust_core::init::{
+    accumulate_pairs, entries_into_similarities, finalize_entries, vertex_norms_range, VertexNorms,
+};
+use linkclust_core::PairSimilarities;
+use linkclust_graph::{VertexId, WeightedGraph};
+
+use crate::pool::{hierarchical_reduce, partition_ranges, run_on_ranges};
+
+/// Computes the pair similarities of Phase I using `threads` worker
+/// threads. The result is identical (up to floating-point association,
+/// which the per-vertex accumulation order keeps deterministic) to
+/// [`compute_similarities`](linkclust_core::init::compute_similarities).
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_graph::generate::{gnm, WeightMode};
+/// use linkclust_parallel::compute_similarities_parallel;
+///
+/// let g = gnm(30, 90, WeightMode::Unit, 1);
+/// let sims = compute_similarities_parallel(&g, 4);
+/// assert_eq!(sims.len() as u64, linkclust_graph::stats::count_common_neighbor_pairs(&g));
+/// ```
+pub fn compute_similarities_parallel(g: &WeightedGraph, threads: usize) -> PairSimilarities {
+    assert!(threads > 0, "need at least one thread");
+    let n = g.vertex_count();
+
+    // Pass 1: per-range vertex norms, concatenated in range order.
+    let ranges = partition_ranges(n, threads);
+    let parts = run_on_ranges(ranges.clone(), |r| vertex_norms_range(g, r));
+    let mut norms = VertexNorms { h1: Vec::with_capacity(n), h2: Vec::with_capacity(n) };
+    for part in parts {
+        norms.h1.extend(part.h1);
+        norms.h2.extend(part.h2);
+    }
+
+    // Pass 2, step 1: per-thread pair maps over disjoint vertex sets.
+    let maps = run_on_ranges(ranges, |r| accumulate_pairs(g, r.map(VertexId::new)));
+    // Pass 2, step 2: hierarchical pairwise merge.
+    let acc = hierarchical_reduce(maps, |mut a, b| {
+        a.merge(b);
+        a
+    })
+    .unwrap_or_default();
+
+    // Pass 3: finalize disjoint entry ranges in parallel.
+    let mut entries = acc.into_sorted_entries();
+    let chunk = entries.len().div_ceil(threads).max(1);
+    std::thread::scope(|s| {
+        for slice in entries.chunks_mut(chunk) {
+            let norms = &norms;
+            s.spawn(move || finalize_entries(g, norms, slice));
+        }
+    });
+    entries_into_similarities(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkclust_core::init::compute_similarities;
+    use linkclust_graph::generate::{barabasi_albert, gnm, WeightMode};
+    use linkclust_graph::GraphBuilder;
+
+    #[test]
+    fn matches_serial_exactly() {
+        for seed in 0..4 {
+            let g = gnm(50, 220, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, seed);
+            let serial = compute_similarities(&g);
+            for threads in [1, 2, 3, 4, 7] {
+                let par = compute_similarities_parallel(&g, threads);
+                assert_eq!(par.len(), serial.len(), "seed {seed} threads {threads}");
+                let mut se: Vec<_> = serial.entries().to_vec();
+                let mut pe: Vec<_> = par.entries().to_vec();
+                se.sort_by_key(|e| e.pair);
+                pe.sort_by_key(|e| e.pair);
+                for (a, b) in se.iter().zip(&pe) {
+                    assert_eq!(a.pair, b.pair);
+                    assert_eq!(a.common_neighbors, b.common_neighbors);
+                    assert!(
+                        (a.score - b.score).abs() < 1e-12,
+                        "score mismatch at {}: {} vs {}",
+                        a.pair,
+                        a.score,
+                        b.score
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn power_law_graph_matches_serial() {
+        let g = barabasi_albert(150, 4, WeightMode::Uniform { lo: 0.5, hi: 1.5 }, 2);
+        let serial = compute_similarities(&g);
+        let par = compute_similarities_parallel(&g, 6);
+        assert_eq!(serial.len(), par.len());
+        assert_eq!(serial.incident_pair_count(), par.incident_pair_count());
+    }
+
+    #[test]
+    fn single_thread_is_serial() {
+        let g = gnm(20, 50, WeightMode::Unit, 9);
+        let a = compute_similarities(&g);
+        let b = compute_similarities_parallel(&g, 1);
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn more_threads_than_vertices() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap().build();
+        let sims = compute_similarities_parallel(&g, 16);
+        assert_eq!(sims.len(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        let sims = compute_similarities_parallel(&g, 4);
+        assert!(sims.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn rejects_zero_threads() {
+        let g = GraphBuilder::new().build();
+        compute_similarities_parallel(&g, 0);
+    }
+}

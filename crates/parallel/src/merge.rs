@@ -1,0 +1,212 @@
+//! Combining per-thread copies of the cluster array `C` (§VI-B).
+//!
+//! After each thread has merged its share of a chunk's edge pairs into
+//! its own copy of `C`, the copies must be combined into one array whose
+//! partition is the join (union-closure) of the input partitions.
+//!
+//! The paper first presents a natural scheme — for each edge `i`, point
+//! everything on the chains `F₀(i)` and `F₁(i)` at the smaller root — and
+//! shows it is **flawed**: redirecting an interior element of a `C₁`
+//! chain can detach it from the rest of its `C₀` cluster
+//! ([`merge_cluster_arrays_flawed`] reproduces the counterexample). The
+//! fix extends the update set with `F₀(min F₁(i))`, the `C₀` chain of
+//! `i`'s `C₁`-root ([`merge_cluster_arrays`]).
+//!
+//! [`merge_cluster_arrays_reference`] is an obviously-correct union-find
+//! formulation used by the property tests as ground truth.
+
+use linkclust_core::unionfind::UnionFind;
+use linkclust_core::ClusterArray;
+
+/// Merges the partition of `other` into `target` using the paper's
+/// **corrected** scheme: for every edge `i` (ascending), all elements of
+/// `F₀(i) ∪ F₁(i) ∪ F₀(min F₁(i))` are pointed at the minimum element of
+/// that union.
+///
+/// # Panics
+///
+/// Panics if the arrays have different lengths.
+pub fn merge_cluster_arrays(target: &mut ClusterArray, other: &ClusterArray) {
+    assert_eq!(target.len(), other.len(), "cluster arrays must cover the same edges");
+    for i in 0..target.len() {
+        let f0 = target.chain(i);
+        let f1 = other.chain(i);
+        let r1 = *f1.last().expect("chains are non-empty");
+        let extra = target.chain(r1 as usize);
+        let f = *[&f0, &f1, &extra]
+            .iter()
+            .flat_map(|c| c.iter())
+            .min()
+            .expect("chains are non-empty");
+        for &e in f0.iter().chain(&f1).chain(&extra) {
+            target.set_parent(e as usize, f);
+        }
+    }
+}
+
+/// The **flawed** scheme of §VI-B, kept only to demonstrate the paper's
+/// counterexample: updates `F₀(i) ∪ F₁(i)` but not `F₀(min F₁(i))`, so an
+/// interior redirect can split a `C₀` cluster. Do not use for real
+/// merging.
+///
+/// # Panics
+///
+/// Panics if the arrays have different lengths.
+pub fn merge_cluster_arrays_flawed(target: &mut ClusterArray, other: &ClusterArray) {
+    assert_eq!(target.len(), other.len(), "cluster arrays must cover the same edges");
+    for i in 0..target.len() {
+        let f0 = target.chain(i);
+        let f1 = other.chain(i);
+        let f = *f0.iter().chain(&f1).min().expect("chains are non-empty");
+        for &e in f0.iter().chain(&f1) {
+            target.set_parent(e as usize, f);
+        }
+    }
+}
+
+/// Reference combination via union-find: unions every edge with its
+/// parents in both arrays, then rebuilds a flat `C` whose parents are the
+/// per-set minima. Provably yields the join of the two partitions.
+///
+/// # Panics
+///
+/// Panics if the arrays have different lengths.
+pub fn merge_cluster_arrays_reference(a: &ClusterArray, b: &ClusterArray) -> ClusterArray {
+    assert_eq!(a.len(), b.len(), "cluster arrays must cover the same edges");
+    let n = a.len();
+    let mut uf = UnionFind::new(n);
+    for i in 0..n {
+        uf.union(i, a.parent(i) as usize);
+        uf.union(i, b.parent(i) as usize);
+    }
+    ClusterArray::from_parents(uf.assignments())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The paper's counterexample, 0-based: C0 = [0,1,1,0] and
+    /// C1 = [0,1,2,2]; the union must be a single cluster.
+    fn paper_example() -> (ClusterArray, ClusterArray) {
+        (
+            ClusterArray::from_parents(vec![0, 1, 1, 0]),
+            ClusterArray::from_parents(vec![0, 1, 2, 2]),
+        )
+    }
+
+    #[test]
+    fn flawed_scheme_reproduces_paper_counterexample() {
+        let (mut c0, c1) = paper_example();
+        merge_cluster_arrays_flawed(&mut c0, &c1);
+        // The paper: "Clearly, it has two clusters (i.e., 1 and 2), which
+        // is wrong".
+        assert_eq!(c0.count_roots(), 2, "parents: {:?}", c0.parents());
+    }
+
+    #[test]
+    fn fixed_scheme_resolves_paper_counterexample() {
+        let (mut c0, c1) = paper_example();
+        merge_cluster_arrays(&mut c0, &c1);
+        assert_eq!(c0.count_roots(), 1, "parents: {:?}", c0.parents());
+        assert_eq!(c0.assignments(), vec![0, 0, 0, 0]);
+    }
+
+    /// Builds a random cluster array by applying random merges on top of
+    /// an optional shared base.
+    fn random_array(base: &ClusterArray, merges: usize, rng: &mut SmallRng) -> ClusterArray {
+        let mut c = base.clone();
+        let n = c.len();
+        for _ in 0..merges {
+            let (i, j) = (rng.gen_range(0..n), rng.gen_range(0..n));
+            c.merge(i, j);
+        }
+        c
+    }
+
+    fn assert_join_equal(got: &ClusterArray, a: &ClusterArray, b: &ClusterArray, ctx: &str) {
+        let expected = merge_cluster_arrays_reference(a, b);
+        assert_eq!(
+            got.assignments(),
+            expected.assignments(),
+            "{ctx}: a={:?} b={:?}",
+            a.parents(),
+            b.parents()
+        );
+    }
+
+    #[test]
+    fn fixed_scheme_matches_reference_on_random_arrays() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for case in 0..300 {
+            let n = rng.gen_range(2..30);
+            let base = ClusterArray::new(n);
+            let a = random_array(&base, rng.gen_range(0..n), &mut rng);
+            let b = random_array(&base, rng.gen_range(0..n), &mut rng);
+            let mut got = a.clone();
+            merge_cluster_arrays(&mut got, &b);
+            assert_join_equal(&got, &a, &b, &format!("case {case}"));
+        }
+    }
+
+    #[test]
+    fn fixed_scheme_matches_reference_with_shared_base() {
+        // The real workload: both arrays extend the same base partition
+        // (the chunk's starting state).
+        let mut rng = SmallRng::seed_from_u64(13);
+        for case in 0..300 {
+            let n = rng.gen_range(4..40);
+            let base = random_array(&ClusterArray::new(n), rng.gen_range(0..n), &mut rng);
+            let a = random_array(&base, rng.gen_range(0..n / 2), &mut rng);
+            let b = random_array(&base, rng.gen_range(0..n / 2), &mut rng);
+            let mut got = a.clone();
+            merge_cluster_arrays(&mut got, &b);
+            assert_join_equal(&got, &a, &b, &format!("base case {case}"));
+        }
+    }
+
+    #[test]
+    fn merging_with_identity_is_identity() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let a = random_array(&ClusterArray::new(12), 8, &mut rng);
+        let mut got = a.clone();
+        merge_cluster_arrays(&mut got, &ClusterArray::new(12));
+        assert_eq!(got.assignments(), a.assignments());
+        let mut id = ClusterArray::new(12);
+        merge_cluster_arrays(&mut id, &a);
+        assert_eq!(id.assignments(), a.assignments());
+    }
+
+    #[test]
+    fn merge_is_commutative_in_partition() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        for _ in 0..100 {
+            let n = rng.gen_range(2..25);
+            let a = random_array(&ClusterArray::new(n), rng.gen_range(0..n), &mut rng);
+            let b = random_array(&ClusterArray::new(n), rng.gen_range(0..n), &mut rng);
+            let mut ab = a.clone();
+            merge_cluster_arrays(&mut ab, &b);
+            let mut ba = b.clone();
+            merge_cluster_arrays(&mut ba, &a);
+            assert_eq!(ab.assignments(), ba.assignments());
+        }
+    }
+
+    #[test]
+    fn reference_merge_counts() {
+        let a = ClusterArray::from_parents(vec![0, 0, 2, 2, 4]);
+        let b = ClusterArray::from_parents(vec![0, 1, 1, 3, 3]);
+        let m = merge_cluster_arrays_reference(&a, &b);
+        // a: {0,1},{2,3},{4}; b: {0},{1,2},{3,4} -> all connected.
+        assert_eq!(m.count_roots(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "same edges")]
+    fn rejects_length_mismatch() {
+        let mut a = ClusterArray::new(3);
+        merge_cluster_arrays(&mut a, &ClusterArray::new(4));
+    }
+}

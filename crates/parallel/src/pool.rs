@@ -1,0 +1,204 @@
+//! Work partitioning and scoped parallel execution.
+
+use std::ops::Range;
+
+/// Splits `0..n` into at most `parts` contiguous, near-equal ranges
+/// (fewer if `n < parts`; none if `n == 0`).
+///
+/// # Panics
+///
+/// Panics if `parts == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_parallel::pool::partition_ranges;
+///
+/// let r = partition_ranges(10, 3);
+/// assert_eq!(r, vec![0..4, 4..7, 7..10]);
+/// ```
+pub fn partition_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    assert!(parts > 0, "need at least one partition");
+    let parts = parts.min(n);
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = n / parts + usize::from(i < n % parts);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Splits the index range of `weights` into at most `parts` contiguous
+/// ranges of near-equal total weight (greedy: a range closes once it
+/// reaches the ideal share). Used to balance chunk processing, where an
+/// entry's cost is its incident-pair count.
+///
+/// # Panics
+///
+/// Panics if `parts == 0`.
+pub fn balanced_partition_by_weight(weights: &[u64], parts: usize) -> Vec<Range<usize>> {
+    assert!(parts > 0, "need at least one partition");
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let total: u64 = weights.iter().sum();
+    let parts = parts.min(n);
+    let ideal = total as f64 / parts as f64;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    let mut acc: u64 = 0;
+    let mut target = ideal;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        let remaining_parts = parts - out.len();
+        let remaining_items = n - i - 1;
+        // Close the range at the ideal share, but never leave fewer items
+        // than ranges still to emit.
+        if (acc as f64 >= target && remaining_parts > 1 && remaining_items >= remaining_parts - 1)
+            || remaining_items + 1 == remaining_parts
+        {
+            out.push(start..i + 1);
+            start = i + 1;
+            target += ideal;
+            if out.len() == parts - 1 {
+                break;
+            }
+        }
+    }
+    if start < n {
+        out.push(start..n);
+    }
+    out
+}
+
+/// Runs `f` over each range on its own thread (scoped), collecting the
+/// results in range order.
+pub fn run_on_ranges<T, F>(ranges: Vec<Range<usize>>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                let f = &f;
+                s.spawn(move || f(r))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+    })
+}
+
+/// Reduces `items` pairwise, each pair on its own thread, until at most
+/// three remain; those are folded serially — the hierarchical merge shape
+/// of §VI-A (pass 2) and §VI-B (array combination).
+pub fn hierarchical_reduce<T, F>(mut items: Vec<T>, combine: F) -> Option<T>
+where
+    T: Send,
+    F: Fn(T, T) -> T + Sync,
+{
+    while items.len() > 3 {
+        let carry = if items.len() % 2 == 1 { items.pop() } else { None };
+        let mut pairs = Vec::with_capacity(items.len() / 2);
+        let mut it = items.into_iter();
+        while let (Some(a), Some(b)) = (it.next(), it.next()) {
+            pairs.push((a, b));
+        }
+        let mut next: Vec<T> = std::thread::scope(|s| {
+            let handles: Vec<_> = pairs
+                .into_iter()
+                .map(|(a, b)| {
+                    let combine = &combine;
+                    s.spawn(move || combine(a, b))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("merge thread panicked")).collect()
+        });
+        next.extend(carry);
+        items = next;
+    }
+    let mut it = items.into_iter();
+    let first = it.next()?;
+    Some(it.fold(first, &combine))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_everything_without_overlap() {
+        for (n, p) in [(10, 3), (7, 7), (5, 10), (100, 6), (1, 1)] {
+            let ranges = partition_ranges(n, p);
+            let mut covered = 0;
+            let mut prev_end = 0;
+            for r in &ranges {
+                assert_eq!(r.start, prev_end);
+                covered += r.len();
+                prev_end = r.end;
+            }
+            assert_eq!(covered, n, "n={n} p={p}");
+            assert!(ranges.len() <= p);
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_no_ranges() {
+        assert!(partition_ranges(0, 4).is_empty());
+        assert!(balanced_partition_by_weight(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn balanced_partition_covers_and_balances() {
+        let weights = vec![5u64, 1, 1, 1, 1, 1, 5, 5, 1, 1, 1, 8];
+        let ranges = balanced_partition_by_weight(&weights, 4);
+        let mut prev_end = 0;
+        let mut sums = Vec::new();
+        for r in &ranges {
+            assert_eq!(r.start, prev_end);
+            prev_end = r.end;
+            sums.push(weights[r.clone()].iter().sum::<u64>());
+        }
+        assert_eq!(prev_end, weights.len());
+        assert!(ranges.len() <= 4);
+        let total: u64 = weights.iter().sum();
+        // No range should carry more than ~2x the ideal share + max item.
+        for &s in &sums {
+            assert!(s <= total / 2 + 8, "unbalanced: {sums:?}");
+        }
+    }
+
+    #[test]
+    fn balanced_partition_with_more_parts_than_items() {
+        let ranges = balanced_partition_by_weight(&[3, 3], 8);
+        assert_eq!(ranges.len(), 2);
+    }
+
+    #[test]
+    fn run_on_ranges_preserves_order() {
+        let ranges = partition_ranges(100, 7);
+        let sums = run_on_ranges(ranges.clone(), |r| r.sum::<usize>());
+        let direct: Vec<usize> = ranges.into_iter().map(|r| r.sum()).collect();
+        assert_eq!(sums, direct);
+    }
+
+    #[test]
+    fn hierarchical_reduce_sums() {
+        for n in [0usize, 1, 2, 3, 4, 5, 8, 13, 64] {
+            let items: Vec<u64> = (0..n as u64).collect();
+            let got = hierarchical_reduce(items, |a, b| a + b);
+            if n == 0 {
+                assert_eq!(got, None);
+            } else {
+                assert_eq!(got, Some((n as u64 - 1) * n as u64 / 2), "n={n}");
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Parallel sorting of the similarity list.
+//!
+//! The paper parallelizes the initialization passes and the sweep but
+//! leaves the O(K₁ log K₁) sort of list `L` serial. On large graphs the
+//! sort is a visible fraction of Phase II, so this module adds a scoped
+//! parallel merge sort: split into `T` runs, sort each on its own
+//! thread, then merge pairwise with the same hierarchical shape as the
+//! paper's map/array combination steps. Documented as an extension in
+//! DESIGN.md.
+
+use linkclust_core::{PairSimilarities, SimilarityEntry};
+
+use crate::pool::{hierarchical_reduce, partition_ranges};
+
+/// Sorts arbitrary data with a scoped parallel merge sort.
+///
+/// `compare` must be a strict weak ordering. Falls back to the standard
+/// library sort for small inputs or `threads == 1`.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn parallel_sort_by<T, F>(mut items: Vec<T>, threads: usize, compare: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    if threads == 1 || items.len() < 4 * threads || items.len() < 64 {
+        items.sort_by(&compare);
+        return items;
+    }
+    let ranges = partition_ranges(items.len(), threads);
+    // Carve the vector into runs (preserving order).
+    let mut runs: Vec<Vec<T>> = Vec::with_capacity(ranges.len());
+    for range in ranges.into_iter().rev() {
+        let run: Vec<T> = items.split_off(range.start);
+        runs.push(run);
+    }
+    runs.reverse();
+    // Sort each run on its own thread.
+    let sorted_runs: Vec<Vec<T>> = std::thread::scope(|s| {
+        let handles: Vec<_> = runs
+            .into_iter()
+            .map(|mut run| {
+                let compare = &compare;
+                s.spawn(move || {
+                    run.sort_by(compare);
+                    run
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sort thread panicked")).collect()
+    });
+    // Merge pairwise, hierarchically.
+    hierarchical_reduce(sorted_runs, |a, b| merge_two(a, b, &compare))
+        .unwrap_or_default()
+}
+
+fn merge_two<T, F>(a: Vec<T>, b: Vec<T>, compare: &F) -> Vec<T>
+where
+    F: Fn(&T, &T) -> std::cmp::Ordering,
+{
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut ia = a.into_iter().peekable();
+    let mut ib = b.into_iter().peekable();
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some(x), Some(y)) => {
+                if compare(x, y) != std::cmp::Ordering::Greater {
+                    out.push(ia.next().expect("peeked"));
+                } else {
+                    out.push(ib.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => out.push(ia.next().expect("peeked")),
+            (None, Some(_)) => out.push(ib.next().expect("peeked")),
+            (None, None) => return out,
+        }
+    }
+}
+
+/// Sorts a [`PairSimilarities`] into the list `L` (non-increasing score,
+/// ties by vertex pair) using `threads` worker threads. Produces exactly
+/// the same order as [`PairSimilarities::into_sorted`].
+pub fn parallel_into_sorted(sims: PairSimilarities, threads: usize) -> PairSimilarities {
+    if sims.is_sorted() {
+        return sims;
+    }
+    let entries: Vec<SimilarityEntry> = sims.into_iter().collect();
+    let sorted = parallel_sort_by(entries, threads, |a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("similarity scores are never NaN")
+            .then_with(|| a.pair.cmp(&b.pair))
+    });
+    PairSimilarities::from_sorted(sorted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkclust_core::init::compute_similarities;
+    use linkclust_graph::generate::{gnm, WeightMode};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sorts_like_std() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for n in [0usize, 1, 5, 63, 64, 100, 1000, 4097] {
+            let items: Vec<u64> = (0..n).map(|_| rng.gen_range(0..10_000)).collect();
+            let mut expected = items.clone();
+            expected.sort();
+            for threads in [1, 2, 3, 4, 7] {
+                let got = parallel_sort_by(items.clone(), threads, |a, b| a.cmp(b));
+                assert_eq!(got, expected, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn stable_for_equal_keys_in_merge_order() {
+        // merge_two prefers the left run on ties, so items with equal
+        // keys keep run-relative order — verify output is sorted and a
+        // permutation.
+        let items: Vec<(u32, u32)> = (0..500).map(|i| (i % 7, i)).collect();
+        let got = parallel_sort_by(items.clone(), 4, |a, b| a.0.cmp(&b.0));
+        assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
+        let mut a = got.clone();
+        a.sort();
+        let mut b = items;
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_l_matches_serial_l() {
+        for seed in 0..3 {
+            let g = gnm(40, 200, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, seed);
+            let serial = compute_similarities(&g).into_sorted();
+            for threads in [1, 2, 4] {
+                let parallel = parallel_into_sorted(compute_similarities(&g), threads);
+                assert!(parallel.is_sorted());
+                assert_eq!(serial.entries(), parallel.entries(), "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn already_sorted_is_noop() {
+        let g = gnm(20, 60, WeightMode::Unit, 2);
+        let sorted = compute_similarities(&g).into_sorted();
+        let again = parallel_into_sorted(sorted.clone(), 4);
+        assert_eq!(sorted, again);
+    }
+}

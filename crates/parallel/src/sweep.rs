@@ -1,0 +1,222 @@
+//! Parallel coarse-grained sweeping (§VI-B).
+//!
+//! Each coarse chunk is split into `T` contiguous entry ranges of
+//! near-equal incident-pair count; each thread merges its range on its
+//! own copy of array `C`; the copies are combined with the corrected
+//! chain-union scheme in a hierarchical (pairwise) reduction. Because the
+//! combination yields the join of the per-thread partitions — which
+//! equals the partition the serial chunk would produce — the parallel
+//! sweep commits the same levels, cluster counts, and mode transitions as
+//! the serial coarse sweep.
+
+use linkclust_core::cluster_array::{partition_diff, MergeOutcome};
+use linkclust_core::coarse::{
+    coarse_sweep_with, ChunkProcessor, CoarseConfig, CoarseResult, SerialChunkProcessor,
+};
+use linkclust_core::{ClusterArray, PairSimilarities, SimilarityEntry};
+use linkclust_graph::WeightedGraph;
+
+use crate::merge::merge_cluster_arrays;
+use crate::pool::{balanced_partition_by_weight, hierarchical_reduce, run_on_ranges};
+
+/// A [`ChunkProcessor`] that fans each chunk out over `threads` worker
+/// threads (per-thread copies of `C`, hierarchical combination).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ParallelChunkProcessor {
+    threads: usize,
+    min_entries_per_thread: usize,
+}
+
+impl ParallelChunkProcessor {
+    /// Creates a processor with `threads` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        ParallelChunkProcessor { threads, min_entries_per_thread: 8 }
+    }
+
+    /// Chunks with fewer than `n` entries per thread fall back to serial
+    /// processing (thread spawn overhead dominates tiny chunks). Default
+    /// is 8.
+    pub fn min_entries_per_thread(mut self, n: usize) -> Self {
+        self.min_entries_per_thread = n.max(1);
+        self
+    }
+}
+
+impl ChunkProcessor for ParallelChunkProcessor {
+    fn process_entries(
+        &mut self,
+        g: &WeightedGraph,
+        slot_of_edge: &[u32],
+        entries: &[SimilarityEntry],
+        c: &mut ClusterArray,
+    ) -> Vec<MergeOutcome> {
+        if self.threads == 1 || entries.len() < self.threads * self.min_entries_per_thread {
+            return SerialChunkProcessor.process_entries(g, slot_of_edge, entries, c);
+        }
+        let base = c.clone();
+        let weights: Vec<u64> = entries.iter().map(|e| e.pair_count() as u64).collect();
+        let ranges = balanced_partition_by_weight(&weights, self.threads);
+
+        // Step 1: every thread merges its entry range on its own copy.
+        let copies = run_on_ranges(ranges, |r| {
+            let mut local = base.clone();
+            SerialChunkProcessor.process_entries(g, slot_of_edge, &entries[r], &mut local);
+            local
+        });
+
+        // Step 2: hierarchical pairwise combination.
+        let merged = hierarchical_reduce(copies, |mut a, b| {
+            merge_cluster_arrays(&mut a, &b);
+            a
+        })
+        .expect("at least one copy exists");
+
+        let outcomes = partition_diff(&base, &merged);
+        *c = merged;
+        outcomes
+    }
+}
+
+/// Runs the coarse-grained sweep with chunks processed by `threads`
+/// worker threads. Produces the same partition trajectory (levels,
+/// cluster counts, epoch decisions) as the serial
+/// [`coarse_sweep`](linkclust_core::coarse::coarse_sweep).
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, or under the same conditions as the serial
+/// coarse sweep (unsorted input, degenerate config).
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_graph::generate::{gnm, WeightMode};
+/// use linkclust_core::init::compute_similarities;
+/// use linkclust_core::coarse::CoarseConfig;
+/// use linkclust_parallel::parallel_coarse_sweep;
+///
+/// let g = gnm(30, 120, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 1);
+/// let sims = compute_similarities(&g).into_sorted();
+/// let cfg = CoarseConfig { phi: 10, initial_chunk: 16, ..Default::default() };
+/// let r = parallel_coarse_sweep(&g, &sims, &cfg, 4);
+/// assert!(r.dendrogram().merge_count() > 0);
+/// ```
+pub fn parallel_coarse_sweep(
+    g: &WeightedGraph,
+    sorted: &PairSimilarities,
+    config: &CoarseConfig,
+    threads: usize,
+) -> CoarseResult {
+    let mut processor = ParallelChunkProcessor::new(threads);
+    coarse_sweep_with(g, sorted, config, &mut processor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkclust_core::coarse::coarse_sweep;
+    use linkclust_core::init::compute_similarities;
+    use linkclust_core::reference::canonical_labels;
+    use linkclust_graph::generate::{barabasi_albert, gnm, WeightMode};
+
+    fn canon(labels: &[u32]) -> Vec<usize> {
+        canonical_labels(&labels.iter().map(|&x| x as usize).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn matches_serial_coarse_trajectory() {
+        for seed in 0..3 {
+            let g = gnm(50, 220, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, seed);
+            let sims = compute_similarities(&g).into_sorted();
+            let cfg = CoarseConfig { phi: 5, initial_chunk: 8, ..Default::default() };
+            let serial = coarse_sweep(&g, &sims, &cfg);
+            for threads in [2, 4] {
+                // Force parallel processing even for small chunks so the
+                // combination path is exercised.
+                let mut proc =
+                    ParallelChunkProcessor::new(threads).min_entries_per_thread(1);
+                let par = coarse_sweep_with(&g, &sims, &cfg, &mut proc);
+                // The partition trajectory must match level by level.
+                let sl: Vec<_> = serial.levels().iter().map(|l| (l.level, l.clusters)).collect();
+                let pl: Vec<_> = par.levels().iter().map(|l| (l.level, l.clusters)).collect();
+                assert_eq!(sl, pl, "seed {seed} threads {threads}");
+                assert_eq!(
+                    canon(&serial.output().edge_assignments()),
+                    canon(&par.output().edge_assignments()),
+                    "seed {seed} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn power_law_graph_parallel_partition_is_correct() {
+        let g = barabasi_albert(120, 5, WeightMode::Uniform { lo: 0.5, hi: 1.5 }, 4);
+        let sims = compute_similarities(&g).into_sorted();
+        let cfg = CoarseConfig { phi: 1, initial_chunk: 32, ..Default::default() };
+        // phi = 1 processes everything: final partition must equal the
+        // fine-grained single-linkage partition.
+        let fine = linkclust_core::LinkClustering::new().run(&g);
+        let mut proc = ParallelChunkProcessor::new(3).min_entries_per_thread(1);
+        let par = coarse_sweep_with(&g, &sims, &cfg, &mut proc);
+        assert_eq!(
+            canon(&fine.edge_assignments()),
+            canon(&par.output().edge_assignments())
+        );
+    }
+
+    #[test]
+    fn single_thread_processor_is_serial() {
+        let g = gnm(25, 80, WeightMode::Unit, 6);
+        let sims = compute_similarities(&g).into_sorted();
+        let cfg = CoarseConfig { phi: 3, initial_chunk: 4, ..Default::default() };
+        let serial = coarse_sweep(&g, &sims, &cfg);
+        let par = parallel_coarse_sweep(&g, &sims, &cfg, 1);
+        assert_eq!(serial.levels(), par.levels());
+    }
+
+    #[test]
+    fn dendrogram_cluster_accounting_is_exact() {
+        let g = gnm(40, 170, WeightMode::Uniform { lo: 0.3, hi: 1.6 }, 2);
+        let sims = compute_similarities(&g).into_sorted();
+        let cfg = CoarseConfig { phi: 4, initial_chunk: 16, ..Default::default() };
+        let mut proc = ParallelChunkProcessor::new(4).min_entries_per_thread(1);
+        let r = coarse_sweep_with(&g, &sims, &cfg, &mut proc);
+        // edge_count - merges == clusters at the last level.
+        let last = r.levels().last().expect("at least one level");
+        assert_eq!(r.dendrogram().final_cluster_count(), last.clusters);
+    }
+}
+
+#[cfg(test)]
+mod processor_equivalence_tests {
+    use super::*;
+    use linkclust_core::coarse::SerialChunkProcessor;
+    use linkclust_core::init::compute_similarities;
+    use linkclust_graph::generate::{gnm, WeightMode};
+
+    #[test]
+    fn processor_matches_serial_on_first_chunk() {
+        let g = gnm(50, 220, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 0);
+        let sims = compute_similarities(&g).into_sorted();
+        let entries = sims.entries();
+        let slot: Vec<u32> = (0..g.edge_count() as u32).collect();
+        // take first few entries as the chunk
+        for take in [3usize, 5, 8, 12, 20] {
+            let chunk = &entries[..take];
+            let mut c_serial = ClusterArray::new(g.edge_count());
+            SerialChunkProcessor.process_entries(&g, &slot, chunk, &mut c_serial);
+            let mut c_par = ClusterArray::new(g.edge_count());
+            let mut proc = ParallelChunkProcessor::new(2).min_entries_per_thread(1);
+            proc.process_entries(&g, &slot, chunk, &mut c_par);
+            assert_eq!(c_serial.assignments(), c_par.assignments(), "take={take}");
+            assert_eq!(c_serial.cluster_count(), c_par.cluster_count(), "take={take}");
+            assert_eq!(c_par.cluster_count(), c_par.count_roots(), "live counter must stay exact");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Chunk-size estimation (§V-B, Fig. 3): how the coarse sweep predicts
+//! the next chunk from the decay curve's slopes, and what rollback
+//! reference points buy.
+//!
+//! ```text
+//! cargo run --release --example chunk_estimation
+//! ```
+
+use linkclust::core::coarse::estimate::{estimate_chunk, CurvePoint};
+
+fn pt(pairs: u64, clusters: usize) -> CurvePoint {
+    CurvePoint { pairs, clusters }
+}
+
+fn main() {
+    let gamma = 2.0;
+    let gamma_tilde = (1.0 + gamma) / 2.0;
+    println!("soundness bound gamma = {gamma}, target merge rate gamma~ = {gamma_tilde}\n");
+
+    // A decay curve: clusters vs incident pairs processed.
+    let history = vec![
+        pt(0, 10_000),
+        pt(1_000, 9_200),
+        pt(3_000, 7_800),
+        pt(7_000, 5_600),
+    ];
+    println!("committed levels (pairs processed -> clusters):");
+    for h in &history {
+        println!("  {:>6} -> {:>6}", h.pairs, h.clusters);
+    }
+
+    // Concave scenario (Fig. 3(1)): a rolled-back overshoot gives a
+    // *steeper* reference slope than the last two levels, so the
+    // estimate shrinks — the safe choice.
+    let overshoot = pt(10_000, 2_100);
+    let without = estimate_chunk(None, &history, gamma_tilde).expect("slope exists");
+    let with_ref =
+        estimate_chunk(Some(overshoot), &history, gamma_tilde).expect("slope exists");
+    println!("\nconcave scenario: overshot rollback state at ({}, {})", overshoot.pairs, overshoot.clusters);
+    println!("  next chunk from previous two levels only: {without} pairs");
+    println!("  next chunk using the steeper reference:   {with_ref} pairs");
+    assert!(with_ref < without);
+
+    // Convex scenario (Fig. 3(2)): the reference is shallower, so the
+    // previous-levels slope wins and the estimate is unchanged.
+    let shallow = pt(12_000, 5_100);
+    let convex =
+        estimate_chunk(Some(shallow), &history, gamma_tilde).expect("slope exists");
+    println!("\nconvex scenario: shallow reference at ({}, {})", shallow.pairs, shallow.clusters);
+    println!("  estimate stays at the previous-levels slope: {convex} pairs");
+    assert_eq!(convex, without);
+
+    // The target: the next level should land near clusters/gamma~.
+    let current = history.last().expect("non-empty");
+    println!(
+        "\ntarget for the next level: {} / {} = {:.0} clusters",
+        current.clusters,
+        gamma_tilde,
+        current.clusters as f64 / gamma_tilde
+    );
+    println!(
+        "(the estimate is deliberately conservative: the steeper slope predicts\n\
+         fewer pairs than needed, so the soundness bound gamma is not overshot)"
+    );
+}

@@ -1,0 +1,75 @@
+//! Coarse-grained vs fine-grained dendrograms (§V): same graph, both
+//! sweeps, with the soundness property (merge rate ≤ γ) checked live and
+//! the epoch telemetry printed.
+//!
+//! ```text
+//! cargo run --release --example coarse_vs_fine
+//! ```
+
+use std::time::Instant;
+
+use linkclust::graph::generate::{barabasi_albert, WeightMode};
+use linkclust::{coarse_sweep, compute_similarities, sweep, CoarseConfig, SweepConfig};
+
+fn main() {
+    let g = barabasi_albert(2_000, 8, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 11);
+    println!("graph: {} vertices, {} edges", g.vertex_count(), g.edge_count());
+
+    let sims = compute_similarities(&g).into_sorted();
+    let k2 = sims.incident_pair_count();
+    println!("K1 = {} vertex pairs, K2 = {} incident edge pairs", sims.len(), k2);
+
+    let start = Instant::now();
+    let fine = sweep(&g, &sims, SweepConfig::default());
+    let fine_time = start.elapsed();
+    println!(
+        "\nfine-grained:   {} merges, {} levels, {:?}",
+        fine.dendrogram().merge_count(),
+        fine.dendrogram().levels(),
+        fine_time
+    );
+
+    let cfg = CoarseConfig {
+        gamma: 2.0,
+        phi: 100,
+        initial_chunk: (k2 / 1000).max(16),
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let coarse = coarse_sweep(&g, &sims, &cfg);
+    let coarse_time = start.elapsed();
+    println!(
+        "coarse-grained: {} merges, {} levels, {:?} ({}% of pairs processed)",
+        coarse.dendrogram().merge_count(),
+        coarse.dendrogram().levels(),
+        coarse_time,
+        (coarse.processed_fraction() * 100.0).round()
+    );
+
+    let b = coarse.epoch_breakdown();
+    println!(
+        "epochs: {} head/fresh, {} tail/fresh, {} rollback, {} reused",
+        b.head_fresh, b.tail_fresh, b.rollback, b.reused
+    );
+
+    println!("\nlevel  pairs_processed  clusters  merge_rate");
+    let mut prev = g.edge_count() as f64;
+    for l in coarse.levels() {
+        println!(
+            "{:>5}  {:>15}  {:>8}  {:>9.3}",
+            l.level,
+            l.pairs,
+            l.clusters,
+            prev / l.clusters as f64
+        );
+        prev = l.clusters as f64;
+    }
+
+    let rate = coarse.max_unforced_merge_rate();
+    println!(
+        "\nsoundness: max merge rate across unforced levels = {rate:.3} (bound gamma = {})",
+        cfg.gamma
+    );
+    assert!(rate <= cfg.gamma + 1e-9, "soundness property violated");
+    println!("soundness property holds.");
+}

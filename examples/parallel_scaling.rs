@@ -1,0 +1,64 @@
+//! Multi-threading (§VI): run both phases with 1, 2, 4, and 6 threads on
+//! one graph and print the speedup table of Fig. 6.
+//!
+//! ```text
+//! cargo run --release --example parallel_scaling
+//! ```
+
+use std::time::Instant;
+
+use linkclust::graph::generate::{barabasi_albert, WeightMode};
+use linkclust::{
+    compute_similarities, compute_similarities_parallel, parallel_coarse_sweep, CoarseConfig,
+};
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let g = barabasi_albert(3_000, 10, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 5);
+    println!(
+        "graph: {} vertices, {} edges; machine has {} core(s)",
+        g.vertex_count(),
+        g.edge_count(),
+        cores
+    );
+
+    let sims = compute_similarities(&g).into_sorted();
+    let cfg = CoarseConfig {
+        phi: 100,
+        initial_chunk: (sims.incident_pair_count() / 1000).max(16),
+        ..Default::default()
+    };
+
+    println!("\nphase          threads   time        speedup");
+    let mut init_base = None;
+    for threads in [1usize, 2, 4, 6] {
+        let start = Instant::now();
+        let par = compute_similarities_parallel(&g, threads);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(par.len(), sims.len(), "parallel init must match serial");
+        let base = *init_base.get_or_insert(elapsed);
+        println!("initialization  {threads:>6}   {elapsed:>8.4}s   {:>6.2}x", base / elapsed);
+    }
+
+    let mut sweep_base = None;
+    let mut reference_levels = None;
+    for threads in [1usize, 2, 4, 6] {
+        let start = Instant::now();
+        let r = parallel_coarse_sweep(&g, &sims, &cfg, threads);
+        let elapsed = start.elapsed().as_secs_f64();
+        let levels: Vec<_> = r.levels().iter().map(|l| l.clusters).collect();
+        match &reference_levels {
+            None => reference_levels = Some(levels),
+            Some(reference) => {
+                assert_eq!(reference, &levels, "thread count must not change the trajectory")
+            }
+        }
+        let base = *sweep_base.get_or_insert(elapsed);
+        println!("coarse sweep    {threads:>6}   {elapsed:>8.4}s   {:>6.2}x", base / elapsed);
+    }
+
+    println!(
+        "\n(the paper measures ~2.0x/3.5-4.0x/4.5-5.0x at 2/4/6 threads on a 6-core Xeon;\n\
+         on {cores} core(s) speedups saturate at the hardware — correctness is asserted above)"
+    );
+}

@@ -1,0 +1,41 @@
+//! The modeling contribution (§V, Fig. 2(2)): trace the cluster-count
+//! decay of a fixed-chunk sweep, fit the four-parameter sigmoid, and
+//! compare against the parameters the paper reports.
+//!
+//! ```text
+//! cargo run --release --example sigmoid_model
+//! ```
+
+use linkclust::core::model::{normalize_curve, SigmoidModel};
+use linkclust::core::sweep::{fixed_chunk_sweep, EdgeOrder};
+use linkclust::graph::generate::{barabasi_albert, WeightMode};
+use linkclust::compute_similarities;
+
+fn main() {
+    let g = barabasi_albert(1_500, 8, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 21);
+    println!("graph: {} vertices, {} edges", g.vertex_count(), g.edge_count());
+
+    let sims = compute_similarities(&g).into_sorted();
+    let chunk = (sims.incident_pair_count() / 120).max(5);
+    let trace = fixed_chunk_sweep(&g, &sims, chunk, EdgeOrder::Insertion);
+    println!(
+        "fixed-chunk sweep: {} levels of ~{} incident pairs each",
+        trace.levels.len(),
+        chunk
+    );
+
+    let points: Vec<(u32, usize)> =
+        trace.levels.iter().map(|l| (l.level, l.clusters)).collect();
+    let norm = normalize_curve(&points);
+    let fitted = SigmoidModel::fit(&norm);
+
+    println!("\nfitted:  {fitted}");
+    println!("paper:   {}", SigmoidModel::PAPER);
+    println!("R^2 of fit: {:.4}", fitted.r_squared(&norm));
+
+    println!("\nnormalized curve vs fit (every 10th level):");
+    println!("  u       measured  fitted");
+    for (u, y) in norm.iter().step_by(10) {
+        println!("  {u:.3}   {y:.4}    {:.4}", fitted.eval(*u));
+    }
+}

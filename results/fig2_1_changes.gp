@@ -1,0 +1,8 @@
+set datafile separator ','
+set terminal pngcairo size 800,600
+set output 'fig2_1_changes.png'
+set title 'Fig. 2(1): changes on array C'
+set xlabel 'Normalized level ID'
+set ylabel 'Number of changes on array C'
+set key outside
+plot 'fig2_1_changes.csv' using 2:3 with linespoints title 'changes'

@@ -1,0 +1,13 @@
+set datafile separator ','
+set terminal pngcairo size 800,600
+set output 'fig4_1_stats.png'
+set title 'Fig. 4(1): statistics'
+set xlabel 'Fraction'
+set ylabel 'Count'
+set key outside
+set logscale x
+set logscale y
+plot 'fig4_1_stats.csv' using 1:3 with linespoints title 'Nodes', \
+     'fig4_1_stats.csv' using 1:4 with linespoints title 'Edges', \
+     'fig4_1_stats.csv' using 1:6 with linespoints title 'Vertex pairs', \
+     'fig4_1_stats.csv' using 1:7 with linespoints title 'Edge pairs'

@@ -1,0 +1,12 @@
+set datafile separator ','
+set terminal pngcairo size 800,600
+set output 'fig4_2_time.png'
+set title 'Fig. 4(2): execution time'
+set xlabel 'Fraction'
+set ylabel 'Execution time (sec)'
+set key outside
+set logscale x
+set logscale y
+plot 'fig4_2_time.csv' using 1:3 with linespoints title 'Initialization', \
+     'fig4_2_time.csv' using 1:5 with linespoints title 'Standard', \
+     'fig4_2_time.csv' using 1:4 with linespoints title 'Sweeping'

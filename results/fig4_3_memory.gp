@@ -1,0 +1,11 @@
+set datafile separator ','
+set terminal pngcairo size 800,600
+set output 'fig4_3_memory.png'
+set title 'Fig. 4(3): peak heap'
+set xlabel 'Fraction'
+set ylabel 'Peak heap (bytes)'
+set key outside
+set logscale x
+set logscale y
+plot 'fig4_3_memory.csv' using 1:3 with linespoints title 'Sweeping', \
+     'fig4_3_memory.csv' using 1:5 with linespoints title 'Standard'

@@ -1,0 +1,11 @@
+set datafile separator ','
+set terminal pngcairo size 800,600
+set output 'fig5_2_coarse.png'
+set title 'Fig. 5(2): coarse vs fine'
+set xlabel 'Fraction'
+set ylabel 'Execution time (sec)'
+set key outside
+set logscale x
+set logscale y
+plot 'fig5_2_coarse.csv' using 1:2 with linespoints title 'Coarse-grain, time', \
+     'fig5_2_coarse.csv' using 1:3 with linespoints title 'Sweeping, time'

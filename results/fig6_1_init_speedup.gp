@@ -1,0 +1,8 @@
+set datafile separator ','
+set terminal pngcairo size 800,600
+set output 'fig6_1_init_speedup.png'
+set title 'Fig. 6(1): initialization speedup'
+set xlabel 'Number of threads'
+set ylabel 'Speedup'
+set key outside
+plot 'fig6_1_init_speedup.csv' using 2:4 with linespoints title 'speedup'

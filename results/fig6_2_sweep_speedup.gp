@@ -1,0 +1,8 @@
+set datafile separator ','
+set terminal pngcairo size 800,600
+set output 'fig6_2_sweep_speedup.png'
+set title 'Fig. 6(2): sweeping speedup'
+set xlabel 'Number of threads'
+set ylabel 'Speedup'
+set key outside
+plot 'fig6_2_sweep_speedup.csv' using 2:4 with linespoints title 'speedup'

@@ -1,0 +1,300 @@
+//! `linkclust` — command-line link clustering.
+//!
+//! ```text
+//! linkclust <edge-list-file> [options]
+//!
+//! options:
+//!   --coarse               coarse-grained sweep (default: fine-grained)
+//!   --gamma <f64>          soundness bound for --coarse       [2.0]
+//!   --phi <usize>          terminal cluster count for --coarse [100]
+//!   --threads <n>          parallel initialization + sweeping  [1]
+//!   --threshold <f64>      stop merging below this similarity
+//!   --cut best|final       which partition to report           [best]
+//!   --output communities|newick|csv|labels                     [communities]
+//! ```
+//!
+//! The edge-list format is one `u v [weight]` triple per line with `#`
+//! comments (see `linkclust::graph::io`).
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use linkclust::core::export::{to_merge_csv, to_newick};
+use linkclust::graph::io::read_edge_list;
+use linkclust::{
+    CoarseConfig, Dendrogram, LinkClustering, LinkCommunities, ParallelLinkClustering,
+    WeightedGraph,
+};
+
+struct Options {
+    path: String,
+    coarse: bool,
+    gamma: f64,
+    phi: usize,
+    threads: usize,
+    threshold: Option<f64>,
+    cut: Cut,
+    output: Output,
+    stats: bool,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Cut {
+    Best,
+    Final,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Output {
+    Communities,
+    Newick,
+    Csv,
+    Labels,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: linkclust <edge-list-file|-> [--coarse] [--gamma G] [--phi P] \
+         [--threads N] [--threshold T] [--cut best|final] [--stats] \
+         [--output communities|newick|csv|labels]\n\
+         \n\
+         or:    linkclust generate <family> [seed]\n\
+         families: gnm <n> <m> | complete <n> | kregular <n> <k> | \
+         ba <n> <m> | planted <k> <size> <p_in> <p_out>\n\
+         (writes an edge list to stdout, clusterable with `linkclust -`)"
+    );
+    ExitCode::FAILURE
+}
+
+/// Handles `linkclust generate <family> ...`: writes an edge list to
+/// stdout. Returns `None` on malformed arguments.
+fn run_generate(args: &[String]) -> Option<ExitCode> {
+    use linkclust::graph::generate::{
+        barabasi_albert, complete, gnm, k_regular, planted_partition, WeightMode,
+    };
+    let w = WeightMode::Uniform { lo: 0.5, hi: 1.5 };
+    let num = |i: usize| -> Option<usize> { args.get(i)?.parse().ok() };
+    let fnum = |i: usize| -> Option<f64> { args.get(i)?.parse().ok() };
+    let family = args.first()?;
+    let (g, fixed_args) = match family.as_str() {
+        "gnm" => (gnm(num(1)?, num(2)?, w, 42), 3),
+        "complete" => (complete(num(1)?, w, 42), 2),
+        "kregular" => (k_regular(num(1)?, num(2)?, w, 42), 3),
+        "ba" => (barabasi_albert(num(1)?, num(2)?, w, 42), 3),
+        "planted" => {
+            (planted_partition(num(1)?, num(2)?, fnum(3)?, fnum(4)?, 42).graph, 5)
+        }
+        _ => return None,
+    };
+    // optional trailing seed: regenerate with it
+    let g = if let Some(seed) = args.get(fixed_args).and_then(|s| s.parse::<u64>().ok()) {
+        match family.as_str() {
+            "gnm" => gnm(num(1)?, num(2)?, w, seed),
+            "complete" => complete(num(1)?, w, seed),
+            "kregular" => k_regular(num(1)?, num(2)?, w, seed),
+            "ba" => barabasi_albert(num(1)?, num(2)?, w, seed),
+            "planted" => planted_partition(num(1)?, num(2)?, fnum(3)?, fnum(4)?, seed).graph,
+            _ => unreachable!("family validated above"),
+        }
+    } else if args.len() > fixed_args {
+        return None;
+    } else {
+        g
+    };
+    let stdout = std::io::stdout();
+    if linkclust::graph::io::write_edge_list(&g, stdout.lock()).is_err() {
+        return Some(ExitCode::FAILURE);
+    }
+    eprintln!("generated {} vertices, {} edges", g.vertex_count(), g.edge_count());
+    Some(ExitCode::SUCCESS)
+}
+
+fn parse_args() -> Option<Options> {
+    let mut opts = Options {
+        path: String::new(),
+        coarse: false,
+        gamma: 2.0,
+        phi: 100,
+        threads: 1,
+        threshold: None,
+        cut: Cut::Best,
+        output: Output::Communities,
+        stats: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--coarse" => opts.coarse = true,
+            "--stats" => opts.stats = true,
+            "--gamma" => opts.gamma = args.next()?.parse().ok()?,
+            "--phi" => opts.phi = args.next()?.parse().ok()?,
+            "--threads" => opts.threads = args.next()?.parse().ok()?,
+            "--threshold" => opts.threshold = Some(args.next()?.parse().ok()?),
+            "--cut" => {
+                opts.cut = match args.next()?.as_str() {
+                    "best" => Cut::Best,
+                    "final" => Cut::Final,
+                    _ => return None,
+                }
+            }
+            "--output" => {
+                opts.output = match args.next()?.as_str() {
+                    "communities" => Output::Communities,
+                    "newick" => Output::Newick,
+                    "csv" => Output::Csv,
+                    "labels" => Output::Labels,
+                    _ => return None,
+                }
+            }
+            "--help" | "-h" => return None,
+            p if opts.path.is_empty() => opts.path = p.to_owned(),
+            _ => return None,
+        }
+    }
+    if opts.path.is_empty() || opts.threads == 0 {
+        return None;
+    }
+    Some(opts)
+}
+
+fn cluster(g: &WeightedGraph, opts: &Options) -> (Dendrogram, Vec<u32>) {
+    if opts.coarse {
+        let cfg = CoarseConfig {
+            gamma: opts.gamma,
+            phi: opts.phi.max(1),
+            initial_chunk: 64,
+            ..Default::default()
+        };
+        let r = if opts.threads > 1 {
+            ParallelLinkClustering::new(opts.threads).run_coarse(g, &cfg)
+        } else {
+            LinkClustering::new().run_coarse(g, &cfg)
+        };
+        let labels = r.output().edge_assignments();
+        (r.output().dendrogram().clone(), labels)
+    } else {
+        let mut lc = LinkClustering::new();
+        if let Some(t) = opts.threshold {
+            lc = lc.min_similarity(t);
+        }
+        let r = if opts.threads > 1 {
+            // Parallel Phase I + serial fine sweep.
+            let sims = ParallelLinkClustering::new(opts.threads).similarities(g);
+            let cfg = linkclust::SweepConfig {
+                min_similarity: opts.threshold,
+                ..Default::default()
+            };
+            let out = linkclust::sweep(g, &sims, cfg);
+            let labels = out.edge_assignments();
+            return (out.into_dendrogram(), labels);
+        } else {
+            lc.run(g)
+        };
+        let labels = r.edge_assignments();
+        (r.into_dendrogram(), labels)
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("generate") {
+        return match run_generate(&argv[1..]) {
+            Some(code) => code,
+            None => usage(),
+        };
+    }
+    let Some(opts) = parse_args() else {
+        return usage();
+    };
+
+    let text = if opts.path == "-" {
+        let mut s = String::new();
+        if std::io::stdin().read_to_string(&mut s).is_err() {
+            eprintln!("failed to read stdin");
+            return ExitCode::FAILURE;
+        }
+        s
+    } else {
+        match std::fs::read_to_string(&opts.path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", opts.path);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let g = match read_edge_list(text.as_bytes()) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("cannot parse {}: {e}", opts.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "graph: {} vertices, {} edges, density {:.4}",
+        g.vertex_count(),
+        g.edge_count(),
+        g.density()
+    );
+    if opts.stats {
+        let s = linkclust::graph::stats::GraphStats::compute(&g);
+        eprintln!(
+            "stats: K1 = {} vertex pairs, K2 = {} incident edge pairs, K3 = {} edge pairs, \
+             max degree {}, mean degree {:.2}",
+            s.common_neighbor_pairs,
+            s.incident_edge_pairs,
+            s.distinct_edge_pairs,
+            s.max_degree,
+            s.mean_degree
+        );
+    }
+
+    let (dendrogram, final_labels) = cluster(&g, &opts);
+    let labels = match opts.cut {
+        Cut::Final => final_labels,
+        Cut::Best => match dendrogram.best_density_cut(&g) {
+            Some(cut) => {
+                eprintln!(
+                    "best cut: level {} of {}, partition density {:.4}, {} communities",
+                    cut.level,
+                    dendrogram.levels(),
+                    cut.density,
+                    cut.cluster_count
+                );
+                dendrogram.assignments_at_level(cut.level)
+            }
+            None => final_labels,
+        },
+    };
+
+    match opts.output {
+        Output::Newick => println!("{}", to_newick(&dendrogram)),
+        Output::Csv => print!("{}", to_merge_csv(&dendrogram)),
+        Output::Labels => {
+            for (i, l) in labels.iter().enumerate() {
+                println!("{i} {l}");
+            }
+        }
+        Output::Communities => {
+            let comms = LinkCommunities::from_edge_labels(&g, &labels);
+            println!("{} link communities:", comms.len());
+            for (i, c) in comms.communities().iter().enumerate() {
+                let verts: Vec<String> =
+                    c.vertices.iter().map(|v| v.index().to_string()).collect();
+                println!(
+                    "community {i}: {} edges, {} vertices (D_c = {:.3}): {}",
+                    c.edge_count(),
+                    c.vertex_count(),
+                    c.link_density(),
+                    verts.join(" ")
+                );
+            }
+            let overlaps = comms.overlap_vertices();
+            if !overlaps.is_empty() {
+                let v: Vec<String> = overlaps.iter().map(|v| v.index().to_string()).collect();
+                println!("overlap vertices: {}", v.join(" "));
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

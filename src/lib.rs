@@ -1,0 +1,72 @@
+//! # linkclust — efficient link clustering on multi-core machines
+//!
+//! A faithful, production-quality Rust implementation of
+//! *Improving Efficiency of Link Clustering on Multi-Core Machines*
+//! (Guanhua Yan, ICDCS 2017), including every substrate its evaluation
+//! depends on.
+//!
+//! Link clustering (Ahn, Bagrow & Lehmann, Nature 2010) groups the
+//! **edges** of a graph by single-linkage hierarchical clustering under
+//! the Tanimoto similarity of incident edges, revealing overlapping
+//! communities. This workspace provides:
+//!
+//! * [`graph`] — the weighted undirected graph substrate, generators and
+//!   the incidence statistics (K₁/K₂/K₃) the complexity analysis uses;
+//! * [`corpus`] — a synthetic tweet corpus, a full text pipeline
+//!   (tokenizer, Porter stemmer, stop words), and the PMI
+//!   word-association-network builder of the paper's evaluation;
+//! * [`core`] — the paper's contribution: the two-phase serial algorithm
+//!   (initialization + sweeping), coarse-grained dendrograms with the
+//!   head/tail/rollback mode machine, the sigmoid decay model, and the
+//!   O(n²) baselines it is compared against;
+//! * [`parallel`] — the multi-threaded initialization and sweeping of
+//!   §VI.
+//!
+//! The most common entry points are re-exported at the crate root.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use linkclust::{GraphBuilder, LinkClustering};
+//!
+//! // Two unit triangles joined by a weak bridge.
+//! let g = GraphBuilder::from_edges(6, &[
+//!     (0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0),
+//!     (3, 4, 1.0), (4, 5, 1.0), (3, 5, 1.0),
+//!     (2, 3, 0.1),
+//! ])?.build();
+//!
+//! let result = LinkClustering::new().run(&g);
+//! let cut = result.dendrogram().best_density_cut(&g).unwrap();
+//! let labels = result.output().edge_assignments_at_level(cut.level);
+//!
+//! // The two triangles come out as two link communities.
+//! assert_eq!(labels[0], labels[1]);
+//! assert_eq!(labels[3], labels[4]);
+//! assert_ne!(labels[0], labels[3]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use linkclust_core as core;
+pub use linkclust_corpus as corpus;
+pub use linkclust_graph as graph;
+pub use linkclust_parallel as parallel;
+
+pub use linkclust_core::{
+    baseline::{MstClustering, NbmClustering},
+    communities::LinkCommunities,
+    coarse::{coarse_sweep, CoarseConfig, CoarseResult},
+    dendrogram::partition_density,
+    init::compute_similarities,
+    model::SigmoidModel,
+    sweep::{sweep, EdgeOrder, SweepConfig},
+    ClusterArray, ClusteringResult, Dendrogram, LinkClustering, MergeRecord, PairSimilarities,
+};
+pub use linkclust_corpus::{AssocNetwork, AssocNetworkBuilder, TextPipeline};
+pub use linkclust_graph::{EdgeId, GraphBuilder, GraphError, VertexId, WeightedGraph};
+pub use linkclust_parallel::{
+    compute_similarities_parallel, parallel_coarse_sweep, ParallelLinkClustering,
+};

@@ -1,0 +1,112 @@
+//! Property tests: the optimized sweep, the O(n²) NBM baseline, the MST
+//! baseline, and the brute-force reference all compute the same
+//! single-linkage structure on arbitrary random graphs.
+
+use linkclust::core::reference::{
+    canonical_labels, single_linkage_at_threshold, tanimoto_similarity,
+};
+use linkclust::graph::generate::{gnm, WeightMode};
+use linkclust::{
+    compute_similarities, sweep, EdgeOrder, MstClustering, NbmClustering, SweepConfig,
+    WeightedGraph,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random weighted graph with 3–24 vertices and a random
+/// number of edges.
+fn arb_graph() -> impl Strategy<Value = WeightedGraph> {
+    (3usize..24, 0u64..1000, 1u64..4).prop_map(|(n, seed, density_divisor)| {
+        let max = n * (n - 1) / 2;
+        let m = max / density_divisor as usize;
+        gnm(n, m, WeightMode::Uniform { lo: 0.1, hi: 3.0 }, seed)
+    })
+}
+
+fn canon(labels: &[u32]) -> Vec<usize> {
+    canonical_labels(&labels.iter().map(|&x| x as usize).collect::<Vec<_>>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn similarity_scores_match_brute_force(g in arb_graph()) {
+        let sims = compute_similarities(&g);
+        for e in sims.entries() {
+            let expected = tanimoto_similarity(&g, e.pair.first(), e.pair.second());
+            prop_assert!((e.score - expected).abs() < 1e-9,
+                "pair {} score {} vs brute-force {}", e.pair, e.score, expected);
+        }
+    }
+
+    #[test]
+    fn all_three_algorithms_agree_on_final_partition(g in arb_graph()) {
+        let sims = compute_similarities(&g);
+        let sorted = sims.clone().into_sorted();
+        let sweep_labels = sweep(&g, &sorted, SweepConfig::default()).edge_assignments();
+        let nbm_labels = NbmClustering::new().run(&g, &sims).final_assignments();
+        let mst_labels = MstClustering::new().run(&g, &sims).final_assignments();
+        prop_assert_eq!(canon(&sweep_labels), canon(&nbm_labels));
+        prop_assert_eq!(canon(&nbm_labels), canon(&mst_labels));
+    }
+
+    #[test]
+    fn threshold_cuts_match_brute_force(g in arb_graph(), theta in 0.05f64..0.95) {
+        let sims = compute_similarities(&g);
+        let sorted = sims.clone().into_sorted();
+        let out = sweep(&g, &sorted, SweepConfig {
+            min_similarity: Some(theta),
+            ..Default::default()
+        });
+        let expected = canonical_labels(&single_linkage_at_threshold(&g, theta));
+        prop_assert_eq!(canon(&out.edge_assignments()), expected);
+    }
+
+    #[test]
+    fn edge_permutation_does_not_change_partition(g in arb_graph(), seed in 0u64..100) {
+        let sorted = compute_similarities(&g).into_sorted();
+        let a = sweep(&g, &sorted, SweepConfig::default());
+        let b = sweep(&g, &sorted, SweepConfig {
+            edge_order: EdgeOrder::Shuffled { seed },
+            ..Default::default()
+        });
+        prop_assert_eq!(canon(&a.edge_assignments()), canon(&b.edge_assignments()));
+    }
+
+    #[test]
+    fn merge_count_equals_components_delta(g in arb_graph()) {
+        // Each merge reduces the cluster count by one, so the number of
+        // merges equals |E| minus the final number of clusters.
+        let sorted = compute_similarities(&g).into_sorted();
+        let out = sweep(&g, &sorted, SweepConfig::default());
+        let labels = out.edge_assignments();
+        let distinct: std::collections::HashSet<u32> = labels.iter().copied().collect();
+        prop_assert_eq!(
+            out.dendrogram().merge_count() as usize,
+            g.edge_count() - distinct.len()
+        );
+        prop_assert_eq!(out.dendrogram().final_cluster_count(), distinct.len());
+    }
+
+    #[test]
+    fn k_statistics_invariant(g in arb_graph()) {
+        use linkclust::graph::stats::GraphStats;
+        let s = GraphStats::compute(&g);
+        prop_assert!(s.invariant_holds());
+        let sims = compute_similarities(&g);
+        prop_assert_eq!(sims.len() as u64, s.common_neighbor_pairs);
+        prop_assert_eq!(sims.incident_pair_count(), s.incident_edge_pairs);
+    }
+}
+
+#[test]
+fn dendrogram_merge_similarities_non_increasing_for_sweep() {
+    // The sweep processes L in non-increasing score order, so each
+    // merge's generating similarity is non-increasing.
+    for seed in 0..10 {
+        let g = gnm(16, 40, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, seed);
+        let sorted = compute_similarities(&g).into_sorted();
+        let scores: Vec<f64> = sorted.entries().iter().map(|e| e.score).collect();
+        assert!(scores.windows(2).all(|w| w[0] >= w[1]), "L must be sorted (seed {seed})");
+    }
+}

@@ -1,0 +1,84 @@
+//! Recovery of planted communities: link clustering must reassemble the
+//! intra-community edge sets of planted-partition graphs, measured with
+//! the external metrics of `core::evaluate`.
+
+use linkclust::core::evaluate::{adjusted_rand_index, normalized_mutual_information};
+use linkclust::graph::generate::{planted_partition, PlantedPartition};
+use linkclust::{CoarseConfig, LinkClustering, LinkCommunities, ParallelLinkClustering};
+
+/// Scores the recovered labels against the planted truth over
+/// intra-community edges only (bridges have no well-defined community).
+fn recovery_scores(planted: &PlantedPartition, labels: &[u32]) -> (f64, f64) {
+    let mut truth = Vec::new();
+    let mut found = Vec::new();
+    for (i, &c) in planted.edge_community.iter().enumerate() {
+        if c != PlantedPartition::BRIDGE {
+            truth.push(c);
+            found.push(labels[i]);
+        }
+    }
+    (adjusted_rand_index(&truth, &found), normalized_mutual_information(&truth, &found))
+}
+
+#[test]
+fn fine_sweep_recovers_planted_communities() {
+    for seed in [1u64, 2, 3] {
+        let planted = planted_partition(6, 10, 0.7, 0.004, seed);
+        let g = &planted.graph;
+        let result = LinkClustering::new().run(g);
+        let cut = result.dendrogram().best_density_cut(g).expect("graph has edges");
+        let labels = result.output().edge_assignments_at_level(cut.level);
+        let (ari, nmi) = recovery_scores(&planted, &labels);
+        assert!(ari > 0.6, "ARI {ari} too low at seed {seed}");
+        assert!(nmi > 0.7, "NMI {nmi} too low at seed {seed}");
+    }
+}
+
+#[test]
+fn coarse_sweep_recovers_planted_communities() {
+    let planted = planted_partition(5, 10, 0.7, 0.004, 7);
+    let g = &planted.graph;
+    let cfg = CoarseConfig {
+        gamma: 2.0,
+        phi: 5,
+        initial_chunk: 32,
+        ..Default::default()
+    };
+    let r = LinkClustering::new().run_coarse(g, &cfg);
+    // Use the best density cut of the coarse dendrogram.
+    let cut = r.dendrogram().best_density_cut(g).expect("graph has edges");
+    let labels = r.output().edge_assignments_at_level(cut.level);
+    let (ari, nmi) = recovery_scores(&planted, &labels);
+    assert!(ari > 0.5, "coarse ARI {ari} too low");
+    assert!(nmi > 0.6, "coarse NMI {nmi} too low");
+}
+
+#[test]
+fn parallel_recovery_matches_serial() {
+    let planted = planted_partition(4, 9, 0.75, 0.006, 11);
+    let g = &planted.graph;
+    let cfg = CoarseConfig { phi: 4, initial_chunk: 16, ..Default::default() };
+    let serial = LinkClustering::new().run_coarse(g, &cfg);
+    let parallel = ParallelLinkClustering::new(3).run_coarse(g, &cfg);
+    let (s_ari, _) = recovery_scores(&planted, &serial.output().edge_assignments());
+    let (p_ari, _) = recovery_scores(&planted, &parallel.output().edge_assignments());
+    assert!((s_ari - p_ari).abs() < 1e-12, "serial {s_ari} vs parallel {p_ari}");
+}
+
+#[test]
+fn link_communities_expose_bridge_overlap() {
+    let planted = planted_partition(3, 8, 0.9, 0.01, 13);
+    let g = &planted.graph;
+    let result = LinkClustering::new().run(g);
+    let cut = result.dendrogram().best_density_cut(g).expect("graph has edges");
+    let labels = result.output().edge_assignments_at_level(cut.level);
+    let comms = LinkCommunities::from_edge_labels(g, &labels);
+    // At least the planted number of communities are recovered (bridges
+    // may form additional tiny ones).
+    assert!(comms.len() >= 3, "found only {} communities", comms.len());
+    // The largest three communities correspond to the planted groups.
+    let big: Vec<usize> = comms.communities().iter().take(3).map(|c| c.vertex_count()).collect();
+    for n in big {
+        assert!(n >= 7, "planted community fragmented: {n} vertices");
+    }
+}

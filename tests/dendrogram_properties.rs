@@ -1,0 +1,101 @@
+//! Property tests on dendrogram invariants: cuts are successive
+//! coarsenings, exports are well-formed, and density bookkeeping is
+//! exact.
+
+use linkclust::core::export::{to_ascii_tree, to_newick};
+use linkclust::graph::generate::{gnm, WeightMode};
+use linkclust::{compute_similarities, partition_density, sweep, SweepConfig, WeightedGraph};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = WeightedGraph> {
+    (4usize..22, 0u64..400).prop_map(|(n, seed)| {
+        let m = n * (n - 1) / 3;
+        gnm(n, m, WeightMode::Uniform { lo: 0.1, hi: 2.5 }, seed)
+    })
+}
+
+/// Does `coarse` merge every cluster of `fine` into a single label?
+fn is_coarsening(fine: &[u32], coarse: &[u32]) -> bool {
+    let mut map: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    fine.iter().zip(coarse).all(|(&f, &c)| *map.entry(f).or_insert(c) == c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn successive_levels_are_coarsenings(g in arb_graph()) {
+        let sims = compute_similarities(&g).into_sorted();
+        let out = sweep(&g, &sims, SweepConfig::default());
+        let d = out.dendrogram();
+        let mut prev = d.assignments_at_level(0);
+        for level in 1..=d.levels() {
+            let cur = d.assignments_at_level(level);
+            prop_assert!(is_coarsening(&prev, &cur), "level {level} splits a cluster");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn cluster_count_matches_distinct_labels(g in arb_graph()) {
+        let sims = compute_similarities(&g).into_sorted();
+        let d = sweep(&g, &sims, SweepConfig::default()).into_dendrogram();
+        for level in [0, d.levels() / 2, d.levels()] {
+            let labels = d.assignments_at_level(level);
+            let distinct: std::collections::HashSet<u32> = labels.iter().copied().collect();
+            prop_assert_eq!(d.cluster_count_at_level(level), distinct.len());
+        }
+    }
+
+    #[test]
+    fn best_cut_density_is_maximal_over_levels(g in arb_graph()) {
+        let sims = compute_similarities(&g).into_sorted();
+        let out = sweep(&g, &sims, SweepConfig::default());
+        let d = out.dendrogram();
+        if g.edge_count() == 0 {
+            return Ok(());
+        }
+        let cut = d.best_density_cut(&g).expect("non-empty");
+        // No sampled level beats the chosen cut.
+        for level in 0..=d.levels() {
+            let density = partition_density(&g, &d.assignments_at_level(level));
+            prop_assert!(
+                density <= cut.density + 1e-9,
+                "level {level} density {density} beats cut {}",
+                cut.density
+            );
+        }
+    }
+
+    #[test]
+    fn exports_are_well_formed(g in arb_graph()) {
+        let sims = compute_similarities(&g).into_sorted();
+        let d = sweep(&g, &sims, SweepConfig::default()).into_dendrogram();
+        let newick = to_newick(&d);
+        prop_assert!(newick.ends_with(';'));
+        let open = newick.chars().filter(|&c| c == '(').count();
+        let close = newick.chars().filter(|&c| c == ')').count();
+        prop_assert_eq!(open, close);
+        let tree = to_ascii_tree(&d);
+        // Every leaf appears exactly once in the ASCII tree.
+        let leaf_count = tree.lines().filter(|l| l.trim_start_matches(['|', '`', '-', ' ']).starts_with('e')).count();
+        prop_assert_eq!(leaf_count, g.edge_count());
+    }
+
+    #[test]
+    fn labels_use_minimum_edge_convention(g in arb_graph()) {
+        // Theorem 1: the cluster id of edge i is min F(i) — i.e. each
+        // label equals the smallest edge index in its cluster.
+        let sims = compute_similarities(&g).into_sorted();
+        let out = sweep(&g, &sims, SweepConfig::default());
+        let labels = out.dendrogram().final_assignments();
+        let mut min_of: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for (i, &l) in labels.iter().enumerate() {
+            let e = min_of.entry(l).or_insert(i as u32);
+            *e = (*e).min(i as u32);
+        }
+        for (&label, &min_member) in &min_of {
+            prop_assert_eq!(label, min_member);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! End-to-end integration: raw tweets → text pipeline → association
+//! network → link clustering → communities, across all workspace crates.
+
+use linkclust::corpus::synth::{SynthCorpus, SynthCorpusConfig};
+use linkclust::{
+    AssocNetworkBuilder, CoarseConfig, GraphBuilder, LinkClustering, ParallelLinkClustering,
+    TextPipeline,
+};
+
+fn small_corpus(seed: u64) -> SynthCorpus {
+    SynthCorpus::generate(&SynthCorpusConfig {
+        documents: 2_000,
+        vocabulary: 400,
+        topics: 8,
+        seed,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn full_pipeline_from_raw_text() {
+    let synth = small_corpus(1);
+    let tweets = synth.render_tweets(2);
+    let corpus = TextPipeline::new().process_all(&tweets);
+    let net = AssocNetworkBuilder::new()
+        .top_words(60)
+        .min_document_count(2)
+        .build(corpus.documents())
+        .expect("corpus is non-empty");
+    let g = net.graph();
+    assert!(g.edge_count() > 10, "association network should be non-trivial");
+
+    let result = LinkClustering::new().run(g);
+    assert!(result.dendrogram().merge_count() > 0);
+    let cut = result.dendrogram().best_density_cut(g).expect("graph has edges");
+    assert!(cut.density > 0.0, "communities should beat singleton density");
+
+    // Every edge gets a label; labels form a valid partition.
+    let labels = result.edge_assignments();
+    assert_eq!(labels.len(), g.edge_count());
+}
+
+#[test]
+fn pipeline_on_processed_tokens_matches_raw_text_route() {
+    // Building the network from the already-processed corpus must give
+    // the same graph as going through rendered text + pipeline, because
+    // the renderer's noise is perfectly filtered.
+    let synth = small_corpus(3);
+    let via_tokens = AssocNetworkBuilder::new()
+        .top_words(40)
+        .build(synth.documents())
+        .expect("non-empty");
+    let tweets = synth.render_tweets(7);
+    let processed = TextPipeline::new().process_all(&tweets);
+    let via_text = AssocNetworkBuilder::new()
+        .top_words(40)
+        .build(processed.documents())
+        .expect("non-empty");
+    assert_eq!(via_tokens.words(), via_text.words());
+    assert_eq!(via_tokens.graph(), via_text.graph());
+}
+
+#[test]
+fn serial_and_parallel_coarse_agree_end_to_end() {
+    let synth = small_corpus(5);
+    let net = AssocNetworkBuilder::new()
+        .top_words(50)
+        .build(synth.documents())
+        .expect("non-empty");
+    let g = net.into_graph();
+    let cfg = CoarseConfig { phi: 10, initial_chunk: 32, ..Default::default() };
+
+    let serial = LinkClustering::new().run_coarse(&g, &cfg);
+    let parallel = ParallelLinkClustering::new(4).run_coarse(&g, &cfg);
+
+    let s: Vec<_> = serial.levels().iter().map(|l| (l.level, l.clusters)).collect();
+    let p: Vec<_> = parallel.levels().iter().map(|l| (l.level, l.clusters)).collect();
+    assert_eq!(s, p, "serial and parallel coarse trajectories must agree");
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // The root crate's re-exports must be sufficient to express the
+    // paper's whole workflow without reaching into sub-crates.
+    let g = GraphBuilder::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        .expect("valid edges")
+        .build();
+    let sims = linkclust::compute_similarities(&g);
+    let sorted = sims.clone().into_sorted();
+    let fine = linkclust::sweep(&g, &sorted, linkclust::SweepConfig::default());
+    let nbm = linkclust::NbmClustering::new().run(&g, &sims);
+    let mst = linkclust::MstClustering::new().run(&g, &sims);
+    assert_eq!(fine.dendrogram().merge_count(), nbm.merge_count());
+    assert_eq!(nbm.merge_count(), mst.merge_count());
+}
+
+#[test]
+fn overlapping_communities_share_vertices_not_edges() {
+    // The signature property of link clustering (Ahn et al.): vertex 2
+    // participates in both triangles, yet each *edge* has one community.
+    let g = GraphBuilder::from_edges(
+        5,
+        &[
+            (0, 1, 1.0),
+            (1, 2, 1.0),
+            (0, 2, 1.0),
+            (2, 3, 1.0),
+            (3, 4, 1.0),
+            (2, 4, 1.0),
+        ],
+    )
+    .expect("valid edges")
+    .build();
+    let result = LinkClustering::new().run(&g);
+    let cut = result.dendrogram().best_density_cut(&g).expect("graph has edges");
+    let labels = result.output().edge_assignments_at_level(cut.level);
+    assert_eq!(cut.cluster_count, 2);
+    // Edges 0-2 form triangle A; 3-5 triangle B.
+    assert_eq!(labels[0], labels[1]);
+    assert_eq!(labels[1], labels[2]);
+    assert_eq!(labels[3], labels[4]);
+    assert_eq!(labels[4], labels[5]);
+    assert_ne!(labels[0], labels[3]);
+}

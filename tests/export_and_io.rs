@@ -1,0 +1,81 @@
+//! Integration: serialization paths — edge-list I/O feeding the full
+//! clustering stack, Newick/CSV dendrogram export, and overlapping
+//! community extraction.
+
+use linkclust::core::export::{to_merge_csv, to_newick};
+use linkclust::graph::io::{read_edge_list, write_edge_list};
+use linkclust::{LinkClustering, LinkCommunities, VertexId};
+
+const KARATE_LIKE: &str = "\
+# two 4-cliques joined by one weak bridge
+0 1 1.0
+0 2 1.0
+0 3 1.0
+1 2 1.0
+1 3 1.0
+2 3 1.0
+4 5 1.0
+4 6 1.0
+4 7 1.0
+5 6 1.0
+5 7 1.0
+6 7 1.0
+3 4 0.05
+";
+
+#[test]
+fn cluster_a_graph_read_from_disk_format() {
+    let g = read_edge_list(KARATE_LIKE.as_bytes()).expect("well-formed edge list");
+    assert_eq!(g.vertex_count(), 8);
+    assert_eq!(g.edge_count(), 13);
+
+    let result = LinkClustering::new().run(&g);
+    let cut = result.dendrogram().best_density_cut(&g).expect("graph has edges");
+    let labels = result.output().edge_assignments_at_level(cut.level);
+    let comms = LinkCommunities::from_edge_labels(&g, &labels);
+
+    // The two cliques are recovered; the bridge is its own community.
+    assert_eq!(comms.len(), 3);
+    assert_eq!(comms.communities()[0].edge_count(), 6);
+    assert_eq!(comms.communities()[1].edge_count(), 6);
+    assert_eq!(comms.communities()[2].edge_count(), 1);
+    // The bridge endpoints 3 and 4 overlap two communities each.
+    assert_eq!(comms.overlap_vertices(), vec![VertexId::new(3), VertexId::new(4)]);
+}
+
+#[test]
+fn edge_list_roundtrip_preserves_clustering() {
+    let g = read_edge_list(KARATE_LIKE.as_bytes()).unwrap();
+    let mut buf = Vec::new();
+    write_edge_list(&g, &mut buf).unwrap();
+    let g2 = read_edge_list(buf.as_slice()).unwrap();
+    let a = LinkClustering::new().run(&g).edge_assignments();
+    let b = LinkClustering::new().run(&g2).edge_assignments();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn newick_export_covers_every_edge() {
+    let g = read_edge_list(KARATE_LIKE.as_bytes()).unwrap();
+    let d = LinkClustering::new().run(&g).into_dendrogram();
+    let newick = to_newick(&d);
+    assert!(newick.ends_with(';'));
+    for i in 0..g.edge_count() {
+        assert!(newick.contains(&format!("e{i}")), "missing e{i} in {newick}");
+    }
+    let csv = to_merge_csv(&d);
+    assert_eq!(csv.lines().count() as u64, d.merge_count() + 1);
+}
+
+#[test]
+fn community_metrics_on_cliques() {
+    let g = read_edge_list(KARATE_LIKE.as_bytes()).unwrap();
+    let result = LinkClustering::new().run(&g);
+    let cut = result.dendrogram().best_density_cut(&g).unwrap();
+    let labels = result.output().edge_assignments_at_level(cut.level);
+    let comms = LinkCommunities::from_edge_labels(&g, &labels);
+    for c in comms.communities().iter().take(2) {
+        // K4 communities: m = 6, n = 4 -> D_c = (6-3)/(2*3/2) = 1.0
+        assert!((c.link_density() - 1.0).abs() < 1e-12);
+    }
+}

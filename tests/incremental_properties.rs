@@ -1,0 +1,90 @@
+//! Property tests for the incremental Phase-I index: any sequence of
+//! edge insertions and deletions must leave the index in exact agreement
+//! with a batch recomputation on the resulting graph.
+
+use linkclust::core::incremental::IncrementalSimilarities;
+use linkclust::{compute_similarities, VertexId};
+use proptest::prelude::*;
+
+/// An operation against the index.
+#[derive(Clone, Debug)]
+enum Op {
+    Add(usize, usize, f64),
+    Remove(usize, usize),
+}
+
+fn arb_ops(n: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0..n, 0..n, 0.1f64..3.0, proptest::bool::ANY).prop_map(|(a, b, w, add)| {
+            if add {
+                Op::Add(a, b, w)
+            } else {
+                Op::Remove(a, b)
+            }
+        }),
+        0..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_op_sequence_matches_batch(ops in arb_ops(14)) {
+        let n = 14;
+        let mut inc = IncrementalSimilarities::new(n);
+        for op in &ops {
+            match *op {
+                Op::Add(a, b, w) => {
+                    let (u, v) = (VertexId::new(a), VertexId::new(b));
+                    if a != b && inc.weight_between(u, v).is_none() {
+                        inc.add_edge(u, v, w).expect("validated add");
+                    }
+                }
+                Op::Remove(a, b) => {
+                    let _ = inc.remove_edge(VertexId::new(a), VertexId::new(b));
+                }
+            }
+        }
+        let g = inc.to_graph();
+        let batch = compute_similarities(&g);
+        let snap = inc.similarities();
+        prop_assert_eq!(snap.len(), batch.len());
+        let mut be: Vec<_> = batch.entries().to_vec();
+        be.sort_by_key(|e| e.pair);
+        for (a, b) in snap.entries().iter().zip(&be) {
+            prop_assert_eq!(a.pair, b.pair);
+            prop_assert_eq!(&a.common_neighbors, &b.common_neighbors);
+            prop_assert!((a.score - b.score).abs() < 1e-9,
+                "pair {} incremental {} batch {}", a.pair, a.score, b.score);
+        }
+        // And the graph the index claims to hold is consistent.
+        prop_assert_eq!(g.edge_count(), inc.edge_count());
+    }
+
+    #[test]
+    fn index_weight_lookup_matches_graph(ops in arb_ops(10)) {
+        let n = 10;
+        let mut inc = IncrementalSimilarities::new(n);
+        for op in &ops {
+            match *op {
+                Op::Add(a, b, w) => {
+                    let (u, v) = (VertexId::new(a), VertexId::new(b));
+                    if a != b && inc.weight_between(u, v).is_none() {
+                        inc.add_edge(u, v, w).expect("validated add");
+                    }
+                }
+                Op::Remove(a, b) => {
+                    let _ = inc.remove_edge(VertexId::new(a), VertexId::new(b));
+                }
+            }
+        }
+        let g = inc.to_graph();
+        for i in 0..n {
+            for j in i + 1..n {
+                let (u, v) = (VertexId::new(i), VertexId::new(j));
+                prop_assert_eq!(inc.weight_between(u, v), g.weight_between(u, v));
+            }
+        }
+    }
+}

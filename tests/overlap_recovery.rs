@@ -1,0 +1,101 @@
+//! The defining capability of link clustering (Ahn et al., §I of the
+//! paper): recovering **overlapping** communities. Vertex-partitioning
+//! methods cannot place a vertex in two communities; an edge partition
+//! can. These tests plant overlapping cliques and verify the recovered
+//! cover with the overlapping-NMI of Lancichinetti et al.
+
+use linkclust::core::evaluate::overlapping_nmi;
+use linkclust::graph::generate::overlapping_planted;
+use linkclust::{LinkClustering, LinkCommunities};
+
+/// Extracts the recovered vertex cover (one vertex set per link
+/// community, ignoring trivial 1-edge communities).
+fn recovered_cover(comms: &LinkCommunities) -> Vec<Vec<u32>> {
+    comms
+        .communities()
+        .iter()
+        .filter(|c| c.edge_count() > 1)
+        .map(|c| c.vertices.iter().map(|v| v.index() as u32).collect())
+        .collect()
+}
+
+#[test]
+fn chain_of_overlapping_cliques_is_recovered() {
+    let planted = overlapping_planted(4, 7, 2, 3);
+    let g = &planted.graph;
+    let result = LinkClustering::new().run(g);
+    let cut = result.dendrogram().best_density_cut(g).expect("graph has edges");
+    let labels = result.output().edge_assignments_at_level(cut.level);
+    let comms = LinkCommunities::from_edge_labels(g, &labels);
+
+    let cover = recovered_cover(&comms);
+    let nmi = overlapping_nmi(&planted.communities, &cover, g.vertex_count());
+    assert!(nmi > 0.8, "overlapping NMI {nmi} too low; cover: {cover:?}");
+}
+
+#[test]
+fn shared_vertices_are_reported_as_overlap() {
+    let planted = overlapping_planted(3, 6, 1, 5);
+    let g = &planted.graph;
+    let result = LinkClustering::new().run(g);
+    let cut = result.dendrogram().best_density_cut(g).expect("graph has edges");
+    let labels = result.output().edge_assignments_at_level(cut.level);
+    let comms = LinkCommunities::from_edge_labels(g, &labels);
+
+    // The two chain-junction vertices (5 and 10 for size 6, overlap 1)
+    // must appear in the overlap set.
+    let overlaps: std::collections::HashSet<usize> =
+        comms.overlap_vertices().iter().map(|v| v.index()).collect();
+    assert!(overlaps.contains(&5), "vertex 5 should overlap: {overlaps:?}");
+    assert!(overlaps.contains(&10), "vertex 10 should overlap: {overlaps:?}");
+}
+
+#[test]
+fn recovery_degrades_gracefully_with_mixing() {
+    use linkclust::graph::generate::overlapping_planted_with_mixing;
+    let score = |mu: f64| -> f64 {
+        let planted = overlapping_planted_with_mixing(4, 8, 2, mu, 11);
+        let g = &planted.graph;
+        let result = LinkClustering::new().run(g);
+        let cut = result.dendrogram().best_density_cut(g).expect("graph has edges");
+        let labels = result.output().edge_assignments_at_level(cut.level);
+        let comms = LinkCommunities::from_edge_labels(g, &labels);
+        overlapping_nmi(&planted.communities, &recovered_cover(&comms), g.vertex_count())
+    };
+    let clean = score(0.0);
+    let noisy = score(0.5);
+    assert!(clean > 0.8, "clean recovery should be strong: {clean}");
+    assert!(
+        noisy < clean,
+        "heavy mixing must hurt recovery: mu=0.5 gives {noisy} vs clean {clean}"
+    );
+}
+
+#[test]
+fn overlap_nmi_beats_random_baseline() {
+    let planted = overlapping_planted(4, 6, 2, 9);
+    let g = &planted.graph;
+    let result = LinkClustering::new().run(g);
+    let cut = result.dendrogram().best_density_cut(g).expect("graph has edges");
+    let labels = result.output().edge_assignments_at_level(cut.level);
+    let comms = LinkCommunities::from_edge_labels(g, &labels);
+    let cover = recovered_cover(&comms);
+    let recovered = overlapping_nmi(&planted.communities, &cover, g.vertex_count());
+
+    // Random baseline: shuffle vertices into equally many, equally sized
+    // groups.
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+    let mut verts: Vec<u32> = (0..g.vertex_count() as u32).collect();
+    verts.shuffle(&mut rng);
+    let k = planted.communities.len();
+    let random_cover: Vec<Vec<u32>> =
+        verts.chunks(g.vertex_count().div_ceil(k)).map(|c| c.to_vec()).collect();
+    let random = overlapping_nmi(&planted.communities, &random_cover, g.vertex_count());
+
+    assert!(
+        recovered > random + 0.3,
+        "recovered {recovered} should beat random {random} clearly"
+    );
+}
