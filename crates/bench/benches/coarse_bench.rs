@@ -22,7 +22,7 @@ fn bench_coarse(c: &mut Criterion) {
             b.iter(|| sweep(&g, &sims, SweepConfig::default()))
         });
         group.bench_with_input(BenchmarkId::new("coarse", n), &(), |b, ()| {
-            b.iter(|| coarse_sweep(&g, &sims, &cfg))
+            b.iter(|| coarse_sweep(&g, &sims, cfg))
         });
     }
     group.finish();
@@ -33,20 +33,15 @@ fn bench_coarse(c: &mut Criterion) {
     let sims = compute_similarities(&g).into_sorted();
     let mut group = c.benchmark_group("coarse_ablation");
     for &gamma in &[1.25, 2.0, 4.0] {
-        let cfg = CoarseConfig {
-            gamma,
-            phi: 50,
-            initial_chunk: 64,
-            ..Default::default()
-        };
+        let cfg = CoarseConfig { gamma, phi: 50, initial_chunk: 64, ..Default::default() };
         group.bench_with_input(BenchmarkId::new("gamma", format!("{gamma}")), &(), |b, ()| {
-            b.iter(|| coarse_sweep(&g, &sims, &cfg))
+            b.iter(|| coarse_sweep(&g, &sims, cfg))
         });
     }
     for &phi in &[10usize, 100, 1000] {
         let cfg = CoarseConfig { phi, initial_chunk: 64, ..Default::default() };
         group.bench_with_input(BenchmarkId::new("phi", phi), &(), |b, ()| {
-            b.iter(|| coarse_sweep(&g, &sims, &cfg))
+            b.iter(|| coarse_sweep(&g, &sims, cfg))
         });
     }
     group.finish();

@@ -38,9 +38,7 @@ fn bench_sweep(c: &mut Criterion) {
     let g = gnm(200, 2000, w, 5);
     let sims = compute_similarities(&g).into_sorted();
     let mut group = c.benchmark_group("sweep/edge_order");
-    group.bench_function("insertion", |b| {
-        b.iter(|| sweep(&g, &sims, SweepConfig::default()))
-    });
+    group.bench_function("insertion", |b| b.iter(|| sweep(&g, &sims, SweepConfig::default())));
     group.bench_function("shuffled", |b| {
         b.iter(|| {
             sweep(

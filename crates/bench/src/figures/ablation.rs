@@ -35,7 +35,7 @@ pub fn run(ctx: &FigureContext) -> io::Result<()> {
     );
     for &gamma in &[1.25, 1.5, 2.0, 3.0, 4.0] {
         let cfg = CoarseConfig { gamma, ..base };
-        let (r, stats) = time_runs(runs, || coarse_sweep(&g, &sims, &cfg));
+        let (r, stats) = time_runs(runs, || coarse_sweep(&g, &sims, cfg));
         t.row(vec![
             gamma.to_string(),
             fmt_f64(stats.mean_secs(), 4),
@@ -56,7 +56,7 @@ pub fn run(ctx: &FigureContext) -> io::Result<()> {
     );
     for &phi in &[10usize, 50, 100, 500, 2000] {
         let cfg = CoarseConfig { phi: phi.min(g.edge_count()), ..base };
-        let (r, stats) = time_runs(runs, || coarse_sweep(&g, &sims, &cfg));
+        let (r, stats) = time_runs(runs, || coarse_sweep(&g, &sims, cfg));
         let density = partition_density(&g, &r.output().edge_assignments());
         t.row(vec![
             phi.to_string(),
@@ -103,8 +103,8 @@ mod tests {
         let g = w.graph_for_alpha(0.005);
         let sims = compute_similarities(&g).into_sorted();
         let base = CoarseConfig::auto_tuned(&g, &sims);
-        let fine = coarse_sweep(&g, &sims, &CoarseConfig { gamma: 1.25, ..base });
-        let coarse = coarse_sweep(&g, &sims, &CoarseConfig { gamma: 4.0, ..base });
+        let fine = coarse_sweep(&g, &sims, CoarseConfig { gamma: 1.25, ..base });
+        let coarse = coarse_sweep(&g, &sims, CoarseConfig { gamma: 4.0, ..base });
         assert!(
             fine.levels().len() > coarse.levels().len(),
             "gamma 1.25 gave {} levels vs gamma 4.0 {}",
@@ -119,8 +119,8 @@ mod tests {
         let g = w.graph_for_alpha(0.005);
         let sims = compute_similarities(&g).into_sorted();
         let base = CoarseConfig::auto_tuned(&g, &sims);
-        let strict = coarse_sweep(&g, &sims, &CoarseConfig { phi: 10, ..base });
-        let loose = coarse_sweep(&g, &sims, &CoarseConfig { phi: 200, ..base });
+        let strict = coarse_sweep(&g, &sims, CoarseConfig { phi: 10, ..base });
+        let loose = coarse_sweep(&g, &sims, CoarseConfig { phi: 200, ..base });
         assert!(loose.processed_fraction() <= strict.processed_fraction() + 1e-12);
     }
 }

@@ -42,7 +42,7 @@ pub fn run_fig5_1(ctx: &FigureContext) -> io::Result<()> {
         let g = ctx.workload().graph_for_alpha(alpha);
         let sims = compute_similarities(&g).into_sorted();
         let cfg = coarse_config_for(&g, sims.incident_pair_count());
-        let r = coarse_sweep(&g, &sims, &cfg);
+        let r = coarse_sweep(&g, &sims, cfg);
         let b = r.epoch_breakdown();
         t.row(vec![
             alpha.to_string(),
@@ -84,9 +84,9 @@ pub fn run_fig5_2(ctx: &FigureContext) -> io::Result<()> {
         let sims = compute_similarities(&g).into_sorted();
         let cfg = coarse_config_for(&g, sims.incident_pair_count());
 
-        let (r, coarse_stats) = time_runs(runs, || coarse_sweep(&g, &sims, &cfg));
+        let (r, coarse_stats) = time_runs(runs, || coarse_sweep(&g, &sims, cfg));
         let (_, sweep_stats) = time_runs(runs, || sweep(&g, &sims, SweepConfig::default()));
-        let (_, coarse_mem) = measure_peak(|| coarse_sweep(&g, &sims, &cfg));
+        let (_, coarse_mem) = measure_peak(|| coarse_sweep(&g, &sims, cfg));
         let (_, sweep_mem) = measure_peak(|| sweep(&g, &sims, SweepConfig::default()));
 
         t.row(vec![
@@ -99,7 +99,9 @@ pub fn run_fig5_2(ctx: &FigureContext) -> io::Result<()> {
             r.dendrogram().final_cluster_count().to_string(),
         ]);
     }
-    println!("(paper: coarse-grained finishes faster; at alpha=0.005 only 55.1% of pairs processed)");
+    println!(
+        "(paper: coarse-grained finishes faster; at alpha=0.005 only 55.1% of pairs processed)"
+    );
     t.emit(&ctx.csv_path("fig5_2_coarse.csv"))
 }
 
@@ -116,7 +118,7 @@ mod tests {
         let g = w.graph_for_alpha(0.005);
         let sims = compute_similarities(&g).into_sorted();
         let cfg = coarse_config_for(&g, sims.incident_pair_count());
-        let r = coarse_sweep(&g, &sims, &cfg);
+        let r = coarse_sweep(&g, &sims, cfg);
         assert!(
             r.processed_fraction() < 1.0,
             "expected early phi-termination, processed {:.3}",

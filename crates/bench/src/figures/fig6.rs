@@ -74,8 +74,7 @@ pub fn run_fig6_2(ctx: &FigureContext) -> io::Result<()> {
         let cfg = coarse_config_for(&g, sims.incident_pair_count());
         let mut base = None;
         for &threads in &THREADS {
-            let (_, stats) =
-                time_runs(runs, || parallel_coarse_sweep(&g, &sims, &cfg, threads));
+            let (_, stats) = time_runs(runs, || parallel_coarse_sweep(&g, &sims, cfg, threads));
             let secs = stats.mean_secs();
             let base_secs = *base.get_or_insert(secs);
             t.row(vec![

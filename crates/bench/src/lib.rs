@@ -22,5 +22,6 @@ pub mod compare;
 pub mod figures;
 pub mod plots;
 pub mod table;
+pub mod telemetry;
 pub mod timing;
 pub mod workloads;

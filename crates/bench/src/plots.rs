@@ -40,7 +40,12 @@ const PLOTS: &[PlotSpec] = &[
         ylabel: "Count",
         logx: true,
         logy: true,
-        series: &[("1:3", "Nodes"), ("1:4", "Edges"), ("1:6", "Vertex pairs"), ("1:7", "Edge pairs")],
+        series: &[
+            ("1:3", "Nodes"),
+            ("1:4", "Edges"),
+            ("1:6", "Vertex pairs"),
+            ("1:7", "Edge pairs"),
+        ],
     },
     PlotSpec {
         script: "fig4_2_time.gp",
@@ -162,9 +167,7 @@ mod tests {
         write_plot_scripts(&dir).unwrap();
         let count = std::fs::read_dir(&dir)
             .unwrap()
-            .filter(|e| {
-                e.as_ref().unwrap().path().extension().map(|x| x == "gp").unwrap_or(false)
-            })
+            .filter(|e| e.as_ref().unwrap().path().extension().map(|x| x == "gp").unwrap_or(false))
             .count();
         assert_eq!(count, plot_count());
         let _ = std::fs::remove_dir_all(dir);

@@ -1,0 +1,119 @@
+//! Bench-side telemetry sink: a [`Recorder`] that logs every event in
+//! arrival order (and can dump them as CSV), demonstrating how a harness
+//! plugs its own sink into the clustering facade instead of the built-in
+//! [`RunReport`](linkclust_core::telemetry::RunReport) aggregation.
+
+use std::sync::Mutex;
+
+use linkclust_core::telemetry::{Counter, Gauge, Phase, Recorder};
+
+/// One telemetry event, in arrival order.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Event {
+    /// A finished phase span.
+    Phase(Phase, u64),
+    /// A counter increment.
+    Counter(Counter, u64),
+    /// A gauge observation.
+    Gauge(Gauge, f64),
+    /// A per-thread item count.
+    ThreadItems(usize, u64),
+}
+
+/// A [`Recorder`] that appends every event to an in-memory log. Used by
+/// the harness to trace phase-by-phase behavior of a single run; the
+/// log can be rendered as CSV for offline analysis.
+#[derive(Default)]
+pub struct EventLog {
+    events: Mutex<Vec<Event>>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of the events recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("event log lock").clone()
+    }
+
+    /// Total nanoseconds recorded for `phase`.
+    pub fn phase_nanos(&self, phase: Phase) -> u64 {
+        self.events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::Phase(p, nanos) if *p == phase => Some(*nanos),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Renders the log as `kind,name,value` CSV lines.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,value\n");
+        for e in self.events() {
+            let line = match e {
+                Event::Phase(p, nanos) => format!("phase,{p:?},{nanos}\n"),
+                Event::Counter(c, v) => format!("counter,{c:?},{v}\n"),
+                Event::Gauge(g, v) => format!("gauge,{g:?},{v}\n"),
+                Event::ThreadItems(t, v) => format!("thread_items,{t},{v}\n"),
+            };
+            out.push_str(&line);
+        }
+        out
+    }
+
+    fn push(&self, event: Event) {
+        self.events.lock().expect("event log lock").push(event);
+    }
+}
+
+impl Recorder for EventLog {
+    fn record_phase(&self, phase: Phase, nanos: u64) {
+        self.push(Event::Phase(phase, nanos));
+    }
+
+    fn add(&self, counter: Counter, value: u64) {
+        self.push(Event::Counter(counter, value));
+    }
+
+    fn observe(&self, gauge: Gauge, value: f64) {
+        self.push(Event::Gauge(gauge, value));
+    }
+
+    fn thread_items(&self, thread: usize, items: u64) {
+        self.push(Event::ThreadItems(thread, items));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use linkclust_graph::generate::{gnm, WeightMode};
+    use linkclust_parallel::LinkClustering;
+
+    #[test]
+    fn event_log_receives_facade_events() {
+        let g = gnm(40, 160, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 1);
+        let log = Arc::new(EventLog::new());
+        let r = LinkClustering::new().recorder(log.clone()).run(&g).unwrap();
+        assert!(r.report().is_none(), "custom sink replaces the built-in report");
+        let events = log.events();
+        assert!(events.iter().any(|e| matches!(e, Event::Phase(Phase::Sweep, _))));
+        let merges: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Counter(Counter::MergesApplied, v) => Some(*v),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(merges, r.dendrogram().merge_count());
+        let csv = log.to_csv();
+        assert!(csv.starts_with("kind,name,value\n"));
+        assert!(csv.contains("counter,MergesApplied,"));
+    }
+}

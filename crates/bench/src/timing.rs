@@ -49,10 +49,7 @@ pub fn time_runs<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, TimingStats) {
         max = max.max(d);
         last = Some(out);
     }
-    (
-        last.expect("runs > 0"),
-        TimingStats { runs, mean: total / runs as u32, min, max },
-    )
+    (last.expect("runs > 0"), TimingStats { runs, mean: total / runs as u32, min, max })
 }
 
 /// Formats a duration with adaptive precision (µs/ms/s).

@@ -186,14 +186,8 @@ mod tests {
             assert!(g.edge_count() > 0, "alpha {alpha} produced an edgeless graph");
             densities.push(g.density());
         }
-        assert!(
-            densities[0] > 0.8,
-            "tiny-alpha graph should be near-complete: {densities:?}"
-        );
-        assert!(
-            densities[2] < densities[0],
-            "density must fall as alpha grows: {densities:?}"
-        );
+        assert!(densities[0] > 0.8, "tiny-alpha graph should be near-complete: {densities:?}");
+        assert!(densities[2] < densities[0], "density must fall as alpha grows: {densities:?}");
     }
 
     #[test]

@@ -51,7 +51,8 @@ impl MstClustering {
     pub fn run(&self, g: &WeightedGraph, sims: &PairSimilarities) -> Dendrogram {
         let n = g.edge_count();
         // Expand every (vertex pair, common neighbor) into an edge pair.
-        let mut arcs: Vec<(f64, u32, u32)> = Vec::with_capacity(sims.incident_pair_count() as usize);
+        let mut arcs: Vec<(f64, u32, u32)> =
+            Vec::with_capacity(sims.incident_pair_count() as usize);
         for entry in sims.entries() {
             let (vi, vj) = (entry.pair.first(), entry.pair.second());
             for &vk in &entry.common_neighbors {

@@ -85,14 +85,11 @@ impl NbmClustering {
         let mut active = vec![true; n];
         // nbm[i] = (best similarity from i to any other active cluster,
         //           that cluster's index)
-        let mut nbm: Vec<(f64, usize)> = (0..n)
-            .map(|i| best_of_row(&sim, n, i, &active))
-            .collect();
+        let mut nbm: Vec<(f64, usize)> = (0..n).map(|i| best_of_row(&sim, n, i, &active)).collect();
         let mut uf = UnionFind::new(n);
         let mut merges = Vec::new();
-        let mut level = 0u32;
 
-        for _ in 0..n.saturating_sub(1) {
+        for level in 1..n as u32 {
             // Find the globally best merge via the NBM array.
             let mut best = (f64::NEG_INFINITY, usize::MAX);
             for i in 0..n {
@@ -108,7 +105,6 @@ impl NbmClustering {
             debug_assert!(active[i2]);
 
             let (c1, c2) = (uf.min_of(i1), uf.min_of(i2));
-            level += 1;
             merges.push(MergeRecord { level, left: c1, right: c2, into: c1.min(c2) });
             uf.union(i1, i2);
 
@@ -190,8 +186,7 @@ mod tests {
             let sims = compute_similarities(&g);
             for theta in [0.25, 0.5, 0.75] {
                 let d = NbmClustering::new().min_similarity(theta).run(&g, &sims);
-                let got: Vec<usize> =
-                    d.final_assignments().iter().map(|&x| x as usize).collect();
+                let got: Vec<usize> = d.final_assignments().iter().map(|&x| x as usize).collect();
                 let expected = canonical_labels(&single_linkage_at_threshold(&g, theta));
                 assert_eq!(canonical_labels(&got), expected, "seed {seed} theta {theta}");
             }

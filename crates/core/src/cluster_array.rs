@@ -93,7 +93,10 @@ impl ClusterArray {
     /// bounds.
     #[inline]
     pub fn set_parent(&mut self, i: usize, value: u32) {
-        assert!(value as usize <= i, "C[{i}] = {value} would violate the descending-chain invariant");
+        assert!(
+            value as usize <= i,
+            "C[{i}] = {value} would violate the descending-chain invariant"
+        );
         if self.c[i] != value {
             let was_root = self.c[i] as usize == i;
             let is_root = value as usize == i;
@@ -277,7 +280,7 @@ mod tests {
         c.merge(4, 5);
         c.merge(2, 3);
         c.merge(5, 3); // chains {4,5}->4? actually roots 4 and 2
-        // After merging, every member of both chains points directly at 2.
+                       // After merging, every member of both chains points directly at 2.
         for i in [2, 3, 4, 5] {
             assert_eq!(c.parent(i), 2, "C[{i}]");
         }

@@ -117,19 +117,15 @@ mod tests {
 
     #[test]
     fn forced_epochs_bypass_c2() {
-        let forced = EpochOutcome {
-            clusters_before: 1000,
-            clusters_after: 10,
-            edges: 1000,
-            forced: true,
-        };
+        let forced =
+            EpochOutcome { clusters_before: 1000, clusters_after: 10, edges: 1000, forced: true };
         // Rate 100 > gamma = 2, but forced -> commits (into tail here).
-        assert_eq!(
-            transition(forced, 2.0, 5),
-            Transition::Commit { next: Mode::Tail }
-        );
+        assert_eq!(transition(forced, 2.0, 5), Transition::Commit { next: Mode::Tail });
         // Forced + C3 -> terminate.
-        assert_eq!(transition(EpochOutcome { clusters_after: 4, ..forced }, 2.0, 5), Transition::Terminate);
+        assert_eq!(
+            transition(EpochOutcome { clusters_after: 4, ..forced }, 2.0, 5),
+            Transition::Terminate
+        );
     }
 
     #[test]

@@ -31,8 +31,10 @@ use linkclust_graph::WeightedGraph;
 
 use crate::cluster_array::{partition_diff, ClusterArray, MergeOutcome};
 use crate::dendrogram::{Dendrogram, MergeRecord};
+use crate::error::ConfigError;
 use crate::similarity::PairSimilarities;
 use crate::sweep::{EdgeOrder, SweepOutput};
+use crate::telemetry::{Counter, Gauge, Phase, RunReport, Telemetry};
 
 use self::epoch::{RollbackList, SavedEpoch};
 use self::estimate::{estimate_chunk, CurvePoint};
@@ -96,6 +98,96 @@ impl CoarseConfig {
             initial_chunk: (sims.incident_pair_count() / 1500).max(8),
             ..Default::default()
         }
+    }
+
+    /// A validating builder — the panic-free way to construct a
+    /// non-default configuration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use linkclust_core::coarse::CoarseConfig;
+    /// use linkclust_core::ConfigError;
+    ///
+    /// let cfg = CoarseConfig::builder().gamma(1.5).phi(50).build()?;
+    /// assert_eq!(cfg.phi, 50);
+    /// assert_eq!(
+    ///     CoarseConfig::builder().gamma(0.5).build(),
+    ///     Err(ConfigError::InvalidGamma(0.5))
+    /// );
+    /// # Ok::<(), ConfigError>(())
+    /// ```
+    pub fn builder() -> CoarseConfigBuilder {
+        CoarseConfigBuilder { cfg: CoarseConfig::default() }
+    }
+
+    /// Checks every parameter, returning the first violation: γ must be
+    /// finite and ≥ 1, φ ≥ 1, δ₀ ≥ 1, η₀ finite and > 1.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.gamma.is_finite() || self.gamma < 1.0 {
+            return Err(ConfigError::InvalidGamma(self.gamma));
+        }
+        if self.phi == 0 {
+            return Err(ConfigError::ZeroPhi);
+        }
+        if self.initial_chunk == 0 {
+            return Err(ConfigError::ZeroChunk);
+        }
+        if !self.eta0.is_finite() || self.eta0 <= 1.0 {
+            return Err(ConfigError::InvalidEta(self.eta0));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`CoarseConfig`] returned by [`CoarseConfig::builder`];
+/// [`build`](CoarseConfigBuilder::build) validates every parameter.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CoarseConfigBuilder {
+    cfg: CoarseConfig,
+}
+
+impl CoarseConfigBuilder {
+    /// Sets the soundness bound γ.
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.cfg.gamma = gamma;
+        self
+    }
+
+    /// Sets the terminal cluster count φ.
+    pub fn phi(mut self, phi: usize) -> Self {
+        self.cfg.phi = phi;
+        self
+    }
+
+    /// Sets the initial chunk size δ₀.
+    pub fn initial_chunk(mut self, initial_chunk: u64) -> Self {
+        self.cfg.initial_chunk = initial_chunk;
+        self
+    }
+
+    /// Sets the initial head-mode growth factor η₀.
+    pub fn eta0(mut self, eta0: f64) -> Self {
+        self.cfg.eta0 = eta0;
+        self
+    }
+
+    /// Sets the edge-to-slot assignment.
+    pub fn edge_order(mut self, edge_order: EdgeOrder) -> Self {
+        self.cfg.edge_order = edge_order;
+        self
+    }
+
+    /// Sets the cap on saved rollback states.
+    pub fn max_rollback_states(mut self, n: usize) -> Self {
+        self.cfg.max_rollback_states = n;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<CoarseConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -168,12 +260,26 @@ pub struct CoarseResult {
     levels: Vec<LevelPoint>,
     pairs_total: u64,
     pairs_processed: u64,
+    report: Option<RunReport>,
 }
 
 impl CoarseResult {
     /// The dendrogram plus edge-to-slot permutation.
     pub fn output(&self) -> &SweepOutput {
         &self.output
+    }
+
+    /// The telemetry report, when the run collected stats (facades with
+    /// `.stats(true)`); `None` otherwise.
+    pub fn report(&self) -> Option<&RunReport> {
+        self.report.as_ref()
+    }
+
+    /// Attaches a telemetry report (used by the facades after a
+    /// stats-collecting run).
+    pub fn with_report(mut self, report: RunReport) -> Self {
+        self.report = Some(report);
+        self
     }
 
     /// The coarse dendrogram (merges share levels chunk-wise).
@@ -232,12 +338,8 @@ impl CoarseResult {
     /// Like [`max_merge_rate`](Self::max_merge_rate) but skipping levels
     /// committed by forced (indivisible single-entry) epochs.
     pub fn max_unforced_merge_rate(&self) -> f64 {
-        let forced: std::collections::HashSet<u32> = self
-            .epochs
-            .iter()
-            .filter(|e| e.forced)
-            .filter_map(|e| e.level)
-            .collect();
+        let forced: std::collections::HashSet<u32> =
+            self.epochs.iter().filter(|e| e.forced).filter_map(|e| e.level).collect();
         let mut prev = self.output.dendrogram().edge_count() as f64;
         let mut worst: f64 = 1.0;
         for l in &self.levels {
@@ -306,7 +408,9 @@ impl ChunkProcessor for SerialChunkProcessor {
 /// # Panics
 ///
 /// Panics if `sorted` is unsorted, or `config` is degenerate (γ < 1,
-/// φ = 0, δ₀ = 0, or η₀ ≤ 1).
+/// φ = 0, δ₀ = 0, or η₀ ≤ 1). Use [`CoarseConfig::builder`] or
+/// [`CoarseConfig::validate`] (or the facades, which return
+/// [`ConfigError`]) to reject bad configurations without panicking.
 ///
 /// # Examples
 ///
@@ -317,7 +421,7 @@ impl ChunkProcessor for SerialChunkProcessor {
 ///
 /// let g = gnm(40, 150, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 7);
 /// let sims = compute_similarities(&g).into_sorted();
-/// let result = coarse_sweep(&g, &sims, &CoarseConfig {
+/// let result = coarse_sweep(&g, &sims, CoarseConfig {
 ///     phi: 10,
 ///     initial_chunk: 8,
 ///     ..Default::default()
@@ -327,7 +431,7 @@ impl ChunkProcessor for SerialChunkProcessor {
 pub fn coarse_sweep(
     g: &WeightedGraph,
     sorted: &PairSimilarities,
-    config: &CoarseConfig,
+    config: CoarseConfig,
 ) -> CoarseResult {
     coarse_sweep_with(g, sorted, config, &mut SerialChunkProcessor)
 }
@@ -341,14 +445,29 @@ pub fn coarse_sweep(
 pub fn coarse_sweep_with<P: ChunkProcessor>(
     g: &WeightedGraph,
     sorted: &PairSimilarities,
-    config: &CoarseConfig,
+    config: CoarseConfig,
     processor: &mut P,
 ) -> CoarseResult {
+    coarse_sweep_instrumented(g, sorted, config, processor, &Telemetry::disabled())
+}
+
+/// [`coarse_sweep_with`] plus phase-level telemetry: every epoch runs
+/// under a [`Phase::CoarseEpoch`] span, chunk sizes are observed on the
+/// [`Gauge::ChunkSize`] gauge, and the epoch/rollback/merge counters are
+/// recorded.
+///
+/// # Panics
+///
+/// Same conditions as [`coarse_sweep`].
+pub fn coarse_sweep_instrumented<P: ChunkProcessor>(
+    g: &WeightedGraph,
+    sorted: &PairSimilarities,
+    config: CoarseConfig,
+    processor: &mut P,
+    telemetry: &Telemetry,
+) -> CoarseResult {
     assert!(sorted.is_sorted(), "coarse sweep requires a sorted pair list; call into_sorted()");
-    assert!(config.gamma >= 1.0, "gamma must be at least 1");
-    assert!(config.phi >= 1, "phi must be positive");
-    assert!(config.initial_chunk >= 1, "initial chunk size must be positive");
-    assert!(config.eta0 > 1.0, "eta0 must exceed 1");
+    config.validate().unwrap_or_else(|e| panic!("invalid coarse config: {e}"));
 
     let m = g.edge_count();
     let slot_of_edge = config.edge_order.permutation(m);
@@ -387,6 +506,11 @@ pub fn coarse_sweep_with<P: ChunkProcessor>(
              this is a bug in the mode machine",
             epochs.len()
         );
+        // One span per attempted epoch (committed, rolled back, or
+        // followed by reuse jumps); chunk size sampled up front.
+        let epoch_span = telemetry.span(Phase::CoarseEpoch);
+        telemetry.observe(Gauge::ChunkSize, delta as f64);
+
         // Snapshot the safe state Q* before attempting the epoch.
         let safe_parents = c.parents().to_vec();
 
@@ -409,18 +533,14 @@ pub fn coarse_sweep_with<P: ChunkProcessor>(
         let beta_prime = c.cluster_count();
         let forced = q == p + 1 && xi_new >= big_delta + delta;
         let decision = transition(
-            EpochOutcome {
-                clusters_before: beta,
-                clusters_after: beta_prime,
-                edges: m,
-                forced,
-            },
+            EpochOutcome { clusters_before: beta, clusters_after: beta_prime, edges: m, forced },
             config.gamma,
             config.phi,
         );
 
         if decision == Transition::Rollback {
             // --- Rollback (Case II) ---
+            telemetry.add(Counter::Rollbacks, 1);
             epochs.push(EpochRecord {
                 index: epoch_index,
                 kind: EpochKind::Rollback,
@@ -486,6 +606,11 @@ pub fn coarse_sweep_with<P: ChunkProcessor>(
         epoch_index += 1;
         levels.push(LevelPoint { level, pairs: xi, clusters: beta });
         consecutive_rollbacks = 0;
+        epoch_span.finish();
+        telemetry.add(Counter::EpochsCommitted, 1);
+        if forced {
+            telemetry.add(Counter::ForcedEpochs, 1);
+        }
         match decision {
             Transition::Terminate => break,
             Transition::Commit { next } => mode = next,
@@ -510,6 +635,7 @@ pub fn coarse_sweep_with<P: ChunkProcessor>(
             big_delta = xi;
             beta = s.clusters;
             history.push(CurvePoint { pairs: xi, clusters: beta });
+            telemetry.add(Counter::EpochsReused, 1);
             epochs.push(EpochRecord {
                 index: epoch_index,
                 kind: EpochKind::Reused,
@@ -542,18 +668,21 @@ pub fn coarse_sweep_with<P: ChunkProcessor>(
             }
             Mode::Head => {
                 let grown = (delta as f64 * eta).ceil();
-                delta =
-                    if grown >= pairs_total as f64 { pairs_total.max(1) } else { grown as u64 };
+                delta = if grown >= pairs_total as f64 { pairs_total.max(1) } else { grown as u64 };
             }
         }
     }
 
+    telemetry.add(Counter::MergesApplied, merges.len() as u64);
+    telemetry.add(Counter::LevelsCommitted, levels.len() as u64);
+    telemetry.add(Counter::PairsProcessed, xi);
     CoarseResult {
         output: SweepOutput::new(Dendrogram::from_merges(m, merges), slot_of_edge),
         epochs,
         levels,
         pairs_total,
         pairs_processed: xi,
+        report: None,
     }
 }
 
@@ -578,7 +707,7 @@ mod tests {
         let g = gnm(50, 250, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 3);
         let sims = sims_for(&g);
         let cfg = default_small();
-        let r = coarse_sweep(&g, &sims, &cfg);
+        let r = coarse_sweep(&g, &sims, cfg);
         let final_clusters = r.dendrogram().final_cluster_count();
         assert!(
             final_clusters <= cfg.phi || r.processed_fraction() >= 1.0 - 1e-9,
@@ -593,7 +722,7 @@ mod tests {
             let g = gnm(60, 300, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, seed);
             let sims = sims_for(&g);
             let cfg = default_small();
-            let r = coarse_sweep(&g, &sims, &cfg);
+            let r = coarse_sweep(&g, &sims, cfg);
             let rate = r.max_unforced_merge_rate();
             assert!(rate <= cfg.gamma + 1e-9, "rate {rate} exceeds gamma (seed {seed})");
         }
@@ -607,10 +736,9 @@ mod tests {
             let g = gnm(30, 120, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, seed);
             let sims = sims_for(&g);
             let cfg = CoarseConfig { phi: 1, initial_chunk: 6, ..Default::default() };
-            let r = coarse_sweep(&g, &sims, &cfg);
+            let r = coarse_sweep(&g, &sims, cfg);
             let fine = sweep(&g, &sims, SweepConfig::default());
-            let a: Vec<usize> =
-                r.output().edge_assignments().iter().map(|&x| x as usize).collect();
+            let a: Vec<usize> = r.output().edge_assignments().iter().map(|&x| x as usize).collect();
             let b: Vec<usize> = fine.edge_assignments().iter().map(|&x| x as usize).collect();
             assert_eq!(canonical_labels(&a), canonical_labels(&b), "seed {seed}");
         }
@@ -621,7 +749,7 @@ mod tests {
         let g = barabasi_albert(120, 6, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 5);
         let sims = sims_for(&g);
         let cfg = CoarseConfig { phi: 40, initial_chunk: 16, ..Default::default() };
-        let r = coarse_sweep(&g, &sims, &cfg);
+        let r = coarse_sweep(&g, &sims, cfg);
         if r.dendrogram().final_cluster_count() <= cfg.phi {
             assert!(
                 r.processed_fraction() < 1.0,
@@ -635,14 +763,11 @@ mod tests {
     fn epoch_telemetry_is_consistent() {
         let g = gnm(60, 280, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 9);
         let sims = sims_for(&g);
-        let r = coarse_sweep(&g, &sims, &default_small());
+        let r = coarse_sweep(&g, &sims, default_small());
         let b = r.epoch_breakdown();
         let committed = b.head_fresh + b.tail_fresh + b.reused;
         assert_eq!(committed, r.levels().len());
-        assert_eq!(
-            b.head_fresh + b.tail_fresh + b.reused + b.rollback,
-            r.epochs().len()
-        );
+        assert_eq!(b.head_fresh + b.tail_fresh + b.reused + b.rollback, r.epochs().len());
         // Epoch indices are sequential; levels strictly increase.
         for (i, e) in r.epochs().iter().enumerate() {
             assert_eq!(e.index as usize, i);
@@ -665,7 +790,7 @@ mod tests {
         let g = gnm(40, 200, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 1);
         let sims = sims_for(&g);
         let cfg = CoarseConfig { phi: 2, initial_chunk: 1, eta0: 8.0, ..Default::default() };
-        let r = coarse_sweep(&g, &sims, &cfg);
+        let r = coarse_sweep(&g, &sims, cfg);
         let mut prev = 0;
         for l in r.levels() {
             assert!(l.pairs >= prev);
@@ -680,14 +805,9 @@ mod tests {
         // overshoot γ and must roll back.
         let g = gnm(30, 200, WeightMode::Uniform { lo: 0.9, hi: 1.1 }, 4);
         let sims = sims_for(&g);
-        let cfg = CoarseConfig {
-            gamma: 1.2,
-            phi: 3,
-            initial_chunk: 64,
-            eta0: 8.0,
-            ..Default::default()
-        };
-        let r = coarse_sweep(&g, &sims, &cfg);
+        let cfg =
+            CoarseConfig { gamma: 1.2, phi: 3, initial_chunk: 64, eta0: 8.0, ..Default::default() };
+        let r = coarse_sweep(&g, &sims, cfg);
         let b = r.epoch_breakdown();
         assert!(b.rollback > 0, "expected rollbacks on a dense graph: {b:?}");
     }
@@ -700,13 +820,8 @@ mod tests {
         for seed in 0..3 {
             let g = gnm(40, 180, WeightMode::Uniform { lo: 0.5, hi: 1.5 }, seed);
             let sims = sims_for(&g);
-            let cfg = CoarseConfig {
-                gamma: 1.5,
-                phi: 8,
-                initial_chunk: 8,
-                ..Default::default()
-            };
-            let r = coarse_sweep(&g, &sims, &cfg);
+            let cfg = CoarseConfig { gamma: 1.5, phi: 8, initial_chunk: 8, ..Default::default() };
+            let r = coarse_sweep(&g, &sims, cfg);
             // Replay fine-grained merges until the same cluster count and
             // compare partitions.
             let target = r.dendrogram().final_cluster_count();
@@ -733,14 +848,14 @@ mod tests {
     fn rejects_gamma_below_one() {
         let g = gnm(10, 20, WeightMode::Unit, 0);
         let sims = sims_for(&g);
-        coarse_sweep(&g, &sims, &CoarseConfig { gamma: 0.5, ..Default::default() });
+        coarse_sweep(&g, &sims, CoarseConfig { gamma: 0.5, ..Default::default() });
     }
 
     #[test]
     fn empty_graph_is_fine() {
         let g = linkclust_graph::GraphBuilder::new().build();
         let sims = sims_for(&g);
-        let r = coarse_sweep(&g, &sims, &CoarseConfig::default());
+        let r = coarse_sweep(&g, &sims, CoarseConfig::default());
         assert_eq!(r.dendrogram().merge_count(), 0);
         assert_eq!(r.processed_fraction(), 0.0);
     }

@@ -107,9 +107,8 @@ impl LinkCommunities {
                 Community { label, edges, vertices }
             })
             .collect();
-        communities.sort_by(|a, b| {
-            b.edges.len().cmp(&a.edges.len()).then_with(|| a.label.cmp(&b.label))
-        });
+        communities
+            .sort_by(|a, b| b.edges.len().cmp(&a.edges.len()).then_with(|| a.label.cmp(&b.label)));
 
         let mut membership = vec![Vec::new(); g.vertex_count()];
         let mut community_of_edge = vec![0u32; g.edge_count()];
@@ -178,14 +177,7 @@ mod tests {
     fn two_triangles() -> WeightedGraph {
         GraphBuilder::from_edges(
             5,
-            &[
-                (0, 1, 1.0),
-                (1, 2, 1.0),
-                (0, 2, 1.0),
-                (2, 3, 1.0),
-                (3, 4, 1.0),
-                (2, 4, 1.0),
-            ],
+            &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (2, 4, 1.0)],
         )
         .unwrap()
         .build()

@@ -159,8 +159,7 @@ impl Dendrogram {
         let mut uf = UnionFind::new(self.edge_count);
         // Σ m_c · D_c over clusters; singletons contribute 0.
         let mut sum = 0.0;
-        let mut best =
-            DensityCut { level: 0, density: 0.0, cluster_count: self.edge_count };
+        let mut best = DensityCut { level: 0, density: 0.0, cluster_count: self.edge_count };
         let mut i = 0;
         while i < self.merges.len() {
             let level = self.merges[i].level;
@@ -241,8 +240,7 @@ pub fn partition_density(g: &WeightedGraph, labels: &[u32]) -> f64 {
         set.insert(e.source.into());
         set.insert(e.target.into());
     }
-    let sum: f64 =
-        edges_of.iter().map(|(l, &m_c)| density_term(m_c, verts_of[l].len())).sum();
+    let sum: f64 = edges_of.iter().map(|(l, &m_c)| density_term(m_c, verts_of[l].len())).sum();
     2.0 / g.edge_count() as f64 * sum
 }
 
@@ -311,9 +309,8 @@ mod tests {
     fn tree_cluster_has_zero_density() {
         // A path of 3 edges as one cluster: m_c = 3, n_c = 4 ->
         // m_c - (n_c - 1) = 0.
-        let g = GraphBuilder::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
-            .unwrap()
-            .build();
+        let g =
+            GraphBuilder::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap().build();
         assert_eq!(partition_density(&g, &[0, 0, 0]), 0.0);
     }
 

@@ -195,8 +195,8 @@ fn normalized_conditional(xs: &[FixedBitSet], ys: &[FixedBitSet], n: usize) -> f
             let c = cx - d; // x ∧ ¬y
             let b = cy - d; // ¬x ∧ y
             let a = n + d - cx - cy; // ¬x ∧ ¬y (n+d ≥ cx+cy by inclusion–exclusion)
-            // LFK admissibility: the joint must explain more than it
-            // confuses, otherwise Yj carries no information about Xi.
+                                     // LFK admissibility: the joint must explain more than it
+                                     // confuses, otherwise Yj carries no information about Xi.
             if h(d) + h(a) < h(b) + h(c) {
                 continue;
             }
@@ -238,11 +238,7 @@ impl FixedBitSet {
     }
 
     fn intersection_count(&self, other: &FixedBitSet) -> usize {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 }
 

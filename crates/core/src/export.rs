@@ -106,8 +106,7 @@ pub fn to_ascii_tree(d: &Dendrogram) -> String {
     for m in d.merges() {
         let left = nodes[m.left as usize].take().expect("left cluster is live");
         let right = nodes[m.right as usize].take().expect("right cluster is live");
-        nodes[m.into as usize] =
-            Some(Node::Merge { level: m.level, children: vec![left, right] });
+        nodes[m.into as usize] = Some(Node::Merge { level: m.level, children: vec![left, right] });
     }
     let mut out = String::new();
     let roots: Vec<Node> = nodes.into_iter().flatten().collect();
@@ -205,10 +204,14 @@ mod tests {
         assert!(s.ends_with(';'));
         // Every edge appears exactly once.
         for i in 0..g.edge_count() {
-            assert_eq!(s.matches(&format!("e{i},")).count()
-                + s.matches(&format!("e{i})")).count()
-                + s.matches(&format!("e{i}:")).count()
-                + usize::from(s.ends_with(&format!("e{i};"))), 1, "e{i} in {s}");
+            assert_eq!(
+                s.matches(&format!("e{i},")).count()
+                    + s.matches(&format!("e{i})")).count()
+                    + s.matches(&format!("e{i}:")).count()
+                    + usize::from(s.ends_with(&format!("e{i};"))),
+                1,
+                "e{i} in {s}"
+            );
         }
     }
 }

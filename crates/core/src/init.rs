@@ -30,6 +30,7 @@ use std::collections::HashMap;
 use linkclust_graph::{VertexId, WeightedGraph};
 
 use crate::similarity::{PairSimilarities, SimilarityEntry, VertexPair};
+use crate::telemetry::{Counter, Phase, Telemetry};
 
 /// The arrays `H₁` and `H₂` of Algorithm 1 (pass 1).
 #[derive(Clone, PartialEq, Debug)]
@@ -144,7 +145,10 @@ impl PairAccumulator {
                 RawPairEntry {
                     pair: VertexPair::new(VertexId::new(i as usize), VertexId::new(j as usize)),
                     value,
-                    common_neighbors: commons.into_iter().map(|c| VertexId::new(c as usize)).collect(),
+                    common_neighbors: commons
+                        .into_iter()
+                        .map(|c| VertexId::new(c as usize))
+                        .collect(),
                 }
             })
             .collect();
@@ -218,11 +222,30 @@ pub fn entries_into_similarities(entries: Vec<RawPairEntry>) -> PairSimilarities
 /// # Ok::<(), linkclust_graph::GraphError>(())
 /// ```
 pub fn compute_similarities(g: &WeightedGraph) -> PairSimilarities {
-    let norms = vertex_norms(g);
-    let acc = accumulate_pairs(g, g.vertices());
+    compute_similarities_with(g, &Telemetry::disabled())
+}
+
+/// [`compute_similarities`] with phase-level telemetry: each pass runs
+/// under its own span ([`Phase::InitPass1`]–[`Phase::InitPass3`]) and the
+/// K₁/K₂ counters are recorded.
+pub fn compute_similarities_with(g: &WeightedGraph, telemetry: &Telemetry) -> PairSimilarities {
+    let norms = {
+        let _span = telemetry.span(Phase::InitPass1);
+        vertex_norms(g)
+    };
+    let acc = {
+        let _span = telemetry.span(Phase::InitPass2);
+        accumulate_pairs(g, g.vertices())
+    };
+    telemetry.add(Counter::PairsK1, acc.len() as u64);
     let mut entries = acc.into_sorted_entries();
-    finalize_entries(g, &norms, &mut entries);
-    entries_into_similarities(entries)
+    {
+        let _span = telemetry.span(Phase::InitPass3);
+        finalize_entries(g, &norms, &mut entries);
+    }
+    let sims = entries_into_similarities(entries);
+    telemetry.add(Counter::IncidentPairsK2, sims.incident_pair_count());
+    sims
 }
 
 #[cfg(test)]
@@ -237,9 +260,8 @@ mod tests {
     #[test]
     fn norms_on_weighted_star() {
         // Star center 0 with leaf weights 1, 2, 3.
-        let g = GraphBuilder::from_edges(4, &[(0, 1, 1.0), (0, 2, 2.0), (0, 3, 3.0)])
-            .unwrap()
-            .build();
+        let g =
+            GraphBuilder::from_edges(4, &[(0, 1, 1.0), (0, 2, 2.0), (0, 3, 3.0)]).unwrap().build();
         let n = vertex_norms(&g);
         assert!((n.h1[0] - 2.0).abs() < 1e-12); // mean of 1,2,3
         assert!((n.h2[0] - (4.0 + 14.0)).abs() < 1e-12); // 2² + (1+4+9)
@@ -270,9 +292,8 @@ mod tests {
     fn triangle_similarities_are_one() {
         // In K3 with unit weights all a-vectors are identical, so every
         // incident edge pair has similarity exactly 1.
-        let g = GraphBuilder::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)])
-            .unwrap()
-            .build();
+        let g =
+            GraphBuilder::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]).unwrap().build();
         let sims = compute_similarities(&g);
         assert_eq!(sims.len(), 3);
         for e in sims.entries() {

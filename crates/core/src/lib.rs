@@ -27,7 +27,9 @@
 //!   the MST-based formulation of Gower & Ross.
 //!
 //! Parallel (multi-core) versions of both phases live in the companion
-//! `linkclust-parallel` crate.
+//! `linkclust-parallel` crate, whose unified `LinkClustering` facade
+//! (with a `.threads(n)` builder) supersedes the serial facade here for
+//! most callers.
 //!
 //! # Quickstart
 //!
@@ -47,6 +49,27 @@
 //! assert_eq!(cut.cluster_count, 2);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! Every phase can report where its time went ([`telemetry`]); invalid
+//! configurations surface as [`ConfigError`] values instead of panics:
+//!
+//! ```
+//! use linkclust_graph::generate::{gnm, WeightMode};
+//! use linkclust_core::coarse::CoarseConfig;
+//! use linkclust_core::telemetry::Counter;
+//! use linkclust_core::{ConfigError, LinkClustering};
+//!
+//! let g = gnm(50, 200, WeightMode::Unit, 7);
+//! let cfg = CoarseConfig::builder().phi(5).initial_chunk(16).build()?;
+//! let r = LinkClustering::new().stats(true).run_coarse(&g, cfg)?;
+//! let report = r.report().expect("stats(true) attaches a report");
+//! assert_eq!(report.counter(Counter::MergesApplied), r.dendrogram().merge_count());
+//! assert_eq!(
+//!     CoarseConfig::builder().phi(0).build(),
+//!     Err(ConfigError::ZeroPhi)
+//! );
+//! # Ok::<(), ConfigError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,6 +79,7 @@ pub mod cluster_array;
 pub mod coarse;
 pub mod communities;
 pub mod dendrogram;
+pub mod error;
 pub mod evaluate;
 pub mod export;
 pub mod incremental;
@@ -63,6 +87,7 @@ pub mod init;
 pub mod model;
 pub mod reference;
 pub mod sweep;
+pub mod telemetry;
 pub mod unionfind;
 
 mod pipeline;
@@ -70,5 +95,7 @@ mod similarity;
 
 pub use cluster_array::ClusterArray;
 pub use dendrogram::{Dendrogram, MergeRecord};
+pub use error::ConfigError;
 pub use pipeline::{ClusteringResult, LinkClustering};
 pub use similarity::{PairSimilarities, SimilarityEntry, VertexPair};
+pub use telemetry::{Recorder, RunReport, Telemetry};

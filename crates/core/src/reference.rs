@@ -178,9 +178,8 @@ mod tests {
     #[test]
     fn jaccard_of_identical_neighborhoods_is_one() {
         // In K3 every inclusive neighborhood is the whole vertex set.
-        let g = GraphBuilder::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)])
-            .unwrap()
-            .build();
+        let g =
+            GraphBuilder::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]).unwrap().build();
         assert!((jaccard_similarity(&g, VertexId::new(0), VertexId::new(1)) - 1.0).abs() < 1e-12);
     }
 

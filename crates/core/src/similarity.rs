@@ -112,8 +112,7 @@ impl PairSimilarities {
     pub fn from_sorted(entries: Vec<SimilarityEntry>) -> Self {
         assert!(
             entries.windows(2).all(|w| {
-                w[0].score > w[1].score
-                    || (w[0].score == w[1].score && w[0].pair <= w[1].pair)
+                w[0].score > w[1].score || (w[0].score == w[1].score && w[0].pair <= w[1].pair)
             }),
             "entries must be sorted by non-increasing score"
         );

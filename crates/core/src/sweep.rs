@@ -19,6 +19,7 @@ use rand::SeedableRng;
 use crate::cluster_array::ClusterArray;
 use crate::dendrogram::{Dendrogram, MergeRecord};
 use crate::similarity::PairSimilarities;
+use crate::telemetry::{Counter, Phase, Telemetry};
 
 /// How edges are assigned to slots of the cluster array (the paper
 /// enumerates edges "in a random order" — the clustering *partition* is
@@ -109,11 +110,7 @@ impl SweepOutput {
         // Scores are non-increasing along the merge sequence; find the
         // last merge with score >= theta.
         let keep = self.merge_scores.partition_point(|&s| s >= theta);
-        let level = if keep == 0 {
-            0
-        } else {
-            self.dendrogram.merges()[keep - 1].level
-        };
+        let level = if keep == 0 { 0 } else { self.dendrogram.merges()[keep - 1].level };
         self.edge_assignments_at_level(level)
     }
 
@@ -171,13 +168,27 @@ impl SweepOutput {
 /// # Ok::<(), linkclust_graph::GraphError>(())
 /// ```
 pub fn sweep(g: &WeightedGraph, sorted: &PairSimilarities, config: SweepConfig) -> SweepOutput {
+    sweep_with(g, sorted, config, &Telemetry::disabled())
+}
+
+/// [`sweep`] with phase-level telemetry: the whole sweep runs under a
+/// [`Phase::Sweep`] span, and the merge and processed-pair counters are
+/// recorded once at the end (no per-merge overhead).
+pub fn sweep_with(
+    g: &WeightedGraph,
+    sorted: &PairSimilarities,
+    config: SweepConfig,
+    telemetry: &Telemetry,
+) -> SweepOutput {
     assert!(sorted.is_sorted(), "sweep requires a sorted pair list; call into_sorted()");
+    let span = telemetry.span(Phase::Sweep);
     let m = g.edge_count();
     let slot_of_edge = config.edge_order.permutation(m);
     let mut c = ClusterArray::new(m);
     let mut merges = Vec::new();
     let mut scores = Vec::new();
     let mut r = 0u32;
+    let mut pairs_processed = 0u64;
     for entry in sorted.entries() {
         if let Some(theta) = config.min_similarity {
             if entry.score < theta {
@@ -192,11 +203,20 @@ pub fn sweep(g: &WeightedGraph, sorted: &PairSimilarities, config: SweepConfig) 
             let s2 = slot_of_edge[e2.index()] as usize;
             if let Some(out) = c.merge(s1, s2) {
                 r += 1;
-                merges.push(MergeRecord { level: r, left: out.left, right: out.right, into: out.into });
+                merges.push(MergeRecord {
+                    level: r,
+                    left: out.left,
+                    right: out.right,
+                    into: out.into,
+                });
                 scores.push(entry.score);
             }
         }
+        pairs_processed += entry.pair_count() as u64;
     }
+    span.finish();
+    telemetry.add(Counter::MergesApplied, merges.len() as u64);
+    telemetry.add(Counter::PairsProcessed, pairs_processed);
     SweepOutput::with_scores(Dendrogram::from_merges(m, merges), slot_of_edge, scores)
 }
 

@@ -1,0 +1,764 @@
+//! Phase-level observability: timers, counters, gauges, and run reports.
+//!
+//! Every phase of the clustering pipeline — the three initialization
+//! passes, the sort, the sweep, each coarse epoch, and the parallel
+//! chunk-process/combine steps — can emit timing and counter events
+//! through a [`Telemetry`] handle. The handle is **zero-cost when
+//! disabled**: a disabled handle holds no recorder, [`Telemetry::span`]
+//! never calls [`Instant::now`], and every counter update is a single
+//! branch on an `Option`.
+//!
+//! The pieces:
+//!
+//! * [`Phase`], [`Counter`], [`Gauge`] — the typed event vocabulary.
+//! * [`Recorder`] — the sink trait. Implement it to stream events into
+//!   your own system (the bench harness does); [`NoopRecorder`] drops
+//!   everything, [`RunRecorder`] aggregates into a [`RunReport`].
+//! * [`Telemetry`] — the cheap, cloneable handle threaded through the
+//!   pipeline. [`Telemetry::disabled`] is the default everywhere.
+//! * [`RunReport`] — the aggregate: per-phase wall time and call counts,
+//!   counters, gauge statistics, and per-thread item counts for
+//!   load-imbalance analysis. Serializes to JSON ([`RunReport::to_json`])
+//!   and pretty-prints as a table (its [`Display`](fmt::Display) impl).
+//!
+//! # Examples
+//!
+//! ```
+//! use linkclust_core::telemetry::{Counter, Phase, RunRecorder, Telemetry};
+//! use std::sync::Arc;
+//!
+//! let recorder = Arc::new(RunRecorder::new());
+//! let t = Telemetry::new(recorder.clone());
+//! {
+//!     let _span = t.span(Phase::Sweep);
+//!     t.add(Counter::MergesApplied, 3);
+//! } // span drop records the elapsed time
+//! let report = recorder.report();
+//! assert_eq!(report.counter(Counter::MergesApplied), 3);
+//! assert_eq!(report.phase_calls(Phase::Sweep), 1);
+//! ```
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A timed phase of the clustering pipeline.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Phase {
+    /// Initialization pass 1: vertex norms `H₁`/`H₂`.
+    InitPass1 = 0,
+    /// Initialization pass 2: pair-map accumulation.
+    InitPass2 = 1,
+    /// Hierarchical merge of per-thread pair maps (parallel pass 2 only).
+    InitMapMerge = 2,
+    /// Initialization pass 3: adjacency correction + final similarity.
+    InitPass3 = 3,
+    /// Sorting the similarity list `L`.
+    Sort = 4,
+    /// The fine-grained sweeping phase (one span per sweep).
+    Sweep = 5,
+    /// One epoch of the coarse-grained sweep (one span per epoch,
+    /// committed or rolled back).
+    CoarseEpoch = 6,
+    /// Per-thread chunk processing inside a parallel epoch.
+    ChunkProcess = 7,
+    /// Chain-union combination of per-thread cluster arrays.
+    ChunkCombine = 8,
+}
+
+impl Phase {
+    /// All phases, in display order.
+    pub const ALL: [Phase; 9] = [
+        Phase::InitPass1,
+        Phase::InitPass2,
+        Phase::InitMapMerge,
+        Phase::InitPass3,
+        Phase::Sort,
+        Phase::Sweep,
+        Phase::CoarseEpoch,
+        Phase::ChunkProcess,
+        Phase::ChunkCombine,
+    ];
+
+    /// The stable snake_case name used in JSON and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::InitPass1 => "init_pass1",
+            Phase::InitPass2 => "init_pass2",
+            Phase::InitMapMerge => "init_map_merge",
+            Phase::InitPass3 => "init_pass3",
+            Phase::Sort => "sort",
+            Phase::Sweep => "sweep",
+            Phase::CoarseEpoch => "coarse_epoch",
+            Phase::ChunkProcess => "chunk_process",
+            Phase::ChunkCombine => "chunk_combine",
+        }
+    }
+
+    const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A monotone event counter.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Counter {
+    /// Vertex pairs with a common neighbor (K₁).
+    PairsK1 = 0,
+    /// Incident edge pairs (K₂).
+    IncidentPairsK2 = 1,
+    /// Merges recorded into the dendrogram.
+    MergesApplied = 2,
+    /// Incident edge pairs actually swept (≤ K₂ under φ-termination).
+    PairsProcessed = 3,
+    /// Committed coarse epochs (head or tail mode).
+    EpochsCommitted = 4,
+    /// Rolled-back coarse epochs.
+    Rollbacks = 5,
+    /// Saved rollback states committed wholesale (Case-I reuse).
+    EpochsReused = 6,
+    /// Epochs forced through despite violating the merge-rate bound
+    /// (indivisible single-entry chunks).
+    ForcedEpochs = 7,
+    /// Dendrogram levels committed by the coarse sweep.
+    LevelsCommitted = 8,
+    /// Chunks handed to a chunk processor.
+    ChunksProcessed = 9,
+    /// Chunks the parallel processor handled serially (too small to be
+    /// worth fanning out).
+    SerialFallbackChunks = 10,
+    /// Pairwise chain-union combinations of per-thread cluster arrays.
+    ArrayCombines = 11,
+}
+
+impl Counter {
+    /// All counters, in display order.
+    pub const ALL: [Counter; 12] = [
+        Counter::PairsK1,
+        Counter::IncidentPairsK2,
+        Counter::MergesApplied,
+        Counter::PairsProcessed,
+        Counter::EpochsCommitted,
+        Counter::Rollbacks,
+        Counter::EpochsReused,
+        Counter::ForcedEpochs,
+        Counter::LevelsCommitted,
+        Counter::ChunksProcessed,
+        Counter::SerialFallbackChunks,
+        Counter::ArrayCombines,
+    ];
+
+    /// The stable snake_case name used in JSON and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::PairsK1 => "pairs_k1",
+            Counter::IncidentPairsK2 => "incident_pairs_k2",
+            Counter::MergesApplied => "merges_applied",
+            Counter::PairsProcessed => "pairs_processed",
+            Counter::EpochsCommitted => "epochs_committed",
+            Counter::Rollbacks => "rollbacks",
+            Counter::EpochsReused => "epochs_reused",
+            Counter::ForcedEpochs => "forced_epochs",
+            Counter::LevelsCommitted => "levels_committed",
+            Counter::ChunksProcessed => "chunks_processed",
+            Counter::SerialFallbackChunks => "serial_fallback_chunks",
+            Counter::ArrayCombines => "array_combines",
+        }
+    }
+
+    const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A sampled quantity (aggregated as count/min/max/mean).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Gauge {
+    /// The chunk size δ an epoch ran with (in incident edge pairs).
+    ChunkSize = 0,
+}
+
+impl Gauge {
+    /// All gauges, in display order.
+    pub const ALL: [Gauge; 1] = [Gauge::ChunkSize];
+
+    /// The stable snake_case name used in JSON and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::ChunkSize => "chunk_size",
+        }
+    }
+
+    const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A telemetry sink. Implementations must be cheap and thread-safe — the
+/// pipeline calls them from worker threads.
+pub trait Recorder: Send + Sync {
+    /// One completed span of `phase`, lasting `nanos` nanoseconds.
+    fn record_phase(&self, phase: Phase, nanos: u64);
+    /// Increments `counter` by `value`.
+    fn add(&self, counter: Counter, value: u64);
+    /// Records one sample of `gauge`.
+    fn observe(&self, gauge: Gauge, value: f64);
+    /// Records that worker `thread` handled `items` work items (used for
+    /// load-imbalance analysis; accumulates across calls).
+    fn thread_items(&self, thread: usize, items: u64);
+}
+
+/// A recorder that drops every event. Useful as an explicit "measure the
+/// instrumentation overhead" sink; prefer [`Telemetry::disabled`] when
+/// you simply don't want telemetry.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn record_phase(&self, _phase: Phase, _nanos: u64) {}
+    fn add(&self, _counter: Counter, _value: u64) {}
+    fn observe(&self, _gauge: Gauge, _value: f64) {}
+    fn thread_items(&self, _thread: usize, _items: u64) {}
+}
+
+/// The handle threaded through the pipeline. Cloning is cheap (an `Arc`
+/// clone or a no-op). A disabled handle skips all clock reads and sink
+/// calls.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<dyn Recorder>>,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry").field("enabled", &self.inner.is_some()).finish()
+    }
+}
+
+impl Telemetry {
+    /// The do-nothing handle (the default for every pipeline entry
+    /// point).
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// A handle forwarding every event to `recorder`.
+    pub fn new(recorder: Arc<dyn Recorder>) -> Self {
+        Telemetry { inner: Some(recorder) }
+    }
+
+    /// `true` if events reach a recorder.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Starts a timed span for `phase`; the elapsed time is recorded when
+    /// the returned guard drops (or [`Span::finish`] is called). Disabled
+    /// handles never read the clock.
+    #[must_use = "the span measures until it is dropped"]
+    pub fn span(&self, phase: Phase) -> Span<'_> {
+        Span { active: self.inner.as_deref().map(|r| (r, phase, Instant::now())) }
+    }
+
+    /// Increments `counter` by `value`.
+    #[inline]
+    pub fn add(&self, counter: Counter, value: u64) {
+        if let Some(r) = &self.inner {
+            r.add(counter, value);
+        }
+    }
+
+    /// Records one sample of `gauge`.
+    #[inline]
+    pub fn observe(&self, gauge: Gauge, value: f64) {
+        if let Some(r) = &self.inner {
+            r.observe(gauge, value);
+        }
+    }
+
+    /// Records `items` work items handled by worker `thread`.
+    #[inline]
+    pub fn thread_items(&self, thread: usize, items: u64) {
+        if let Some(r) = &self.inner {
+            r.thread_items(thread, items);
+        }
+    }
+}
+
+/// A timing guard returned by [`Telemetry::span`]. Records the elapsed
+/// wall time into the recorder on drop. Spans nest naturally — each one
+/// records its own phase independently.
+pub struct Span<'a> {
+    active: Option<(&'a dyn Recorder, Phase, Instant)>,
+}
+
+impl Span<'_> {
+    /// Ends the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some((recorder, phase, start)) = self.active.take() {
+            recorder.record_phase(phase, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Aggregated statistics of one gauge.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct GaugeStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample (0 when `count == 0`).
+    pub min: f64,
+    /// Largest sample (0 when `count == 0`).
+    pub max: f64,
+}
+
+impl GaugeStats {
+    /// The mean sample, or 0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+}
+
+/// The aggregate of one clustering run: per-phase wall time and call
+/// counts, counters, gauge statistics, and per-thread item counts.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct RunReport {
+    phase_nanos: [u64; Phase::ALL.len()],
+    phase_calls: [u64; Phase::ALL.len()],
+    counters: [u64; Counter::ALL.len()],
+    gauges: [GaugeStats; Gauge::ALL.len()],
+    thread_items: Vec<u64>,
+}
+
+impl RunReport {
+    /// Total wall time spent in `phase`, in nanoseconds (sums over all
+    /// spans of that phase).
+    pub fn phase_nanos(&self, phase: Phase) -> u64 {
+        self.phase_nanos[phase.index()]
+    }
+
+    /// Number of spans recorded for `phase`.
+    pub fn phase_calls(&self, phase: Phase) -> u64 {
+        self.phase_calls[phase.index()]
+    }
+
+    /// The value of `counter`.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()]
+    }
+
+    /// Aggregated statistics of `gauge`.
+    pub fn gauge(&self, gauge: Gauge) -> GaugeStats {
+        self.gauges[gauge.index()]
+    }
+
+    /// Work items per worker thread, indexed by thread id. Empty when no
+    /// parallel stage ran.
+    pub fn thread_items(&self) -> &[u64] {
+        &self.thread_items
+    }
+
+    /// Load imbalance of the parallel stages: `max / mean` of the
+    /// per-thread item counts (1.0 is perfectly balanced; 0 with no
+    /// parallel work).
+    pub fn load_imbalance(&self) -> f64 {
+        let busy = &self.thread_items;
+        if busy.is_empty() {
+            return 0.0;
+        }
+        let max = busy.iter().copied().max().unwrap_or(0) as f64;
+        let mean = busy.iter().sum::<u64>() as f64 / busy.len() as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Serializes the report as a single-line JSON object with stable
+    /// keys (`phases`, `counters`, `gauges`, `thread_items`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\"phases\":{");
+        let mut first = true;
+        for p in Phase::ALL {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "\"{}\":{{\"nanos\":{},\"calls\":{}}}",
+                p.name(),
+                self.phase_nanos(p),
+                self.phase_calls(p)
+            ));
+        }
+        s.push_str("},\"counters\":{");
+        first = true;
+        for c in Counter::ALL {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!("\"{}\":{}", c.name(), self.counter(c)));
+        }
+        s.push_str("},\"gauges\":{");
+        first = true;
+        for g in Gauge::ALL {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let st = self.gauge(g);
+            s.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"min\":{},\"max\":{},\"mean\":{}}}",
+                g.name(),
+                st.count,
+                json_f64(st.min),
+                json_f64(st.max),
+                json_f64(st.mean())
+            ));
+        }
+        s.push_str("},\"thread_items\":[");
+        for (i, items) in self.thread_items.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&items.to_string());
+        }
+        s.push_str("]}");
+        s
+    }
+
+    fn merge_event(&mut self, event: &Event) {
+        match *event {
+            Event::Phase(p, nanos) => {
+                self.phase_nanos[p.index()] += nanos;
+                self.phase_calls[p.index()] += 1;
+            }
+            Event::Counter(c, value) => self.counters[c.index()] += value,
+            Event::Gauge(g, value) => self.gauges[g.index()].observe(value),
+            Event::ThreadItems(thread, items) => {
+                if self.thread_items.len() <= thread {
+                    self.thread_items.resize(thread + 1, 0);
+                }
+                self.thread_items[thread] += items;
+            }
+        }
+    }
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        // `{:?}` is the shortest representation that round-trips.
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl fmt::Display for RunReport {
+    /// A human-readable table: phases with time and call counts, then
+    /// non-zero counters, gauges, and the per-thread item counts.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<18} {:>12} {:>8}", "phase", "time", "calls")?;
+        for p in Phase::ALL {
+            if self.phase_calls(p) == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "{:<18} {:>12} {:>8}",
+                p.name(),
+                format_nanos(self.phase_nanos(p)),
+                self.phase_calls(p)
+            )?;
+        }
+        writeln!(f, "{:<18} {:>12}", "counter", "value")?;
+        for c in Counter::ALL {
+            if self.counter(c) == 0 {
+                continue;
+            }
+            writeln!(f, "{:<18} {:>12}", c.name(), self.counter(c))?;
+        }
+        for g in Gauge::ALL {
+            let st = self.gauge(g);
+            if st.count == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "{:<18} {} samples, min {:.1}, max {:.1}, mean {:.1}",
+                g.name(),
+                st.count,
+                st.min,
+                st.max,
+                st.mean()
+            )?;
+        }
+        if !self.thread_items.is_empty() {
+            let items: Vec<String> = self.thread_items.iter().map(u64::to_string).collect();
+            writeln!(
+                f,
+                "{:<18} [{}] (imbalance {:.2})",
+                "thread_items",
+                items.join(", "),
+                self.load_imbalance()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn format_nanos(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.3}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3}µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+enum Event {
+    Phase(Phase, u64),
+    Counter(Counter, u64),
+    Gauge(Gauge, f64),
+    ThreadItems(usize, u64),
+}
+
+/// A [`Recorder`] that aggregates every event into a [`RunReport`].
+///
+/// Aggregation happens eagerly under a mutex; the per-event critical
+/// section is a few array writes. The pipeline batches its hot-loop
+/// counters (one `add` per phase, not per merge), so contention is
+/// negligible.
+#[derive(Default)]
+pub struct RunRecorder {
+    report: Mutex<RunReport>,
+}
+
+impl RunRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of everything recorded so far.
+    pub fn report(&self) -> RunReport {
+        self.report.lock().expect("telemetry mutex poisoned").clone()
+    }
+}
+
+impl fmt::Debug for RunRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunRecorder").finish_non_exhaustive()
+    }
+}
+
+impl Recorder for RunRecorder {
+    fn record_phase(&self, phase: Phase, nanos: u64) {
+        self.report
+            .lock()
+            .expect("telemetry mutex poisoned")
+            .merge_event(&Event::Phase(phase, nanos));
+    }
+
+    fn add(&self, counter: Counter, value: u64) {
+        self.report
+            .lock()
+            .expect("telemetry mutex poisoned")
+            .merge_event(&Event::Counter(counter, value));
+    }
+
+    fn observe(&self, gauge: Gauge, value: f64) {
+        self.report
+            .lock()
+            .expect("telemetry mutex poisoned")
+            .merge_event(&Event::Gauge(gauge, value));
+    }
+
+    fn thread_items(&self, thread: usize, items: u64) {
+        self.report
+            .lock()
+            .expect("telemetry mutex poisoned")
+            .merge_event(&Event::ThreadItems(thread, items));
+    }
+}
+
+/// How a facade collects telemetry: off, an internal [`RunRecorder`]
+/// exposed via the result's `report()`, or a caller-supplied sink.
+#[derive(Clone, Default)]
+pub enum TelemetrySink {
+    /// No telemetry (the default).
+    #[default]
+    Off,
+    /// Aggregate into a [`RunReport`] attached to the result.
+    Stats,
+    /// Forward events to a caller-supplied recorder; the result carries
+    /// no report.
+    Custom(
+        /// The sink.
+        Arc<dyn Recorder>,
+    ),
+}
+
+impl fmt::Debug for TelemetrySink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelemetrySink::Off => write!(f, "Off"),
+            TelemetrySink::Stats => write!(f, "Stats"),
+            TelemetrySink::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+impl TelemetrySink {
+    /// Builds the handle to thread through a run, plus the internal
+    /// recorder to read the report from afterwards (for
+    /// [`TelemetrySink::Stats`]).
+    pub fn build(&self) -> (Telemetry, Option<Arc<RunRecorder>>) {
+        match self {
+            TelemetrySink::Off => (Telemetry::disabled(), None),
+            TelemetrySink::Stats => {
+                let recorder = Arc::new(RunRecorder::new());
+                (Telemetry::new(recorder.clone()), Some(recorder))
+            }
+            TelemetrySink::Custom(recorder) => (Telemetry::new(recorder.clone()), None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing_and_is_cheap() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        let span = t.span(Phase::Sweep);
+        assert!(span.active.is_none(), "disabled spans must not read the clock");
+        drop(span);
+        t.add(Counter::MergesApplied, 10);
+        t.observe(Gauge::ChunkSize, 5.0);
+        t.thread_items(0, 100);
+    }
+
+    #[test]
+    fn run_recorder_aggregates_all_event_kinds() {
+        let rec = Arc::new(RunRecorder::new());
+        let t = Telemetry::new(rec.clone());
+        assert!(t.is_enabled());
+        t.span(Phase::InitPass1).finish();
+        t.span(Phase::InitPass1).finish();
+        t.add(Counter::PairsK1, 7);
+        t.add(Counter::PairsK1, 3);
+        t.observe(Gauge::ChunkSize, 2.0);
+        t.observe(Gauge::ChunkSize, 6.0);
+        t.thread_items(1, 5);
+        t.thread_items(0, 10);
+        t.thread_items(1, 5);
+        let r = rec.report();
+        assert_eq!(r.phase_calls(Phase::InitPass1), 2);
+        assert_eq!(r.counter(Counter::PairsK1), 10);
+        let g = r.gauge(Gauge::ChunkSize);
+        assert_eq!(g.count, 2);
+        assert_eq!(g.min, 2.0);
+        assert_eq!(g.max, 6.0);
+        assert_eq!(g.mean(), 4.0);
+        assert_eq!(r.thread_items(), &[10, 10]);
+        assert_eq!(r.load_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn span_times_accumulate() {
+        let rec = Arc::new(RunRecorder::new());
+        let t = Telemetry::new(rec.clone());
+        {
+            let _outer = t.span(Phase::Sweep);
+            let _inner = t.span(Phase::CoarseEpoch);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let r = rec.report();
+        assert!(r.phase_nanos(Phase::Sweep) >= 2_000_000);
+        assert!(r.phase_nanos(Phase::CoarseEpoch) >= 2_000_000);
+    }
+
+    #[test]
+    fn json_has_stable_shape() {
+        let rec = RunRecorder::new();
+        rec.add(Counter::MergesApplied, 42);
+        rec.record_phase(Phase::Sort, 1500);
+        rec.observe(Gauge::ChunkSize, 3.5);
+        rec.thread_items(0, 9);
+        let json = rec.report().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"merges_applied\":42"));
+        assert!(json.contains("\"sort\":{\"nanos\":1500,\"calls\":1}"));
+        assert!(json.contains("\"chunk_size\":{\"count\":1,\"min\":3.5,\"max\":3.5,\"mean\":3.5}"));
+        assert!(json.contains("\"thread_items\":[9]"));
+        // Every name appears exactly once.
+        for p in Phase::ALL {
+            assert_eq!(json.matches(&format!("\"{}\"", p.name())).count(), 1);
+        }
+        for c in Counter::ALL {
+            assert_eq!(json.matches(&format!("\"{}\"", c.name())).count(), 1);
+        }
+    }
+
+    #[test]
+    fn table_hides_empty_rows() {
+        let rec = RunRecorder::new();
+        rec.add(Counter::Rollbacks, 2);
+        rec.record_phase(Phase::Sweep, 5_000_000);
+        let table = rec.report().to_string();
+        assert!(table.contains("rollbacks"));
+        assert!(table.contains("sweep"));
+        assert!(table.contains("5.000ms"));
+        assert!(!table.contains("init_pass1"));
+        assert!(!table.contains("chunk_size"));
+    }
+
+    #[test]
+    fn sink_modes_build_correctly() {
+        let (t, r) = TelemetrySink::Off.build();
+        assert!(!t.is_enabled() && r.is_none());
+        let (t, r) = TelemetrySink::Stats.build();
+        assert!(t.is_enabled() && r.is_some());
+        let (t, r) = TelemetrySink::Custom(Arc::new(NoopRecorder)).build();
+        assert!(t.is_enabled() && r.is_none());
+    }
+
+    #[test]
+    fn format_nanos_units() {
+        assert_eq!(format_nanos(999), "999ns");
+        assert_eq!(format_nanos(1_500), "1.500µs");
+        assert_eq!(format_nanos(2_500_000), "2.500ms");
+        assert_eq!(format_nanos(3_000_000_000), "3.000s");
+    }
+}

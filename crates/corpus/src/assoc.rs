@@ -139,11 +139,8 @@ impl AssocNetworkBuilder {
         // Joint document frequencies over selected words.
         let mut joint: HashMap<(u32, u32), u32> = HashMap::new();
         for doc in documents {
-            let mut present: Vec<u32> = doc
-                .tokens()
-                .iter()
-                .filter_map(|t| index.get(t.as_str()).copied())
-                .collect();
+            let mut present: Vec<u32> =
+                doc.tokens().iter().filter_map(|t| index.get(t.as_str()).copied()).collect();
             present.sort_unstable();
             present.dedup();
             for (a, &i) in present.iter().enumerate() {
@@ -267,12 +264,8 @@ mod tests {
 
     #[test]
     fn fraction_selects_most_frequent() {
-        let docs = vec![
-            doc(&["top", "mid"]),
-            doc(&["top", "mid"]),
-            doc(&["top", "rare"]),
-            doc(&["top"]),
-        ];
+        let docs =
+            vec![doc(&["top", "mid"]), doc(&["top", "mid"]), doc(&["top", "rare"]), doc(&["top"])];
         let net = AssocNetworkBuilder::new().fraction(0.5).build(&docs).unwrap();
         // 3 candidates (top: 4, mid: 2, rare: 1); ceil(0.5*3) = 2 kept.
         assert_eq!(net.vocabulary_size(), 2);
@@ -301,14 +294,9 @@ mod tests {
 
     #[test]
     fn top_words_overrides_fraction() {
-        let docs = vec![
-            doc(&["top", "mid"]),
-            doc(&["top", "mid"]),
-            doc(&["top", "rare"]),
-            doc(&["top"]),
-        ];
-        let net =
-            AssocNetworkBuilder::new().fraction(1.0).top_words(2).build(&docs).unwrap();
+        let docs =
+            vec![doc(&["top", "mid"]), doc(&["top", "mid"]), doc(&["top", "rare"]), doc(&["top"])];
+        let net = AssocNetworkBuilder::new().fraction(1.0).top_words(2).build(&docs).unwrap();
         assert_eq!(net.vocabulary_size(), 2);
         assert_eq!(net.words(), &["top".to_string(), "mid".to_string()]);
         // Clamped when asking for more than exist.
@@ -340,9 +328,8 @@ mod tests {
 
     #[test]
     fn build_is_deterministic() {
-        let docs: Vec<Document> = (0..50)
-            .map(|i| doc(&[["u", "v", "w"][i % 3], ["x", "y"][i % 2], "z"]))
-            .collect();
+        let docs: Vec<Document> =
+            (0..50).map(|i| doc(&[["u", "v", "w"][i % 3], ["x", "y"][i % 2], "z"])).collect();
         let a = AssocNetworkBuilder::new().build(&docs).unwrap();
         let b = AssocNetworkBuilder::new().build(&docs).unwrap();
         assert_eq!(a, b);

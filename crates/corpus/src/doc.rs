@@ -110,9 +110,7 @@ mod tests {
 
     #[test]
     fn corpus_collect_and_extend() {
-        let mut c: Corpus = (0..3)
-            .map(|i| Document::new(vec![format!("w{i}")]))
-            .collect();
+        let mut c: Corpus = (0..3).map(|i| Document::new(vec![format!("w{i}")])).collect();
         c.extend([Document::new(vec!["x".into(), "y".into()])]);
         assert_eq!(c.len(), 4);
         assert_eq!(c.token_count(), 5);

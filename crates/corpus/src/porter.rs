@@ -121,7 +121,12 @@ impl Stemmer {
     /// Replace `suffix` with `replacement` if the measure of the stem
     /// exceeds `min_measure`. Returns true if the suffix matched
     /// (regardless of whether the replacement fired).
-    fn replace_if_measure(&mut self, suffix: &[u8], replacement: &[u8], min_measure: usize) -> bool {
+    fn replace_if_measure(
+        &mut self,
+        suffix: &[u8],
+        replacement: &[u8],
+        min_measure: usize,
+    ) -> bool {
         if !self.ends_with(suffix) {
             return false;
         }

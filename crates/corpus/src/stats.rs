@@ -164,10 +164,7 @@ mod tests {
         });
         let s = FrequencyStats::compute(sc.documents());
         let exp = s.zipf_exponent(200).expect("enough ranks");
-        assert!(
-            (0.5..=1.8).contains(&exp),
-            "synthetic corpus should be Zipf-like, exponent {exp}"
-        );
+        assert!((0.5..=1.8).contains(&exp), "synthetic corpus should be Zipf-like, exponent {exp}");
         // Heavy head: top 20 words carry a large share.
         assert!(s.head_mass(20) > 0.15, "head mass {}", s.head_mass(20));
     }

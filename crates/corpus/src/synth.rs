@@ -113,10 +113,8 @@ impl SynthCorpus {
         let topic_sizes: Vec<usize> = (0..config.topics)
             .map(|t| (config.vocabulary + config.topics - 1 - t) / config.topics)
             .collect();
-        let topic_samplers: Vec<ZipfSampler> = topic_sizes
-            .iter()
-            .map(|&n| ZipfSampler::new(n.max(1), config.zipf_exponent))
-            .collect();
+        let topic_samplers: Vec<ZipfSampler> =
+            topic_sizes.iter().map(|&n| ZipfSampler::new(n.max(1), config.zipf_exponent)).collect();
 
         // Per-document mixing is bimodal: "chatter" documents draw
         // heavily from the global (frequent) vocabulary, topical ones

@@ -69,9 +69,10 @@ mod tests {
 
     #[test]
     fn drops_urls_and_mentions() {
-        assert_eq!(tokenize("see https://a.b/c and WWW.example.com @alice hi"), vec![
-            "see", "and", "hi"
-        ]);
+        assert_eq!(
+            tokenize("see https://a.b/c and WWW.example.com @alice hi"),
+            vec!["see", "and", "hi"]
+        );
     }
 
     #[test]

@@ -100,9 +100,8 @@ mod tests {
 
     #[test]
     fn components_of_disconnected_graph() {
-        let g = GraphBuilder::from_edges(6, &[(0, 1, 1.0), (1, 2, 1.0), (4, 5, 1.0)])
-            .unwrap()
-            .build();
+        let g =
+            GraphBuilder::from_edges(6, &[(0, 1, 1.0), (1, 2, 1.0), (4, 5, 1.0)]).unwrap().build();
         assert_eq!(connected_components(&g), vec![0, 0, 0, 1, 2, 2]);
         assert_eq!(component_count(&g), 3);
     }

@@ -96,7 +96,10 @@ impl GraphBuilder {
     pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: Weight) -> Result<EdgeId, GraphError> {
         for &x in &[u, v] {
             if x.index() >= self.vertex_count {
-                return Err(GraphError::UnknownVertex { vertex: x, vertex_count: self.vertex_count });
+                return Err(GraphError::UnknownVertex {
+                    vertex: x,
+                    vertex_count: self.vertex_count,
+                });
             }
         }
         if u == v {

@@ -39,7 +39,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             GraphError::UnknownVertex { vertex, vertex_count } => {
-                write!(f, "vertex {vertex} is out of bounds for a graph with {vertex_count} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} is out of bounds for a graph with {vertex_count} vertices"
+                )
             }
             GraphError::SelfLoop { vertex } => {
                 write!(f, "self-loop at vertex {vertex} is not allowed")

@@ -13,9 +13,10 @@ use rand::{Rng, SeedableRng};
 use crate::{GraphBuilder, VertexId, Weight, WeightedGraph};
 
 /// How edge weights are assigned by a generator.
-#[derive(Clone, Copy, PartialEq, Debug)]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub enum WeightMode {
     /// Every edge gets weight 1.0.
+    #[default]
     Unit,
     /// Weights drawn uniformly from the half-open interval `[lo, hi)`.
     Uniform {
@@ -24,12 +25,6 @@ pub enum WeightMode {
         /// Exclusive upper bound (must exceed `lo`).
         hi: Weight,
     },
-}
-
-impl Default for WeightMode {
-    fn default() -> Self {
-        WeightMode::Unit
-    }
 }
 
 impl WeightMode {
@@ -124,7 +119,7 @@ pub fn gnm(n: usize, m: usize, weights: WeightMode, seed: u64) -> WeightedGraph 
 pub fn k_regular(n: usize, k: usize, weights: WeightMode, seed: u64) -> WeightedGraph {
     assert!(k < n, "degree {k} must be smaller than vertex count {n}");
     assert!(
-        k % 2 == 0 || n % 2 == 0,
+        k.is_multiple_of(2) || n.is_multiple_of(2),
         "a {k}-regular graph on {n} vertices does not exist (both odd)"
     );
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -257,8 +252,7 @@ pub fn planted_partition(
     let n = communities * size;
     let mut b = GraphBuilder::with_vertices(n);
     let mut edge_community = Vec::new();
-    let vertex_community: Vec<u32> =
-        (0..n).map(|v| (v / size) as u32).collect();
+    let vertex_community: Vec<u32> = (0..n).map(|v| (v / size) as u32).collect();
     for c in 0..communities {
         let base = c * size;
         // spanning ring for guaranteed connectivity
@@ -343,8 +337,7 @@ pub fn overlapping_planted(
             for j in i + 1..size {
                 let (u, v) = (VertexId::new(base + i), VertexId::new(base + j));
                 if !b.contains_edge(u, v) {
-                    b.add_edge(u, v, rng.gen_range(0.8..1.2))
-                        .expect("clique edges are valid");
+                    b.add_edge(u, v, rng.gen_range(0.8..1.2)).expect("clique edges are valid");
                 }
             }
         }
@@ -429,7 +422,7 @@ pub fn ring(n: usize, weights: WeightMode, seed: u64) -> WeightedGraph {
 ///
 /// Panics if `k` is odd or `k >= n`, or `p ∉ [0, 1]`.
 pub fn watts_strogatz(n: usize, k: usize, p: f64, weights: WeightMode, seed: u64) -> WeightedGraph {
-    assert!(k % 2 == 0, "lattice degree must be even");
+    assert!(k.is_multiple_of(2), "lattice degree must be even");
     assert!(k < n, "degree {k} must be smaller than vertex count {n}");
     assert!((0.0..=1.0).contains(&p), "rewiring probability must lie in [0, 1]");
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -580,10 +573,8 @@ mod tests {
         assert_eq!(p.vertex_community.len(), 32);
         // Intra edges connect same-community endpoints; bridges differ.
         for ((_, e), &c) in p.graph.edges().zip(&p.edge_community) {
-            let (cu, cv) = (
-                p.vertex_community[e.source.index()],
-                p.vertex_community[e.target.index()],
-            );
+            let (cu, cv) =
+                (p.vertex_community[e.source.index()], p.vertex_community[e.target.index()]);
             if c == PlantedPartition::BRIDGE {
                 assert_ne!(cu, cv);
                 assert!(e.weight < 0.2, "bridges are weak");
@@ -601,8 +592,8 @@ mod tests {
         let p = planted_partition(3, 6, 0.0, 0.0, 4); // rings only
         let labels = connected_components(&p.graph);
         // With p_out = 0 each community is exactly one component.
-        for v in 0..18 {
-            assert_eq!(labels[v], (v / 6) as usize);
+        for (v, &label) in labels.iter().enumerate() {
+            assert_eq!(label, v / 6);
         }
     }
 

@@ -271,9 +271,7 @@ mod tests {
     use crate::{GraphBuilder, VertexId};
 
     fn triangle() -> crate::WeightedGraph {
-        GraphBuilder::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)])
-            .unwrap()
-            .build()
+        GraphBuilder::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]).unwrap().build()
     }
 
     #[test]
@@ -371,9 +369,8 @@ mod tests {
         assert_eq!(g.degree_histogram(), vec![0, 0, 3]);
         let empty = GraphBuilder::new().build();
         assert!(empty.degree_histogram().is_empty());
-        let star = GraphBuilder::from_edges(4, &[(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0)])
-            .unwrap()
-            .build();
+        let star =
+            GraphBuilder::from_edges(4, &[(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0)]).unwrap().build();
         assert_eq!(star.degree_histogram(), vec![0, 3, 0, 1]);
     }
 

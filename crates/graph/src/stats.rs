@@ -226,9 +226,8 @@ mod tests {
     fn disjoint_edges_have_no_incident_pairs() {
         // The paper notes K1 = K2 = 0 while |E| = |V|/2 for a perfect
         // matching.
-        let g = GraphBuilder::from_edges(6, &[(0, 1, 1.0), (2, 3, 1.0), (4, 5, 1.0)])
-            .unwrap()
-            .build();
+        let g =
+            GraphBuilder::from_edges(6, &[(0, 1, 1.0), (2, 3, 1.0), (4, 5, 1.0)]).unwrap().build();
         let s = GraphStats::compute(&g);
         assert_eq!(s.common_neighbor_pairs, 0);
         assert_eq!(s.incident_edge_pairs, 0);
@@ -287,8 +286,7 @@ mod tests {
         for a in 0..n {
             for b in a + 1..n {
                 for c in b + 1..n {
-                    let (va, vb, vc) =
-                        (VertexId::new(a), VertexId::new(b), VertexId::new(c));
+                    let (va, vb, vc) = (VertexId::new(a), VertexId::new(b), VertexId::new(c));
                     if g.has_edge(va, vb) && g.has_edge(vb, vc) && g.has_edge(va, vc) {
                         brute += 1;
                     }

@@ -1,0 +1,306 @@
+//! Unified serial/parallel clustering facade.
+//!
+//! One builder covers the whole repo: `threads(1)` (the default) runs
+//! the exact serial code path of [`linkclust_core::LinkClustering`] —
+//! bit-for-bit identical dendrograms — while `threads(n)` for `n > 1`
+//! dispatches Phase I, the sort of `L`, and (for the coarse sweep) the
+//! chunk processing to the multi-threaded implementations in this crate.
+//! The fine-grained sweep itself is inherently sequential (§IV), so
+//! `run` parallelizes initialization and sorting only.
+
+use std::sync::Arc;
+
+use linkclust_core::coarse::{coarse_sweep_instrumented, CoarseConfig, CoarseResult};
+use linkclust_core::sweep::{sweep_with, EdgeOrder, SweepConfig};
+use linkclust_core::telemetry::{Recorder, Telemetry, TelemetrySink};
+use linkclust_core::{ClusteringResult, ConfigError, PairSimilarities};
+use linkclust_graph::WeightedGraph;
+
+use crate::init::compute_similarities_parallel_with;
+use crate::sort::parallel_into_sorted_with;
+use crate::sweep::ParallelChunkProcessor;
+
+/// End-to-end link clustering with a configurable thread count.
+///
+/// This is the facade the `linkclust` crate re-exports at its root. With
+/// the default single thread every run takes exactly the serial code
+/// path; raising [`threads`](Self::threads) switches Phase I, the sort,
+/// and the coarse chunk processor to their parallel counterparts while
+/// producing the same dendrogram.
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_graph::generate::{gnm, WeightMode};
+/// use linkclust_parallel::LinkClustering;
+///
+/// let g = gnm(40, 160, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 3);
+/// let serial = LinkClustering::new().run(&g)?;
+/// let parallel = LinkClustering::new().threads(4).run(&g)?;
+/// assert_eq!(serial.edge_assignments(), parallel.edge_assignments());
+/// # Ok::<(), linkclust_core::ConfigError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct LinkClustering {
+    threads: usize,
+    edge_order: Option<EdgeOrder>,
+    min_similarity: Option<f64>,
+    sink: TelemetrySink,
+}
+
+impl Default for LinkClustering {
+    fn default() -> Self {
+        LinkClustering {
+            threads: 1,
+            edge_order: None,
+            min_similarity: None,
+            sink: TelemetrySink::Off,
+        }
+    }
+}
+
+impl LinkClustering {
+    /// Creates the default pipeline: one thread, insertion edge order,
+    /// no similarity threshold, no telemetry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker thread count. `1` (the default) is the exact
+    /// serial pipeline; `0` is rejected by the run methods with
+    /// [`ConfigError::ZeroThreads`].
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the edge-to-slot order of the sweep explicitly. An explicit
+    /// setting takes priority over a default-valued
+    /// [`CoarseConfig::edge_order`] in [`run_coarse`](Self::run_coarse)
+    /// and conflicts with a non-default one.
+    pub fn edge_order(mut self, order: EdgeOrder) -> Self {
+        self.edge_order = Some(order);
+        self
+    }
+
+    /// Stops sweeping below this similarity (cuts the dendrogram early).
+    pub fn min_similarity(mut self, theta: f64) -> Self {
+        self.min_similarity = Some(theta);
+        self
+    }
+
+    /// Collect phase timings and counters into a
+    /// [`RunReport`](linkclust_core::telemetry::RunReport) attached to
+    /// the result. Disabled by default — a disabled run skips all clock
+    /// reads.
+    pub fn stats(mut self, enabled: bool) -> Self {
+        self.sink = if enabled { TelemetrySink::Stats } else { TelemetrySink::Off };
+        self
+    }
+
+    /// Streams telemetry events into a caller-supplied [`Recorder`]
+    /// instead of the built-in aggregation (the result then carries no
+    /// report). Overrides [`stats`](Self::stats).
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.sink = TelemetrySink::Custom(recorder);
+        self
+    }
+
+    fn check_threads(&self) -> Result<(), ConfigError> {
+        if self.threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        Ok(())
+    }
+
+    /// The serial facade with this builder's settings (used for the
+    /// exact `threads == 1` path).
+    fn serial(&self) -> linkclust_core::LinkClustering {
+        let mut serial = linkclust_core::LinkClustering::new();
+        if let Some(order) = self.edge_order {
+            serial = serial.edge_order(order);
+        }
+        if let Some(theta) = self.min_similarity {
+            serial = serial.min_similarity(theta);
+        }
+        match &self.sink {
+            TelemetrySink::Off => serial,
+            TelemetrySink::Stats => serial.stats(true),
+            TelemetrySink::Custom(r) => serial.recorder(r.clone()),
+        }
+    }
+
+    fn sweep_config(&self) -> SweepConfig {
+        SweepConfig {
+            edge_order: self.edge_order.unwrap_or_default(),
+            min_similarity: self.min_similarity,
+        }
+    }
+
+    fn reconcile_coarse(&self, mut config: CoarseConfig) -> Result<CoarseConfig, ConfigError> {
+        config.validate()?;
+        if let Some(facade_order) = self.edge_order {
+            if config.edge_order != EdgeOrder::default() && config.edge_order != facade_order {
+                return Err(ConfigError::EdgeOrderConflict);
+            }
+            config.edge_order = facade_order;
+        }
+        Ok(config)
+    }
+
+    /// Phase I plus the sort: the list `L`, ready to sweep. Runs on the
+    /// configured threads.
+    pub fn similarities(&self, g: &WeightedGraph) -> Result<PairSimilarities, ConfigError> {
+        self.check_threads()?;
+        let (telemetry, _) = self.sink.build();
+        Ok(self.sorted_similarities(g, &telemetry))
+    }
+
+    fn sorted_similarities(&self, g: &WeightedGraph, telemetry: &Telemetry) -> PairSimilarities {
+        let sims = compute_similarities_parallel_with(g, self.threads, telemetry);
+        parallel_into_sorted_with(sims, self.threads, telemetry)
+    }
+
+    /// Runs both phases on `g`: initialization and sort on the
+    /// configured threads, then the (sequential) fine-grained sweep.
+    pub fn run(&self, g: &WeightedGraph) -> Result<ClusteringResult, ConfigError> {
+        self.check_threads()?;
+        if self.threads == 1 {
+            return Ok(self.serial().run(g));
+        }
+        let (telemetry, recorder) = self.sink.build();
+        let sims = self.sorted_similarities(g, &telemetry);
+        let output = sweep_with(g, &sims, self.sweep_config(), &telemetry);
+        Ok(ClusteringResult::from_parts(sims, output, recorder.map(|r| r.report())))
+    }
+
+    /// Runs Phase I and the **coarse-grained** Phase II (§V), with
+    /// chunks fanned out over the configured threads (§VI-B).
+    ///
+    /// Validates `config` first and reconciles its
+    /// [`edge_order`](CoarseConfig::edge_order) with the facade's: an
+    /// order set through [`edge_order`](Self::edge_order) wins over a
+    /// default-valued config, and a **conflicting** non-default config
+    /// value is rejected with [`ConfigError::EdgeOrderConflict`] instead
+    /// of silently overwritten.
+    pub fn run_coarse(
+        &self,
+        g: &WeightedGraph,
+        config: CoarseConfig,
+    ) -> Result<CoarseResult, ConfigError> {
+        self.check_threads()?;
+        if self.threads == 1 {
+            return self.serial().run_coarse(g, config);
+        }
+        let config = self.reconcile_coarse(config)?;
+        let (telemetry, recorder) = self.sink.build();
+        let sims = self.sorted_similarities(g, &telemetry);
+        let mut processor = ParallelChunkProcessor::new(self.threads)?.telemetry(telemetry.clone());
+        let result = coarse_sweep_instrumented(g, &sims, config, &mut processor, &telemetry);
+        Ok(match recorder {
+            Some(r) => result.with_report(r.report()),
+            None => result,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkclust_core::reference::canonical_labels;
+    use linkclust_core::telemetry::{Counter, Phase};
+    use linkclust_graph::generate::{gnm, WeightMode};
+
+    fn canon(labels: &[u32]) -> Vec<usize> {
+        canonical_labels(&labels.iter().map(|&x| x as usize).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn one_thread_equals_serial_exactly() {
+        for seed in 0..3 {
+            let g = gnm(40, 170, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, seed);
+            let serial = linkclust_core::LinkClustering::new().run(&g);
+            let unified = LinkClustering::new().run(&g).unwrap();
+            assert_eq!(serial.edge_assignments(), unified.edge_assignments());
+            assert_eq!(serial.dendrogram(), unified.dendrogram());
+        }
+    }
+
+    #[test]
+    fn many_threads_match_serial_partition() {
+        for seed in 0..3 {
+            let g = gnm(40, 170, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, seed);
+            let serial = LinkClustering::new().run(&g).unwrap();
+            for threads in [2, 4] {
+                let par = LinkClustering::new().threads(threads).run(&g).unwrap();
+                assert_eq!(
+                    canon(&serial.edge_assignments()),
+                    canon(&par.edge_assignments()),
+                    "seed {seed} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threads_is_rejected_not_panicking() {
+        let g = gnm(10, 20, WeightMode::Unit, 0);
+        let facade = LinkClustering::new().threads(0);
+        assert_eq!(facade.run(&g).unwrap_err(), ConfigError::ZeroThreads);
+        assert_eq!(
+            facade.run_coarse(&g, CoarseConfig::default()).unwrap_err(),
+            ConfigError::ZeroThreads
+        );
+        assert_eq!(facade.similarities(&g).unwrap_err(), ConfigError::ZeroThreads);
+    }
+
+    #[test]
+    fn coarse_edge_order_conflict_is_rejected() {
+        let g = gnm(15, 40, WeightMode::Unit, 1);
+        let facade = LinkClustering::new().threads(2).edge_order(EdgeOrder::Shuffled { seed: 1 });
+        let cfg =
+            CoarseConfig { edge_order: EdgeOrder::Shuffled { seed: 2 }, ..Default::default() };
+        assert_eq!(facade.run_coarse(&g, cfg).unwrap_err(), ConfigError::EdgeOrderConflict);
+    }
+
+    #[test]
+    fn parallel_coarse_matches_serial_levels() {
+        let g = gnm(50, 220, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 7);
+        let cfg = CoarseConfig { phi: 5, initial_chunk: 8, ..Default::default() };
+        let serial = LinkClustering::new().run_coarse(&g, cfg).unwrap();
+        let par = LinkClustering::new().threads(3).run_coarse(&g, cfg).unwrap();
+        let sl: Vec<_> = serial.levels().iter().map(|l| (l.level, l.clusters)).collect();
+        let pl: Vec<_> = par.levels().iter().map(|l| (l.level, l.clusters)).collect();
+        assert_eq!(sl, pl);
+    }
+
+    #[test]
+    fn parallel_stats_report_covers_every_phase() {
+        let g = gnm(50, 220, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 2);
+        let r = LinkClustering::new().threads(4).stats(true).run(&g).unwrap();
+        let report = r.report().expect("stats(true) attaches a report");
+        for phase in [Phase::InitPass1, Phase::InitPass2, Phase::InitMapMerge, Phase::InitPass3] {
+            assert_eq!(report.phase_calls(phase), 1, "{phase:?}");
+        }
+        assert_eq!(report.phase_calls(Phase::Sort), 1);
+        assert_eq!(report.phase_calls(Phase::Sweep), 1);
+        assert_eq!(report.counter(Counter::MergesApplied), r.dendrogram().merge_count());
+        assert_eq!(
+            report.counter(Counter::PairsK1),
+            linkclust_graph::stats::count_common_neighbor_pairs(&g)
+        );
+        // Pass 2 reported a pair-map size for every worker thread.
+        assert!(report.thread_items().len() >= 4);
+    }
+
+    #[test]
+    fn parallel_coarse_stats_count_chunks() {
+        let g = gnm(50, 220, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 4);
+        let cfg = CoarseConfig { phi: 5, initial_chunk: 8, ..Default::default() };
+        let r = LinkClustering::new().threads(4).stats(true).run_coarse(&g, cfg).unwrap();
+        let report = r.report().expect("report attached");
+        assert!(report.counter(Counter::ChunksProcessed) > 0);
+        assert!(report.phase_calls(Phase::CoarseEpoch) > 0);
+        assert_eq!(report.counter(Counter::MergesApplied), r.dendrogram().merge_count());
+    }
+}

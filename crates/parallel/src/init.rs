@@ -17,6 +17,7 @@
 use linkclust_core::init::{
     accumulate_pairs, entries_into_similarities, finalize_entries, vertex_norms_range, VertexNorms,
 };
+use linkclust_core::telemetry::{Counter, Phase, Telemetry};
 use linkclust_core::PairSimilarities;
 use linkclust_graph::{VertexId, WeightedGraph};
 
@@ -42,37 +43,72 @@ use crate::pool::{hierarchical_reduce, partition_ranges, run_on_ranges};
 /// assert_eq!(sims.len() as u64, linkclust_graph::stats::count_common_neighbor_pairs(&g));
 /// ```
 pub fn compute_similarities_parallel(g: &WeightedGraph, threads: usize) -> PairSimilarities {
+    compute_similarities_parallel_with(g, threads, &Telemetry::disabled())
+}
+
+/// [`compute_similarities_parallel`] with phase-level telemetry: each
+/// pass runs under its own span (the map merge of pass 2 gets a separate
+/// [`Phase::InitMapMerge`] span), the K₁/K₂ counters are recorded, and
+/// every worker's pass-2 pair-map size feeds the per-thread item counts
+/// for load-imbalance analysis.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn compute_similarities_parallel_with(
+    g: &WeightedGraph,
+    threads: usize,
+    telemetry: &Telemetry,
+) -> PairSimilarities {
     assert!(threads > 0, "need at least one thread");
     let n = g.vertex_count();
 
     // Pass 1: per-range vertex norms, concatenated in range order.
     let ranges = partition_ranges(n, threads);
-    let parts = run_on_ranges(ranges.clone(), |r| vertex_norms_range(g, r));
     let mut norms = VertexNorms { h1: Vec::with_capacity(n), h2: Vec::with_capacity(n) };
-    for part in parts {
-        norms.h1.extend(part.h1);
-        norms.h2.extend(part.h2);
+    {
+        let _span = telemetry.span(Phase::InitPass1);
+        let parts = run_on_ranges(ranges.clone(), |r| vertex_norms_range(g, r));
+        for part in parts {
+            norms.h1.extend(part.h1);
+            norms.h2.extend(part.h2);
+        }
     }
 
     // Pass 2, step 1: per-thread pair maps over disjoint vertex sets.
-    let maps = run_on_ranges(ranges, |r| accumulate_pairs(g, r.map(VertexId::new)));
+    let maps = {
+        let _span = telemetry.span(Phase::InitPass2);
+        run_on_ranges(ranges, |r| accumulate_pairs(g, r.map(VertexId::new)))
+    };
+    for (thread, map) in maps.iter().enumerate() {
+        telemetry.thread_items(thread, map.len() as u64);
+    }
     // Pass 2, step 2: hierarchical pairwise merge.
-    let acc = hierarchical_reduce(maps, |mut a, b| {
-        a.merge(b);
-        a
-    })
-    .unwrap_or_default();
+    let acc = {
+        let _span = telemetry.span(Phase::InitMapMerge);
+        hierarchical_reduce(maps, |mut a, b| {
+            a.merge(b);
+            a
+        })
+        .unwrap_or_default()
+    };
+    telemetry.add(Counter::PairsK1, acc.len() as u64);
 
     // Pass 3: finalize disjoint entry ranges in parallel.
     let mut entries = acc.into_sorted_entries();
     let chunk = entries.len().div_ceil(threads).max(1);
-    std::thread::scope(|s| {
-        for slice in entries.chunks_mut(chunk) {
-            let norms = &norms;
-            s.spawn(move || finalize_entries(g, norms, slice));
-        }
-    });
-    entries_into_similarities(entries)
+    {
+        let _span = telemetry.span(Phase::InitPass3);
+        std::thread::scope(|s| {
+            for slice in entries.chunks_mut(chunk) {
+                let norms = &norms;
+                s.spawn(move || finalize_entries(g, norms, slice));
+            }
+        });
+    }
+    let sims = entries_into_similarities(entries);
+    telemetry.add(Counter::IncidentPairsK2, sims.incident_pair_count());
+    sims
 }
 
 #[cfg(test)]

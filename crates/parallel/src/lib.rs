@@ -13,50 +13,66 @@
 //!   naive scheme is flawed — both schemes are implemented here, and the
 //!   flaw is reproduced in a test).
 //!
+//! The entry point is the unified [`LinkClustering`] facade: serial by
+//! default, parallel via `.threads(n)`, with optional phase-level
+//! telemetry via `.stats(true)`.
+//!
 //! # Examples
 //!
 //! ```
 //! use linkclust_graph::generate::{gnm, WeightMode};
 //! use linkclust_core::coarse::CoarseConfig;
-//! use linkclust_parallel::ParallelLinkClustering;
+//! use linkclust_parallel::LinkClustering;
 //!
 //! let g = gnm(40, 160, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 3);
 //! let cfg = CoarseConfig { phi: 10, initial_chunk: 16, ..Default::default() };
-//! let result = ParallelLinkClustering::new(4).run_coarse(&g, &cfg);
+//! let result = LinkClustering::new().threads(4).stats(true).run_coarse(&g, cfg)?;
 //! assert!(result.dendrogram().merge_count() > 0);
+//! let report = result.report().expect("stats(true) attaches a report");
+//! assert!(report.phase_calls(linkclust_core::telemetry::Phase::Sort) == 1);
+//! # Ok::<(), linkclust_core::ConfigError>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod facade;
 pub mod init;
 pub mod merge;
 pub mod pool;
 pub mod sort;
 pub mod sweep;
 
+pub use facade::LinkClustering;
 pub use init::compute_similarities_parallel;
 pub use sweep::{parallel_coarse_sweep, ParallelChunkProcessor};
 
 use linkclust_core::coarse::{CoarseConfig, CoarseResult};
-use linkclust_core::PairSimilarities;
+use linkclust_core::{ConfigError, PairSimilarities};
 use linkclust_graph::WeightedGraph;
 
-/// End-to-end multi-threaded link clustering facade.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+/// Thin wrapper kept for source compatibility; use
+/// [`LinkClustering::new().threads(n)`](LinkClustering::threads) instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `LinkClustering::new().threads(n)` — the unified facade \
+            also covers the serial pipeline and telemetry"
+)]
+#[derive(Clone, Debug)]
 pub struct ParallelLinkClustering {
+    inner: LinkClustering,
     threads: usize,
 }
 
+#[allow(deprecated)]
 impl ParallelLinkClustering {
-    /// Creates the facade with `threads` worker threads.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads == 0`.
-    pub fn new(threads: usize) -> Self {
-        assert!(threads > 0, "need at least one thread");
-        ParallelLinkClustering { threads }
+    /// Creates the facade with `threads` worker threads; rejects
+    /// `threads == 0` with [`ConfigError::ZeroThreads`].
+    pub fn new(threads: usize) -> Result<Self, ConfigError> {
+        if threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        Ok(ParallelLinkClustering { inner: LinkClustering::new().threads(threads), threads })
     }
 
     /// The configured thread count.
@@ -68,14 +84,12 @@ impl ParallelLinkClustering {
     /// passes and the O(K₁ log K₁) sort run on the configured threads
     /// (the sort is an extension beyond the paper; see DESIGN.md).
     pub fn similarities(&self, g: &WeightedGraph) -> PairSimilarities {
-        let sims = compute_similarities_parallel(g, self.threads);
-        sort::parallel_into_sorted(sims, self.threads)
+        self.inner.similarities(g).expect("thread count validated in new()")
     }
 
     /// Both phases in parallel: parallel initialization followed by the
     /// parallel coarse-grained sweep.
-    pub fn run_coarse(&self, g: &WeightedGraph, config: &CoarseConfig) -> CoarseResult {
-        let sims = self.similarities(g);
-        parallel_coarse_sweep(g, &sims, config, self.threads)
+    pub fn run_coarse(&self, g: &WeightedGraph, config: CoarseConfig) -> CoarseResult {
+        self.inner.run_coarse(g, config).unwrap_or_else(|e| panic!("invalid coarse config: {e}"))
     }
 }

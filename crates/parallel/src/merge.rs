@@ -33,11 +33,8 @@ pub fn merge_cluster_arrays(target: &mut ClusterArray, other: &ClusterArray) {
         let f1 = other.chain(i);
         let r1 = *f1.last().expect("chains are non-empty");
         let extra = target.chain(r1 as usize);
-        let f = *[&f0, &f1, &extra]
-            .iter()
-            .flat_map(|c| c.iter())
-            .min()
-            .expect("chains are non-empty");
+        let f =
+            *[&f0, &f1, &extra].iter().flat_map(|c| c.iter()).min().expect("chains are non-empty");
         for &e in f0.iter().chain(&f1).chain(&extra) {
             target.set_parent(e as usize, f);
         }
@@ -91,10 +88,7 @@ mod tests {
     /// The paper's counterexample, 0-based: C0 = [0,1,1,0] and
     /// C1 = [0,1,2,2]; the union must be a single cluster.
     fn paper_example() -> (ClusterArray, ClusterArray) {
-        (
-            ClusterArray::from_parents(vec![0, 1, 1, 0]),
-            ClusterArray::from_parents(vec![0, 1, 2, 2]),
-        )
+        (ClusterArray::from_parents(vec![0, 1, 1, 0]), ClusterArray::from_parents(vec![0, 1, 2, 2]))
     }
 
     #[test]

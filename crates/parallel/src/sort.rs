@@ -8,6 +8,7 @@
 //! paper's map/array combination steps. Documented as an extension in
 //! DESIGN.md.
 
+use linkclust_core::telemetry::{Phase, Telemetry};
 use linkclust_core::{PairSimilarities, SimilarityEntry};
 
 use crate::pool::{hierarchical_reduce, partition_ranges};
@@ -53,8 +54,7 @@ where
         handles.into_iter().map(|h| h.join().expect("sort thread panicked")).collect()
     });
     // Merge pairwise, hierarchically.
-    hierarchical_reduce(sorted_runs, |a, b| merge_two(a, b, &compare))
-        .unwrap_or_default()
+    hierarchical_reduce(sorted_runs, |a, b| merge_two(a, b, &compare)).unwrap_or_default()
 }
 
 fn merge_two<T, F>(a: Vec<T>, b: Vec<T>, compare: &F) -> Vec<T>
@@ -84,6 +84,18 @@ where
 /// ties by vertex pair) using `threads` worker threads. Produces exactly
 /// the same order as [`PairSimilarities::into_sorted`].
 pub fn parallel_into_sorted(sims: PairSimilarities, threads: usize) -> PairSimilarities {
+    parallel_into_sorted_with(sims, threads, &Telemetry::disabled())
+}
+
+/// [`parallel_into_sorted`] with telemetry: the sort runs under a
+/// [`Phase::Sort`] span (recorded even when the input is already sorted,
+/// so run reports always account for the phase).
+pub fn parallel_into_sorted_with(
+    sims: PairSimilarities,
+    threads: usize,
+    telemetry: &Telemetry,
+) -> PairSimilarities {
+    let _span = telemetry.span(Phase::Sort);
     if sims.is_sorted() {
         return sims;
     }

@@ -13,7 +13,8 @@ use linkclust_core::cluster_array::{partition_diff, MergeOutcome};
 use linkclust_core::coarse::{
     coarse_sweep_with, ChunkProcessor, CoarseConfig, CoarseResult, SerialChunkProcessor,
 };
-use linkclust_core::{ClusterArray, PairSimilarities, SimilarityEntry};
+use linkclust_core::telemetry::{Counter, Phase, Telemetry};
+use linkclust_core::{ClusterArray, ConfigError, PairSimilarities, SimilarityEntry};
 use linkclust_graph::WeightedGraph;
 
 use crate::merge::merge_cluster_arrays;
@@ -21,21 +22,25 @@ use crate::pool::{balanced_partition_by_weight, hierarchical_reduce, run_on_rang
 
 /// A [`ChunkProcessor`] that fans each chunk out over `threads` worker
 /// threads (per-thread copies of `C`, hierarchical combination).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Debug)]
 pub struct ParallelChunkProcessor {
     threads: usize,
     min_entries_per_thread: usize,
+    telemetry: Telemetry,
 }
 
 impl ParallelChunkProcessor {
-    /// Creates a processor with `threads` worker threads.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads == 0`.
-    pub fn new(threads: usize) -> Self {
-        assert!(threads > 0, "need at least one thread");
-        ParallelChunkProcessor { threads, min_entries_per_thread: 8 }
+    /// Creates a processor with `threads` worker threads; rejects
+    /// `threads == 0` with [`ConfigError::ZeroThreads`].
+    pub fn new(threads: usize) -> Result<Self, ConfigError> {
+        if threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        Ok(ParallelChunkProcessor {
+            threads,
+            min_entries_per_thread: 8,
+            telemetry: Telemetry::disabled(),
+        })
     }
 
     /// Chunks with fewer than `n` entries per thread fall back to serial
@@ -43,6 +48,15 @@ impl ParallelChunkProcessor {
     /// is 8.
     pub fn min_entries_per_thread(mut self, n: usize) -> Self {
         self.min_entries_per_thread = n.max(1);
+        self
+    }
+
+    /// Attaches a telemetry handle: chunk fan-out and combination are
+    /// timed ([`Phase::ChunkProcess`] / [`Phase::ChunkCombine`]), chunk
+    /// and combine counters recorded, and per-thread incident-pair loads
+    /// fed into the report's thread-item counts.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -55,26 +69,42 @@ impl ChunkProcessor for ParallelChunkProcessor {
         entries: &[SimilarityEntry],
         c: &mut ClusterArray,
     ) -> Vec<MergeOutcome> {
+        self.telemetry.add(Counter::ChunksProcessed, 1);
         if self.threads == 1 || entries.len() < self.threads * self.min_entries_per_thread {
-            return SerialChunkProcessor.process_entries(g, slot_of_edge, entries, c);
+            self.telemetry.add(Counter::SerialFallbackChunks, 1);
+            let span = self.telemetry.span(Phase::ChunkProcess);
+            let out = SerialChunkProcessor.process_entries(g, slot_of_edge, entries, c);
+            span.finish();
+            return out;
         }
         let base = c.clone();
         let weights: Vec<u64> = entries.iter().map(|e| e.pair_count() as u64).collect();
         let ranges = balanced_partition_by_weight(&weights, self.threads);
+        if self.telemetry.is_enabled() {
+            for (thread, r) in ranges.iter().enumerate() {
+                let load: u64 = weights[r.clone()].iter().sum();
+                self.telemetry.thread_items(thread, load);
+            }
+        }
 
         // Step 1: every thread merges its entry range on its own copy.
+        let span = self.telemetry.span(Phase::ChunkProcess);
         let copies = run_on_ranges(ranges, |r| {
             let mut local = base.clone();
             SerialChunkProcessor.process_entries(g, slot_of_edge, &entries[r], &mut local);
             local
         });
+        span.finish();
 
         // Step 2: hierarchical pairwise combination.
+        let span = self.telemetry.span(Phase::ChunkCombine);
+        self.telemetry.add(Counter::ArrayCombines, copies.len().saturating_sub(1) as u64);
         let merged = hierarchical_reduce(copies, |mut a, b| {
             merge_cluster_arrays(&mut a, &b);
             a
         })
         .expect("at least one copy exists");
+        span.finish();
 
         let outcomes = partition_diff(&base, &merged);
         *c = merged;
@@ -103,16 +133,16 @@ impl ChunkProcessor for ParallelChunkProcessor {
 /// let g = gnm(30, 120, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 1);
 /// let sims = compute_similarities(&g).into_sorted();
 /// let cfg = CoarseConfig { phi: 10, initial_chunk: 16, ..Default::default() };
-/// let r = parallel_coarse_sweep(&g, &sims, &cfg, 4);
+/// let r = parallel_coarse_sweep(&g, &sims, cfg, 4);
 /// assert!(r.dendrogram().merge_count() > 0);
 /// ```
 pub fn parallel_coarse_sweep(
     g: &WeightedGraph,
     sorted: &PairSimilarities,
-    config: &CoarseConfig,
+    config: CoarseConfig,
     threads: usize,
 ) -> CoarseResult {
-    let mut processor = ParallelChunkProcessor::new(threads);
+    let mut processor = ParallelChunkProcessor::new(threads).unwrap_or_else(|e| panic!("{e}"));
     coarse_sweep_with(g, sorted, config, &mut processor)
 }
 
@@ -134,13 +164,13 @@ mod tests {
             let g = gnm(50, 220, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, seed);
             let sims = compute_similarities(&g).into_sorted();
             let cfg = CoarseConfig { phi: 5, initial_chunk: 8, ..Default::default() };
-            let serial = coarse_sweep(&g, &sims, &cfg);
+            let serial = coarse_sweep(&g, &sims, cfg);
             for threads in [2, 4] {
                 // Force parallel processing even for small chunks so the
                 // combination path is exercised.
                 let mut proc =
-                    ParallelChunkProcessor::new(threads).min_entries_per_thread(1);
-                let par = coarse_sweep_with(&g, &sims, &cfg, &mut proc);
+                    ParallelChunkProcessor::new(threads).unwrap().min_entries_per_thread(1);
+                let par = coarse_sweep_with(&g, &sims, cfg, &mut proc);
                 // The partition trajectory must match level by level.
                 let sl: Vec<_> = serial.levels().iter().map(|l| (l.level, l.clusters)).collect();
                 let pl: Vec<_> = par.levels().iter().map(|l| (l.level, l.clusters)).collect();
@@ -162,12 +192,9 @@ mod tests {
         // phi = 1 processes everything: final partition must equal the
         // fine-grained single-linkage partition.
         let fine = linkclust_core::LinkClustering::new().run(&g);
-        let mut proc = ParallelChunkProcessor::new(3).min_entries_per_thread(1);
-        let par = coarse_sweep_with(&g, &sims, &cfg, &mut proc);
-        assert_eq!(
-            canon(&fine.edge_assignments()),
-            canon(&par.output().edge_assignments())
-        );
+        let mut proc = ParallelChunkProcessor::new(3).unwrap().min_entries_per_thread(1);
+        let par = coarse_sweep_with(&g, &sims, cfg, &mut proc);
+        assert_eq!(canon(&fine.edge_assignments()), canon(&par.output().edge_assignments()));
     }
 
     #[test]
@@ -175,8 +202,8 @@ mod tests {
         let g = gnm(25, 80, WeightMode::Unit, 6);
         let sims = compute_similarities(&g).into_sorted();
         let cfg = CoarseConfig { phi: 3, initial_chunk: 4, ..Default::default() };
-        let serial = coarse_sweep(&g, &sims, &cfg);
-        let par = parallel_coarse_sweep(&g, &sims, &cfg, 1);
+        let serial = coarse_sweep(&g, &sims, cfg);
+        let par = parallel_coarse_sweep(&g, &sims, cfg, 1);
         assert_eq!(serial.levels(), par.levels());
     }
 
@@ -185,8 +212,8 @@ mod tests {
         let g = gnm(40, 170, WeightMode::Uniform { lo: 0.3, hi: 1.6 }, 2);
         let sims = compute_similarities(&g).into_sorted();
         let cfg = CoarseConfig { phi: 4, initial_chunk: 16, ..Default::default() };
-        let mut proc = ParallelChunkProcessor::new(4).min_entries_per_thread(1);
-        let r = coarse_sweep_with(&g, &sims, &cfg, &mut proc);
+        let mut proc = ParallelChunkProcessor::new(4).unwrap().min_entries_per_thread(1);
+        let r = coarse_sweep_with(&g, &sims, cfg, &mut proc);
         // edge_count - merges == clusters at the last level.
         let last = r.levels().last().expect("at least one level");
         assert_eq!(r.dendrogram().final_cluster_count(), last.clusters);
@@ -212,7 +239,7 @@ mod processor_equivalence_tests {
             let mut c_serial = ClusterArray::new(g.edge_count());
             SerialChunkProcessor.process_entries(&g, &slot, chunk, &mut c_serial);
             let mut c_par = ClusterArray::new(g.edge_count());
-            let mut proc = ParallelChunkProcessor::new(2).min_entries_per_thread(1);
+            let mut proc = ParallelChunkProcessor::new(2).unwrap().min_entries_per_thread(1);
             proc.process_entries(&g, &slot, chunk, &mut c_par);
             assert_eq!(c_serial.assignments(), c_par.assignments(), "take={take}");
             assert_eq!(c_serial.cluster_count(), c_par.cluster_count(), "take={take}");

@@ -18,12 +18,7 @@ fn main() {
     println!("soundness bound gamma = {gamma}, target merge rate gamma~ = {gamma_tilde}\n");
 
     // A decay curve: clusters vs incident pairs processed.
-    let history = vec![
-        pt(0, 10_000),
-        pt(1_000, 9_200),
-        pt(3_000, 7_800),
-        pt(7_000, 5_600),
-    ];
+    let history = vec![pt(0, 10_000), pt(1_000, 9_200), pt(3_000, 7_800), pt(7_000, 5_600)];
     println!("committed levels (pairs processed -> clusters):");
     for h in &history {
         println!("  {:>6} -> {:>6}", h.pairs, h.clusters);
@@ -34,9 +29,11 @@ fn main() {
     // estimate shrinks — the safe choice.
     let overshoot = pt(10_000, 2_100);
     let without = estimate_chunk(None, &history, gamma_tilde).expect("slope exists");
-    let with_ref =
-        estimate_chunk(Some(overshoot), &history, gamma_tilde).expect("slope exists");
-    println!("\nconcave scenario: overshot rollback state at ({}, {})", overshoot.pairs, overshoot.clusters);
+    let with_ref = estimate_chunk(Some(overshoot), &history, gamma_tilde).expect("slope exists");
+    println!(
+        "\nconcave scenario: overshot rollback state at ({}, {})",
+        overshoot.pairs, overshoot.clusters
+    );
     println!("  next chunk from previous two levels only: {without} pairs");
     println!("  next chunk using the steeper reference:   {with_ref} pairs");
     assert!(with_ref < without);
@@ -44,8 +41,7 @@ fn main() {
     // Convex scenario (Fig. 3(2)): the reference is shallower, so the
     // previous-levels slope wins and the estimate is unchanged.
     let shallow = pt(12_000, 5_100);
-    let convex =
-        estimate_chunk(Some(shallow), &history, gamma_tilde).expect("slope exists");
+    let convex = estimate_chunk(Some(shallow), &history, gamma_tilde).expect("slope exists");
     println!("\nconvex scenario: shallow reference at ({}, {})", shallow.pairs, shallow.clusters);
     println!("  estimate stays at the previous-levels slope: {convex} pairs");
     assert_eq!(convex, without);

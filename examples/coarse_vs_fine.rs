@@ -36,7 +36,7 @@ fn main() {
         ..Default::default()
     };
     let start = Instant::now();
-    let coarse = coarse_sweep(&g, &sims, &cfg);
+    let coarse = coarse_sweep(&g, &sims, cfg);
     let coarse_time = start.elapsed();
     println!(
         "coarse-grained: {} merges, {} levels, {:?} ({}% of pairs processed)",

@@ -47,14 +47,9 @@ fn main() {
     let k = 8;
     let size = 10;
     let g = planted(k, size, 3);
-    println!(
-        "planted graph: {} communities x {} vertices, {} edges",
-        k,
-        size,
-        g.edge_count()
-    );
+    println!("planted graph: {} communities x {} vertices, {} edges", k, size, g.edge_count());
 
-    let result = LinkClustering::new().run(&g);
+    let result = LinkClustering::new().run(&g).unwrap();
     let d = result.dendrogram();
 
     println!("\npartition density along the dendrogram (every ~10th level):");

@@ -44,7 +44,7 @@ fn main() {
     let mut reference_levels = None;
     for threads in [1usize, 2, 4, 6] {
         let start = Instant::now();
-        let r = parallel_coarse_sweep(&g, &sims, &cfg, threads);
+        let r = parallel_coarse_sweep(&g, &sims, cfg, threads);
         let elapsed = start.elapsed().as_secs_f64();
         let levels: Vec<_> = r.levels().iter().map(|l| l.clusters).collect();
         match &reference_levels {

@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?
     .build();
 
-    let result = LinkClustering::new().run(&g);
+    let result = LinkClustering::new().run(&g).unwrap();
 
     println!("similarity list L ({} vertex pairs):", result.similarities().len());
     for e in result.similarities().entries() {
@@ -37,10 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  level {:>2}: {} + {} -> {}", m.level, m.left, m.right, m.into);
     }
 
-    let cut = result
-        .dendrogram()
-        .best_density_cut(&g)
-        .expect("graph has edges");
+    let cut = result.dendrogram().best_density_cut(&g).expect("graph has edges");
     println!(
         "\nbest cut: level {} with partition density {:.3} ({} link communities)",
         cut.level, cut.density, cut.cluster_count

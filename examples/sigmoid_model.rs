@@ -6,10 +6,10 @@
 //! cargo run --release --example sigmoid_model
 //! ```
 
+use linkclust::compute_similarities;
 use linkclust::core::model::{normalize_curve, SigmoidModel};
 use linkclust::core::sweep::{fixed_chunk_sweep, EdgeOrder};
 use linkclust::graph::generate::{barabasi_albert, WeightMode};
-use linkclust::compute_similarities;
 
 fn main() {
     let g = barabasi_albert(1_500, 8, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 21);
@@ -18,14 +18,9 @@ fn main() {
     let sims = compute_similarities(&g).into_sorted();
     let chunk = (sims.incident_pair_count() / 120).max(5);
     let trace = fixed_chunk_sweep(&g, &sims, chunk, EdgeOrder::Insertion);
-    println!(
-        "fixed-chunk sweep: {} levels of ~{} incident pairs each",
-        trace.levels.len(),
-        chunk
-    );
+    println!("fixed-chunk sweep: {} levels of ~{} incident pairs each", trace.levels.len(), chunk);
 
-    let points: Vec<(u32, usize)> =
-        trace.levels.iter().map(|l| (l.level, l.clusters)).collect();
+    let points: Vec<(u32, usize)> = trace.levels.iter().map(|l| (l.level, l.clusters)).collect();
     let norm = normalize_curve(&points);
     let fitted = SigmoidModel::fit(&norm);
 

@@ -11,6 +11,8 @@
 //!   --threshold <f64>      stop merging below this similarity
 //!   --cut best|final       which partition to report           [best]
 //!   --output communities|newick|csv|labels                     [communities]
+//!   --stats                graph stats + per-phase run report (stderr)
+//!   --stats-json           run report as JSON (stderr)
 //! ```
 //!
 //! The edge-list format is one `u v [weight]` triple per line with `#`
@@ -22,7 +24,7 @@ use std::process::ExitCode;
 use linkclust::core::export::{to_merge_csv, to_newick};
 use linkclust::graph::io::read_edge_list;
 use linkclust::{
-    CoarseConfig, Dendrogram, LinkClustering, LinkCommunities, ParallelLinkClustering,
+    CoarseConfig, ConfigError, Dendrogram, LinkClustering, LinkCommunities, RunReport,
     WeightedGraph,
 };
 
@@ -36,6 +38,7 @@ struct Options {
     cut: Cut,
     output: Output,
     stats: bool,
+    stats_json: bool,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -55,7 +58,7 @@ enum Output {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: linkclust <edge-list-file|-> [--coarse] [--gamma G] [--phi P] \
-         [--threads N] [--threshold T] [--cut best|final] [--stats] \
+         [--threads N] [--threshold T] [--cut best|final] [--stats] [--stats-json] \
          [--output communities|newick|csv|labels]\n\
          \n\
          or:    linkclust generate <family> [seed]\n\
@@ -81,9 +84,7 @@ fn run_generate(args: &[String]) -> Option<ExitCode> {
         "complete" => (complete(num(1)?, w, 42), 2),
         "kregular" => (k_regular(num(1)?, num(2)?, w, 42), 3),
         "ba" => (barabasi_albert(num(1)?, num(2)?, w, 42), 3),
-        "planted" => {
-            (planted_partition(num(1)?, num(2)?, fnum(3)?, fnum(4)?, 42).graph, 5)
-        }
+        "planted" => (planted_partition(num(1)?, num(2)?, fnum(3)?, fnum(4)?, 42).graph, 5),
         _ => return None,
     };
     // optional trailing seed: regenerate with it
@@ -120,12 +121,14 @@ fn parse_args() -> Option<Options> {
         cut: Cut::Best,
         output: Output::Communities,
         stats: false,
+        stats_json: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--coarse" => opts.coarse = true,
             "--stats" => opts.stats = true,
+            "--stats-json" => opts.stats_json = true,
             "--gamma" => opts.gamma = args.next()?.parse().ok()?,
             "--phi" => opts.phi = args.next()?.parse().ok()?,
             "--threads" => opts.threads = args.next()?.parse().ok()?,
@@ -157,7 +160,11 @@ fn parse_args() -> Option<Options> {
     Some(opts)
 }
 
-fn cluster(g: &WeightedGraph, opts: &Options) -> (Dendrogram, Vec<u32>) {
+fn cluster(
+    g: &WeightedGraph,
+    opts: &Options,
+) -> Result<(Dendrogram, Vec<u32>, Option<RunReport>), ConfigError> {
+    let mut lc = LinkClustering::new().threads(opts.threads).stats(opts.stats || opts.stats_json);
     if opts.coarse {
         let cfg = CoarseConfig {
             gamma: opts.gamma,
@@ -165,33 +172,18 @@ fn cluster(g: &WeightedGraph, opts: &Options) -> (Dendrogram, Vec<u32>) {
             initial_chunk: 64,
             ..Default::default()
         };
-        let r = if opts.threads > 1 {
-            ParallelLinkClustering::new(opts.threads).run_coarse(g, &cfg)
-        } else {
-            LinkClustering::new().run_coarse(g, &cfg)
-        };
+        let r = lc.run_coarse(g, cfg)?;
         let labels = r.output().edge_assignments();
-        (r.output().dendrogram().clone(), labels)
+        let dendrogram = r.output().dendrogram().clone();
+        Ok((dendrogram, labels, r.report().cloned()))
     } else {
-        let mut lc = LinkClustering::new();
         if let Some(t) = opts.threshold {
             lc = lc.min_similarity(t);
         }
-        let r = if opts.threads > 1 {
-            // Parallel Phase I + serial fine sweep.
-            let sims = ParallelLinkClustering::new(opts.threads).similarities(g);
-            let cfg = linkclust::SweepConfig {
-                min_similarity: opts.threshold,
-                ..Default::default()
-            };
-            let out = linkclust::sweep(g, &sims, cfg);
-            let labels = out.edge_assignments();
-            return (out.into_dendrogram(), labels);
-        } else {
-            lc.run(g)
-        };
+        let r = lc.run(g)?;
         let labels = r.edge_assignments();
-        (r.into_dendrogram(), labels)
+        let report = r.report().cloned();
+        Ok((r.into_dendrogram(), labels, report))
     }
 }
 
@@ -249,7 +241,21 @@ fn main() -> ExitCode {
         );
     }
 
-    let (dendrogram, final_labels) = cluster(&g, &opts);
+    let (dendrogram, final_labels, report) = match cluster(&g, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("invalid configuration: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(report) = &report {
+        if opts.stats {
+            eprintln!("{report}");
+        }
+        if opts.stats_json {
+            eprintln!("{}", report.to_json());
+        }
+    }
     let labels = match opts.cut {
         Cut::Final => final_labels,
         Cut::Best => match dendrogram.best_density_cut(&g) {
@@ -279,8 +285,7 @@ fn main() -> ExitCode {
             let comms = LinkCommunities::from_edge_labels(&g, &labels);
             println!("{} link communities:", comms.len());
             for (i, c) in comms.communities().iter().enumerate() {
-                let verts: Vec<String> =
-                    c.vertices.iter().map(|v| v.index().to_string()).collect();
+                let verts: Vec<String> = c.vertices.iter().map(|v| v.index().to_string()).collect();
                 println!(
                     "community {i}: {} edges, {} vertices (D_c = {:.3}): {}",
                     c.edge_count(),

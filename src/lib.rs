@@ -22,7 +22,10 @@
 //! * [`parallel`] — the multi-threaded initialization and sweeping of
 //!   §VI.
 //!
-//! The most common entry points are re-exported at the crate root.
+//! The most common entry points are re-exported at the crate root; the
+//! main one is the unified [`LinkClustering`] facade — serial by
+//! default, parallel via [`threads`](LinkClustering::threads), with
+//! phase-level telemetry via [`stats`](LinkClustering::stats).
 //!
 //! # Quickstart
 //!
@@ -36,7 +39,7 @@
 //!     (2, 3, 0.1),
 //! ])?.build();
 //!
-//! let result = LinkClustering::new().run(&g);
+//! let result = LinkClustering::new().run(&g)?;
 //! let cut = result.dendrogram().best_density_cut(&g).unwrap();
 //! let labels = result.output().edge_assignments_at_level(cut.level);
 //!
@@ -45,6 +48,22 @@
 //! assert_eq!(labels[3], labels[4]);
 //! assert_ne!(labels[0], labels[3]);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Scaling out and measuring where the time goes:
+//!
+//! ```
+//! use linkclust::graph::generate::{gnm, WeightMode};
+//! use linkclust::core::telemetry::Phase;
+//! use linkclust::LinkClustering;
+//!
+//! let g = gnm(200, 800, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 7);
+//! let result = LinkClustering::new().threads(4).stats(true).run(&g)?;
+//! let report = result.report().expect("stats(true) attaches a report");
+//! assert!(report.phase_nanos(Phase::Sweep) > 0);
+//! println!("{report}");          // per-phase table
+//! let _json = report.to_json();  // machine-readable
+//! # Ok::<(), linkclust::ConfigError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -57,16 +76,19 @@ pub use linkclust_parallel as parallel;
 
 pub use linkclust_core::{
     baseline::{MstClustering, NbmClustering},
-    communities::LinkCommunities,
     coarse::{coarse_sweep, CoarseConfig, CoarseResult},
+    communities::LinkCommunities,
     dendrogram::partition_density,
     init::compute_similarities,
     model::SigmoidModel,
     sweep::{sweep, EdgeOrder, SweepConfig},
-    ClusterArray, ClusteringResult, Dendrogram, LinkClustering, MergeRecord, PairSimilarities,
+    telemetry::{Recorder, RunReport},
+    ClusterArray, ClusteringResult, ConfigError, Dendrogram, MergeRecord, PairSimilarities,
 };
 pub use linkclust_corpus::{AssocNetwork, AssocNetworkBuilder, TextPipeline};
 pub use linkclust_graph::{EdgeId, GraphBuilder, GraphError, VertexId, WeightedGraph};
+#[allow(deprecated)]
+pub use linkclust_parallel::ParallelLinkClustering;
 pub use linkclust_parallel::{
-    compute_similarities_parallel, parallel_coarse_sweep, ParallelLinkClustering,
+    compute_similarities_parallel, parallel_coarse_sweep, LinkClustering,
 };

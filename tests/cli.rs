@@ -71,8 +71,7 @@ fn csv_output() {
 
 #[test]
 fn coarse_and_threads_flags() {
-    let (stdout, stderr, ok) =
-        run_cli(&["-", "--coarse", "--phi", "2", "--threads", "2"], EDGES);
+    let (stdout, stderr, ok) = run_cli(&["-", "--coarse", "--phi", "2", "--threads", "2"], EDGES);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("link communities"));
 }

@@ -36,7 +36,7 @@ proptest! {
     #[test]
     fn soundness_holds_outside_forced_epochs(g in arb_graph(), cfg in arb_config()) {
         let sims = compute_similarities(&g).into_sorted();
-        let r = coarse_sweep(&g, &sims, &cfg);
+        let r = coarse_sweep(&g, &sims, cfg);
         let rate = r.max_unforced_merge_rate();
         prop_assert!(rate <= cfg.gamma + 1e-9, "rate {} > gamma {}", rate, cfg.gamma);
     }
@@ -44,7 +44,7 @@ proptest! {
     #[test]
     fn cluster_counts_monotone_and_consistent(g in arb_graph(), cfg in arb_config()) {
         let sims = compute_similarities(&g).into_sorted();
-        let r = coarse_sweep(&g, &sims, &cfg);
+        let r = coarse_sweep(&g, &sims, cfg);
         let mut prev = g.edge_count();
         for l in r.levels() {
             prop_assert!(l.clusters <= prev, "cluster counts must not increase");
@@ -61,7 +61,7 @@ proptest! {
         // Cutting the fine dendrogram at the same merge count must give
         // the identical partition, whatever path the mode machine took.
         let sims = compute_similarities(&g).into_sorted();
-        let coarse = coarse_sweep(&g, &sims, &cfg);
+        let coarse = coarse_sweep(&g, &sims, cfg);
         let fine = sweep(&g, &sims, SweepConfig::default());
         let merges = coarse.dendrogram().merge_count() as u32;
         prop_assert_eq!(
@@ -73,7 +73,7 @@ proptest! {
     #[test]
     fn epoch_accounting_balances(g in arb_graph(), cfg in arb_config()) {
         let sims = compute_similarities(&g).into_sorted();
-        let r = coarse_sweep(&g, &sims, &cfg);
+        let r = coarse_sweep(&g, &sims, cfg);
         let b = r.epoch_breakdown();
         prop_assert_eq!(b.head_fresh + b.tail_fresh + b.reused, r.levels().len());
         prop_assert_eq!(
@@ -91,8 +91,8 @@ proptest! {
         let sims = compute_similarities(&g).into_sorted();
         let strict = CoarseConfig { phi: 1, initial_chunk: 8, ..Default::default() };
         let loose = CoarseConfig { phi: g.edge_count().max(1), initial_chunk: 8, ..Default::default() };
-        let r_strict = coarse_sweep(&g, &sims, &strict);
-        let r_loose = coarse_sweep(&g, &sims, &loose);
+        let r_strict = coarse_sweep(&g, &sims, strict);
+        let r_loose = coarse_sweep(&g, &sims, loose);
         // A looser phi can only stop earlier (fewer pairs processed).
         prop_assert!(r_loose.processed_fraction() <= r_strict.processed_fraction() + 1e-12);
     }
@@ -142,7 +142,7 @@ fn coarse_skips_tail_on_power_law_graph() {
     let g = barabasi_albert(400, 6, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 7);
     let sims = compute_similarities(&g).into_sorted();
     let cfg = CoarseConfig { phi: 60, initial_chunk: 32, ..Default::default() };
-    let r = coarse_sweep(&g, &sims, &cfg);
+    let r = coarse_sweep(&g, &sims, cfg);
     assert!(r.dendrogram().final_cluster_count() <= cfg.phi);
     assert!(
         r.processed_fraction() < 1.0,

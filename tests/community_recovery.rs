@@ -4,7 +4,7 @@
 
 use linkclust::core::evaluate::{adjusted_rand_index, normalized_mutual_information};
 use linkclust::graph::generate::{planted_partition, PlantedPartition};
-use linkclust::{CoarseConfig, LinkClustering, LinkCommunities, ParallelLinkClustering};
+use linkclust::{CoarseConfig, LinkClustering, LinkCommunities};
 
 /// Scores the recovered labels against the planted truth over
 /// intra-community edges only (bridges have no well-defined community).
@@ -25,7 +25,7 @@ fn fine_sweep_recovers_planted_communities() {
     for seed in [1u64, 2, 3] {
         let planted = planted_partition(6, 10, 0.7, 0.004, seed);
         let g = &planted.graph;
-        let result = LinkClustering::new().run(g);
+        let result = LinkClustering::new().run(g).unwrap();
         let cut = result.dendrogram().best_density_cut(g).expect("graph has edges");
         let labels = result.output().edge_assignments_at_level(cut.level);
         let (ari, nmi) = recovery_scores(&planted, &labels);
@@ -38,13 +38,8 @@ fn fine_sweep_recovers_planted_communities() {
 fn coarse_sweep_recovers_planted_communities() {
     let planted = planted_partition(5, 10, 0.7, 0.004, 7);
     let g = &planted.graph;
-    let cfg = CoarseConfig {
-        gamma: 2.0,
-        phi: 5,
-        initial_chunk: 32,
-        ..Default::default()
-    };
-    let r = LinkClustering::new().run_coarse(g, &cfg);
+    let cfg = CoarseConfig { gamma: 2.0, phi: 5, initial_chunk: 32, ..Default::default() };
+    let r = LinkClustering::new().run_coarse(g, cfg).unwrap();
     // Use the best density cut of the coarse dendrogram.
     let cut = r.dendrogram().best_density_cut(g).expect("graph has edges");
     let labels = r.output().edge_assignments_at_level(cut.level);
@@ -58,8 +53,8 @@ fn parallel_recovery_matches_serial() {
     let planted = planted_partition(4, 9, 0.75, 0.006, 11);
     let g = &planted.graph;
     let cfg = CoarseConfig { phi: 4, initial_chunk: 16, ..Default::default() };
-    let serial = LinkClustering::new().run_coarse(g, &cfg);
-    let parallel = ParallelLinkClustering::new(3).run_coarse(g, &cfg);
+    let serial = LinkClustering::new().run_coarse(g, cfg).unwrap();
+    let parallel = LinkClustering::new().threads(3).run_coarse(g, cfg).unwrap();
     let (s_ari, _) = recovery_scores(&planted, &serial.output().edge_assignments());
     let (p_ari, _) = recovery_scores(&planted, &parallel.output().edge_assignments());
     assert!((s_ari - p_ari).abs() < 1e-12, "serial {s_ari} vs parallel {p_ari}");
@@ -69,7 +64,7 @@ fn parallel_recovery_matches_serial() {
 fn link_communities_expose_bridge_overlap() {
     let planted = planted_partition(3, 8, 0.9, 0.01, 13);
     let g = &planted.graph;
-    let result = LinkClustering::new().run(g);
+    let result = LinkClustering::new().run(g).unwrap();
     let cut = result.dendrogram().best_density_cut(g).expect("graph has edges");
     let labels = result.output().edge_assignments_at_level(cut.level);
     let comms = LinkCommunities::from_edge_labels(g, &labels);

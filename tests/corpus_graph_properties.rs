@@ -40,10 +40,8 @@ fn density_falls_as_vocabulary_grows() {
 #[test]
 fn small_vocabulary_graph_is_near_complete() {
     let c = corpus(2);
-    let net = AssocNetworkBuilder::new()
-        .top_words(6)
-        .build(c.documents())
-        .expect("non-empty corpus");
+    let net =
+        AssocNetworkBuilder::new().top_words(6).build(c.documents()).expect("non-empty corpus");
     assert!(
         net.graph().density() > 0.9,
         "top words must be densely associated, got {}",

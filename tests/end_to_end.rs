@@ -2,10 +2,7 @@
 //! network → link clustering → communities, across all workspace crates.
 
 use linkclust::corpus::synth::{SynthCorpus, SynthCorpusConfig};
-use linkclust::{
-    AssocNetworkBuilder, CoarseConfig, GraphBuilder, LinkClustering, ParallelLinkClustering,
-    TextPipeline,
-};
+use linkclust::{AssocNetworkBuilder, CoarseConfig, GraphBuilder, LinkClustering, TextPipeline};
 
 fn small_corpus(seed: u64) -> SynthCorpus {
     SynthCorpus::generate(&SynthCorpusConfig {
@@ -30,7 +27,7 @@ fn full_pipeline_from_raw_text() {
     let g = net.graph();
     assert!(g.edge_count() > 10, "association network should be non-trivial");
 
-    let result = LinkClustering::new().run(g);
+    let result = LinkClustering::new().run(g).unwrap();
     assert!(result.dendrogram().merge_count() > 0);
     let cut = result.dendrogram().best_density_cut(g).expect("graph has edges");
     assert!(cut.density > 0.0, "communities should beat singleton density");
@@ -46,16 +43,12 @@ fn pipeline_on_processed_tokens_matches_raw_text_route() {
     // the same graph as going through rendered text + pipeline, because
     // the renderer's noise is perfectly filtered.
     let synth = small_corpus(3);
-    let via_tokens = AssocNetworkBuilder::new()
-        .top_words(40)
-        .build(synth.documents())
-        .expect("non-empty");
+    let via_tokens =
+        AssocNetworkBuilder::new().top_words(40).build(synth.documents()).expect("non-empty");
     let tweets = synth.render_tweets(7);
     let processed = TextPipeline::new().process_all(&tweets);
-    let via_text = AssocNetworkBuilder::new()
-        .top_words(40)
-        .build(processed.documents())
-        .expect("non-empty");
+    let via_text =
+        AssocNetworkBuilder::new().top_words(40).build(processed.documents()).expect("non-empty");
     assert_eq!(via_tokens.words(), via_text.words());
     assert_eq!(via_tokens.graph(), via_text.graph());
 }
@@ -63,15 +56,12 @@ fn pipeline_on_processed_tokens_matches_raw_text_route() {
 #[test]
 fn serial_and_parallel_coarse_agree_end_to_end() {
     let synth = small_corpus(5);
-    let net = AssocNetworkBuilder::new()
-        .top_words(50)
-        .build(synth.documents())
-        .expect("non-empty");
+    let net = AssocNetworkBuilder::new().top_words(50).build(synth.documents()).expect("non-empty");
     let g = net.into_graph();
     let cfg = CoarseConfig { phi: 10, initial_chunk: 32, ..Default::default() };
 
-    let serial = LinkClustering::new().run_coarse(&g, &cfg);
-    let parallel = ParallelLinkClustering::new(4).run_coarse(&g, &cfg);
+    let serial = LinkClustering::new().run_coarse(&g, cfg).unwrap();
+    let parallel = LinkClustering::new().threads(4).run_coarse(&g, cfg).unwrap();
 
     let s: Vec<_> = serial.levels().iter().map(|l| (l.level, l.clusters)).collect();
     let p: Vec<_> = parallel.levels().iter().map(|l| (l.level, l.clusters)).collect();
@@ -100,18 +90,11 @@ fn overlapping_communities_share_vertices_not_edges() {
     // participates in both triangles, yet each *edge* has one community.
     let g = GraphBuilder::from_edges(
         5,
-        &[
-            (0, 1, 1.0),
-            (1, 2, 1.0),
-            (0, 2, 1.0),
-            (2, 3, 1.0),
-            (3, 4, 1.0),
-            (2, 4, 1.0),
-        ],
+        &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (2, 4, 1.0)],
     )
     .expect("valid edges")
     .build();
-    let result = LinkClustering::new().run(&g);
+    let result = LinkClustering::new().run(&g).unwrap();
     let cut = result.dendrogram().best_density_cut(&g).expect("graph has edges");
     let labels = result.output().edge_assignments_at_level(cut.level);
     assert_eq!(cut.cluster_count, 2);

@@ -46,8 +46,7 @@ fn all_five_vertex_graphs_agree() {
         let g = graph_for_mask(n, &pairs, mask, false);
         let sims = compute_similarities(&g);
         let sorted = sims.clone().into_sorted();
-        let sweep_labels =
-            canon(&sweep(&g, &sorted, SweepConfig::default()).edge_assignments());
+        let sweep_labels = canon(&sweep(&g, &sorted, SweepConfig::default()).edge_assignments());
         let nbm_labels = canon(&NbmClustering::new().run(&g, &sims).final_assignments());
         let mst_labels = canon(&MstClustering::new().run(&g, &sims).final_assignments());
         assert_eq!(sweep_labels, nbm_labels, "mask {mask:#b}");
@@ -87,8 +86,7 @@ fn all_unit_weight_five_vertex_graphs_agree() {
         let g = graph_for_mask(n, &pairs, mask, true);
         let sims = compute_similarities(&g);
         let sorted = sims.clone().into_sorted();
-        let sweep_labels =
-            canon(&sweep(&g, &sorted, SweepConfig::default()).edge_assignments());
+        let sweep_labels = canon(&sweep(&g, &sorted, SweepConfig::default()).edge_assignments());
         let nbm_labels = canon(&NbmClustering::new().run(&g, &sims).final_assignments());
         assert_eq!(sweep_labels, nbm_labels, "mask {mask:#b}");
     }

@@ -29,7 +29,7 @@ fn cluster_a_graph_read_from_disk_format() {
     assert_eq!(g.vertex_count(), 8);
     assert_eq!(g.edge_count(), 13);
 
-    let result = LinkClustering::new().run(&g);
+    let result = LinkClustering::new().run(&g).unwrap();
     let cut = result.dendrogram().best_density_cut(&g).expect("graph has edges");
     let labels = result.output().edge_assignments_at_level(cut.level);
     let comms = LinkCommunities::from_edge_labels(&g, &labels);
@@ -49,15 +49,15 @@ fn edge_list_roundtrip_preserves_clustering() {
     let mut buf = Vec::new();
     write_edge_list(&g, &mut buf).unwrap();
     let g2 = read_edge_list(buf.as_slice()).unwrap();
-    let a = LinkClustering::new().run(&g).edge_assignments();
-    let b = LinkClustering::new().run(&g2).edge_assignments();
+    let a = LinkClustering::new().run(&g).unwrap().edge_assignments();
+    let b = LinkClustering::new().run(&g2).unwrap().edge_assignments();
     assert_eq!(a, b);
 }
 
 #[test]
 fn newick_export_covers_every_edge() {
     let g = read_edge_list(KARATE_LIKE.as_bytes()).unwrap();
-    let d = LinkClustering::new().run(&g).into_dendrogram();
+    let d = LinkClustering::new().run(&g).unwrap().into_dendrogram();
     let newick = to_newick(&d);
     assert!(newick.ends_with(';'));
     for i in 0..g.edge_count() {
@@ -70,7 +70,7 @@ fn newick_export_covers_every_edge() {
 #[test]
 fn community_metrics_on_cliques() {
     let g = read_edge_list(KARATE_LIKE.as_bytes()).unwrap();
-    let result = LinkClustering::new().run(&g);
+    let result = LinkClustering::new().run(&g).unwrap();
     let cut = result.dendrogram().best_density_cut(&g).unwrap();
     let labels = result.output().edge_assignments_at_level(cut.level);
     let comms = LinkCommunities::from_edge_labels(&g, &labels);

@@ -23,7 +23,7 @@ fn recovered_cover(comms: &LinkCommunities) -> Vec<Vec<u32>> {
 fn chain_of_overlapping_cliques_is_recovered() {
     let planted = overlapping_planted(4, 7, 2, 3);
     let g = &planted.graph;
-    let result = LinkClustering::new().run(g);
+    let result = LinkClustering::new().run(g).unwrap();
     let cut = result.dendrogram().best_density_cut(g).expect("graph has edges");
     let labels = result.output().edge_assignments_at_level(cut.level);
     let comms = LinkCommunities::from_edge_labels(g, &labels);
@@ -37,7 +37,7 @@ fn chain_of_overlapping_cliques_is_recovered() {
 fn shared_vertices_are_reported_as_overlap() {
     let planted = overlapping_planted(3, 6, 1, 5);
     let g = &planted.graph;
-    let result = LinkClustering::new().run(g);
+    let result = LinkClustering::new().run(g).unwrap();
     let cut = result.dendrogram().best_density_cut(g).expect("graph has edges");
     let labels = result.output().edge_assignments_at_level(cut.level);
     let comms = LinkCommunities::from_edge_labels(g, &labels);
@@ -56,7 +56,7 @@ fn recovery_degrades_gracefully_with_mixing() {
     let score = |mu: f64| -> f64 {
         let planted = overlapping_planted_with_mixing(4, 8, 2, mu, 11);
         let g = &planted.graph;
-        let result = LinkClustering::new().run(g);
+        let result = LinkClustering::new().run(g).unwrap();
         let cut = result.dendrogram().best_density_cut(g).expect("graph has edges");
         let labels = result.output().edge_assignments_at_level(cut.level);
         let comms = LinkCommunities::from_edge_labels(g, &labels);
@@ -75,7 +75,7 @@ fn recovery_degrades_gracefully_with_mixing() {
 fn overlap_nmi_beats_random_baseline() {
     let planted = overlapping_planted(4, 6, 2, 9);
     let g = &planted.graph;
-    let result = LinkClustering::new().run(g);
+    let result = LinkClustering::new().run(g).unwrap();
     let cut = result.dendrogram().best_density_cut(g).expect("graph has edges");
     let labels = result.output().edge_assignments_at_level(cut.level);
     let comms = LinkCommunities::from_edge_labels(g, &labels);
@@ -94,8 +94,5 @@ fn overlap_nmi_beats_random_baseline() {
         verts.chunks(g.vertex_count().div_ceil(k)).map(|c| c.to_vec()).collect();
     let random = overlapping_nmi(&planted.communities, &random_cover, g.vertex_count());
 
-    assert!(
-        recovered > random + 0.3,
-        "recovered {recovered} should beat random {random} clearly"
-    );
+    assert!(recovered > random + 0.3, "recovered {recovered} should beat random {random} clearly");
 }

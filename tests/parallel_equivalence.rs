@@ -3,13 +3,11 @@
 
 use linkclust::core::coarse::coarse_sweep_with;
 use linkclust::graph::generate::{gnm, WeightMode};
-use linkclust::parallel::merge::{
-    merge_cluster_arrays, merge_cluster_arrays_reference,
-};
+use linkclust::parallel::merge::{merge_cluster_arrays, merge_cluster_arrays_reference};
 use linkclust::parallel::ParallelChunkProcessor;
 use linkclust::{
-    coarse_sweep, compute_similarities, compute_similarities_parallel, CoarseConfig,
-    ClusterArray, WeightedGraph,
+    coarse_sweep, compute_similarities, compute_similarities_parallel, ClusterArray, CoarseConfig,
+    WeightedGraph,
 };
 use proptest::prelude::*;
 
@@ -47,9 +45,9 @@ proptest! {
     ) {
         let sims = compute_similarities(&g).into_sorted();
         let cfg = CoarseConfig { phi: 2, initial_chunk: chunk, ..Default::default() };
-        let serial = coarse_sweep(&g, &sims, &cfg);
-        let mut proc = ParallelChunkProcessor::new(threads).min_entries_per_thread(1);
-        let parallel = coarse_sweep_with(&g, &sims, &cfg, &mut proc);
+        let serial = coarse_sweep(&g, &sims, cfg);
+        let mut proc = ParallelChunkProcessor::new(threads).unwrap().min_entries_per_thread(1);
+        let parallel = coarse_sweep_with(&g, &sims, cfg, &mut proc);
         prop_assert_eq!(serial.levels(), parallel.levels());
         // Same final partition (labels may be identical here because the
         // slot order matches).
@@ -92,10 +90,10 @@ fn thread_count_does_not_change_results_on_a_real_workload() {
     let g = gnm(60, 500, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 9);
     let sims = compute_similarities(&g).into_sorted();
     let cfg = CoarseConfig { phi: 5, initial_chunk: 16, ..Default::default() };
-    let reference = coarse_sweep(&g, &sims, &cfg);
+    let reference = coarse_sweep(&g, &sims, cfg);
     for threads in [1, 2, 3, 4, 6, 8] {
-        let mut proc = ParallelChunkProcessor::new(threads).min_entries_per_thread(1);
-        let r = coarse_sweep_with(&g, &sims, &cfg, &mut proc);
+        let mut proc = ParallelChunkProcessor::new(threads).unwrap().min_entries_per_thread(1);
+        let r = coarse_sweep_with(&g, &sims, cfg, &mut proc);
         assert_eq!(reference.levels(), r.levels(), "threads = {threads}");
         assert_eq!(
             reference.output().edge_assignments(),

@@ -1,0 +1,418 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API this
+//! workspace uses: the `proptest!` macro, `prop_assert!` /
+//! `prop_assert_eq!`, `Strategy` with `prop_map`, range and tuple
+//! strategies, `collection::vec`, `bool::ANY`, and simple
+//! `"[a-z]{0,24}"`-style string patterns.
+//!
+//! Differences from upstream: no shrinking (the failing input is printed
+//! as-is), no persistence of regression seeds (`.proptest-regressions`
+//! files are ignored), and string strategies support only a limited
+//! regex subset (sequences of literals, `.`, and `[...]` classes, each
+//! optionally followed by `{n}` or `{m,n}`).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The per-test configuration (subset of upstream's `ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Base RNG seed; each case derives its own stream from this.
+    pub seed: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, seed: 0x1c0ffee }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}
+
+/// The RNG handed to strategies.
+pub type TestRng = SmallRng;
+
+/// A generator of random values (subset of upstream's `Strategy`;
+/// generation only, no shrink tree).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: std::fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: std::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: std::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng as _;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng as _;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A strategy producing `Vec`s of `element` with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// The strategy returned by [`vec()`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            use rand::Rng as _;
+            let n = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Uniformly random booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            use rand::Rng as _;
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// String generation from a limited regex subset: a sequence of atoms
+/// (literal char, `.`, or `[...]` with ranges and literals), each
+/// optionally followed by `{n}` or `{m,n}`.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        use rand::Rng as _;
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (chars, lo, hi) in &atoms {
+            let reps = if lo == hi { *lo } else { rng.gen_range(*lo..=*hi) };
+            for _ in 0..reps {
+                if !chars.is_empty() {
+                    out.push(chars[rng.gen_range(0..chars.len())]);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Parses the supported pattern subset into `(alphabet, min, max)` atoms.
+fn parse_pattern(pattern: &str) -> Vec<(Vec<char>, usize, usize)> {
+    const DOT: &str = " abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789\
+                       !\"#$%&'()*+,-./:;<=>?@[\\]^_`{|}~\u{e9}\u{3b1}";
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let alphabet: Vec<char> = match chars[i] {
+            '.' => {
+                i += 1;
+                DOT.chars().collect()
+            }
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        set.push(chars[i + 1]);
+                        i += 2;
+                    } else if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (a, b) = (chars[i], chars[i + 2]);
+                        assert!(a <= b, "invalid class range {a}-{b} in {pattern:?}");
+                        for c in a..=b {
+                            set.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated [ in pattern {pattern:?}");
+                i += 1; // skip ']'
+                set
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated {{ in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().expect("bad lower bound"),
+                    b.trim().parse().expect("bad upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad repeat count");
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && chars[i] == '*' {
+            i += 1;
+            (0, 8)
+        } else if i < chars.len() && chars[i] == '+' {
+            i += 1;
+            (1, 8)
+        } else {
+            (1, 1)
+        };
+        atoms.push((alphabet, lo, hi));
+    }
+    atoms
+}
+
+/// Runs `cases` random cases of `test`, reporting the first failure with
+/// its generated input. Called by the expansion of [`proptest!`].
+/// A failed test case (upstream's rejection/failure type, simplified).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runs `cases` random cases of `test`, reporting the first failure with
+/// its generated input. Called by the expansion of [`proptest!`].
+pub fn run_cases<S: Strategy>(
+    config: &ProptestConfig,
+    strategy: &S,
+    test: impl Fn(S::Value) -> Result<(), TestCaseError>,
+) {
+    for case in 0..config.cases {
+        let mut rng = TestRng::seed_from_u64(config.seed.wrapping_add(case as u64));
+        let value = strategy.generate(&mut rng);
+        let display = format!("{value:?}");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value)));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(rejection)) => {
+                eprintln!("proptest stand-in: case {case}/{} failed for input:", config.cases);
+                eprintln!("  {display}");
+                panic!("test case failed: {rejection}");
+            }
+            Err(panic) => {
+                eprintln!("proptest stand-in: case {case}/{} failed for input:", config.cases);
+                eprintln!("  {display}");
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+/// The property-test macro (generation-only stand-in for upstream's).
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let __strategy = ($($strat,)+);
+            $crate::run_cases(&__config, &__strategy, |($($pat,)+)| {
+                $body
+                Ok(())
+            });
+        }
+    )*};
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property (plain `assert!` here — no
+/// shrinking, the runner prints the failing input).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// The common imports.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_parser_handles_workspace_patterns() {
+        use rand::SeedableRng as _;
+        let mut rng = super::TestRng::seed_from_u64(1);
+        for pattern in ["[a-z]{0,24}", "[A-Za-z0-9]{1,16}", ".{0,200}", "[a-zA-Z ,.!#@]{0,200}"] {
+            for _ in 0..200 {
+                let s = Strategy::generate(&pattern, &mut rng);
+                match pattern {
+                    "[a-z]{0,24}" => {
+                        assert!(s.len() <= 24 && s.bytes().all(|b| b.is_ascii_lowercase()))
+                    }
+                    "[A-Za-z0-9]{1,16}" => {
+                        assert!(
+                            (1..=16).contains(&s.len())
+                                && s.bytes().all(|b| b.is_ascii_alphanumeric())
+                        )
+                    }
+                    _ => assert!(s.chars().count() <= 200),
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_binds_multiple_strategies(x in 0usize..10, y in 5u64..9, f in 0.25f64..0.75) {
+            prop_assert!(x < 10);
+            prop_assert!((5..9).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn map_and_vec_compose(v in super::collection::vec((0u32..5, super::bool::ANY).prop_map(|(n, b)| if b { n } else { 0 }), 0..20)) {
+            prop_assert!(v.len() < 20);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+}
