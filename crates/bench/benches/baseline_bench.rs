@@ -16,13 +16,13 @@ fn bench_baselines(c: &mut Criterion) {
         let sorted = sims.clone().into_sorted();
         let id = format!("n{n}_m{m}");
         group.bench_with_input(BenchmarkId::new("sweep", &id), &(), |b, ()| {
-            b.iter(|| sweep(&g, &sorted, SweepConfig::default()))
+            b.iter(|| sweep(&g, &sorted, SweepConfig::default()));
         });
         group.bench_with_input(BenchmarkId::new("mst_kruskal", &id), &(), |b, ()| {
-            b.iter(|| MstClustering::new().run(&g, &sims))
+            b.iter(|| MstClustering::new().run(&g, &sims));
         });
         group.bench_with_input(BenchmarkId::new("standard_nbm", &id), &(), |b, ()| {
-            b.iter(|| NbmClustering::new().run(&g, &sims))
+            b.iter(|| NbmClustering::new().run(&g, &sims));
         });
     }
     group.finish();

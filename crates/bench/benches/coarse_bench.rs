@@ -19,10 +19,10 @@ fn bench_coarse(c: &mut Criterion) {
             ..Default::default()
         };
         group.bench_with_input(BenchmarkId::new("fine", n), &(), |b, ()| {
-            b.iter(|| sweep(&g, &sims, SweepConfig::default()))
+            b.iter(|| sweep(&g, &sims, SweepConfig::default()));
         });
         group.bench_with_input(BenchmarkId::new("coarse", n), &(), |b, ()| {
-            b.iter(|| coarse_sweep(&g, &sims, cfg))
+            b.iter(|| coarse_sweep(&g, &sims, cfg));
         });
     }
     group.finish();
@@ -35,13 +35,13 @@ fn bench_coarse(c: &mut Criterion) {
     for &gamma in &[1.25, 2.0, 4.0] {
         let cfg = CoarseConfig { gamma, phi: 50, initial_chunk: 64, ..Default::default() };
         group.bench_with_input(BenchmarkId::new("gamma", format!("{gamma}")), &(), |b, ()| {
-            b.iter(|| coarse_sweep(&g, &sims, cfg))
+            b.iter(|| coarse_sweep(&g, &sims, cfg));
         });
     }
     for &phi in &[10usize, 100, 1000] {
         let cfg = CoarseConfig { phi, initial_chunk: 64, ..Default::default() };
         group.bench_with_input(BenchmarkId::new("phi", phi), &(), |b, ()| {
-            b.iter(|| coarse_sweep(&g, &sims, cfg))
+            b.iter(|| coarse_sweep(&g, &sims, cfg));
         });
     }
     group.finish();

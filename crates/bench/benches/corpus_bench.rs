@@ -22,7 +22,7 @@ fn bench_corpus(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(total_bytes as u64));
     group.bench_function("tokenize_stem_filter", |b| {
         let p = TextPipeline::new();
-        b.iter(|| p.process_all(&tweets))
+        b.iter(|| p.process_all(&tweets));
     });
     group.finish();
 
@@ -36,7 +36,7 @@ fn bench_corpus(c: &mut Criterion) {
                 n += stem(&format!("{w}ed")).len();
             }
             n
-        })
+        });
     });
 
     let mut group = c.benchmark_group("corpus/assoc_network");
@@ -48,7 +48,7 @@ fn bench_corpus(c: &mut Criterion) {
                     .min_document_count(2)
                     .build(sc.documents())
                     .expect("non-empty corpus")
-            })
+            });
         });
     }
     group.finish();
@@ -62,7 +62,7 @@ fn bench_corpus(c: &mut Criterion) {
                 seed: 3,
                 ..Default::default()
             })
-        })
+        });
     });
 }
 

@@ -16,7 +16,7 @@ fn bench_graph(c: &mut Criterion) {
     for &(n, m) in &[(200usize, 2000usize), (500, 10000), (1000, 40000)] {
         let g = gnm(n, m, w, 1);
         group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_m{m}")), &g, |b, g| {
-            b.iter(|| GraphStats::compute(g))
+            b.iter(|| GraphStats::compute(g));
         });
     }
     group.finish();
@@ -28,7 +28,7 @@ fn bench_graph(c: &mut Criterion) {
             let u = VertexId::new(rng.gen_range(0..500));
             let v = VertexId::new(rng.gen_range(0..500));
             g.edge_between(u, v)
-        })
+        });
     });
 
     // Ablation: the paper's chain array vs classic union-find on the
@@ -45,7 +45,7 @@ fn bench_graph(c: &mut Criterion) {
                 ca.merge(i, j);
             }
             ca.cluster_count()
-        })
+        });
     });
     group.bench_function("union_find", |b| {
         b.iter(|| {
@@ -54,7 +54,7 @@ fn bench_graph(c: &mut Criterion) {
                 uf.union(i, j);
             }
             uf.set_count()
-        })
+        });
     });
     group.finish();
 }

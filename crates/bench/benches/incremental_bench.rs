@@ -32,18 +32,18 @@ fn bench_incremental(c: &mut Criterion) {
                         break;
                     }
                 }
-            })
+            });
         });
 
         // Cost of a full batch recomputation for the same graph.
         group.bench_with_input(BenchmarkId::new("batch_rebuild", &id), &(), |b, ()| {
-            b.iter(|| compute_similarities(&g))
+            b.iter(|| compute_similarities(&g));
         });
 
         // Cost of a snapshot (materializing scores) from the warm index.
         group.bench_with_input(BenchmarkId::new("snapshot", &id), &(), |b, ()| {
             let inc = IncrementalSimilarities::from_graph(&g);
-            b.iter(|| inc.similarities())
+            b.iter(|| inc.similarities());
         });
     }
     group.finish();

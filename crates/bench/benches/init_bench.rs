@@ -12,7 +12,7 @@ fn bench_init(c: &mut Criterion) {
         let g = gnm(n, m, w, 42);
         group.throughput(Throughput::Elements(m as u64));
         group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_m{m}")), &g, |b, g| {
-            b.iter(|| compute_similarities(g))
+            b.iter(|| compute_similarities(g));
         });
     }
     group.finish();
@@ -22,7 +22,7 @@ fn bench_init(c: &mut Criterion) {
         let g = barabasi_albert(n, 6, w, 7);
         group.throughput(Throughput::Elements(g.edge_count() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| compute_similarities(g))
+            b.iter(|| compute_similarities(g));
         });
     }
     group.finish();

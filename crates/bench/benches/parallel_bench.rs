@@ -14,7 +14,7 @@ fn bench_parallel(c: &mut Criterion) {
     let mut group = c.benchmark_group("parallel_init");
     for &threads in &[1usize, 2, 4, 6] {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            b.iter(|| compute_similarities_parallel(&g, t))
+            b.iter(|| compute_similarities_parallel(&g, t));
         });
     }
     group.finish();
@@ -28,7 +28,7 @@ fn bench_parallel(c: &mut Criterion) {
     let mut group = c.benchmark_group("parallel_sweep");
     for &threads in &[1usize, 2, 4, 6] {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            b.iter(|| parallel_coarse_sweep(&g, &sims, cfg, t))
+            b.iter(|| parallel_coarse_sweep(&g, &sims, cfg, t));
         });
     }
     group.finish();

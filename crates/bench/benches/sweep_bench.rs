@@ -28,7 +28,7 @@ fn bench_sweep(c: &mut Criterion) {
         let sims = compute_similarities(&g).into_sorted();
         group.throughput(Throughput::Elements(sims.incident_pair_count()));
         group.bench_with_input(BenchmarkId::from_parameter(n), &(&g, &sims), |b, (g, sims)| {
-            b.iter(|| sweep(g, sims, SweepConfig::default()))
+            b.iter(|| sweep(g, sims, SweepConfig::default()));
         });
     }
     group.finish();
@@ -46,7 +46,7 @@ fn bench_sweep(c: &mut Criterion) {
                 &sims,
                 SweepConfig { edge_order: EdgeOrder::Shuffled { seed: 1 }, ..Default::default() },
             )
-        })
+        });
     });
     group.finish();
 }

@@ -24,13 +24,13 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("telemetry/fine_run");
     group.throughput(Throughput::Elements(g.edge_count() as u64));
     group.bench_with_input(BenchmarkId::from_parameter("off"), &g, |b, g| {
-        b.iter(|| LinkClustering::new().run(g).unwrap())
+        b.iter(|| LinkClustering::new().run(g).unwrap());
     });
     group.bench_with_input(BenchmarkId::from_parameter("stats"), &g, |b, g| {
-        b.iter(|| LinkClustering::new().stats(true).run(g).unwrap())
+        b.iter(|| LinkClustering::new().stats(true).run(g).unwrap());
     });
     group.bench_with_input(BenchmarkId::from_parameter("custom"), &g, |b, g| {
-        b.iter(|| LinkClustering::new().recorder(Arc::new(EventLog::new())).run(g).unwrap())
+        b.iter(|| LinkClustering::new().recorder(Arc::new(EventLog::new())).run(g).unwrap());
     });
     group.finish();
 

@@ -11,6 +11,12 @@
 //!
 //! then bracket a measurement with [`reset_peak`] / [`peak_bytes`].
 
+// The workspace denies `unsafe_code`; this module is the single audited
+// exception — implementing `GlobalAlloc` is inherently unsafe, and every
+// unsafe block here only forwards to the `System` allocator with the
+// caller's own layout, which preserves its contract verbatim.
+#![allow(unsafe_code)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -90,6 +96,7 @@ pub fn measure_peak<T>(f: impl FnOnce() -> T) -> (T, usize) {
 }
 
 /// Formats a byte count human-readably (KiB/MiB/GiB).
+#[must_use]
 pub fn format_bytes(bytes: usize) -> String {
     const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
     let mut v = bytes as f64;

@@ -11,6 +11,7 @@
 /// let s = sparkline(&[0.0, 0.5, 1.0]);
 /// assert_eq!(s.chars().count(), 3);
 /// ```
+#[must_use]
 pub fn sparkline(values: &[f64]) -> String {
     const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     if values.is_empty() {
@@ -41,6 +42,7 @@ pub fn sparkline(values: &[f64]) -> String {
 
 /// Renders an xy-curve as a fixed-size ASCII scatter plot (rows ×
 /// cols). Points are marked `*`; axes are drawn on the left and bottom.
+#[must_use]
 pub fn scatter(points: &[(f64, f64)], rows: usize, cols: usize) -> String {
     let rows = rows.max(2);
     let cols = cols.max(2);
@@ -76,6 +78,7 @@ pub fn scatter(points: &[(f64, f64)], rows: usize, cols: usize) -> String {
 
 /// Downsamples `values` to at most `max_points` evenly spaced samples
 /// (keeps endpoints).
+#[must_use]
 pub fn downsample(values: &[f64], max_points: usize) -> Vec<f64> {
     let max_points = max_points.max(2);
     if values.len() <= max_points {

@@ -66,7 +66,7 @@ fn main() -> ExitCode {
         "reproducing {} target(s) at {:?} scale on {} core(s)\n",
         targets.len(),
         scale,
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism().map_or(1, |n| n.get())
     );
     for target in &targets {
         println!("### {target} ###");

@@ -33,6 +33,7 @@ pub enum FileComparison {
 /// `f64`) match when `|a − b| ≤ tolerance · max(|a|, |b|, 1)`; other
 /// cells must be equal. Shape differences (row/column counts) are
 /// reported as mismatches.
+#[must_use]
 pub fn compare_csv(left: &str, right: &str, tolerance: f64) -> FileComparison {
     let l_rows: Vec<Vec<&str>> = left.lines().map(|l| l.split(',').collect()).collect();
     let r_rows: Vec<Vec<&str>> = right.lines().map(|l| l.split(',').collect()).collect();
@@ -171,8 +172,7 @@ mod tests {
             results
                 .iter()
                 .find(|(name, _)| name == n)
-                .map(|(_, c)| c.clone())
-                .unwrap_or_else(|| panic!("{n} missing"))
+                .map_or_else(|| panic!("{n} missing"), |(_, c)| c.clone())
         };
         assert!(matches!(get("same.csv"), FileComparison::Match { .. }));
         assert_eq!(get("only_left.csv"), FileComparison::OnlyLeft);

@@ -22,6 +22,7 @@ use crate::workloads::Scale;
 use super::FigureContext;
 
 /// Least-squares slope of `ln y` against `ln x`.
+#[must_use]
 pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {
     let n = points.len() as f64;
     let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
@@ -148,7 +149,7 @@ mod tests {
             };
             let t_sw = {
                 let s = std::time::Instant::now();
-                let sorted = sims.clone().into_sorted();
+                let sorted = sims.into_sorted();
                 let _ = sweep(&g, &sorted, SweepConfig::default());
                 s.elapsed().as_secs_f64()
             };

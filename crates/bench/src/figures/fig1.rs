@@ -17,6 +17,10 @@ use crate::table::{fmt_f64, Table};
 use super::FigureContext;
 
 /// Builds the K₂,₄ example graph (hubs 0, 1; leaves 2–5; unit weights).
+/// # Panics
+///
+/// Never panics in practice: the edge list is a fixed, valid literal.
+#[must_use]
 pub fn example_graph() -> WeightedGraph {
     GraphBuilder::from_edges(
         6,
@@ -40,6 +44,12 @@ pub fn example_graph() -> WeightedGraph {
 /// # Errors
 ///
 /// Propagates CSV-write failures.
+///
+/// # Panics
+///
+/// Panics if the computed pair counts diverge from the paper's
+/// `K1 = 7 < K2 = 16 < K3 = 28` — the figure is only worth emitting if
+/// the reproduction matches.
 pub fn run(ctx: &FigureContext) -> io::Result<()> {
     let g = example_graph();
     let s = GraphStats::compute(&g);

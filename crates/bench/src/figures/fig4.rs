@@ -152,7 +152,7 @@ mod tests {
         };
         let t_sweep = {
             let start = std::time::Instant::now();
-            let sorted = sims.clone().into_sorted();
+            let sorted = sims.into_sorted();
             let _ = sweep(&g, &sorted, SweepConfig::default());
             start.elapsed()
         };

@@ -17,6 +17,7 @@ use super::FigureContext;
 /// The coarse configuration for a workload graph, mirroring §VII-B:
 /// γ = 2, φ = 100 (clamped for small graphs), δ₀ scaled to the
 /// workload's K₂ like the paper's {100…10000} track its graph sizes.
+#[must_use]
 pub fn coarse_config_for(g: &WeightedGraph, k2: u64) -> CoarseConfig {
     CoarseConfig {
         gamma: 2.0,

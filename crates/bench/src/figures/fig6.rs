@@ -31,7 +31,7 @@ const FIG6_ALPHAS: [f64; 4] = [0.0005, 0.001, 0.005, 0.01];
 /// Propagates CSV-write failures.
 pub fn run_fig6_1(ctx: &FigureContext) -> io::Result<()> {
     let runs = ctx.scale().timing_runs();
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut t = Table::new(
         &format!("Fig. 6(1): initialization speedup ({cores} hardware cores)"),
         &["alpha", "threads", "time_s", "speedup"],
@@ -63,7 +63,7 @@ pub fn run_fig6_1(ctx: &FigureContext) -> io::Result<()> {
 /// Propagates CSV-write failures.
 pub fn run_fig6_2(ctx: &FigureContext) -> io::Result<()> {
     let runs = ctx.scale().timing_runs();
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut t = Table::new(
         &format!("Fig. 6(2): coarse-sweep speedup ({cores} hardware cores)"),
         &["alpha", "threads", "time_s", "speedup"],

@@ -37,6 +37,7 @@ pub struct FigureContext {
 
 impl FigureContext {
     /// Creates a context writing CSVs under `out_dir`.
+    #[must_use]
     pub fn new(scale: Scale, out_dir: PathBuf) -> Self {
         FigureContext { scale, out_dir, workload: std::cell::OnceCell::new() }
     }

@@ -140,6 +140,7 @@ pub fn write_plot_scripts(dir: &Path) -> io::Result<()> {
 }
 
 /// The number of plot scripts [`write_plot_scripts`] generates.
+#[must_use]
 pub fn plot_count() -> usize {
     PLOTS.len()
 }
@@ -167,7 +168,7 @@ mod tests {
         write_plot_scripts(&dir).unwrap();
         let count = std::fs::read_dir(&dir)
             .unwrap()
-            .filter(|e| e.as_ref().unwrap().path().extension().map(|x| x == "gp").unwrap_or(false))
+            .filter(|e| e.as_ref().unwrap().path().extension().is_some_and(|x| x == "gp"))
             .count();
         assert_eq!(count, plot_count());
         let _ = std::fs::remove_dir_all(dir);

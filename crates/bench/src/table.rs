@@ -26,6 +26,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
+    #[must_use]
     pub fn new(title: &str, headers: &[&str]) -> Self {
         Table {
             title: title.to_owned(),
@@ -45,11 +46,13 @@ impl Table {
     }
 
     /// Number of data rows.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.rows.len()
     }
 
     /// Returns `true` if the table has no data rows.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
@@ -78,6 +81,7 @@ impl Table {
 
     /// Serializes the table as CSV (headers + rows; cells containing
     /// commas or quotes are quoted).
+    #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         let esc = |c: &String| -> String {
@@ -120,6 +124,7 @@ impl Table {
 }
 
 /// Formats a float with `digits` significant decimals, trimming noise.
+#[must_use]
 pub fn fmt_f64(v: f64, digits: usize) -> String {
     format!("{v:.digits$}")
 }

@@ -30,13 +30,17 @@ pub struct EventLog {
 
 impl EventLog {
     /// Creates an empty log.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
     /// A snapshot of the events recorded so far.
+    ///
+    /// The log recovers from a poisoned mutex (a panicking worker must
+    /// not take the measurement log down with it), so this never panics.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().expect("event log lock").clone()
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
     }
 
     /// Total nanoseconds recorded for `phase`.
@@ -66,7 +70,7 @@ impl EventLog {
     }
 
     fn push(&self, event: Event) {
-        self.events.lock().expect("event log lock").push(event);
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(event);
     }
 }
 

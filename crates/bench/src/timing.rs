@@ -24,6 +24,7 @@ pub struct TimingStats {
 
 impl TimingStats {
     /// Mean duration in (fractional) seconds.
+    #[must_use]
     pub fn mean_secs(&self) -> f64 {
         self.mean.as_secs_f64()
     }
@@ -53,6 +54,7 @@ pub fn time_runs<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, TimingStats) {
 }
 
 /// Formats a duration with adaptive precision (µs/ms/s).
+#[must_use]
 pub fn format_duration(d: Duration) -> String {
     let s = d.as_secs_f64();
     if s < 0.001 {

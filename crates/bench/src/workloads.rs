@@ -39,6 +39,7 @@ pub enum Scale {
 
 impl Scale {
     /// Parses `small` / `medium` / `full`.
+    #[must_use]
     pub fn parse(s: &str) -> Option<Scale> {
         match s {
             "small" => Some(Scale::Small),
@@ -49,6 +50,7 @@ impl Scale {
     }
 
     /// The corpus generator configuration for this scale.
+    #[must_use]
     pub fn corpus_config(self) -> SynthCorpusConfig {
         match self {
             Scale::Small => SynthCorpusConfig {
@@ -76,6 +78,7 @@ impl Scale {
     }
 
     /// The notional candidate-pool size: α × pool = words kept.
+    #[must_use]
     pub fn candidate_pool(self) -> f64 {
         match self {
             Scale::Small => 40_000.0,
@@ -85,6 +88,7 @@ impl Scale {
     }
 
     /// Number of words kept for a given α at this scale.
+    #[must_use]
     pub fn words_for_alpha(self, alpha: f64) -> usize {
         ((alpha * self.candidate_pool()).round() as usize).max(3)
     }
@@ -92,6 +96,7 @@ impl Scale {
     /// Maximum edge count for which the O(|E|²) standard baseline is
     /// attempted (the similarity matrix is `8·|E|²` bytes; the paper hit
     /// the same wall at α > 0.001 on a 64 GB machine).
+    #[must_use]
     pub fn nbm_edge_cap(self) -> usize {
         match self {
             Scale::Small => 4_000,
@@ -101,6 +106,7 @@ impl Scale {
     }
 
     /// Number of timed repetitions per measurement (the paper uses 10).
+    #[must_use]
     pub fn timing_runs(self) -> usize {
         match self {
             Scale::Small => 2,
@@ -118,16 +124,19 @@ pub struct Workload {
 
 impl Workload {
     /// Generates the corpus for `scale` (deterministic).
+    #[must_use]
     pub fn generate(scale: Scale) -> Self {
         Workload { scale, corpus: SynthCorpus::generate(&scale.corpus_config()) }
     }
 
     /// The scale preset.
+    #[must_use]
     pub fn scale(&self) -> Scale {
         self.scale
     }
 
     /// The underlying synthetic corpus.
+    #[must_use]
     pub fn corpus(&self) -> &SynthCorpus {
         &self.corpus
     }
@@ -137,6 +146,7 @@ impl Workload {
     /// # Panics
     ///
     /// Panics if the corpus unexpectedly yields no candidate words.
+    #[must_use]
     pub fn graph_for_alpha(&self, alpha: f64) -> WeightedGraph {
         let n = self.scale.words_for_alpha(alpha);
         AssocNetworkBuilder::new()
@@ -148,6 +158,7 @@ impl Workload {
     }
 
     /// Builds graphs for every α of the paper's sweep.
+    #[must_use]
     pub fn alpha_graphs(&self) -> Vec<(f64, WeightedGraph)> {
         ALPHAS.iter().map(|&a| (a, self.graph_for_alpha(a))).collect()
     }

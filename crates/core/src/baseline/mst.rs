@@ -37,17 +37,26 @@ pub struct MstClustering {
 
 impl MstClustering {
     /// Creates the baseline (no threshold: all incident pairs processed).
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Stops once pair similarities drop below `theta`.
+    #[must_use]
     pub fn min_similarity(mut self, theta: f64) -> Self {
         self.min_similarity = Some(theta);
         self
     }
 
     /// Runs Kruskal over the expanded incident-pair list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sims` lists a common neighbor that has no edge to both
+    /// endpoints in `g`, i.e. if the similarities were computed over a
+    /// different graph.
+    #[must_use]
     pub fn run(&self, g: &WeightedGraph, sims: &PairSimilarities) -> Dendrogram {
         let n = g.edge_count();
         // Expand every (vertex pair, common neighbor) into an edge pair.
@@ -61,11 +70,7 @@ impl MstClustering {
                 arcs.push((entry.score, e1.index() as u32, e2.index() as u32));
             }
         }
-        arcs.sort_unstable_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .expect("similarity scores are never NaN")
-                .then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
-        });
+        arcs.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then_with(|| (a.1, a.2).cmp(&(b.1, b.2))));
 
         let mut uf = UnionFind::new(n);
         let mut merges = Vec::new();

@@ -46,12 +46,14 @@ impl NbmClustering {
     /// Creates the baseline with the default stop threshold (merges only
     /// strictly positive similarities, matching the sweep's final
     /// partition).
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Stops merging when the best available similarity drops below
     /// `theta`.
+    #[must_use]
     pub fn min_similarity(mut self, theta: f64) -> Self {
         self.min_similarity = theta;
         self
@@ -64,6 +66,7 @@ impl NbmClustering {
     ///
     /// Panics if `sims` references vertices without a connecting edge in
     /// `g`.
+    #[must_use]
     pub fn run(&self, g: &WeightedGraph, sims: &PairSimilarities) -> Dendrogram {
         let n = g.edge_count();
         if n == 0 {

@@ -45,6 +45,7 @@ pub struct MergeOutcome {
 
 impl ClusterArray {
     /// Creates `C` with every edge in its own cluster (`C[i] = i`).
+    #[must_use]
     pub fn new(n: usize) -> Self {
         ClusterArray { c: (0..n as u32).collect(), clusters: n, changes: 0 }
     }
@@ -56,6 +57,7 @@ impl ClusterArray {
     /// # Panics
     ///
     /// Panics if any `c[i] > i` (chains must descend).
+    #[must_use]
     pub fn from_parents(c: Vec<u32>) -> Self {
         for (i, &p) in c.iter().enumerate() {
             assert!(p as usize <= i, "C[{i}] = {p} violates the descending-chain invariant");
@@ -65,11 +67,13 @@ impl ClusterArray {
     }
 
     /// Number of edges (the array length).
+    #[must_use]
     pub fn len(&self) -> usize {
         self.c.len()
     }
 
     /// Returns `true` if the array is empty.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.c.is_empty()
     }
@@ -80,6 +84,7 @@ impl ClusterArray {
     ///
     /// Panics if `i` is out of bounds.
     #[inline]
+    #[must_use]
     pub fn parent(&self, i: usize) -> u32 {
         self.c[i]
     }
@@ -112,6 +117,7 @@ impl ClusterArray {
 
     /// The chain `F(i)` of Eq. 4: `i, C[i], C[C[i]], …` down to the
     /// self-pointing root (inclusive).
+    #[must_use]
     pub fn chain(&self, i: usize) -> Vec<u32> {
         let mut out = vec![i as u32];
         let mut cur = i;
@@ -124,6 +130,7 @@ impl ClusterArray {
 
     /// The cluster id of edge `i`: `min F(i)`, i.e. the chain's root
     /// (Theorem 1).
+    #[must_use]
     pub fn root_of(&self, i: usize) -> u32 {
         let mut cur = i;
         while self.c[cur] as usize != cur {
@@ -161,22 +168,26 @@ impl ClusterArray {
 
     /// The current number of clusters (maintained incrementally by
     /// [`merge`](Self::merge)).
+    #[must_use]
     pub fn cluster_count(&self) -> usize {
         self.clusters
     }
 
     /// Recounts clusters by scanning for self-pointing roots — the
     /// paper's "use array C to calculate the current number of clusters".
+    #[must_use]
     pub fn count_roots(&self) -> usize {
         self.c.iter().enumerate().filter(|&(i, &p)| p as usize == i).count()
     }
 
     /// Resolves every edge to its cluster root.
+    #[must_use]
     pub fn assignments(&self) -> Vec<u32> {
         (0..self.len()).map(|i| self.root_of(i)).collect()
     }
 
     /// Total number of element writes to `C` so far (backs Fig. 2(1)).
+    #[must_use]
     pub fn changes(&self) -> u64 {
         self.changes
     }
@@ -187,6 +198,7 @@ impl ClusterArray {
     }
 
     /// The raw parent vector.
+    #[must_use]
     pub fn parents(&self) -> &[u32] {
         &self.c
     }
@@ -207,6 +219,7 @@ impl ClusterArray {
 /// Panics if the arrays have different lengths or `coarser` is not a
 /// coarsening of `finer` (two edges sharing a cluster in `finer` must
 /// share one in `coarser`).
+#[must_use]
 pub fn partition_diff(finer: &ClusterArray, coarser: &ClusterArray) -> Vec<MergeOutcome> {
     assert_eq!(finer.len(), coarser.len(), "partitions must cover the same edges");
     let mut groups: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
@@ -315,7 +328,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "descending-chain")]
     fn from_parents_rejects_ascending() {
-        ClusterArray::from_parents(vec![1, 1]);
+        let _ = ClusterArray::from_parents(vec![1, 1]);
     }
 
     #[test]
@@ -370,7 +383,7 @@ mod tests {
         a.merge(0, 1);
         let mut b = ClusterArray::new(3);
         b.merge(1, 2);
-        partition_diff(&a, &b);
+        let _ = partition_diff(&a, &b);
     }
 
     #[test]

@@ -33,17 +33,17 @@ pub(crate) struct RollbackList {
 }
 
 impl RollbackList {
-    pub fn new(capacity: usize) -> Self {
+    pub(super) fn new(capacity: usize) -> Self {
         RollbackList { states: Vec::new(), capacity: capacity.max(1) }
     }
 
     #[cfg(test)]
-    pub fn len(&self) -> usize {
+    pub(super) fn len(&self) -> usize {
         self.states.len()
     }
 
     /// Saves an overshot state, evicting the oldest if at capacity.
-    pub fn push(&mut self, state: SavedEpoch) {
+    pub(super) fn push(&mut self, state: SavedEpoch) {
         if self.states.len() == self.capacity {
             self.states.remove(0);
         }
@@ -54,7 +54,7 @@ impl RollbackList {
     /// level (β̃ < β) whose jump respects the soundness bound
     /// (β/β̃ ≤ γ), returns the one with the **fewest** clusters (the
     /// furthest admissible jump). The state is removed from the list.
-    pub fn take_reusable(&mut self, beta: usize, gamma: f64) -> Option<SavedEpoch> {
+    pub(super) fn take_reusable(&mut self, beta: usize, gamma: f64) -> Option<SavedEpoch> {
         let idx = self
             .states
             .iter()
@@ -67,13 +67,13 @@ impl RollbackList {
 
     /// Eq.-6 tail reference: the state *closest ahead* of the current
     /// level — β̃(s) < β and β̃(s) maximal among those. Not removed.
-    pub fn tail_reference(&self, beta: usize) -> Option<&SavedEpoch> {
+    pub(super) fn tail_reference(&self, beta: usize) -> Option<&SavedEpoch> {
         self.states.iter().filter(|s| s.clusters < beta).max_by_key(|s| s.clusters)
     }
 
     /// Drops states that are no longer ahead of the current level
     /// (β̃ ≥ β): they can never be reused or referenced again.
-    pub fn prune(&mut self, beta: usize) {
+    pub(super) fn prune(&mut self, beta: usize) {
         self.states.retain(|s| s.clusters < beta);
     }
 }

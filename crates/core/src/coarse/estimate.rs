@@ -35,6 +35,7 @@ pub struct CurvePoint {
 /// # Panics
 ///
 /// Panics if `history` is empty or `gamma_tilde < 1`.
+#[must_use]
 pub fn estimate_chunk(
     reference: Option<CurvePoint>,
     history: &[CurvePoint],
@@ -50,7 +51,7 @@ pub fn estimate_chunk(
         if r.pairs > current.pairs && r.clusters < current.clusters {
             let s = (r.clusters as f64 - current.clusters as f64)
                 / (r.pairs as f64 - current.pairs as f64);
-            slope = steeper(slope, s);
+            slope = Some(steeper(slope, s));
         }
     }
     if history.len() >= 2 {
@@ -58,7 +59,7 @@ pub fn estimate_chunk(
         if current.pairs > prev.pairs && current.clusters < prev.clusters {
             let s = (current.clusters as f64 - prev.clusters as f64)
                 / (current.pairs as f64 - prev.pairs as f64);
-            slope = steeper(slope, s);
+            slope = Some(steeper(slope, s));
         }
     }
     let s = slope?;
@@ -69,10 +70,10 @@ pub fn estimate_chunk(
 
 /// The steeper (more negative) of an optional current slope and a new
 /// candidate.
-fn steeper(current: Option<f64>, candidate: f64) -> Option<f64> {
+fn steeper(current: Option<f64>, candidate: f64) -> f64 {
     match current {
-        Some(c) if c <= candidate => Some(c),
-        _ => Some(candidate),
+        Some(c) if c <= candidate => c,
+        _ => candidate,
     }
 }
 

@@ -57,18 +57,21 @@ pub struct EpochOutcome {
 
 impl EpochOutcome {
     /// Predicate C1: `β′ ≤ |E|/2` (the epoch lands in tail territory).
+    #[must_use]
     pub fn c1(&self) -> bool {
         self.clusters_after <= self.edges / 2
     }
 
     /// Predicate C2 with bound `gamma`: `β/β′ ≤ γ` (merge rate is
     /// sound).
+    #[must_use]
     pub fn c2(&self, gamma: f64) -> bool {
         self.clusters_before as f64 / self.clusters_after.max(1) as f64 <= gamma
     }
 
     /// Predicate C3 with floor `phi`: `β′ ≤ φ` (few enough clusters to
     /// stop).
+    #[must_use]
     pub fn c3(&self, phi: usize) -> bool {
         self.clusters_after <= phi
     }
@@ -76,6 +79,7 @@ impl EpochOutcome {
 
 /// Evaluates the transition for an epoch outcome — the decision diamond
 /// of Fig. 2(3).
+#[must_use]
 pub fn transition(outcome: EpochOutcome, gamma: f64, phi: usize) -> Transition {
     if !outcome.c2(gamma) && !outcome.forced {
         return Transition::Rollback;

@@ -92,6 +92,7 @@ impl CoarseConfig {
     /// let cfg = CoarseConfig::auto_tuned(&g, &sims);
     /// assert!(cfg.phi <= 100 && cfg.initial_chunk >= 8);
     /// ```
+    #[must_use]
     pub fn auto_tuned(g: &WeightedGraph, sims: &PairSimilarities) -> Self {
         CoarseConfig {
             phi: 100.min((g.edge_count() / 4).max(1)),
@@ -117,6 +118,7 @@ impl CoarseConfig {
     /// );
     /// # Ok::<(), ConfigError>(())
     /// ```
+    #[must_use]
     pub fn builder() -> CoarseConfigBuilder {
         CoarseConfigBuilder { cfg: CoarseConfig::default() }
     }
@@ -149,36 +151,42 @@ pub struct CoarseConfigBuilder {
 
 impl CoarseConfigBuilder {
     /// Sets the soundness bound γ.
+    #[must_use]
     pub fn gamma(mut self, gamma: f64) -> Self {
         self.cfg.gamma = gamma;
         self
     }
 
     /// Sets the terminal cluster count φ.
+    #[must_use]
     pub fn phi(mut self, phi: usize) -> Self {
         self.cfg.phi = phi;
         self
     }
 
     /// Sets the initial chunk size δ₀.
+    #[must_use]
     pub fn initial_chunk(mut self, initial_chunk: u64) -> Self {
         self.cfg.initial_chunk = initial_chunk;
         self
     }
 
     /// Sets the initial head-mode growth factor η₀.
+    #[must_use]
     pub fn eta0(mut self, eta0: f64) -> Self {
         self.cfg.eta0 = eta0;
         self
     }
 
     /// Sets the edge-to-slot assignment.
+    #[must_use]
     pub fn edge_order(mut self, edge_order: EdgeOrder) -> Self {
         self.cfg.edge_order = edge_order;
         self
     }
 
     /// Sets the cap on saved rollback states.
+    #[must_use]
     pub fn max_rollback_states(mut self, n: usize) -> Self {
         self.cfg.max_rollback_states = n;
         self
@@ -265,39 +273,46 @@ pub struct CoarseResult {
 
 impl CoarseResult {
     /// The dendrogram plus edge-to-slot permutation.
+    #[must_use]
     pub fn output(&self) -> &SweepOutput {
         &self.output
     }
 
     /// The telemetry report, when the run collected stats (facades with
     /// `.stats(true)`); `None` otherwise.
+    #[must_use]
     pub fn report(&self) -> Option<&RunReport> {
         self.report.as_ref()
     }
 
     /// Attaches a telemetry report (used by the facades after a
     /// stats-collecting run).
+    #[must_use]
     pub fn with_report(mut self, report: RunReport) -> Self {
         self.report = Some(report);
         self
     }
 
     /// The coarse dendrogram (merges share levels chunk-wise).
+    #[must_use]
     pub fn dendrogram(&self) -> &Dendrogram {
         self.output.dendrogram()
     }
 
     /// Telemetry for every epoch, in execution order.
+    #[must_use]
     pub fn epochs(&self) -> &[EpochRecord] {
         &self.epochs
     }
 
     /// The committed levels, in order.
+    #[must_use]
     pub fn levels(&self) -> &[LevelPoint] {
         &self.levels
     }
 
     /// Counts epochs per category (Fig. 5(1)).
+    #[must_use]
     pub fn epoch_breakdown(&self) -> EpochBreakdown {
         let mut b = EpochBreakdown::default();
         for e in &self.epochs {
@@ -314,6 +329,7 @@ impl CoarseResult {
     /// Fraction of the K₂ incident edge pairs that were actually
     /// processed before the φ-termination (e.g. 55.1% for α = 0.005 in
     /// §VII-B).
+    #[must_use]
     pub fn processed_fraction(&self) -> f64 {
         if self.pairs_total == 0 {
             return 0.0;
@@ -324,6 +340,7 @@ impl CoarseResult {
     /// The largest cluster-count ratio between consecutive committed
     /// levels. For a sound run this is ≤ γ except across
     /// [`forced`](EpochRecord::forced) epochs.
+    #[must_use]
     pub fn max_merge_rate(&self) -> f64 {
         let mut prev = self.output.dendrogram().edge_count() as f64;
         let mut worst: f64 = 1.0;
@@ -337,6 +354,7 @@ impl CoarseResult {
 
     /// Like [`max_merge_rate`](Self::max_merge_rate) but skipping levels
     /// committed by forced (indivisible single-entry) epochs.
+    #[must_use]
     pub fn max_unforced_merge_rate(&self) -> f64 {
         let forced: std::collections::HashSet<u32> =
             self.epochs.iter().filter(|e| e.forced).filter_map(|e| e.level).collect();
@@ -379,6 +397,10 @@ pub trait ChunkProcessor {
 pub struct SerialChunkProcessor;
 
 impl ChunkProcessor for SerialChunkProcessor {
+    /// # Panics
+    ///
+    /// Panics if an entry lists a common neighbor with no edge to both
+    /// endpoints in `g` — the entries must have been computed over `g`.
     fn process_entries(
         &mut self,
         g: &WeightedGraph,
@@ -676,8 +698,12 @@ pub fn coarse_sweep_instrumented<P: ChunkProcessor>(
     telemetry.add(Counter::MergesApplied, merges.len() as u64);
     telemetry.add(Counter::LevelsCommitted, levels.len() as u64);
     telemetry.add(Counter::PairsProcessed, xi);
+    crate::invariants::debug_check_cluster_array(&c);
+    crate::invariants::debug_check_level_points(&levels);
+    let dendrogram = Dendrogram::from_merges(m, merges);
+    crate::invariants::debug_check_dendrogram(&dendrogram);
     CoarseResult {
-        output: SweepOutput::new(Dendrogram::from_merges(m, merges), slot_of_edge),
+        output: SweepOutput::new(dendrogram, slot_of_edge),
         epochs,
         levels,
         pairs_total,

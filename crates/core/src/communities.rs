@@ -55,17 +55,20 @@ pub struct Community {
 
 impl Community {
     /// Number of member edges (`m_c`).
+    #[must_use]
     pub fn edge_count(&self) -> usize {
         self.edges.len()
     }
 
     /// Number of induced vertices (`n_c`).
+    #[must_use]
     pub fn vertex_count(&self) -> usize {
         self.vertices.len()
     }
 
     /// The community's link density `(m_c − (n_c−1)) / ((n_c−2)(n_c−1)/2)`
     /// (the `D_c` of partition density), or 0 for trivial communities.
+    #[must_use]
     pub fn link_density(&self) -> f64 {
         let (m, n) = (self.edge_count() as f64, self.vertex_count() as f64);
         if self.vertex_count() <= 2 {
@@ -86,6 +89,7 @@ impl LinkCommunities {
     /// # Panics
     ///
     /// Panics if `labels.len() != g.edge_count()`.
+    #[must_use]
     pub fn from_edge_labels(g: &WeightedGraph, labels: &[u32]) -> Self {
         assert_eq!(labels.len(), g.edge_count(), "one label per edge required");
         let mut by_label: HashMap<u32, Vec<EdgeId>> = HashMap::new();
@@ -124,16 +128,19 @@ impl LinkCommunities {
     }
 
     /// Number of communities.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.communities.len()
     }
 
     /// Returns `true` if there are no communities (edgeless graph).
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.communities.is_empty()
     }
 
     /// The communities, largest (by edge count) first.
+    #[must_use]
     pub fn communities(&self) -> &[Community] {
         &self.communities
     }
@@ -144,6 +151,7 @@ impl LinkCommunities {
     /// # Panics
     ///
     /// Panics if `v` is out of bounds.
+    #[must_use]
     pub fn communities_of(&self, v: VertexId) -> &[u32] {
         &self.membership[v.index()]
     }
@@ -153,11 +161,13 @@ impl LinkCommunities {
     /// # Panics
     ///
     /// Panics if `e` is out of bounds.
+    #[must_use]
     pub fn community_of_edge(&self, e: EdgeId) -> u32 {
         self.community_of_edge[e.index()]
     }
 
     /// Vertices belonging to more than one community, in id order.
+    #[must_use]
     pub fn overlap_vertices(&self) -> Vec<VertexId> {
         self.membership
             .iter()

@@ -55,6 +55,7 @@ impl Dendrogram {
     ///
     /// Panics if levels are not non-decreasing or a merge references an
     /// out-of-range edge index.
+    #[must_use]
     pub fn from_merges(edge_count: usize, merges: Vec<MergeRecord>) -> Self {
         let mut prev = 0;
         for m in &merges {
@@ -70,26 +71,31 @@ impl Dendrogram {
     }
 
     /// Number of edges being clustered.
+    #[must_use]
     pub fn edge_count(&self) -> usize {
         self.edge_count
     }
 
     /// Number of merge events.
+    #[must_use]
     pub fn merge_count(&self) -> u64 {
         self.merges.len() as u64
     }
 
     /// The merge events, in order.
+    #[must_use]
     pub fn merges(&self) -> &[MergeRecord] {
         &self.merges
     }
 
     /// The highest level (0 if no merges happened).
+    #[must_use]
     pub fn levels(&self) -> u32 {
         self.merges.last().map_or(0, |m| m.level)
     }
 
     /// Cluster count after all merges: `|E| −` number of merges.
+    #[must_use]
     pub fn final_cluster_count(&self) -> usize {
         self.edge_count - self.merges.len()
     }
@@ -97,6 +103,7 @@ impl Dendrogram {
     /// Edge-cluster assignments after replaying merges up to and
     /// including `level`. Labels follow the paper's convention: a
     /// cluster is named after its smallest edge index.
+    #[must_use]
     pub fn assignments_at_level(&self, level: u32) -> Vec<u32> {
         let mut uf = UnionFind::new(self.edge_count);
         for m in &self.merges {
@@ -109,11 +116,13 @@ impl Dendrogram {
     }
 
     /// Edge-cluster assignments after all merges.
+    #[must_use]
     pub fn final_assignments(&self) -> Vec<u32> {
         self.assignments_at_level(u32::MAX)
     }
 
     /// Cluster count after replaying merges up to and including `level`.
+    #[must_use]
     pub fn cluster_count_at_level(&self, level: u32) -> usize {
         let merged = self.merges.iter().take_while(|m| m.level <= level).count();
         self.edge_count - merged
@@ -121,6 +130,7 @@ impl Dendrogram {
 
     /// For every distinct level, the cluster count after completing that
     /// level — the curve of Fig. 2(2).
+    #[must_use]
     pub fn cluster_counts_per_level(&self) -> Vec<(u32, usize)> {
         let mut out = Vec::new();
         let mut remaining = self.edge_count;
@@ -144,6 +154,7 @@ impl Dendrogram {
     /// # Panics
     ///
     /// Panics if `g` does not have exactly `edge_count` edges.
+    #[must_use]
     pub fn best_density_cut(&self, g: &WeightedGraph) -> Option<DensityCut> {
         assert_eq!(g.edge_count(), self.edge_count, "dendrogram does not match graph");
         if self.edge_count == 0 {
@@ -226,6 +237,7 @@ fn density_term(m_c: u64, n_c: usize) -> f64 {
 /// # Panics
 ///
 /// Panics if `labels.len() != g.edge_count()`.
+#[must_use]
 pub fn partition_density(g: &WeightedGraph, labels: &[u32]) -> f64 {
     assert_eq!(labels.len(), g.edge_count(), "one label per edge required");
     if labels.is_empty() {
@@ -281,7 +293,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-decreasing")]
     fn rejects_decreasing_levels() {
-        Dendrogram::from_merges(3, vec![rec(2, 0, 1), rec(1, 1, 2)]);
+        let _ = Dendrogram::from_merges(3, vec![rec(2, 0, 1), rec(1, 1, 2)]);
     }
 
     #[test]

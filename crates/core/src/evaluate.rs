@@ -31,6 +31,7 @@ impl Contingency {
     /// # Panics
     ///
     /// Panics if the labellings have different lengths.
+    #[must_use]
     pub fn new(a: &[u32], b: &[u32]) -> Self {
         assert_eq!(a.len(), b.len(), "labellings must cover the same items");
         let mut cells: HashMap<(u32, u32), u64> = HashMap::new();
@@ -45,16 +46,19 @@ impl Contingency {
     }
 
     /// Number of items.
+    #[must_use]
     pub fn item_count(&self) -> u64 {
         self.n
     }
 
     /// Number of clusters in the first labelling.
+    #[must_use]
     pub fn cluster_count_a(&self) -> usize {
         self.rows.len()
     }
 
     /// Number of clusters in the second labelling.
+    #[must_use]
     pub fn cluster_count_b(&self) -> usize {
         self.cols.len()
     }
@@ -76,6 +80,7 @@ fn choose2(x: u64) -> f64 {
 /// assert_eq!(rand_index(&[0, 0, 1, 1], &[5, 5, 9, 9]), 1.0);
 /// assert!(rand_index(&[0, 0, 1, 1], &[0, 1, 0, 1]) < 0.5);
 /// ```
+#[must_use]
 pub fn rand_index(a: &[u32], b: &[u32]) -> f64 {
     let t = Contingency::new(a, b);
     if t.n < 2 {
@@ -93,6 +98,7 @@ pub fn rand_index(a: &[u32], b: &[u32]) -> f64 {
 
 /// The adjusted Rand index (Hubert & Arabie): Rand index corrected for
 /// chance; 1.0 for identical partitions, ~0 for independent ones.
+#[must_use]
 pub fn adjusted_rand_index(a: &[u32], b: &[u32]) -> f64 {
     let t = Contingency::new(a, b);
     if t.n < 2 {
@@ -114,6 +120,7 @@ pub fn adjusted_rand_index(a: &[u32], b: &[u32]) -> f64 {
 /// `NMI = 2·I(A;B) / (H(A) + H(B))`; 1.0 for identical partitions, 0 for
 /// independent ones. Returns 1.0 when both partitions are trivial (a
 /// single cluster each).
+#[must_use]
 pub fn normalized_mutual_information(a: &[u32], b: &[u32]) -> f64 {
     let t = Contingency::new(a, b);
     if t.n == 0 {
@@ -155,6 +162,7 @@ pub fn normalized_mutual_information(a: &[u32], b: &[u32]) -> f64 {
 ///
 /// Panics if a community references a vertex `≥ n`, or if either cover
 /// is empty while the other is not... (both empty ⇒ 1.0).
+#[must_use]
 pub fn overlapping_nmi(x: &[Vec<u32>], y: &[Vec<u32>], n: usize) -> f64 {
     if x.is_empty() && y.is_empty() {
         return 1.0;
@@ -324,7 +332,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "same items")]
     fn rejects_length_mismatch() {
-        Contingency::new(&[0], &[0, 1]);
+        let _ = Contingency::new(&[0], &[0, 1]);
     }
 
     #[test]
@@ -391,7 +399,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of cover range")]
     fn overlapping_nmi_rejects_out_of_range() {
-        overlapping_nmi(&[vec![10]], &[vec![0]], 5);
+        let _ = overlapping_nmi(&[vec![10]], &[vec![0]], 5);
     }
 
     #[test]

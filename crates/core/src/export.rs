@@ -26,6 +26,13 @@ use crate::dendrogram::Dendrogram;
 /// assert!(newick.starts_with('(') && newick.ends_with(';'));
 /// assert!(newick.contains("e2"));
 /// ```
+///
+/// # Panics
+///
+/// Panics if `d` merges a cluster that is no longer live (merged twice
+/// without an intervening merge re-creating it); dendrograms produced by
+/// this crate's sweeps never do.
+#[must_use]
 pub fn to_newick(d: &Dendrogram) -> String {
     let n = d.edge_count();
     if n == 0 {
@@ -39,8 +46,8 @@ pub fn to_newick(d: &Dendrogram) -> String {
         expr[m.into as usize] = Some(format!("({left},{right}):{}", m.level));
     }
     let mut roots: Vec<String> = expr.into_iter().flatten().collect();
-    if roots.len() == 1 {
-        format!("{};", roots.pop().expect("one root"))
+    if let [root] = roots.as_mut_slice() {
+        format!("{};", std::mem::take(root))
     } else {
         format!("({});", roots.join(","))
     }
@@ -65,6 +72,13 @@ pub fn to_newick(d: &Dendrogram) -> String {
 /// assert!(tree.contains("[level 2]"));
 /// assert!(tree.contains("e0"));
 /// ```
+///
+/// # Panics
+///
+/// Panics if `d` merges a cluster that is no longer live (merged twice
+/// without an intervening merge re-creating it); dendrograms produced by
+/// this crate's sweeps never do.
+#[must_use]
 pub fn to_ascii_tree(d: &Dendrogram) -> String {
     #[derive(Clone)]
     enum Node {
@@ -121,6 +135,7 @@ pub fn to_ascii_tree(d: &Dendrogram) -> String {
 }
 
 /// Renders the merge list as CSV (`level,left,right,into`).
+#[must_use]
 pub fn to_merge_csv(d: &Dendrogram) -> String {
     let mut out = String::from("level,left,right,into\n");
     for m in d.merges() {

@@ -59,6 +59,7 @@ struct PairState {
 
 impl IncrementalSimilarities {
     /// Creates the state for an edgeless graph on `n` vertices.
+    #[must_use]
     pub fn new(n: usize) -> Self {
         IncrementalSimilarities {
             adj: vec![Vec::new(); n],
@@ -71,6 +72,13 @@ impl IncrementalSimilarities {
 
     /// Builds the state from an existing graph (batch initialization,
     /// then ready for incremental updates).
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: a built [`WeightedGraph`] has in-range
+    /// endpoints, no duplicate edges, and positive weights, which is
+    /// exactly what [`IncrementalSimilarities::add_edge`] requires.
+    #[must_use]
     pub fn from_graph(g: &WeightedGraph) -> Self {
         let mut inc = Self::new(g.vertex_count());
         for (_, e) in g.edges() {
@@ -81,11 +89,13 @@ impl IncrementalSimilarities {
     }
 
     /// Number of vertices.
+    #[must_use]
     pub fn vertex_count(&self) -> usize {
         self.adj.len()
     }
 
     /// Number of edges currently present.
+    #[must_use]
     pub fn edge_count(&self) -> usize {
         self.edge_count
     }
@@ -100,6 +110,7 @@ impl IncrementalSimilarities {
     }
 
     /// The current weight of edge `{u, v}`, if present.
+    #[must_use]
     pub fn weight_between(&self, u: VertexId, v: VertexId) -> Option<f64> {
         let list = self.adj.get(u.index())?;
         list.binary_search_by_key(&(u32::from(v)), |&(n, _)| n).ok().map(|i| list[i].1)
@@ -180,6 +191,12 @@ impl IncrementalSimilarities {
     /// For every current neighbor `x` of `hub`, credit or debit the pair
     /// `{other, x}` with the product `w · w(hub, x)` and the common
     /// neighbor `hub`.
+    ///
+    /// # Panics
+    ///
+    /// In debit mode, panics if the pair map has no entry for a pair the
+    /// adjacency lists imply — the two structures are maintained in
+    /// lockstep, so this indicates internal corruption.
     fn touch_pairs_through(&mut self, hub: VertexId, other: VertexId, w: f64, add: bool) {
         let hub_u32 = u32::from(hub);
         let other_u32 = u32::from(other);
@@ -213,6 +230,7 @@ impl IncrementalSimilarities {
     /// Snapshot: materializes the current [`PairSimilarities`] (unsorted;
     /// call [`into_sorted`](PairSimilarities::into_sorted) before
     /// sweeping). Scores are computed lazily from the maintained state.
+    #[must_use]
     pub fn similarities(&self) -> PairSimilarities {
         let h = |i: usize| -> (f64, f64) {
             let d = self.adj[i].len();
@@ -251,6 +269,12 @@ impl IncrementalSimilarities {
 
     /// Materializes the current graph as an immutable [`WeightedGraph`]
     /// (edge ids follow sorted `(u, v)` order, not insertion history).
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: the internal adjacency is kept
+    /// symmetric and duplicate-free, which satisfies the builder.
+    #[must_use]
     pub fn to_graph(&self) -> WeightedGraph {
         let mut b = GraphBuilder::with_vertices(self.adj.len());
         for (u, nbrs) in self.adj.iter().enumerate() {

@@ -45,6 +45,7 @@ pub struct VertexNorms {
 /// Pass 1: computes `H₁` and `H₂` for the vertex range
 /// `[range.start, range.end)`. Pass the full range `0..|V|` for the
 /// serial algorithm.
+#[must_use]
 pub fn vertex_norms_range(g: &WeightedGraph, range: std::ops::Range<usize>) -> VertexNorms {
     let mut h1 = Vec::with_capacity(range.len());
     let mut h2 = Vec::with_capacity(range.len());
@@ -64,6 +65,7 @@ pub fn vertex_norms_range(g: &WeightedGraph, range: std::ops::Range<usize>) -> V
 }
 
 /// Pass 1 over the whole graph.
+#[must_use]
 pub fn vertex_norms(g: &WeightedGraph) -> VertexNorms {
     vertex_norms_range(g, 0..g.vertex_count())
 }
@@ -93,17 +95,20 @@ pub struct PairAccumulator {
 
 impl PairAccumulator {
     /// Creates an empty accumulator.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Number of distinct vertex-pair keys accumulated (K₁ once all
     /// vertices are processed).
+    #[must_use]
     pub fn len(&self) -> usize {
         self.map.len()
     }
 
     /// Returns `true` if no pairs have been accumulated.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
@@ -136,6 +141,7 @@ impl PairAccumulator {
 
     /// Converts the map into a key-sorted entry vector (deterministic
     /// order; common-neighbor lists sorted).
+    #[must_use]
     pub fn into_sorted_entries(self) -> Vec<RawPairEntry> {
         let mut entries: Vec<RawPairEntry> = self
             .map
@@ -189,6 +195,7 @@ pub fn finalize_entries(g: &WeightedGraph, norms: &VertexNorms, entries: &mut [R
 }
 
 /// Wraps finalized entries into [`PairSimilarities`].
+#[must_use]
 pub fn entries_into_similarities(entries: Vec<RawPairEntry>) -> PairSimilarities {
     PairSimilarities::from_entries(
         entries
@@ -221,6 +228,7 @@ pub fn entries_into_similarities(entries: Vec<RawPairEntry>) -> PairSimilarities
 /// assert!((sims.entries()[0].score - 1.0 / 3.0).abs() < 1e-12);
 /// # Ok::<(), linkclust_graph::GraphError>(())
 /// ```
+#[must_use]
 pub fn compute_similarities(g: &WeightedGraph) -> PairSimilarities {
     compute_similarities_with(g, &Telemetry::disabled())
 }
@@ -228,6 +236,7 @@ pub fn compute_similarities(g: &WeightedGraph) -> PairSimilarities {
 /// [`compute_similarities`] with phase-level telemetry: each pass runs
 /// under its own span ([`Phase::InitPass1`]–[`Phase::InitPass3`]) and the
 /// K₁/K₂ counters are recorded.
+#[must_use]
 pub fn compute_similarities_with(g: &WeightedGraph, telemetry: &Telemetry) -> PairSimilarities {
     let norms = {
         let _span = telemetry.span(Phase::InitPass1);

@@ -1,0 +1,393 @@
+//! Debug-build structural validators for the clustering data structures.
+//!
+//! Each `validate_*` function checks a structural invariant the rest of
+//! the crate relies on and returns a descriptive [`InvariantViolation`]
+//! on failure; the corresponding `debug_check_*` wrapper panics on
+//! violation in debug builds and compiles to nothing in release builds
+//! (the same zero-cost-when-off contract as [`crate::telemetry`]).
+//!
+//! The sweep, coarse-sweep, and parallel pipelines call the
+//! `debug_check_*` hooks at their phase boundaries, so any `cargo test`
+//! run (which builds with `debug_assertions` on) exercises the
+//! validators over every pipeline while `cargo build --release`
+//! pays nothing for them.
+//!
+//! The invariants checked:
+//!
+//! * **[`ClusterArray`] descending chains** — `C[i] ≤ i` for every slot,
+//!   every chain ends at a self-pointing root (which is therefore the
+//!   minimum of the chain), and the live-cluster counter matches the
+//!   number of roots (§V of the paper).
+//! * **[`Dendrogram`] merge replay** — levels are non-decreasing, every
+//!   merge joins two clusters that are live at that point, the survivor
+//!   is the smaller root, and the final live-cluster count equals
+//!   `leaves − merges` (leaf coverage: no leaf is dropped or merged
+//!   twice).
+//! * **Coarse level monotonicity** — committed [`LevelPoint`]s have
+//!   strictly increasing level ids, non-decreasing processed-pair counts,
+//!   and non-increasing cluster counts (§IV-B).
+
+use crate::cluster_array::ClusterArray;
+use crate::coarse::LevelPoint;
+use crate::dendrogram::Dendrogram;
+
+/// A broken structural invariant: which structure, and what went wrong.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct InvariantViolation {
+    /// The structure whose invariant failed (e.g. `"ClusterArray"`).
+    pub structure: &'static str,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} invariant violated: {}", self.structure, self.detail)
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+fn violation(structure: &'static str, detail: String) -> InvariantViolation {
+    InvariantViolation { structure, detail }
+}
+
+/// Validates the descending-chain and partition invariants of a
+/// [`ClusterArray`].
+///
+/// # Errors
+///
+/// Returns a violation if any `C[i] > i`, if a chain fails to reach a
+/// self-pointing root, or if the live-cluster counter disagrees with the
+/// number of roots.
+pub fn validate_cluster_array(c: &ClusterArray) -> Result<(), InvariantViolation> {
+    let parents = c.parents();
+    let mut roots = 0usize;
+    for (i, &p) in parents.iter().enumerate() {
+        if p as usize > i {
+            return Err(violation(
+                "ClusterArray",
+                format!("C[{i}] = {p} ascends (descending-chain invariant requires C[i] <= i)"),
+            ));
+        }
+        if p as usize == i {
+            roots += 1;
+        }
+    }
+    // Chains descend strictly until a self-pointing root, so following
+    // parents from any slot must terminate; verify and confirm the root
+    // is the chain minimum (it is the last, hence smallest, element).
+    for i in 0..parents.len() {
+        let mut cur = i;
+        let mut steps = 0usize;
+        while parents[cur] as usize != cur {
+            cur = parents[cur] as usize;
+            steps += 1;
+            if steps > parents.len() {
+                return Err(violation(
+                    "ClusterArray",
+                    format!("chain from slot {i} does not terminate"),
+                ));
+            }
+        }
+        if c.root_of(i) as usize != cur {
+            return Err(violation(
+                "ClusterArray",
+                format!("root_of({i}) = {} but chain ends at {cur}", c.root_of(i)),
+            ));
+        }
+    }
+    if c.cluster_count() != roots {
+        return Err(violation(
+            "ClusterArray",
+            format!(
+                "live-cluster counter is {} but the array has {roots} roots",
+                c.cluster_count()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Validates a [`Dendrogram`] by replaying its merges: non-decreasing
+/// levels, both operands live at merge time, survivor is the smaller
+/// root, and the final live count covers every leaf exactly once.
+///
+/// # Errors
+///
+/// Returns a violation describing the first merge record that breaks any
+/// of those properties.
+pub fn validate_dendrogram(d: &Dendrogram) -> Result<(), InvariantViolation> {
+    let n = d.edge_count();
+    let mut live = vec![true; n];
+    let mut live_count = n;
+    let mut prev_level = 0u32;
+    for (k, m) in d.merges().iter().enumerate() {
+        if m.level < prev_level {
+            return Err(violation(
+                "Dendrogram",
+                format!("merge {k} has level {} below its predecessor {prev_level}", m.level),
+            ));
+        }
+        prev_level = m.level;
+        let (l, r) = (m.left as usize, m.right as usize);
+        if l >= n || r >= n {
+            return Err(violation(
+                "Dendrogram",
+                format!("merge {k} references cluster beyond the {n} leaves"),
+            ));
+        }
+        if l == r {
+            return Err(violation("Dendrogram", format!("merge {k} joins cluster {l} to itself")));
+        }
+        if !live[l] || !live[r] {
+            return Err(violation(
+                "Dendrogram",
+                format!("merge {k} uses a cluster that is no longer live ({l}, {r})"),
+            ));
+        }
+        if m.into != m.left.min(m.right) {
+            return Err(violation(
+                "Dendrogram",
+                format!("merge {k} survives as {} instead of min({l}, {r})", m.into),
+            ));
+        }
+        live[l.max(r)] = false;
+        live_count -= 1;
+    }
+    let expected = n - d.merge_count() as usize;
+    if live_count != expected {
+        return Err(violation(
+            "Dendrogram",
+            format!("{live_count} clusters remain live but leaves - merges = {expected}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Validates the committed levels of a coarse sweep: strictly increasing
+/// level ids, non-decreasing processed-pair counts, non-increasing
+/// cluster counts.
+///
+/// # Errors
+///
+/// Returns a violation naming the first adjacent pair of
+/// [`LevelPoint`]s that breaks monotonicity.
+pub fn validate_level_points(levels: &[LevelPoint]) -> Result<(), InvariantViolation> {
+    for w in levels.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if b.level <= a.level {
+            return Err(violation(
+                "CoarseLevels",
+                format!("level ids not strictly increasing: {} then {}", a.level, b.level),
+            ));
+        }
+        if b.pairs < a.pairs {
+            return Err(violation(
+                "CoarseLevels",
+                format!(
+                    "processed pairs decreased from {} to {} at level {}",
+                    a.pairs, b.pairs, b.level
+                ),
+            ));
+        }
+        if b.clusters > a.clusters {
+            return Err(violation(
+                "CoarseLevels",
+                format!(
+                    "cluster count increased from {} to {} at level {}",
+                    a.clusters, b.clusters, b.level
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks that a [`ClusterArray`] refines another: every pair of slots
+/// clustered together in `finer` is also together in `coarser`. The
+/// epochs of a coarse sweep and the per-thread copies of the parallel
+/// sweep only ever merge clusters, so each successive state must refine
+/// into the next.
+///
+/// # Errors
+///
+/// Returns a violation naming the first slot whose `finer` cluster is
+/// split across two `coarser` clusters, or a length mismatch.
+pub fn validate_refinement(
+    finer: &ClusterArray,
+    coarser: &ClusterArray,
+) -> Result<(), InvariantViolation> {
+    if finer.len() != coarser.len() {
+        return Err(violation(
+            "ClusterArray",
+            format!("refinement over different lengths: {} vs {}", finer.len(), coarser.len()),
+        ));
+    }
+    // Two slots share a finer cluster iff they share a finer root; their
+    // coarser roots must then agree.
+    let mut coarser_of_root = vec![u32::MAX; finer.len()];
+    for i in 0..finer.len() {
+        let fr = finer.root_of(i) as usize;
+        let cr = coarser.root_of(i);
+        if coarser_of_root[fr] == u32::MAX {
+            coarser_of_root[fr] = cr;
+        } else if coarser_of_root[fr] != cr {
+            return Err(violation(
+                "ClusterArray",
+                format!(
+                    "slot {i} breaks refinement: finer root {fr} maps to coarser roots \
+                     {} and {cr}",
+                    coarser_of_root[fr]
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+macro_rules! debug_hook {
+    ($(#[$meta:meta])* $name:ident => $validate:ident ( $($arg:ident : $ty:ty),+ )) => {
+        $(#[$meta])*
+        ///
+        /// # Panics
+        ///
+        /// Panics in debug builds if the invariant is violated; does
+        /// nothing (and costs nothing) in release builds.
+        #[inline]
+        pub fn $name($($arg: $ty),+) {
+            #[cfg(debug_assertions)]
+            if let Err(e) = $validate($($arg),+) {
+                // Waived: every fn this macro generates carries a # Panics doc section.
+                panic!("{e}"); // xtask-allow: macro body, documented on the generated fns
+            }
+            #[cfg(not(debug_assertions))]
+            let _ = ($($arg),+);
+        }
+    };
+}
+
+debug_hook!(
+    /// Debug-build hook for [`validate_cluster_array`].
+    debug_check_cluster_array => validate_cluster_array(c: &ClusterArray)
+);
+debug_hook!(
+    /// Debug-build hook for [`validate_dendrogram`].
+    debug_check_dendrogram => validate_dendrogram(d: &Dendrogram)
+);
+debug_hook!(
+    /// Debug-build hook for [`validate_level_points`].
+    debug_check_level_points => validate_level_points(levels: &[LevelPoint])
+);
+debug_hook!(
+    /// Debug-build hook for [`validate_refinement`].
+    debug_check_refinement => validate_refinement(finer: &ClusterArray, coarser: &ClusterArray)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dendrogram::MergeRecord;
+
+    #[test]
+    fn fresh_cluster_array_is_valid() {
+        let c = ClusterArray::new(8);
+        assert_eq!(validate_cluster_array(&c), Ok(()));
+    }
+
+    #[test]
+    fn merged_cluster_array_is_valid() {
+        let mut c = ClusterArray::new(6);
+        let _ = c.merge(5, 2);
+        let _ = c.merge(4, 2);
+        let _ = c.merge(3, 1);
+        assert_eq!(validate_cluster_array(&c), Ok(()));
+    }
+
+    #[test]
+    fn valid_dendrogram_passes() {
+        let d = Dendrogram::from_merges(
+            4,
+            vec![
+                MergeRecord { level: 1, left: 0, right: 1, into: 0 },
+                MergeRecord { level: 2, left: 2, right: 3, into: 2 },
+                MergeRecord { level: 2, left: 0, right: 2, into: 0 },
+            ],
+        );
+        assert_eq!(validate_dendrogram(&d), Ok(()));
+    }
+
+    #[test]
+    fn double_merge_is_rejected() {
+        // Hand-built without the constructor: cluster 1 is merged twice.
+        let d = Dendrogram::from_merges(
+            3,
+            vec![
+                MergeRecord { level: 1, left: 0, right: 1, into: 0 },
+                MergeRecord { level: 1, left: 1, right: 2, into: 1 },
+            ],
+        );
+        let err = validate_dendrogram(&d).expect_err("cluster 1 is dead at the second merge");
+        assert!(err.detail.contains("no longer live"));
+    }
+
+    #[test]
+    fn self_merge_is_rejected() {
+        let d =
+            Dendrogram::from_merges(2, vec![MergeRecord { level: 1, left: 1, right: 1, into: 1 }]);
+        let err = validate_dendrogram(&d).expect_err("self-merge");
+        assert!(err.detail.contains("itself"));
+    }
+
+    #[test]
+    fn level_points_must_be_monotone() {
+        let good = [
+            LevelPoint { level: 1, pairs: 10, clusters: 90 },
+            LevelPoint { level: 2, pairs: 25, clusters: 70 },
+        ];
+        assert_eq!(validate_level_points(&good), Ok(()));
+
+        let bad = [
+            LevelPoint { level: 1, pairs: 10, clusters: 90 },
+            LevelPoint { level: 2, pairs: 9, clusters: 70 },
+        ];
+        let err = validate_level_points(&bad).expect_err("pairs decreased");
+        assert!(err.detail.contains("pairs decreased"));
+    }
+
+    #[test]
+    fn refinement_accepts_merge_progress_and_rejects_splits() {
+        let mut finer = ClusterArray::new(4);
+        let _ = finer.merge(1, 0);
+        let mut coarser = finer.clone();
+        let _ = coarser.merge(3, 2);
+        assert_eq!(validate_refinement(&finer, &coarser), Ok(()));
+        // The reverse direction splits {2,3} and must fail.
+        let err = validate_refinement(&coarser, &finer).expect_err("split");
+        assert!(err.detail.contains("breaks refinement"));
+    }
+
+    #[test]
+    fn debug_hooks_accept_valid_structures() {
+        let c = ClusterArray::new(3);
+        debug_check_cluster_array(&c);
+        let d = Dendrogram::from_merges(2, vec![]);
+        debug_check_dendrogram(&d);
+        debug_check_level_points(&[]);
+        debug_check_refinement(&c, &c);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "no longer live")]
+    fn debug_hook_panics_on_violation() {
+        let d = Dendrogram::from_merges(
+            3,
+            vec![
+                MergeRecord { level: 1, left: 0, right: 1, into: 0 },
+                MergeRecord { level: 1, left: 1, right: 2, into: 1 },
+            ],
+        );
+        debug_check_dendrogram(&d);
+    }
+}

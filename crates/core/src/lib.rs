@@ -84,6 +84,7 @@ pub mod evaluate;
 pub mod export;
 pub mod incremental;
 pub mod init;
+pub mod invariants;
 pub mod model;
 pub mod reference;
 pub mod sweep;

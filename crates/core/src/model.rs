@@ -33,23 +33,27 @@ impl SigmoidModel {
 
     /// Evaluates the model at a point `u` that is already in (normalized)
     /// log space.
+    #[must_use]
     pub fn eval(&self, u: f64) -> f64 {
         self.a / (1.0 + (-self.k * (u - self.b)).exp()) + self.c
     }
 
     /// Evaluates the model at a raw level id `x > 0` (applies `ln`
     /// internally).
+    #[must_use]
     pub fn eval_level(&self, x: f64) -> f64 {
         self.eval(x.ln())
     }
 
     /// Sum of squared residuals against `points` (`(u, y)` pairs in
     /// normalized log space).
+    #[must_use]
     pub fn sse(&self, points: &[(f64, f64)]) -> f64 {
         points.iter().map(|&(u, y)| (self.eval(u) - y).powi(2)).sum()
     }
 
     /// Coefficient of determination R² against `points`.
+    #[must_use]
     pub fn r_squared(&self, points: &[(f64, f64)]) -> f64 {
         if points.is_empty() {
             return 1.0;
@@ -69,6 +73,7 @@ impl SigmoidModel {
     /// # Panics
     ///
     /// Panics if fewer than 4 points are supplied.
+    #[must_use]
     pub fn fit(points: &[(f64, f64)]) -> SigmoidModel {
         assert!(points.len() >= 4, "need at least 4 points to fit 4 parameters");
         let (umin, umax) = points
@@ -151,6 +156,7 @@ fn solve_linear(points: &[(f64, f64)], b: f64, k: f64) -> SigmoidModel {
 /// # Panics
 ///
 /// Panics if any level id is < 1 or the curve has fewer than 2 points.
+#[must_use]
 pub fn normalize_curve(points: &[(u32, usize)]) -> Vec<(f64, f64)> {
     assert!(points.len() >= 2, "need at least 2 points to normalize");
     let logs: Vec<f64> = points
@@ -231,7 +237,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 4")]
     fn fit_rejects_tiny_input() {
-        SigmoidModel::fit(&[(0.0, 1.0), (1.0, 0.0)]);
+        let _ = SigmoidModel::fit(&[(0.0, 1.0), (1.0, 0.0)]);
     }
 
     #[test]

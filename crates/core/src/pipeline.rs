@@ -55,6 +55,7 @@ pub struct LinkClustering {
 impl LinkClustering {
     /// Creates the default pipeline (insertion edge order, no threshold,
     /// no telemetry).
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -63,12 +64,14 @@ impl LinkClustering {
     /// setting here takes priority over a default-valued
     /// [`CoarseConfig::edge_order`] in [`run_coarse`](Self::run_coarse),
     /// and conflicts with a non-default one.
+    #[must_use]
     pub fn edge_order(mut self, order: EdgeOrder) -> Self {
         self.edge_order = Some(order);
         self
     }
 
     /// Stops sweeping below this similarity (cuts the dendrogram early).
+    #[must_use]
     pub fn min_similarity(mut self, theta: f64) -> Self {
         self.min_similarity = Some(theta);
         self
@@ -77,6 +80,7 @@ impl LinkClustering {
     /// Collect phase timings and counters into a [`RunReport`] attached
     /// to the result (read it with [`ClusteringResult::report`]).
     /// Disabled by default — a disabled run skips all clock reads.
+    #[must_use]
     pub fn stats(mut self, enabled: bool) -> Self {
         self.sink = if enabled { TelemetrySink::Stats } else { TelemetrySink::Off };
         self
@@ -98,6 +102,7 @@ impl LinkClustering {
     }
 
     /// Runs both phases on `g`.
+    #[must_use]
     pub fn run(&self, g: &WeightedGraph) -> ClusteringResult {
         let (telemetry, recorder) = self.sink.build();
         let sims = compute_similarities_with(g, &telemetry);
@@ -166,6 +171,7 @@ impl ClusteringResult {
     /// Assembles a result from its parts (used by the unified facade in
     /// `linkclust-parallel`; most callers get one from
     /// [`LinkClustering::run`]).
+    #[must_use]
     pub fn from_parts(
         similarities: PairSimilarities,
         output: SweepOutput,
@@ -176,32 +182,38 @@ impl ClusteringResult {
 
     /// The sorted pair-similarity list `L` (exposed so callers can reuse
     /// the expensive Phase-I output — C-INTERMEDIATE).
+    #[must_use]
     pub fn similarities(&self) -> &PairSimilarities {
         &self.similarities
     }
 
     /// The sweep output (dendrogram + slot permutation).
+    #[must_use]
     pub fn output(&self) -> &SweepOutput {
         &self.output
     }
 
     /// The telemetry report, when the run collected stats
     /// ([`LinkClustering::stats`]); `None` otherwise.
+    #[must_use]
     pub fn report(&self) -> Option<&RunReport> {
         self.report.as_ref()
     }
 
     /// The dendrogram.
+    #[must_use]
     pub fn dendrogram(&self) -> &Dendrogram {
         self.output.dendrogram()
     }
 
     /// Consumes the result, returning the dendrogram.
+    #[must_use]
     pub fn into_dendrogram(self) -> Dendrogram {
         self.output.into_dendrogram()
     }
 
     /// Final cluster label per edge id.
+    #[must_use]
     pub fn edge_assignments(&self) -> Vec<u32> {
         self.output.edge_assignments()
     }

@@ -12,6 +12,7 @@ use linkclust_graph::{EdgeId, VertexId, WeightedGraph};
 /// Materializes the dense vector `aᵢ` of Eq. 2 for vertex `v`:
 /// `Ã_ij = w_ij` for neighbors `j`, `Ã_ii` = mean incident weight, and 0
 /// elsewhere.
+#[must_use]
 pub fn a_vector(g: &WeightedGraph, v: VertexId) -> Vec<f64> {
     let mut a = vec![0.0; g.vertex_count()];
     let nbrs = g.neighbors(v);
@@ -28,6 +29,7 @@ pub fn a_vector(g: &WeightedGraph, v: VertexId) -> Vec<f64> {
 
 /// Computes the Tanimoto similarity of Eq. 1 directly from dense
 /// a-vectors: `aᵢ·aⱼ / (|aᵢ|² + |aⱼ|² − aᵢ·aⱼ)`.
+#[must_use]
 pub fn tanimoto_similarity(g: &WeightedGraph, i: VertexId, j: VertexId) -> f64 {
     let (a, b) = (a_vector(g, i), a_vector(g, j));
     let dot: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
@@ -45,6 +47,7 @@ pub fn tanimoto_similarity(g: &WeightedGraph, i: VertexId, j: VertexId) -> f64 {
 /// (Eq. 1–2) reduces to exactly this quantity: the a-vectors become the
 /// 0/1 indicators of the inclusive neighborhoods. The test
 /// `tanimoto_reduces_to_jaccard_on_unit_weights` pins that equivalence.
+#[must_use]
 pub fn jaccard_similarity(g: &WeightedGraph, i: VertexId, j: VertexId) -> f64 {
     let common = linkclust_graph::stats::common_neighbors(g, i, j)
         .into_iter()
@@ -59,6 +62,7 @@ pub fn jaccard_similarity(g: &WeightedGraph, i: VertexId, j: VertexId) -> f64 {
 /// The similarity between two edges: the Tanimoto similarity of their
 /// non-shared endpoints if they are incident, and 0 otherwise (the
 /// paper defines non-incident edge similarity as 0).
+#[must_use]
 pub fn edge_similarity(g: &WeightedGraph, e1: EdgeId, e2: EdgeId) -> f64 {
     if e1 == e2 {
         return 1.0;
@@ -84,6 +88,7 @@ pub fn edge_similarity(g: &WeightedGraph, e1: EdgeId, e2: EdgeId) -> f64 {
 ///
 /// Returns one cluster id per edge (ids are arbitrary but consistent).
 /// Cost is O(|E|² · |V|) — use only on small graphs.
+#[must_use]
 pub fn single_linkage_at_threshold(g: &WeightedGraph, theta: f64) -> Vec<usize> {
     let m = g.edge_count();
     let mut labels: Vec<usize> = (0..m).collect();
@@ -115,6 +120,7 @@ pub fn single_linkage_at_threshold(g: &WeightedGraph, theta: f64) -> Vec<usize> 
 /// Normalizes a cluster labelling so two labellings can be compared for
 /// partition equality: each cluster is renamed to the smallest member
 /// index it contains.
+#[must_use]
 pub fn canonical_labels(labels: &[usize]) -> Vec<usize> {
     let mut first_of = std::collections::HashMap::new();
     for (i, &l) in labels.iter().enumerate() {

@@ -31,6 +31,7 @@ impl VertexPair {
     ///
     /// Panics if `a == b`.
     #[inline]
+    #[must_use]
     pub fn new(a: VertexId, b: VertexId) -> Self {
         assert_ne!(a, b, "a vertex pair requires two distinct vertices");
         if a < b {
@@ -42,12 +43,14 @@ impl VertexPair {
 
     /// The smaller vertex.
     #[inline]
+    #[must_use]
     pub fn first(self) -> VertexId {
         self.first
     }
 
     /// The larger vertex.
     #[inline]
+    #[must_use]
     pub fn second(self) -> VertexId {
         self.second
     }
@@ -79,6 +82,7 @@ pub struct SimilarityEntry {
 
 impl SimilarityEntry {
     /// The number of incident edge pairs this entry stands for.
+    #[must_use]
     pub fn pair_count(&self) -> usize {
         self.common_neighbors.len()
     }
@@ -109,6 +113,7 @@ impl PairSimilarities {
     /// # Panics
     ///
     /// Panics if the entries are not sorted.
+    #[must_use]
     pub fn from_sorted(entries: Vec<SimilarityEntry>) -> Self {
         assert!(
             entries.windows(2).all(|w| {
@@ -120,40 +125,43 @@ impl PairSimilarities {
     }
 
     /// The entries, in unspecified order unless [`is_sorted`](Self::is_sorted).
+    #[must_use]
     pub fn entries(&self) -> &[SimilarityEntry] {
         &self.entries
     }
 
     /// Number of entries (the paper's K₁).
+    #[must_use]
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
     /// Returns `true` if there are no entries.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
     /// Total number of incident edge pairs across all entries (the
     /// paper's K₂).
+    #[must_use]
     pub fn incident_pair_count(&self) -> u64 {
         self.entries.iter().map(|e| e.pair_count() as u64).sum()
     }
 
     /// Returns `true` if the entries are sorted by non-increasing score.
+    #[must_use]
     pub fn is_sorted(&self) -> bool {
         self.sorted
     }
 
     /// Sorts the entries into the list `L` of Algorithm 2: non-increasing
     /// score, ties broken by vertex pair for determinism.
+    #[must_use]
     pub fn into_sorted(mut self) -> Self {
         if !self.sorted {
             self.entries.sort_unstable_by(|a, b| {
-                b.score
-                    .partial_cmp(&a.score)
-                    .expect("similarity scores are never NaN")
-                    .then_with(|| a.pair.cmp(&b.pair))
+                b.score.total_cmp(&a.score).then_with(|| a.pair.cmp(&b.pair))
             });
             self.sorted = true;
         }
@@ -162,6 +170,7 @@ impl PairSimilarities {
 
     /// Looks up the entry for a vertex pair (linear scan; intended for
     /// tests and small graphs).
+    #[must_use]
     pub fn find(&self, pair: VertexPair) -> Option<&SimilarityEntry> {
         self.entries.iter().find(|e| e.pair == pair)
     }
@@ -199,7 +208,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "distinct")]
     fn pair_rejects_equal_vertices() {
-        VertexPair::new(VertexId::new(1), VertexId::new(1));
+        let _ = VertexPair::new(VertexId::new(1), VertexId::new(1));
     }
 
     #[test]

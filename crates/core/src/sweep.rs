@@ -38,6 +38,7 @@ pub enum EdgeOrder {
 
 impl EdgeOrder {
     /// Builds the `edge → slot` permutation for `m` edges.
+    #[must_use]
     pub fn permutation(self, m: usize) -> Vec<u32> {
         match self {
             EdgeOrder::Insertion => (0..m as u32).collect(),
@@ -89,6 +90,7 @@ impl SweepOutput {
     /// The similarity that generated each merge (aligned with
     /// [`Dendrogram::merges`]); empty for coarse sweeps, which do not
     /// track per-merge scores.
+    #[must_use]
     pub fn merge_scores(&self) -> &[f64] {
         &self.merge_scores
     }
@@ -101,6 +103,7 @@ impl SweepOutput {
     ///
     /// Panics if this output carries no merge scores (produced by a
     /// coarse sweep).
+    #[must_use]
     pub fn edge_assignments_at_similarity(&self, theta: f64) -> Vec<u32> {
         assert_eq!(
             self.merge_scores.len() as u64,
@@ -116,28 +119,33 @@ impl SweepOutput {
 
     /// The dendrogram. Merge events and labels refer to *slots*; use
     /// [`edge_assignments`](Self::edge_assignments) for per-edge labels.
+    #[must_use]
     pub fn dendrogram(&self) -> &Dendrogram {
         &self.dendrogram
     }
 
     /// Consumes the output, returning the dendrogram.
+    #[must_use]
     pub fn into_dendrogram(self) -> Dendrogram {
         self.dendrogram
     }
 
     /// The slot assigned to each edge id.
+    #[must_use]
     pub fn slot_of_edge(&self) -> &[u32] {
         &self.slot_of_edge
     }
 
     /// Final cluster label per **edge id** (labels are slot indices; two
     /// edges share a label iff they are in the same link community).
+    #[must_use]
     pub fn edge_assignments(&self) -> Vec<u32> {
         let slots = self.dendrogram.final_assignments();
         self.slot_of_edge.iter().map(|&s| slots[s as usize]).collect()
     }
 
     /// Cluster label per edge id after cutting at `level`.
+    #[must_use]
     pub fn edge_assignments_at_level(&self, level: u32) -> Vec<u32> {
         let slots = self.dendrogram.assignments_at_level(level);
         self.slot_of_edge.iter().map(|&s| slots[s as usize]).collect()
@@ -167,6 +175,7 @@ impl SweepOutput {
 /// assert_eq!(out.dendrogram().merge_count(), 1);
 /// # Ok::<(), linkclust_graph::GraphError>(())
 /// ```
+#[must_use]
 pub fn sweep(g: &WeightedGraph, sorted: &PairSimilarities, config: SweepConfig) -> SweepOutput {
     sweep_with(g, sorted, config, &Telemetry::disabled())
 }
@@ -174,6 +183,14 @@ pub fn sweep(g: &WeightedGraph, sorted: &PairSimilarities, config: SweepConfig) 
 /// [`sweep`] with phase-level telemetry: the whole sweep runs under a
 /// [`Phase::Sweep`] span, and the merge and processed-pair counters are
 /// recorded once at the end (no per-merge overhead).
+///
+/// # Panics
+///
+/// Panics if `sorted` is not actually sorted (call
+/// [`PairSimilarities::into_sorted`] first), or if it lists a common
+/// neighbor with no edge to both endpoints in `g` — i.e. if the
+/// similarities were computed over a different graph.
+#[must_use]
 pub fn sweep_with(
     g: &WeightedGraph,
     sorted: &PairSimilarities,
@@ -217,7 +234,10 @@ pub fn sweep_with(
     span.finish();
     telemetry.add(Counter::MergesApplied, merges.len() as u64);
     telemetry.add(Counter::PairsProcessed, pairs_processed);
-    SweepOutput::with_scores(Dendrogram::from_merges(m, merges), slot_of_edge, scores)
+    crate::invariants::debug_check_cluster_array(&c);
+    let dendrogram = Dendrogram::from_merges(m, merges);
+    crate::invariants::debug_check_dendrogram(&dendrogram);
+    SweepOutput::with_scores(dendrogram, slot_of_edge, scores)
 }
 
 /// Per-level statistics traced by [`fixed_chunk_sweep`].
@@ -252,6 +272,7 @@ pub struct ChunkTrace {
 /// # Panics
 ///
 /// Panics if `chunk_size == 0` or `sorted` is unsorted.
+#[must_use]
 pub fn fixed_chunk_sweep(
     g: &WeightedGraph,
     sorted: &PairSimilarities,
@@ -470,7 +491,7 @@ mod tests {
         if trace.output.dendrogram().merge_count() == 0 {
             panic!("per-merge similarities"); // degenerate: still satisfies the test intent
         }
-        trace.output.edge_assignments_at_similarity(0.5);
+        let _ = trace.output.edge_assignments_at_similarity(0.5);
     }
 
     #[test]
@@ -478,7 +499,7 @@ mod tests {
     fn sweep_requires_sorted_input() {
         let g = two_triangles_with_bridge();
         let sims = compute_similarities(&g); // not sorted
-        sweep(&g, &sims, SweepConfig::default());
+        let _ = sweep(&g, &sims, SweepConfig::default());
     }
 
     #[test]

@@ -81,6 +81,7 @@ impl Phase {
     ];
 
     /// The stable snake_case name used in JSON and tables.
+    #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             Phase::InitPass1 => "init_pass1",
@@ -149,6 +150,7 @@ impl Counter {
     ];
 
     /// The stable snake_case name used in JSON and tables.
+    #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             Counter::PairsK1 => "pairs_k1",
@@ -183,6 +185,7 @@ impl Gauge {
     pub const ALL: [Gauge; 1] = [Gauge::ChunkSize];
 
     /// The stable snake_case name used in JSON and tables.
+    #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             Gauge::ChunkSize => "chunk_size",
@@ -238,6 +241,7 @@ impl fmt::Debug for Telemetry {
 impl Telemetry {
     /// The do-nothing handle (the default for every pipeline entry
     /// point).
+    #[must_use]
     pub fn disabled() -> Self {
         Telemetry { inner: None }
     }
@@ -248,6 +252,7 @@ impl Telemetry {
     }
 
     /// `true` if events reach a recorder.
+    #[must_use]
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
     }
@@ -320,6 +325,7 @@ pub struct GaugeStats {
 
 impl GaugeStats {
     /// The mean sample, or 0 with no samples.
+    #[must_use]
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -355,27 +361,32 @@ pub struct RunReport {
 impl RunReport {
     /// Total wall time spent in `phase`, in nanoseconds (sums over all
     /// spans of that phase).
+    #[must_use]
     pub fn phase_nanos(&self, phase: Phase) -> u64 {
         self.phase_nanos[phase.index()]
     }
 
     /// Number of spans recorded for `phase`.
+    #[must_use]
     pub fn phase_calls(&self, phase: Phase) -> u64 {
         self.phase_calls[phase.index()]
     }
 
     /// The value of `counter`.
+    #[must_use]
     pub fn counter(&self, counter: Counter) -> u64 {
         self.counters[counter.index()]
     }
 
     /// Aggregated statistics of `gauge`.
+    #[must_use]
     pub fn gauge(&self, gauge: Gauge) -> GaugeStats {
         self.gauges[gauge.index()]
     }
 
     /// Work items per worker thread, indexed by thread id. Empty when no
     /// parallel stage ran.
+    #[must_use]
     pub fn thread_items(&self) -> &[u64] {
         &self.thread_items
     }
@@ -383,6 +394,7 @@ impl RunReport {
     /// Load imbalance of the parallel stages: `max / mean` of the
     /// per-thread item counts (1.0 is perfectly balanced; 0 with no
     /// parallel work).
+    #[must_use]
     pub fn load_imbalance(&self) -> f64 {
         let busy = &self.thread_items;
         if busy.is_empty() {
@@ -399,6 +411,7 @@ impl RunReport {
 
     /// Serializes the report as a single-line JSON object with stable
     /// keys (`phases`, `counters`, `gauges`, `thread_items`).
+    #[must_use]
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024);
         s.push_str("{\"phases\":{");
@@ -564,13 +577,24 @@ pub struct RunRecorder {
 
 impl RunRecorder {
     /// Creates an empty recorder.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
     /// A snapshot of everything recorded so far.
+    ///
+    /// Telemetry recovers from a poisoned mutex (a panicking worker must
+    /// not cascade into the reporting path), so this never panics.
     pub fn report(&self) -> RunReport {
-        self.report.lock().expect("telemetry mutex poisoned").clone()
+        self.lock().clone()
+    }
+
+    /// Locks the report, recovering from poisoning: the aggregate state
+    /// is a set of monotone counters, so a partial update from a
+    /// panicked worker is still meaningful.
+    fn lock(&self) -> std::sync::MutexGuard<'_, RunReport> {
+        self.report.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -582,31 +606,19 @@ impl fmt::Debug for RunRecorder {
 
 impl Recorder for RunRecorder {
     fn record_phase(&self, phase: Phase, nanos: u64) {
-        self.report
-            .lock()
-            .expect("telemetry mutex poisoned")
-            .merge_event(&Event::Phase(phase, nanos));
+        self.lock().merge_event(&Event::Phase(phase, nanos));
     }
 
     fn add(&self, counter: Counter, value: u64) {
-        self.report
-            .lock()
-            .expect("telemetry mutex poisoned")
-            .merge_event(&Event::Counter(counter, value));
+        self.lock().merge_event(&Event::Counter(counter, value));
     }
 
     fn observe(&self, gauge: Gauge, value: f64) {
-        self.report
-            .lock()
-            .expect("telemetry mutex poisoned")
-            .merge_event(&Event::Gauge(gauge, value));
+        self.lock().merge_event(&Event::Gauge(gauge, value));
     }
 
     fn thread_items(&self, thread: usize, items: u64) {
-        self.report
-            .lock()
-            .expect("telemetry mutex poisoned")
-            .merge_event(&Event::ThreadItems(thread, items));
+        self.lock().merge_event(&Event::ThreadItems(thread, items));
     }
 }
 
@@ -641,6 +653,7 @@ impl TelemetrySink {
     /// Builds the handle to thread through a run, plus the internal
     /// recorder to read the report from afterwards (for
     /// [`TelemetrySink::Stats`]).
+    #[must_use]
     pub fn build(&self) -> (Telemetry, Option<Arc<RunRecorder>>) {
         match self {
             TelemetrySink::Off => (Telemetry::disabled(), None),

@@ -31,6 +31,7 @@ pub struct UnionFind {
 
 impl UnionFind {
     /// Creates `n` singleton sets.
+    #[must_use]
     pub fn new(n: usize) -> Self {
         UnionFind {
             parent: (0..n as u32).collect(),
@@ -41,11 +42,13 @@ impl UnionFind {
     }
 
     /// Number of elements.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.parent.len()
     }
 
     /// Returns `true` if there are no elements.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.parent.is_empty()
     }
@@ -96,6 +99,7 @@ impl UnionFind {
     }
 
     /// The number of disjoint sets.
+    #[must_use]
     pub fn set_count(&self) -> usize {
         self.sets
     }

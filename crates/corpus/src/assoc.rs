@@ -54,12 +54,14 @@ impl Default for AssocNetworkBuilder {
 
 impl AssocNetworkBuilder {
     /// Creates a builder with α = 1.0 (all candidate words kept).
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Sets the vocabulary fraction α ∈ (0, 1]: only the ⌈α·n⌉ most
     /// frequent of the n candidate words become vertices.
+    #[must_use]
     pub fn fraction(mut self, alpha: f64) -> Self {
         self.fraction = alpha;
         self
@@ -71,6 +73,7 @@ impl AssocNetworkBuilder {
     /// scales the paper's α sweep: the paper's candidate pool has
     /// millions of rare words that never enter any graph, so `α·pool` is
     /// realized directly as a top-`n` cut.
+    #[must_use]
     pub fn top_words(mut self, n: usize) -> Self {
         self.top_words = Some(n.max(1));
         self
@@ -78,6 +81,7 @@ impl AssocNetworkBuilder {
 
     /// Requires candidate words to appear in at least `count` documents
     /// (default 1).
+    #[must_use]
     pub fn min_document_count(mut self, count: usize) -> Self {
         self.min_document_count = count.max(1);
         self
@@ -92,6 +96,12 @@ impl AssocNetworkBuilder {
     ///   tokens at all.
     /// * [`CorpusError::NoCandidateWords`] if the document-count threshold
     ///   eliminates every word.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: the co-occurrence pairs fed to the
+    /// graph builder are canonical, deduplicated, and positive-weight by
+    /// construction.
     pub fn build(&self, documents: &[Document]) -> Result<AssocNetwork, CorpusError> {
         if !(self.fraction > 0.0 && self.fraction <= 1.0) {
             return Err(CorpusError::InvalidFraction { fraction: self.fraction });
@@ -183,11 +193,13 @@ pub struct AssocNetwork {
 impl AssocNetwork {
     /// The underlying weighted graph (vertices are words, weights are the
     /// mutual-information scores of Eq. 3).
+    #[must_use]
     pub fn graph(&self) -> &WeightedGraph {
         &self.graph
     }
 
     /// Consumes the network, returning the graph.
+    #[must_use]
     pub fn into_graph(self) -> WeightedGraph {
         self.graph
     }
@@ -197,6 +209,7 @@ impl AssocNetwork {
     /// # Panics
     ///
     /// Panics if `v` is out of bounds.
+    #[must_use]
     pub fn word(&self, v: VertexId) -> &str {
         &self.words[v.index()]
     }
@@ -207,6 +220,7 @@ impl AssocNetwork {
     }
 
     /// Number of selected vocabulary words (= vertex count).
+    #[must_use]
     pub fn vocabulary_size(&self) -> usize {
         self.words.len()
     }
@@ -216,11 +230,13 @@ impl AssocNetwork {
     /// # Panics
     ///
     /// Panics if `v` is out of bounds.
+    #[must_use]
     pub fn document_count(&self, v: VertexId) -> u32 {
         self.doc_counts[v.index()]
     }
 
     /// The vocabulary in frequency-rank order (vertex order).
+    #[must_use]
     pub fn words(&self) -> &[String] {
         &self.words
     }

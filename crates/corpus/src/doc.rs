@@ -9,21 +9,25 @@ pub struct Document {
 
 impl Document {
     /// Creates a document from its tokens.
+    #[must_use]
     pub fn new(tokens: Vec<String>) -> Self {
         Document { tokens }
     }
 
     /// The tokens of this document, in order.
+    #[must_use]
     pub fn tokens(&self) -> &[String] {
         &self.tokens
     }
 
     /// Number of tokens.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.tokens.len()
     }
 
     /// Returns `true` if the document has no tokens.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.tokens.is_empty()
     }
@@ -53,6 +57,7 @@ pub struct Corpus {
 
 impl Corpus {
     /// Creates an empty corpus.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -63,16 +68,19 @@ impl Corpus {
     }
 
     /// The documents, in insertion order.
+    #[must_use]
     pub fn documents(&self) -> &[Document] {
         &self.documents
     }
 
     /// Number of documents.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.documents.len()
     }
 
     /// Returns `true` if the corpus has no documents.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.documents.is_empty()
     }

@@ -27,23 +27,27 @@ pub struct TextPipeline {
 
 impl TextPipeline {
     /// Creates the default pipeline (stop words removed, stemming on).
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Keeps stop words instead of removing them.
+    #[must_use]
     pub fn keep_stop_words(mut self) -> Self {
         self.keep_stop_words = true;
         self
     }
 
     /// Disables Porter stemming.
+    #[must_use]
     pub fn skip_stemming(mut self) -> Self {
         self.skip_stemming = true;
         self
     }
 
     /// Processes one raw message into a [`Document`].
+    #[must_use]
     pub fn process(&self, text: &str) -> Document {
         tokenize(text)
             .into_iter()

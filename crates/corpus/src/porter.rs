@@ -35,7 +35,9 @@ pub fn stem(word: &str) -> String {
     s.step4();
     s.step5a();
     s.step5b();
-    String::from_utf8(s.b).expect("stemmer operates on ASCII")
+    // The stemmer only ever holds ASCII bytes, so a direct byte-to-char
+    // mapping reconstructs the string without a fallible UTF-8 decode.
+    s.b.into_iter().map(char::from).collect()
 }
 
 struct Stemmer {
@@ -173,9 +175,10 @@ impl Stemmer {
         if self.ends_with(b"at") || self.ends_with(b"bl") || self.ends_with(b"iz") {
             self.b.push(b'e'); // at -> ate, bl -> ble, iz -> ize
         } else if self.ends_double_consonant(self.b.len()) {
-            let last = *self.b.last().expect("double consonant implies non-empty");
-            if last != b'l' && last != b's' && last != b'z' {
-                self.b.pop(); // hopping -> hop
+            if let Some(&last) = self.b.last() {
+                if last != b'l' && last != b's' && last != b'z' {
+                    self.b.pop(); // hopping -> hop
+                }
             }
         } else if self.measure(self.b.len()) == 1 && self.ends_cvc(self.b.len()) {
             self.b.push(b'e'); // fil -> file

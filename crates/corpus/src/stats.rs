@@ -22,6 +22,7 @@ pub struct FrequencyStats {
 
 impl FrequencyStats {
     /// Computes token frequencies for `documents`.
+    #[must_use]
     pub fn compute(documents: &[Document]) -> Self {
         let mut counts: HashMap<&str, u64> = HashMap::new();
         let mut total = 0u64;
@@ -41,6 +42,7 @@ impl FrequencyStats {
     /// `max_rank` ranks (log-log regression).
     ///
     /// Returns `None` with fewer than 4 usable ranks.
+    #[must_use]
     pub fn zipf_exponent(&self, max_rank: usize) -> Option<f64> {
         let ranks = self.counts.iter().take(max_rank).filter(|&&c| c > 0).count();
         if ranks < 4 {
@@ -61,6 +63,7 @@ impl FrequencyStats {
     }
 
     /// The fraction of all tokens carried by the top `k` ranks.
+    #[must_use]
     pub fn head_mass(&self, k: usize) -> f64 {
         if self.total_tokens == 0 {
             return 0.0;
@@ -72,6 +75,7 @@ impl FrequencyStats {
 
 /// The vocabulary-growth curve: distinct words seen after each document
 /// (Heaps' law predicts `V(n) ∝ n^β` with β < 1).
+#[must_use]
 pub fn vocabulary_growth(documents: &[Document]) -> Vec<usize> {
     let mut seen: HashSet<&str> = HashSet::new();
     let mut curve = Vec::with_capacity(documents.len());
@@ -87,6 +91,7 @@ pub fn vocabulary_growth(documents: &[Document]) -> Vec<usize> {
 /// Heaps exponent β fitted from a vocabulary-growth curve by log-log
 /// regression of distinct words against tokens seen. Returns `None` for
 /// degenerate curves.
+#[must_use]
 pub fn heaps_exponent(documents: &[Document]) -> Option<f64> {
     let growth = vocabulary_growth(documents);
     if growth.len() < 8 {

@@ -175,6 +175,7 @@ fn stop_set() -> &'static HashSet<&'static str> {
 /// assert!(is_stop_word("the"));
 /// assert!(!is_stop_word("cluster"));
 /// ```
+#[must_use]
 pub fn is_stop_word(word: &str) -> bool {
     stop_set().contains(word)
 }

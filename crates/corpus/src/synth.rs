@@ -157,22 +157,26 @@ impl SynthCorpus {
 
     /// The processed corpus (documents of base-word tokens, as if already
     /// tokenized, stemmed and stop-filtered).
+    #[must_use]
     pub fn corpus(&self) -> &Corpus {
         &self.corpus
     }
 
     /// Shorthand for `self.corpus().documents()`.
+    #[must_use]
     pub fn documents(&self) -> &[Document] {
         self.corpus.documents()
     }
 
     /// The vocabulary, indexed by global frequency rank (0 = most
     /// frequent).
+    #[must_use]
     pub fn vocabulary(&self) -> &[String] {
         &self.words
     }
 
     /// The configuration this corpus was generated from.
+    #[must_use]
     pub fn config(&self) -> &SynthCorpusConfig {
         &self.config
     }
@@ -185,6 +189,7 @@ impl SynthCorpus {
     /// recovers the processed corpus (inflections stem back to the base
     /// word; the noise is filtered out) — this closes the loop on the
     /// paper's nltk + stop-list preprocessing.
+    #[must_use]
     pub fn render_tweets(&self, seed: u64) -> Vec<String> {
         let mut rng = SmallRng::seed_from_u64(seed);
         self.corpus
@@ -257,7 +262,7 @@ impl ZipfSampler {
 
     fn sample(&self, rng: &mut SmallRng) -> usize {
         let u: f64 = rng.gen();
-        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("no NaN")) {
+        match self.cumulative.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
         }
     }

@@ -25,6 +25,7 @@
 /// let toks = tokenize("Check THIS out @bob: #Rust2026 rocks! https://x.io");
 /// assert_eq!(toks, vec!["check", "this", "out", "rust", "rocks"]);
 /// ```
+#[must_use]
 pub fn tokenize(text: &str) -> Vec<String> {
     let mut out = Vec::new();
     for chunk in text.split_whitespace() {

@@ -16,6 +16,7 @@ use crate::{VertexId, WeightedGraph};
 /// assert_eq!(connected_components(&g), vec![0, 0, 1, 1]);
 /// # Ok::<(), linkclust_graph::GraphError>(())
 /// ```
+#[must_use]
 pub fn connected_components(g: &WeightedGraph) -> Vec<usize> {
     let n = g.vertex_count();
     let mut labels = vec![usize::MAX; n];
@@ -43,6 +44,7 @@ pub fn connected_components(g: &WeightedGraph) -> Vec<usize> {
 
 /// Number of connected components (isolated vertices count as their own
 /// component).
+#[must_use]
 pub fn component_count(g: &WeightedGraph) -> usize {
     connected_components(g).iter().copied().max().map_or(0, |m| m + 1)
 }
@@ -53,6 +55,7 @@ pub fn component_count(g: &WeightedGraph) -> usize {
 /// # Panics
 ///
 /// Panics if `source` is out of bounds.
+#[must_use]
 pub fn bfs_distances(g: &WeightedGraph, source: VertexId) -> Vec<Option<u32>> {
     let n = g.vertex_count();
     assert!(source.index() < n, "source vertex out of bounds");
@@ -75,6 +78,7 @@ pub fn bfs_distances(g: &WeightedGraph, source: VertexId) -> Vec<Option<u32>> {
 /// The weighted local clustering coefficient is not needed by the paper;
 /// the plain (unweighted) one is handy for sanity-checking generated
 /// workloads. Returns 0.0 for degree < 2.
+#[must_use]
 pub fn clustering_coefficient(g: &WeightedGraph, v: VertexId) -> f64 {
     let nbrs = g.neighbors(v);
     let d = nbrs.len();

@@ -33,11 +33,13 @@ pub struct GraphBuilder {
 
 impl GraphBuilder {
     /// Creates an empty builder.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Creates a builder pre-populated with `n` vertices.
+    #[must_use]
     pub fn with_vertices(n: usize) -> Self {
         GraphBuilder { vertex_count: n, ..Self::default() }
     }
@@ -71,11 +73,13 @@ impl GraphBuilder {
     }
 
     /// Returns the number of vertices added so far.
+    #[must_use]
     pub fn vertex_count(&self) -> usize {
         self.vertex_count
     }
 
     /// Returns the number of edges added so far.
+    #[must_use]
     pub fn edge_count(&self) -> usize {
         self.edges.len()
     }
@@ -118,6 +122,7 @@ impl GraphBuilder {
     }
 
     /// Returns `true` if the edge `{u, v}` has already been added.
+    #[must_use]
     pub fn contains_edge(&self, u: VertexId, v: VertexId) -> bool {
         let (s, t) = if u < v { (u, v) } else { (v, u) };
         self.seen.contains(&(s.into(), t.into()))
@@ -127,6 +132,7 @@ impl GraphBuilder {
     ///
     /// Edge ids assigned by [`add_edge`](Self::add_edge) are preserved.
     /// Adjacency lists are sorted by neighbor id.
+    #[must_use]
     pub fn build(self) -> WeightedGraph {
         let n = self.vertex_count;
         let mut degree = vec![0usize; n];

@@ -20,6 +20,7 @@ use crate::WeightedGraph;
 /// assert!(dot.contains("v0 -- v1"));
 /// # Ok::<(), linkclust_graph::GraphError>(())
 /// ```
+#[must_use]
 pub fn to_dot(g: &WeightedGraph, name: &str) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "graph {name} {{");

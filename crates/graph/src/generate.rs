@@ -41,6 +41,7 @@ impl WeightMode {
 /// # Panics
 ///
 /// Panics if `WeightMode::Uniform` bounds are invalid.
+#[must_use]
 pub fn complete(n: usize, weights: WeightMode, seed: u64) -> WeightedGraph {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut b = GraphBuilder::with_vertices(n);
@@ -60,6 +61,7 @@ pub fn complete(n: usize, weights: WeightMode, seed: u64) -> WeightedGraph {
 /// # Panics
 ///
 /// Panics if `p` is not within `[0, 1]`.
+#[must_use]
 pub fn erdos_renyi(n: usize, p: f64, weights: WeightMode, seed: u64) -> WeightedGraph {
     assert!((0.0..=1.0).contains(&p), "edge probability {p} must lie in [0, 1]");
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -82,6 +84,7 @@ pub fn erdos_renyi(n: usize, p: f64, weights: WeightMode, seed: u64) -> Weighted
 /// # Panics
 ///
 /// Panics if `m > C(n, 2)`.
+#[must_use]
 pub fn gnm(n: usize, m: usize, weights: WeightMode, seed: u64) -> WeightedGraph {
     let max = n.saturating_mul(n.saturating_sub(1)) / 2;
     assert!(m <= max, "requested {m} edges but only {max} vertex pairs exist");
@@ -116,6 +119,7 @@ pub fn gnm(n: usize, m: usize, weights: WeightMode, seed: u64) -> WeightedGraph 
 ///
 /// Panics if `k >= n`, or if `k` is odd and `n` is odd (no such regular
 /// graph exists).
+#[must_use]
 pub fn k_regular(n: usize, k: usize, weights: WeightMode, seed: u64) -> WeightedGraph {
     assert!(k < n, "degree {k} must be smaller than vertex count {n}");
     assert!(
@@ -155,6 +159,7 @@ pub fn k_regular(n: usize, k: usize, weights: WeightMode, seed: u64) -> Weighted
 /// # Panics
 ///
 /// Panics if `m == 0` or `n <= m`.
+#[must_use]
 pub fn barabasi_albert(n: usize, m: usize, weights: WeightMode, seed: u64) -> WeightedGraph {
     assert!(m > 0, "attachment count must be positive");
     assert!(n > m, "vertex count {n} must exceed attachment count {m}");
@@ -238,6 +243,7 @@ impl PlantedPartition {
 ///
 /// Panics if `communities == 0`, `size < 3`, or the probabilities are
 /// outside `[0, 1]`.
+#[must_use]
 pub fn planted_partition(
     communities: usize,
     size: usize,
@@ -316,6 +322,7 @@ pub struct OverlappingPlanted {
 /// # Panics
 ///
 /// Panics if `communities == 0`, `size < 3`, or `overlap >= size - 1`.
+#[must_use]
 pub fn overlapping_planted(
     communities: usize,
     size: usize,
@@ -356,6 +363,7 @@ pub fn overlapping_planted(
 /// # Panics
 ///
 /// Same conditions as [`overlapping_planted`], plus `mu ∉ [0, 1]`.
+#[must_use]
 pub fn overlapping_planted_with_mixing(
     communities: usize,
     size: usize,
@@ -398,6 +406,7 @@ pub fn overlapping_planted_with_mixing(
 /// # Panics
 ///
 /// Panics if `n < 3`.
+#[must_use]
 pub fn ring(n: usize, weights: WeightMode, seed: u64) -> WeightedGraph {
     assert!(n >= 3, "a ring needs at least 3 vertices");
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -421,6 +430,7 @@ pub fn ring(n: usize, weights: WeightMode, seed: u64) -> WeightedGraph {
 /// # Panics
 ///
 /// Panics if `k` is odd or `k >= n`, or `p ∉ [0, 1]`.
+#[must_use]
 pub fn watts_strogatz(n: usize, k: usize, p: f64, weights: WeightMode, seed: u64) -> WeightedGraph {
     assert!(k.is_multiple_of(2), "lattice degree must be even");
     assert!(k < n, "degree {k} must be smaller than vertex count {n}");
@@ -453,6 +463,12 @@ pub fn watts_strogatz(n: usize, k: usize, p: f64, weights: WeightMode, seed: u64
 }
 
 /// Generates the path graph `P_n`.
+///
+/// # Panics
+///
+/// Never panics in practice: consecutive-index edges are always in
+/// range, distinct, and unique.
+#[must_use]
 pub fn path(n: usize, weights: WeightMode, seed: u64) -> WeightedGraph {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut b = GraphBuilder::with_vertices(n);
@@ -469,6 +485,7 @@ pub fn path(n: usize, weights: WeightMode, seed: u64) -> WeightedGraph {
 /// # Panics
 ///
 /// Panics if `n < 2`.
+#[must_use]
 pub fn star(n: usize, weights: WeightMode, seed: u64) -> WeightedGraph {
     assert!(n >= 2, "a star needs at least 2 vertices");
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -507,7 +524,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "does not exist")]
     fn k_regular_rejects_odd_odd() {
-        k_regular(7, 3, WeightMode::Unit, 0);
+        let _ = k_regular(7, 3, WeightMode::Unit, 0);
     }
 
     #[test]
@@ -624,7 +641,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "private vertices")]
     fn overlapping_planted_rejects_excessive_overlap() {
-        overlapping_planted(2, 4, 3, 0);
+        let _ = overlapping_planted(2, 4, 3, 0);
     }
 
     #[test]

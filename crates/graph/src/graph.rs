@@ -23,6 +23,7 @@ impl Edge {
     ///
     /// Panics if `v` is not an endpoint of this edge.
     #[inline]
+    #[must_use]
     pub fn other(&self, v: VertexId) -> VertexId {
         if v == self.source {
             self.target
@@ -35,6 +36,7 @@ impl Edge {
 
     /// Returns `true` if `v` is an endpoint of this edge.
     #[inline]
+    #[must_use]
     pub fn contains(&self, v: VertexId) -> bool {
         v == self.source || v == self.target
     }
@@ -81,18 +83,21 @@ pub struct WeightedGraph {
 impl WeightedGraph {
     /// Returns the number of vertices, `|V|`.
     #[inline]
+    #[must_use]
     pub fn vertex_count(&self) -> usize {
         self.offsets.len().saturating_sub(1)
     }
 
     /// Returns the number of edges, `|E|`.
     #[inline]
+    #[must_use]
     pub fn edge_count(&self) -> usize {
         self.edges.len()
     }
 
     /// Returns `true` if the graph has no vertices.
     #[inline]
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.vertex_count() == 0
     }
@@ -103,6 +108,7 @@ impl WeightedGraph {
     ///
     /// Panics if `v` is out of bounds.
     #[inline]
+    #[must_use]
     pub fn degree(&self, v: VertexId) -> usize {
         let i = v.index();
         self.offsets[i + 1] - self.offsets[i]
@@ -114,6 +120,7 @@ impl WeightedGraph {
     ///
     /// Panics if `v` is out of bounds.
     #[inline]
+    #[must_use]
     pub fn neighbors(&self, v: VertexId) -> &[Neighbor] {
         let i = v.index();
         &self.adj[self.offsets[i]..self.offsets[i + 1]]
@@ -125,6 +132,7 @@ impl WeightedGraph {
     ///
     /// Panics if `e` is out of bounds.
     #[inline]
+    #[must_use]
     pub fn edge(&self, e: EdgeId) -> &Edge {
         &self.edges[e.index()]
     }
@@ -133,6 +141,7 @@ impl WeightedGraph {
     ///
     /// Lookup is a binary search over the smaller adjacency list, so this
     /// costs O(log min(d(u), d(v))).
+    #[must_use]
     pub fn edge_between(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
         if u == v || u.index() >= self.vertex_count() || v.index() >= self.vertex_count() {
             return None;
@@ -143,11 +152,13 @@ impl WeightedGraph {
     }
 
     /// Returns the weight of the edge joining `u` and `v`, if any.
+    #[must_use]
     pub fn weight_between(&self, u: VertexId, v: VertexId) -> Option<Weight> {
         self.edge_between(u, v).map(|e| self.edge(e).weight)
     }
 
     /// Returns `true` if `u` and `v` are adjacent.
+    #[must_use]
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
         self.edge_between(u, v).is_some()
     }
@@ -158,27 +169,32 @@ impl WeightedGraph {
     }
 
     /// Iterates over all edges in id order.
+    #[must_use]
     pub fn edges(&self) -> EdgeIter<'_> {
         EdgeIter { inner: self.edges.iter().enumerate() }
     }
 
     /// Iterates over the adjacency of `v` (like [`neighbors`](Self::neighbors)
     /// but as an owning iterator type).
+    #[must_use]
     pub fn neighbor_iter(&self, v: VertexId) -> NeighborIter<'_> {
         NeighborIter { inner: self.neighbors(v).iter() }
     }
 
     /// Returns the sum of all edge weights.
+    #[must_use]
     pub fn total_weight(&self) -> Weight {
         self.edges.iter().map(|e| e.weight).sum()
     }
 
     /// Returns the maximum degree over all vertices (0 for an empty graph).
+    #[must_use]
     pub fn max_degree(&self) -> usize {
         self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
     /// Returns the density `2|E| / (|V| (|V|-1))`, or 0.0 when `|V| < 2`.
+    #[must_use]
     pub fn density(&self) -> f64 {
         let n = self.vertex_count();
         if n < 2 {
@@ -191,6 +207,12 @@ impl WeightedGraph {
     /// Extracts the subgraph induced by `vertices` (duplicates ignored).
     /// Returns the new graph and the mapping from new vertex ids to the
     /// originals.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: remapped edges inherit validity from
+    /// this graph (in range, distinct endpoints, no duplicates).
+    #[must_use]
     pub fn induced_subgraph(&self, vertices: &[VertexId]) -> (WeightedGraph, Vec<VertexId>) {
         let mut keep: Vec<VertexId> = vertices.to_vec();
         keep.sort_unstable();
@@ -212,6 +234,7 @@ impl WeightedGraph {
 
     /// The degree histogram: `histogram[d]` is the number of vertices of
     /// degree `d` (length `max_degree + 1`; empty for an empty graph).
+    #[must_use]
     pub fn degree_histogram(&self) -> Vec<usize> {
         if self.is_empty() {
             return Vec::new();
@@ -324,7 +347,7 @@ mod tests {
     fn edge_other_panics_on_non_endpoint() {
         let g = GraphBuilder::from_edges(3, &[(0, 1, 1.0)]).unwrap().build();
         let (_, edge) = g.edges().next().unwrap();
-        edge.other(VertexId::new(2));
+        let _ = edge.other(VertexId::new(2));
     }
 
     #[test]

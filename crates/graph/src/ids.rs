@@ -20,12 +20,14 @@ pub struct VertexId(u32);
 impl VertexId {
     /// Creates a vertex id from a dense index.
     #[inline]
+    #[must_use]
     pub fn new(index: usize) -> Self {
         VertexId(index as u32)
     }
 
     /// Returns the dense index of this vertex.
     #[inline]
+    #[must_use]
     pub fn index(self) -> usize {
         self.0 as usize
     }
@@ -68,12 +70,14 @@ pub struct EdgeId(u32);
 impl EdgeId {
     /// Creates an edge id from a dense index.
     #[inline]
+    #[must_use]
     pub fn new(index: usize) -> Self {
         EdgeId(index as u32)
     }
 
     /// Returns the dense index of this edge.
     #[inline]
+    #[must_use]
     pub fn index(self) -> usize {
         self.0 as usize
     }

@@ -89,14 +89,11 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<WeightedGraph, ParseGraph
             continue;
         }
         let mut parts = trimmed.split_whitespace();
-        let (u, v) = match (
+        let (Some(u), Some(v)) = (
             parts.next().and_then(|t| t.parse::<usize>().ok()),
             parts.next().and_then(|t| t.parse::<usize>().ok()),
-        ) {
-            (Some(u), Some(v)) => (u, v),
-            _ => {
-                return Err(ParseGraphError::Malformed { line: i + 1, content: trimmed.to_owned() })
-            }
+        ) else {
+            return Err(ParseGraphError::Malformed { line: i + 1, content: trimmed.to_owned() });
         };
         let w = match parts.next() {
             None => 1.0,

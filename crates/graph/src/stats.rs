@@ -58,6 +58,7 @@ impl GraphStats {
     ///
     /// Runs in O(|V| + K₂) time and O(K₁) space (the dominant cost is
     /// enumerating neighbor pairs to count K₁ exactly).
+    #[must_use]
     pub fn compute(g: &WeightedGraph) -> Self {
         GraphStats {
             vertices: g.vertex_count(),
@@ -77,6 +78,7 @@ impl GraphStats {
 
     /// Returns `true` if the paper's invariant K₁ ≤ K₂ ≤ K₃ holds
     /// (it must, for every graph — exposed for assertion convenience).
+    #[must_use]
     pub fn invariant_holds(&self) -> bool {
         self.common_neighbor_pairs <= self.incident_edge_pairs
             && self.incident_edge_pairs <= self.distinct_edge_pairs
@@ -87,6 +89,7 @@ impl GraphStats {
 /// vertex `v` is adjacent to both.
 ///
 /// This equals the number of keys of map `M` built by Algorithm 1.
+#[must_use]
 pub fn count_common_neighbor_pairs(g: &WeightedGraph) -> u64 {
     let mut pairs: HashSet<(u32, u32)> = HashSet::new();
     for v in g.vertices() {
@@ -102,6 +105,7 @@ pub fn count_common_neighbor_pairs(g: &WeightedGraph) -> u64 {
 
 /// Counts K₂: the number of unordered pairs of distinct incident edges,
 /// `Σᵥ d(v)(d(v)−1)/2`.
+#[must_use]
 pub fn count_incident_edge_pairs(g: &WeightedGraph) -> u64 {
     g.vertices()
         .map(|v| {
@@ -113,6 +117,7 @@ pub fn count_incident_edge_pairs(g: &WeightedGraph) -> u64 {
 
 /// Counts K₃: the number of unordered pairs of distinct edges,
 /// `|E|(|E|−1)/2`.
+#[must_use]
 pub fn count_distinct_edge_pairs(g: &WeightedGraph) -> u64 {
     let m = g.edge_count() as u64;
     m * (m.saturating_sub(1)) / 2
@@ -127,6 +132,7 @@ pub fn count_distinct_edge_pairs(g: &WeightedGraph) -> u64 {
 ///
 /// Triangles are where link clustering's signal lives: an incident edge
 /// pair closing a triangle has a large Tanimoto similarity.
+#[must_use]
 pub fn count_triangles(g: &WeightedGraph) -> u64 {
     let mut total = 0u64;
     for (_, e) in g.edges() {
@@ -154,6 +160,7 @@ pub fn count_triangles(g: &WeightedGraph) -> u64 {
 /// The global clustering coefficient (transitivity):
 /// `3 · triangles / open-and-closed-wedges` = `3·T / K₂`, or 0.0 when
 /// the graph has no incident edge pairs.
+#[must_use]
 pub fn transitivity(g: &WeightedGraph) -> f64 {
     let k2 = count_incident_edge_pairs(g);
     if k2 == 0 {
@@ -167,6 +174,7 @@ pub fn transitivity(g: &WeightedGraph) -> f64 {
 ///
 /// Computed by merging the two sorted adjacency lists in
 /// O(d(u) + d(v)) time.
+#[must_use]
 pub fn common_neighbors(g: &WeightedGraph, u: VertexId, v: VertexId) -> Vec<VertexId> {
     let (a, b) = (g.neighbors(u), g.neighbors(v));
     let mut out = Vec::new();

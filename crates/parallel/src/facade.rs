@@ -62,6 +62,7 @@ impl Default for LinkClustering {
 impl LinkClustering {
     /// Creates the default pipeline: one thread, insertion edge order,
     /// no similarity threshold, no telemetry.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -69,6 +70,7 @@ impl LinkClustering {
     /// Sets the worker thread count. `1` (the default) is the exact
     /// serial pipeline; `0` is rejected by the run methods with
     /// [`ConfigError::ZeroThreads`].
+    #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -78,12 +80,14 @@ impl LinkClustering {
     /// setting takes priority over a default-valued
     /// [`CoarseConfig::edge_order`] in [`run_coarse`](Self::run_coarse)
     /// and conflicts with a non-default one.
+    #[must_use]
     pub fn edge_order(mut self, order: EdgeOrder) -> Self {
         self.edge_order = Some(order);
         self
     }
 
     /// Stops sweeping below this similarity (cuts the dendrogram early).
+    #[must_use]
     pub fn min_similarity(mut self, theta: f64) -> Self {
         self.min_similarity = Some(theta);
         self
@@ -93,6 +97,7 @@ impl LinkClustering {
     /// [`RunReport`](linkclust_core::telemetry::RunReport) attached to
     /// the result. Disabled by default — a disabled run skips all clock
     /// reads.
+    #[must_use]
     pub fn stats(mut self, enabled: bool) -> Self {
         self.sink = if enabled { TelemetrySink::Stats } else { TelemetrySink::Off };
         self

@@ -42,6 +42,7 @@ use crate::pool::{hierarchical_reduce, partition_ranges, run_on_ranges};
 /// let sims = compute_similarities_parallel(&g, 4);
 /// assert_eq!(sims.len() as u64, linkclust_graph::stats::count_common_neighbor_pairs(&g));
 /// ```
+#[must_use]
 pub fn compute_similarities_parallel(g: &WeightedGraph, threads: usize) -> PairSimilarities {
     compute_similarities_parallel_with(g, threads, &Telemetry::disabled())
 }
@@ -55,6 +56,7 @@ pub fn compute_similarities_parallel(g: &WeightedGraph, threads: usize) -> PairS
 /// # Panics
 ///
 /// Panics if `threads == 0`.
+#[must_use]
 pub fn compute_similarities_parallel_with(
     g: &WeightedGraph,
     threads: usize,
@@ -180,6 +182,6 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn rejects_zero_threads() {
         let g = GraphBuilder::new().build();
-        compute_similarities_parallel(&g, 0);
+        let _ = compute_similarities_parallel(&g, 0);
     }
 }

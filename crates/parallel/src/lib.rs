@@ -40,6 +40,7 @@ pub mod facade;
 pub mod init;
 pub mod merge;
 pub mod pool;
+pub mod schedule;
 pub mod sort;
 pub mod sweep;
 
@@ -76,6 +77,7 @@ impl ParallelLinkClustering {
     }
 
     /// The configured thread count.
+    #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
     }
@@ -83,12 +85,25 @@ impl ParallelLinkClustering {
     /// Phase I in parallel: the sorted similarity list. Both the three
     /// passes and the O(K₁ log K₁) sort run on the configured threads
     /// (the sort is an extension beyond the paper; see DESIGN.md).
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: the thread count was validated by
+    /// [`ParallelLinkClustering::new`], the only way to construct `self`.
+    #[must_use]
     pub fn similarities(&self, g: &WeightedGraph) -> PairSimilarities {
         self.inner.similarities(g).expect("thread count validated in new()")
     }
 
     /// Both phases in parallel: parallel initialization followed by the
     /// parallel coarse-grained sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`CoarseConfig`] validation (for example a
+    /// zero chunk size); use [`LinkClustering::run_coarse`] on the facade
+    /// for the fallible variant.
+    #[must_use]
     pub fn run_coarse(&self, g: &WeightedGraph, config: CoarseConfig) -> CoarseResult {
         self.inner.run_coarse(g, config).unwrap_or_else(|e| panic!("invalid coarse config: {e}"))
     }

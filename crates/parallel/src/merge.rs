@@ -23,19 +23,58 @@ use linkclust_core::ClusterArray;
 /// `F₀(i) ∪ F₁(i) ∪ F₀(min F₁(i))` are pointed at the minimum element of
 /// that union.
 ///
+/// Because chains descend, each chain's minimum is its final element (its
+/// root), so the union's minimum is the smaller of the two `C₀` roots —
+/// no need to scan every element. The three chains can also overlap
+/// (`F₀(i)` and `F₀(min F₁(i))` share any common suffix in `target`), so
+/// the element set is deduplicated before the writes.
+///
+/// # Examples
+///
+/// The counterexample of §VI-B (0-based): `C₀ = [0,1,1,0]` puts edges
+/// `{0, 3}` and `{1, 2}` together, `C₁ = [0,1,2,2]` joins `{2, 3}`, so
+/// the join is one big cluster. The corrected scheme finds it; the
+/// flawed scheme of the paper's first attempt
+/// ([`merge_cluster_arrays_flawed`]) leaves two clusters behind:
+///
+/// ```
+/// use linkclust_core::ClusterArray;
+/// use linkclust_parallel::merge::{merge_cluster_arrays, merge_cluster_arrays_flawed};
+///
+/// let c1 = ClusterArray::from_parents(vec![0, 1, 2, 2]);
+///
+/// let mut corrected = ClusterArray::from_parents(vec![0, 1, 1, 0]);
+/// merge_cluster_arrays(&mut corrected, &c1);
+/// assert_eq!(corrected.assignments(), vec![0, 0, 0, 0]);
+///
+/// let mut flawed = ClusterArray::from_parents(vec![0, 1, 1, 0]);
+/// merge_cluster_arrays_flawed(&mut flawed, &c1);
+/// assert_eq!(flawed.count_roots(), 2); // wrong: the join is one cluster
+/// ```
+///
 /// # Panics
 ///
 /// Panics if the arrays have different lengths.
 pub fn merge_cluster_arrays(target: &mut ClusterArray, other: &ClusterArray) {
     assert_eq!(target.len(), other.len(), "cluster arrays must cover the same edges");
+    let mut members: Vec<u32> = Vec::new();
     for i in 0..target.len() {
         let f0 = target.chain(i);
         let f1 = other.chain(i);
         let r1 = *f1.last().expect("chains are non-empty");
         let extra = target.chain(r1 as usize);
-        let f =
-            *[&f0, &f1, &extra].iter().flat_map(|c| c.iter()).min().expect("chains are non-empty");
-        for &e in f0.iter().chain(&f1).chain(&extra) {
+        // min(F₀(i) ∪ F₁(i) ∪ F₀(r₁)) hoisted to the chain roots:
+        // min F₁(i) = r₁ is the head of `extra`, so the union's minimum
+        // is the smaller of the two `target` roots.
+        let r0 = *f0.last().expect("chains are non-empty");
+        let f = r0.min(*extra.last().expect("chains are non-empty"));
+        members.clear();
+        members.extend_from_slice(&f0);
+        members.extend_from_slice(&f1);
+        members.extend_from_slice(&extra);
+        members.sort_unstable();
+        members.dedup();
+        for &e in &members {
             target.set_parent(e as usize, f);
         }
     }
@@ -68,6 +107,7 @@ pub fn merge_cluster_arrays_flawed(target: &mut ClusterArray, other: &ClusterArr
 /// # Panics
 ///
 /// Panics if the arrays have different lengths.
+#[must_use]
 pub fn merge_cluster_arrays_reference(a: &ClusterArray, b: &ClusterArray) -> ClusterArray {
     assert_eq!(a.len(), b.len(), "cluster arrays must cover the same edges");
     let n = a.len();

@@ -17,6 +17,7 @@ use std::ops::Range;
 /// let r = partition_ranges(10, 3);
 /// assert_eq!(r, vec![0..4, 4..7, 7..10]);
 /// ```
+#[must_use]
 pub fn partition_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
     assert!(parts > 0, "need at least one partition");
     let parts = parts.min(n);
@@ -38,6 +39,7 @@ pub fn partition_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
 /// # Panics
 ///
 /// Panics if `parts == 0`.
+#[must_use]
 pub fn balanced_partition_by_weight(weights: &[u64], parts: usize) -> Vec<Range<usize>> {
     assert!(parts > 0, "need at least one partition");
     let n = weights.len();
@@ -46,23 +48,24 @@ pub fn balanced_partition_by_weight(weights: &[u64], parts: usize) -> Vec<Range<
     }
     let total: u64 = weights.iter().sum();
     let parts = parts.min(n);
-    let ideal = total as f64 / parts as f64;
     let mut out = Vec::with_capacity(parts);
     let mut start = 0;
     let mut acc: u64 = 0;
-    let mut target = ideal;
     for (i, &w) in weights.iter().enumerate() {
         acc += w;
         let remaining_parts = parts - out.len();
         let remaining_items = n - i - 1;
-        // Close the range at the ideal share, but never leave fewer items
-        // than ranges still to emit.
-        if (acc as f64 >= target && remaining_parts > 1 && remaining_items >= remaining_parts - 1)
+        // Close the k-th range once the running sum reaches k·total/parts
+        // — compared exactly in u128 (acc·parts ≥ total·k), so the
+        // boundary targets carry no accumulated floating-point drift —
+        // but never leave fewer items than ranges still to emit.
+        let k = (out.len() + 1) as u128;
+        let reached = u128::from(acc) * parts as u128 >= u128::from(total) * k;
+        if (reached && remaining_parts > 1 && remaining_items >= remaining_parts - 1)
             || remaining_items + 1 == remaining_parts
         {
             out.push(start..i + 1);
             start = i + 1;
-            target += ideal;
             if out.len() == parts - 1 {
                 break;
             }
@@ -74,8 +77,22 @@ pub fn balanced_partition_by_weight(weights: &[u64], parts: usize) -> Vec<Range<
     out
 }
 
+/// Unwraps a scoped join handle, re-raising the worker's own panic
+/// payload instead of panicking with a second, less informative message.
+fn join_propagating<'scope, T>(h: std::thread::ScopedJoinHandle<'scope, T>) -> T {
+    match h.join() {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
 /// Runs `f` over each range on its own thread (scoped), collecting the
 /// results in range order.
+///
+/// # Panics
+///
+/// A panic in `f` on any worker thread is propagated to the caller with
+/// its original payload.
 pub fn run_on_ranges<T, F>(ranges: Vec<Range<usize>>, f: F) -> Vec<T>
 where
     T: Send,
@@ -92,13 +109,18 @@ where
                 s.spawn(move || f(r))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+        handles.into_iter().map(|h| join_propagating(h)).collect()
     })
 }
 
 /// Reduces `items` pairwise, each pair on its own thread, until at most
 /// three remain; those are folded serially — the hierarchical merge shape
 /// of §VI-A (pass 2) and §VI-B (array combination).
+///
+/// # Panics
+///
+/// A panic in `combine` on any worker thread is propagated to the caller
+/// with its original payload.
 pub fn hierarchical_reduce<T, F>(mut items: Vec<T>, combine: F) -> Option<T>
 where
     T: Send,
@@ -119,7 +141,7 @@ where
                     s.spawn(move || combine(a, b))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("merge thread panicked")).collect()
+            handles.into_iter().map(|h| join_propagating(h)).collect()
         });
         next.extend(carry);
         items = next;

@@ -64,25 +64,22 @@ where
     let mut out = Vec::with_capacity(a.len() + b.len());
     let mut ia = a.into_iter().peekable();
     let mut ib = b.into_iter().peekable();
-    loop {
-        match (ia.peek(), ib.peek()) {
-            (Some(x), Some(y)) => {
-                if compare(x, y) != std::cmp::Ordering::Greater {
-                    out.push(ia.next().expect("peeked"));
-                } else {
-                    out.push(ib.next().expect("peeked"));
-                }
-            }
-            (Some(_), None) => out.push(ia.next().expect("peeked")),
-            (None, Some(_)) => out.push(ib.next().expect("peeked")),
-            (None, None) => return out,
+    while let (Some(x), Some(y)) = (ia.peek(), ib.peek()) {
+        if compare(x, y) != std::cmp::Ordering::Greater {
+            out.extend(ia.next());
+        } else {
+            out.extend(ib.next());
         }
     }
+    out.extend(ia);
+    out.extend(ib);
+    out
 }
 
 /// Sorts a [`PairSimilarities`] into the list `L` (non-increasing score,
 /// ties by vertex pair) using `threads` worker threads. Produces exactly
 /// the same order as [`PairSimilarities::into_sorted`].
+#[must_use]
 pub fn parallel_into_sorted(sims: PairSimilarities, threads: usize) -> PairSimilarities {
     parallel_into_sorted_with(sims, threads, &Telemetry::disabled())
 }
@@ -90,6 +87,7 @@ pub fn parallel_into_sorted(sims: PairSimilarities, threads: usize) -> PairSimil
 /// [`parallel_into_sorted`] with telemetry: the sort runs under a
 /// [`Phase::Sort`] span (recorded even when the input is already sorted,
 /// so run reports always account for the phase).
+#[must_use]
 pub fn parallel_into_sorted_with(
     sims: PairSimilarities,
     threads: usize,
@@ -101,10 +99,7 @@ pub fn parallel_into_sorted_with(
     }
     let entries: Vec<SimilarityEntry> = sims.into_iter().collect();
     let sorted = parallel_sort_by(entries, threads, |a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .expect("similarity scores are never NaN")
-            .then_with(|| a.pair.cmp(&b.pair))
+        b.score.total_cmp(&a.score).then_with(|| a.pair.cmp(&b.pair))
     });
     PairSimilarities::from_sorted(sorted)
 }
@@ -139,7 +134,7 @@ mod tests {
         let items: Vec<(u32, u32)> = (0..500).map(|i| (i % 7, i)).collect();
         let got = parallel_sort_by(items.clone(), 4, |a, b| a.0.cmp(&b.0));
         assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
-        let mut a = got.clone();
+        let mut a = got;
         a.sort();
         let mut b = items;
         b.sort();

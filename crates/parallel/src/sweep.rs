@@ -46,6 +46,7 @@ impl ParallelChunkProcessor {
     /// Chunks with fewer than `n` entries per thread fall back to serial
     /// processing (thread spawn overhead dominates tiny chunks). Default
     /// is 8.
+    #[must_use]
     pub fn min_entries_per_thread(mut self, n: usize) -> Self {
         self.min_entries_per_thread = n.max(1);
         self
@@ -55,6 +56,7 @@ impl ParallelChunkProcessor {
     /// timed ([`Phase::ChunkProcess`] / [`Phase::ChunkCombine`]), chunk
     /// and combine counters recorded, and per-thread incident-pair loads
     /// fed into the report's thread-item counts.
+    #[must_use]
     pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
         self
@@ -103,8 +105,14 @@ impl ChunkProcessor for ParallelChunkProcessor {
             merge_cluster_arrays(&mut a, &b);
             a
         })
-        .expect("at least one copy exists");
+        .unwrap_or_else(|| base.clone());
         span.finish();
+
+        // Debug builds verify the combined array is still a valid
+        // descending-chain partition and only merged (never split) the
+        // clusters of the pre-chunk state.
+        linkclust_core::invariants::debug_check_cluster_array(&merged);
+        linkclust_core::invariants::debug_check_refinement(&base, &merged);
 
         let outcomes = partition_diff(&base, &merged);
         *c = merged;
@@ -136,6 +144,7 @@ impl ChunkProcessor for ParallelChunkProcessor {
 /// let r = parallel_coarse_sweep(&g, &sims, cfg, 4);
 /// assert!(r.dendrogram().merge_count() > 0);
 /// ```
+#[must_use]
 pub fn parallel_coarse_sweep(
     g: &WeightedGraph,
     sorted: &PairSimilarities,

@@ -1,0 +1,101 @@
+//! Property tests for the structural validators of
+//! `linkclust_core::invariants`: the dendrograms every pipeline produces
+//! — serial and `threads(n)`, fine- and coarse-grained — must validate
+//! over random `G(n, m)` graphs, and hand-built violations must be
+//! rejected.
+
+use linkclust_core::coarse::CoarseConfig;
+use linkclust_core::dendrogram::MergeRecord;
+use linkclust_core::invariants::{
+    validate_cluster_array, validate_dendrogram, validate_level_points,
+};
+use linkclust_core::{ClusterArray, Dendrogram};
+use linkclust_graph::generate::{gnm, WeightMode};
+use linkclust_parallel::facade::LinkClustering;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn serial_sweep_dendrograms_validate((n, extra, seed) in (6usize..40, 0usize..60, 0u64..1000)) {
+        let m = (n - 1) + extra.min(n * (n - 1) / 2 - (n - 1));
+        let g = gnm(n, m, WeightMode::Unit, seed);
+        let result = LinkClustering::new().run(&g).expect("serial run");
+        prop_assert_eq!(validate_dendrogram(result.dendrogram()), Ok(()));
+    }
+
+    #[test]
+    fn threaded_dendrograms_validate((n, seed, threads) in (8usize..36, 0u64..1000, 2usize..5)) {
+        let m = (2 * n).min(n * (n - 1) / 2);
+        let g = gnm(n, m, WeightMode::Unit, seed);
+        let result = LinkClustering::new().threads(threads).run(&g).expect("threaded run");
+        prop_assert_eq!(validate_dendrogram(result.dendrogram()), Ok(()));
+    }
+
+    #[test]
+    fn coarse_threaded_runs_validate((n, seed, threads) in (8usize..32, 0u64..500, 2usize..5)) {
+        let m = (2 * n).min(n * (n - 1) / 2);
+        let g = gnm(n, m, WeightMode::Unit, seed);
+        let result = LinkClustering::new()
+            .threads(threads)
+            .run_coarse(&g, CoarseConfig::default())
+            .expect("coarse run");
+        prop_assert_eq!(validate_dendrogram(result.output().dendrogram()), Ok(()));
+        prop_assert_eq!(validate_level_points(result.levels()), Ok(()));
+    }
+
+    #[test]
+    fn random_merge_sequences_keep_cluster_arrays_valid(
+        (n, ops, seed) in (2usize..50, 1usize..80, 0u64..1000)
+    ) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut c = ClusterArray::new(n);
+        for _ in 0..ops {
+            let (i, j) = (rng.gen_range(0..n), rng.gen_range(0..n));
+            let _ = c.merge(i, j);
+        }
+        prop_assert_eq!(validate_cluster_array(&c), Ok(()));
+    }
+}
+
+/// Merging a dead cluster (non-monotone liveness) is rejected.
+#[test]
+fn hand_built_orphan_merge_is_rejected() {
+    let d = Dendrogram::from_merges(
+        4,
+        vec![
+            MergeRecord { level: 1, left: 0, right: 1, into: 0 },
+            // Cluster 1 died in the first merge.
+            MergeRecord { level: 2, left: 1, right: 2, into: 1 },
+        ],
+    );
+    let err = validate_dendrogram(&d).expect_err("orphaned operand");
+    assert!(err.detail.contains("no longer live"), "{err}");
+}
+
+/// `Dendrogram::from_merges` itself rejects non-monotone heights, so a
+/// violation of that invariant can only be observed through the
+/// constructor's panic.
+#[test]
+#[should_panic(expected = "non-decreasing")]
+fn non_monotone_height_is_rejected_at_construction() {
+    let _ = Dendrogram::from_merges(
+        4,
+        vec![
+            MergeRecord { level: 5, left: 0, right: 1, into: 0 },
+            MergeRecord { level: 2, left: 2, right: 3, into: 2 },
+        ],
+    );
+}
+
+/// An ascending parent pointer can only be introduced through
+/// `from_parents`, which panics — the validator's equivalent check is
+/// exercised in the `invariants` module tests.
+#[test]
+#[should_panic(expected = "descending-chain")]
+fn ascending_parent_is_rejected_at_construction() {
+    let _ = ClusterArray::from_parents(vec![1, 1]);
+}

@@ -1,0 +1,89 @@
+//! Property tests for `balanced_partition_by_weight`: the ranges must
+//! tile the index space exactly, never exceed the requested part count,
+//! and stay balanced — the boundary targets are computed with exact
+//! integer arithmetic, so balance must not drift with input length.
+
+use linkclust_parallel::pool::balanced_partition_by_weight;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_index_covered_exactly_once(
+        (weights, parts) in (vec(0u64..1_000_000, 0..200), 1usize..12)
+    ) {
+        let ranges = balanced_partition_by_weight(&weights, parts);
+        prop_assert!(ranges.len() <= parts, "{} ranges for {parts} parts", ranges.len());
+        let mut covered = vec![0u32; weights.len()];
+        for r in &ranges {
+            prop_assert!(r.start < r.end, "empty range {r:?}");
+            prop_assert!(r.end <= weights.len(), "range {r:?} beyond {}", weights.len());
+            for slot in covered[r.clone()].iter_mut() {
+                *slot += 1;
+            }
+        }
+        prop_assert!(
+            covered.iter().all(|&c| c == 1),
+            "coverage {covered:?} for ranges {ranges:?}"
+        );
+        // Contiguity in order: each range starts where the previous ended.
+        let mut expected_start = 0;
+        for r in &ranges {
+            prop_assert_eq!(r.start, expected_start);
+            expected_start = r.end;
+        }
+        prop_assert_eq!(expected_start, weights.len());
+    }
+
+    #[test]
+    fn uniform_weights_split_near_evenly(
+        (n, parts, w) in (1usize..400, 1usize..12, 1u64..1000)
+    ) {
+        let weights = vec![w; n];
+        let ranges = balanced_partition_by_weight(&weights, parts);
+        prop_assert_eq!(ranges.len(), parts.min(n));
+        let sizes: Vec<usize> = ranges.iter().map(|r| r.end - r.start).collect();
+        let max = *sizes.iter().max().expect("at least one range");
+        let min = *sizes.iter().min().expect("at least one range");
+        // Exact integer boundary targets put every cut at ⌈n·k/parts⌉,
+        // so uniform-weight range sizes can differ by at most one.
+        prop_assert!(max - min <= 1, "sizes {sizes:?} for n = {n}, parts = {parts}");
+    }
+
+    #[test]
+    fn range_count_and_total_weight_are_preserved(
+        (weights, parts) in (vec(0u64..100, 1..150), 1usize..8)
+    ) {
+        let total: u64 = weights.iter().sum();
+        let ranges = balanced_partition_by_weight(&weights, parts);
+        let covered: u64 = ranges.iter().map(|r| weights[r.clone()].iter().sum::<u64>()).sum();
+        prop_assert_eq!(covered, total);
+        prop_assert_eq!(ranges.len(), parts.min(weights.len()));
+    }
+}
+
+/// The regression the integer-exact targets fix: with float
+/// accumulation, `target += ideal` drifts by an ulp per boundary, which
+/// on adversarial inputs moves a cut by one item. The exact-arithmetic
+/// predicate is reproducible against an independent computation of the
+/// boundary targets.
+#[test]
+fn boundaries_match_exact_rational_targets_for_uniform_weights() {
+    for n in 1..300usize {
+        for parts in 1..8usize {
+            let weights = vec![7u64; n];
+            let ranges = balanced_partition_by_weight(&weights, parts);
+            for (k, r) in ranges.iter().enumerate().take(ranges.len() - 1) {
+                // The k-th cut (1-based) is the smallest i with
+                // i·parts ≥ n·(k+1): exactly ⌈n·(k+1)/parts⌉.
+                let expected_end = (n * (k + 1)).div_ceil(parts.min(n));
+                assert_eq!(
+                    r.end, expected_end,
+                    "cut {k} for n = {n}, parts = {parts}: ranges {ranges:?}"
+                );
+            }
+        }
+    }
+}

@@ -13,7 +13,7 @@ use linkclust::{
 };
 
 fn main() {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let g = barabasi_albert(3_000, 10, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 5);
     println!(
         "graph: {} vertices, {} edges; machine has {} core(s)",
@@ -50,7 +50,7 @@ fn main() {
         match &reference_levels {
             None => reference_levels = Some(levels),
             Some(reference) => {
-                assert_eq!(reference, &levels, "thread count must not change the trajectory")
+                assert_eq!(reference, &levels, "thread count must not change the trajectory");
             }
         }
         let base = *sweep_base.get_or_insert(elapsed);

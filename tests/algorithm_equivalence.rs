@@ -53,7 +53,7 @@ proptest! {
     #[test]
     fn threshold_cuts_match_brute_force(g in arb_graph(), theta in 0.05f64..0.95) {
         let sims = compute_similarities(&g);
-        let sorted = sims.clone().into_sorted();
+        let sorted = sims.into_sorted();
         let out = sweep(&g, &sorted, SweepConfig {
             min_similarity: Some(theta),
             ..Default::default()

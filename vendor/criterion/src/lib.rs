@@ -198,6 +198,7 @@ fn run_one(id: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        #[doc = "Criterion benchmark group entry point (generated)."]
         pub fn $name() {
             let mut criterion: $crate::Criterion = $config;
             $($target(&mut criterion);)+

@@ -1,0 +1,157 @@
+//! The workspace verification harness (`cargo xtask <command>`).
+//!
+//! `cargo xtask check` is the single entry point CI and contributors run:
+//! it drives rustfmt, clippy (with the workspace lint tables of the root
+//! `Cargo.toml`), the documentation build, the forbidden-pattern scanner
+//! (see [`scan`]), and the full test suite, then prints a pass/fail
+//! summary. Every step is also available as its own subcommand so a
+//! failing gate can be re-run in isolation.
+//!
+//! The policy the harness enforces is documented in `VERIFICATION.md` at
+//! the workspace root.
+
+mod scan;
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+use std::time::Instant;
+
+/// One verification gate: a name, a human description, and a runner.
+struct Gate {
+    name: &'static str,
+    description: &'static str,
+    run: fn(&Path) -> Result<(), String>,
+}
+
+const GATES: &[Gate] = &[
+    Gate { name: "fmt", description: "rustfmt (check mode)", run: run_fmt },
+    Gate { name: "clippy", description: "clippy with the workspace lint tables", run: run_clippy },
+    Gate { name: "doc", description: "rustdoc with warnings denied", run: run_doc },
+    Gate { name: "scan", description: "forbidden-pattern scanner", run: run_scan },
+    Gate { name: "test", description: "full test suite", run: run_test },
+];
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map_or("check", String::as_str);
+    match command {
+        "check" => run_gates(&root, GATES),
+        "fast" => {
+            // Everything except the test suite — the quick pre-commit loop.
+            run_gates(&root, &GATES[..GATES.len() - 1])
+        }
+        name => {
+            if let Some(gate) = GATES.iter().find(|g| g.name == name) {
+                run_gates(&root, std::slice::from_ref(gate))
+            } else {
+                eprintln!("unknown command `{name}`\n");
+                print_usage();
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: cargo xtask [command]\n");
+    eprintln!("commands:");
+    eprintln!("  check   run every gate (the default; CI entry point)");
+    eprintln!("  fast    every gate except the test suite");
+    for g in GATES {
+        eprintln!("  {:<7} {}", g.name, g.description);
+    }
+}
+
+/// Runs the given gates in order, printing a summary; keeps going after a
+/// failure so one run reports every broken gate.
+fn run_gates(root: &Path, gates: &[Gate]) -> ExitCode {
+    let mut failures = Vec::new();
+    let mut summary = Vec::new();
+    for gate in gates {
+        eprintln!("==> xtask {} ({})", gate.name, gate.description);
+        let start = Instant::now();
+        let result = (gate.run)(root);
+        let secs = start.elapsed().as_secs_f64();
+        match result {
+            Ok(()) => summary.push(format!("  ok   {:<7} {secs:7.1}s", gate.name)),
+            Err(msg) => {
+                summary.push(format!("  FAIL {:<7} {secs:7.1}s", gate.name));
+                failures.push(format!("{}: {msg}", gate.name));
+            }
+        }
+    }
+    eprintln!("\nxtask summary:");
+    for line in &summary {
+        eprintln!("{line}");
+    }
+    if failures.is_empty() {
+        eprintln!("\nall gates passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!();
+        for f in &failures {
+            eprintln!("failed gate -- {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: the parent of this crate's manifest directory.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().expect("xtask lives one level below the workspace root").to_path_buf()
+}
+
+/// Runs `cargo <args>` at the workspace root, mapping a non-zero exit to
+/// an error message.
+fn cargo(root: &Path, args: &[&str], envs: &[(&str, &str)]) -> Result<(), String> {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let mut cmd = Command::new(cargo);
+    cmd.current_dir(root).args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let status = cmd.status().map_err(|e| format!("failed to spawn cargo: {e}"))?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err(format!("`cargo {}` exited with {status}", args.join(" ")))
+    }
+}
+
+fn run_fmt(root: &Path) -> Result<(), String> {
+    cargo(root, &["fmt", "--all", "--check"], &[])
+}
+
+fn run_clippy(root: &Path) -> Result<(), String> {
+    // The workspace lint tables already deny warnings; `-D warnings` is
+    // kept as a belt-and-braces guard for lints raised by rustc itself.
+    cargo(root, &["clippy", "--workspace", "--all-targets", "--quiet", "--", "-D", "warnings"], &[])
+}
+
+fn run_doc(root: &Path) -> Result<(), String> {
+    cargo(root, &["doc", "--workspace", "--no-deps", "--quiet"], &[("RUSTDOCFLAGS", "-D warnings")])
+}
+
+fn run_test(root: &Path) -> Result<(), String> {
+    cargo(root, &["test", "--workspace", "--quiet"], &[])
+}
+
+fn run_scan(root: &Path) -> Result<(), String> {
+    let report = scan::scan_workspace(root).map_err(|e| format!("scanner I/O error: {e}"))?;
+    for v in &report.violations {
+        eprintln!("{}", v.display(root));
+    }
+    eprintln!(
+        "scan: {} files, {} violations, {} waivers",
+        report.files_scanned,
+        report.violations.len(),
+        report.waivers
+    );
+    if report.violations.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} forbidden-pattern violations", report.violations.len()))
+    }
+}

@@ -1,0 +1,398 @@
+//! The forbidden-pattern scanner.
+//!
+//! Scans the non-test source of every first-party crate (`crates/*/src`
+//! and the root `src/`) and reports:
+//!
+//! * **stray panics** — `.unwrap()` anywhere outside test code, and
+//!   `.expect(` / `panic!(` / `todo!(` / `unimplemented!(` / `dbg!(`
+//!   outside test code *and* outside a function whose doc comment carries
+//!   a `# Panics` section (a documented-panic API);
+//! * **undocumented assertions** — `assert!` / `assert_eq!` /
+//!   `assert_ne!` in a `pub fn` without a `# Panics` section
+//!   (`debug_assert*` is exempt: it vanishes in release builds);
+//! * **non-determinism in bench figures** — wall-clock *dates*
+//!   (`SystemTime`, `chrono`) inside `crates/bench/src`, so repeated
+//!   figure runs emit byte-identical artifacts (`Instant` is fine: it is
+//!   the timing primitive, not a date).
+//!
+//! Test code is exempt: `#[cfg(test)]` regions, doc comments (and the
+//! doctests inside them), and everything outside the scanned roots
+//! (`tests/`, `benches/`, `examples/`, `vendor/`, `xtask/`). A line can
+//! carry an explicit waiver comment `xtask-allow: <reason>`; waivers are
+//! counted and printed so they stay visible.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a source location.
+pub(crate) struct Violation {
+    /// Absolute path of the offending file.
+    pub(crate) file: PathBuf,
+    /// 1-based line number.
+    pub(crate) line: usize,
+    /// Short rule identifier (e.g. `stray-unwrap`).
+    pub(crate) rule: &'static str,
+    /// Human-readable explanation.
+    pub(crate) message: String,
+}
+
+impl Violation {
+    /// Formats the violation as `path:line: [rule] message`, with `path`
+    /// relative to `root`.
+    pub(crate) fn display(&self, root: &Path) -> String {
+        let rel = self.file.strip_prefix(root).unwrap_or(&self.file);
+        let mut out = String::new();
+        let _ = write!(out, "{}:{}: [{}] {}", rel.display(), self.line, self.rule, self.message);
+        out
+    }
+}
+
+/// The scanner's aggregate result.
+pub(crate) struct ScanReport {
+    /// Every violation found, in path order.
+    pub(crate) violations: Vec<Violation>,
+    /// Number of `.rs` files scanned.
+    pub(crate) files_scanned: usize,
+    /// Number of lines carrying an explicit `xtask-allow` waiver.
+    pub(crate) waivers: usize,
+}
+
+/// Scans the workspace rooted at `root`.
+pub(crate) fn scan_workspace(root: &Path) -> io::Result<ScanReport> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rust_files(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rust_files(&root_src, &mut files)?;
+    }
+    files.sort();
+
+    let mut report = ScanReport { violations: Vec::new(), files_scanned: 0, waivers: 0 };
+    for file in files {
+        let text = fs::read_to_string(&file)?;
+        report.files_scanned += 1;
+        scan_file(&file, &text, &mut report);
+    }
+    Ok(report)
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Per-file scanning state: a line-oriented approximation of the Rust
+/// grammar that tracks brace depth, `#[cfg(test)]` regions, and which
+/// function (documented-panic or not, `pub` or not) each line belongs to.
+struct FileState {
+    /// Current brace depth.
+    depth: usize,
+    /// Depths at which `#[cfg(test)]` regions were entered.
+    test_regions: Vec<usize>,
+    /// Open function scopes: (entry depth, has `# Panics` doc, is pub).
+    fn_scopes: Vec<(usize, bool, bool)>,
+    /// A `#[cfg(test)]` attribute was seen; the next `{` opens its region.
+    pending_test: bool,
+    /// A `fn` signature was seen; the next `{` opens its body.
+    pending_fn: Option<(bool, bool)>,
+    /// The doc block accumulated above the next item mentions `# Panics`.
+    doc_has_panics: bool,
+    /// Inside a `/* ... */` block comment.
+    in_block_comment: bool,
+}
+
+fn scan_file(file: &Path, text: &str, report: &mut ScanReport) {
+    let in_bench = file.components().any(|c| c.as_os_str() == "bench");
+    let mut st = FileState {
+        depth: 0,
+        test_regions: Vec::new(),
+        fn_scopes: Vec::new(),
+        pending_test: false,
+        pending_fn: None,
+        doc_has_panics: false,
+        in_block_comment: false,
+    };
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let (code, comment) = split_code_and_comment(raw_line, &mut st.in_block_comment);
+        let trimmed = code.trim();
+
+        // Doc comments: track `# Panics`, never scan their contents
+        // (doctests legitimately use unwrap/expect/panic).
+        let raw_trimmed = raw_line.trim_start();
+        if raw_trimmed.starts_with("///") || raw_trimmed.starts_with("//!") {
+            if raw_trimmed.contains("# Panics") {
+                st.doc_has_panics = true;
+            }
+            continue;
+        }
+
+        let waived = comment.contains("xtask-allow:") || code.contains("xtask-allow:");
+        if waived {
+            report.waivers += 1;
+        }
+
+        if trimmed.contains("#[cfg(test)]") || trimmed.contains("#[cfg(all(test") {
+            st.pending_test = true;
+        }
+
+        // Attribute or blank lines keep the pending doc block alive;
+        // anything else consumes it below.
+        let is_attr_or_blank = trimmed.is_empty() || trimmed.starts_with("#[");
+
+        // A `fn` signature (free fn, method, or trait default) binds the
+        // accumulated doc block.
+        if !st.in_test(st.depth) && st.pending_fn.is_none() && has_fn_keyword(trimmed) {
+            let is_pub = trimmed.starts_with("pub ");
+            st.pending_fn = Some((st.doc_has_panics, is_pub));
+        }
+
+        let in_test = st.in_test(st.depth);
+        if !in_test && !waived {
+            check_patterns(file, line_no, trimmed, in_bench, &st, report);
+        }
+
+        // Brace accounting (on the comment/string-stripped code).
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    if st.pending_test {
+                        st.test_regions.push(st.depth);
+                        st.pending_test = false;
+                        st.pending_fn = None;
+                    } else if let Some((documented, is_pub)) = st.pending_fn.take() {
+                        st.fn_scopes.push((st.depth, documented, is_pub));
+                    }
+                    st.depth += 1;
+                }
+                '}' => {
+                    st.depth = st.depth.saturating_sub(1);
+                    while st.test_regions.last() == Some(&st.depth) {
+                        st.test_regions.pop();
+                    }
+                    while st.fn_scopes.last().is_some_and(|&(d, _, _)| d == st.depth) {
+                        st.fn_scopes.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // A signature ending in `;` (trait method declaration) never gets
+        // a body; drop the pending fn so it cannot leak onto a later `{`.
+        if st.pending_fn.is_some() && trimmed.ends_with(';') {
+            st.pending_fn = None;
+        }
+
+        if !is_attr_or_blank {
+            st.doc_has_panics = false;
+        }
+    }
+}
+
+impl FileState {
+    fn in_test(&self, _depth: usize) -> bool {
+        !self.test_regions.is_empty()
+    }
+
+    /// `true` if any enclosing function documents its panics.
+    fn panics_documented(&self) -> bool {
+        self.pending_fn.is_some_and(|(d, _)| d)
+            || self.fn_scopes.iter().any(|&(_, documented, _)| documented)
+    }
+
+    /// `true` if the innermost function scope is `pub`.
+    fn innermost_is_pub(&self) -> bool {
+        self.fn_scopes.last().is_some_and(|&(_, _, is_pub)| is_pub)
+    }
+}
+
+fn check_patterns(
+    file: &Path,
+    line: usize,
+    code: &str,
+    in_bench: bool,
+    st: &FileState,
+    report: &mut ScanReport,
+) {
+    let mut push = |rule: &'static str, message: String| {
+        report.violations.push(Violation { file: file.to_path_buf(), line, rule, message });
+    };
+
+    if code.contains(".unwrap()") {
+        push(
+            "stray-unwrap",
+            "`.unwrap()` outside test code: use `.expect(\"<invariant>\")` inside a \
+             `# Panics`-documented fn, a typed error, or an infallible rewrite"
+                .to_string(),
+        );
+    }
+    for (pat, rule) in
+        [(".expect(", "undocumented-expect"), (".expect_err(", "undocumented-expect")]
+    {
+        if code.contains(pat) && !st.panics_documented() {
+            push(rule, format!("`{pat}...)` in a fn without a `# Panics` doc section"));
+        }
+    }
+    for pat in ["panic!(", "unimplemented!(", "todo!(", "dbg!("] {
+        if contains_macro(code, pat) {
+            let hard_forbidden = matches!(pat, "todo!(" | "unimplemented!(" | "dbg!(");
+            if hard_forbidden {
+                push("forbidden-macro", format!("`{pat}...)` must not appear in shipped code"));
+            } else if !st.panics_documented() {
+                push(
+                    "undocumented-panic",
+                    format!("`{pat}...)` in a fn without a `# Panics` doc section"),
+                );
+            }
+        }
+    }
+    for pat in ["assert!(", "assert_eq!(", "assert_ne!("] {
+        if contains_macro(code, pat) && st.innermost_is_pub() && !st.panics_documented() {
+            push(
+                "undocumented-assert",
+                format!("`{pat}...)` in a pub fn without a `# Panics` doc section"),
+            );
+        }
+    }
+    if in_bench {
+        for pat in ["SystemTime", "chrono::", "Utc::now", "Local::now"] {
+            if code.contains(pat) {
+                push(
+                    "bench-date",
+                    format!(
+                        "`{pat}` in bench code: figure artifacts must be date-free \
+                             so repeated runs are byte-identical"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `true` if `code` invokes the macro `pat` (which ends in `!(`), with a
+/// non-identifier character before it — so `assert!(` does not match
+/// `debug_assert!(`.
+fn contains_macro(code: &str, pat: &str) -> bool {
+    let mut search = code;
+    let mut offset = 0;
+    while let Some(pos) = search.find(pat) {
+        let abs = offset + pos;
+        let boundary = abs == 0
+            || !code.as_bytes()[abs - 1].is_ascii_alphanumeric()
+                && code.as_bytes()[abs - 1] != b'_';
+        if boundary {
+            return true;
+        }
+        offset = abs + pat.len();
+        search = &code[offset..];
+    }
+    false
+}
+
+/// `true` if the line starts a `fn` item (not `fn` inside a word, and not
+/// a fn-pointer type, approximated by requiring the keyword at a token
+/// boundary followed by an identifier).
+fn has_fn_keyword(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut search = 0;
+    while let Some(pos) = code[search..].find("fn ") {
+        let abs = search + pos;
+        let before_ok = abs == 0 || bytes[abs - 1] == b' ' || bytes[abs - 1] == b'(';
+        let after = code[abs + 3..].trim_start();
+        let after_ok = after.chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        // `Fn(`/`fn(` pointer types have `(` immediately after the keyword.
+        if before_ok && after_ok {
+            return true;
+        }
+        search = abs + 3;
+    }
+    false
+}
+
+/// Splits a raw source line into its code part (string literals replaced
+/// by spaces, comments removed) and the trailing `//` comment, tracking
+/// multi-line `/* */` comments through `in_block_comment`.
+fn split_code_and_comment(raw: &str, in_block_comment: &mut bool) -> (String, String) {
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let chars: Vec<(usize, char)> = raw.char_indices().collect();
+    let mut i = 0;
+    let mut in_string = false;
+    let mut in_char = false;
+    let at = |j: usize| chars.get(j).map(|&(_, c)| c);
+    while i < chars.len() {
+        let c = chars[i].1;
+        if *in_block_comment {
+            if c == '*' && at(i + 1) == Some('/') {
+                *in_block_comment = false;
+                i += 2;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if in_string || in_char {
+            let close = if in_string { '"' } else { '\'' };
+            if c == '\\' {
+                i += 2;
+                continue;
+            }
+            if c == close {
+                in_string = false;
+                in_char = false;
+            }
+            i += 1;
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                code.push(' ');
+                i += 1;
+            }
+            '\'' => {
+                // Distinguish char literals from lifetimes: a literal is
+                // `'\...'` or `'<one char>'`; a lifetime has no closing
+                // quote right after its first character.
+                let is_char_literal = at(i + 1) == Some('\\') || at(i + 2) == Some('\'');
+                if is_char_literal {
+                    in_char = true;
+                }
+                code.push(' ');
+                i += 1;
+            }
+            '/' if at(i + 1) == Some('/') => {
+                comment = raw[chars[i].0..].to_string();
+                break;
+            }
+            '/' if at(i + 1) == Some('*') => {
+                *in_block_comment = true;
+                i += 2;
+            }
+            _ => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    (code, comment)
+}
