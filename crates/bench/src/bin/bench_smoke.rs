@@ -1,0 +1,164 @@
+//! Smoke benchmark for the parallel phases: a fixed-seed `gnm` workload
+//! in the many-small-chunk regime (high `phi`, small `initial_chunk`)
+//! comparing the pooled chunk pipeline against the spawn-per-chunk
+//! baseline, plus the parallel init passes. Writes machine-readable
+//! results to `BENCH_parallel.json` (override with `--out <path>`).
+//!
+//! Run via `cargo xtask bench-smoke` or directly:
+//!
+//! ```text
+//! cargo run --release -p linkclust-bench --bin bench_smoke -- --runs 5
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use linkclust_bench::alloc::{measure_alloc_traffic, CountingAlloc};
+use linkclust_bench::spawnchunk::SpawnPerChunkProcessor;
+use linkclust_bench::timing::{format_duration, time_runs};
+use linkclust_core::coarse::{coarse_sweep_with, CoarseConfig};
+use linkclust_core::init::compute_similarities;
+use linkclust_graph::generate::{gnm, WeightMode};
+use linkclust_parallel::{compute_similarities_parallel, ParallelChunkProcessor};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const VERTICES: usize = 600;
+const EDGES: usize = 2400;
+const SEED: u64 = 42;
+const PHI: usize = 200;
+const INITIAL_CHUNK: u64 = 8;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+struct SweepSample {
+    min: Duration,
+    mean: Duration,
+    alloc_bytes: usize,
+    alloc_calls: usize,
+}
+
+fn millis(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn measure_sweep(runs: usize, mut sweep: impl FnMut()) -> SweepSample {
+    // Warm-up run outside the timing loop (first call builds the
+    // processor's persistent context), then timed runs, then one
+    // instrumented run for the allocation traffic.
+    sweep();
+    let ((), stats) = time_runs(runs, &mut sweep);
+    let ((), alloc_bytes, alloc_calls) = measure_alloc_traffic(sweep);
+    SweepSample { min: stats.min, mean: stats.mean, alloc_bytes, alloc_calls }
+}
+
+fn main() {
+    let mut runs = 5usize;
+    let mut out_path = String::from("BENCH_parallel.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--runs" => {
+                runs = args.next().and_then(|v| v.parse().ok()).unwrap_or(runs).max(1);
+            }
+            "--out" => {
+                if let Some(v) = args.next() {
+                    out_path = v;
+                }
+            }
+            other => {
+                eprintln!("unknown argument: {other} (expected --runs N, --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let g = gnm(VERTICES, EDGES, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, SEED);
+    let sims = Arc::new(compute_similarities(&g).into_sorted());
+    let cfg = CoarseConfig { phi: PHI, initial_chunk: INITIAL_CHUNK, ..Default::default() };
+    println!(
+        "workload: gnm({VERTICES}, {EDGES}, seed {SEED}) — {} entries, phi {PHI}, chunk {INITIAL_CHUNK}, {runs} runs",
+        sims.len()
+    );
+
+    // Init: serial baseline, then the pooled parallel passes.
+    let ((), serial_init) = time_runs(runs, || {
+        let _ = compute_similarities(&g);
+    });
+    let mut init_json = Vec::new();
+    println!("init serial: {}", format_duration(serial_init.min));
+    for threads in THREADS {
+        let ((), stats) = time_runs(runs, || {
+            let _ = compute_similarities_parallel(&g, threads);
+        });
+        println!("init pooled t={threads}: {}", format_duration(stats.min));
+        init_json.push(format!(
+            "{{\"threads\":{threads},\"min_ms\":{:.3},\"mean_ms\":{:.3}}}",
+            millis(stats.min),
+            millis(stats.mean)
+        ));
+    }
+
+    // Chunk throughput: pooled pipeline vs spawn-per-chunk baseline on
+    // the same many-small-chunk coarse sweep. min_entries_per_thread(1)
+    // forces fan-out even on tiny chunks — the regime the pool targets.
+    let mut sweep_json = Vec::new();
+    let mut pooled_beats_spawn_at_4 = true;
+    for threads in THREADS {
+        let Ok(pooled_proc) = ParallelChunkProcessor::new(threads) else {
+            eprintln!("thread count {threads} rejected by ParallelChunkProcessor");
+            std::process::exit(1);
+        };
+        let mut pooled_proc =
+            pooled_proc.min_entries_per_thread(1).shared_entries(Arc::clone(&sims));
+        let pooled = measure_sweep(runs, || {
+            let _ = coarse_sweep_with(&g, &sims, cfg, &mut pooled_proc);
+        });
+        let spawn = measure_sweep(runs, || {
+            let mut proc = SpawnPerChunkProcessor::new(threads).min_entries_per_thread(1);
+            let _ = coarse_sweep_with(&g, &sims, cfg, &mut proc);
+        });
+        let speedup = spawn.min.as_secs_f64() / pooled.min.as_secs_f64().max(1e-9);
+        if threads >= 4 && pooled.min > spawn.min {
+            pooled_beats_spawn_at_4 = false;
+        }
+        println!(
+            "sweep t={threads}: pooled {} ({} B allocated) vs spawn {} ({} B allocated) — {speedup:.2}x",
+            format_duration(pooled.min),
+            pooled.alloc_bytes,
+            format_duration(spawn.min),
+            spawn.alloc_bytes,
+        );
+        sweep_json.push(format!(
+            "{{\"threads\":{threads},\
+              \"pooled\":{{\"min_ms\":{:.3},\"mean_ms\":{:.3},\"alloc_bytes\":{},\"alloc_calls\":{}}},\
+              \"spawn_per_chunk\":{{\"min_ms\":{:.3},\"mean_ms\":{:.3},\"alloc_bytes\":{},\"alloc_calls\":{}}},\
+              \"pooled_speedup\":{speedup:.4}}}",
+            millis(pooled.min),
+            millis(pooled.mean),
+            pooled.alloc_bytes,
+            pooled.alloc_calls,
+            millis(spawn.min),
+            millis(spawn.mean),
+            spawn.alloc_bytes,
+            spawn.alloc_calls,
+        ));
+    }
+
+    let json = format!(
+        "{{\"workload\":{{\"kind\":\"gnm\",\"vertices\":{VERTICES},\"edges\":{EDGES},\"seed\":{SEED},\
+          \"entries\":{},\"phi\":{PHI},\"initial_chunk\":{INITIAL_CHUNK},\"runs\":{runs}}},\
+          \"init\":{{\"serial_min_ms\":{:.3},\"parallel\":[{}]}},\
+          \"chunk_throughput\":[{}],\
+          \"pooled_beats_spawn_at_4_threads\":{pooled_beats_spawn_at_4}}}",
+        sims.len(),
+        millis(serial_init.min),
+        init_json.join(","),
+        sweep_json.join(","),
+    );
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

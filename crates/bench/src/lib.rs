@@ -21,6 +21,7 @@ pub mod ascii;
 pub mod compare;
 pub mod figures;
 pub mod plots;
+pub mod spawnchunk;
 pub mod table;
 pub mod telemetry;
 pub mod timing;

@@ -166,6 +166,26 @@ impl ClusterArray {
         }
     }
 
+    /// Makes `self` an exact copy of `other` — same parents, cluster
+    /// count, and write counter — **without allocating** when `self`
+    /// already has sufficient capacity.
+    ///
+    /// This is the resync primitive of the parallel chunk pipeline: each
+    /// worker keeps a persistent scratch array that is resynced from the
+    /// committed array before every chunk, replacing the per-chunk
+    /// `clone()` (and its O(|E|) heap allocation) with a plain
+    /// `copy_from_slice`.
+    pub fn sync_from(&mut self, other: &ClusterArray) {
+        if self.c.len() == other.c.len() {
+            self.c.copy_from_slice(&other.c);
+        } else {
+            self.c.clear();
+            self.c.extend_from_slice(&other.c);
+        }
+        self.clusters = other.clusters;
+        self.changes = other.changes;
+    }
+
     /// The current number of clusters (maintained incrementally by
     /// [`merge`](Self::merge)).
     #[must_use]
@@ -397,6 +417,22 @@ mod tests {
         coarse.merge(2, 5);
         let diff = partition_diff(&fine, &coarse);
         assert_eq!(fine.cluster_count() - diff.len(), coarse.cluster_count());
+    }
+
+    #[test]
+    fn sync_from_is_clone_without_allocation() {
+        let mut src = ClusterArray::new(6);
+        src.merge(0, 3);
+        src.merge(2, 5);
+        let mut dst = ClusterArray::new(6);
+        dst.merge(1, 4); // diverge first: resync must overwrite
+        dst.sync_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.changes(), src.changes());
+        // Length-changing resync still works (falls back to extend).
+        let mut short = ClusterArray::new(2);
+        short.sync_from(&src);
+        assert_eq!(short, src);
     }
 
     #[test]

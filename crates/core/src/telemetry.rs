@@ -64,11 +64,15 @@ pub enum Phase {
     ChunkProcess = 7,
     /// Chain-union combination of per-thread cluster arrays.
     ChunkCombine = 8,
+    /// Time a worker-pool task spent queued before a worker picked it up
+    /// (one span per pooled task; high totals mean the pool is
+    /// oversubscribed).
+    PoolQueueWait = 9,
 }
 
 impl Phase {
     /// All phases, in display order.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 10] = [
         Phase::InitPass1,
         Phase::InitPass2,
         Phase::InitMapMerge,
@@ -78,6 +82,7 @@ impl Phase {
         Phase::CoarseEpoch,
         Phase::ChunkProcess,
         Phase::ChunkCombine,
+        Phase::PoolQueueWait,
     ];
 
     /// The stable snake_case name used in JSON and tables.
@@ -93,6 +98,7 @@ impl Phase {
             Phase::CoarseEpoch => "coarse_epoch",
             Phase::ChunkProcess => "chunk_process",
             Phase::ChunkCombine => "chunk_combine",
+            Phase::PoolQueueWait => "pool_queue_wait",
         }
     }
 
@@ -130,11 +136,13 @@ pub enum Counter {
     SerialFallbackChunks = 10,
     /// Pairwise chain-union combinations of per-thread cluster arrays.
     ArrayCombines = 11,
+    /// Tasks executed by the persistent worker pool (across all phases).
+    PoolTasks = 12,
 }
 
 impl Counter {
     /// All counters, in display order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 13] = [
         Counter::PairsK1,
         Counter::IncidentPairsK2,
         Counter::MergesApplied,
@@ -147,6 +155,7 @@ impl Counter {
         Counter::ChunksProcessed,
         Counter::SerialFallbackChunks,
         Counter::ArrayCombines,
+        Counter::PoolTasks,
     ];
 
     /// The stable snake_case name used in JSON and tables.
@@ -165,6 +174,7 @@ impl Counter {
             Counter::ChunksProcessed => "chunks_processed",
             Counter::SerialFallbackChunks => "serial_fallback_chunks",
             Counter::ArrayCombines => "array_combines",
+            Counter::PoolTasks => "pool_tasks",
         }
     }
 
@@ -286,6 +296,18 @@ impl Telemetry {
     pub fn thread_items(&self, thread: usize, items: u64) {
         if let Some(r) = &self.inner {
             r.thread_items(thread, items);
+        }
+    }
+
+    /// Records one completed span of `phase` whose duration was measured
+    /// externally — for timings that cross thread boundaries (e.g. the
+    /// queue wait of a pooled task, where the clock starts on the
+    /// submitting thread and stops on the worker) and therefore cannot
+    /// use the guard-based [`span`](Self::span) API.
+    #[inline]
+    pub fn record_phase_nanos(&self, phase: Phase, nanos: u64) {
+        if let Some(r) = &self.inner {
+            r.record_phase(phase, nanos);
         }
     }
 }

@@ -16,8 +16,9 @@ use linkclust_core::telemetry::{Recorder, Telemetry, TelemetrySink};
 use linkclust_core::{ClusteringResult, ConfigError, PairSimilarities};
 use linkclust_graph::WeightedGraph;
 
-use crate::init::compute_similarities_parallel_with;
-use crate::sort::parallel_into_sorted_with;
+use crate::init::compute_similarities_pooled;
+use crate::pool::WorkerPool;
+use crate::sort::parallel_into_sorted_pooled;
 use crate::sweep::ParallelChunkProcessor;
 
 /// End-to-end link clustering with a configurable thread count.
@@ -153,17 +154,34 @@ impl LinkClustering {
         Ok(config)
     }
 
+    /// One persistent worker pool plus the `Arc`-shared graph for a run:
+    /// every parallel phase (init passes, sort, coarse chunks) submits
+    /// tasks to this pool instead of spawning threads of its own.
+    fn run_context(
+        &self,
+        g: &WeightedGraph,
+        telemetry: &Telemetry,
+    ) -> (Arc<WorkerPool>, Arc<WeightedGraph>) {
+        let pool = Arc::new(WorkerPool::new(self.threads).with_telemetry(telemetry.clone()));
+        (pool, Arc::new(g.clone()))
+    }
+
     /// Phase I plus the sort: the list `L`, ready to sweep. Runs on the
     /// configured threads.
     pub fn similarities(&self, g: &WeightedGraph) -> Result<PairSimilarities, ConfigError> {
         self.check_threads()?;
         let (telemetry, _) = self.sink.build();
-        Ok(self.sorted_similarities(g, &telemetry))
+        let (pool, g) = self.run_context(g, &telemetry);
+        Ok(Self::sorted_similarities(&pool, &g, &telemetry))
     }
 
-    fn sorted_similarities(&self, g: &WeightedGraph, telemetry: &Telemetry) -> PairSimilarities {
-        let sims = compute_similarities_parallel_with(g, self.threads, telemetry);
-        parallel_into_sorted_with(sims, self.threads, telemetry)
+    fn sorted_similarities(
+        pool: &WorkerPool,
+        g: &Arc<WeightedGraph>,
+        telemetry: &Telemetry,
+    ) -> PairSimilarities {
+        let sims = compute_similarities_pooled(pool, g, telemetry);
+        parallel_into_sorted_pooled(pool, sims, telemetry)
     }
 
     /// Runs both phases on `g`: initialization and sort on the
@@ -174,8 +192,9 @@ impl LinkClustering {
             return Ok(self.serial().run(g));
         }
         let (telemetry, recorder) = self.sink.build();
-        let sims = self.sorted_similarities(g, &telemetry);
-        let output = sweep_with(g, &sims, self.sweep_config(), &telemetry);
+        let (pool, g) = self.run_context(g, &telemetry);
+        let sims = Self::sorted_similarities(&pool, &g, &telemetry);
+        let output = sweep_with(&g, &sims, self.sweep_config(), &telemetry);
         Ok(ClusteringResult::from_parts(sims, output, recorder.map(|r| r.report())))
     }
 
@@ -199,9 +218,16 @@ impl LinkClustering {
         }
         let config = self.reconcile_coarse(config)?;
         let (telemetry, recorder) = self.sink.build();
-        let sims = self.sorted_similarities(g, &telemetry);
-        let mut processor = ParallelChunkProcessor::new(self.threads)?.telemetry(telemetry.clone());
-        let result = coarse_sweep_instrumented(g, &sims, config, &mut processor, &telemetry);
+        let (pool, g) = self.run_context(g, &telemetry);
+        let sims = Arc::new(Self::sorted_similarities(&pool, &g, &telemetry));
+        // The processor shares the run's pool, graph, and similarity
+        // list, so chunk fan-out reuses the warm workers and reads the
+        // entries zero-copy.
+        let mut processor = ParallelChunkProcessor::new(self.threads)?
+            .telemetry(telemetry.clone())
+            .with_pool(pool)
+            .shared_entries(Arc::clone(&sims));
+        let result = coarse_sweep_instrumented(&g, &sims, config, &mut processor, &telemetry);
         Ok(match recorder {
             Some(r) => result.with_report(r.report()),
             None => result,

@@ -13,15 +13,23 @@
 //!    contiguous ranges (equivalently: partitioned by first vertex); each
 //!    thread applies the adjacency correction and final similarity to its
 //!    own range.
+//!
+//! All three passes execute on the persistent [`WorkerPool`]: the facade
+//! spawns one pool per run and shares it with the sort and the coarse
+//! sweep ([`compute_similarities_pooled`]); the standalone entry points
+//! spin up a transient pool of their own.
+
+use std::sync::Arc;
 
 use linkclust_core::init::{
-    accumulate_pairs, entries_into_similarities, finalize_entries, vertex_norms_range, VertexNorms,
+    accumulate_pairs, entries_into_similarities, finalize_entries, vertex_norms_range,
+    RawPairEntry, VertexNorms,
 };
 use linkclust_core::telemetry::{Counter, Phase, Telemetry};
 use linkclust_core::PairSimilarities;
 use linkclust_graph::{VertexId, WeightedGraph};
 
-use crate::pool::{hierarchical_reduce, partition_ranges, run_on_ranges};
+use crate::pool::{partition_ranges, Task, WorkerPool};
 
 /// Computes the pair similarities of Phase I using `threads` worker
 /// threads. The result is identical (up to floating-point association,
@@ -63,6 +71,21 @@ pub fn compute_similarities_parallel_with(
     telemetry: &Telemetry,
 ) -> PairSimilarities {
     assert!(threads > 0, "need at least one thread");
+    let pool = WorkerPool::new(threads).with_telemetry(telemetry.clone());
+    compute_similarities_pooled(&pool, &Arc::new(g.clone()), telemetry)
+}
+
+/// Phase I on a caller-supplied [`WorkerPool`] — the variant the facade
+/// uses so one pool serves the whole run (init, sort, and sweep). The
+/// graph is shared with the workers via `Arc`, so the only per-run copy
+/// is whatever the caller paid to build it.
+#[must_use]
+pub fn compute_similarities_pooled(
+    pool: &WorkerPool,
+    g: &Arc<WeightedGraph>,
+    telemetry: &Telemetry,
+) -> PairSimilarities {
+    let threads = pool.threads();
     let n = g.vertex_count();
 
     // Pass 1: per-range vertex norms, concatenated in range order.
@@ -70,7 +93,8 @@ pub fn compute_similarities_parallel_with(
     let mut norms = VertexNorms { h1: Vec::with_capacity(n), h2: Vec::with_capacity(n) };
     {
         let _span = telemetry.span(Phase::InitPass1);
-        let parts = run_on_ranges(ranges.clone(), |r| vertex_norms_range(g, r));
+        let g = Arc::clone(g);
+        let parts = pool.run_on_ranges(ranges.clone(), move |r| vertex_norms_range(&g, r));
         for part in parts {
             norms.h1.extend(part.h1);
             norms.h2.extend(part.h2);
@@ -80,7 +104,8 @@ pub fn compute_similarities_parallel_with(
     // Pass 2, step 1: per-thread pair maps over disjoint vertex sets.
     let maps = {
         let _span = telemetry.span(Phase::InitPass2);
-        run_on_ranges(ranges, |r| accumulate_pairs(g, r.map(VertexId::new)))
+        let g = Arc::clone(g);
+        pool.run_on_ranges(ranges, move |r| accumulate_pairs(&g, r.map(VertexId::new)))
     };
     for (thread, map) in maps.iter().enumerate() {
         telemetry.thread_items(thread, map.len() as u64);
@@ -88,7 +113,7 @@ pub fn compute_similarities_parallel_with(
     // Pass 2, step 2: hierarchical pairwise merge.
     let acc = {
         let _span = telemetry.span(Phase::InitMapMerge);
-        hierarchical_reduce(maps, |mut a, b| {
+        pool.reduce(maps, |mut a, b| {
             a.merge(b);
             a
         })
@@ -96,17 +121,36 @@ pub fn compute_similarities_parallel_with(
     };
     telemetry.add(Counter::PairsK1, acc.len() as u64);
 
-    // Pass 3: finalize disjoint entry ranges in parallel.
+    // Pass 3: finalize disjoint entry ranges in parallel. The entry
+    // vector is carved into owned chunks (tasks need `'static` data),
+    // finalized on the pool, and stitched back together in order.
     let mut entries = acc.into_sorted_entries();
-    let chunk = entries.len().div_ceil(threads).max(1);
+    let total = entries.len();
+    let chunk = total.div_ceil(threads).max(1);
     {
         let _span = telemetry.span(Phase::InitPass3);
-        std::thread::scope(|s| {
-            for slice in entries.chunks_mut(chunk) {
-                let norms = &norms;
-                s.spawn(move || finalize_entries(g, norms, slice));
-            }
-        });
+        let norms = Arc::new(norms);
+        let bounds = partition_ranges(total, total.div_ceil(chunk).max(1));
+        let mut chunks: Vec<Vec<RawPairEntry>> = Vec::with_capacity(bounds.len());
+        for range in bounds.into_iter().rev() {
+            chunks.push(entries.split_off(range.start));
+        }
+        chunks.reverse();
+        let tasks: Vec<Task<Vec<RawPairEntry>>> = chunks
+            .into_iter()
+            .map(|mut slice| {
+                let g = Arc::clone(g);
+                let norms = Arc::clone(&norms);
+                Box::new(move || {
+                    finalize_entries(&g, &norms, &mut slice);
+                    slice
+                }) as Task<Vec<RawPairEntry>>
+            })
+            .collect();
+        entries = Vec::with_capacity(total);
+        for mut done in pool.run_tasks(tasks) {
+            entries.append(&mut done);
+        }
     }
     let sims = entries_into_similarities(entries);
     telemetry.add(Counter::IncidentPairsK2, sims.incident_pair_count());
@@ -144,6 +188,19 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn pooled_entry_point_matches_standalone() {
+        let g = gnm(40, 160, WeightMode::Uniform { lo: 0.3, hi: 1.5 }, 5);
+        let standalone = compute_similarities_parallel(&g, 4);
+        let pool = WorkerPool::new(4);
+        let shared = Arc::new(g);
+        // The same pool serves repeated runs.
+        for _ in 0..3 {
+            let pooled = compute_similarities_pooled(&pool, &shared, &Telemetry::disabled());
+            assert_eq!(standalone.entries(), pooled.entries());
         }
     }
 

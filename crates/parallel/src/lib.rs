@@ -13,9 +13,12 @@
 //!   naive scheme is flawed — both schemes are implemented here, and the
 //!   flaw is reproduced in a test).
 //!
-//! The entry point is the unified [`LinkClustering`] facade: serial by
-//! default, parallel via `.threads(n)`, with optional phase-level
-//! telemetry via `.stats(true)`.
+//! All parallel phases run as tasks on a persistent [`pool::WorkerPool`]
+//! — spawned once per clustering run and reused by the init passes, the
+//! sort, and every coarse chunk — instead of spawning scoped OS threads
+//! per call. The entry point is the unified [`LinkClustering`] facade:
+//! serial by default, parallel via `.threads(n)`, with optional
+//! phase-level telemetry via `.stats(true)`.
 //!
 //! # Examples
 //!
@@ -46,7 +49,8 @@ pub mod sweep;
 
 pub use facade::LinkClustering;
 pub use init::compute_similarities_parallel;
-pub use sweep::{parallel_coarse_sweep, ParallelChunkProcessor};
+pub use pool::WorkerPool;
+pub use sweep::{parallel_coarse_sweep, parallel_coarse_sweep_shared, ParallelChunkProcessor};
 
 use linkclust_core::coarse::{CoarseConfig, CoarseResult};
 use linkclust_core::{ConfigError, PairSimilarities};

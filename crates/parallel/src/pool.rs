@@ -1,6 +1,33 @@
-//! Work partitioning and scoped parallel execution.
+//! Work partitioning and the persistent worker pool.
+//!
+//! Earlier revisions spawned fresh scoped OS threads for every parallel
+//! call — every init pass, every sort merge round, and (worst) every
+//! coarse chunk. The many-small-chunk regime the head/tail machine
+//! produces was therefore dominated by thread setup, not merging. The
+//! [`WorkerPool`] here is spawned **once per clustering run** and reused
+//! by all phases: it keeps `threads - 1` OS workers parked on a
+//! condition variable, dispatches boxed tasks through a shared queue,
+//! and rendezvouses over an `mpsc` channel. The submitting thread
+//! *helps*: while waiting for its tasks it drains the queue and executes
+//! jobs inline, so a pool with `threads == n` delivers `n`-way
+//! parallelism with `n - 1` workers, `threads == 1` never spawns at all,
+//! and nested submissions (a pooled sort inside a pooled sweep) cannot
+//! deadlock — the nested caller simply executes its own tasks.
+//!
+//! Panics inside tasks are contained on the worker (so the pool stays
+//! usable) and re-raised on the submitting thread with their original
+//! payload, preserving the propagation semantics of the old scoped
+//! implementation.
 
+use std::collections::VecDeque;
 use std::ops::Range;
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use linkclust_core::telemetry::{Counter, Phase, Telemetry};
 
 /// Splits `0..n` into at most `parts` contiguous, near-equal ranges
 /// (fewer if `n < parts`; none if `n == 0`).
@@ -41,16 +68,34 @@ pub fn partition_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
 /// Panics if `parts == 0`.
 #[must_use]
 pub fn balanced_partition_by_weight(weights: &[u64], parts: usize) -> Vec<Range<usize>> {
+    balanced_partition_with_loads(weights, parts).0
+}
+
+/// [`balanced_partition_by_weight`], also returning each range's total
+/// weight. The sums fall out of the greedy accumulation for free, so
+/// callers that report per-thread loads (telemetry) can reuse them
+/// instead of re-walking `weights` range by range.
+///
+/// # Panics
+///
+/// Panics if `parts == 0`.
+#[must_use]
+pub fn balanced_partition_with_loads(
+    weights: &[u64],
+    parts: usize,
+) -> (Vec<Range<usize>>, Vec<u64>) {
     assert!(parts > 0, "need at least one partition");
     let n = weights.len();
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), Vec::new());
     }
     let total: u64 = weights.iter().sum();
     let parts = parts.min(n);
     let mut out = Vec::with_capacity(parts);
+    let mut loads = Vec::with_capacity(parts);
     let mut start = 0;
     let mut acc: u64 = 0;
+    let mut closed: u64 = 0;
     for (i, &w) in weights.iter().enumerate() {
         acc += w;
         let remaining_parts = parts - out.len();
@@ -65,6 +110,8 @@ pub fn balanced_partition_by_weight(weights: &[u64], parts: usize) -> Vec<Range<
             || remaining_items + 1 == remaining_parts
         {
             out.push(start..i + 1);
+            loads.push(acc - closed);
+            closed = acc;
             start = i + 1;
             if out.len() == parts - 1 {
                 break;
@@ -73,87 +120,340 @@ pub fn balanced_partition_by_weight(weights: &[u64], parts: usize) -> Vec<Range<
     }
     if start < n {
         out.push(start..n);
+        loads.push(total - closed);
     }
-    out
+    (out, loads)
 }
 
-/// Unwraps a scoped join handle, re-raising the worker's own panic
-/// payload instead of panicking with a second, less informative message.
-fn join_propagating<'scope, T>(h: std::thread::ScopedJoinHandle<'scope, T>) -> T {
-    match h.join() {
+/// Unwraps a thread join result, re-raising the joined thread's own
+/// panic payload instead of panicking with a second, less informative
+/// message. The single join helper of the crate — scoped or not, every
+/// join that must propagate goes through it.
+///
+/// # Panics
+///
+/// Resumes the joined thread's panic with its original payload.
+pub fn join_propagating<T>(result: std::thread::Result<T>) -> T {
+    match result {
         Ok(v) => v,
         Err(payload) => std::panic::resume_unwind(payload),
     }
 }
 
-/// Runs `f` over each range on its own thread (scoped), collecting the
-/// results in range order.
-///
-/// # Panics
-///
-/// A panic in `f` on any worker thread is propagated to the caller with
-/// its original payload.
-pub fn run_on_ranges<T, F>(ranges: Vec<Range<usize>>, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(Range<usize>) -> T + Sync,
-{
-    if ranges.len() <= 1 {
-        return ranges.into_iter().map(f).collect();
-    }
-    std::thread::scope(|s| {
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|r| {
-                let f = &f;
-                s.spawn(move || f(r))
-            })
-            .collect();
-        handles.into_iter().map(|h| join_propagating(h)).collect()
-    })
+/// A unit of work submitted to the pool: produces a `T` on whichever
+/// thread picks it up.
+pub type Task<T> = Box<dyn FnOnce() -> T + Send>;
+
+/// A queued, type-erased job (result delivery is baked into the closure).
+type Job = Box<dyn FnOnce() + Send>;
+
+/// State behind the queue mutex: pending jobs plus the shutdown flag the
+/// condition variable pairs with.
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
 }
 
-/// Reduces `items` pairwise, each pair on its own thread, until at most
-/// three remain; those are folded serially — the hierarchical merge shape
-/// of §VI-A (pass 2) and §VI-B (array combination).
+struct PoolShared {
+    state: Mutex<QueueState>,
+    work_ready: Condvar,
+}
+
+impl PoolShared {
+    /// Locks the queue, recovering from poisoning: jobs are
+    /// panic-contained, so a poisoned queue mutex still holds a
+    /// consistent `VecDeque`.
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn pop_job(&self) -> Option<Job> {
+        self.lock().jobs.pop_front()
+    }
+}
+
+/// The worker body: pop and run jobs until shutdown. Jobs are wrapped in
+/// `catch_unwind` by the submitter, so a panicking task never kills the
+/// worker — the pool stays usable afterwards.
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut st = shared.lock();
+            loop {
+                if let Some(job) = st.jobs.pop_front() {
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.work_ready.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        job();
+    }
+}
+
+/// A persistent pool of worker threads, spawned once and reused by every
+/// parallel phase of a clustering run.
+///
+/// A pool for `threads` keeps `threads - 1` parked OS workers; the
+/// submitting thread always participates in execution, so `threads == 1`
+/// spawns nothing and runs everything inline (the exact serial path).
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_parallel::pool::WorkerPool;
+///
+/// let pool = WorkerPool::new(4);
+/// let sums = pool.run_on_ranges((0..4).map(|i| i * 25..(i + 1) * 25).collect(), |r| {
+///     r.sum::<usize>()
+/// });
+/// assert_eq!(sums.iter().sum::<usize>(), (0..100).sum());
+/// ```
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+    telemetry: Telemetry,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool delivering `threads`-way parallelism
+    /// (`threads - 1` OS workers plus the submitting thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
+            work_ready: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        WorkerPool { shared, workers, threads, telemetry: Telemetry::disabled() }
+    }
+
+    /// Attaches a telemetry handle: every submitted task bumps
+    /// [`Counter::PoolTasks`], and each task's queue wait (submission to
+    /// pickup) is recorded as a [`Phase::PoolQueueWait`] span.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The parallelism this pool delivers (workers + submitting thread).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every task to completion and returns the results in task
+    /// order. Tasks run on the pool workers *and* the calling thread,
+    /// which drains the shared queue while it waits — so the call never
+    /// deadlocks even when invoked from inside another pooled task.
+    ///
+    /// # Panics
+    ///
+    /// If any task panics, the first panic (in task order) is re-raised
+    /// here with its original payload after every task has finished; the
+    /// pool itself stays usable.
+    #[must_use]
+    pub fn run_tasks<T>(&self, tasks: Vec<Task<T>>) -> Vec<T>
+    where
+        T: Send + 'static,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        self.telemetry.add(Counter::PoolTasks, n as u64);
+        let mut results: Vec<Option<std::thread::Result<T>>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+
+        if self.workers.is_empty() || n == 1 {
+            // No parallelism available (or needed): run inline. Panics
+            // are still contained per task so one failing task cannot
+            // skip its siblings, matching the pooled path.
+            for (idx, task) in tasks.into_iter().enumerate() {
+                results[idx] = Some(std::panic::catch_unwind(AssertUnwindSafe(task)));
+            }
+            return collect_results(results);
+        }
+
+        let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<T>)>();
+        {
+            let mut st = self.shared.lock();
+            for (idx, task) in tasks.into_iter().enumerate() {
+                let tx = tx.clone();
+                let telemetry = self.telemetry.clone();
+                let queued_at = telemetry.is_enabled().then(Instant::now);
+                st.jobs.push_back(Box::new(move || {
+                    if let Some(t0) = queued_at {
+                        let nanos = t0.elapsed().as_nanos() as u64;
+                        telemetry.record_phase_nanos(Phase::PoolQueueWait, nanos);
+                    }
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(task));
+                    let _ = tx.send((idx, result));
+                }));
+            }
+        }
+        self.shared.work_ready.notify_all();
+        drop(tx);
+
+        // Rendezvous with caller help: prefer executing queued jobs over
+        // blocking, so the queue always drains even if every worker is
+        // busy with (or blocked inside) other submissions.
+        let mut received = 0;
+        while received < n {
+            match rx.try_recv() {
+                Ok((idx, result)) => {
+                    results[idx] = Some(result);
+                    received += 1;
+                    continue;
+                }
+                Err(mpsc::TryRecvError::Empty | mpsc::TryRecvError::Disconnected) => {}
+            }
+            if let Some(job) = self.shared.pop_job() {
+                job();
+                continue;
+            }
+            // Queue empty, results pending: workers are executing them.
+            let (idx, result) = rx.recv().expect("every pooled task delivers exactly one result");
+            results[idx] = Some(result);
+            received += 1;
+        }
+        collect_results(results)
+    }
+
+    /// Runs `f` over each range on the pool, collecting the results in
+    /// range order — the pooled replacement for per-call scoped spawns.
+    ///
+    /// # Panics
+    ///
+    /// A panic in `f` on any task is propagated to the caller with its
+    /// original payload (see [`run_tasks`](Self::run_tasks)).
+    #[must_use]
+    pub fn run_on_ranges<T, F>(&self, ranges: Vec<Range<usize>>, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(Range<usize>) -> T + Send + Sync + 'static,
+    {
+        if ranges.len() <= 1 {
+            return ranges.into_iter().map(f).collect();
+        }
+        let f = Arc::new(f);
+        let tasks: Vec<Task<T>> = ranges
+            .into_iter()
+            .map(|r| {
+                let f = Arc::clone(&f);
+                Box::new(move || f(r)) as Task<T>
+            })
+            .collect();
+        self.run_tasks(tasks)
+    }
+
+    /// Reduces `items` pairwise on the pool until at most three remain;
+    /// those are folded serially — the hierarchical merge shape of §VI-A
+    /// (pass 2) and §VI-B (array combination).
+    ///
+    /// # Panics
+    ///
+    /// A panic in `combine` on any task is propagated to the caller with
+    /// its original payload (see [`run_tasks`](Self::run_tasks)).
+    pub fn reduce<T, F>(&self, mut items: Vec<T>, combine: F) -> Option<T>
+    where
+        T: Send + 'static,
+        F: Fn(T, T) -> T + Send + Sync + 'static,
+    {
+        let combine = Arc::new(combine);
+        while items.len() > 3 {
+            let carry = if items.len() % 2 == 1 { items.pop() } else { None };
+            let mut pairs = Vec::with_capacity(items.len() / 2);
+            let mut it = items.into_iter();
+            while let (Some(a), Some(b)) = (it.next(), it.next()) {
+                pairs.push((a, b));
+            }
+            let tasks: Vec<Task<T>> = pairs
+                .into_iter()
+                .map(|(a, b)| {
+                    let combine = Arc::clone(&combine);
+                    Box::new(move || combine(a, b)) as Task<T>
+                })
+                .collect();
+            let mut next = self.run_tasks(tasks);
+            next.extend(carry);
+            items = next;
+        }
+        let mut it = items.into_iter();
+        let first = it.next()?;
+        Some(it.fold(first, |a, b| combine(a, b)))
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.lock();
+            st.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for h in self.workers.drain(..) {
+            // Workers contain task panics, so a join error would mean a
+            // bug in the worker loop itself; swallowing it here avoids a
+            // double panic if the pool is dropped during unwinding.
+            let _ = h.join();
+        }
+    }
+}
+
+/// Unwraps the collected per-task results, re-raising the first panic
+/// (in task order) with its original payload.
 ///
 /// # Panics
 ///
-/// A panic in `combine` on any worker thread is propagated to the caller
-/// with its original payload.
-pub fn hierarchical_reduce<T, F>(mut items: Vec<T>, combine: F) -> Option<T>
-where
-    T: Send,
-    F: Fn(T, T) -> T + Sync,
-{
-    while items.len() > 3 {
-        let carry = if items.len() % 2 == 1 { items.pop() } else { None };
-        let mut pairs = Vec::with_capacity(items.len() / 2);
-        let mut it = items.into_iter();
-        while let (Some(a), Some(b)) = (it.next(), it.next()) {
-            pairs.push((a, b));
+/// Propagates the first task panic; panics on a missing result slot,
+/// which would be a rendezvous bug.
+fn collect_results<T>(results: Vec<Option<std::thread::Result<T>>>) -> Vec<T> {
+    let mut out = Vec::with_capacity(results.len());
+    let mut first_panic = None;
+    for slot in results {
+        match slot.expect("rendezvous collected every task result") {
+            Ok(v) => out.push(v),
+            Err(payload) => {
+                if first_panic.is_none() {
+                    first_panic = Some(payload);
+                }
+            }
         }
-        let mut next: Vec<T> = std::thread::scope(|s| {
-            let handles: Vec<_> = pairs
-                .into_iter()
-                .map(|(a, b)| {
-                    let combine = &combine;
-                    s.spawn(move || combine(a, b))
-                })
-                .collect();
-            handles.into_iter().map(|h| join_propagating(h)).collect()
-        });
-        next.extend(carry);
-        items = next;
     }
-    let mut it = items.into_iter();
-    let first = it.next()?;
-    Some(it.fold(first, &combine))
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn ranges_cover_everything_without_overlap() {
@@ -198,6 +498,19 @@ mod tests {
     }
 
     #[test]
+    fn balanced_partition_loads_match_recomputed_sums() {
+        for parts in 1..6 {
+            let weights = vec![5u64, 1, 1, 1, 1, 1, 5, 5, 1, 1, 1, 8];
+            let (ranges, loads) = balanced_partition_with_loads(&weights, parts);
+            assert_eq!(ranges.len(), loads.len(), "parts={parts}");
+            for (r, &load) in ranges.iter().zip(&loads) {
+                assert_eq!(load, weights[r.clone()].iter().sum::<u64>(), "parts={parts} r={r:?}");
+            }
+            assert_eq!(loads.iter().sum::<u64>(), weights.iter().sum::<u64>());
+        }
+    }
+
+    #[test]
     fn balanced_partition_with_more_parts_than_items() {
         let ranges = balanced_partition_by_weight(&[3, 3], 8);
         assert_eq!(ranges.len(), 2);
@@ -205,22 +518,120 @@ mod tests {
 
     #[test]
     fn run_on_ranges_preserves_order() {
+        let pool = WorkerPool::new(4);
         let ranges = partition_ranges(100, 7);
-        let sums = run_on_ranges(ranges.clone(), |r| r.sum::<usize>());
+        let sums = pool.run_on_ranges(ranges.clone(), |r| r.sum::<usize>());
         let direct: Vec<usize> = ranges.into_iter().map(|r| r.sum()).collect();
         assert_eq!(sums, direct);
     }
 
     #[test]
-    fn hierarchical_reduce_sums() {
+    fn reduce_sums() {
+        let pool = WorkerPool::new(3);
         for n in [0usize, 1, 2, 3, 4, 5, 8, 13, 64] {
             let items: Vec<u64> = (0..n as u64).collect();
-            let got = hierarchical_reduce(items, |a, b| a + b);
+            let got = pool.reduce(items, |a, b| a + b);
             if n == 0 {
                 assert_eq!(got, None);
             } else {
                 assert_eq!(got, Some((n as u64 - 1) * n as u64 / 2), "n={n}");
             }
         }
+    }
+
+    #[test]
+    fn single_thread_pool_spawns_nothing_and_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.workers.len(), 0);
+        let out = pool.run_on_ranges(partition_ranges(10, 4), |r| r.len());
+        assert_eq!(out.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_submissions() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for round in 0..50 {
+            let tasks: Vec<Task<usize>> = (0..8)
+                .map(|i| {
+                    let counter = Arc::clone(&counter);
+                    Box::new(move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        round * 8 + i
+                    }) as Task<usize>
+                })
+                .collect();
+            let got = pool.run_tasks(tasks);
+            let expected: Vec<usize> = (0..8).map(|i| round * 8 + i).collect();
+            assert_eq!(got, expected);
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn task_panic_propagates_original_payload_and_pool_survives() {
+        let pool = WorkerPool::new(4);
+        let tasks: Vec<Task<u32>> = (0..6u32)
+            .map(|i| {
+                Box::new(move || {
+                    assert!(i != 3, "task 3 exploded");
+                    i
+                }) as Task<u32>
+            })
+            .collect();
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| pool.run_tasks(tasks)))
+            .expect_err("the panicking task must propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .expect("payload is a string");
+        assert!(msg.contains("task 3 exploded"), "unexpected payload: {msg}");
+        // The pool keeps working after the panic.
+        let got = pool.run_tasks((0..4u32).map(|i| Box::new(move || i) as Task<u32>).collect());
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn nested_submission_from_inside_a_task_does_not_deadlock() {
+        // Even a 2-thread pool (one worker) must survive a task that
+        // itself submits to the pool: the nested call drains the queue
+        // inline instead of blocking.
+        for threads in [2usize, 4] {
+            let pool = Arc::new(WorkerPool::new(threads));
+            let inner_pool = Arc::clone(&pool);
+            let tasks: Vec<Task<usize>> = vec![
+                Box::new(move || {
+                    let sums =
+                        inner_pool.run_on_ranges(partition_ranges(40, 4), |r| r.sum::<usize>());
+                    sums.iter().sum()
+                }),
+                Box::new(|| 1000),
+            ];
+            let got = pool.run_tasks(tasks);
+            assert_eq!(got, vec![(0..40).sum::<usize>(), 1000], "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn join_propagating_reraises_payload() {
+        let handle = std::thread::spawn(|| -> u32 { panic!("worker payload 7") });
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| join_propagating(handle.join())))
+            .expect_err("panic must re-raise");
+        let msg = err.downcast_ref::<&str>().copied().expect("payload is a &str");
+        assert_eq!(msg, "worker payload 7");
+        let ok = std::thread::spawn(|| 5u32);
+        assert_eq!(join_propagating(ok.join()), 5);
+    }
+
+    #[test]
+    fn pool_telemetry_counts_tasks_and_queue_waits() {
+        use linkclust_core::telemetry::RunRecorder;
+        let recorder = Arc::new(RunRecorder::new());
+        let pool = WorkerPool::new(3).with_telemetry(Telemetry::new(recorder.clone()));
+        let _ = pool.run_tasks((0..5u32).map(|i| Box::new(move || i) as Task<u32>).collect());
+        let report = recorder.report();
+        assert_eq!(report.counter(Counter::PoolTasks), 5);
+        assert_eq!(report.phase_calls(Phase::PoolQueueWait), 5);
     }
 }

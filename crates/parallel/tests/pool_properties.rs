@@ -1,0 +1,165 @@
+//! Property tests for the persistent worker pool: every pooled phase
+//! must match its serial counterpart for any thread count — including
+//! more threads than CPUs — the pool must survive task panics with the
+//! original payload re-raised, and nested submissions (the sort
+//! re-entering the pool from inside a pooled task, as happens when one
+//! pool serves a whole clustering run) must not deadlock.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+use linkclust_core::coarse::{coarse_sweep, CoarseConfig};
+use linkclust_core::init::compute_similarities;
+use linkclust_core::reference::canonical_labels;
+use linkclust_graph::generate::{gnm, WeightMode};
+use linkclust_parallel::compute_similarities_parallel;
+use linkclust_parallel::pool::{Task, WorkerPool};
+use linkclust_parallel::sort::{parallel_into_sorted, parallel_sort_pooled};
+use linkclust_parallel::{parallel_coarse_sweep, parallel_coarse_sweep_shared};
+use proptest::prelude::*;
+
+/// Thread counts to exercise: 1 (inline), a few small ones, and 8 —
+/// which exceeds the core count on small CI machines, covering the
+/// oversubscribed case the pool must handle without deadlock.
+const THREADS: [usize; 5] = [1, 2, 3, 5, 8];
+
+fn canon(labels: &[u32]) -> Vec<usize> {
+    canonical_labels(&labels.iter().map(|&x| x as usize).collect::<Vec<_>>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn pooled_init_matches_serial(seed in 0u64..1000, n in 20usize..60) {
+        let m = (n * 3).min(n * (n - 1) / 2);
+        let g = gnm(n, m, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, seed);
+        let serial = compute_similarities(&g);
+        for threads in THREADS {
+            let par = compute_similarities_parallel(&g, threads);
+            prop_assert_eq!(par.len(), serial.len(), "threads {}", threads);
+            let mut se: Vec<_> = serial.entries().to_vec();
+            let mut pe: Vec<_> = par.entries().to_vec();
+            se.sort_by_key(|e| e.pair);
+            pe.sort_by_key(|e| e.pair);
+            for (a, b) in se.iter().zip(&pe) {
+                prop_assert_eq!(a.pair, b.pair);
+                prop_assert!((a.score - b.score).abs() < 1e-12, "pair {}", a.pair);
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_sort_matches_serial(seed in 0u64..1000, n in 20usize..60) {
+        let g = gnm(n, n * 3, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, seed);
+        let serial = compute_similarities(&g).into_sorted();
+        for threads in THREADS {
+            let pooled = parallel_into_sorted(compute_similarities(&g), threads);
+            prop_assert!(pooled.is_sorted());
+            prop_assert_eq!(serial.entries(), pooled.entries(), "threads {}", threads);
+        }
+    }
+
+    #[test]
+    fn pooled_coarse_sweep_matches_serial(seed in 0u64..1000, phi in 1usize..8) {
+        let g = gnm(45, 190, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, seed);
+        let sims = Arc::new(compute_similarities(&g).into_sorted());
+        let cfg = CoarseConfig { phi, initial_chunk: 8, ..Default::default() };
+        let serial = coarse_sweep(&g, &sims, cfg);
+        for threads in THREADS {
+            let par = parallel_coarse_sweep_shared(&g, &sims, cfg, threads);
+            let sl: Vec<_> = serial.levels().iter().map(|l| (l.level, l.clusters)).collect();
+            let pl: Vec<_> = par.levels().iter().map(|l| (l.level, l.clusters)).collect();
+            prop_assert_eq!(sl, pl, "threads {}", threads);
+            prop_assert_eq!(
+                canon(&serial.output().edge_assignments()),
+                canon(&par.output().edge_assignments()),
+                "threads {}", threads
+            );
+        }
+    }
+}
+
+/// A pooled task that itself submits a sort to the same pool — the
+/// shape a clustering run produces when one pool serves every phase.
+/// The nested call must drain the queue inline rather than deadlock,
+/// even with a single worker (threads == 2).
+#[test]
+fn sort_nested_inside_a_pool_task_does_not_deadlock() {
+    for threads in [2usize, 4, 8] {
+        let pool = Arc::new(WorkerPool::new(threads));
+        let tasks: Vec<Task<Vec<u64>>> = (0..threads + 2)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                Box::new(move || {
+                    let items: Vec<u64> = (0..500).map(|i| (i * 7919 + t as u64) % 1009).collect();
+                    parallel_sort_pooled(&pool, items, |a, b| a.cmp(b))
+                }) as Task<Vec<u64>>
+            })
+            .collect();
+        let results = pool.run_tasks(tasks);
+        assert_eq!(results.len(), threads + 2, "threads {threads}");
+        for sorted in results {
+            assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "threads {threads}");
+        }
+    }
+}
+
+/// The nested shape the facade actually runs: a coarse sweep whose
+/// chunk processor shares the pool that also ran init and sort.
+#[test]
+fn facade_reuses_one_pool_across_phases_and_matches_serial() {
+    let g = gnm(50, 220, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 11);
+    let cfg = CoarseConfig { phi: 5, initial_chunk: 8, ..Default::default() };
+    let serial = linkclust_parallel::LinkClustering::new().run_coarse(&g, cfg).unwrap();
+    for threads in THREADS {
+        let par =
+            linkclust_parallel::LinkClustering::new().threads(threads).run_coarse(&g, cfg).unwrap();
+        let sl: Vec<_> = serial.levels().iter().map(|l| (l.level, l.clusters)).collect();
+        let pl: Vec<_> = par.levels().iter().map(|l| (l.level, l.clusters)).collect();
+        assert_eq!(sl, pl, "threads {threads}");
+    }
+}
+
+/// A worker panic must re-raise on the submitting thread with the
+/// original payload, and the pool must stay fully usable afterwards.
+#[test]
+fn worker_panic_payload_survives_and_pool_stays_usable() {
+    let pool = WorkerPool::new(4);
+    for round in 0..3 {
+        let tasks: Vec<Task<u64>> = (0..8u64)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 5 {
+                        panic!("boom-{i}");
+                    }
+                    i * 10
+                }) as Task<u64>
+            })
+            .collect();
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| pool.run_tasks(tasks)))
+            .expect_err("panicking task must propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic! with format args yields a String payload");
+        assert_eq!(msg, "boom-5", "round {round}");
+        // The same pool keeps delivering correct results.
+        let ok = pool.run_tasks((0..6u64).map(|i| Box::new(move || i + 1) as Task<u64>).collect());
+        assert_eq!(ok, vec![1, 2, 3, 4, 5, 6], "round {round}");
+    }
+}
+
+/// Standalone `parallel_coarse_sweep` (buffered entry path, lazily
+/// created pool) must agree with the `Arc`-shared zero-copy path.
+#[test]
+fn buffered_and_shared_entry_paths_agree() {
+    let g = gnm(40, 170, WeightMode::Uniform { lo: 0.3, hi: 1.6 }, 3);
+    let sims = Arc::new(compute_similarities(&g).into_sorted());
+    let cfg = CoarseConfig { phi: 4, initial_chunk: 8, ..Default::default() };
+    for threads in [2usize, 4] {
+        let buffered = parallel_coarse_sweep(&g, &sims, cfg, threads);
+        let shared = parallel_coarse_sweep_shared(&g, &sims, cfg, threads);
+        assert_eq!(buffered.levels(), shared.levels(), "threads {threads}");
+    }
+}

@@ -28,6 +28,11 @@ const GATES: &[Gate] = &[
     Gate { name: "clippy", description: "clippy with the workspace lint tables", run: run_clippy },
     Gate { name: "doc", description: "rustdoc with warnings denied", run: run_doc },
     Gate { name: "scan", description: "forbidden-pattern scanner", run: run_scan },
+    Gate {
+        name: "bench-build",
+        description: "benchmarks compile (--no-run)",
+        run: run_bench_build,
+    },
     Gate { name: "test", description: "full test suite", run: run_test },
 ];
 
@@ -40,6 +45,19 @@ fn main() -> ExitCode {
         "fast" => {
             // Everything except the test suite — the quick pre-commit loop.
             run_gates(&root, &GATES[..GATES.len() - 1])
+        }
+        "bench-smoke" => {
+            // Build and run the smoke benchmark; writes BENCH_parallel.json
+            // at the workspace root (see `--help` of the binary for flags).
+            let extra: Vec<&str> =
+                args.iter().skip(1).map(String::as_str).filter(|a| *a != "--").collect();
+            match run_bench_smoke(&root, &extra) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("bench-smoke failed: {msg}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         name => {
             if let Some(gate) = GATES.iter().find(|g| g.name == name) {
@@ -61,6 +79,7 @@ fn print_usage() {
     for g in GATES {
         eprintln!("  {:<7} {}", g.name, g.description);
     }
+    eprintln!("  bench-smoke  run the fixed-seed smoke benchmark (writes BENCH_parallel.json)");
 }
 
 /// Runs the given gates in order, printing a summary; keeps going after a
@@ -136,6 +155,22 @@ fn run_doc(root: &Path) -> Result<(), String> {
 
 fn run_test(root: &Path) -> Result<(), String> {
     cargo(root, &["test", "--workspace", "--quiet"], &[])
+}
+
+fn run_bench_build(root: &Path) -> Result<(), String> {
+    cargo(root, &["bench", "--workspace", "--no-run", "--quiet"], &[])
+}
+
+/// Builds and runs the `bench_smoke` binary in release mode, forwarding
+/// any extra CLI flags (`--runs N`, `--out PATH`).
+fn run_bench_smoke(root: &Path, extra: &[&str]) -> Result<(), String> {
+    let mut args =
+        vec!["run", "--release", "--quiet", "-p", "linkclust-bench", "--bin", "bench_smoke"];
+    if !extra.is_empty() {
+        args.push("--");
+        args.extend_from_slice(extra);
+    }
+    cargo(root, &args, &[])
 }
 
 fn run_scan(root: &Path) -> Result<(), String> {
