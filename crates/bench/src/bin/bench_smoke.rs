@@ -2,7 +2,11 @@
 //! in the many-small-chunk regime (high `phi`, small `initial_chunk`)
 //! comparing the pooled chunk pipeline against the spawn-per-chunk
 //! baseline, plus the parallel init passes. Writes machine-readable
-//! results to `BENCH_parallel.json` (override with `--out <path>`).
+//! results to `BENCH_parallel.json` (override with `--out <path>`), and
+//! an init-phase A/B — the owner-sharded pass 2 against the historical
+//! hierarchical map merge, on a uniform `gnm` and a power-law
+//! `barabasi_albert` workload — to `BENCH_init.json` (override with
+//! `--init-out <path>`).
 //!
 //! Run via `cargo xtask bench-smoke` or directly:
 //!
@@ -14,11 +18,13 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use linkclust_bench::alloc::{measure_alloc_traffic, CountingAlloc};
+use linkclust_bench::mapmerge::compute_similarities_mapmerge;
 use linkclust_bench::spawnchunk::SpawnPerChunkProcessor;
 use linkclust_bench::timing::{format_duration, time_runs};
 use linkclust_core::coarse::{coarse_sweep_with, CoarseConfig};
 use linkclust_core::init::compute_similarities;
-use linkclust_graph::generate::{gnm, WeightMode};
+use linkclust_graph::generate::{barabasi_albert, gnm, WeightMode};
+use linkclust_graph::WeightedGraph;
 use linkclust_parallel::{compute_similarities_parallel, ParallelChunkProcessor};
 
 #[global_allocator]
@@ -52,9 +58,61 @@ fn measure_sweep(runs: usize, mut sweep: impl FnMut()) -> SweepSample {
     SweepSample { min: stats.min, mean: stats.mean, alloc_bytes, alloc_calls }
 }
 
+/// A/B of Phase I pass 2 on one workload: the owner-sharded accumulator
+/// (`compute_similarities_parallel`) against the hierarchical-map-merge
+/// baseline, at each thread count. Returns the JSON rows plus whether the
+/// sharded path won on time at every thread count ≥ 4.
+fn bench_init_workload(name: &str, g: &WeightedGraph, runs: usize, json: &mut Vec<String>) -> bool {
+    let mut sharded_wins = true;
+    let mut rows = Vec::new();
+    for threads in THREADS {
+        let sharded = measure_sweep(runs, || {
+            let _ = compute_similarities_parallel(g, threads);
+        });
+        let mapmerge = measure_sweep(runs, || {
+            let _ = compute_similarities_mapmerge(g, threads);
+        });
+        let speedup = mapmerge.min.as_secs_f64() / sharded.min.as_secs_f64().max(1e-9);
+        if threads >= 4
+            && (sharded.min > mapmerge.min || sharded.alloc_bytes > mapmerge.alloc_bytes)
+        {
+            sharded_wins = false;
+        }
+        println!(
+            "init[{name}] t={threads}: sharded {} ({} B allocated) vs mapmerge {} ({} B allocated) — {speedup:.2}x",
+            format_duration(sharded.min),
+            sharded.alloc_bytes,
+            format_duration(mapmerge.min),
+            mapmerge.alloc_bytes,
+        );
+        rows.push(format!(
+            "{{\"threads\":{threads},\
+              \"sharded\":{{\"min_ms\":{:.3},\"mean_ms\":{:.3},\"alloc_bytes\":{},\"alloc_calls\":{}}},\
+              \"mapmerge\":{{\"min_ms\":{:.3},\"mean_ms\":{:.3},\"alloc_bytes\":{},\"alloc_calls\":{}}},\
+              \"sharded_speedup\":{speedup:.4}}}",
+            millis(sharded.min),
+            millis(sharded.mean),
+            sharded.alloc_bytes,
+            sharded.alloc_calls,
+            millis(mapmerge.min),
+            millis(mapmerge.mean),
+            mapmerge.alloc_bytes,
+            mapmerge.alloc_calls,
+        ));
+    }
+    json.push(format!(
+        "{{\"workload\":\"{name}\",\"vertices\":{},\"edges\":{},\"rows\":[{}]}}",
+        g.vertex_count(),
+        g.edge_count(),
+        rows.join(","),
+    ));
+    sharded_wins
+}
+
 fn main() {
     let mut runs = 5usize;
     let mut out_path = String::from("BENCH_parallel.json");
+    let mut init_out_path = String::from("BENCH_init.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -66,8 +124,15 @@ fn main() {
                     out_path = v;
                 }
             }
+            "--init-out" => {
+                if let Some(v) = args.next() {
+                    init_out_path = v;
+                }
+            }
             other => {
-                eprintln!("unknown argument: {other} (expected --runs N, --out PATH)");
+                eprintln!(
+                    "unknown argument: {other} (expected --runs N, --out PATH, --init-out PATH)"
+                );
                 std::process::exit(2);
             }
         }
@@ -161,4 +226,24 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {out_path}");
+
+    // Init A/B: owner-sharded pass 2 vs the hierarchical-map-merge
+    // baseline, on the uniform gnm workload plus a power-law graph whose
+    // hub vertices stress the shard routing.
+    let power = barabasi_albert(VERTICES, 4, WeightMode::Uniform { lo: 0.5, hi: 1.5 }, SEED);
+    let mut init_ab_json = Vec::new();
+    let gnm_ok = bench_init_workload("gnm", &g, runs, &mut init_ab_json);
+    let power_ok = bench_init_workload("barabasi_albert", &power, runs, &mut init_ab_json);
+    let sharded_beats_mapmerge = gnm_ok && power_ok;
+    let init_doc = format!(
+        "{{\"runs\":{runs},\"threads\":[1,2,4,8],\
+          \"workloads\":[{}],\
+          \"sharded_beats_mapmerge_at_4_threads\":{sharded_beats_mapmerge}}}",
+        init_ab_json.join(","),
+    );
+    if let Err(e) = std::fs::write(&init_out_path, init_doc) {
+        eprintln!("failed to write {init_out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {init_out_path}");
 }

@@ -13,24 +13,31 @@
 //!
 //! 1. [`vertex_norms`] — arrays `H₁` (mean incident weight) and `H₂`
 //!    (`|aᵢ|² = H₁² + Σw²`);
-//! 2. [`accumulate_pairs`] — for every vertex, every pair of its
-//!    neighbors accrues the weight product `w_ij·w_ik` and the common
-//!    neighbor itself into map `M`;
+//! 2. map `M` — for every vertex, every pair of its neighbors accrues
+//!    the weight product `w_ij·w_ik` and the common neighbor itself.
+//!    The production pass 2 is the flat, arena-backed
+//!    [`FlatPairAccumulator`](crate::flatacc::FlatPairAccumulator)
+//!    (packed `u64` keys, one shared common-neighbor arena); the
+//!    original map-based [`PairAccumulator`] (one `HashMap` entry and
+//!    one `Vec` per pair) is retained as the A/B baseline the bench
+//!    harness measures against and as the reference in equivalence
+//!    tests.
 //! 3. [`finalize_entries`] — adjacent pairs receive the correction term
 //!    `(H₁[i]+H₁[j])·w_ij` (the diagonal contributions to `aᵢ·aⱼ`), and
 //!    every entry's running sum is replaced by the final similarity.
 //!
 //! The splits are public so the multi-threaded implementation
 //! (`linkclust-parallel`) can parallelize each pass exactly as §VI-A
-//! prescribes: pass 1 over vertex ranges, pass 2 with per-thread
-//! accumulators merged hierarchically, pass 3 over entry ranges.
+//! prescribes: pass 1 over vertex ranges, pass 2 sharded by owner
+//! (producers route records to the owner of each pair's first vertex —
+//! no cross-thread map merge), pass 3 over entry ranges.
 
 use std::collections::HashMap;
 
 use linkclust_graph::{VertexId, WeightedGraph};
 
 use crate::similarity::{PairSimilarities, SimilarityEntry, VertexPair};
-use crate::telemetry::{Counter, Phase, Telemetry};
+use crate::telemetry::{Counter, Gauge, Phase, Telemetry};
 
 /// The arrays `H₁` and `H₂` of Algorithm 1 (pass 1).
 #[derive(Clone, PartialEq, Debug)]
@@ -83,11 +90,17 @@ pub struct RawPairEntry {
     pub common_neighbors: Vec<VertexId>,
 }
 
-/// Pass 2 accumulator: the map `M` keyed by vertex pair.
+/// The original map-based pass-2 accumulator: the map `M` keyed by
+/// vertex pair, one `HashMap` entry and one heap `Vec` per pair.
+///
+/// Superseded in the production pipeline by the flat
+/// [`FlatPairAccumulator`](crate::flatacc::FlatPairAccumulator); kept as
+/// the hashmap-merge baseline (`linkclust-bench` measures the sharded
+/// path against it) and as the reference oracle in equivalence tests.
 ///
 /// Multiple accumulators built over disjoint vertex sets can be
-/// [`merge`](PairAccumulator::merge)d — this is what the parallel
-/// implementation's hierarchical map merging does.
+/// [`merge`](PairAccumulator::merge)d — this is what the historical
+/// parallel implementation's hierarchical map merging does.
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct PairAccumulator {
     map: HashMap<(u32, u32), (f64, Vec<u32>)>,
@@ -244,9 +257,14 @@ pub fn compute_similarities_with(g: &WeightedGraph, telemetry: &Telemetry) -> Pa
     };
     let acc = {
         let _span = telemetry.span(Phase::InitPass2);
-        accumulate_pairs(g, g.vertices())
+        let mut acc = crate::flatacc::FlatPairAccumulator::for_graph(g);
+        for v in g.vertices() {
+            acc.process_vertex(g, v);
+        }
+        acc
     };
     telemetry.add(Counter::PairsK1, acc.len() as u64);
+    telemetry.observe(Gauge::TableOccupancy, acc.occupancy());
     let mut entries = acc.into_sorted_entries();
     {
         let _span = telemetry.span(Phase::InitPass3);

@@ -82,6 +82,7 @@ pub mod dendrogram;
 pub mod error;
 pub mod evaluate;
 pub mod export;
+pub mod flatacc;
 pub mod incremental;
 pub mod init;
 pub mod invariants;

@@ -110,6 +110,13 @@ impl PairSimilarities {
     /// (ties by vertex pair) into a sorted list `L` without re-sorting —
     /// the constructor used by external parallel sorters.
     ///
+    /// Sortedness is judged by the exact comparator
+    /// [`into_sorted`](Self::into_sorted) uses — [`f64::total_cmp`] on
+    /// the scores, ties by pair. Raw `>`/`==` would disagree with it on
+    /// signed zeros (`0.0` orders strictly before `-0.0` under the total
+    /// order but compares equal under `==`), making this constructor
+    /// reject output a correct parallel sort produced.
+    ///
     /// # Panics
     ///
     /// Panics if the entries are not sorted.
@@ -117,7 +124,11 @@ impl PairSimilarities {
     pub fn from_sorted(entries: Vec<SimilarityEntry>) -> Self {
         assert!(
             entries.windows(2).all(|w| {
-                w[0].score > w[1].score || (w[0].score == w[1].score && w[0].pair <= w[1].pair)
+                match w[1].score.total_cmp(&w[0].score) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Equal => w[0].pair <= w[1].pair,
+                    std::cmp::Ordering::Greater => false,
+                }
             }),
             "entries must be sorted by non-increasing score"
         );
@@ -253,6 +264,25 @@ mod tests {
         let unsorted = vec![entry(0, 1, 0.1, &[2]), entry(2, 3, 0.5, &[4])];
         let r = std::panic::catch_unwind(|| PairSimilarities::from_sorted(unsorted));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn from_sorted_agrees_with_into_sorted_on_signed_zero_ties() {
+        // Regression: 0.0 orders strictly before -0.0 under total_cmp,
+        // so this list — which into_sorted itself produces — used to
+        // trip the raw `==` validation (equal scores, pairs descending).
+        let entries = vec![entry(2, 3, 0.0, &[4]), entry(0, 1, -0.0, &[2])];
+        let sorted = PairSimilarities::from_entries(entries.clone()).into_sorted();
+        assert_eq!(sorted.entries(), entries.as_slice(), "into_sorted keeps this order");
+        let s = PairSimilarities::from_sorted(entries);
+        assert!(s.is_sorted());
+        // The converse order (-0.0 before 0.0) is NOT total_cmp-sorted
+        // and must still be rejected.
+        let reversed = vec![entry(0, 1, -0.0, &[2]), entry(2, 3, 0.0, &[4])];
+        assert!(std::panic::catch_unwind(|| PairSimilarities::from_sorted(reversed)).is_err());
+        // Plain equal-score ties still require ascending pair order.
+        let bad_tie = vec![entry(2, 3, 0.5, &[4]), entry(0, 1, 0.5, &[2])];
+        assert!(std::panic::catch_unwind(|| PairSimilarities::from_sorted(bad_tie)).is_err());
     }
 
     #[test]

@@ -68,13 +68,18 @@ pub enum Phase {
     /// (one span per pooled task; high totals mean the pool is
     /// oversubscribed).
     PoolQueueWait = 9,
+    /// Owner-thread fold of routed shard records into the flat
+    /// accumulators (parallel pass 2 only — replaces the hierarchical
+    /// map merge).
+    InitShardFold = 10,
 }
 
 impl Phase {
     /// All phases, in display order.
-    pub const ALL: [Phase; 10] = [
+    pub const ALL: [Phase; 11] = [
         Phase::InitPass1,
         Phase::InitPass2,
+        Phase::InitShardFold,
         Phase::InitMapMerge,
         Phase::InitPass3,
         Phase::Sort,
@@ -99,6 +104,7 @@ impl Phase {
             Phase::ChunkProcess => "chunk_process",
             Phase::ChunkCombine => "chunk_combine",
             Phase::PoolQueueWait => "pool_queue_wait",
+            Phase::InitShardFold => "init_shard_fold",
         }
     }
 
@@ -138,11 +144,15 @@ pub enum Counter {
     ArrayCombines = 11,
     /// Tasks executed by the persistent worker pool (across all phases).
     PoolTasks = 12,
+    /// `(pair, weight-product, common-neighbor)` records routed between
+    /// producer and owner threads by the sharded parallel pass 2 (the
+    /// shard-exchange volume; equals K₂ for a full pass).
+    ShardRecords = 13,
 }
 
 impl Counter {
     /// All counters, in display order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 14] = [
         Counter::PairsK1,
         Counter::IncidentPairsK2,
         Counter::MergesApplied,
@@ -156,6 +166,7 @@ impl Counter {
         Counter::SerialFallbackChunks,
         Counter::ArrayCombines,
         Counter::PoolTasks,
+        Counter::ShardRecords,
     ];
 
     /// The stable snake_case name used in JSON and tables.
@@ -175,6 +186,7 @@ impl Counter {
             Counter::SerialFallbackChunks => "serial_fallback_chunks",
             Counter::ArrayCombines => "array_combines",
             Counter::PoolTasks => "pool_tasks",
+            Counter::ShardRecords => "shard_records",
         }
     }
 
@@ -188,17 +200,22 @@ impl Counter {
 pub enum Gauge {
     /// The chunk size δ an epoch ran with (in incident edge pairs).
     ChunkSize = 0,
+    /// Load factor of a flat pass-2 accumulator table when its pass
+    /// finished (one sample per accumulator; low values mean the K₁
+    /// estimate overshot).
+    TableOccupancy = 1,
 }
 
 impl Gauge {
     /// All gauges, in display order.
-    pub const ALL: [Gauge; 1] = [Gauge::ChunkSize];
+    pub const ALL: [Gauge; 2] = [Gauge::ChunkSize, Gauge::TableOccupancy];
 
     /// The stable snake_case name used in JSON and tables.
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             Gauge::ChunkSize => "chunk_size",
+            Gauge::TableOccupancy => "table_occupancy",
         }
     }
 

@@ -80,7 +80,10 @@ impl From<std::io::Error> for ParseGraphError {
 /// # Ok::<(), linkclust_graph::io::ParseGraphError>(())
 /// ```
 pub fn read_edge_list<R: BufRead>(reader: R) -> Result<WeightedGraph, ParseGraphError> {
-    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    // Each parsed edge carries its original 1-based line number: the
+    // second loop runs over the *filtered* edge vector, so an index
+    // there would drift past every comment and blank line.
+    let mut edges: Vec<(usize, usize, f64, usize)> = Vec::new();
     let mut max_vertex = 0usize;
     for (i, line) in reader.lines().enumerate() {
         let line = line?;
@@ -106,12 +109,12 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<WeightedGraph, ParseGraph
             return Err(ParseGraphError::Malformed { line: i + 1, content: trimmed.to_owned() });
         }
         max_vertex = max_vertex.max(u).max(v);
-        edges.push((u, v, w));
+        edges.push((u, v, w, i + 1));
     }
     let mut b = GraphBuilder::with_vertices(if edges.is_empty() { 0 } else { max_vertex + 1 });
-    for (i, (u, v, w)) in edges.into_iter().enumerate() {
+    for (u, v, w, line) in edges {
         b.add_edge(VertexId::new(u), VertexId::new(v), w)
-            .map_err(|source| ParseGraphError::Graph { line: i + 1, source })?;
+            .map_err(|source| ParseGraphError::Graph { line, source })?;
     }
     Ok(b.build())
 }
@@ -166,6 +169,31 @@ mod tests {
                 assert_eq!(line, 2);
                 assert!(matches!(source, GraphError::SelfLoop { .. }));
             }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn graph_error_line_numbers_survive_skipped_lines() {
+        // Regression: the error loop used to enumerate the *filtered*
+        // edge vector, so comments and blank lines shifted every
+        // reported line. The self-loop here sits on line 5 of the input
+        // but is only the second parsed edge.
+        let text = "# header\n0 1\n\n# another comment\n2 2\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            ParseGraphError::Graph { line, source } => {
+                assert_eq!(line, 5, "must report the original line, not the edge index");
+                assert!(matches!(source, GraphError::SelfLoop { .. }));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // A duplicate edge after interleaved comments likewise reports
+        // the physical line of the offending occurrence.
+        let dup = "0 1 1.0\n# note\n\n1 0 2.0\n";
+        let err = read_edge_list(dup.as_bytes()).unwrap_err();
+        match err {
+            ParseGraphError::Graph { line, .. } => assert_eq!(line, 4),
             other => panic!("unexpected error {other:?}"),
         }
     }

@@ -1,0 +1,143 @@
+//! Property tests for the edge-list serialization: `write_edge_list` →
+//! `read_edge_list` must round-trip exactly for any generated graph,
+//! stay invariant under interleaved comments and blank lines, reject
+//! trailing tokens, and report the *physical* 1-based line number in
+//! every error — including when skipped lines precede the offender.
+
+use linkclust_graph::generate::{gnm, WeightMode};
+use linkclust_graph::io::{read_edge_list, write_edge_list, ParseGraphError};
+use linkclust_graph::GraphError;
+use proptest::prelude::*;
+
+/// Interleaves noise (comments and blank lines) into an edge-list text:
+/// before each original line `i`, inserts a comment when bit `i` of
+/// `mask` is set and a blank when bit `i` of `mask >> 16` is set.
+fn sprinkle_noise(text: &str, mask: u32) -> String {
+    let mut out = String::with_capacity(text.len() * 2);
+    for (i, line) in text.lines().enumerate() {
+        let bit = i % 16;
+        if mask & (1 << bit) != 0 {
+            out.push_str("# interleaved comment\n");
+        }
+        if (mask >> 16) & (1 << bit) != 0 {
+            out.push('\n');
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn roundtrip_is_exact(
+        n in 2usize..40,
+        extra in 0usize..60,
+        seed in 0u64..500,
+        unit in proptest::bool::ANY,
+    ) {
+        let m = (n - 1 + extra).min(n * (n - 1) / 2);
+        let mode = if unit {
+            WeightMode::Unit
+        } else {
+            WeightMode::Uniform { lo: 0.1, hi: 3.0 }
+        };
+        let g = gnm(n, m, mode, seed);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice()).unwrap();
+        // `{}` on f64 prints the shortest string that parses back to the
+        // same value, so weights survive to the bit and the graphs are
+        // structurally equal.
+        prop_assert_eq!(&g, &back);
+    }
+
+    #[test]
+    fn comments_and_blanks_do_not_change_the_graph(
+        n in 2usize..30,
+        extra in 0usize..40,
+        seed in 0u64..500,
+        mask in 0u32..=u32::MAX,
+    ) {
+        let m = (n - 1 + extra).min(n * (n - 1) / 2);
+        let g = gnm(n, m, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, seed);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let noisy = sprinkle_noise(std::str::from_utf8(&buf).unwrap(), mask);
+        let back = read_edge_list(noisy.as_bytes()).unwrap();
+        prop_assert_eq!(&g, &back);
+    }
+
+    #[test]
+    fn trailing_tokens_are_rejected_at_the_right_line(
+        comments_before in 0usize..6,
+        good_edges in 0usize..4,
+    ) {
+        let mut text = String::new();
+        let mut lines = 0usize;
+        for _ in 0..comments_before {
+            text.push_str("# preamble\n");
+            lines += 1;
+        }
+        for i in 0..good_edges {
+            text.push_str(&format!("{} {} 1.0\n", i, i + 1));
+            lines += 1;
+        }
+        text.push_str("7 8 1.0 trailing\n");
+        let offender = lines + 1;
+        match read_edge_list(text.as_bytes()) {
+            Err(ParseGraphError::Malformed { line, content }) => {
+                prop_assert_eq!(line, offender);
+                prop_assert!(content.contains("trailing"));
+            }
+            other => prop_assert!(false, "expected Malformed, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn graph_errors_report_physical_lines_past_noise(
+        mask in 0u32..=u32::MAX,
+        good_edges in 1usize..5,
+    ) {
+        // Build a valid prefix, sprinkle noise, then append a self-loop;
+        // the reported line must be the self-loop's physical position in
+        // the noisy text, not its index among parsed edges.
+        let mut body = String::new();
+        for i in 0..good_edges {
+            body.push_str(&format!("{} {}\n", i, i + 1));
+        }
+        body.push_str("3 3\n");
+        let noisy = sprinkle_noise(&body, mask);
+        let offender = 1 + noisy
+            .lines()
+            .position(|l| l == "3 3")
+            .expect("the self-loop line survives noise injection");
+        match read_edge_list(noisy.as_bytes()) {
+            Err(ParseGraphError::Graph { line, source }) => {
+                prop_assert_eq!(line, offender);
+                prop_assert!(matches!(source, GraphError::SelfLoop { .. }));
+            }
+            other => prop_assert!(false, "expected Graph error, got {:?}", other.map(|_| ())),
+        }
+    }
+}
+
+/// Non-property edge cases that pin exact messages and boundaries.
+#[test]
+fn malformed_variants_each_name_their_line() {
+    for (text, bad_line) in [
+        ("0 1\nx y\n", 2),
+        ("# c\n0 1\n\n0 2 notaweight\n", 4),
+        ("\n\n0\n", 3),
+        ("0 1 1.0 2.0\n", 1),
+    ] {
+        match read_edge_list(text.as_bytes()) {
+            Err(ParseGraphError::Malformed { line, .. }) => {
+                assert_eq!(line, bad_line, "input {text:?}");
+            }
+            other => panic!("expected Malformed for {text:?}, got {:?}", other.map(|_| ())),
+        }
+    }
+}

@@ -239,7 +239,7 @@ impl LinkClustering {
 mod tests {
     use super::*;
     use linkclust_core::reference::canonical_labels;
-    use linkclust_core::telemetry::{Counter, Phase};
+    use linkclust_core::telemetry::{Counter, Gauge, Phase};
     use linkclust_graph::generate::{gnm, WeightMode};
 
     fn canon(labels: &[u32]) -> Vec<usize> {
@@ -310,7 +310,7 @@ mod tests {
         let g = gnm(50, 220, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 2);
         let r = LinkClustering::new().threads(4).stats(true).run(&g).unwrap();
         let report = r.report().expect("stats(true) attaches a report");
-        for phase in [Phase::InitPass1, Phase::InitPass2, Phase::InitMapMerge, Phase::InitPass3] {
+        for phase in [Phase::InitPass1, Phase::InitPass2, Phase::InitShardFold, Phase::InitPass3] {
             assert_eq!(report.phase_calls(phase), 1, "{phase:?}");
         }
         assert_eq!(report.phase_calls(Phase::Sort), 1);
@@ -320,8 +320,16 @@ mod tests {
             report.counter(Counter::PairsK1),
             linkclust_graph::stats::count_common_neighbor_pairs(&g)
         );
-        // Pass 2 reported a pair-map size for every worker thread.
+        // Every (pair, common neighbor) record crossed the shard
+        // exchange exactly once, so the routed volume is K₂.
+        assert_eq!(
+            report.counter(Counter::ShardRecords),
+            linkclust_graph::stats::count_incident_edge_pairs(&g)
+        );
+        // Pass 2 reported a folded record count for every owner thread,
+        // and every non-empty owner table sampled its occupancy.
         assert!(report.thread_items().len() >= 4);
+        assert!(report.gauge(Gauge::TableOccupancy).count >= 1);
     }
 
     #[test]

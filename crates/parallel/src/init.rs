@@ -1,40 +1,126 @@
-//! Parallel initialization phase (§VI-A).
+//! Parallel initialization phase (§VI-A, with a sharded pass 2).
 //!
-//! The three passes of Algorithm 1, each parallelized as the paper
-//! prescribes:
+//! The three passes of Algorithm 1:
 //!
 //! 1. **Pass 1** — vertices are partitioned into `T` disjoint contiguous
 //!    sets; each thread fills its slice of `H₁`/`H₂`.
-//! 2. **Pass 2** — each thread accumulates its own pair map over its
-//!    vertex set (no sharing), then the `T` maps are merged pairwise in a
-//!    hierarchical reduction until at most three remain, which a single
-//!    thread folds.
-//! 3. **Pass 3** — the key-sorted entry vector is split into disjoint
-//!    contiguous ranges (equivalently: partitioned by first vertex); each
-//!    thread applies the adjacency correction and final similarity to its
-//!    own range.
+//! 2. **Pass 2** — owner-sharded accumulation, replacing the paper's
+//!    per-thread maps + O(K₁·log T) hierarchical map merge:
+//!    * *produce* — each thread scans its vertex range and routes one
+//!      `(packed pair, w·w, common neighbor)` record per neighbor pair
+//!      into a per-`(producer, owner)` buffer, where the **owner** of a
+//!      pair is the thread whose vertex range contains the pair's first
+//!      (smaller) vertex;
+//!    * *fold* — each owner thread folds exactly the buffers addressed
+//!      to it (taken by move — no copy, no intermediate map) into a flat
+//!      arena-backed [`FlatPairAccumulator`], in producer order.
+//!      Because producer ranges ascend and each
+//!      producer scans its vertices in ascending order, every pair's
+//!      contributions arrive in exactly the serial order — the folded
+//!      sums are **bit-identical** to the serial pass, not merely close.
 //!
-//! All three passes execute on the persistent [`WorkerPool`]: the facade
+//!    Ownership by first-vertex range makes each owner's key-sorted
+//!    output a contiguous slab of the global key order, so the shards
+//!    concatenate into the deterministic entry list with no merge step
+//!    at all.
+//! 3. **Pass 3** — the key-sorted entry vector is split into disjoint
+//!    contiguous ranges; each thread applies the adjacency correction
+//!    and final similarity to its own range.
+//!
+//! All passes execute on the persistent [`WorkerPool`]: the facade
 //! spawns one pool per run and shares it with the sort and the coarse
 //! sweep ([`compute_similarities_pooled`]); the standalone entry points
-//! spin up a transient pool of their own.
+//! spin up a transient pool of their own. The historical
+//! hierarchical-map-merge implementation is preserved as an A/B baseline
+//! in `linkclust-bench` (`bench::mapmerge`).
 
 use std::sync::Arc;
 
+use linkclust_core::flatacc::{pack_pair, FlatPairAccumulator};
 use linkclust_core::init::{
-    accumulate_pairs, entries_into_similarities, finalize_entries, vertex_norms_range,
-    RawPairEntry, VertexNorms,
+    entries_into_similarities, finalize_entries, vertex_norms_range, RawPairEntry, VertexNorms,
 };
-use linkclust_core::telemetry::{Counter, Phase, Telemetry};
+use linkclust_core::telemetry::{Counter, Gauge, Phase, Telemetry};
 use linkclust_core::PairSimilarities;
 use linkclust_graph::{VertexId, WeightedGraph};
 
 use crate::pool::{partition_ranges, Task, WorkerPool};
 
+/// One routed pass-2 record: a pair key packed by
+/// [`pack_pair`], the weight product `w_vi·w_vj`, and the common
+/// neighbor `v` that produced it.
+#[derive(Clone, Copy, Debug)]
+struct ShardRecord {
+    key: u64,
+    w: f64,
+    v: u32,
+}
+
+/// Scans the vertex `range` and routes one record per neighbor pair into
+/// a per-owner buffer. `starts` holds the ascending start offsets of the
+/// owner ranges. A cheap O(Σd) pre-count sizes every buffer **exactly**
+/// — ownership is skewed on power-law graphs (hub vertices have small
+/// ids, so low ranges own most pairs), and an even `records/owners`
+/// split would make the hot owner's buffer regrow repeatedly.
+fn produce_shard_records(
+    g: &WeightedGraph,
+    range: std::ops::Range<usize>,
+    starts: &[usize],
+) -> Vec<Vec<ShardRecord>> {
+    let owners = starts.len();
+    let mut counts = vec![0usize; owners];
+    for i in range.clone() {
+        let nbrs = g.neighbors(VertexId::new(i));
+        for (a, x) in nbrs.iter().enumerate() {
+            let owner = starts.partition_point(|&s| s <= u32::from(x.vertex) as usize) - 1;
+            counts[owner] += nbrs.len() - a - 1;
+        }
+    }
+    let mut bufs: Vec<Vec<ShardRecord>> = counts.into_iter().map(Vec::with_capacity).collect();
+    for i in range {
+        let v = VertexId::new(i);
+        let nbrs = g.neighbors(v);
+        for (a, x) in nbrs.iter().enumerate() {
+            let first = u32::from(x.vertex);
+            // Adjacency lists are sorted, so `x.vertex` is the smaller
+            // endpoint of every pair it opens — one owner lookup serves
+            // the whole inner loop.
+            let owner = starts.partition_point(|&s| s <= first as usize) - 1;
+            let buf = &mut bufs[owner];
+            for y in &nbrs[a + 1..] {
+                buf.push(ShardRecord {
+                    key: pack_pair(first, u32::from(y.vertex)),
+                    w: x.weight * y.weight,
+                    v: i as u32,
+                });
+            }
+        }
+    }
+    bufs
+}
+
+/// Folds one owner's shard — the record buffers every producer routed to
+/// it, in producer order — into a flat accumulator and materializes the
+/// owner's slab of the key-sorted entry list. Returns the slab plus the
+/// accumulator's final table occupancy (for the telemetry gauge).
+fn fold_shard(bufs: Vec<Vec<ShardRecord>>) -> (Vec<RawPairEntry>, f64) {
+    let records: usize = bufs.iter().map(Vec::len).sum();
+    let mut acc = FlatPairAccumulator::with_capacity(records, records);
+    for buf in bufs {
+        for rec in buf {
+            acc.record(rec.key, rec.w, rec.v);
+        }
+    }
+    let occupancy = acc.occupancy();
+    (acc.into_sorted_entries(), occupancy)
+}
+
 /// Computes the pair similarities of Phase I using `threads` worker
-/// threads. The result is identical (up to floating-point association,
-/// which the per-vertex accumulation order keeps deterministic) to
-/// [`compute_similarities`](linkclust_core::init::compute_similarities).
+/// threads. The result is **bit-identical** to
+/// [`compute_similarities`](linkclust_core::init::compute_similarities):
+/// the owner fold replays every pair's contributions in the serial scan
+/// order (producer ranges ascend; each producer scans ascending), so
+/// even the floating-point association matches.
 ///
 /// # Panics
 ///
@@ -56,10 +142,12 @@ pub fn compute_similarities_parallel(g: &WeightedGraph, threads: usize) -> PairS
 }
 
 /// [`compute_similarities_parallel`] with phase-level telemetry: each
-/// pass runs under its own span (the map merge of pass 2 gets a separate
-/// [`Phase::InitMapMerge`] span), the K₁/K₂ counters are recorded, and
-/// every worker's pass-2 pair-map size feeds the per-thread item counts
-/// for load-imbalance analysis.
+/// pass runs under its own span (the owner fold of pass 2 gets a
+/// separate [`Phase::InitShardFold`] span), the K₁/K₂ counters and the
+/// shard-exchange record volume ([`Counter::ShardRecords`]) are
+/// recorded, each owner's folded record count feeds the per-thread item
+/// counts for load-imbalance analysis, and every owner table's final
+/// load factor is sampled into [`Gauge::TableOccupancy`].
 ///
 /// # Panics
 ///
@@ -101,30 +189,61 @@ pub fn compute_similarities_pooled(
         }
     }
 
-    // Pass 2, step 1: per-thread pair maps over disjoint vertex sets.
-    let maps = {
+    // Pass 2, step 1 (produce): each producer scans its vertex range and
+    // routes records into per-(producer, owner) buffers. The owner of a
+    // pair is the thread whose range holds the pair's first vertex.
+    let starts: Arc<Vec<usize>> = Arc::new(ranges.iter().map(|r| r.start).collect());
+    let produced: Vec<Vec<Vec<ShardRecord>>> = {
         let _span = telemetry.span(Phase::InitPass2);
         let g = Arc::clone(g);
-        pool.run_on_ranges(ranges, move |r| accumulate_pairs(&g, r.map(VertexId::new)))
+        let starts = Arc::clone(&starts);
+        pool.run_on_ranges(ranges, move |r| produce_shard_records(&g, r, &starts))
     };
-    for (thread, map) in maps.iter().enumerate() {
-        telemetry.thread_items(thread, map.len() as u64);
+
+    // Transpose: hand every owner exactly its buffers, by move, in
+    // producer order — the fold then replays each pair's contributions
+    // in the serial scan order, so the sums are bit-identical to the
+    // serial pass. No cross-thread map merge exists anymore.
+    let owners = starts.len();
+    let mut shards: Vec<Vec<Vec<ShardRecord>>> =
+        (0..owners).map(|_| Vec::with_capacity(produced.len())).collect();
+    for bufs in produced {
+        for (owner, buf) in bufs.into_iter().enumerate() {
+            shards[owner].push(buf);
+        }
     }
-    // Pass 2, step 2: hierarchical pairwise merge.
-    let acc = {
-        let _span = telemetry.span(Phase::InitMapMerge);
-        pool.reduce(maps, |mut a, b| {
-            a.merge(b);
-            a
-        })
-        .unwrap_or_default()
+    let mut total_records = 0u64;
+    for (owner, shard) in shards.iter().enumerate() {
+        let records: u64 = shard.iter().map(|b| b.len() as u64).sum();
+        telemetry.thread_items(owner, records);
+        total_records += records;
+    }
+    telemetry.add(Counter::ShardRecords, total_records);
+
+    // Pass 2, step 2 (fold): each owner folds its shard into a flat
+    // accumulator. Owner slabs are contiguous in the global key order
+    // (ownership follows the first vertex), so concatenating them in
+    // owner order *is* the deterministic key-sorted entry list.
+    let folded: Vec<(Vec<RawPairEntry>, f64)> = {
+        let _span = telemetry.span(Phase::InitShardFold);
+        let tasks: Vec<Task<(Vec<RawPairEntry>, f64)>> = shards
+            .into_iter()
+            .map(|shard| Box::new(move || fold_shard(shard)) as Task<(Vec<RawPairEntry>, f64)>)
+            .collect();
+        pool.run_tasks(tasks)
     };
-    telemetry.add(Counter::PairsK1, acc.len() as u64);
+    let mut entries = Vec::with_capacity(folded.iter().map(|(e, _)| e.len()).sum());
+    for (slab, occupancy) in folded {
+        if !slab.is_empty() {
+            telemetry.observe(Gauge::TableOccupancy, occupancy);
+        }
+        entries.extend(slab);
+    }
+    telemetry.add(Counter::PairsK1, entries.len() as u64);
 
     // Pass 3: finalize disjoint entry ranges in parallel. The entry
     // vector is carved into owned chunks (tasks need `'static` data),
     // finalized on the pool, and stitched back together in order.
-    let mut entries = acc.into_sorted_entries();
     let total = entries.len();
     let chunk = total.div_ceil(threads).max(1);
     {
@@ -179,8 +298,11 @@ mod tests {
                 for (a, b) in se.iter().zip(&pe) {
                     assert_eq!(a.pair, b.pair);
                     assert_eq!(a.common_neighbors, b.common_neighbors);
-                    assert!(
-                        (a.score - b.score).abs() < 1e-12,
+                    // The owner fold replays the serial accumulation
+                    // order, so scores match to the bit.
+                    assert_eq!(
+                        a.score.to_bits(),
+                        b.score.to_bits(),
                         "score mismatch at {}: {} vs {}",
                         a.pair,
                         a.score,

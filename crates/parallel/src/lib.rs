@@ -4,8 +4,10 @@
 //! multi-core machines:
 //!
 //! * **Initialization** ([`init`]) — the three passes of Algorithm 1:
-//!   vertex ranges in parallel (pass 1), per-thread pair maps merged
-//!   hierarchically (pass 2), and disjoint entry ranges (pass 3).
+//!   vertex ranges in parallel (pass 1), owner-sharded accumulation into
+//!   flat arena-backed tables — producers route records to the owner of
+//!   each pair's first vertex; no cross-thread map merge (pass 2) — and
+//!   disjoint entry ranges (pass 3).
 //! * **Sweeping** ([`sweep`]) — each coarse-grained chunk is partitioned
 //!   across `T` threads, each merging into its own copy of the cluster
 //!   array `C`; the copies are then combined pairwise ([`merge`]) with

@@ -48,7 +48,8 @@ fn main() -> ExitCode {
         }
         "bench-smoke" => {
             // Build and run the smoke benchmark; writes BENCH_parallel.json
-            // at the workspace root (see `--help` of the binary for flags).
+            // and the init A/B BENCH_init.json at the workspace root (see
+            // `--help` of the binary for flags).
             let extra: Vec<&str> =
                 args.iter().skip(1).map(String::as_str).filter(|a| *a != "--").collect();
             match run_bench_smoke(&root, &extra) {
@@ -79,7 +80,9 @@ fn print_usage() {
     for g in GATES {
         eprintln!("  {:<7} {}", g.name, g.description);
     }
-    eprintln!("  bench-smoke  run the fixed-seed smoke benchmark (writes BENCH_parallel.json)");
+    eprintln!(
+        "  bench-smoke  run the fixed-seed smoke benchmark (writes BENCH_parallel.json + BENCH_init.json)"
+    );
 }
 
 /// Runs the given gates in order, printing a summary; keeps going after a
@@ -162,7 +165,7 @@ fn run_bench_build(root: &Path) -> Result<(), String> {
 }
 
 /// Builds and runs the `bench_smoke` binary in release mode, forwarding
-/// any extra CLI flags (`--runs N`, `--out PATH`).
+/// any extra CLI flags (`--runs N`, `--out PATH`, `--init-out PATH`).
 fn run_bench_smoke(root: &Path, extra: &[&str]) -> Result<(), String> {
     let mut args =
         vec!["run", "--release", "--quiet", "-p", "linkclust-bench", "--bin", "bench_smoke"];
