@@ -8,12 +8,15 @@
 //!
 //! * `off`     — disabled telemetry (the default; no clock reads),
 //! * `stats`   — the built-in [`RunRecorder`] aggregation,
-//! * `custom`  — a bench-side event-log sink.
+//! * `custom`  — a bench-side event-log sink,
+//! * `traced`  — `stats` plus per-thread event tracing into ring
+//!   buffers (no file write; measures the recording cost alone).
 
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use linkclust_bench::telemetry::EventLog;
+use linkclust_core::telemetry::TraceCollector;
 use linkclust_graph::generate::{gnm, WeightMode};
 use linkclust_parallel::LinkClustering;
 
@@ -32,6 +35,15 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::from_parameter("custom"), &g, |b, g| {
         b.iter(|| LinkClustering::new().recorder(Arc::new(EventLog::new())).run(g).unwrap());
     });
+    group.bench_with_input(BenchmarkId::from_parameter("traced"), &g, |b, g| {
+        b.iter(|| {
+            LinkClustering::new()
+                .stats(true)
+                .tracer(Arc::new(TraceCollector::new()))
+                .run(g)
+                .unwrap()
+        });
+    });
     group.finish();
 
     let mut group = c.benchmark_group("telemetry/parallel_run");
@@ -46,6 +58,20 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("stats_t{threads}")),
             &g,
             |b, g| b.iter(|| LinkClustering::new().threads(threads).stats(true).run(g).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("traced_t{threads}")),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    LinkClustering::new()
+                        .threads(threads)
+                        .stats(true)
+                        .tracer(Arc::new(TraceCollector::new()))
+                        .run(g)
+                        .unwrap()
+                });
+            },
         );
     }
     group.finish();

@@ -23,9 +23,10 @@ use linkclust_bench::spawnchunk::SpawnPerChunkProcessor;
 use linkclust_bench::timing::{format_duration, time_runs};
 use linkclust_core::coarse::{coarse_sweep_with, CoarseConfig};
 use linkclust_core::init::compute_similarities;
+use linkclust_core::telemetry::{Phase, TraceCollector};
 use linkclust_graph::generate::{barabasi_albert, gnm, WeightMode};
 use linkclust_graph::WeightedGraph;
-use linkclust_parallel::{compute_similarities_parallel, ParallelChunkProcessor};
+use linkclust_parallel::{compute_similarities_parallel, LinkClustering, ParallelChunkProcessor};
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
@@ -107,6 +108,72 @@ fn bench_init_workload(name: &str, g: &WeightedGraph, runs: usize, json: &mut Ve
         rows.join(","),
     ));
     sharded_wins
+}
+
+/// Telemetry and tracing overhead on the unified facade: the same
+/// coarse workload with telemetry off, with `stats(true)` (tracing
+/// disabled — the path the documented <5% bar guards), and with a
+/// [`TraceCollector`] attached. Also extracts the queue-wait and
+/// chunk-processing latency quantiles from one stats run. Returns the
+/// JSON object for the `"telemetry"` key.
+fn bench_telemetry(g: &WeightedGraph, cfg: CoarseConfig, runs: usize) -> String {
+    const TELEMETRY_THREADS: usize = 4;
+    let run = |lc: LinkClustering| {
+        if lc.run_coarse(g, cfg).is_err() {
+            eprintln!("telemetry probe: coarse run rejected its configuration");
+            std::process::exit(1);
+        }
+    };
+    let base = || LinkClustering::new().threads(TELEMETRY_THREADS);
+    let off = measure_sweep(runs, || run(base()));
+    let stats = measure_sweep(runs, || run(base().stats(true)));
+    let traced =
+        measure_sweep(runs, || run(base().stats(true).tracer(Arc::new(TraceCollector::new()))));
+    let stats_ratio = millis(stats.min) / millis(off.min).max(1e-9);
+    let traced_ratio = millis(traced.min) / millis(off.min).max(1e-9);
+    let disabled_within_bar = stats_ratio <= 1.05;
+    println!(
+        "telemetry t={TELEMETRY_THREADS}: off {} vs stats {} ({stats_ratio:.3}x, within 5% bar: \
+         {disabled_within_bar}) vs traced {} ({traced_ratio:.3}x)",
+        format_duration(off.min),
+        format_duration(stats.min),
+        format_duration(traced.min),
+    );
+
+    // One stats run for the latency quantiles the run report now carries.
+    let report = base()
+        .stats(true)
+        .run_coarse(g, cfg)
+        .ok()
+        .and_then(|r| r.report().cloned())
+        .unwrap_or_default();
+    let quantiles = |p: Phase| {
+        format!(
+            "{{\"p50_nanos\":{},\"p90_nanos\":{},\"p99_nanos\":{}}}",
+            report.phase_quantile_nanos(p, 0.5),
+            report.phase_quantile_nanos(p, 0.9),
+            report.phase_quantile_nanos(p, 0.99),
+        )
+    };
+    println!(
+        "telemetry quantiles: pool_queue_wait p50 {} ns / p99 {} ns, chunk_process p50 {} ns / p99 {} ns",
+        report.phase_quantile_nanos(Phase::PoolQueueWait, 0.5),
+        report.phase_quantile_nanos(Phase::PoolQueueWait, 0.99),
+        report.phase_quantile_nanos(Phase::ChunkProcess, 0.5),
+        report.phase_quantile_nanos(Phase::ChunkProcess, 0.99),
+    );
+    format!(
+        "{{\"threads\":{TELEMETRY_THREADS},\
+          \"off_min_ms\":{:.3},\"stats_min_ms\":{:.3},\"traced_min_ms\":{:.3},\
+          \"stats_overhead_ratio\":{stats_ratio:.4},\"trace_overhead_ratio\":{traced_ratio:.4},\
+          \"tracing_disabled_within_bar\":{disabled_within_bar},\
+          \"pool_queue_wait\":{},\"chunk_process\":{}}}",
+        millis(off.min),
+        millis(stats.min),
+        millis(traced.min),
+        quantiles(Phase::PoolQueueWait),
+        quantiles(Phase::ChunkProcess),
+    )
 }
 
 fn main() {
@@ -210,11 +277,15 @@ fn main() {
         ));
     }
 
+    // Telemetry overhead + latency quantiles on the unified facade.
+    let telemetry_json = bench_telemetry(&g, cfg, runs);
+
     let json = format!(
         "{{\"workload\":{{\"kind\":\"gnm\",\"vertices\":{VERTICES},\"edges\":{EDGES},\"seed\":{SEED},\
           \"entries\":{},\"phi\":{PHI},\"initial_chunk\":{INITIAL_CHUNK},\"runs\":{runs}}},\
           \"init\":{{\"serial_min_ms\":{:.3},\"parallel\":[{}]}},\
           \"chunk_throughput\":[{}],\
+          \"telemetry\":{telemetry_json},\
           \"pooled_beats_spawn_at_4_threads\":{pooled_beats_spawn_at_4}}}",
         sims.len(),
         millis(serial_init.min),

@@ -7,18 +7,11 @@ use std::sync::Mutex;
 
 use linkclust_core::telemetry::{Counter, Gauge, Phase, Recorder};
 
-/// One telemetry event, in arrival order.
-#[derive(Clone, PartialEq, Debug)]
-pub enum Event {
-    /// A finished phase span.
-    Phase(Phase, u64),
-    /// A counter increment.
-    Counter(Counter, u64),
-    /// A gauge observation.
-    Gauge(Gauge, f64),
-    /// A per-thread item count.
-    ThreadItems(usize, u64),
-}
+/// One telemetry event, in arrival order. This is the core crate's
+/// [`TelemetryEvent`](linkclust_core::telemetry::TelemetryEvent) — the
+/// bench harness used to carry its own duplicate enum; the two are now
+/// unified so a logged event can be replayed into any core aggregate.
+pub use linkclust_core::telemetry::TelemetryEvent as Event;
 
 /// A [`Recorder`] that appends every event to an in-memory log. Used by
 /// the harness to trace phase-by-phase behavior of a single run; the

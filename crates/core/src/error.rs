@@ -9,8 +9,9 @@
 
 use std::fmt;
 
-/// A rejected clustering configuration.
-#[derive(Clone, Copy, PartialEq, Debug)]
+/// A rejected clustering configuration, or a failure to deliver a
+/// requested run artifact (e.g. the trace file).
+#[derive(Clone, PartialEq, Debug)]
 #[non_exhaustive]
 pub enum ConfigError {
     /// The thread count was zero.
@@ -32,6 +33,14 @@ pub enum ConfigError {
     /// The facade and the [`CoarseConfig`](crate::coarse::CoarseConfig)
     /// specify different explicit edge orders.
     EdgeOrderConflict,
+    /// Writing the requested Chrome trace file failed. The clustering
+    /// itself completed; only the artifact is missing.
+    TraceWrite {
+        /// Path the trace was meant to be written to.
+        path: String,
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -51,6 +60,9 @@ impl fmt::Display for ConfigError {
                 "conflicting edge orders: the facade and the CoarseConfig both set an \
                  explicit edge_order, and they differ"
             ),
+            ConfigError::TraceWrite { path, message } => {
+                write!(f, "failed to write trace file {path}: {message}")
+            }
         }
     }
 }
@@ -69,6 +81,12 @@ mod tests {
         assert!(ConfigError::InvalidGamma(0.5).to_string().contains("gamma"));
         assert!(ConfigError::InvalidEta(1.0).to_string().contains("eta0"));
         assert!(ConfigError::EdgeOrderConflict.to_string().contains("edge_order"));
+        let e = ConfigError::TraceWrite {
+            path: "/no/such/dir/t.json".to_string(),
+            message: "permission denied".to_string(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("/no/such/dir/t.json") && msg.contains("permission denied"));
     }
 
     #[test]

@@ -26,6 +26,10 @@
 //! * **Coarse level monotonicity** — committed [`LevelPoint`]s have
 //!   strictly increasing level ids, non-decreasing processed-pair counts,
 //!   and non-increasing cluster counts (§IV-B).
+//! * **Trace timeline consistency** — drained trace events are monotone
+//!   and properly nested per thread (no partial overlap), so exported
+//!   Chrome traces render as clean flame graphs
+//!   ([`validate_trace_events`]).
 
 use crate::cluster_array::ClusterArray;
 use crate::coarse::LevelPoint;
@@ -284,6 +288,29 @@ debug_hook!(
     debug_check_refinement => validate_refinement(finer: &ClusterArray, coarser: &ClusterArray)
 );
 
+/// Validates the per-thread timeline consistency of a drained trace
+/// event list (sorted the way [`TraceCollector::events`] sorts it):
+/// monotone non-decreasing starts and properly nested — never partially
+/// overlapping — intervals per thread. Delegates to
+/// [`crate::telemetry::trace::check_events`].
+///
+/// [`TraceCollector::events`]: crate::telemetry::trace::TraceCollector::events
+///
+/// # Errors
+///
+/// Returns a violation describing the first out-of-order or partially
+/// overlapping event.
+pub fn validate_trace_events(
+    events: &[crate::telemetry::TraceEvent],
+) -> Result<(), InvariantViolation> {
+    crate::telemetry::trace::check_events(events).map_err(|detail| violation("Trace", detail))
+}
+
+debug_hook!(
+    /// Debug-build hook for [`validate_trace_events`].
+    debug_check_trace_events => validate_trace_events(events: &[crate::telemetry::TraceEvent])
+);
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,6 +402,22 @@ mod tests {
         debug_check_dendrogram(&d);
         debug_check_level_points(&[]);
         debug_check_refinement(&c, &c);
+        debug_check_trace_events(&[]);
+    }
+
+    #[test]
+    fn trace_event_validation_flags_partial_overlap() {
+        use crate::telemetry::{Phase, TraceEvent, TraceLabel};
+        let ev = |start, dur| TraceEvent {
+            tid: 0,
+            label: TraceLabel::Phase(Phase::Sweep),
+            start_nanos: start,
+            dur_nanos: dur,
+        };
+        assert_eq!(validate_trace_events(&[ev(0, 100), ev(10, 20)]), Ok(()));
+        let err = validate_trace_events(&[ev(0, 100), ev(50, 100)]).expect_err("overlap");
+        assert_eq!(err.structure, "Trace");
+        assert!(err.detail.contains("partial overlap"));
     }
 
     #[cfg(debug_assertions)]

@@ -14,7 +14,9 @@ use crate::error::ConfigError;
 use crate::init::compute_similarities_with;
 use crate::similarity::PairSimilarities;
 use crate::sweep::{sweep_with, EdgeOrder, SweepConfig, SweepOutput};
-use crate::telemetry::{Phase, Recorder, RunReport, TelemetrySink};
+use crate::telemetry::{
+    Counter, Phase, Recorder, RunReport, Telemetry, TelemetrySink, TraceCollector,
+};
 
 /// End-to-end **serial** link clustering: Phase I (similarities) +
 /// Phase II (sweep), with optional phase-level telemetry.
@@ -50,6 +52,7 @@ pub struct LinkClustering {
     edge_order: Option<EdgeOrder>,
     min_similarity: Option<f64>,
     sink: TelemetrySink,
+    tracer: Option<Arc<TraceCollector>>,
 }
 
 impl LinkClustering {
@@ -94,6 +97,16 @@ impl LinkClustering {
         self
     }
 
+    /// Additionally records every phase span onto `collector`'s
+    /// per-thread trace timeline (independent of [`stats`](Self::stats);
+    /// export it afterwards with
+    /// [`TraceCollector::to_chrome_json`]).
+    #[must_use]
+    pub fn tracer(mut self, collector: Arc<TraceCollector>) -> Self {
+        self.tracer = Some(collector);
+        self
+    }
+
     fn sweep_config(&self) -> SweepConfig {
         SweepConfig {
             edge_order: self.edge_order.unwrap_or_default(),
@@ -101,16 +114,37 @@ impl LinkClustering {
         }
     }
 
+    /// Builds the run's telemetry handle, attaching the tracer if set.
+    fn build_telemetry(&self) -> (Telemetry, Option<Arc<crate::telemetry::RunRecorder>>) {
+        let (telemetry, recorder) = self.sink.build();
+        match &self.tracer {
+            Some(c) => (telemetry.with_tracer(Arc::clone(c)), recorder),
+            None => (telemetry, recorder),
+        }
+    }
+
+    /// Folds the tracer's drop count into the aggregate report just
+    /// before the report is snapshotted.
+    fn record_trace_drops(&self, telemetry: &Telemetry) {
+        if let Some(c) = &self.tracer {
+            let dropped = c.dropped();
+            if dropped > 0 {
+                telemetry.add(Counter::TraceEventsDropped, dropped);
+            }
+        }
+    }
+
     /// Runs both phases on `g`.
     #[must_use]
     pub fn run(&self, g: &WeightedGraph) -> ClusteringResult {
-        let (telemetry, recorder) = self.sink.build();
+        let (telemetry, recorder) = self.build_telemetry();
         let sims = compute_similarities_with(g, &telemetry);
         let sims = {
             let _span = telemetry.span(Phase::Sort);
             sims.into_sorted()
         };
         let output = sweep_with(g, &sims, self.sweep_config(), &telemetry);
+        self.record_trace_drops(&telemetry);
         ClusteringResult { similarities: sims, output, report: recorder.map(|r| r.report()) }
     }
 
@@ -128,7 +162,7 @@ impl LinkClustering {
         config: CoarseConfig,
     ) -> Result<CoarseResult, ConfigError> {
         let config = self.reconcile_coarse(config)?;
-        let (telemetry, recorder) = self.sink.build();
+        let (telemetry, recorder) = self.build_telemetry();
         let sims = compute_similarities_with(g, &telemetry);
         let sims = {
             let _span = telemetry.span(Phase::Sort);
@@ -136,6 +170,7 @@ impl LinkClustering {
         };
         let result =
             coarse_sweep_instrumented(g, &sims, config, &mut SerialChunkProcessor, &telemetry);
+        self.record_trace_drops(&telemetry);
         Ok(match recorder {
             Some(r) => result.with_report(r.report()),
             None => result,
@@ -342,6 +377,27 @@ mod tests {
         // Custom sinks get the events; the result carries no report.
         assert!(r.report().is_none());
         assert_eq!(sink.report().counter(Counter::MergesApplied), r.dendrogram().merge_count());
+    }
+
+    #[test]
+    fn tracer_records_phase_timeline() {
+        use crate::telemetry::{trace, TraceCollector, TraceLabel};
+        let g = gnm(20, 60, WeightMode::Unit, 4);
+        let collector = Arc::new(TraceCollector::new());
+        let r = LinkClustering::new().tracer(Arc::clone(&collector)).run(&g);
+        // Tracing alone attaches no report.
+        assert!(r.report().is_none());
+        let events = collector.events();
+        assert!(events.iter().any(|e| e.label == TraceLabel::Phase(Phase::Sort)));
+        assert!(events.iter().any(|e| e.label == TraceLabel::Phase(Phase::Sweep)));
+        trace::check_events(&events).unwrap();
+        trace::validate_json(&collector.to_chrome_json()).unwrap();
+        // Tracing plus stats: the report exists and the serial run (deep
+        // rings, few events) dropped nothing.
+        let collector = Arc::new(TraceCollector::new());
+        let r = LinkClustering::new().stats(true).tracer(collector).run(&g);
+        let report = r.report().expect("report attached");
+        assert_eq!(report.counter(Counter::TraceEventsDropped), 0);
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! Log-linear latency histograms in the HDR-histogram style.
+//!
+//! A [`LogHistogram`] buckets non-negative `u64` samples (nanoseconds,
+//! bytes, scaled gauge values — any magnitude) with a *bounded relative
+//! error* instead of the unbounded absolute error of fixed-width bins:
+//! each power-of-two octave is split into [`SUB_BUCKETS`] linear
+//! sub-buckets, so every bucket spans at most `1/64 ≈ 1.6%` of its
+//! value — roughly two significant decimal digits, at every scale from
+//! nanoseconds to hours. Values below [`SUB_BUCKETS`] are recorded
+//! exactly.
+//!
+//! This replaces the lossy `{min, max, mean}` summaries the telemetry
+//! layer used to keep for spans and gauges: a mean hides the queue-wait
+//! burst or the one giant chunk entirely, while the histogram's
+//! [`quantile`](LogHistogram::quantile) exposes p50/p90/p99 with known
+//! precision. Memory stays small because the bucket table (at most
+//! [`BUCKET_COUNT`] `u64` slots, ~30 KiB) is allocated lazily on the
+//! first sample; an empty histogram is a handful of words.
+
+/// Linear sub-buckets per power-of-two octave (64 ⇒ ≤ 1.6% relative
+/// error per bucket, about two significant digits).
+pub const SUB_BUCKETS: u64 = 64;
+
+/// Number of value bits resolved exactly in the linear region
+/// (`2^LINEAR_BITS == SUB_BUCKETS`).
+const LINEAR_BITS: u32 = 6;
+
+/// Total bucket count covering the full `u64` range: one exact bucket
+/// per value below [`SUB_BUCKETS`], then 64 sub-buckets for each of the
+/// 58 remaining octaves.
+pub const BUCKET_COUNT: usize = (SUB_BUCKETS as usize) * 59;
+
+/// Index of the bucket containing `value`.
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS {
+        return value as usize;
+    }
+    // Highest set bit k >= LINEAR_BITS; keep the top LINEAR_BITS+1 bits,
+    // whose low 6 select the sub-bucket inside octave k.
+    let k = 63 - u64::leading_zeros(value);
+    let sub = (value >> (k - LINEAR_BITS)) - SUB_BUCKETS;
+    (k - LINEAR_BITS + 1) as usize * SUB_BUCKETS as usize + sub as usize
+}
+
+/// Lowest value mapping to bucket `index` (inverse of [`bucket_index`]).
+fn bucket_low(index: usize) -> u64 {
+    let i = index as u64;
+    if i < SUB_BUCKETS {
+        return i;
+    }
+    let octave = i / SUB_BUCKETS - 1 + u64::from(LINEAR_BITS);
+    let sub = i % SUB_BUCKETS;
+    (SUB_BUCKETS + sub) << (octave - u64::from(LINEAR_BITS))
+}
+
+/// Highest value mapping to bucket `index`.
+fn bucket_high(index: usize) -> u64 {
+    if index + 1 >= BUCKET_COUNT {
+        u64::MAX
+    } else {
+        bucket_low(index + 1) - 1
+    }
+}
+
+/// A log-linear histogram of `u64` samples with ~2 significant digits of
+/// relative precision (see the module docs for the bucket layout).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LogHistogram {
+    /// Lazily allocated bucket table ([`BUCKET_COUNT`] slots once any
+    /// sample arrives; empty until then).
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// An empty histogram; no bucket table is allocated until the first
+    /// [`record`](Self::record).
+    #[must_use]
+    pub const fn new() -> Self {
+        Self { counts: Vec::new(), count: 0, sum: 0, min: 0, max: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; BUCKET_COUNT];
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.counts[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+    }
+
+    /// Merges all samples of `other` into `self`.
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; BUCKET_COUNT];
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when no sample has been recorded.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    #[must_use]
+    pub const fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest recorded sample (0 when empty).
+    #[must_use]
+    pub const fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact sum of all recorded samples.
+    #[must_use]
+    pub const fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Arithmetic mean of the recorded samples (`NaN` when empty; the
+    /// JSON writers serialize non-finite values as `null`).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)] // quantile summaries, not exact arithmetic
+    pub fn mean(&self) -> f64 {
+        self.sum as f64 / self.count as f64
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`) of the recorded
+    /// samples, with the bucket layout's ~1.6% relative error: the value
+    /// returned is the upper bound of the bucket holding the sample of
+    /// rank `ceil(q * count)`, clamped to the exact observed
+    /// `[min, max]`. Returns 0 when the histogram is empty.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = if q.is_finite() { q.clamp(0.0, 1.0) } else { 1.0 };
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_high(index).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{bucket_high, bucket_index, bucket_low, LogHistogram, BUCKET_COUNT, SUB_BUCKETS};
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_monotone() {
+        // Every bucket's low bound is one past the previous bucket's high
+        // bound, starting at zero.
+        assert_eq!(bucket_low(0), 0);
+        for i in 1..BUCKET_COUNT {
+            assert_eq!(bucket_low(i), bucket_high(i - 1) + 1, "gap at bucket {i}");
+        }
+        assert_eq!(bucket_high(BUCKET_COUNT - 1), u64::MAX);
+        // bucket_index is the inverse of the bounds on a sweep of probes.
+        for probe in [0u64, 1, 63, 64, 65, 127, 128, 1000, 4095, 1 << 20, u64::MAX] {
+            let i = bucket_index(probe);
+            assert!(bucket_low(i) <= probe && probe <= bucket_high(i), "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..SUB_BUCKETS {
+            h.record(v);
+        }
+        for v in 0..SUB_BUCKETS {
+            let q = (v + 1) as f64 / SUB_BUCKETS as f64;
+            assert_eq!(h.quantile(q), v);
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut h = LogHistogram::new();
+        let value = 1_234_567_891u64;
+        h.record(value);
+        let got = h.quantile(0.5);
+        // Single sample: the estimate is the bucket bound clamped to
+        // [min, max] == [value, value], i.e. exact.
+        assert_eq!(got, value);
+        // Two distinct samples: each within 1/64 of the true value.
+        let mut h = LogHistogram::new();
+        h.record(1_000_000);
+        h.record(3_000_000);
+        for (q, truth) in [(0.5, 1_000_000f64), (1.0, 3_000_000f64)] {
+            let got = h.quantile(q) as f64;
+            assert!((got - truth).abs() / truth <= 1.0 / 64.0, "q={q}: got {got}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let mut h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, truth) in [(0.5, 5_000f64), (0.9, 9_000f64), (0.99, 9_900f64)] {
+            let got = h.quantile(q) as f64;
+            assert!((got - truth).abs() / truth <= 1.0 / 64.0 + 1e-4, "q={q}: got {got}");
+        }
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 10_000);
+    }
+
+    #[test]
+    fn merge_matches_sequential_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for v in [5u64, 700, 9_000, 1 << 33] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [1u64, 80, 1 << 21] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        // Merging into / from empty histograms is the identity.
+        let mut empty = LogHistogram::new();
+        empty.merge(&all);
+        assert_eq!(empty, all);
+        all.merge(&LogHistogram::new());
+        assert_eq!(empty, all);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes_and_nan_mean() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert!(h.mean().is_nan());
+    }
+}

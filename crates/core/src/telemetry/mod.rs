@@ -17,9 +17,15 @@
 //! * [`Telemetry`] — the cheap, cloneable handle threaded through the
 //!   pipeline. [`Telemetry::disabled`] is the default everywhere.
 //! * [`RunReport`] — the aggregate: per-phase wall time and call counts,
-//!   counters, gauge statistics, and per-thread item counts for
-//!   load-imbalance analysis. Serializes to JSON ([`RunReport::to_json`])
-//!   and pretty-prints as a table (its [`Display`](fmt::Display) impl).
+//!   counters, gauge statistics, log-linear latency histograms
+//!   (p50/p90/p99 via [`RunReport::phase_quantile_nanos`]), and
+//!   per-thread item counts for load-imbalance analysis. Serializes to
+//!   JSON ([`RunReport::to_json`]) and pretty-prints as a table (its
+//!   [`Display`](fmt::Display) impl).
+//! * [`trace`] — the per-thread event tracing subsystem
+//!   ([`TraceCollector`], attached via [`Telemetry::with_tracer`]):
+//!   lock-free per-thread ring buffers drained into Chrome trace-event
+//!   JSON. [`hist`] holds the [`LogHistogram`] both layers share.
 //!
 //! # Examples
 //!
@@ -38,9 +44,15 @@
 //! assert_eq!(report.phase_calls(Phase::Sweep), 1);
 //! ```
 
+pub mod hist;
+pub mod trace;
+
 use std::fmt;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+pub use hist::LogHistogram;
+pub use trace::{TraceCollector, TraceEvent, TraceLabel};
 
 /// A timed phase of the clustering pipeline.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -148,11 +160,15 @@ pub enum Counter {
     /// producer and owner threads by the sharded parallel pass 2 (the
     /// shard-exchange volume; equals K₂ for a full pass).
     ShardRecords = 13,
+    /// Trace events overwritten by per-thread ring-buffer overflow
+    /// (see [`trace::TraceCollector::dropped`]); non-zero means the
+    /// exported timeline is missing its oldest events.
+    TraceEventsDropped = 14,
 }
 
 impl Counter {
     /// All counters, in display order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 15] = [
         Counter::PairsK1,
         Counter::IncidentPairsK2,
         Counter::MergesApplied,
@@ -167,6 +183,7 @@ impl Counter {
         Counter::ArrayCombines,
         Counter::PoolTasks,
         Counter::ShardRecords,
+        Counter::TraceEventsDropped,
     ];
 
     /// The stable snake_case name used in JSON and tables.
@@ -187,6 +204,7 @@ impl Counter {
             Counter::ArrayCombines => "array_combines",
             Counter::PoolTasks => "pool_tasks",
             Counter::ShardRecords => "shard_records",
+            Counter::TraceEventsDropped => "trace_events_dropped",
         }
     }
 
@@ -254,14 +272,24 @@ impl Recorder for NoopRecorder {
 /// The handle threaded through the pipeline. Cloning is cheap (an `Arc`
 /// clone or a no-op). A disabled handle skips all clock reads and sink
 /// calls.
+///
+/// Independently of the aggregate [`Recorder`], a handle may carry a
+/// [`trace::TraceCollector`] ([`with_tracer`](Self::with_tracer)):
+/// every [`span`](Self::span) then also lands on the calling thread's
+/// trace timeline, and the worker pool records its per-task execution
+/// intervals through [`trace_task`](Self::trace_task).
 #[derive(Clone, Default)]
 pub struct Telemetry {
     inner: Option<Arc<dyn Recorder>>,
+    tracer: Option<Arc<trace::TraceCollector>>,
 }
 
 impl fmt::Debug for Telemetry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Telemetry").field("enabled", &self.inner.is_some()).finish()
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.inner.is_some())
+            .field("tracing", &self.tracer.is_some())
+            .finish()
     }
 }
 
@@ -270,12 +298,20 @@ impl Telemetry {
     /// point).
     #[must_use]
     pub fn disabled() -> Self {
-        Telemetry { inner: None }
+        Telemetry { inner: None, tracer: None }
     }
 
     /// A handle forwarding every event to `recorder`.
     pub fn new(recorder: Arc<dyn Recorder>) -> Self {
-        Telemetry { inner: Some(recorder) }
+        Telemetry { inner: Some(recorder), tracer: None }
+    }
+
+    /// Attaches a trace collector: spans (and pool-task executions) are
+    /// additionally recorded as per-thread timeline events.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Arc<trace::TraceCollector>) -> Self {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// `true` if events reach a recorder.
@@ -284,12 +320,41 @@ impl Telemetry {
         self.inner.is_some()
     }
 
+    /// `true` if a trace collector is attached.
+    #[must_use]
+    pub fn is_tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// The attached trace collector, if any.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&Arc<trace::TraceCollector>> {
+        self.tracer.as_ref()
+    }
+
     /// Starts a timed span for `phase`; the elapsed time is recorded when
-    /// the returned guard drops (or [`Span::finish`] is called). Disabled
-    /// handles never read the clock.
+    /// the returned guard drops (or [`Span::finish`] is called) — into
+    /// the recorder, the trace timeline, or both, whichever is attached.
+    /// Disabled handles never read the clock.
     #[must_use = "the span measures until it is dropped"]
     pub fn span(&self, phase: Phase) -> Span<'_> {
-        Span { active: self.inner.as_deref().map(|r| (r, phase, Instant::now())) }
+        let recorder = self.inner.as_deref();
+        let tracer = self.tracer.as_deref();
+        let active = (recorder.is_some() || tracer.is_some()).then(|| SpanInner {
+            recorder,
+            tracer,
+            phase,
+            start: Instant::now(),
+        });
+        Span { active }
+    }
+
+    /// Starts a trace-only interval for the execution of pool task `seq`
+    /// on the calling thread; recorded when the guard drops. A no-op
+    /// (no clock read) unless a tracer is attached.
+    #[must_use = "the guard traces until it is dropped"]
+    pub fn trace_task(&self, seq: u64) -> TaskTrace<'_> {
+        TaskTrace { active: self.tracer.as_deref().map(|t| (t, seq, Instant::now())) }
     }
 
     /// Increments `counter` by `value`.
@@ -320,7 +385,10 @@ impl Telemetry {
     /// externally — for timings that cross thread boundaries (e.g. the
     /// queue wait of a pooled task, where the clock starts on the
     /// submitting thread and stops on the worker) and therefore cannot
-    /// use the guard-based [`span`](Self::span) API.
+    /// use the guard-based [`span`](Self::span) API. Such timings feed
+    /// the aggregate report (including its latency histograms) but not
+    /// the trace timeline: an interval that straddles two threads has no
+    /// single-thread lane to render in.
     #[inline]
     pub fn record_phase_nanos(&self, phase: Phase, nanos: u64) {
         if let Some(r) = &self.inner {
@@ -330,10 +398,18 @@ impl Telemetry {
 }
 
 /// A timing guard returned by [`Telemetry::span`]. Records the elapsed
-/// wall time into the recorder on drop. Spans nest naturally — each one
-/// records its own phase independently.
+/// wall time into the recorder and/or the trace timeline on drop. Spans
+/// nest naturally — each one records its own phase independently.
 pub struct Span<'a> {
-    active: Option<(&'a dyn Recorder, Phase, Instant)>,
+    active: Option<SpanInner<'a>>,
+}
+
+/// The live state of an enabled [`Span`].
+struct SpanInner<'a> {
+    recorder: Option<&'a dyn Recorder>,
+    tracer: Option<&'a trace::TraceCollector>,
+    phase: Phase,
+    start: Instant,
 }
 
 impl Span<'_> {
@@ -343,8 +419,30 @@ impl Span<'_> {
 
 impl Drop for Span<'_> {
     fn drop(&mut self) {
-        if let Some((recorder, phase, start)) = self.active.take() {
-            recorder.record_phase(phase, start.elapsed().as_nanos() as u64);
+        if let Some(inner) = self.active.take() {
+            let nanos = inner.start.elapsed().as_nanos() as u64;
+            if let Some(recorder) = inner.recorder {
+                recorder.record_phase(inner.phase, nanos);
+            }
+            if let Some(tracer) = inner.tracer {
+                tracer.record(trace::TraceLabel::Phase(inner.phase), inner.start, nanos);
+            }
+        }
+    }
+}
+
+/// A trace guard returned by [`Telemetry::trace_task`]: records one
+/// pool-task execution interval on the calling thread's timeline when
+/// dropped. Inert (and clock-free) when no tracer is attached.
+pub struct TaskTrace<'a> {
+    active: Option<(&'a trace::TraceCollector, u64, Instant)>,
+}
+
+impl Drop for TaskTrace<'_> {
+    fn drop(&mut self) {
+        if let Some((tracer, seq, start)) = self.active.take() {
+            let nanos = start.elapsed().as_nanos() as u64;
+            tracer.record(trace::TraceLabel::PoolTask { seq }, start, nanos);
         }
     }
 }
@@ -386,14 +484,24 @@ impl GaugeStats {
     }
 }
 
+/// Fixed-point scale applied to gauge samples before they enter their
+/// integer [`LogHistogram`] (samples are multiplied by this and
+/// rounded, quantiles divided back out), preserving three fractional
+/// digits on top of the histogram's ~2 significant digits.
+const GAUGE_HIST_SCALE: f64 = 1000.0;
+
 /// The aggregate of one clustering run: per-phase wall time and call
-/// counts, counters, gauge statistics, and per-thread item counts.
+/// counts, counters, gauge statistics, per-phase and per-gauge
+/// log-linear latency histograms (p50/p90/p99 with ~2 significant
+/// digits), and per-thread item counts.
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct RunReport {
     phase_nanos: [u64; Phase::ALL.len()],
     phase_calls: [u64; Phase::ALL.len()],
+    phase_hist: [LogHistogram; Phase::ALL.len()],
     counters: [u64; Counter::ALL.len()],
     gauges: [GaugeStats; Gauge::ALL.len()],
+    gauge_hist: [LogHistogram; Gauge::ALL.len()],
     thread_items: Vec<u64>,
 }
 
@@ -423,6 +531,43 @@ impl RunReport {
         self.gauges[gauge.index()]
     }
 
+    /// The log-linear histogram of individual span durations of `phase`
+    /// (one sample per span, in nanoseconds).
+    #[must_use]
+    pub fn phase_histogram(&self, phase: Phase) -> &LogHistogram {
+        &self.phase_hist[phase.index()]
+    }
+
+    /// The `q`-quantile of individual span durations of `phase`, in
+    /// nanoseconds with ~2 significant digits (0 when the phase never
+    /// ran). `phase_quantile_nanos(p, 0.5)` is the median span.
+    #[must_use]
+    pub fn phase_quantile_nanos(&self, phase: Phase, q: f64) -> u64 {
+        self.phase_hist[phase.index()].quantile(q)
+    }
+
+    /// The log-linear histogram of `gauge` samples, in fixed-point
+    /// thousandths (see [`gauge_quantile`](Self::gauge_quantile) for the
+    /// descaled view).
+    #[must_use]
+    pub fn gauge_histogram(&self, gauge: Gauge) -> &LogHistogram {
+        &self.gauge_hist[gauge.index()]
+    }
+
+    /// The `q`-quantile of `gauge` samples with ~2 significant digits,
+    /// or `NaN` when the gauge was never observed (serialized as `null`
+    /// in JSON).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)] // quantile summaries, not exact arithmetic
+    pub fn gauge_quantile(&self, gauge: Gauge, q: f64) -> f64 {
+        let hist = &self.gauge_hist[gauge.index()];
+        if hist.is_empty() {
+            f64::NAN
+        } else {
+            hist.quantile(q) as f64 / GAUGE_HIST_SCALE
+        }
+    }
+
     /// Work items per worker thread, indexed by thread id. Empty when no
     /// parallel stage ran.
     #[must_use]
@@ -431,8 +576,15 @@ impl RunReport {
     }
 
     /// Load imbalance of the parallel stages: `max / mean` of the
-    /// per-thread item counts (1.0 is perfectly balanced; 0 with no
-    /// parallel work).
+    /// per-thread item counts.
+    ///
+    /// Convention: **`0.0` means "no data"** — no parallel stage
+    /// recorded thread items at all. Any recorded distribution yields a
+    /// value `>= 1.0`: `1.0` is perfectly balanced, and that includes
+    /// the degenerate all-idle case (every thread recorded zero items —
+    /// a uniform distribution, not an unmeasured one). Callers can
+    /// therefore distinguish "perfect balance" (`== 1.0`) from "nothing
+    /// measured" (`== 0.0`).
     #[must_use]
     pub fn load_imbalance(&self) -> f64 {
         let busy = &self.thread_items;
@@ -442,17 +594,20 @@ impl RunReport {
         let max = busy.iter().copied().max().unwrap_or(0) as f64;
         let mean = busy.iter().sum::<u64>() as f64 / busy.len() as f64;
         if mean == 0.0 {
-            0.0
+            1.0
         } else {
             max / mean
         }
     }
 
     /// Serializes the report as a single-line JSON object with stable
-    /// keys (`phases`, `counters`, `gauges`, `thread_items`).
+    /// keys (`phases`, `counters`, `gauges`, `thread_items`). Each phase
+    /// carries its totals plus `p50_nanos`/`p90_nanos`/`p99_nanos`
+    /// per-span quantiles; each gauge its range plus `p50`/`p90`/`p99`
+    /// (all `null` — never a bare `NaN` — when unobserved).
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut s = String::with_capacity(1024);
+        let mut s = String::with_capacity(2048);
         s.push_str("{\"phases\":{");
         let mut first = true;
         for p in Phase::ALL {
@@ -461,10 +616,14 @@ impl RunReport {
             }
             first = false;
             s.push_str(&format!(
-                "\"{}\":{{\"nanos\":{},\"calls\":{}}}",
+                "\"{}\":{{\"nanos\":{},\"calls\":{},\
+                 \"p50_nanos\":{},\"p90_nanos\":{},\"p99_nanos\":{}}}",
                 p.name(),
                 self.phase_nanos(p),
-                self.phase_calls(p)
+                self.phase_calls(p),
+                self.phase_quantile_nanos(p, 0.5),
+                self.phase_quantile_nanos(p, 0.9),
+                self.phase_quantile_nanos(p, 0.99),
             ));
         }
         s.push_str("},\"counters\":{");
@@ -485,12 +644,16 @@ impl RunReport {
             first = false;
             let st = self.gauge(g);
             s.push_str(&format!(
-                "\"{}\":{{\"count\":{},\"min\":{},\"max\":{},\"mean\":{}}}",
+                "\"{}\":{{\"count\":{},\"min\":{},\"max\":{},\"mean\":{},\
+                 \"p50\":{},\"p90\":{},\"p99\":{}}}",
                 g.name(),
                 st.count,
                 json_f64(st.min),
                 json_f64(st.max),
-                json_f64(st.mean())
+                json_f64(st.mean()),
+                json_f64(self.gauge_quantile(g, 0.5)),
+                json_f64(self.gauge_quantile(g, 0.9)),
+                json_f64(self.gauge_quantile(g, 0.99)),
             ));
         }
         s.push_str("},\"thread_items\":[");
@@ -504,15 +667,24 @@ impl RunReport {
         s
     }
 
-    fn merge_event(&mut self, event: &Event) {
+    fn merge_event(&mut self, event: &TelemetryEvent) {
         match *event {
-            Event::Phase(p, nanos) => {
+            TelemetryEvent::Phase(p, nanos) => {
                 self.phase_nanos[p.index()] += nanos;
                 self.phase_calls[p.index()] += 1;
+                self.phase_hist[p.index()].record(nanos);
             }
-            Event::Counter(c, value) => self.counters[c.index()] += value,
-            Event::Gauge(g, value) => self.gauges[g.index()].observe(value),
-            Event::ThreadItems(thread, items) => {
+            TelemetryEvent::Counter(c, value) => self.counters[c.index()] += value,
+            TelemetryEvent::Gauge(g, value) => {
+                self.gauges[g.index()].observe(value);
+                if value.is_finite() {
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    // negative samples clamp to the zero bucket
+                    let scaled = (value * GAUGE_HIST_SCALE).round().max(0.0) as u64;
+                    self.gauge_hist[g.index()].record(scaled);
+                }
+            }
+            TelemetryEvent::ThreadItems(thread, items) => {
                 if self.thread_items.len() <= thread {
                     self.thread_items.resize(thread + 1, 0);
                 }
@@ -532,20 +704,23 @@ fn json_f64(x: f64) -> String {
 }
 
 impl fmt::Display for RunReport {
-    /// A human-readable table: phases with time and call counts, then
-    /// non-zero counters, gauges, and the per-thread item counts.
+    /// A human-readable table: phases with time, call counts, and
+    /// per-span p50/p99 latencies, then non-zero counters, gauges (with
+    /// p50/p90/p99), and the per-thread item counts.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<18} {:>12} {:>8}", "phase", "time", "calls")?;
+        writeln!(f, "{:<18} {:>12} {:>8} {:>12} {:>12}", "phase", "time", "calls", "p50", "p99")?;
         for p in Phase::ALL {
             if self.phase_calls(p) == 0 {
                 continue;
             }
             writeln!(
                 f,
-                "{:<18} {:>12} {:>8}",
+                "{:<18} {:>12} {:>8} {:>12} {:>12}",
                 p.name(),
                 format_nanos(self.phase_nanos(p)),
-                self.phase_calls(p)
+                self.phase_calls(p),
+                format_nanos(self.phase_quantile_nanos(p, 0.5)),
+                format_nanos(self.phase_quantile_nanos(p, 0.99)),
             )?;
         }
         writeln!(f, "{:<18} {:>12}", "counter", "value")?;
@@ -562,12 +737,14 @@ impl fmt::Display for RunReport {
             }
             writeln!(
                 f,
-                "{:<18} {} samples, min {:.1}, max {:.1}, mean {:.1}",
+                "{:<18} {} samples, min {:.1}, p50 {:.1}, p90 {:.1}, p99 {:.1}, max {:.1}",
                 g.name(),
                 st.count,
                 st.min,
+                self.gauge_quantile(g, 0.5),
+                self.gauge_quantile(g, 0.9),
+                self.gauge_quantile(g, 0.99),
                 st.max,
-                st.mean()
             )?;
         }
         if !self.thread_items.is_empty() {
@@ -596,10 +773,18 @@ fn format_nanos(nanos: u64) -> String {
     }
 }
 
-enum Event {
+/// One raw telemetry event, as delivered to a [`Recorder`]. Public so
+/// external sinks (e.g. the bench harness's event log) can buffer the
+/// exact stream instead of redefining it.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum TelemetryEvent {
+    /// One completed span: `(phase, nanoseconds)`.
     Phase(Phase, u64),
+    /// A counter increment: `(counter, delta)`.
     Counter(Counter, u64),
+    /// One gauge sample: `(gauge, value)`.
     Gauge(Gauge, f64),
+    /// Work items attributed to a worker: `(thread index, items)`.
     ThreadItems(usize, u64),
 }
 
@@ -645,19 +830,19 @@ impl fmt::Debug for RunRecorder {
 
 impl Recorder for RunRecorder {
     fn record_phase(&self, phase: Phase, nanos: u64) {
-        self.lock().merge_event(&Event::Phase(phase, nanos));
+        self.lock().merge_event(&TelemetryEvent::Phase(phase, nanos));
     }
 
     fn add(&self, counter: Counter, value: u64) {
-        self.lock().merge_event(&Event::Counter(counter, value));
+        self.lock().merge_event(&TelemetryEvent::Counter(counter, value));
     }
 
     fn observe(&self, gauge: Gauge, value: f64) {
-        self.lock().merge_event(&Event::Gauge(gauge, value));
+        self.lock().merge_event(&TelemetryEvent::Gauge(gauge, value));
     }
 
     fn thread_items(&self, thread: usize, items: u64) {
-        self.lock().merge_event(&Event::ThreadItems(thread, items));
+        self.lock().merge_event(&TelemetryEvent::ThreadItems(thread, items));
     }
 }
 
@@ -771,9 +956,12 @@ mod tests {
         let json = rec.report().to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"merges_applied\":42"));
-        assert!(json.contains("\"sort\":{\"nanos\":1500,\"calls\":1}"));
-        assert!(json.contains("\"chunk_size\":{\"count\":1,\"min\":3.5,\"max\":3.5,\"mean\":3.5}"));
+        assert!(json.contains("\"sort\":{\"nanos\":1500,\"calls\":1,"));
+        assert!(json.contains("\"p50_nanos\":1500"));
+        assert!(json.contains("\"chunk_size\":{\"count\":1,\"min\":3.5,\"max\":3.5,\"mean\":3.5,"));
+        assert!(json.contains("\"p50\":3.5"));
         assert!(json.contains("\"thread_items\":[9]"));
+        trace::validate_json(&json).unwrap();
         // Every name appears exactly once.
         for p in Phase::ALL {
             assert_eq!(json.matches(&format!("\"{}\"", p.name())).count(), 1);
@@ -804,6 +992,82 @@ mod tests {
         assert!(t.is_enabled() && r.is_some());
         let (t, r) = TelemetrySink::Custom(Arc::new(NoopRecorder)).build();
         assert!(t.is_enabled() && r.is_none());
+    }
+
+    #[test]
+    fn report_exposes_span_quantiles() {
+        let rec = RunRecorder::new();
+        for nanos in [100u64, 200, 300, 400, 1_000_000] {
+            rec.record_phase(Phase::PoolQueueWait, nanos);
+        }
+        let r = rec.report();
+        let hist = r.phase_histogram(Phase::PoolQueueWait);
+        assert_eq!(hist.count(), 5);
+        let p50 = r.phase_quantile_nanos(Phase::PoolQueueWait, 0.5);
+        assert!((290..=310).contains(&p50), "p50 was {p50}");
+        let p99 = r.phase_quantile_nanos(Phase::PoolQueueWait, 0.99);
+        assert!((984_375..=1_015_625).contains(&p99), "p99 was {p99}");
+        // Unobserved phases report zero quantiles.
+        assert_eq!(r.phase_quantile_nanos(Phase::Sweep, 0.5), 0);
+    }
+
+    #[test]
+    fn gauge_quantiles_skip_non_finite_samples() {
+        let rec = RunRecorder::new();
+        rec.observe(Gauge::ChunkSize, f64::NAN);
+        rec.observe(Gauge::ChunkSize, f64::INFINITY);
+        rec.observe(Gauge::ChunkSize, 8.0);
+        let r = rec.report();
+        // The lossy min/max stats see every sample; the histogram only
+        // the finite one.
+        assert_eq!(r.gauge(Gauge::ChunkSize).count, 3);
+        assert_eq!(r.gauge_histogram(Gauge::ChunkSize).count(), 1);
+        assert!((r.gauge_quantile(Gauge::ChunkSize, 0.5) - 8.0).abs() < 1e-9);
+        // Unobserved gauges quantile to NaN, which serializes as null.
+        assert!(r.gauge_quantile(Gauge::TableOccupancy, 0.5).is_nan());
+        let json = r.to_json();
+        assert!(json.contains("\"table_occupancy\":{\"count\":0,\"min\":0.0,\"max\":0.0,\"mean\":0.0,\"p50\":null,\"p90\":null,\"p99\":null}"));
+        trace::validate_json(&json).unwrap();
+    }
+
+    #[test]
+    fn load_imbalance_distinguishes_no_data_from_all_idle() {
+        // No parallel stage ran: 0.0 means "no data".
+        assert_eq!(RunReport::default().load_imbalance(), 0.0);
+        // Threads recorded but uniformly idle: balanced, so 1.0.
+        let rec = RunRecorder::new();
+        rec.thread_items(0, 0);
+        rec.thread_items(1, 0);
+        assert_eq!(rec.report().load_imbalance(), 1.0);
+        // A skewed distribution exceeds 1.0.
+        let rec = RunRecorder::new();
+        rec.thread_items(0, 30);
+        rec.thread_items(1, 10);
+        assert_eq!(rec.report().load_imbalance(), 1.5);
+    }
+
+    #[test]
+    fn traced_span_lands_on_recorder_and_timeline() {
+        let rec = Arc::new(RunRecorder::new());
+        let collector = Arc::new(trace::TraceCollector::new());
+        let t = Telemetry::new(rec.clone()).with_tracer(Arc::clone(&collector));
+        assert!(t.is_enabled() && t.is_tracing());
+        t.span(Phase::Sort).finish();
+        {
+            let _task = t.trace_task(7);
+        }
+        assert_eq!(rec.report().phase_calls(Phase::Sort), 1);
+        let events = collector.events();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().any(|e| e.label == TraceLabel::Phase(Phase::Sort)));
+        assert!(events.iter().any(|e| e.label == TraceLabel::PoolTask { seq: 7 }));
+        // Tracing without a recorder still traces; queue-wait style
+        // cross-thread timings stay off the timeline by design.
+        let t = Telemetry::disabled().with_tracer(Arc::clone(&collector));
+        assert!(!t.is_enabled() && t.is_tracing());
+        t.record_phase_nanos(Phase::PoolQueueWait, 5);
+        t.span(Phase::Sweep).finish();
+        assert_eq!(collector.events().len(), 3);
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Property tests for the hand-rolled JSON emitters: whatever a run
+//! records — including NaN/infinite gauge observations and hostile
+//! thread names — `RunReport::to_json()` and the Chrome trace writer
+//! must produce parseable JSON (checked with the crate's own
+//! recursive-descent validator), and non-finite quantiles must
+//! serialize as `null`, never as bare `NaN`/`inf` tokens.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use linkclust_core::telemetry::trace::validate_json;
+use linkclust_core::telemetry::{
+    Counter, Gauge, Phase, Recorder, RunRecorder, TraceCollector, TraceLabel,
+};
+use proptest::prelude::*;
+
+/// One recorder call, generated from plain integers so shrinking stays
+/// readable.
+#[derive(Clone, Debug)]
+enum Op {
+    Phase(usize, u64),
+    Counter(usize, u64),
+    Gauge(usize, f64),
+    ThreadItems(usize, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Values bounded so 200 accumulating `+=` ops cannot overflow a u64.
+    (0usize..4, 0usize..16, 0u64..(u64::MAX >> 10), 0usize..8).prop_map(|(kind, idx, v, sel)| {
+        match kind {
+            0 => Op::Phase(idx % Phase::ALL.len(), v),
+            1 => Op::Counter(idx % Counter::ALL.len(), v),
+            2 => {
+                let value = match sel {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    2 => f64::NEG_INFINITY,
+                    3 => -0.0,
+                    4 => f64::MAX,
+                    // Ordinary magnitudes, both signs.
+                    #[allow(clippy::cast_precision_loss)]
+                    _ => (v as f64) / 1e6 - 1e6,
+                };
+                Op::Gauge(idx % Gauge::ALL.len(), value)
+            }
+            _ => Op::ThreadItems(idx % 8, v),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn run_report_json_is_always_parseable(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        let rec = RunRecorder::new();
+        for op in &ops {
+            match *op {
+                Op::Phase(p, n) => rec.record_phase(Phase::ALL[p], n),
+                Op::Counter(c, v) => rec.add(Counter::ALL[c], v),
+                Op::Gauge(g, v) => rec.observe(Gauge::ALL[g], v),
+                Op::ThreadItems(t, v) => rec.thread_items(t, v),
+            }
+        }
+        let report = rec.report();
+        let json = report.to_json();
+        prop_assert!(validate_json(&json).is_ok(), "invalid JSON: {}\nfrom {:?}", json, ops);
+        // Non-finite numbers must never leak as bare tokens — RFC 8259
+        // has no NaN/Infinity literals.
+        prop_assert!(!json.contains("NaN"), "bare NaN in {json}");
+        prop_assert!(!json.contains("inf"), "bare infinity in {json}");
+        // The Display table must also render without panicking.
+        let _ = report.to_string();
+    }
+
+    #[test]
+    fn trace_json_is_always_parseable(
+        durs in proptest::collection::vec((0u64..3, 0u64..u64::from(u32::MAX)), 0..64),
+        capacity in 1usize..64,
+    ) {
+        let collector = TraceCollector::with_capacity(capacity);
+        let epoch = collector.epoch();
+        for &(label, dur) in &durs {
+            let label = match label {
+                0 => TraceLabel::Phase(Phase::Sort),
+                1 => TraceLabel::Phase(Phase::Sweep),
+                _ => TraceLabel::PoolTask { seq: dur },
+            };
+            collector.record(label, epoch, dur);
+        }
+        let json = collector.to_chrome_json();
+        prop_assert!(validate_json(&json).is_ok(), "invalid JSON: {json}");
+        prop_assert!(json.contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn trace_json_escapes_hostile_thread_names(name in "[ -~]{0,24}") {
+        // Thread names flow into the `thread_name` metadata events
+        // verbatim; quotes, backslashes and control characters must all
+        // be escaped by the writer.
+        let collector = Arc::new(TraceCollector::new());
+        let inner = Arc::clone(&collector);
+        let handle = std::thread::Builder::new()
+            .name(name.clone())
+            .spawn(move || {
+                inner.record(TraceLabel::Phase(Phase::Sort), Instant::now(), 10);
+            })
+            .expect("spawning a named thread");
+        handle.join().expect("named thread runs to completion");
+        let json = collector.to_chrome_json();
+        prop_assert!(validate_json(&json).is_ok(), "name {:?} broke the writer: {}", name, json);
+    }
+}
+
+/// The specific shape satellite 3 calls out: a gauge with zero finite
+/// observations (so every quantile is NaN) must serialize its quantiles
+/// as `null`.
+#[test]
+fn non_finite_gauge_quantiles_serialize_as_null() {
+    let rec = RunRecorder::new();
+    rec.observe(Gauge::TableOccupancy, f64::NAN);
+    rec.observe(Gauge::TableOccupancy, f64::INFINITY);
+    let json = rec.report().to_json();
+    assert!(validate_json(&json).is_ok(), "invalid JSON: {json}");
+    assert!(json.contains("\"p50\":null"), "expected null quantiles in {json}");
+    assert!(!json.contains("NaN") && !json.contains("inf"), "bare non-finite token in {json}");
+}

@@ -8,11 +8,12 @@
 //! The fine-grained sweep itself is inherently sequential (§IV), so
 //! `run` parallelizes initialization and sorting only.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use linkclust_core::coarse::{coarse_sweep_instrumented, CoarseConfig, CoarseResult};
 use linkclust_core::sweep::{sweep_with, EdgeOrder, SweepConfig};
-use linkclust_core::telemetry::{Recorder, Telemetry, TelemetrySink};
+use linkclust_core::telemetry::{Counter, Recorder, Telemetry, TelemetrySink, TraceCollector};
 use linkclust_core::{ClusteringResult, ConfigError, PairSimilarities};
 use linkclust_graph::WeightedGraph;
 
@@ -47,6 +48,8 @@ pub struct LinkClustering {
     edge_order: Option<EdgeOrder>,
     min_similarity: Option<f64>,
     sink: TelemetrySink,
+    tracer: Option<Arc<TraceCollector>>,
+    trace_path: Option<PathBuf>,
 }
 
 impl Default for LinkClustering {
@@ -56,6 +59,8 @@ impl Default for LinkClustering {
             edge_order: None,
             min_similarity: None,
             sink: TelemetrySink::Off,
+            tracer: None,
+            trace_path: None,
         }
     }
 }
@@ -112,6 +117,32 @@ impl LinkClustering {
         self
     }
 
+    /// Records a per-thread event trace of the run and writes it to
+    /// `path` as Chrome trace-event JSON (open it in
+    /// <https://ui.perfetto.dev> or `chrome://tracing`). Off by default;
+    /// the traced run records phase spans and pool-task executions into
+    /// lock-free per-thread ring buffers
+    /// ([`TraceCollector`]), so the overhead is a
+    /// clock read and three word-stores per event. If the write fails
+    /// the run still completes and the run method returns
+    /// [`ConfigError::TraceWrite`].
+    #[must_use]
+    pub fn trace(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_path = Some(path.into());
+        self
+    }
+
+    /// Records the run's event trace into a caller-owned
+    /// [`TraceCollector`] instead of (or in addition to) a
+    /// [`trace`](Self::trace) file — drain it yourself with
+    /// [`TraceCollector::events`] or
+    /// [`TraceCollector::to_chrome_json`].
+    #[must_use]
+    pub fn tracer(mut self, collector: Arc<TraceCollector>) -> Self {
+        self.tracer = Some(collector);
+        self
+    }
+
     fn check_threads(&self) -> Result<(), ConfigError> {
         if self.threads == 0 {
             return Err(ConfigError::ZeroThreads);
@@ -119,15 +150,58 @@ impl LinkClustering {
         Ok(())
     }
 
+    /// The run's trace collector: the caller-supplied one, a fresh one
+    /// when only a [`trace`](Self::trace) path was requested, `None`
+    /// when tracing is off.
+    fn active_collector(&self) -> Option<Arc<TraceCollector>> {
+        match (&self.tracer, &self.trace_path) {
+            (Some(c), _) => Some(Arc::clone(c)),
+            (None, Some(_)) => Some(Arc::new(TraceCollector::new())),
+            (None, None) => None,
+        }
+    }
+
+    /// Folds the collector's drop count into the telemetry (so reports
+    /// carry `trace_events_dropped`) and writes the Chrome trace file if
+    /// a path was configured.
+    fn finish_trace(
+        &self,
+        collector: Option<&Arc<TraceCollector>>,
+        telemetry: &Telemetry,
+    ) -> Result<(), ConfigError> {
+        let Some(collector) = collector else { return Ok(()) };
+        let dropped = collector.dropped();
+        if dropped > 0 {
+            telemetry.add(Counter::TraceEventsDropped, dropped);
+        }
+        self.write_trace_file(Some(collector))
+    }
+
+    /// Writes the Chrome trace file if a path was configured (the
+    /// drop-count accounting happens elsewhere — in the serial facade
+    /// for `threads == 1` runs).
+    fn write_trace_file(&self, collector: Option<&Arc<TraceCollector>>) -> Result<(), ConfigError> {
+        let (Some(collector), Some(path)) = (collector, &self.trace_path) else { return Ok(()) };
+        std::fs::write(path, collector.to_chrome_json()).map_err(|e| ConfigError::TraceWrite {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })
+    }
+
     /// The serial facade with this builder's settings (used for the
-    /// exact `threads == 1` path).
-    fn serial(&self) -> linkclust_core::LinkClustering {
+    /// exact `threads == 1` path). The collector is passed in because
+    /// the parallel facade may have created one for a
+    /// [`trace`](Self::trace) path.
+    fn serial(&self, collector: Option<&Arc<TraceCollector>>) -> linkclust_core::LinkClustering {
         let mut serial = linkclust_core::LinkClustering::new();
         if let Some(order) = self.edge_order {
             serial = serial.edge_order(order);
         }
         if let Some(theta) = self.min_similarity {
             serial = serial.min_similarity(theta);
+        }
+        if let Some(c) = collector {
+            serial = serial.tracer(Arc::clone(c));
         }
         match &self.sink {
             TelemetrySink::Off => serial,
@@ -170,9 +244,16 @@ impl LinkClustering {
     /// configured threads.
     pub fn similarities(&self, g: &WeightedGraph) -> Result<PairSimilarities, ConfigError> {
         self.check_threads()?;
+        let collector = self.active_collector();
         let (telemetry, _) = self.sink.build();
+        let telemetry = match &collector {
+            Some(c) => telemetry.with_tracer(Arc::clone(c)),
+            None => telemetry,
+        };
         let (pool, g) = self.run_context(g, &telemetry);
-        Ok(Self::sorted_similarities(&pool, &g, &telemetry))
+        let sims = Self::sorted_similarities(&pool, &g, &telemetry);
+        self.finish_trace(collector.as_ref(), &telemetry)?;
+        Ok(sims)
     }
 
     fn sorted_similarities(
@@ -188,13 +269,21 @@ impl LinkClustering {
     /// configured threads, then the (sequential) fine-grained sweep.
     pub fn run(&self, g: &WeightedGraph) -> Result<ClusteringResult, ConfigError> {
         self.check_threads()?;
+        let collector = self.active_collector();
         if self.threads == 1 {
-            return Ok(self.serial().run(g));
+            let result = self.serial(collector.as_ref()).run(g);
+            self.write_trace_file(collector.as_ref())?;
+            return Ok(result);
         }
         let (telemetry, recorder) = self.sink.build();
+        let telemetry = match &collector {
+            Some(c) => telemetry.with_tracer(Arc::clone(c)),
+            None => telemetry,
+        };
         let (pool, g) = self.run_context(g, &telemetry);
         let sims = Self::sorted_similarities(&pool, &g, &telemetry);
         let output = sweep_with(&g, &sims, self.sweep_config(), &telemetry);
+        self.finish_trace(collector.as_ref(), &telemetry)?;
         Ok(ClusteringResult::from_parts(sims, output, recorder.map(|r| r.report())))
     }
 
@@ -213,11 +302,18 @@ impl LinkClustering {
         config: CoarseConfig,
     ) -> Result<CoarseResult, ConfigError> {
         self.check_threads()?;
+        let collector = self.active_collector();
         if self.threads == 1 {
-            return self.serial().run_coarse(g, config);
+            let result = self.serial(collector.as_ref()).run_coarse(g, config)?;
+            self.write_trace_file(collector.as_ref())?;
+            return Ok(result);
         }
         let config = self.reconcile_coarse(config)?;
         let (telemetry, recorder) = self.sink.build();
+        let telemetry = match &collector {
+            Some(c) => telemetry.with_tracer(Arc::clone(c)),
+            None => telemetry,
+        };
         let (pool, g) = self.run_context(g, &telemetry);
         let sims = Arc::new(Self::sorted_similarities(&pool, &g, &telemetry));
         // The processor shares the run's pool, graph, and similarity
@@ -228,6 +324,7 @@ impl LinkClustering {
             .with_pool(pool)
             .shared_entries(Arc::clone(&sims));
         let result = coarse_sweep_instrumented(&g, &sims, config, &mut processor, &telemetry);
+        self.finish_trace(collector.as_ref(), &telemetry)?;
         Ok(match recorder {
             Some(r) => result.with_report(r.report()),
             None => result,
@@ -330,6 +427,48 @@ mod tests {
         // and every non-empty owner table sampled its occupancy.
         assert!(report.thread_items().len() >= 4);
         assert!(report.gauge(Gauge::TableOccupancy).count >= 1);
+    }
+
+    #[test]
+    fn traced_run_produces_consistent_timeline_and_file() {
+        use linkclust_core::telemetry::{trace, TraceCollector, TraceLabel};
+        let g = gnm(50, 220, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 9);
+        // Caller-owned collector, parallel fine run.
+        let collector = Arc::new(TraceCollector::new());
+        let r = LinkClustering::new().threads(4).tracer(Arc::clone(&collector)).run(&g).unwrap();
+        let serial = LinkClustering::new().run(&g).unwrap();
+        assert_eq!(canon(&serial.edge_assignments()), canon(&r.edge_assignments()));
+        let events = collector.events();
+        trace::check_events(&events).unwrap();
+        assert!(events.iter().any(|e| e.label == TraceLabel::Phase(Phase::InitPass1)));
+        assert!(events.iter().any(|e| matches!(e.label, TraceLabel::PoolTask { .. })));
+        trace::validate_json(&collector.to_chrome_json()).unwrap();
+        // .trace(path): the file lands on disk and is well-formed.
+        let dir = std::env::temp_dir().join("linkclust-facade-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let cfg = CoarseConfig { phi: 5, initial_chunk: 8, ..Default::default() };
+        let _ = LinkClustering::new().threads(2).trace(&path).run_coarse(&g, cfg).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        trace::validate_json(&text).unwrap();
+        assert!(text.contains("\"ph\":\"X\""));
+        // threads(1) traces through the serial path too.
+        let _ = LinkClustering::new().trace(&path).run(&g).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        trace::validate_json(&text).unwrap();
+        assert!(text.contains("\"name\":\"sweep\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_write_failure_is_reported_not_panicking() {
+        let g = gnm(15, 40, WeightMode::Unit, 1);
+        let err = LinkClustering::new()
+            .threads(2)
+            .trace("/nonexistent-dir-for-trace-test/trace.json")
+            .run(&g)
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::TraceWrite { .. }), "got {err:?}");
     }
 
     #[test]

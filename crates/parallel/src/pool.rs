@@ -22,6 +22,7 @@
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
@@ -216,6 +217,9 @@ pub struct WorkerPool {
     workers: Vec<JoinHandle<()>>,
     threads: usize,
     telemetry: Telemetry,
+    /// Next pool-task sequence number, used to label per-task trace
+    /// events when the telemetry handle carries a tracer.
+    task_seq: AtomicU64,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -233,7 +237,8 @@ impl WorkerPool {
     ///
     /// # Panics
     ///
-    /// Panics if `threads == 0`.
+    /// Panics if `threads == 0` or if the OS refuses to spawn a worker
+    /// thread.
     #[must_use]
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "need at least one thread");
@@ -242,17 +247,31 @@ impl WorkerPool {
             work_ready: Condvar::new(),
         });
         let workers = (1..threads)
-            .map(|_| {
+            .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                // Named so trace timelines and debuggers show "worker-i"
+                // instead of an anonymous thread id.
+                std::thread::Builder::new()
+                    .name(format!("worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a pool worker thread failed")
             })
             .collect();
-        WorkerPool { shared, workers, threads, telemetry: Telemetry::disabled() }
+        WorkerPool {
+            shared,
+            workers,
+            threads,
+            telemetry: Telemetry::disabled(),
+            task_seq: AtomicU64::new(0),
+        }
     }
 
     /// Attaches a telemetry handle: every submitted task bumps
     /// [`Counter::PoolTasks`], and each task's queue wait (submission to
-    /// pickup) is recorded as a [`Phase::PoolQueueWait`] span.
+    /// pickup) is recorded as a [`Phase::PoolQueueWait`] span. If the
+    /// handle carries a tracer, each task's execution additionally lands
+    /// on the executing thread's trace timeline as a `pool_task` event
+    /// labelled with its submission sequence number.
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
@@ -285,6 +304,13 @@ impl WorkerPool {
             return Vec::new();
         }
         self.telemetry.add(Counter::PoolTasks, n as u64);
+        // Sequence numbers label per-task trace events; the counter only
+        // advances when a tracer is attached (one relaxed RMW per batch).
+        let base_seq = if self.telemetry.is_tracing() {
+            self.task_seq.fetch_add(n as u64, Ordering::Relaxed)
+        } else {
+            0
+        };
         let mut results: Vec<Option<std::thread::Result<T>>> = Vec::with_capacity(n);
         results.resize_with(n, || None);
 
@@ -293,6 +319,7 @@ impl WorkerPool {
             // are still contained per task so one failing task cannot
             // skip its siblings, matching the pooled path.
             for (idx, task) in tasks.into_iter().enumerate() {
+                let _trace = self.telemetry.trace_task(base_seq + idx as u64);
                 results[idx] = Some(std::panic::catch_unwind(AssertUnwindSafe(task)));
             }
             return collect_results(results);
@@ -305,12 +332,16 @@ impl WorkerPool {
                 let tx = tx.clone();
                 let telemetry = self.telemetry.clone();
                 let queued_at = telemetry.is_enabled().then(Instant::now);
+                let seq = base_seq + idx as u64;
                 st.jobs.push_back(Box::new(move || {
                     if let Some(t0) = queued_at {
                         let nanos = t0.elapsed().as_nanos() as u64;
                         telemetry.record_phase_nanos(Phase::PoolQueueWait, nanos);
                     }
-                    let result = std::panic::catch_unwind(AssertUnwindSafe(task));
+                    let result = {
+                        let _trace = telemetry.trace_task(seq);
+                        std::panic::catch_unwind(AssertUnwindSafe(task))
+                    };
                     let _ = tx.send((idx, result));
                 }));
             }
@@ -633,5 +664,30 @@ mod tests {
         let report = recorder.report();
         assert_eq!(report.counter(Counter::PoolTasks), 5);
         assert_eq!(report.phase_calls(Phase::PoolQueueWait), 5);
+    }
+
+    #[test]
+    fn tracing_pool_records_every_task_once_with_unique_seqs() {
+        use linkclust_core::telemetry::{trace, TraceCollector, TraceLabel};
+        let collector = Arc::new(TraceCollector::new());
+        let pool =
+            WorkerPool::new(4).with_telemetry(Telemetry::disabled().with_tracer(collector.clone()));
+        let _ = pool.run_tasks((0..16u32).map(|i| Box::new(move || i) as Task<u32>).collect());
+        let _ = pool.run_tasks((0..8u32).map(|i| Box::new(move || i) as Task<u32>).collect());
+        let events = collector.events();
+        let mut seqs: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e.label {
+                TraceLabel::PoolTask { seq } => Some(seq),
+                TraceLabel::Phase(_) => None,
+            })
+            .collect();
+        seqs.sort_unstable();
+        // Every submitted task traced exactly once, seqs dense from 0.
+        assert_eq!(seqs, (0..24).collect::<Vec<u64>>());
+        trace::check_events(&events).unwrap();
+        // Worker threads registered under their builder-given names.
+        let names = collector.thread_names();
+        assert!(names.iter().any(|n| n.starts_with("worker-")), "names: {names:?}");
     }
 }

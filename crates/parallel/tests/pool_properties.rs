@@ -156,6 +156,77 @@ fn worker_panic_payload_survives_and_pool_stays_usable() {
     }
 }
 
+/// Cross-thread `record_phase_nanos` (`Phase::PoolQueueWait`) from ≥4
+/// pool workers must never lose a count: the mutex-aggregated report
+/// must equal an independent per-thread tally, call for call and
+/// nanosecond for nanosecond. A barrier forces every batch to be
+/// executed by four distinct threads concurrently.
+#[test]
+fn concurrent_queue_wait_records_are_never_lost() {
+    use std::collections::HashMap;
+    use std::sync::{Barrier, Mutex};
+    use std::thread::ThreadId;
+
+    use linkclust_core::telemetry::{Counter, Gauge, Phase, Recorder, RunRecorder, Telemetry};
+
+    /// Forwards everything to a [`RunRecorder`] while independently
+    /// tallying queue-wait spans per recording thread.
+    #[derive(Default)]
+    struct Tally {
+        inner: RunRecorder,
+        queue_waits: Mutex<HashMap<ThreadId, (u64, u64)>>,
+    }
+
+    impl Recorder for Tally {
+        fn record_phase(&self, phase: Phase, nanos: u64) {
+            if phase == Phase::PoolQueueWait {
+                let mut map = self.queue_waits.lock().expect("tally mutex");
+                let slot = map.entry(std::thread::current().id()).or_insert((0, 0));
+                slot.0 += 1;
+                slot.1 += nanos;
+            }
+            self.inner.record_phase(phase, nanos);
+        }
+        fn add(&self, counter: Counter, value: u64) {
+            self.inner.add(counter, value);
+        }
+        fn observe(&self, gauge: Gauge, value: f64) {
+            self.inner.observe(gauge, value);
+        }
+        fn thread_items(&self, thread: usize, items: u64) {
+            self.inner.thread_items(thread, items);
+        }
+    }
+
+    const WORKERS: usize = 4;
+    const BATCHES: usize = 16;
+    let tally = Arc::new(Tally::default());
+    let pool = WorkerPool::new(WORKERS)
+        .with_telemetry(Telemetry::new(Arc::clone(&tally) as Arc<dyn Recorder>));
+    for _ in 0..BATCHES {
+        let barrier = Arc::new(Barrier::new(WORKERS));
+        let tasks: Vec<Task<()>> = (0..WORKERS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                Box::new(move || {
+                    barrier.wait();
+                }) as Task<()>
+            })
+            .collect();
+        let _ = pool.run_tasks(tasks);
+    }
+
+    let report = tally.inner.report();
+    let expected = (WORKERS * BATCHES) as u64;
+    assert_eq!(report.phase_calls(Phase::PoolQueueWait), expected, "one span per queued task");
+    let map = tally.queue_waits.lock().expect("tally mutex");
+    assert!(map.len() >= WORKERS, "queue waits recorded by only {} threads", map.len());
+    let (calls, nanos) = map.values().fold((0u64, 0u64), |(c, n), &(dc, dn)| (c + dc, n + dn));
+    assert_eq!(calls, expected);
+    assert_eq!(report.phase_nanos(Phase::PoolQueueWait), nanos, "aggregate == per-thread sums");
+    assert_eq!(report.phase_histogram(Phase::PoolQueueWait).count(), expected);
+}
+
 /// Standalone `parallel_coarse_sweep` (buffered entry path, lazily
 /// created pool) must agree with the `Arc`-shared zero-copy path.
 #[test]

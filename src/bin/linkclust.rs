@@ -12,8 +12,15 @@
 //!   --cut best|final       which partition to report           [best]
 //!   --output communities|newick|csv|labels                     [communities]
 //!   --stats                graph stats + per-phase run report (stderr)
-//!   --stats-json           run report as JSON (stderr)
+//!   --stats-json           run report as JSON (stderr, printed last)
+//!   --trace <file>         write a Chrome trace-event JSON timeline
 //! ```
+//!
+//! With both `--stats` and `--stats-json`, the human-readable report is
+//! printed first and the JSON object last, separated by a blank line, so
+//! the JSON can be extracted by taking the final stderr line. `--trace`
+//! files open in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`.
 //!
 //! The edge-list format is one `u v [weight]` triple per line with `#`
 //! comments (see `linkclust::graph::io`).
@@ -39,6 +46,7 @@ struct Options {
     output: Output,
     stats: bool,
     stats_json: bool,
+    trace: Option<String>,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -59,7 +67,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: linkclust <edge-list-file|-> [--coarse] [--gamma G] [--phi P] \
          [--threads N] [--threshold T] [--cut best|final] [--stats] [--stats-json] \
-         [--output communities|newick|csv|labels]\n\
+         [--trace FILE] [--output communities|newick|csv|labels]\n\
          \n\
          or:    linkclust generate <family> [seed]\n\
          families: gnm <n> <m> | complete <n> | kregular <n> <k> | \
@@ -122,6 +130,7 @@ fn parse_args() -> Option<Options> {
         output: Output::Communities,
         stats: false,
         stats_json: false,
+        trace: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -133,6 +142,7 @@ fn parse_args() -> Option<Options> {
             "--phi" => opts.phi = args.next()?.parse().ok()?,
             "--threads" => opts.threads = args.next()?.parse().ok()?,
             "--threshold" => opts.threshold = Some(args.next()?.parse().ok()?),
+            "--trace" => opts.trace = Some(args.next()?),
             "--cut" => {
                 opts.cut = match args.next()?.as_str() {
                     "best" => Cut::Best,
@@ -165,6 +175,9 @@ fn cluster(
     opts: &Options,
 ) -> Result<(Dendrogram, Vec<u32>, Option<RunReport>), ConfigError> {
     let mut lc = LinkClustering::new().threads(opts.threads).stats(opts.stats || opts.stats_json);
+    if let Some(path) = &opts.trace {
+        lc = lc.trace(path);
+    }
     if opts.coarse {
         let cfg = CoarseConfig {
             gamma: opts.gamma,
@@ -248,14 +261,6 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Some(report) = &report {
-        if opts.stats {
-            eprintln!("{report}");
-        }
-        if opts.stats_json {
-            eprintln!("{}", report.to_json());
-        }
-    }
     let labels = match opts.cut {
         Cut::Final => final_labels,
         Cut::Best => match dendrogram.best_density_cut(&g) {
@@ -272,6 +277,21 @@ fn main() -> ExitCode {
             None => final_labels,
         },
     };
+    if let Some(report) = &report {
+        // The report goes after every other stderr line, and the JSON
+        // object last of all (after a separating blank line), so scripts
+        // can grab it by taking the final stderr line. The Display table
+        // already ends with a newline.
+        if opts.stats {
+            eprint!("{report}");
+        }
+        if opts.stats && opts.stats_json {
+            eprintln!();
+        }
+        if opts.stats_json {
+            eprintln!("{}", report.to_json());
+        }
+    }
 
     match opts.output {
         Output::Newick => println!("{}", to_newick(&dendrogram)),

@@ -25,7 +25,9 @@
 //! The most common entry points are re-exported at the crate root; the
 //! main one is the unified [`LinkClustering`] facade — serial by
 //! default, parallel via [`threads`](LinkClustering::threads), with
-//! phase-level telemetry via [`stats`](LinkClustering::stats).
+//! phase-level telemetry via [`stats`](LinkClustering::stats) and
+//! per-thread event tracing (Chrome trace-event JSON, viewable in
+//! Perfetto) via [`trace`](LinkClustering::trace).
 //!
 //! # Quickstart
 //!
@@ -61,8 +63,26 @@
 //! let result = LinkClustering::new().threads(4).stats(true).run(&g)?;
 //! let report = result.report().expect("stats(true) attaches a report");
 //! assert!(report.phase_nanos(Phase::Sweep) > 0);
-//! println!("{report}");          // per-phase table
+//! println!("{report}");          // per-phase table with p50/p99 latencies
 //! let _json = report.to_json();  // machine-readable
+//! # Ok::<(), linkclust::ConfigError>(())
+//! ```
+//!
+//! For a wall-time view of where every thread spent the run, attach a
+//! tracer (or write a file directly with
+//! [`trace`](LinkClustering::trace) and open it in
+//! <https://ui.perfetto.dev>):
+//!
+//! ```
+//! use std::sync::Arc;
+//! use linkclust::graph::generate::{gnm, WeightMode};
+//! use linkclust::{LinkClustering, TraceCollector};
+//!
+//! let g = gnm(120, 480, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 7);
+//! let collector = Arc::new(TraceCollector::new());
+//! LinkClustering::new().threads(2).tracer(Arc::clone(&collector)).run(&g)?;
+//! assert!(!collector.events().is_empty());
+//! let _chrome_json = collector.to_chrome_json();
 //! # Ok::<(), linkclust::ConfigError>(())
 //! ```
 
@@ -82,7 +102,7 @@ pub use linkclust_core::{
     init::compute_similarities,
     model::SigmoidModel,
     sweep::{sweep, EdgeOrder, SweepConfig},
-    telemetry::{Recorder, RunReport},
+    telemetry::{Recorder, RunReport, TraceCollector},
     ClusterArray, ClusteringResult, ConfigError, Dendrogram, MergeRecord, PairSimilarities,
 };
 pub use linkclust_corpus::{AssocNetwork, AssocNetworkBuilder, TextPipeline};

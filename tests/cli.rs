@@ -97,6 +97,56 @@ fn stats_flag_prints_k_statistics() {
 }
 
 #[test]
+fn stats_json_is_last_and_separated_from_the_table() {
+    let (_, stderr, ok) = run_cli(&["-", "--stats", "--stats-json"], EDGES);
+    assert!(ok, "stderr: {stderr}");
+    // The JSON object is the final stderr line, preceded by a blank
+    // separator line so scripts can extract it without parsing the table.
+    let lines: Vec<&str> = stderr.lines().collect();
+    let last = lines.last().expect("stderr non-empty");
+    assert!(last.starts_with('{') && last.ends_with('}'), "last line not JSON: {last}");
+    assert_eq!(lines[lines.len() - 2], "", "no blank line before the JSON: {stderr}");
+    linkclust::core::telemetry::trace::validate_json(last).expect("stats JSON must be parseable");
+    // The human table appears before the JSON, never after.
+    let table_pos = stderr.find("phase").expect("report table present");
+    let json_pos = stderr.rfind(last).expect("json present");
+    assert!(table_pos < json_pos, "table must precede JSON: {stderr}");
+}
+
+#[test]
+fn stats_json_alone_is_a_single_json_line() {
+    let (_, stderr, ok) = run_cli(&["-", "--stats-json"], EDGES);
+    assert!(ok, "stderr: {stderr}");
+    let json_lines: Vec<&str> = stderr.lines().filter(|l| l.starts_with('{')).collect();
+    assert_eq!(json_lines.len(), 1, "exactly one JSON line: {stderr}");
+    linkclust::core::telemetry::trace::validate_json(json_lines[0])
+        .expect("stats JSON must be parseable");
+}
+
+#[test]
+fn trace_flag_writes_chrome_trace_json() {
+    let path =
+        std::env::temp_dir().join(format!("linkclust-cli-trace-{}.json", std::process::id()));
+    let path_str = path.to_string_lossy().into_owned();
+    let (_, stderr, ok) =
+        run_cli(&["-", "--coarse", "--threads", "2", "--trace", &path_str], EDGES);
+    assert!(ok, "stderr: {stderr}");
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let _ = std::fs::remove_file(&path);
+    linkclust::core::telemetry::trace::validate_json(&text).expect("valid JSON");
+    assert!(text.contains("\"traceEvents\""), "chrome trace envelope: {text}");
+    assert!(text.contains("\"ph\":\"X\""), "complete events: {text}");
+}
+
+#[test]
+fn trace_to_unwritable_path_fails_cleanly() {
+    let (_, stderr, ok) =
+        run_cli(&["-", "--trace", "/nonexistent-dir-for-cli-trace/t.json"], EDGES);
+    assert!(!ok, "unwritable trace path must fail the run");
+    assert!(stderr.contains("failed to write trace file"), "stderr: {stderr}");
+}
+
+#[test]
 fn generate_produces_clusterable_edge_list() {
     let (stdout, stderr, ok) = run_cli(&["generate", "planted", "3", "5", "0.9", "0.02"], "");
     assert!(ok, "stderr: {stderr}");

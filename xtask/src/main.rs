@@ -3,14 +3,16 @@
 //! `cargo xtask check` is the single entry point CI and contributors run:
 //! it drives rustfmt, clippy (with the workspace lint tables of the root
 //! `Cargo.toml`), the documentation build, the forbidden-pattern scanner
-//! (see [`scan`]), and the full test suite, then prints a pass/fail
-//! summary. Every step is also available as its own subcommand so a
-//! failing gate can be re-run in isolation.
+//! (see [`scan`]), a traced-CLI smoke run whose Chrome trace artifact is
+//! structurally validated (see [`tracecheck`]), and the full test suite,
+//! then prints a pass/fail summary. Every step is also available as its
+//! own subcommand so a failing gate can be re-run in isolation.
 //!
 //! The policy the harness enforces is documented in `VERIFICATION.md` at
 //! the workspace root.
 
 mod scan;
+mod tracecheck;
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -32,6 +34,11 @@ const GATES: &[Gate] = &[
         name: "bench-build",
         description: "benchmarks compile (--no-run)",
         run: run_bench_build,
+    },
+    Gate {
+        name: "trace-smoke",
+        description: "traced CLI run produces valid Chrome trace JSON",
+        run: run_trace_smoke,
     },
     Gate { name: "test", description: "full test suite", run: run_test },
 ];
@@ -162,6 +169,89 @@ fn run_test(root: &Path) -> Result<(), String> {
 
 fn run_bench_build(root: &Path) -> Result<(), String> {
     cargo(root, &["bench", "--workspace", "--no-run", "--quiet"], &[])
+}
+
+/// Runs a tiny traced clustering through the real CLI and validates the
+/// Chrome trace artifact with the harness's own JSON reader (see
+/// [`tracecheck`]). The artifact is left at
+/// `target/trace-smoke/trace.json` so CI can upload it.
+fn run_trace_smoke(root: &Path) -> Result<(), String> {
+    let dir = root.join("target").join("trace-smoke");
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let edges = dir.join("edges.txt");
+    let trace = dir.join("trace.json");
+
+    // `linkclust generate` writes the edge list to stdout.
+    let graph = cargo_capture(
+        root,
+        &[
+            "run",
+            "--release",
+            "--quiet",
+            "-p",
+            "linkclust",
+            "--bin",
+            "linkclust",
+            "--",
+            "generate",
+            "gnm",
+            "400",
+            "1600",
+        ],
+    )?;
+    std::fs::write(&edges, graph).map_err(|e| format!("cannot write {}: {e}", edges.display()))?;
+
+    let edges_arg = edges.to_string_lossy().into_owned();
+    let trace_arg = trace.to_string_lossy().into_owned();
+    cargo_capture(
+        root,
+        &[
+            "run",
+            "--release",
+            "--quiet",
+            "-p",
+            "linkclust",
+            "--bin",
+            "linkclust",
+            "--",
+            &edges_arg,
+            "--coarse",
+            "--threads",
+            "4",
+            "--trace",
+            &trace_arg,
+        ],
+    )?;
+
+    let text = std::fs::read_to_string(&trace)
+        .map_err(|e| format!("traced run left no artifact at {}: {e}", trace.display()))?;
+    let summary = tracecheck::check_chrome_trace(&text)
+        .map_err(|e| format!("{} is not a valid Chrome trace: {e}", trace.display()))?;
+    eprintln!(
+        "trace-smoke: {} complete events across {} threads ({} dropped) in {}",
+        summary.complete_events,
+        summary.threads,
+        summary.dropped,
+        trace.display()
+    );
+    Ok(())
+}
+
+/// Runs `cargo <args>` at the workspace root, capturing stdout; stderr
+/// passes through. Non-zero exits map to an error message.
+fn cargo_capture(root: &Path, args: &[&str]) -> Result<Vec<u8>, String> {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let output = Command::new(cargo)
+        .current_dir(root)
+        .args(args)
+        .stderr(std::process::Stdio::inherit())
+        .output()
+        .map_err(|e| format!("failed to spawn cargo: {e}"))?;
+    if output.status.success() {
+        Ok(output.stdout)
+    } else {
+        Err(format!("`cargo {}` exited with {}", args.join(" "), output.status))
+    }
 }
 
 /// Builds and runs the `bench_smoke` binary in release mode, forwarding

@@ -1,0 +1,347 @@
+//! Structural validation of Chrome trace-event JSON, for the
+//! `trace-smoke` gate.
+//!
+//! Dependency-free on purpose: the harness re-parses the artifact the
+//! `linkclust --trace` run wrote with its own tiny JSON reader, so a bug
+//! in the library's hand-rolled writer cannot hide behind the library's
+//! own validator. Checks the JSON Object Format of the Chrome
+//! trace-event spec: a top-level object with a `traceEvents` array,
+//! every event carrying a `ph` phase tag, complete (`"X"`) events
+//! carrying `name`/`ts`/`dur`/`pid`/`tid`, and per-`tid` timestamps
+//! monotone non-decreasing with properly nested (never partially
+//! overlapping) intervals.
+
+use std::collections::HashMap;
+
+/// A parsed JSON value (just enough of RFC 8259 for trace files; the
+/// validator only ever reads numbers and strings back out, so `Bool`
+/// carries no payload).
+enum Json {
+    Null,
+    Bool,
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// What a validated trace contained, for the gate's log line.
+#[derive(Debug)]
+pub(crate) struct TraceSummary {
+    /// Number of complete (`"X"`) events.
+    pub(crate) complete_events: usize,
+    /// Number of distinct `tid` values among complete events.
+    pub(crate) threads: usize,
+    /// Events the collector dropped on ring overflow, per `otherData`.
+    pub(crate) dropped: u64,
+}
+
+/// Validates `text` as a Chrome trace-event JSON file.
+///
+/// Returns a summary on success and a human-readable description of the
+/// first structural problem otherwise.
+pub(crate) fn check_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let doc = parse(text)?;
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        Some(_) => return Err("`traceEvents` is not an array".to_string()),
+        None => return Err("top-level object lacks a `traceEvents` array".to_string()),
+    };
+    if events.is_empty() {
+        return Err("`traceEvents` is empty: the traced run recorded nothing".to_string());
+    }
+
+    // Per-tid stack of open interval ends: events arrive sorted by start
+    // (checked below), so an event either nests inside the innermost
+    // still-open interval or starts at/after its end.
+    let mut open: HashMap<u64, Vec<f64>> = HashMap::new();
+    let mut last_start: HashMap<u64, f64> = HashMap::new();
+    let mut complete_events = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i} lacks a string `ph` phase tag"))?;
+        match ph {
+            "M" => continue, // metadata (thread names)
+            "X" => {}
+            other => return Err(format!("event {i} has unexpected phase {other:?}")),
+        }
+        complete_events += 1;
+        if e.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("complete event {i} lacks a string `name`"));
+        }
+        let num = |key: &str| {
+            e.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("complete event {i} lacks a numeric `{key}`"))
+        };
+        let ts = num("ts")?;
+        let dur = num("dur")?;
+        num("pid")?;
+        let tid = num("tid")? as u64;
+        if ts < 0.0 || dur < 0.0 {
+            return Err(format!("complete event {i} has a negative `ts` or `dur`"));
+        }
+
+        if last_start.insert(tid, ts).is_some_and(|prev| ts < prev) {
+            return Err(format!("complete event {i}: `ts` not monotone within tid {tid}"));
+        }
+        let stack = open.entry(tid).or_default();
+        while stack.last().is_some_and(|&end| end <= ts) {
+            stack.pop();
+        }
+        let end = ts + dur;
+        if let Some(&enclosing_end) = stack.last() {
+            if end > enclosing_end {
+                return Err(format!(
+                    "complete event {i}: interval [{ts}, {end}] partially overlaps an \
+                     enclosing event ending at {enclosing_end} on tid {tid}"
+                ));
+            }
+        }
+        stack.push(end);
+    }
+    if complete_events == 0 {
+        return Err("no complete (`\"X\"`) events in the trace".to_string());
+    }
+
+    let dropped = doc
+        .get("otherData")
+        .and_then(|d| d.get("events_dropped"))
+        .and_then(Json::as_f64)
+        .map_or(0, |v| v as u64);
+    Ok(TraceSummary { complete_events, threads: open.len(), dropped })
+}
+
+/// Parses `text` as a single JSON value (with nothing but whitespace
+/// after it).
+fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+const MAX_DEPTH: usize = 128;
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err("nesting too deep".to_string());
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected `:` at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Json,
+) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return String::from_utf8(out).map_err(|_| "invalid UTF-8 in string".to_string());
+            }
+            Some(b'\\') => match bytes.get(*pos + 1) {
+                Some(b'u') => {
+                    // \uXXXX: keep the raw escape; the validator never
+                    // compares decoded non-ASCII text.
+                    let hex = bytes
+                        .get(*pos + 2..*pos + 6)
+                        .ok_or_else(|| "truncated \\u escape".to_string())?;
+                    if !hex.iter().all(u8::is_ascii_hexdigit) {
+                        return Err(format!("invalid \\u escape at byte {pos}"));
+                    }
+                    out.extend_from_slice(&bytes[*pos..*pos + 6]);
+                    *pos += 6;
+                }
+                Some(c @ (b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't')) => {
+                    out.push(match c {
+                        b'b' => 0x08,
+                        b'f' => 0x0c,
+                        b'n' => b'\n',
+                        b'r' => b'\r',
+                        b't' => b'\t',
+                        c => *c,
+                    });
+                    *pos += 2;
+                }
+                _ => return Err(format!("invalid escape at byte {pos}")),
+            },
+            Some(c) if *c < 0x20 => {
+                return Err(format!("unescaped control character at byte {pos}"))
+            }
+            Some(c) => {
+                out.push(*c);
+                *pos += 1;
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while bytes
+        .get(*pos)
+        .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|n| n.is_finite())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while bytes.get(*pos).is_some_and(|c| matches!(c, b' ' | b'\t' | b'\n' | b'\r')) {
+        *pos += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{"traceEvents":[
+        {"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"main"}},
+        {"name":"sort","cat":"phase","ph":"X","ts":0.000,"dur":10.000,"pid":1,"tid":0},
+        {"name":"sweep","cat":"phase","ph":"X","ts":2.000,"dur":3.000,"pid":1,"tid":0},
+        {"name":"task-0","cat":"task","ph":"X","ts":1.500,"dur":4.000,"pid":1,"tid":1}
+    ],"displayTimeUnit":"ms","otherData":{"events_dropped":2,"ring_capacity":65536}}"#;
+
+    #[test]
+    fn accepts_a_well_formed_trace() {
+        let summary = check_chrome_trace(GOOD).expect("trace should validate");
+        assert_eq!(summary.complete_events, 3);
+        assert_eq!(summary.threads, 2);
+        assert_eq!(summary.dropped, 2);
+    }
+
+    #[test]
+    fn rejects_malformed_json_and_structure() {
+        assert!(check_chrome_trace("{").is_err());
+        assert!(check_chrome_trace("{\"traceEvents\":{}}").is_err());
+        assert!(check_chrome_trace("{\"traceEvents\":[]}").is_err());
+        // missing dur on an X event
+        let bad = r#"{"traceEvents":[{"name":"a","ph":"X","ts":0,"pid":1,"tid":0}]}"#;
+        assert!(check_chrome_trace(bad).is_err());
+        // non-monotone timestamps within a tid
+        let unsorted = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":5,"dur":1,"pid":1,"tid":0},
+            {"name":"b","ph":"X","ts":1,"dur":1,"pid":1,"tid":0}]}"#;
+        assert!(check_chrome_trace(unsorted).unwrap_err().contains("monotone"));
+        // partial overlap within a tid
+        let overlap = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":0,"dur":10,"pid":1,"tid":0},
+            {"name":"b","ph":"X","ts":5,"dur":10,"pid":1,"tid":0}]}"#;
+        assert!(check_chrome_trace(overlap).unwrap_err().contains("overlaps"));
+    }
+}
