@@ -1,0 +1,130 @@
+//! The scale benchmark ladder: generator families × edge tiers up to
+//! 10⁶ edges, each rung timed on the CSR backend at threads {1, 2, 4, 8}
+//! and checked bit-for-bit against the adjacency-list oracle. Results
+//! land in `BENCH_scale.json` (override with `--out <path>`).
+//!
+//! The parent process re-executes itself once per rung with
+//! `--one-rung <family:tier>` so every rung's peak RSS (`VmHWM`) is
+//! measured in an otherwise-clean process; the child prints its rung
+//! report as one JSON line on stdout. If re-execution fails (no procfs,
+//! exotic sandbox), the parent falls back to measuring the rung
+//! in-process and the rung's `peak_rss_bytes` inherits earlier rungs'
+//! footprint.
+//!
+//! Run via `cargo xtask bench-ladder [--smoke]` or directly:
+//!
+//! ```text
+//! cargo run --release -p linkclust-bench --bin bench_ladder -- --smoke
+//! ```
+
+use std::process::{Command, Stdio};
+
+use linkclust_bench::ladder::{document_json, run_rung, rung_specs, RungSpec};
+
+struct Args {
+    smoke: bool,
+    runs: usize,
+    out_path: String,
+    one_rung: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed =
+        Args { smoke: false, runs: 3, out_path: String::from("BENCH_scale.json"), one_rung: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => parsed.smoke = true,
+            "--runs" => {
+                parsed.runs =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or(parsed.runs).max(1);
+            }
+            "--out" => {
+                if let Some(v) = args.next() {
+                    parsed.out_path = v;
+                }
+            }
+            "--one-rung" => parsed.one_rung = args.next(),
+            other => {
+                eprintln!(
+                    "unknown argument: {other} (expected --smoke, --runs N, --out PATH, \
+                     --one-rung FAMILY:TIER)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    parsed
+}
+
+/// Child mode: measure one rung, print its JSON object, exit.
+fn child_main(id: &str, runs: usize) -> ! {
+    let Some(spec) = RungSpec::parse(id) else {
+        eprintln!("invalid rung id: {id}");
+        std::process::exit(2);
+    };
+    let report = run_rung(spec, runs);
+    println!("{}", report.to_json());
+    std::process::exit(0);
+}
+
+/// Spawns this binary on one rung and returns the child's JSON line;
+/// `None` if the child could not run or misbehaved (the caller falls
+/// back to in-process measurement).
+fn measure_in_child(spec: RungSpec, runs: usize) -> Option<String> {
+    let exe = std::env::current_exe().ok()?;
+    let output = Command::new(exe)
+        .args(["--one-rung", &spec.id(), "--runs", &runs.to_string()])
+        .stdin(Stdio::null())
+        .stderr(Stdio::inherit())
+        .output()
+        .ok()?;
+    if !output.status.success() {
+        return None;
+    }
+    let stdout = String::from_utf8(output.stdout).ok()?;
+    let line = stdout.lines().rev().find(|l| l.trim_start().starts_with('{'))?;
+    Some(line.trim().to_owned())
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(id) = &args.one_rung {
+        child_main(id, args.runs);
+    }
+
+    let specs = rung_specs(args.smoke);
+    let mode = if args.smoke { "smoke" } else { "full" };
+    eprintln!("bench_ladder ({mode}): {} rungs, {} runs each", specs.len(), args.runs);
+
+    let mut rung_objects = Vec::with_capacity(specs.len());
+    let mut all_ok = true;
+    for spec in specs {
+        eprintln!("rung {} ...", spec.id());
+        let json = match measure_in_child(spec, args.runs) {
+            Some(json) => json,
+            None => {
+                eprintln!("  (child re-exec unavailable; measuring in-process)");
+                run_rung(spec, args.runs).to_json()
+            }
+        };
+        if json.contains("\"csr_matches_adjacency\":false")
+            || json.contains("\"bin_roundtrip_ok\":false")
+        {
+            eprintln!("  CORRECTNESS FAILURE in rung {}", spec.id());
+            all_ok = false;
+        }
+        rung_objects.push(json);
+    }
+
+    let doc = document_json(args.smoke, args.runs, &rung_objects);
+    if let Err(e) = std::fs::write(&args.out_path, &doc) {
+        eprintln!("failed to write {}: {e}", args.out_path);
+        std::process::exit(1);
+    }
+    println!("wrote {} ({} rungs)", args.out_path, rung_objects.len());
+    if !all_ok {
+        eprintln!("one or more rungs failed their correctness checks");
+        std::process::exit(1);
+    }
+}

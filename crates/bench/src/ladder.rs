@@ -1,0 +1,405 @@
+//! The scale benchmark ladder (§VI at scale).
+//!
+//! A fixed grid of rungs — three generator families (`gnm`,
+//! Barabási–Albert, LFR-style planted communities) crossed with
+//! edge-count tiers from ~10³ up to 10⁶ — each measured end to end on
+//! the CSR backend at thread counts {1, 2, 4, 8}. Every rung records
+//! wall-clock (min and mean over the configured runs), the rung
+//! process's peak RSS (`VmHWM`), the CSR slab footprint, binary-format
+//! round-trip latency, a bit-identity check against the adjacency-list
+//! oracle, and — on the LFR family — ground-truth recovery scored with
+//! NMI and pair-counting F1 from `linkclust_core::evaluate`.
+//!
+//! The `bench_ladder` binary drives the grid: the parent process
+//! re-executes itself once per rung (`--one-rung <id>`) so each rung's
+//! `VmHWM` is isolated, then assembles the per-rung reports into
+//! `BENCH_scale.json`. The Barabási–Albert family is capped at 10⁵
+//! edges (preferential attachment is quadratic in the generator), which
+//! the emitted JSON records explicitly rather than silently.
+
+use std::time::Duration;
+
+use linkclust_core::evaluate::{normalized_mutual_information, pair_f1};
+use linkclust_core::init::compute_similarities;
+use linkclust_graph::generate::{barabasi_albert, gnm, lfr_like, PlantedPartition, WeightMode};
+use linkclust_graph::{CsrGraph, GraphFile, WeightedGraph};
+use linkclust_parallel::LinkClustering;
+
+use crate::timing::time_runs;
+
+/// Identifier of the emitted document layout; bump on breaking change.
+pub const SCHEMA: &str = "linkclust-bench-scale/v1";
+
+/// Thread counts every rung is timed at.
+pub const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Target edge-count tiers of the full ladder.
+pub const TIERS: [usize; 4] = [1_000, 10_000, 100_000, 1_000_000];
+
+/// Barabási–Albert rungs stop here: preferential attachment in the
+/// generator is O(n·m) and the family exists to cover power-law degree
+/// skew, which 10⁵ edges already exhibit.
+pub const BA_EDGE_CAP: usize = 100_000;
+
+/// The generator families the ladder spans.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Family {
+    /// Erdős–Rényi G(n, m) with uniform weights.
+    Gnm,
+    /// Barabási–Albert preferential attachment (power-law degrees).
+    BarabasiAlbert,
+    /// LFR-style planted communities with ground truth.
+    LfrLike,
+}
+
+impl Family {
+    /// The stable name used in rung ids and JSON.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Gnm => "gnm",
+            Family::BarabasiAlbert => "barabasi_albert",
+            Family::LfrLike => "lfr_like",
+        }
+    }
+}
+
+/// One rung: a generator family at a target edge tier.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RungSpec {
+    /// Generator family.
+    pub family: Family,
+    /// Target edge count (generators land near, not exactly on, it).
+    pub tier: usize,
+}
+
+impl RungSpec {
+    /// The id used on the `--one-rung` command line, `family:tier`.
+    #[must_use]
+    pub fn id(&self) -> String {
+        format!("{}:{}", self.family.name(), self.tier)
+    }
+
+    /// Parses a `family:tier` id back into a spec.
+    #[must_use]
+    pub fn parse(id: &str) -> Option<RungSpec> {
+        let (family, tier) = id.split_once(':')?;
+        let family = match family {
+            "gnm" => Family::Gnm,
+            "barabasi_albert" => Family::BarabasiAlbert,
+            "lfr_like" => Family::LfrLike,
+            _ => return None,
+        };
+        Some(RungSpec { family, tier: tier.parse().ok()? })
+    }
+}
+
+/// The rung grid: every family at every tier it supports, smallest
+/// first. `smoke` keeps only the two smallest tiers per family (the CI
+/// gate); the full ladder reaches 10⁶ edges on `gnm` and LFR.
+#[must_use]
+pub fn rung_specs(smoke: bool) -> Vec<RungSpec> {
+    let tiers: &[usize] = if smoke { &TIERS[..2] } else { &TIERS };
+    let mut specs = Vec::new();
+    for &tier in tiers {
+        for family in [Family::Gnm, Family::BarabasiAlbert, Family::LfrLike] {
+            if family == Family::BarabasiAlbert && tier > BA_EDGE_CAP {
+                continue;
+            }
+            specs.push(RungSpec { family, tier });
+        }
+    }
+    specs
+}
+
+/// Builds the rung's graph. LFR rungs carry planted ground truth; the
+/// other families return `None` for it.
+#[must_use]
+pub fn build_workload(spec: RungSpec) -> (WeightedGraph, Option<PlantedPartition>) {
+    // Average degree 10 across all families keeps density comparable
+    // between rungs of the same tier.
+    let n = (spec.tier / 5).max(16);
+    let w = WeightMode::Uniform { lo: 0.2, hi: 2.0 };
+    let seed = 0xC5A7 ^ spec.tier as u64;
+    match spec.family {
+        Family::Gnm => (gnm(n, spec.tier, w, seed), None),
+        Family::BarabasiAlbert => (barabasi_albert(n, 5, w, seed), None),
+        Family::LfrLike => {
+            let planted = lfr_like(n, 10, 0.2, seed);
+            (planted.graph.clone(), Some(planted))
+        }
+    }
+}
+
+/// Wall-clock sample for one thread count.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadSample {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Fastest of the timed runs.
+    pub min: Duration,
+    /// Mean of the timed runs.
+    pub mean: Duration,
+}
+
+/// Everything measured on one rung.
+#[derive(Clone, Debug)]
+pub struct RungReport {
+    /// The rung measured.
+    pub spec: RungSpec,
+    /// Vertices actually generated.
+    pub vertices: usize,
+    /// Edges actually generated (generators land near the tier).
+    pub edges: usize,
+    /// Bytes of the CSR slabs ([`CsrGraph::memory_bytes`]).
+    pub csr_memory_bytes: usize,
+    /// Time to serialize the graph to the binary format.
+    pub bin_write: Duration,
+    /// Time to stream the binary bytes back into a [`CsrGraph`].
+    pub bin_read: Duration,
+    /// `true` if the binary round trip reproduced the CSR exactly.
+    pub bin_roundtrip_ok: bool,
+    /// `true` if CSR similarities matched the adjacency-list oracle to
+    /// the bit.
+    pub csr_matches_adjacency: bool,
+    /// One wall-clock sample per thread count in [`THREADS`].
+    pub thread_samples: Vec<ThreadSample>,
+    /// NMI of recovered vs planted edge communities (LFR rungs only).
+    pub nmi: Option<f64>,
+    /// Pair-counting F1 of recovered vs planted edge communities (LFR
+    /// rungs only).
+    pub pair_f1: Option<f64>,
+    /// Peak resident set of the rung process (`VmHWM`), 0 if unknown.
+    pub peak_rss_bytes: u64,
+}
+
+/// Reads the process's peak resident set (`VmHWM`) from
+/// `/proc/self/status`, in bytes; 0 where procfs is unavailable.
+#[must_use]
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// Measures one rung end to end: generate, convert to CSR, round-trip
+/// the binary format, check bit-identity against the adjacency oracle,
+/// time the full pipeline at each thread count, and (LFR) score the
+/// recovered communities against the planted ground truth.
+///
+/// # Panics
+///
+/// Panics if a pipeline run rejects its configuration — impossible for
+/// the thread counts in [`THREADS`].
+#[must_use]
+pub fn run_rung(spec: RungSpec, runs: usize) -> RungReport {
+    let (g, planted) = build_workload(spec);
+    let csr = CsrGraph::from_weighted(&g);
+
+    // Binary-format round trip, timed on the same rung payload.
+    let mut bytes = Vec::new();
+    let ((), wstats) = time_runs(1, || {
+        bytes.clear();
+        GraphFile::write(&csr, &mut bytes).expect("vec write cannot fail");
+    });
+    let (back, rstats) = time_runs(1, || {
+        GraphFile::read_streamed(bytes.as_slice()).expect("round trip of a valid graph")
+    });
+    let bin_roundtrip_ok = back == csr;
+
+    // Bit-identity: parallel Phase I on the CSR backend against the
+    // serial adjacency-list oracle.
+    let oracle = compute_similarities(&g).into_sorted();
+    let csr_sims = LinkClustering::new()
+        .threads(*THREADS.last().expect("non-empty"))
+        .similarities(&csr)
+        .expect("validated thread count");
+    let csr_matches_adjacency = oracle.len() == csr_sims.len()
+        && oracle
+            .entries()
+            .iter()
+            .zip(csr_sims.entries())
+            .all(|(a, b)| a.pair == b.pair && a.score.to_bits() == b.score.to_bits());
+
+    // Wall clock at every thread count, CSR backend, full pipeline.
+    let thread_samples: Vec<ThreadSample> = THREADS
+        .iter()
+        .map(|&threads| {
+            let facade = LinkClustering::new().threads(threads);
+            let (_, stats) = time_runs(runs, || facade.run(&csr).expect("validated thread count"));
+            ThreadSample { threads, min: stats.min, mean: stats.mean }
+        })
+        .collect();
+
+    // Ground-truth recovery on the LFR family: cut the dendrogram at
+    // its best partition density and score the edge communities.
+    let (nmi, pf1) = match &planted {
+        Some(p) => {
+            let result = LinkClustering::new().run(&csr).expect("serial run");
+            let labels = match result.dendrogram().best_density_cut(&csr) {
+                Some(cut) => result.output().edge_assignments_at_level(cut.level),
+                None => result.edge_assignments(),
+            };
+            (
+                Some(normalized_mutual_information(&p.edge_community, &labels)),
+                Some(pair_f1(&p.edge_community, &labels)),
+            )
+        }
+        None => (None, None),
+    };
+
+    RungReport {
+        spec,
+        vertices: g.vertex_count(),
+        edges: g.edge_count(),
+        csr_memory_bytes: csr.memory_bytes(),
+        bin_write: wstats.min,
+        bin_read: rstats.min,
+        bin_roundtrip_ok,
+        csr_matches_adjacency,
+        thread_samples,
+        nmi,
+        pair_f1: pf1,
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
+fn millis(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn f64_or_null(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_owned(), |x| format!("{x:.6}"))
+}
+
+impl RungReport {
+    /// The rung as one JSON object (the element of `"rungs"` in
+    /// `BENCH_scale.json`). `speedup` is self-relative: the rung's own
+    /// single-thread minimum over the minimum at that thread count.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let t1 = self
+            .thread_samples
+            .iter()
+            .find(|s| s.threads == 1)
+            .map_or(f64::NAN, |s| s.min.as_secs_f64());
+        let threads: Vec<String> = self
+            .thread_samples
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"threads\":{},\"min_ms\":{:.3},\"mean_ms\":{:.3},\"speedup\":{:.4}}}",
+                    s.threads,
+                    millis(s.min),
+                    millis(s.mean),
+                    t1 / s.min.as_secs_f64().max(1e-12),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"family\":\"{}\",\"tier\":{},\"vertices\":{},\"edges\":{},\
+              \"csr_memory_bytes\":{},\"peak_rss_bytes\":{},\
+              \"bin_write_ms\":{:.3},\"bin_read_ms\":{:.3},\"bin_roundtrip_ok\":{},\
+              \"csr_matches_adjacency\":{},\
+              \"threads\":[{}],\
+              \"nmi\":{},\"pair_f1\":{}}}",
+            self.spec.family.name(),
+            self.spec.tier,
+            self.vertices,
+            self.edges,
+            self.csr_memory_bytes,
+            self.peak_rss_bytes,
+            millis(self.bin_write),
+            millis(self.bin_read),
+            self.bin_roundtrip_ok,
+            self.csr_matches_adjacency,
+            threads.join(","),
+            f64_or_null(self.nmi),
+            f64_or_null(self.pair_f1),
+        )
+    }
+}
+
+/// Assembles the full `BENCH_scale.json` document from per-rung JSON
+/// objects (already serialized, in rung order).
+#[must_use]
+pub fn document_json(smoke: bool, runs: usize, rung_objects: &[String]) -> String {
+    let cores = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    format!(
+        "{{\"schema\":\"{SCHEMA}\",\"smoke\":{smoke},\"runs\":{runs},\
+          \"hardware\":{{\"cores\":{cores}}},\
+          \"ba_edge_cap\":{BA_EDGE_CAP},\
+          \"rungs\":[{}]}}",
+        rung_objects.join(","),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rung_ids_round_trip() {
+        for spec in rung_specs(false) {
+            assert_eq!(RungSpec::parse(&spec.id()), Some(spec));
+        }
+        assert_eq!(RungSpec::parse("nope:100"), None);
+        assert_eq!(RungSpec::parse("gnm:x"), None);
+        assert_eq!(RungSpec::parse("gnm"), None);
+    }
+
+    #[test]
+    fn smoke_grid_is_the_two_smallest_tiers() {
+        let smoke = rung_specs(true);
+        assert_eq!(smoke.len(), 6); // 3 families × 2 tiers
+        assert!(smoke.iter().all(|s| s.tier <= TIERS[1]));
+        let full = rung_specs(false);
+        // The full ladder reaches 10⁶ edges on gnm and LFR; BA is capped.
+        assert!(full.iter().any(|s| s.family == Family::Gnm && s.tier == 1_000_000));
+        assert!(full.iter().any(|s| s.family == Family::LfrLike && s.tier == 1_000_000));
+        assert!(full.iter().all(|s| s.family != Family::BarabasiAlbert || s.tier <= BA_EDGE_CAP));
+    }
+
+    #[test]
+    fn workloads_land_near_their_tier() {
+        for spec in rung_specs(true) {
+            let (g, planted) = build_workload(spec);
+            let m = g.edge_count();
+            assert!(
+                m >= spec.tier / 2 && m <= spec.tier + spec.tier / 2 + 64,
+                "{}: {m} edges for tier {}",
+                spec.id(),
+                spec.tier
+            );
+            match spec.family {
+                Family::LfrLike => {
+                    let p = planted.expect("LFR carries ground truth");
+                    assert_eq!(p.edge_community.len(), m);
+                }
+                _ => assert!(planted.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn smallest_rung_reports_are_complete_and_valid() {
+        let report = run_rung(RungSpec { family: Family::LfrLike, tier: 1_000 }, 1);
+        assert!(report.bin_roundtrip_ok);
+        assert!(report.csr_matches_adjacency);
+        assert_eq!(report.thread_samples.len(), THREADS.len());
+        let nmi = report.nmi.expect("LFR rungs are scored");
+        let f1 = report.pair_f1.expect("LFR rungs are scored");
+        assert!((0.0..=1.0).contains(&nmi), "{nmi}");
+        assert!((0.0..=1.0).contains(&f1), "{f1}");
+        // The JSON document is well-formed enough to contain the rung.
+        let doc = document_json(true, 1, &[report.to_json()]);
+        assert!(doc.contains("\"schema\":\"linkclust-bench-scale/v1\""));
+        assert!(doc.contains("\"family\":\"lfr_like\""));
+        assert!(doc.contains("\"nmi\":"));
+    }
+}

@@ -20,6 +20,7 @@ pub mod alloc;
 pub mod ascii;
 pub mod compare;
 pub mod figures;
+pub mod ladder;
 pub mod mapmerge;
 pub mod plots;
 pub mod spawnchunk;

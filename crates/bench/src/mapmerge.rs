@@ -48,7 +48,7 @@ pub fn compute_similarities_mapmerge(g: &WeightedGraph, threads: usize) -> PairS
     let mut norms = VertexNorms { h1: Vec::with_capacity(n), h2: Vec::with_capacity(n) };
     {
         let g = Arc::clone(&g);
-        let parts = pool.run_on_ranges(ranges.clone(), move |r| vertex_norms_range(&g, r));
+        let parts = pool.run_on_ranges(ranges.clone(), move |r| vertex_norms_range(&*g, r));
         for part in parts {
             norms.h1.extend(part.h1);
             norms.h2.extend(part.h2);
@@ -59,7 +59,7 @@ pub fn compute_similarities_mapmerge(g: &WeightedGraph, threads: usize) -> PairS
     // hierarchical pairwise merge this module exists to preserve.
     let maps = {
         let g = Arc::clone(&g);
-        pool.run_on_ranges(ranges, move |r| accumulate_pairs(&g, r.map(VertexId::new)))
+        pool.run_on_ranges(ranges, move |r| accumulate_pairs(&*g, r.map(VertexId::new)))
     };
     let acc = pool
         .reduce(maps, |mut a, b| {
@@ -70,8 +70,9 @@ pub fn compute_similarities_mapmerge(g: &WeightedGraph, threads: usize) -> PairS
 
     // Pass 3: finalize sequentially — pass 3 cost is shared by both
     // paths, and the A/B comparison targets pass 2.
+    let index = linkclust_graph::EdgeIndex::for_graph(&*g);
     let mut entries = acc.into_sorted_entries();
-    finalize_entries(&g, &norms, &mut entries);
+    finalize_entries(&index, &norms, &mut entries);
     entries_into_similarities(entries)
 }
 

@@ -9,10 +9,12 @@
 //! only the execution strategy differs, which is what the chunk
 //! throughput comparison in `bench_smoke` and `pool_bench` isolates.
 
+use std::sync::Arc;
+
 use linkclust_core::cluster_array::{partition_diff, MergeOutcome};
 use linkclust_core::coarse::{ChunkProcessor, SerialChunkProcessor};
 use linkclust_core::{ClusterArray, SimilarityEntry};
-use linkclust_graph::WeightedGraph;
+use linkclust_graph::EdgeIndex;
 use linkclust_parallel::merge::merge_cluster_arrays;
 use linkclust_parallel::pool::{balanced_partition_by_weight, join_propagating};
 
@@ -75,13 +77,13 @@ fn scoped_reduce<T: Send>(mut items: Vec<T>, combine: impl Fn(T, T) -> T + Sync)
 impl ChunkProcessor for SpawnPerChunkProcessor {
     fn process_entries(
         &mut self,
-        g: &WeightedGraph,
+        index: &Arc<EdgeIndex>,
         slot_of_edge: &[u32],
         entries: &[SimilarityEntry],
         c: &mut ClusterArray,
     ) -> Vec<MergeOutcome> {
         if self.threads == 1 || entries.len() < self.threads * self.min_entries_per_thread {
-            return SerialChunkProcessor.process_entries(g, slot_of_edge, entries, c);
+            return SerialChunkProcessor.process_entries(index, slot_of_edge, entries, c);
         }
         let base = c.clone();
         let weights: Vec<u64> = entries.iter().map(|e| e.pair_count() as u64).collect();
@@ -97,7 +99,7 @@ impl ChunkProcessor for SpawnPerChunkProcessor {
                     s.spawn(move || {
                         let mut local = base.clone();
                         SerialChunkProcessor.process_entries(
-                            g,
+                            index,
                             slot_of_edge,
                             &entries[r],
                             &mut local,

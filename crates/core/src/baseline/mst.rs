@@ -9,7 +9,7 @@
 //! than the O(|E|²) matrix baseline, but it must *expand* all K₂ pairs,
 //! unlike the sweep which sorts only the K₁ vertex-pair entries.
 
-use linkclust_graph::WeightedGraph;
+use linkclust_graph::{EdgeIndex, GraphView};
 
 use crate::dendrogram::{Dendrogram, MergeRecord};
 use crate::similarity::PairSimilarities;
@@ -57,16 +57,17 @@ impl MstClustering {
     /// endpoints in `g`, i.e. if the similarities were computed over a
     /// different graph.
     #[must_use]
-    pub fn run(&self, g: &WeightedGraph, sims: &PairSimilarities) -> Dendrogram {
+    pub fn run<G: GraphView + ?Sized>(&self, g: &G, sims: &PairSimilarities) -> Dendrogram {
         let n = g.edge_count();
+        let index = EdgeIndex::for_graph(g);
         // Expand every (vertex pair, common neighbor) into an edge pair.
         let mut arcs: Vec<(f64, u32, u32)> =
             Vec::with_capacity(sims.incident_pair_count() as usize);
         for entry in sims.entries() {
             let (vi, vj) = (entry.pair.first(), entry.pair.second());
             for &vk in &entry.common_neighbors {
-                let e1 = g.edge_between(vi, vk).expect("common neighbor implies edge");
-                let e2 = g.edge_between(vj, vk).expect("common neighbor implies edge");
+                let e1 = index.edge_between(vi, vk).expect("common neighbor implies edge");
+                let e2 = index.edge_between(vj, vk).expect("common neighbor implies edge");
                 arcs.push((entry.score, e1.index() as u32, e2.index() as u32));
             }
         }

@@ -8,7 +8,7 @@
 //! and space are quadratic in the number of edges — the paper could not
 //! run it past α = 0.001 on a 64 GB machine.
 
-use linkclust_graph::WeightedGraph;
+use linkclust_graph::{EdgeIndex, GraphView};
 
 use crate::dendrogram::{Dendrogram, MergeRecord};
 use crate::similarity::PairSimilarities;
@@ -67,19 +67,20 @@ impl NbmClustering {
     /// Panics if `sims` references vertices without a connecting edge in
     /// `g`.
     #[must_use]
-    pub fn run(&self, g: &WeightedGraph, sims: &PairSimilarities) -> Dendrogram {
+    pub fn run<G: GraphView + ?Sized>(&self, g: &G, sims: &PairSimilarities) -> Dendrogram {
         let n = g.edge_count();
         if n == 0 {
             return Dendrogram::from_merges(0, Vec::new());
         }
+        let index = EdgeIndex::for_graph(g);
         // The quadratic similarity matrix — deliberately materialized in
         // full; its footprint is the subject of Fig. 4(3).
         let mut sim = vec![0.0f64; n * n];
         for entry in sims.entries() {
             let (vi, vj) = (entry.pair.first(), entry.pair.second());
             for &vk in &entry.common_neighbors {
-                let e1 = g.edge_between(vi, vk).expect("common neighbor implies edge").index();
-                let e2 = g.edge_between(vj, vk).expect("common neighbor implies edge").index();
+                let e1 = index.edge_between(vi, vk).expect("common neighbor implies edge").index();
+                let e2 = index.edge_between(vj, vk).expect("common neighbor implies edge").index();
                 sim[e1 * n + e2] = entry.score;
                 sim[e2 * n + e1] = entry.score;
             }

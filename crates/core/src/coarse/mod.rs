@@ -27,7 +27,9 @@ pub mod machine;
 
 mod epoch;
 
-use linkclust_graph::WeightedGraph;
+use std::sync::Arc;
+
+use linkclust_graph::{EdgeIndex, GraphView};
 
 use crate::cluster_array::{partition_diff, ClusterArray, MergeOutcome};
 use crate::dendrogram::{Dendrogram, MergeRecord};
@@ -93,7 +95,7 @@ impl CoarseConfig {
     /// assert!(cfg.phi <= 100 && cfg.initial_chunk >= 8);
     /// ```
     #[must_use]
-    pub fn auto_tuned(g: &WeightedGraph, sims: &PairSimilarities) -> Self {
+    pub fn auto_tuned<G: GraphView + ?Sized>(g: &G, sims: &PairSimilarities) -> Self {
         CoarseConfig {
             phi: 100.min((g.edge_count() / 4).max(1)),
             initial_chunk: (sims.incident_pair_count() / 1500).max(8),
@@ -375,6 +377,13 @@ impl CoarseResult {
 /// multi-threaded one (per-thread copies of `C` merged hierarchically,
 /// §VI-B) lives in the `linkclust-parallel` crate.
 ///
+/// Edge lookups go through a precomputed [`EdgeIndex`] rather than the
+/// graph itself — the only graph access the merge loop needs is
+/// `(vertex, vertex) → edge id`, and the index answers it in O(1) for
+/// any [`GraphView`] backend. The index is
+/// passed as an [`Arc`] so multi-threaded processors can clone the
+/// handle into worker tasks without copying the table.
+///
 /// Implementations must bring `c` to the partition obtained by merging,
 /// for every entry and every common neighbor `vₖ`, the clusters of edges
 /// `(vᵢ, vₖ)` and `(vⱼ, vₖ)`. The returned outcomes must be a valid merge
@@ -384,7 +393,7 @@ pub trait ChunkProcessor {
     /// Processes `entries` against `c`, returning the merge events.
     fn process_entries(
         &mut self,
-        g: &WeightedGraph,
+        index: &Arc<EdgeIndex>,
         slot_of_edge: &[u32],
         entries: &[crate::similarity::SimilarityEntry],
         c: &mut ClusterArray,
@@ -400,10 +409,11 @@ impl ChunkProcessor for SerialChunkProcessor {
     /// # Panics
     ///
     /// Panics if an entry lists a common neighbor with no edge to both
-    /// endpoints in `g` — the entries must have been computed over `g`.
+    /// endpoints in the indexed graph — the entries must have been
+    /// computed over the same graph the index was built from.
     fn process_entries(
         &mut self,
-        g: &WeightedGraph,
+        index: &Arc<EdgeIndex>,
         slot_of_edge: &[u32],
         entries: &[crate::similarity::SimilarityEntry],
         c: &mut ClusterArray,
@@ -412,8 +422,8 @@ impl ChunkProcessor for SerialChunkProcessor {
         for entry in entries {
             let (vi, vj) = (entry.pair.first(), entry.pair.second());
             for &vk in &entry.common_neighbors {
-                let e1 = g.edge_between(vi, vk).expect("common neighbor implies edge (vi, vk)");
-                let e2 = g.edge_between(vj, vk).expect("common neighbor implies edge (vj, vk)");
+                let e1 = index.edge_between(vi, vk).expect("common neighbor implies edge (vi, vk)");
+                let e2 = index.edge_between(vj, vk).expect("common neighbor implies edge (vj, vk)");
                 let s1 = slot_of_edge[e1.index()] as usize;
                 let s2 = slot_of_edge[e2.index()] as usize;
                 if let Some(o) = c.merge(s1, s2) {
@@ -450,8 +460,8 @@ impl ChunkProcessor for SerialChunkProcessor {
 /// });
 /// assert!(result.dendrogram().levels() > 0);
 /// ```
-pub fn coarse_sweep(
-    g: &WeightedGraph,
+pub fn coarse_sweep<G: GraphView + ?Sized>(
+    g: &G,
     sorted: &PairSimilarities,
     config: CoarseConfig,
 ) -> CoarseResult {
@@ -464,8 +474,8 @@ pub fn coarse_sweep(
 /// # Panics
 ///
 /// Same conditions as [`coarse_sweep`].
-pub fn coarse_sweep_with<P: ChunkProcessor>(
-    g: &WeightedGraph,
+pub fn coarse_sweep_with<G: GraphView + ?Sized, P: ChunkProcessor>(
+    g: &G,
     sorted: &PairSimilarities,
     config: CoarseConfig,
     processor: &mut P,
@@ -481,8 +491,8 @@ pub fn coarse_sweep_with<P: ChunkProcessor>(
 /// # Panics
 ///
 /// Same conditions as [`coarse_sweep`].
-pub fn coarse_sweep_instrumented<P: ChunkProcessor>(
-    g: &WeightedGraph,
+pub fn coarse_sweep_instrumented<G: GraphView + ?Sized, P: ChunkProcessor>(
+    g: &G,
     sorted: &PairSimilarities,
     config: CoarseConfig,
     processor: &mut P,
@@ -492,6 +502,9 @@ pub fn coarse_sweep_instrumented<P: ChunkProcessor>(
     config.validate().unwrap_or_else(|e| panic!("invalid coarse config: {e}"));
 
     let m = g.edge_count();
+    // One index serves every epoch (including rollback retries); shared
+    // by Arc so parallel processors can hand it to worker tasks.
+    let index = Arc::new(EdgeIndex::for_graph(g));
     let slot_of_edge = config.edge_order.permutation(m);
     let entries = sorted.entries();
     let pairs_total = sorted.incident_pair_count();
@@ -551,7 +564,7 @@ pub fn coarse_sweep_instrumented<P: ChunkProcessor>(
                 break;
             }
         }
-        let pending = processor.process_entries(g, &slot_of_edge, &entries[p..q], &mut c);
+        let pending = processor.process_entries(&index, &slot_of_edge, &entries[p..q], &mut c);
         let beta_prime = c.cluster_count();
         let forced = q == p + 1 && xi_new >= big_delta + delta;
         let decision = transition(
@@ -719,6 +732,7 @@ mod tests {
     use crate::reference::canonical_labels;
     use crate::sweep::{sweep, SweepConfig};
     use linkclust_graph::generate::{barabasi_albert, gnm, WeightMode};
+    use linkclust_graph::WeightedGraph;
 
     fn sims_for(g: &WeightedGraph) -> PairSimilarities {
         compute_similarities(g).into_sorted()

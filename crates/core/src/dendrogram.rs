@@ -7,7 +7,7 @@
 //! yields a flat partition of the edges — a set of *link communities* —
 //! whose quality can be measured with the partition density of Ahn et al.
 
-use linkclust_graph::WeightedGraph;
+use linkclust_graph::{EdgeId, GraphView};
 
 use crate::unionfind::UnionFind;
 
@@ -155,7 +155,7 @@ impl Dendrogram {
     ///
     /// Panics if `g` does not have exactly `edge_count` edges.
     #[must_use]
-    pub fn best_density_cut(&self, g: &WeightedGraph) -> Option<DensityCut> {
+    pub fn best_density_cut<G: GraphView + ?Sized>(&self, g: &G) -> Option<DensityCut> {
         assert_eq!(g.edge_count(), self.edge_count, "dendrogram does not match graph");
         if self.edge_count == 0 {
             return None;
@@ -163,9 +163,11 @@ impl Dendrogram {
         let m_total = self.edge_count as f64;
         // Per-cluster state, keyed by current root.
         let mut edge_counts: Vec<u64> = vec![1; self.edge_count];
-        let mut vertex_sets: Vec<std::collections::HashSet<u32>> = g
-            .edges()
-            .map(|(_, e)| [u32::from(e.source), u32::from(e.target)].into_iter().collect())
+        let mut vertex_sets: Vec<std::collections::HashSet<u32>> = (0..self.edge_count)
+            .map(|e| {
+                let (s, t) = g.edge_endpoints(EdgeId::new(e));
+                [u32::from(s), u32::from(t)].into_iter().collect()
+            })
             .collect();
         let mut uf = UnionFind::new(self.edge_count);
         // Σ m_c · D_c over clusters; singletons contribute 0.
@@ -238,7 +240,7 @@ fn density_term(m_c: u64, n_c: usize) -> f64 {
 ///
 /// Panics if `labels.len() != g.edge_count()`.
 #[must_use]
-pub fn partition_density(g: &WeightedGraph, labels: &[u32]) -> f64 {
+pub fn partition_density<G: GraphView + ?Sized>(g: &G, labels: &[u32]) -> f64 {
     assert_eq!(labels.len(), g.edge_count(), "one label per edge required");
     if labels.is_empty() {
         return 0.0;
@@ -246,11 +248,12 @@ pub fn partition_density(g: &WeightedGraph, labels: &[u32]) -> f64 {
     use std::collections::{HashMap, HashSet};
     let mut edges_of: HashMap<u32, u64> = HashMap::new();
     let mut verts_of: HashMap<u32, HashSet<u32>> = HashMap::new();
-    for ((_, e), &l) in g.edges().zip(labels) {
+    for (e, &l) in labels.iter().enumerate().map(|(e, l)| (EdgeId::new(e), l)) {
+        let (source, target) = g.edge_endpoints(e);
         *edges_of.entry(l).or_default() += 1;
         let set = verts_of.entry(l).or_default();
-        set.insert(e.source.into());
-        set.insert(e.target.into());
+        set.insert(source.into());
+        set.insert(target.into());
     }
     let sum: f64 = edges_of.iter().map(|(l, &m_c)| density_term(m_c, verts_of[l].len())).sum();
     2.0 / g.edge_count() as f64 * sum

@@ -150,6 +150,45 @@ pub fn normalized_mutual_information(a: &[u32], b: &[u32]) -> f64 {
     2.0 * mi / (h_a + h_b)
 }
 
+/// The pair-counting F1 score: precision and recall over item pairs
+/// placed together, with `a` as the ground truth — `precision` is the
+/// fraction of `b`'s together-pairs that are truly together, `recall`
+/// the fraction of true together-pairs that `b` recovers, and F1 their
+/// harmonic mean. 1.0 for identical partitions. Returns 1.0 when
+/// neither labelling groups any pair, and 0.0 when exactly one does.
+///
+/// The scale ladder reports this alongside NMI when scoring recovered
+/// link communities against planted ground truth.
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_core::evaluate::pair_f1;
+///
+/// assert_eq!(pair_f1(&[0, 0, 1, 1], &[5, 5, 9, 9]), 1.0);
+/// assert!(pair_f1(&[0, 0, 1, 1], &[0, 1, 0, 1]) < 0.5);
+/// ```
+#[must_use]
+pub fn pair_f1(a: &[u32], b: &[u32]) -> f64 {
+    let t = Contingency::new(a, b);
+    let together_both: f64 = t.cells.values().map(|&c| choose2(c)).sum();
+    let together_a: f64 = t.rows.values().map(|&c| choose2(c)).sum();
+    let together_b: f64 = t.cols.values().map(|&c| choose2(c)).sum();
+    if together_a == 0.0 && together_b == 0.0 {
+        return 1.0;
+    }
+    if together_a == 0.0 || together_b == 0.0 {
+        return 0.0;
+    }
+    let precision = together_both / together_b;
+    let recall = together_both / together_a;
+    if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
 /// Normalized mutual information for **overlapping covers**
 /// (Lancichinetti, Fortunato & Kertész, 2009): each community is a set
 /// of vertex indices, and a vertex may belong to any number of
@@ -261,6 +300,28 @@ mod tests {
         assert_eq!(rand_index(&a, &b), 1.0);
         assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
         assert!((normalized_mutual_information(&a, &b) - 1.0).abs() < 1e-12);
+        assert_eq!(pair_f1(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn pair_f1_edge_cases_and_symmetry() {
+        // All-singleton vs all-singleton: vacuous agreement.
+        assert_eq!(pair_f1(&[0, 1, 2], &[5, 6, 7]), 1.0);
+        // One side groups pairs, the other none: zero recall or precision.
+        assert_eq!(pair_f1(&[0, 0, 0], &[0, 1, 2]), 0.0);
+        assert_eq!(pair_f1(&[0, 1, 2], &[0, 0, 0]), 0.0);
+        // Orthogonal partitions of 4 items share no together-pair.
+        assert_eq!(pair_f1(&[0, 0, 1, 1], &[0, 1, 0, 1]), 0.0);
+        // Refinement: fine has 2 of coarse's 6+6 together-pairs per block.
+        let coarse = [0u32, 0, 0, 0, 1, 1, 1, 1];
+        let fine = [0u32, 0, 1, 1, 2, 2, 3, 3];
+        let f = pair_f1(&coarse, &fine);
+        // TP = 4, truth pairs = 12, predicted pairs = 4 → F1 = 8/16.
+        assert!((f - 0.5).abs() < 1e-12, "{f}");
+        let a = [0u32, 0, 1, 2, 2, 1, 0];
+        let b = [1u32, 0, 1, 1, 2, 2, 0];
+        assert!((pair_f1(&a, &b) - pair_f1(&b, &a)).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&pair_f1(&a, &b)));
     }
 
     #[test]

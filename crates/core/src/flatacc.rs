@@ -26,7 +26,7 @@
 //!
 //! [`PairAccumulator`]: crate::init::PairAccumulator
 
-use linkclust_graph::{VertexId, WeightedGraph};
+use linkclust_graph::{GraphView, VertexId};
 
 use crate::init::RawPairEntry;
 use crate::similarity::VertexPair;
@@ -152,7 +152,7 @@ impl FlatPairAccumulator {
     /// one pair, so distinct pairs ≤ records). The table estimate is
     /// additionally clamped by the all-pairs bound C(|V|, 2).
     #[must_use]
-    pub fn for_graph(g: &WeightedGraph) -> Self {
+    pub fn for_graph<G: GraphView + ?Sized>(g: &G) -> Self {
         let k2 = linkclust_graph::stats::count_incident_edge_pairs(g);
         let n = g.vertex_count() as u64;
         let all_pairs = n * n.saturating_sub(1) / 2;
@@ -267,7 +267,7 @@ impl FlatPairAccumulator {
     /// Processes one vertex `v` (the body of the pass-2 loop): every
     /// unordered pair of `v`'s neighbors `(vⱼ, vₖ)` accrues `w_vj·w_vk`
     /// and records `v` as a common neighbor.
-    pub fn process_vertex(&mut self, g: &WeightedGraph, v: VertexId) {
+    pub fn process_vertex<G: GraphView + ?Sized>(&mut self, g: &G, v: VertexId) {
         let nbrs = g.neighbors(v);
         let vid = u32::from(v);
         for (a, x) in nbrs.iter().enumerate() {
@@ -325,7 +325,7 @@ mod tests {
     use super::*;
     use crate::init::{accumulate_pairs, PairAccumulator};
     use linkclust_graph::generate::{barabasi_albert, gnm, WeightMode};
-    use linkclust_graph::GraphBuilder;
+    use linkclust_graph::{GraphBuilder, WeightedGraph};
 
     fn flat_over(g: &WeightedGraph) -> FlatPairAccumulator {
         let mut acc = FlatPairAccumulator::for_graph(g);

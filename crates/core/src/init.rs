@@ -34,7 +34,7 @@
 
 use std::collections::HashMap;
 
-use linkclust_graph::{VertexId, WeightedGraph};
+use linkclust_graph::{EdgeIndex, GraphView, VertexId};
 
 use crate::similarity::{PairSimilarities, SimilarityEntry, VertexPair};
 use crate::telemetry::{Counter, Gauge, Phase, Telemetry};
@@ -53,7 +53,10 @@ pub struct VertexNorms {
 /// `[range.start, range.end)`. Pass the full range `0..|V|` for the
 /// serial algorithm.
 #[must_use]
-pub fn vertex_norms_range(g: &WeightedGraph, range: std::ops::Range<usize>) -> VertexNorms {
+pub fn vertex_norms_range<G: GraphView + ?Sized>(
+    g: &G,
+    range: std::ops::Range<usize>,
+) -> VertexNorms {
     let mut h1 = Vec::with_capacity(range.len());
     let mut h2 = Vec::with_capacity(range.len());
     for i in range {
@@ -73,7 +76,7 @@ pub fn vertex_norms_range(g: &WeightedGraph, range: std::ops::Range<usize>) -> V
 
 /// Pass 1 over the whole graph.
 #[must_use]
-pub fn vertex_norms(g: &WeightedGraph) -> VertexNorms {
+pub fn vertex_norms<G: GraphView + ?Sized>(g: &G) -> VertexNorms {
     vertex_norms_range(g, 0..g.vertex_count())
 }
 
@@ -129,7 +132,7 @@ impl PairAccumulator {
     /// Processes one vertex `v` (the body of the pass-2 loop): every
     /// unordered pair of `v`'s neighbors `(vⱼ, vₖ)` accrues
     /// `w_vj · w_vk` and records `v` as a common neighbor.
-    pub fn process_vertex(&mut self, g: &WeightedGraph, v: VertexId) {
+    pub fn process_vertex<G: GraphView + ?Sized>(&mut self, g: &G, v: VertexId) {
         let nbrs = g.neighbors(v);
         for (a, x) in nbrs.iter().enumerate() {
             for y in &nbrs[a + 1..] {
@@ -178,8 +181,9 @@ impl PairAccumulator {
 
 /// Pass 2 over a set of vertices (the serial algorithm passes all of
 /// them).
-pub fn accumulate_pairs<I>(g: &WeightedGraph, vertices: I) -> PairAccumulator
+pub fn accumulate_pairs<G, I>(g: &G, vertices: I) -> PairAccumulator
 where
+    G: GraphView + ?Sized,
     I: IntoIterator<Item = VertexId>,
 {
     let mut acc = PairAccumulator::new();
@@ -194,11 +198,14 @@ where
 /// replaces each running sum with the final Tanimoto similarity
 /// `s / (H₂[i] + H₂[j] − s)`.
 ///
-/// The parallel third pass calls this on disjoint sub-slices.
-pub fn finalize_entries(g: &WeightedGraph, norms: &VertexNorms, entries: &mut [RawPairEntry]) {
+/// Adjacency is resolved through a precomputed [`EdgeIndex`] — O(1) per
+/// entry instead of the per-query adjacency scans this pass used to
+/// issue. The parallel third pass calls this on disjoint sub-slices,
+/// sharing one index.
+pub fn finalize_entries(index: &EdgeIndex, norms: &VertexNorms, entries: &mut [RawPairEntry]) {
     for e in entries {
         let (i, j) = (e.pair.first().index(), e.pair.second().index());
-        if let Some(w) = g.weight_between(e.pair.first(), e.pair.second()) {
+        if let Some(w) = index.weight_between(e.pair.first(), e.pair.second()) {
             e.value += (norms.h1[i] + norms.h1[j]) * w;
         }
         let denom = norms.h2[i] + norms.h2[j] - e.value;
@@ -242,7 +249,7 @@ pub fn entries_into_similarities(entries: Vec<RawPairEntry>) -> PairSimilarities
 /// # Ok::<(), linkclust_graph::GraphError>(())
 /// ```
 #[must_use]
-pub fn compute_similarities(g: &WeightedGraph) -> PairSimilarities {
+pub fn compute_similarities<G: GraphView + ?Sized>(g: &G) -> PairSimilarities {
     compute_similarities_with(g, &Telemetry::disabled())
 }
 
@@ -250,7 +257,10 @@ pub fn compute_similarities(g: &WeightedGraph) -> PairSimilarities {
 /// under its own span ([`Phase::InitPass1`]–[`Phase::InitPass3`]) and the
 /// K₁/K₂ counters are recorded.
 #[must_use]
-pub fn compute_similarities_with(g: &WeightedGraph, telemetry: &Telemetry) -> PairSimilarities {
+pub fn compute_similarities_with<G: GraphView + ?Sized>(
+    g: &G,
+    telemetry: &Telemetry,
+) -> PairSimilarities {
     let norms = {
         let _span = telemetry.span(Phase::InitPass1);
         vertex_norms(g)
@@ -268,7 +278,8 @@ pub fn compute_similarities_with(g: &WeightedGraph, telemetry: &Telemetry) -> Pa
     let mut entries = acc.into_sorted_entries();
     {
         let _span = telemetry.span(Phase::InitPass3);
-        finalize_entries(g, &norms, &mut entries);
+        let index = EdgeIndex::for_graph(g);
+        finalize_entries(&index, &norms, &mut entries);
     }
     let sims = entries_into_similarities(entries);
     telemetry.add(Counter::IncidentPairsK2, sims.incident_pair_count());

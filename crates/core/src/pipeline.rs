@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use linkclust_graph::WeightedGraph;
+use linkclust_graph::GraphView;
 
 use crate::coarse::{coarse_sweep_instrumented, CoarseConfig, CoarseResult, SerialChunkProcessor};
 use crate::dendrogram::Dendrogram;
@@ -134,9 +134,10 @@ impl LinkClustering {
         }
     }
 
-    /// Runs both phases on `g`.
+    /// Runs both phases on `g` — any [`GraphView`] backend
+    /// (adjacency-list or CSR) yields bit-identical results.
     #[must_use]
-    pub fn run(&self, g: &WeightedGraph) -> ClusteringResult {
+    pub fn run<G: GraphView + ?Sized>(&self, g: &G) -> ClusteringResult {
         let (telemetry, recorder) = self.build_telemetry();
         let sims = compute_similarities_with(g, &telemetry);
         let sims = {
@@ -156,9 +157,9 @@ impl LinkClustering {
     /// a default-valued config, and a **conflicting** non-default config
     /// value is rejected with [`ConfigError::EdgeOrderConflict`] instead
     /// of silently overwritten.
-    pub fn run_coarse(
+    pub fn run_coarse<G: GraphView + ?Sized>(
         &self,
-        g: &WeightedGraph,
+        g: &G,
         config: CoarseConfig,
     ) -> Result<CoarseResult, ConfigError> {
         let config = self.reconcile_coarse(config)?;

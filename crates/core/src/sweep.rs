@@ -11,7 +11,7 @@
 //! all merges in a chunk share a level, and per-level statistics (writes
 //! to `C`, surviving clusters) are traced.
 
-use linkclust_graph::WeightedGraph;
+use linkclust_graph::{EdgeIndex, GraphView};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -176,7 +176,11 @@ impl SweepOutput {
 /// # Ok::<(), linkclust_graph::GraphError>(())
 /// ```
 #[must_use]
-pub fn sweep(g: &WeightedGraph, sorted: &PairSimilarities, config: SweepConfig) -> SweepOutput {
+pub fn sweep<G: GraphView + ?Sized>(
+    g: &G,
+    sorted: &PairSimilarities,
+    config: SweepConfig,
+) -> SweepOutput {
     sweep_with(g, sorted, config, &Telemetry::disabled())
 }
 
@@ -191,8 +195,8 @@ pub fn sweep(g: &WeightedGraph, sorted: &PairSimilarities, config: SweepConfig) 
 /// neighbor with no edge to both endpoints in `g` — i.e. if the
 /// similarities were computed over a different graph.
 #[must_use]
-pub fn sweep_with(
-    g: &WeightedGraph,
+pub fn sweep_with<G: GraphView + ?Sized>(
+    g: &G,
     sorted: &PairSimilarities,
     config: SweepConfig,
     telemetry: &Telemetry,
@@ -200,6 +204,9 @@ pub fn sweep_with(
     assert!(sorted.is_sorted(), "sweep requires a sorted pair list; call into_sorted()");
     let span = telemetry.span(Phase::Sweep);
     let m = g.edge_count();
+    // One O(m) index build replaces the 2·K2 per-query adjacency scans
+    // the merge loop used to issue.
+    let index = EdgeIndex::for_graph(g);
     let slot_of_edge = config.edge_order.permutation(m);
     let mut c = ClusterArray::new(m);
     let mut merges = Vec::new();
@@ -214,8 +221,8 @@ pub fn sweep_with(
         }
         let (vi, vj) = (entry.pair.first(), entry.pair.second());
         for &vk in &entry.common_neighbors {
-            let e1 = g.edge_between(vi, vk).expect("common neighbor implies edge (vi, vk)");
-            let e2 = g.edge_between(vj, vk).expect("common neighbor implies edge (vj, vk)");
+            let e1 = index.edge_between(vi, vk).expect("common neighbor implies edge (vi, vk)");
+            let e2 = index.edge_between(vj, vk).expect("common neighbor implies edge (vj, vk)");
             let s1 = slot_of_edge[e1.index()] as usize;
             let s2 = slot_of_edge[e2.index()] as usize;
             if let Some(out) = c.merge(s1, s2) {
@@ -273,8 +280,8 @@ pub struct ChunkTrace {
 ///
 /// Panics if `chunk_size == 0` or `sorted` is unsorted.
 #[must_use]
-pub fn fixed_chunk_sweep(
-    g: &WeightedGraph,
+pub fn fixed_chunk_sweep<G: GraphView + ?Sized>(
+    g: &G,
     sorted: &PairSimilarities,
     chunk_size: u64,
     edge_order: EdgeOrder,
@@ -282,6 +289,7 @@ pub fn fixed_chunk_sweep(
     assert!(chunk_size > 0, "chunk size must be positive");
     assert!(sorted.is_sorted(), "sweep requires a sorted pair list; call into_sorted()");
     let m = g.edge_count();
+    let index = EdgeIndex::for_graph(g);
     let slot_of_edge = edge_order.permutation(m);
     let mut c = ClusterArray::new(m);
     let mut merges = Vec::new();
@@ -291,8 +299,8 @@ pub fn fixed_chunk_sweep(
     for entry in sorted.entries() {
         let (vi, vj) = (entry.pair.first(), entry.pair.second());
         for &vk in &entry.common_neighbors {
-            let e1 = g.edge_between(vi, vk).expect("common neighbor implies edge (vi, vk)");
-            let e2 = g.edge_between(vj, vk).expect("common neighbor implies edge (vj, vk)");
+            let e1 = index.edge_between(vi, vk).expect("common neighbor implies edge (vi, vk)");
+            let e2 = index.edge_between(vj, vk).expect("common neighbor implies edge (vj, vk)");
             let s1 = slot_of_edge[e1.index()] as usize;
             let s2 = slot_of_edge[e2.index()] as usize;
             if let Some(out) = c.merge(s1, s2) {
@@ -336,7 +344,7 @@ mod tests {
     use crate::init::compute_similarities;
     use crate::reference::{canonical_labels, single_linkage_at_threshold};
     use linkclust_graph::generate::{gnm, WeightMode};
-    use linkclust_graph::GraphBuilder;
+    use linkclust_graph::{GraphBuilder, WeightedGraph};
 
     fn two_triangles_with_bridge() -> WeightedGraph {
         GraphBuilder::from_edges(

@@ -1,7 +1,7 @@
 //! Per-thread event tracing with Chrome trace-event export.
 //!
 //! A [`TraceCollector`] records timestamped begin/end events — pipeline
-//! [`Phase`](super::Phase) spans and worker-pool task executions — into
+//! [`Phase`] spans and worker-pool task executions — into
 //! fixed-capacity **per-thread ring buffers** and drains them at run end
 //! into Chrome trace-event JSON ([`TraceCollector::to_chrome_json`])
 //! viewable in [Perfetto](https://ui.perfetto.dev) or
@@ -11,7 +11,7 @@
 //!
 //! The recording path takes **no locks and performs no allocation**:
 //!
-//! * Each recording thread owns one [ring](struct@ThreadRing) — three
+//! * Each recording thread owns one ring (`ThreadRing`) — three
 //!   `u64` slot arrays (label, start, duration) plus a single atomic
 //!   write cursor. The owning thread is the only writer, so a push is
 //!   three relaxed slot stores followed by one release cursor store; the

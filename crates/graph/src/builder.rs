@@ -5,11 +5,21 @@ use std::collections::HashSet;
 use crate::graph::{Edge, Neighbor};
 use crate::{EdgeId, GraphError, VertexId, Weight, WeightedGraph};
 
-/// Builder for [`WeightedGraph`].
+/// Builder for [`WeightedGraph`] and [`CsrGraph`](crate::CsrGraph).
 ///
 /// Vertices are added first (densely numbered in insertion order), then
 /// edges. Edges are validated eagerly: endpoints must exist, self-loops and
 /// duplicates are rejected, weights must be finite and positive.
+///
+/// Construction is two-stage: the accumulation stage (`add_vertex` /
+/// `add_edge`) is backend-agnostic, and the finalization stage picks the
+/// backend — [`build`](Self::build) for the adjacency-list
+/// [`WeightedGraph`], [`build_csr`](Self::build_csr) for the compact
+/// CSR backend. Both finalizers assign identical edge ids and identical
+/// id-sorted neighbor slabs, so downstream algorithms behave
+/// bit-identically on either. Code migrating from `build()` can switch
+/// to `build_csr()` wherever it only needs
+/// [`GraphView`](crate::GraphView) access.
 ///
 /// # Examples
 ///
@@ -163,6 +173,28 @@ impl GraphBuilder {
             adj[offsets[v]..offsets[v + 1]].sort_unstable_by_key(|nb| nb.vertex);
         }
         WeightedGraph { offsets, adj, edges: self.edges }
+    }
+
+    /// Finalizes the builder into a compact [`CsrGraph`](crate::CsrGraph)
+    /// — same edge ids and neighbor slabs as [`build`](Self::build), in
+    /// `u32`-offset struct-of-arrays storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph exceeds `u32` adjacency capacity
+    /// (`2 · edge_count > u32::MAX`).
+    #[must_use]
+    pub fn build_csr(self) -> crate::CsrGraph {
+        let m = self.edges.len();
+        let mut source = Vec::with_capacity(m);
+        let mut target = Vec::with_capacity(m);
+        let mut weight = Vec::with_capacity(m);
+        for e in &self.edges {
+            source.push(e.source.index() as u32);
+            target.push(e.target.index() as u32);
+            weight.push(e.weight);
+        }
+        crate::CsrGraph::from_edge_arrays(self.vertex_count, &source, &target, &weight)
     }
 }
 

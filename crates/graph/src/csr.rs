@@ -1,0 +1,235 @@
+//! The compact CSR graph backend for million-edge workloads.
+//!
+//! [`CsrGraph`] stores the same logical graph as
+//! [`WeightedGraph`](crate::WeightedGraph) — identical id-sorted
+//! neighbor slabs, identical insertion-order edge ids — but with `u32`
+//! offsets and struct-of-arrays edge storage, cutting per-edge memory
+//! and keeping the arrays the Phase-I/II hot loops stream over
+//! contiguous. Because the slabs and ids match exactly, every algorithm
+//! generic over [`GraphView`] produces bit-identical output on either
+//! backend (the property tests in `tests/csr_equivalence.rs` enforce
+//! this).
+//!
+//! Build one with [`GraphBuilder::build_csr`](crate::GraphBuilder::build_csr),
+//! convert an existing graph with [`CsrGraph::from_weighted`], or load
+//! the binary on-disk format with
+//! [`GraphFile::read_streamed`](crate::GraphFile::read_streamed).
+
+use crate::view::GraphView;
+use crate::{EdgeId, Neighbor, VertexId, Weight, WeightedGraph};
+
+/// A weighted undirected graph in compressed-sparse-row form with `u32`
+/// offsets and struct-of-arrays edge storage.
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_graph::{CsrGraph, GraphBuilder, GraphView, VertexId};
+///
+/// let mut b = GraphBuilder::with_vertices(3);
+/// b.add_edge(VertexId::new(0), VertexId::new(1), 1.0)?;
+/// b.add_edge(VertexId::new(1), VertexId::new(2), 0.5)?;
+/// let g: CsrGraph = b.build_csr();
+/// assert_eq!(g.vertex_count(), 3);
+/// assert_eq!(g.degree(VertexId::new(1)), 2);
+/// # Ok::<(), linkclust_graph::GraphError>(())
+/// ```
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct CsrGraph {
+    /// Slab boundaries: the adjacency of vertex `v` is
+    /// `adj[offsets[v]..offsets[v + 1]]`. Length `n + 1`.
+    offsets: Vec<u32>,
+    /// Neighbor slabs, each sorted by neighbor vertex id. Length `2m`.
+    adj: Vec<Neighbor>,
+    /// Canonical smaller endpoint per edge id.
+    edge_source: Vec<u32>,
+    /// Canonical larger endpoint per edge id.
+    edge_target: Vec<u32>,
+    /// Weight per edge id.
+    edge_weight: Vec<f64>,
+}
+
+impl CsrGraph {
+    /// Converts an adjacency-list graph, preserving slab order and edge
+    /// ids exactly.
+    #[must_use]
+    pub fn from_weighted(g: &WeightedGraph) -> Self {
+        let n = g.vertex_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut adj = Vec::with_capacity(2 * g.edge_count());
+        for v in 0..n {
+            adj.extend_from_slice(g.neighbors(VertexId::new(v)));
+            offsets.push(adj.len() as u32);
+        }
+        let mut edge_source = Vec::with_capacity(g.edge_count());
+        let mut edge_target = Vec::with_capacity(g.edge_count());
+        let mut edge_weight = Vec::with_capacity(g.edge_count());
+        for (_, e) in g.edges() {
+            edge_source.push(e.source.index() as u32);
+            edge_target.push(e.target.index() as u32);
+            edge_weight.push(e.weight);
+        }
+        CsrGraph { offsets, adj, edge_source, edge_target, edge_weight }
+    }
+
+    /// Builds CSR storage from parallel edge arrays by counting sort —
+    /// the same degree-count / prefix-sum / cursor-placement scheme as
+    /// [`GraphBuilder::build`](crate::GraphBuilder::build), so the
+    /// resulting slabs are identical to the adjacency-list backend's.
+    ///
+    /// Endpoints are canonicalized; edges are assumed validated (in
+    /// range, no self-loops, no duplicates, positive finite weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph exceeds `u32` capacity (`2m > u32::MAX`).
+    pub(crate) fn from_edge_arrays(
+        n: usize,
+        source: &[u32],
+        target: &[u32],
+        weight: &[f64],
+    ) -> Self {
+        let m = source.len();
+        debug_assert_eq!(target.len(), m);
+        debug_assert_eq!(weight.len(), m);
+        assert!(2 * m <= u32::MAX as usize, "graph exceeds u32 adjacency capacity");
+        let mut edge_source = Vec::with_capacity(m);
+        let mut edge_target = Vec::with_capacity(m);
+        for (&u, &v) in source.iter().zip(target) {
+            let (s, t) = if u < v { (u, v) } else { (v, u) };
+            edge_source.push(s);
+            edge_target.push(t);
+        }
+
+        let mut offsets = vec![0u32; n + 1];
+        for (&s, &t) in edge_source.iter().zip(&edge_target) {
+            offsets[s as usize + 1] += 1;
+            offsets[t as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let placeholder = Neighbor { vertex: VertexId::new(0), weight: 0.0, edge: EdgeId::new(0) };
+        let mut adj = vec![placeholder; 2 * m];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for (e, ((&s, &t), &w)) in edge_source.iter().zip(&edge_target).zip(weight).enumerate() {
+            let edge = EdgeId::new(e);
+            adj[cursor[s as usize] as usize] =
+                Neighbor { vertex: VertexId::new(t as usize), weight: w, edge };
+            cursor[s as usize] += 1;
+            adj[cursor[t as usize] as usize] =
+                Neighbor { vertex: VertexId::new(s as usize), weight: w, edge };
+            cursor[t as usize] += 1;
+        }
+        for v in 0..n {
+            adj[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable_by_key(|nb| nb.vertex);
+        }
+        CsrGraph { offsets, adj, edge_source, edge_target, edge_weight: weight.to_vec() }
+    }
+
+    /// The heap footprint of this graph in bytes (the number the scale
+    /// benchmark reports per rung).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.adj.len() * std::mem::size_of::<Neighbor>()
+            + self.edge_source.len() * std::mem::size_of::<u32>()
+            + self.edge_target.len() * std::mem::size_of::<u32>()
+            + self.edge_weight.len() * std::mem::size_of::<f64>()
+    }
+}
+
+impl GraphView for CsrGraph {
+    #[inline]
+    fn vertex_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    #[inline]
+    fn edge_count(&self) -> usize {
+        self.edge_weight.len()
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        let i = v.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> &[Neighbor] {
+        let i = v.index();
+        &self.adj[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    #[inline]
+    fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        let i = e.index();
+        (VertexId::new(self.edge_source[i] as usize), VertexId::new(self.edge_target[i] as usize))
+    }
+
+    #[inline]
+    fn edge_weight(&self, e: EdgeId) -> Weight {
+        self.edge_weight[e.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{barabasi_albert, gnm, WeightMode};
+    use crate::GraphBuilder;
+
+    /// Both backends must agree on every accessor the trait exposes.
+    fn assert_same_view<A: GraphView, B: GraphView>(a: &A, b: &B) {
+        assert_eq!(a.vertex_count(), b.vertex_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for v in a.vertices() {
+            assert_eq!(a.degree(v), b.degree(v));
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+        for e in 0..a.edge_count() {
+            let e = EdgeId::new(e);
+            assert_eq!(a.edge_endpoints(e), b.edge_endpoints(e));
+            assert_eq!(a.edge_weight(e).to_bits(), b.edge_weight(e).to_bits());
+        }
+    }
+
+    #[test]
+    fn from_weighted_matches_adjacency_backend() {
+        for seed in 0..3 {
+            let g = gnm(60, 240, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, seed);
+            assert_same_view(&CsrGraph::from_weighted(&g), &g);
+        }
+        let g = barabasi_albert(80, 3, WeightMode::Uniform { lo: 0.5, hi: 1.5 }, 4);
+        assert_same_view(&CsrGraph::from_weighted(&g), &g);
+    }
+
+    #[test]
+    fn build_csr_matches_from_weighted() {
+        let edges: &[(usize, usize, f64)] =
+            &[(0, 1, 1.0), (3, 1, 2.0), (2, 4, 0.5), (1, 2, 1.5), (0, 4, 3.0)];
+        let via_build = GraphBuilder::from_edges(5, edges).unwrap().build();
+        let via_csr = GraphBuilder::from_edges(5, edges).unwrap().build_csr();
+        assert_eq!(via_csr, CsrGraph::from_weighted(&via_build));
+    }
+
+    #[test]
+    fn empty_and_isolated_vertices() {
+        let g = CsrGraph::from_weighted(&GraphBuilder::new().build());
+        assert!(g.is_empty());
+        assert_eq!(g.edge_count(), 0);
+        let g = CsrGraph::from_weighted(&GraphBuilder::with_vertices(4).build());
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.degree(VertexId::new(3)), 0);
+        assert!(g.neighbors(VertexId::new(0)).is_empty());
+    }
+
+    #[test]
+    fn memory_bytes_counts_all_arrays() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0)]).unwrap().build_csr();
+        // 4 offsets + 4 adjacency entries + 2 edges of (src, tgt, weight)
+        assert_eq!(g.memory_bytes(), 4 * 4 + 4 * std::mem::size_of::<Neighbor>() + 2 * 16);
+    }
+}

@@ -299,6 +299,135 @@ pub fn planted_partition(
     PlantedPartition { graph: b.build(), vertex_community, edge_community }
 }
 
+/// Generates an LFR-style planted-community benchmark graph in O(m):
+/// community sizes are drawn from a truncated power law (exponent ≈ 2,
+/// the regime of Lancichinetti–Fortunato–Radicchi benchmarks), each
+/// community is wired as a spanning ring plus random intra pairs, and a
+/// fraction `mu` of the edge budget becomes inter-community bridges —
+/// `mu` is the LFR *mixing parameter*: 0 gives perfectly separated
+/// communities, larger values blur them.
+///
+/// The total edge budget is `n · avg_degree / 2`, split `(1 − mu)` intra
+/// / `mu` inter. Intra edges carry strong weights in `[0.8, 1.2)`,
+/// bridges weak weights in `[0.05, 0.15)` and the
+/// [`BRIDGE`](PlantedPartition::BRIDGE) label, mirroring
+/// [`planted_partition`]. Unlike that generator — which enumerates all
+/// `C(n, 2)` pairs and so cannot scale — this one samples pairs
+/// directly, making million-edge instances practical for the scale
+/// benchmark ladder.
+///
+/// The realized edge count is approximately the budget: sampling skips
+/// duplicate pairs, and very dense communities may saturate before
+/// reaching their intra quota.
+///
+/// # Panics
+///
+/// Panics if `n < 8`, `avg_degree < 2`, `avg_degree >= n`, or
+/// `mu ∉ [0, 1)`.
+#[must_use]
+pub fn lfr_like(n: usize, avg_degree: usize, mu: f64, seed: u64) -> PlantedPartition {
+    assert!(n >= 8, "LFR-style graphs need at least 8 vertices");
+    assert!((2..n).contains(&avg_degree), "avg_degree {avg_degree} must lie in [2, {n})");
+    assert!((0.0..1.0).contains(&mu), "mixing parameter {mu} must lie in [0, 1)");
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Community sizes from a power law P(s) ∝ s⁻² truncated to
+    // [min_size, max_size], via inverse-transform sampling.
+    let min_size = (avg_degree / 2).clamp(4, n);
+    let max_size = (min_size * 8).min(n);
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut covered = 0usize;
+    while covered < n {
+        let u: f64 = rng.gen();
+        let (a, b) = (min_size as f64, max_size as f64);
+        let s = ((a * b / (b - u * (b - a))) as usize).clamp(min_size, max_size);
+        let s = s.min(n - covered);
+        sizes.push(s);
+        covered += s;
+    }
+    // A trailing remnant smaller than min_size merges into its
+    // predecessor so every community supports a ring.
+    if sizes.len() > 1 && *sizes.last().expect("nonempty") < min_size {
+        let last = sizes.pop().expect("nonempty");
+        *sizes.last_mut().expect("nonempty") += last;
+    }
+
+    let mut base_of = Vec::with_capacity(sizes.len());
+    let mut vertex_community = Vec::with_capacity(n);
+    let mut base = 0usize;
+    for (c, &s) in sizes.iter().enumerate() {
+        base_of.push(base);
+        vertex_community.extend(std::iter::repeat_n(c as u32, s));
+        base += s;
+    }
+
+    let budget = n * avg_degree / 2;
+    let inter_budget = (budget as f64 * mu).round() as usize;
+    let intra_budget = budget - inter_budget;
+
+    let mut b = GraphBuilder::with_vertices(n);
+    let mut edge_community = Vec::with_capacity(budget);
+
+    // Ring backbones first: guaranteed connectivity per community.
+    for (c, &s) in sizes.iter().enumerate() {
+        let base = base_of[c];
+        for i in 0..s {
+            let (u, v) = (base + i, base + (i + 1) % s);
+            let (u, v) = (u.min(v), u.max(v));
+            if !b.contains_edge(VertexId::new(u), VertexId::new(v)) {
+                b.add_edge(VertexId::new(u), VertexId::new(v), rng.gen_range(0.8..1.2))
+                    .expect("ring edges are valid");
+                edge_community.push(c as u32);
+            }
+        }
+    }
+
+    // Random intra pairs, community chosen size-proportionally by
+    // sampling a vertex uniformly and keeping its community. Rejection
+    // guard bounds the loop on saturated (near-clique) communities.
+    let mut intra = b.edge_count();
+    let mut attempts = 0usize;
+    let max_attempts = 8 * budget + 64;
+    while intra < intra_budget && attempts < max_attempts {
+        attempts += 1;
+        let x = rng.gen_range(0..n);
+        let c = vertex_community[x] as usize;
+        let (base, s) = (base_of[c], sizes[c]);
+        let y = base + rng.gen_range(0..s);
+        if x == y {
+            continue;
+        }
+        let (u, v) = (VertexId::new(x.min(y)), VertexId::new(x.max(y)));
+        if b.contains_edge(u, v) {
+            continue;
+        }
+        b.add_edge(u, v, rng.gen_range(0.8..1.2)).expect("intra edges are valid");
+        edge_community.push(c as u32);
+        intra += 1;
+    }
+
+    // Inter-community bridges.
+    let mut inter = 0usize;
+    attempts = 0;
+    while inter < inter_budget && attempts < max_attempts {
+        attempts += 1;
+        let x = rng.gen_range(0..n);
+        let y = rng.gen_range(0..n);
+        if vertex_community[x] == vertex_community[y] {
+            continue;
+        }
+        let (u, v) = (VertexId::new(x.min(y)), VertexId::new(x.max(y)));
+        if b.contains_edge(u, v) {
+            continue;
+        }
+        b.add_edge(u, v, rng.gen_range(0.05..0.15)).expect("bridge edges are valid");
+        edge_community.push(PlantedPartition::BRIDGE);
+        inter += 1;
+    }
+
+    PlantedPartition { graph: b.build(), vertex_community, edge_community }
+}
+
 /// An overlapping planted structure returned by [`overlapping_planted`]:
 /// consecutive communities share `overlap` vertices, so ground-truth
 /// communities are vertex *sets* (a cover), not a partition.
@@ -611,6 +740,66 @@ mod tests {
         // With p_out = 0 each community is exactly one component.
         for (v, &label) in labels.iter().enumerate() {
             assert_eq!(label, v / 6);
+        }
+    }
+
+    #[test]
+    fn lfr_ground_truth_is_consistent() {
+        let p = lfr_like(200, 8, 0.2, 11);
+        assert_eq!(p.graph.vertex_count(), 200);
+        assert_eq!(p.vertex_community.len(), 200);
+        assert_eq!(p.edge_community.len(), p.graph.edge_count());
+        for ((_, e), &c) in p.graph.edges().zip(&p.edge_community) {
+            let (cu, cv) =
+                (p.vertex_community[e.source.index()], p.vertex_community[e.target.index()]);
+            if c == PlantedPartition::BRIDGE {
+                assert_ne!(cu, cv);
+                assert!(e.weight < 0.2, "bridges are weak");
+            } else {
+                assert_eq!(cu, cv);
+                assert_eq!(cu, c);
+                assert!(e.weight >= 0.8, "intra edges are strong");
+            }
+        }
+    }
+
+    #[test]
+    fn lfr_mixing_controls_bridge_fraction() {
+        let clean = lfr_like(400, 10, 0.0, 3);
+        assert!(clean.edge_community.iter().all(|&c| c != PlantedPartition::BRIDGE));
+        let noisy = lfr_like(400, 10, 0.3, 3);
+        let bridges =
+            noisy.edge_community.iter().filter(|&&c| c == PlantedPartition::BRIDGE).count();
+        let frac = bridges as f64 / noisy.edge_community.len() as f64;
+        assert!((0.15..0.45).contains(&frac), "bridge fraction {frac} should track mu=0.3");
+    }
+
+    #[test]
+    fn lfr_edge_budget_and_determinism() {
+        let p = lfr_like(500, 12, 0.1, 8);
+        let budget = 500 * 12 / 2;
+        // Sampling may fall slightly short of the budget, never exceed
+        // it by more than the ring backbones.
+        assert!(p.graph.edge_count() >= budget / 2, "{} edges", p.graph.edge_count());
+        assert!(p.graph.edge_count() <= budget + 500);
+        let q = lfr_like(500, 12, 0.1, 8);
+        assert_eq!(p, q);
+        let r = lfr_like(500, 12, 0.1, 9);
+        assert_ne!(p, r);
+    }
+
+    #[test]
+    fn lfr_communities_are_connected_rings() {
+        use crate::algo::connected_components;
+        // mu = 0: every community is one component (ring backbone).
+        let p = lfr_like(120, 6, 0.0, 5);
+        let labels = connected_components(&p.graph);
+        for (v, &label) in labels.iter().enumerate() {
+            for (u, &other) in labels.iter().enumerate() {
+                if p.vertex_community[v] == p.vertex_community[u] {
+                    assert_eq!(label, other, "vertices {u} and {v} share a community");
+                }
+            }
         }
     }
 

@@ -55,22 +55,24 @@ pub struct Neighbor {
 }
 
 /// An immutable weighted undirected graph stored in compressed
-/// adjacency-list (CSR) form.
+/// adjacency-list form.
 ///
-/// Built through [`GraphBuilder`](crate::GraphBuilder). Adjacency lists are
-/// sorted by neighbor id, giving O(log d) edge lookup via binary search —
-/// the edge-index map `I` of Algorithm 2 in the paper is realized by
-/// [`WeightedGraph::edge_between`].
+/// Built through [`GraphBuilder`](crate::GraphBuilder). Adjacency lists
+/// are sorted by neighbor id. The edge-index map `I` of Algorithm 2 in
+/// the paper is realized by [`EdgeIndex`](crate::EdgeIndex); see also
+/// the [`GraphView`](crate::GraphView) trait, which this type and the
+/// compact [`CsrGraph`](crate::CsrGraph) backend both implement.
 ///
 /// # Examples
 ///
 /// ```
-/// use linkclust_graph::{GraphBuilder, VertexId};
+/// use linkclust_graph::{EdgeIndex, GraphBuilder, VertexId};
 ///
 /// let g = GraphBuilder::from_edges(3, &[(0, 1, 1.0), (1, 2, 0.5)])?.build();
 /// let v1 = VertexId::new(1);
 /// assert_eq!(g.degree(v1), 2);
-/// assert!(g.edge_between(VertexId::new(0), VertexId::new(2)).is_none());
+/// let index = EdgeIndex::for_graph(&g);
+/// assert!(index.edge_between(VertexId::new(0), VertexId::new(2)).is_none());
 /// # Ok::<(), linkclust_graph::GraphError>(())
 /// ```
 #[derive(Clone, PartialEq, Debug, Default)]
@@ -137,12 +139,9 @@ impl WeightedGraph {
         &self.edges[e.index()]
     }
 
-    /// Returns the id of the edge joining `u` and `v`, if any.
-    ///
-    /// Lookup is a binary search over the smaller adjacency list, so this
-    /// costs O(log min(d(u), d(v))).
-    #[must_use]
-    pub fn edge_between(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+    /// Binary search over the smaller adjacency list —
+    /// O(log min(d(u), d(v))).
+    fn edge_lookup(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
         if u == v || u.index() >= self.vertex_count() || v.index() >= self.vertex_count() {
             return None;
         }
@@ -151,16 +150,35 @@ impl WeightedGraph {
         list.binary_search_by(|n| n.vertex.cmp(&key)).ok().map(|i| list[i].edge)
     }
 
+    /// Returns the id of the edge joining `u` and `v`, if any.
+    ///
+    /// Lookup is a binary search over the smaller adjacency list, so this
+    /// costs O(log min(d(u), d(v))).
+    #[deprecated(
+        since = "0.2.0",
+        note = "per-query scans are superseded in hot paths by a precomputed \
+                `EdgeIndex`; for occasional lookups use the `GraphView` trait method"
+    )]
+    #[must_use]
+    pub fn edge_between(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        self.edge_lookup(u, v)
+    }
+
     /// Returns the weight of the edge joining `u` and `v`, if any.
+    #[deprecated(
+        since = "0.2.0",
+        note = "per-query scans are superseded in hot paths by a precomputed \
+                `EdgeIndex`; for occasional lookups use the `GraphView` trait method"
+    )]
     #[must_use]
     pub fn weight_between(&self, u: VertexId, v: VertexId) -> Option<Weight> {
-        self.edge_between(u, v).map(|e| self.edge(e).weight)
+        self.edge_lookup(u, v).map(|e| self.edge(e).weight)
     }
 
     /// Returns `true` if `u` and `v` are adjacent.
     #[must_use]
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        self.edge_between(u, v).is_some()
+        self.edge_lookup(u, v).is_some()
     }
 
     /// Iterates over all vertex ids in increasing order.
@@ -247,6 +265,39 @@ impl WeightedGraph {
     }
 }
 
+impl crate::GraphView for WeightedGraph {
+    #[inline]
+    fn vertex_count(&self) -> usize {
+        WeightedGraph::vertex_count(self)
+    }
+
+    #[inline]
+    fn edge_count(&self) -> usize {
+        WeightedGraph::edge_count(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        WeightedGraph::degree(self, v)
+    }
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> &[Neighbor] {
+        WeightedGraph::neighbors(self, v)
+    }
+
+    #[inline]
+    fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        let edge = self.edge(e);
+        (edge.source, edge.target)
+    }
+
+    #[inline]
+    fn edge_weight(&self, e: EdgeId) -> Weight {
+        self.edge(e).weight
+    }
+}
+
 /// Iterator over `(EdgeId, &Edge)` pairs, created by
 /// [`WeightedGraph::edges`].
 #[derive(Clone, Debug)]
@@ -290,6 +341,8 @@ impl<'a> Iterator for NeighborIter<'a> {
 impl ExactSizeIterator for NeighborIter<'_> {}
 
 #[cfg(test)]
+// The legacy per-query lookups stay covered until removal.
+#[allow(deprecated)]
 mod tests {
     use crate::{GraphBuilder, VertexId};
 

@@ -1,0 +1,192 @@
+//! Precomputed O(1) edge lookup — the edge-index map `I` of the paper's
+//! Algorithm 2, materialized.
+//!
+//! The sweep phases resolve two edges per (pair, common neighbor) event,
+//! i.e. 2·K₂ lookups per run. Binary-searching an adjacency slab per
+//! query costs O(log d) each and a pointer chase per probe step; the
+//! [`EdgeIndex`] replaces that with a single open-addressed hash table
+//! built once in O(|E|), keyed by the packed canonical endpoint pair.
+//! The table stores the edge weight next to the id, so the Phase-I
+//! adjacency correction needs no graph access either.
+
+use crate::view::GraphView;
+use crate::{EdgeId, VertexId, Weight};
+
+/// Slot states: `EMPTY` never collides with a packed key because a
+/// canonical pair has `source < target`, so the top half of a real key
+/// is at most `u32::MAX - 1`.
+const EMPTY: u64 = u64::MAX;
+
+/// Load factor 7/8, as in the Phase-I flat accumulator.
+const LOAD_NUM: usize = 7;
+const LOAD_DEN: usize = 8;
+
+/// An immutable open-addressed map from canonical vertex pairs to edge
+/// id and weight, built once per graph.
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_graph::{EdgeIndex, GraphBuilder, VertexId};
+///
+/// let g = GraphBuilder::from_edges(3, &[(0, 1, 2.5), (1, 2, 1.0)])?.build();
+/// let index = EdgeIndex::for_graph(&g);
+/// let e = index.edge_between(VertexId::new(1), VertexId::new(0)).unwrap();
+/// assert_eq!(e.index(), 0);
+/// assert_eq!(index.weight_between(VertexId::new(0), VertexId::new(1)), Some(2.5));
+/// assert!(index.edge_between(VertexId::new(0), VertexId::new(2)).is_none());
+/// # Ok::<(), linkclust_graph::GraphError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct EdgeIndex {
+    keys: Vec<u64>,
+    ids: Vec<u32>,
+    weights: Vec<f64>,
+    mask: usize,
+    len: usize,
+}
+
+/// Packs a canonical vertex pair into the table key.
+#[inline]
+fn pack(u: u32, v: u32) -> u64 {
+    let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+    (u64::from(lo) << 32) | u64::from(hi)
+}
+
+/// The 64-bit finalizer of MurmurHash3 — the same mixer the Phase-I flat
+/// accumulator uses, so both tables share the well-tested probe behavior.
+#[inline]
+fn hash(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    x
+}
+
+impl EdgeIndex {
+    /// Builds the index over every edge of `g` in O(|E|).
+    #[must_use]
+    pub fn for_graph<G: GraphView + ?Sized>(g: &G) -> Self {
+        let m = g.edge_count();
+        let slots = (m * LOAD_DEN / LOAD_NUM + 1).next_power_of_two().max(16);
+        let mut index = EdgeIndex {
+            keys: vec![EMPTY; slots],
+            ids: vec![0; slots],
+            weights: vec![0.0; slots],
+            mask: slots - 1,
+            len: m,
+        };
+        for e in 0..m {
+            let id = EdgeId::new(e);
+            let (s, t) = g.edge_endpoints(id);
+            let key = pack(s.index() as u32, t.index() as u32);
+            let mut slot = hash(key) as usize & index.mask;
+            while index.keys[slot] != EMPTY {
+                debug_assert_ne!(index.keys[slot], key, "duplicate edge in graph");
+                slot = (slot + 1) & index.mask;
+            }
+            index.keys[slot] = key;
+            index.ids[slot] = e as u32;
+            index.weights[slot] = g.edge_weight(id);
+        }
+        index
+    }
+
+    /// The number of indexed edges.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the graph had no edges.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up the slot holding `key`, if present.
+    #[inline]
+    fn find(&self, key: u64) -> Option<usize> {
+        let mut slot = hash(key) as usize & self.mask;
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                return Some(slot);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// The id of the edge joining `u` and `v`, if any — O(1) expected.
+    #[inline]
+    #[must_use]
+    pub fn edge_between(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        if u == v {
+            return None;
+        }
+        self.find(pack(u.index() as u32, v.index() as u32))
+            .map(|slot| EdgeId::new(self.ids[slot] as usize))
+    }
+
+    /// The weight of the edge joining `u` and `v`, if any — O(1)
+    /// expected.
+    #[inline]
+    #[must_use]
+    pub fn weight_between(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        if u == v {
+            return None;
+        }
+        self.find(pack(u.index() as u32, v.index() as u32)).map(|slot| self.weights[slot])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{gnm, WeightMode};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn matches_binary_search_on_every_pair() {
+        let g = gnm(40, 180, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 9);
+        let index = EdgeIndex::for_graph(&g);
+        assert_eq!(index.len(), g.edge_count());
+        for u in g.vertices() {
+            for v in g.vertices() {
+                assert_eq!(index.edge_between(u, v), GraphView::edge_between(&g, u, v));
+                assert_eq!(index.weight_between(u, v), GraphView::weight_between(&g, u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_index() {
+        let g = GraphBuilder::new().build();
+        let index = EdgeIndex::for_graph(&g);
+        assert!(index.is_empty());
+        assert_eq!(index.edge_between(VertexId::new(0), VertexId::new(1)), None);
+    }
+
+    #[test]
+    fn self_pairs_never_match() {
+        let g = gnm(10, 20, WeightMode::Unit, 3);
+        let index = EdgeIndex::for_graph(&g);
+        for v in g.vertices() {
+            assert_eq!(index.edge_between(v, v), None);
+        }
+    }
+
+    #[test]
+    fn lookup_is_symmetric() {
+        let g = GraphBuilder::from_edges(4, &[(0, 3, 1.5), (1, 2, 0.5)]).unwrap().build();
+        let index = EdgeIndex::for_graph(&g);
+        let (a, b) = (VertexId::new(3), VertexId::new(0));
+        assert_eq!(index.edge_between(a, b), index.edge_between(b, a));
+        assert_eq!(index.weight_between(a, b), Some(1.5));
+    }
+}

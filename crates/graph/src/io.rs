@@ -79,14 +79,20 @@ impl From<std::io::Error> for ParseGraphError {
 /// assert_eq!(g.edge_count(), 2);
 /// # Ok::<(), linkclust_graph::io::ParseGraphError>(())
 /// ```
-pub fn read_edge_list<R: BufRead>(reader: R) -> Result<WeightedGraph, ParseGraphError> {
-    // Each parsed edge carries its original 1-based line number: the
-    // second loop runs over the *filtered* edge vector, so an index
-    // there would drift past every comment and blank line.
-    let mut edges: Vec<(usize, usize, f64, usize)> = Vec::new();
-    let mut max_vertex = 0usize;
-    for (i, line) in reader.lines().enumerate() {
-        let line = line?;
+pub fn read_edge_list<R: BufRead>(mut reader: R) -> Result<WeightedGraph, ParseGraphError> {
+    // Streaming: one reused line buffer, edges added as they parse, so a
+    // multi-GB edge list never sits in memory whole. The line counter
+    // tracks *physical* lines, so errors report the original 1-based
+    // line even past comments and blanks.
+    let mut b = GraphBuilder::new();
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
@@ -96,25 +102,26 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<WeightedGraph, ParseGraph
             parts.next().and_then(|t| t.parse::<usize>().ok()),
             parts.next().and_then(|t| t.parse::<usize>().ok()),
         ) else {
-            return Err(ParseGraphError::Malformed { line: i + 1, content: trimmed.to_owned() });
+            return Err(ParseGraphError::Malformed { line: lineno, content: trimmed.to_owned() });
         };
         let w = match parts.next() {
             None => 1.0,
             Some(t) => t.parse::<f64>().map_err(|_| ParseGraphError::Malformed {
-                line: i + 1,
+                line: lineno,
                 content: trimmed.to_owned(),
             })?,
         };
         if parts.next().is_some() {
-            return Err(ParseGraphError::Malformed { line: i + 1, content: trimmed.to_owned() });
+            return Err(ParseGraphError::Malformed { line: lineno, content: trimmed.to_owned() });
         }
-        max_vertex = max_vertex.max(u).max(v);
-        edges.push((u, v, w, i + 1));
-    }
-    let mut b = GraphBuilder::with_vertices(if edges.is_empty() { 0 } else { max_vertex + 1 });
-    for (u, v, w, line) in edges {
+        // Vertex ids are dense; grow the builder on demand so edges are
+        // validated (and rejected) as they stream past.
+        let needed = u.max(v) + 1;
+        if b.vertex_count() < needed {
+            b.add_vertices(needed - b.vertex_count());
+        }
         b.add_edge(VertexId::new(u), VertexId::new(v), w)
-            .map_err(|source| ParseGraphError::Graph { line, source })?;
+            .map_err(|source| ParseGraphError::Graph { line: lineno, source })?;
     }
     Ok(b.build())
 }
@@ -150,7 +157,10 @@ mod tests {
         let g = read_edge_list("# header\n\n0 1\n# middle\n2 0 0.5\n".as_bytes()).unwrap();
         assert_eq!(g.edge_count(), 2);
         assert_eq!(g.vertex_count(), 3);
-        assert_eq!(g.weight_between(VertexId::new(0), VertexId::new(1)), Some(1.0));
+        assert_eq!(
+            crate::GraphView::weight_between(&g, VertexId::new(0), VertexId::new(1)),
+            Some(1.0)
+        );
     }
 
     #[test]

@@ -16,9 +16,10 @@
 
 use std::collections::HashSet;
 
-use crate::{VertexId, WeightedGraph};
+use crate::{EdgeId, GraphView, VertexId};
 
-/// Summary statistics of a [`WeightedGraph`].
+/// Summary statistics of a graph, computed through any [`GraphView`]
+/// backend.
 ///
 /// # Examples
 ///
@@ -59,7 +60,7 @@ impl GraphStats {
     /// Runs in O(|V| + K₂) time and O(K₁) space (the dominant cost is
     /// enumerating neighbor pairs to count K₁ exactly).
     #[must_use]
-    pub fn compute(g: &WeightedGraph) -> Self {
+    pub fn compute<G: GraphView + ?Sized>(g: &G) -> Self {
         GraphStats {
             vertices: g.vertex_count(),
             edges: g.edge_count(),
@@ -90,7 +91,7 @@ impl GraphStats {
 ///
 /// This equals the number of keys of map `M` built by Algorithm 1.
 #[must_use]
-pub fn count_common_neighbor_pairs(g: &WeightedGraph) -> u64 {
+pub fn count_common_neighbor_pairs<G: GraphView + ?Sized>(g: &G) -> u64 {
     let mut pairs: HashSet<(u32, u32)> = HashSet::new();
     for v in g.vertices() {
         let nbrs = g.neighbors(v);
@@ -106,7 +107,7 @@ pub fn count_common_neighbor_pairs(g: &WeightedGraph) -> u64 {
 /// Counts K₂: the number of unordered pairs of distinct incident edges,
 /// `Σᵥ d(v)(d(v)−1)/2`.
 #[must_use]
-pub fn count_incident_edge_pairs(g: &WeightedGraph) -> u64 {
+pub fn count_incident_edge_pairs<G: GraphView + ?Sized>(g: &G) -> u64 {
     g.vertices()
         .map(|v| {
             let d = g.degree(v) as u64;
@@ -118,7 +119,7 @@ pub fn count_incident_edge_pairs(g: &WeightedGraph) -> u64 {
 /// Counts K₃: the number of unordered pairs of distinct edges,
 /// `|E|(|E|−1)/2`.
 #[must_use]
-pub fn count_distinct_edge_pairs(g: &WeightedGraph) -> u64 {
+pub fn count_distinct_edge_pairs<G: GraphView + ?Sized>(g: &G) -> u64 {
     let m = g.edge_count() as u64;
     m * (m.saturating_sub(1)) / 2
 }
@@ -133,10 +134,10 @@ pub fn count_distinct_edge_pairs(g: &WeightedGraph) -> u64 {
 /// Triangles are where link clustering's signal lives: an incident edge
 /// pair closing a triangle has a large Tanimoto similarity.
 #[must_use]
-pub fn count_triangles(g: &WeightedGraph) -> u64 {
+pub fn count_triangles<G: GraphView + ?Sized>(g: &G) -> u64 {
     let mut total = 0u64;
-    for (_, e) in g.edges() {
-        let (u, v) = (e.source, e.target);
+    for e in 0..g.edge_count() {
+        let (u, v) = g.edge_endpoints(EdgeId::new(e));
         let (a, b) = (g.neighbors(u), g.neighbors(v));
         // Only count the third vertex above v to avoid double counting.
         let (mut i, mut j) = (0, 0);
@@ -161,7 +162,7 @@ pub fn count_triangles(g: &WeightedGraph) -> u64 {
 /// `3 · triangles / open-and-closed-wedges` = `3·T / K₂`, or 0.0 when
 /// the graph has no incident edge pairs.
 #[must_use]
-pub fn transitivity(g: &WeightedGraph) -> f64 {
+pub fn transitivity<G: GraphView + ?Sized>(g: &G) -> f64 {
     let k2 = count_incident_edge_pairs(g);
     if k2 == 0 {
         0.0
@@ -175,7 +176,7 @@ pub fn transitivity(g: &WeightedGraph) -> f64 {
 /// Computed by merging the two sorted adjacency lists in
 /// O(d(u) + d(v)) time.
 #[must_use]
-pub fn common_neighbors(g: &WeightedGraph, u: VertexId, v: VertexId) -> Vec<VertexId> {
+pub fn common_neighbors<G: GraphView + ?Sized>(g: &G, u: VertexId, v: VertexId) -> Vec<VertexId> {
     let (a, b) = (g.neighbors(u), g.neighbors(v));
     let mut out = Vec::new();
     let (mut i, mut j) = (0, 0);
@@ -196,7 +197,7 @@ pub fn common_neighbors(g: &WeightedGraph, u: VertexId, v: VertexId) -> Vec<Vert
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::GraphBuilder;
+    use crate::{GraphBuilder, WeightedGraph};
 
     fn path(n: usize) -> WeightedGraph {
         let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
@@ -302,6 +303,17 @@ mod tests {
             }
         }
         assert_eq!(count_triangles(&g), brute);
+    }
+
+    #[test]
+    fn stats_identical_across_backends() {
+        use crate::generate::{gnm, WeightMode};
+        use crate::CsrGraph;
+        let g = gnm(30, 90, WeightMode::Uniform { lo: 0.5, hi: 1.5 }, 21);
+        let csr = CsrGraph::from_weighted(&g);
+        assert_eq!(GraphStats::compute(&g), GraphStats::compute(&csr));
+        assert_eq!(count_triangles(&g), count_triangles(&csr));
+        assert_eq!(transitivity(&g).to_bits(), transitivity(&csr).to_bits());
     }
 
     #[test]

@@ -15,7 +15,7 @@ use linkclust_core::coarse::{coarse_sweep_instrumented, CoarseConfig, CoarseResu
 use linkclust_core::sweep::{sweep_with, EdgeOrder, SweepConfig};
 use linkclust_core::telemetry::{Counter, Recorder, Telemetry, TelemetrySink, TraceCollector};
 use linkclust_core::{ClusteringResult, ConfigError, PairSimilarities};
-use linkclust_graph::WeightedGraph;
+use linkclust_graph::GraphView;
 
 use crate::init::compute_similarities_pooled;
 use crate::pool::WorkerPool;
@@ -231,18 +231,22 @@ impl LinkClustering {
     /// One persistent worker pool plus the `Arc`-shared graph for a run:
     /// every parallel phase (init passes, sort, coarse chunks) submits
     /// tasks to this pool instead of spawning threads of its own.
-    fn run_context(
-        &self,
-        g: &WeightedGraph,
-        telemetry: &Telemetry,
-    ) -> (Arc<WorkerPool>, Arc<WeightedGraph>) {
+    fn run_context<G>(&self, g: &G, telemetry: &Telemetry) -> (Arc<WorkerPool>, Arc<G>)
+    where
+        G: GraphView + Clone + Send + Sync + 'static,
+    {
         let pool = Arc::new(WorkerPool::new(self.threads).with_telemetry(telemetry.clone()));
         (pool, Arc::new(g.clone()))
     }
 
     /// Phase I plus the sort: the list `L`, ready to sweep. Runs on the
-    /// configured threads.
-    pub fn similarities(&self, g: &WeightedGraph) -> Result<PairSimilarities, ConfigError> {
+    /// configured threads. Accepts any [`GraphView`] backend
+    /// (adjacency-list or CSR) and yields bit-identical similarities
+    /// from either.
+    pub fn similarities<G>(&self, g: &G) -> Result<PairSimilarities, ConfigError>
+    where
+        G: GraphView + Clone + Send + Sync + 'static,
+    {
         self.check_threads()?;
         let collector = self.active_collector();
         let (telemetry, _) = self.sink.build();
@@ -256,18 +260,26 @@ impl LinkClustering {
         Ok(sims)
     }
 
-    fn sorted_similarities(
+    fn sorted_similarities<G>(
         pool: &WorkerPool,
-        g: &Arc<WeightedGraph>,
+        g: &Arc<G>,
         telemetry: &Telemetry,
-    ) -> PairSimilarities {
+    ) -> PairSimilarities
+    where
+        G: GraphView + Send + Sync + 'static,
+    {
         let sims = compute_similarities_pooled(pool, g, telemetry);
         parallel_into_sorted_pooled(pool, sims, telemetry)
     }
 
     /// Runs both phases on `g`: initialization and sort on the
     /// configured threads, then the (sequential) fine-grained sweep.
-    pub fn run(&self, g: &WeightedGraph) -> Result<ClusteringResult, ConfigError> {
+    /// Generic over the graph backend; adjacency-list and CSR inputs
+    /// produce bit-identical dendrograms.
+    pub fn run<G>(&self, g: &G) -> Result<ClusteringResult, ConfigError>
+    where
+        G: GraphView + Clone + Send + Sync + 'static,
+    {
         self.check_threads()?;
         let collector = self.active_collector();
         if self.threads == 1 {
@@ -282,7 +294,7 @@ impl LinkClustering {
         };
         let (pool, g) = self.run_context(g, &telemetry);
         let sims = Self::sorted_similarities(&pool, &g, &telemetry);
-        let output = sweep_with(&g, &sims, self.sweep_config(), &telemetry);
+        let output = sweep_with(&*g, &sims, self.sweep_config(), &telemetry);
         self.finish_trace(collector.as_ref(), &telemetry)?;
         Ok(ClusteringResult::from_parts(sims, output, recorder.map(|r| r.report())))
     }
@@ -296,11 +308,10 @@ impl LinkClustering {
     /// default-valued config, and a **conflicting** non-default config
     /// value is rejected with [`ConfigError::EdgeOrderConflict`] instead
     /// of silently overwritten.
-    pub fn run_coarse(
-        &self,
-        g: &WeightedGraph,
-        config: CoarseConfig,
-    ) -> Result<CoarseResult, ConfigError> {
+    pub fn run_coarse<G>(&self, g: &G, config: CoarseConfig) -> Result<CoarseResult, ConfigError>
+    where
+        G: GraphView + Clone + Send + Sync + 'static,
+    {
         self.check_threads()?;
         let collector = self.active_collector();
         if self.threads == 1 {
@@ -323,7 +334,7 @@ impl LinkClustering {
             .telemetry(telemetry.clone())
             .with_pool(pool)
             .shared_entries(Arc::clone(&sims));
-        let result = coarse_sweep_instrumented(&g, &sims, config, &mut processor, &telemetry);
+        let result = coarse_sweep_instrumented(&*g, &sims, config, &mut processor, &telemetry);
         self.finish_trace(collector.as_ref(), &telemetry)?;
         Ok(match recorder {
             Some(r) => result.with_report(r.report()),

@@ -42,7 +42,7 @@ use linkclust_core::init::{
 };
 use linkclust_core::telemetry::{Counter, Gauge, Phase, Telemetry};
 use linkclust_core::PairSimilarities;
-use linkclust_graph::{VertexId, WeightedGraph};
+use linkclust_graph::{EdgeIndex, GraphView, VertexId};
 
 use crate::pool::{partition_ranges, Task, WorkerPool};
 
@@ -62,8 +62,8 @@ struct ShardRecord {
 /// — ownership is skewed on power-law graphs (hub vertices have small
 /// ids, so low ranges own most pairs), and an even `records/owners`
 /// split would make the hot owner's buffer regrow repeatedly.
-fn produce_shard_records(
-    g: &WeightedGraph,
+fn produce_shard_records<G: GraphView + ?Sized>(
+    g: &G,
     range: std::ops::Range<usize>,
     starts: &[usize],
 ) -> Vec<Vec<ShardRecord>> {
@@ -126,6 +126,10 @@ fn fold_shard(bufs: Vec<Vec<ShardRecord>>) -> (Vec<RawPairEntry>, f64) {
 ///
 /// Panics if `threads == 0`.
 ///
+/// Accepts any [`GraphView`] backend; both backends expose identical
+/// neighbor slabs, so the CSR result is bit-identical to the
+/// adjacency-list result too.
+///
 /// # Examples
 ///
 /// ```
@@ -137,7 +141,10 @@ fn fold_shard(bufs: Vec<Vec<ShardRecord>>) -> (Vec<RawPairEntry>, f64) {
 /// assert_eq!(sims.len() as u64, linkclust_graph::stats::count_common_neighbor_pairs(&g));
 /// ```
 #[must_use]
-pub fn compute_similarities_parallel(g: &WeightedGraph, threads: usize) -> PairSimilarities {
+pub fn compute_similarities_parallel<G>(g: &G, threads: usize) -> PairSimilarities
+where
+    G: GraphView + Clone + Send + Sync + 'static,
+{
     compute_similarities_parallel_with(g, threads, &Telemetry::disabled())
 }
 
@@ -153,11 +160,14 @@ pub fn compute_similarities_parallel(g: &WeightedGraph, threads: usize) -> PairS
 ///
 /// Panics if `threads == 0`.
 #[must_use]
-pub fn compute_similarities_parallel_with(
-    g: &WeightedGraph,
+pub fn compute_similarities_parallel_with<G>(
+    g: &G,
     threads: usize,
     telemetry: &Telemetry,
-) -> PairSimilarities {
+) -> PairSimilarities
+where
+    G: GraphView + Clone + Send + Sync + 'static,
+{
     assert!(threads > 0, "need at least one thread");
     let pool = WorkerPool::new(threads).with_telemetry(telemetry.clone());
     compute_similarities_pooled(&pool, &Arc::new(g.clone()), telemetry)
@@ -168,11 +178,14 @@ pub fn compute_similarities_parallel_with(
 /// graph is shared with the workers via `Arc`, so the only per-run copy
 /// is whatever the caller paid to build it.
 #[must_use]
-pub fn compute_similarities_pooled(
+pub fn compute_similarities_pooled<G>(
     pool: &WorkerPool,
-    g: &Arc<WeightedGraph>,
+    g: &Arc<G>,
     telemetry: &Telemetry,
-) -> PairSimilarities {
+) -> PairSimilarities
+where
+    G: GraphView + Send + Sync + 'static,
+{
     let threads = pool.threads();
     let n = g.vertex_count();
 
@@ -182,7 +195,7 @@ pub fn compute_similarities_pooled(
     {
         let _span = telemetry.span(Phase::InitPass1);
         let g = Arc::clone(g);
-        let parts = pool.run_on_ranges(ranges.clone(), move |r| vertex_norms_range(&g, r));
+        let parts = pool.run_on_ranges(ranges.clone(), move |r| vertex_norms_range(&*g, r));
         for part in parts {
             norms.h1.extend(part.h1);
             norms.h2.extend(part.h2);
@@ -197,7 +210,7 @@ pub fn compute_similarities_pooled(
         let _span = telemetry.span(Phase::InitPass2);
         let g = Arc::clone(g);
         let starts = Arc::clone(&starts);
-        pool.run_on_ranges(ranges, move |r| produce_shard_records(&g, r, &starts))
+        pool.run_on_ranges(ranges, move |r| produce_shard_records(&*g, r, &starts))
     };
 
     // Transpose: hand every owner exactly its buffers, by move, in
@@ -243,12 +256,15 @@ pub fn compute_similarities_pooled(
 
     // Pass 3: finalize disjoint entry ranges in parallel. The entry
     // vector is carved into owned chunks (tasks need `'static` data),
-    // finalized on the pool, and stitched back together in order.
+    // finalized on the pool, and stitched back together in order. One
+    // O(m) edge index serves every chunk — the adjacency correction is
+    // then an O(1) probe per entry instead of an O(degree) scan.
     let total = entries.len();
     let chunk = total.div_ceil(threads).max(1);
     {
         let _span = telemetry.span(Phase::InitPass3);
         let norms = Arc::new(norms);
+        let index = Arc::new(EdgeIndex::for_graph(&**g));
         let bounds = partition_ranges(total, total.div_ceil(chunk).max(1));
         let mut chunks: Vec<Vec<RawPairEntry>> = Vec::with_capacity(bounds.len());
         for range in bounds.into_iter().rev() {
@@ -258,10 +274,10 @@ pub fn compute_similarities_pooled(
         let tasks: Vec<Task<Vec<RawPairEntry>>> = chunks
             .into_iter()
             .map(|mut slice| {
-                let g = Arc::clone(g);
+                let index = Arc::clone(&index);
                 let norms = Arc::clone(&norms);
                 Box::new(move || {
-                    finalize_entries(&g, &norms, &mut slice);
+                    finalize_entries(&index, &norms, &mut slice);
                     slice
                 }) as Task<Vec<RawPairEntry>>
             })
@@ -310,6 +326,17 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn csr_backend_matches_adjacency_backend_bit_for_bit() {
+        let g = gnm(60, 260, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 3);
+        let csr = linkclust_graph::CsrGraph::from_weighted(&g);
+        for threads in [1, 2, 4] {
+            let adj = compute_similarities_parallel(&g, threads);
+            let via_csr = compute_similarities_parallel(&csr, threads);
+            assert_eq!(adj.entries(), via_csr.entries(), "threads {threads}");
         }
     }
 

@@ -18,10 +18,12 @@
 //! ([`crate::merge::merge_cluster_arrays_flawed`]) while the corrected
 //! one ([`crate::merge::merge_cluster_arrays`]) passes every schedule.
 
+use std::sync::Arc;
+
 use linkclust_core::coarse::ChunkProcessor;
 use linkclust_core::coarse::SerialChunkProcessor;
 use linkclust_core::{ClusterArray, SimilarityEntry};
-use linkclust_graph::WeightedGraph;
+use linkclust_graph::{EdgeIndex, GraphView};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -176,26 +178,28 @@ where
 /// Panics if an entry lists a common neighbor with no edge to both
 /// endpoints in `g`, i.e. if the entries were computed over a different
 /// graph.
-pub fn replay_chunk_schedules(
-    g: &WeightedGraph,
+pub fn replay_chunk_schedules<G: GraphView + ?Sized>(
+    g: &G,
     slot_of_edge: &[u32],
     entries: &[SimilarityEntry],
     base: &ClusterArray,
     threads: usize,
     seed: u64,
 ) -> Result<ScheduleReport, Box<ScheduleViolation>> {
+    let index = Arc::new(EdgeIndex::for_graph(g));
     let weights: Vec<u64> = entries.iter().map(|e| e.pair_count() as u64).collect();
     let ranges = balanced_partition_by_weight(&weights, threads);
     let copies: Vec<ClusterArray> = ranges
         .into_iter()
         .map(|r| {
             let mut local = base.clone();
-            let _ = SerialChunkProcessor.process_entries(g, slot_of_edge, &entries[r], &mut local);
+            let _ =
+                SerialChunkProcessor.process_entries(&index, slot_of_edge, &entries[r], &mut local);
             local
         })
         .collect();
     let mut serial = base.clone();
-    let _ = SerialChunkProcessor.process_entries(g, slot_of_edge, entries, &mut serial);
+    let _ = SerialChunkProcessor.process_entries(&index, slot_of_edge, entries, &mut serial);
     check_schedules_with(&copies, &serial, seed, merge_cluster_arrays)
 }
 
@@ -205,6 +209,7 @@ mod tests {
     use crate::merge::merge_cluster_arrays_flawed;
     use linkclust_core::init::compute_similarities;
     use linkclust_graph::generate::{barabasi_albert, gnm, planted_partition, ring, WeightMode};
+    use linkclust_graph::WeightedGraph;
 
     #[test]
     fn permutation_count_is_factorial() {
@@ -300,8 +305,13 @@ mod tests {
         let slot_of_edge: Vec<u32> = (0..g.edge_count() as u32).collect();
         let mut base = ClusterArray::new(g.edge_count());
         let half = entries.len() / 2;
-        let _ =
-            SerialChunkProcessor.process_entries(&g, &slot_of_edge, &entries[..half], &mut base);
+        let index = Arc::new(EdgeIndex::for_graph(&g));
+        let _ = SerialChunkProcessor.process_entries(
+            &index,
+            &slot_of_edge,
+            &entries[..half],
+            &mut base,
+        );
         let report = replay_chunk_schedules(&g, &slot_of_edge, &entries[half..], &base, 4, 29)
             .unwrap_or_else(|v| panic!("mid-chunk replay: {v}"));
         assert!(report.exhaustive);

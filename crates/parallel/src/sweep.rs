@@ -35,7 +35,7 @@ use linkclust_core::coarse::{
 };
 use linkclust_core::telemetry::{Counter, Phase, Telemetry};
 use linkclust_core::{ClusterArray, ConfigError, PairSimilarities, SimilarityEntry};
-use linkclust_graph::WeightedGraph;
+use linkclust_graph::{EdgeIndex, GraphView};
 
 use crate::merge::merge_cluster_arrays;
 use crate::pool::{balanced_partition_with_loads, Task, WorkerPool};
@@ -104,7 +104,6 @@ pub struct ParallelChunkProcessor {
     telemetry: Telemetry,
     pool: Option<Arc<WorkerPool>>,
     shared: Option<Arc<PairSimilarities>>,
-    graph: Option<Arc<WeightedGraph>>,
     slot_of_edge: Option<Arc<Vec<u32>>>,
     entry_buf: Arc<Vec<SimilarityEntry>>,
     base: Arc<ClusterArray>,
@@ -114,8 +113,8 @@ pub struct ParallelChunkProcessor {
 
 impl Clone for ParallelChunkProcessor {
     /// Clones the configuration and the shared read-only context (pool,
-    /// graph, similarity list) but gives the clone fresh scratch state,
-    /// so two clones can process chunks concurrently.
+    /// similarity list) but gives the clone fresh scratch state, so two
+    /// clones can process chunks concurrently.
     fn clone(&self) -> Self {
         ParallelChunkProcessor {
             threads: self.threads,
@@ -123,7 +122,6 @@ impl Clone for ParallelChunkProcessor {
             telemetry: self.telemetry.clone(),
             pool: self.pool.clone(),
             shared: self.shared.clone(),
-            graph: self.graph.clone(),
             slot_of_edge: self.slot_of_edge.clone(),
             entry_buf: Arc::new(Vec::new()),
             base: Arc::new(ClusterArray::new(0)),
@@ -146,7 +144,6 @@ impl ParallelChunkProcessor {
             telemetry: Telemetry::disabled(),
             pool: None,
             shared: None,
-            graph: None,
             slot_of_edge: None,
             entry_buf: Arc::new(Vec::new()),
             base: Arc::new(ClusterArray::new(0)),
@@ -204,21 +201,6 @@ impl ParallelChunkProcessor {
         pool
     }
 
-    /// The `Arc`-shared graph for the worker tasks. Fast path: the caller
-    /// passes exactly the graph we already share (pointer-equal, as the
-    /// facade arranges). Otherwise the cached clone is reused only if it
-    /// compares equal; a different graph triggers a re-clone.
-    fn graph_ctx(&mut self, g: &WeightedGraph) -> Arc<WeightedGraph> {
-        if let Some(cached) = &self.graph {
-            if std::ptr::eq(Arc::as_ptr(cached), g) || **cached == *g {
-                return Arc::clone(cached);
-            }
-        }
-        let fresh = Arc::new(g.clone());
-        self.graph = Some(Arc::clone(&fresh));
-        fresh
-    }
-
     /// The `Arc`-shared edge→slot permutation, re-copied only when its
     /// contents change (once per sweep).
     fn slot_ctx(&mut self, slot_of_edge: &[u32]) -> Arc<Vec<u32>> {
@@ -264,7 +246,7 @@ impl ParallelChunkProcessor {
 impl ChunkProcessor for ParallelChunkProcessor {
     fn process_entries(
         &mut self,
-        g: &WeightedGraph,
+        index: &Arc<EdgeIndex>,
         slot_of_edge: &[u32],
         entries: &[SimilarityEntry],
         c: &mut ClusterArray,
@@ -274,7 +256,7 @@ impl ChunkProcessor for ParallelChunkProcessor {
         if self.threads == 1 || entries.len() < self.threads * self.min_entries_per_thread {
             telemetry.add(Counter::SerialFallbackChunks, 1);
             let span = telemetry.span(Phase::ChunkProcess);
-            let out = SerialChunkProcessor.process_entries(g, slot_of_edge, entries, c);
+            let out = SerialChunkProcessor.process_entries(index, slot_of_edge, entries, c);
             span.finish();
             return out;
         }
@@ -288,7 +270,6 @@ impl ChunkProcessor for ParallelChunkProcessor {
         }
 
         let pool = self.pool_ctx();
-        let graph = self.graph_ctx(g);
         let slot = self.slot_ctx(slot_of_edge);
         let source = self.entry_source(entries);
         let base = self.base_ctx(c);
@@ -304,7 +285,7 @@ impl ChunkProcessor for ParallelChunkProcessor {
             .into_iter()
             .enumerate()
             .map(|(i, r)| {
-                let graph = Arc::clone(&graph);
+                let index = Arc::clone(index);
                 let slot = Arc::clone(&slot);
                 let base = Arc::clone(&base);
                 let source = source.clone();
@@ -312,7 +293,7 @@ impl ChunkProcessor for ParallelChunkProcessor {
                 Box::new(move || {
                     let mut local = lock_scratch(&scratch);
                     local.sync_from(&base);
-                    SerialChunkProcessor.process_entries(&graph, &slot, source.get(r), &mut local);
+                    SerialChunkProcessor.process_entries(&index, &slot, source.get(r), &mut local);
                 }) as Task<()>
             })
             .collect();
@@ -390,8 +371,8 @@ impl ChunkProcessor for ParallelChunkProcessor {
 /// assert!(r.dendrogram().merge_count() > 0);
 /// ```
 #[must_use]
-pub fn parallel_coarse_sweep(
-    g: &WeightedGraph,
+pub fn parallel_coarse_sweep<G: GraphView + ?Sized>(
+    g: &G,
     sorted: &PairSimilarities,
     config: CoarseConfig,
     threads: usize,
@@ -407,8 +388,8 @@ pub fn parallel_coarse_sweep(
 /// Panics if `threads == 0`, or under the same conditions as the serial
 /// coarse sweep (unsorted input, degenerate config).
 #[must_use]
-pub fn parallel_coarse_sweep_shared(
-    g: &WeightedGraph,
+pub fn parallel_coarse_sweep_shared<G: GraphView + ?Sized>(
+    g: &G,
     sorted: &Arc<PairSimilarities>,
     config: CoarseConfig,
     threads: usize,
@@ -475,8 +456,9 @@ mod tests {
 
     #[test]
     fn processor_reuse_across_graphs_resyncs_context() {
-        // The cached Arc'd graph must be replaced when a different graph
-        // (same size or not) is processed with the same processor.
+        // A single processor must stay correct when reused across runs
+        // over different graphs (the slot cache and scratch arrays are
+        // per-chunk context that has to resync).
         let g1 = gnm(40, 170, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 1);
         let g2 = gnm(40, 170, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 2);
         let cfg = CoarseConfig { phi: 5, initial_chunk: 8, ..Default::default() };
@@ -535,6 +517,7 @@ mod processor_equivalence_tests {
     #[test]
     fn processor_matches_serial_on_first_chunk() {
         let g = gnm(50, 220, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 0);
+        let index = Arc::new(EdgeIndex::for_graph(&g));
         let sims = compute_similarities(&g).into_sorted();
         let entries = sims.entries();
         let slot: Vec<u32> = (0..g.edge_count() as u32).collect();
@@ -542,10 +525,10 @@ mod processor_equivalence_tests {
         for take in [3usize, 5, 8, 12, 20] {
             let chunk = &entries[..take];
             let mut c_serial = ClusterArray::new(g.edge_count());
-            SerialChunkProcessor.process_entries(&g, &slot, chunk, &mut c_serial);
+            SerialChunkProcessor.process_entries(&index, &slot, chunk, &mut c_serial);
             let mut c_par = ClusterArray::new(g.edge_count());
             let mut proc = ParallelChunkProcessor::new(2).unwrap().min_entries_per_thread(1);
-            proc.process_entries(&g, &slot, chunk, &mut c_par);
+            proc.process_entries(&index, &slot, chunk, &mut c_par);
             assert_eq!(c_serial.assignments(), c_par.assignments(), "take={take}");
             assert_eq!(c_serial.cluster_count(), c_par.cluster_count(), "take={take}");
             assert_eq!(c_par.cluster_count(), c_par.count_roots(), "live counter must stay exact");

@@ -106,7 +106,9 @@ pub use linkclust_core::{
     ClusterArray, ClusteringResult, ConfigError, Dendrogram, MergeRecord, PairSimilarities,
 };
 pub use linkclust_corpus::{AssocNetwork, AssocNetworkBuilder, TextPipeline};
-pub use linkclust_graph::{EdgeId, GraphBuilder, GraphError, VertexId, WeightedGraph};
+pub use linkclust_graph::{
+    CsrGraph, EdgeId, EdgeIndex, GraphBuilder, GraphError, GraphView, VertexId, WeightedGraph,
+};
 #[allow(deprecated)]
 pub use linkclust_parallel::ParallelLinkClustering;
 pub use linkclust_parallel::{

@@ -3,7 +3,7 @@
 //! with a batch recomputation on the resulting graph.
 
 use linkclust::core::incremental::IncrementalSimilarities;
-use linkclust::{compute_similarities, VertexId};
+use linkclust::{compute_similarities, GraphView, VertexId};
 use proptest::prelude::*;
 
 /// An operation against the index.
@@ -83,7 +83,7 @@ proptest! {
         for i in 0..n {
             for j in i + 1..n {
                 let (u, v) = (VertexId::new(i), VertexId::new(j));
-                prop_assert_eq!(inc.weight_between(u, v), g.weight_between(u, v));
+                prop_assert_eq!(inc.weight_between(u, v), GraphView::weight_between(&g, u, v));
             }
         }
     }

@@ -1,0 +1,178 @@
+//! Structural validation of `BENCH_scale.json`, for the `bench-ladder`
+//! gate.
+//!
+//! Re-parses the scale-ladder artifact with the harness's own JSON
+//! reader (shared with [`crate::tracecheck`]) so a bug in the bench
+//! crate's hand-rolled writer cannot hide behind the bench crate's own
+//! serializer. Checks the `linkclust-bench-scale/v1` schema: the
+//! document header, a non-empty `rungs` array, every per-rung field
+//! with the right type, per-rung correctness booleans true, and a
+//! non-empty `threads` sample array per rung.
+
+use crate::tracecheck::{parse, Json};
+
+/// What a validated scale document contained, for the gate's log line.
+#[derive(Debug)]
+pub(crate) struct ScaleSummary {
+    /// Number of rungs in the document.
+    pub(crate) rungs: usize,
+    /// Largest `edges` value across rungs.
+    pub(crate) max_edges: u64,
+    /// Whether the document was produced by a `--smoke` run.
+    pub(crate) smoke: bool,
+}
+
+const FAMILIES: &[&str] = &["gnm", "barabasi_albert", "lfr_like"];
+
+/// Validates `text` as a `linkclust-bench-scale/v1` document.
+///
+/// Returns a summary on success and a human-readable description of the
+/// first structural problem otherwise.
+pub(crate) fn check_scale_document(text: &str) -> Result<ScaleSummary, String> {
+    let doc = parse(text)?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("linkclust-bench-scale/v1") => {}
+        Some(other) => return Err(format!("unexpected schema tag {other:?}")),
+        None => return Err("top-level object lacks a string `schema` tag".to_string()),
+    }
+    let smoke = doc.get("smoke").and_then(Json::as_bool).ok_or("`smoke` must be a boolean")?;
+    let runs = doc.get("runs").and_then(Json::as_f64).ok_or("`runs` must be a number")?;
+    if runs < 1.0 {
+        return Err(format!("`runs` must be at least 1, got {runs}"));
+    }
+    let cores = doc
+        .get("hardware")
+        .and_then(|h| h.get("cores"))
+        .and_then(Json::as_f64)
+        .ok_or("`hardware.cores` must be a number")?;
+    if cores < 1.0 {
+        return Err(format!("`hardware.cores` must be at least 1, got {cores}"));
+    }
+
+    let rungs = match doc.get("rungs") {
+        Some(Json::Arr(rungs)) => rungs,
+        Some(_) => return Err("`rungs` is not an array".to_string()),
+        None => return Err("top-level object lacks a `rungs` array".to_string()),
+    };
+    if rungs.is_empty() {
+        return Err("`rungs` is empty: the ladder measured nothing".to_string());
+    }
+
+    let mut max_edges = 0u64;
+    for (i, rung) in rungs.iter().enumerate() {
+        max_edges = max_edges.max(check_rung(rung).map_err(|e| format!("rung {i}: {e}"))?);
+    }
+    Ok(ScaleSummary { rungs: rungs.len(), max_edges, smoke })
+}
+
+/// Validates one rung object; returns its `edges` count.
+fn check_rung(rung: &Json) -> Result<u64, String> {
+    let family = rung.get("family").and_then(Json::as_str).ok_or("lacks a string `family`")?;
+    if !FAMILIES.contains(&family) {
+        return Err(format!("unknown generator family {family:?}"));
+    }
+    let num =
+        |key: &str| rung.get(key).and_then(Json::as_f64).ok_or(format!("lacks a numeric `{key}`"));
+    let tier = num("tier")?;
+    let vertices = num("vertices")?;
+    let edges = num("edges")?;
+    num("csr_memory_bytes")?;
+    num("peak_rss_bytes")?;
+    num("bin_write_ms")?;
+    num("bin_read_ms")?;
+    if tier < 1.0 || vertices < 1.0 || edges < 1.0 {
+        return Err(format!("implausible sizes (tier {tier}, vertices {vertices}, edges {edges})"));
+    }
+
+    for key in ["bin_roundtrip_ok", "csr_matches_adjacency"] {
+        match rung.get(key).and_then(Json::as_bool) {
+            Some(true) => {}
+            Some(false) => return Err(format!("`{key}` is false: correctness failure")),
+            None => return Err(format!("lacks a boolean `{key}`")),
+        }
+    }
+
+    let samples = match rung.get("threads") {
+        Some(Json::Arr(samples)) if !samples.is_empty() => samples,
+        Some(Json::Arr(_)) => return Err("`threads` is empty".to_string()),
+        _ => return Err("lacks a `threads` array".to_string()),
+    };
+    for (j, s) in samples.iter().enumerate() {
+        for key in ["threads", "min_ms", "mean_ms", "speedup"] {
+            let v = s
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("thread sample {j} lacks a numeric `{key}`"))?;
+            if v < 0.0 {
+                return Err(format!("thread sample {j} has a negative `{key}`"));
+            }
+        }
+    }
+
+    // NMI / pair-F1 are null except on planted-community rungs; when
+    // present they are probabilities.
+    for key in ["nmi", "pair_f1"] {
+        match rung.get(key) {
+            Some(Json::Null) | None => {}
+            Some(v) => {
+                let v = v.as_f64().ok_or(format!("`{key}` must be a number or null"))?;
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(format!("`{key}` = {v} is outside [0, 1]"));
+                }
+            }
+        }
+    }
+    Ok(edges as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rung(family: &str, edges: u64, ok: bool) -> String {
+        format!(
+            "{{\"family\":\"{family}\",\"tier\":1000,\"vertices\":200,\"edges\":{edges},\
+              \"csr_memory_bytes\":48804,\"peak_rss_bytes\":8294400,\
+              \"bin_write_ms\":0.03,\"bin_read_ms\":0.05,\"bin_roundtrip_ok\":true,\
+              \"csr_matches_adjacency\":{ok},\
+              \"threads\":[{{\"threads\":1,\"min_ms\":2.2,\"mean_ms\":2.4,\"speedup\":1.0}}],\
+              \"nmi\":null,\"pair_f1\":null}}"
+        )
+    }
+
+    fn doc(rungs: &[String]) -> String {
+        format!(
+            "{{\"schema\":\"linkclust-bench-scale/v1\",\"smoke\":true,\"runs\":2,\
+              \"hardware\":{{\"cores\":1}},\"ba_edge_cap\":100000,\"rungs\":[{}]}}",
+            rungs.join(",")
+        )
+    }
+
+    #[test]
+    fn accepts_a_well_formed_document() {
+        let text = doc(&[rung("gnm", 1000, true), rung("lfr_like", 1_000_000, true)]);
+        let summary = check_scale_document(&text).expect("document should validate");
+        assert_eq!(summary.rungs, 2);
+        assert_eq!(summary.max_edges, 1_000_000);
+        assert!(summary.smoke);
+    }
+
+    #[test]
+    fn rejects_structural_and_correctness_problems() {
+        assert!(check_scale_document("{").is_err());
+        assert!(check_scale_document("{\"schema\":\"other/v9\"}").is_err());
+        let empty = doc(&[]);
+        assert!(check_scale_document(&empty).unwrap_err().contains("empty"));
+        let failed = doc(&[rung("gnm", 1000, false)]);
+        assert!(check_scale_document(&failed).unwrap_err().contains("correctness"));
+        let bad_family = doc(&[rung("erdos", 1000, true)]);
+        assert!(check_scale_document(&bad_family).unwrap_err().contains("family"));
+        let no_threads = rung("gnm", 1000, true).replace(
+            "\"threads\":[{\"threads\":1,\"min_ms\":2.2,\"mean_ms\":2.4,\"speedup\":1.0}]",
+            "\"threads\":[]",
+        );
+        assert!(check_scale_document(&doc(&[no_threads])).unwrap_err().contains("empty"));
+        let bad_nmi = rung("gnm", 1000, true).replace("\"nmi\":null", "\"nmi\":1.5");
+        assert!(check_scale_document(&doc(&[bad_nmi])).unwrap_err().contains("outside"));
+    }
+}

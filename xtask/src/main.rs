@@ -11,6 +11,7 @@
 //! The policy the harness enforces is documented in `VERIFICATION.md` at
 //! the workspace root.
 
+mod benchcheck;
 mod scan;
 mod tracecheck;
 
@@ -67,6 +68,20 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "bench-ladder" => {
+            // Build and run the scale ladder (pass `--smoke` for the
+            // two smallest tiers per family — the CI gate), then
+            // schema-validate the BENCH_scale.json it wrote.
+            let extra: Vec<&str> =
+                args.iter().skip(1).map(String::as_str).filter(|a| *a != "--").collect();
+            match run_bench_ladder(&root, &extra) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("bench-ladder failed: {msg}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         name => {
             if let Some(gate) = GATES.iter().find(|g| g.name == name) {
                 run_gates(&root, std::slice::from_ref(gate))
@@ -89,6 +104,9 @@ fn print_usage() {
     }
     eprintln!(
         "  bench-smoke  run the fixed-seed smoke benchmark (writes BENCH_parallel.json + BENCH_init.json)"
+    );
+    eprintln!(
+        "  bench-ladder run the scale ladder and schema-validate BENCH_scale.json (`--smoke` for the CI gate)"
     );
 }
 
@@ -264,6 +282,44 @@ fn run_bench_smoke(root: &Path, extra: &[&str]) -> Result<(), String> {
         args.extend_from_slice(extra);
     }
     cargo(root, &args, &[])
+}
+
+/// Builds and runs the `bench_ladder` binary in release mode, forwarding
+/// any extra CLI flags (`--smoke`, `--runs N`, `--out PATH`), then
+/// validates the artifact it wrote with the harness's own JSON reader
+/// (see [`benchcheck`]). A full (non-smoke) document must reach the
+/// million-edge tier.
+fn run_bench_ladder(root: &Path, extra: &[&str]) -> Result<(), String> {
+    let mut args =
+        vec!["run", "--release", "--quiet", "-p", "linkclust-bench", "--bin", "bench_ladder"];
+    if !extra.is_empty() {
+        args.push("--");
+        args.extend_from_slice(extra);
+    }
+    cargo(root, &args, &[])?;
+
+    let out = extra
+        .iter()
+        .position(|a| *a == "--out")
+        .and_then(|i| extra.get(i + 1))
+        .map_or_else(|| root.join("BENCH_scale.json"), PathBuf::from);
+    let text = std::fs::read_to_string(&out)
+        .map_err(|e| format!("ladder run left no artifact at {}: {e}", out.display()))?;
+    let summary = benchcheck::check_scale_document(&text)
+        .map_err(|e| format!("{} fails schema validation: {e}", out.display()))?;
+    if !summary.smoke && summary.max_edges < 1_000_000 {
+        return Err(format!(
+            "full ladder document tops out at {} edges (expected at least 1000000)",
+            summary.max_edges
+        ));
+    }
+    eprintln!(
+        "bench-ladder: {} rungs, largest rung {} edges, in {}",
+        summary.rungs,
+        summary.max_edges,
+        out.display()
+    );
+    Ok(())
 }
 
 fn run_scan(root: &Path) -> Result<(), String> {

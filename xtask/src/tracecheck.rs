@@ -13,12 +13,12 @@
 
 use std::collections::HashMap;
 
-/// A parsed JSON value (just enough of RFC 8259 for trace files; the
-/// validator only ever reads numbers and strings back out, so `Bool`
-/// carries no payload).
-enum Json {
+/// A parsed JSON value (just enough of RFC 8259 for the harness's
+/// artifacts; shared with the `bench-ladder` schema check in
+/// [`crate::benchcheck`]).
+pub(crate) enum Json {
     Null,
-    Bool,
+    Bool(bool),
     Num(f64),
     Str(String),
     Arr(Vec<Json>),
@@ -26,23 +26,30 @@ enum Json {
 }
 
 impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+    pub(crate) fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    fn as_f64(&self) -> Option<f64> {
+    pub(crate) fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
             _ => None,
         }
     }
 
-    fn as_str(&self) -> Option<&str> {
+    pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -139,7 +146,7 @@ pub(crate) fn check_chrome_trace(text: &str) -> Result<TraceSummary, String> {
 
 /// Parses `text` as a single JSON value (with nothing but whitespace
 /// after it).
-fn parse(text: &str) -> Result<Json, String> {
+pub(crate) fn parse(text: &str) -> Result<Json, String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
     let value = parse_value(bytes, &mut pos, 0)?;
@@ -210,8 +217,8 @@ fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, Stri
             }
         }
         Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
-        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool),
-        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
         Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
         Some(_) => parse_number(bytes, pos),
     }
