@@ -10,6 +10,15 @@
 //! ```
 //!
 //! then bracket a measurement with [`reset_peak`] / [`peak_bytes`].
+//!
+//! All counter accesses are `Relaxed`: each update is a single atomic
+//! RMW, and a reader observes another thread's allocations only through
+//! its own happens-before edge with that thread (a `join`, or the
+//! worker pool's caller-helps rendezvous) — not through these
+//! orderings. Measurement brackets in this workspace always hold such
+//! an edge (the pool run they bracket has completed), so the counts
+//! they read are exact; an unsynchronized concurrent read would be
+//! advisory only.
 
 // The workspace denies `unsafe_code`; this module is the single audited
 // exception — implementing `GlobalAlloc` is inherently unsafe, and every
@@ -31,14 +40,14 @@ pub struct CountingAlloc;
 
 impl CountingAlloc {
     fn record_alloc(size: usize) {
-        let cur = CURRENT.fetch_add(size, Ordering::Relaxed) + size;
-        PEAK.fetch_max(cur, Ordering::Relaxed);
-        TOTAL_BYTES.fetch_add(size, Ordering::Relaxed);
-        TOTAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let cur = CURRENT.fetch_add(size, Ordering::Relaxed) + size; // ordering: stats RMW
+        PEAK.fetch_max(cur, Ordering::Relaxed); // ordering: monotone-max stats RMW
+        TOTAL_BYTES.fetch_add(size, Ordering::Relaxed); // ordering: stats RMW
+        TOTAL_ALLOCS.fetch_add(1, Ordering::Relaxed); // ordering: stats RMW
     }
 
     fn record_dealloc(size: usize) {
-        CURRENT.fetch_sub(size, Ordering::Relaxed);
+        CURRENT.fetch_sub(size, Ordering::Relaxed); // ordering: stats RMW
     }
 }
 
@@ -72,18 +81,22 @@ unsafe impl GlobalAlloc for CountingAlloc {
 }
 
 /// Live heap bytes right now (0 if the counting allocator is not
-/// installed).
+/// installed). Exact for allocations the caller happens-after (see the
+/// module note); advisory for threads still running.
 pub fn current_bytes() -> usize {
-    CURRENT.load(Ordering::Relaxed)
+    CURRENT.load(Ordering::Relaxed) // ordering: see module note on reader HB edges
 }
 
-/// Peak live heap bytes since the last [`reset_peak`].
+/// Peak live heap bytes since the last [`reset_peak`]. Exact once the
+/// measured threads have been joined or rendezvoused with (see the
+/// module note); advisory while they still run.
 pub fn peak_bytes() -> usize {
-    PEAK.load(Ordering::Relaxed)
+    PEAK.load(Ordering::Relaxed) // ordering: see module note on reader HB edges
 }
 
 /// Resets the peak to the current live count and returns the old peak.
 pub fn reset_peak() -> usize {
+    // ordering: stats RMW + read; see module note on reader HB edges
     PEAK.swap(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed)
 }
 
@@ -104,6 +117,7 @@ pub fn measure_peak<T>(f: impl FnOnce() -> T) -> (T, usize) {
 /// is how the pool bench shows the per-chunk clone traffic going away).
 #[must_use]
 pub fn total_allocated() -> (usize, usize) {
+    // ordering: monotone stats reads; see module note on reader HB edges
     (TOTAL_BYTES.load(Ordering::Relaxed), TOTAL_ALLOCS.load(Ordering::Relaxed))
 }
 

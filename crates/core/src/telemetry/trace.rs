@@ -156,27 +156,34 @@ impl ThreadRing {
     /// the single-writer discipline is what lets the stores stay
     /// relaxed with one release fence on the cursor.
     fn push(&self, label: u64, start_nanos: u64, dur_nanos: u64) {
-        let i = self.cursor.load(Ordering::Relaxed);
+        let i = self.cursor.load(Ordering::Relaxed); // ordering: single writer reads own cursor
         let slot = (i % self.labels.len() as u64) as usize;
+        // The release store of the cursor below orders the three slot
+        // stores before any acquire reader — the trace-ring publish
+        // protocol (see DESIGN.md).
+        // ordering: relaxed slot stores, published by the release cursor
         self.labels[slot].store(label, Ordering::Relaxed);
         self.starts[slot].store(start_nanos, Ordering::Relaxed);
-        self.durs[slot].store(dur_nanos, Ordering::Relaxed);
-        self.cursor.store(i + 1, Ordering::Release);
+        self.durs[slot].store(dur_nanos, Ordering::Relaxed); // ordering: as above
+        self.cursor.store(i + 1, Ordering::Release); // ordering: publishes the slot stores above
     }
 
     /// Reads the newest `<= capacity` events (oldest first) and the
     /// number of overwritten (dropped) events.
     fn snapshot(&self) -> (Vec<(u64, u64, u64)>, u64) {
         let capacity = self.labels.len() as u64;
+        // ordering: acquire pairs with the writer's release cursor store;
+        // every slot store before that release is now visible.
         let total = self.cursor.load(Ordering::Acquire);
         let kept = total.min(capacity);
         let mut out = Vec::with_capacity(kept as usize);
         for i in (total - kept)..total {
             let slot = (i % capacity) as usize;
             out.push((
+                // ordering: covered by the acquire cursor load above
                 self.labels[slot].load(Ordering::Relaxed),
                 self.starts[slot].load(Ordering::Relaxed),
-                self.durs[slot].load(Ordering::Relaxed),
+                self.durs[slot].load(Ordering::Relaxed), // ordering: as above
             ));
         }
         (out, total - kept)
@@ -224,6 +231,7 @@ impl TraceCollector {
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
+            // ordering: uniqueness needs only RMW atomicity
             id: COLLECTOR_IDS.fetch_add(1, Ordering::Relaxed),
             epoch: Instant::now(),
             capacity: capacity.max(16),

@@ -81,14 +81,18 @@ impl EdgeIndex {
         for e in 0..m {
             let id = EdgeId::new(e);
             let (s, t) = g.edge_endpoints(id);
+            // cast: vertex ids fit u32 by the GraphView contract (u32
+            // CSR ids); packing two of them into the u64 key is lossless
             let key = pack(s.index() as u32, t.index() as u32);
+            // cast: truncating the 64-bit hash to the slot index is the
+            // point — the mask keeps only the table bits
             let mut slot = hash(key) as usize & index.mask;
             while index.keys[slot] != EMPTY {
                 debug_assert_ne!(index.keys[slot], key, "duplicate edge in graph");
                 slot = (slot + 1) & index.mask;
             }
             index.keys[slot] = key;
-            index.ids[slot] = e as u32;
+            index.ids[slot] = e as u32; // cast: e < m and m <= u32::MAX edges per GraphView
             index.weights[slot] = g.edge_weight(id);
         }
         index

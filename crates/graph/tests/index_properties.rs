@@ -1,0 +1,152 @@
+//! High-load-factor tests for [`EdgeIndex`]: the open-addressed table
+//! sizes itself to a 7/8 maximum load (`slots = npot(m·8/7 + 1)`, at
+//! least 16), so a 13-edge graph lands in a 16-slot table with only
+//! three empty slots. These tests drive exactly that regime — probe
+//! chains that wrap past the last slot to slot 0, absent-key lookups
+//! that must terminate on a nearly-full table, and a property sweep at
+//! maximum load proving every inserted pair stays findable regardless
+//! of insertion interleaving.
+//!
+//! The seeding helpers mirror the table's `pack`/murmur3 finalizer so
+//! keys can be aimed at the tail slots deterministically; if the
+//! internal hash ever changes, the wraparound targeting degrades to an
+//! ordinary high-load test (the correctness assertions hold either
+//! way), and `tail_heavy_pairs` panics if it cannot find enough
+//! tail-homed pairs — a loud signal to re-aim the mirror.
+
+use linkclust_graph::generate::{gnm, WeightMode};
+use linkclust_graph::{EdgeIndex, GraphBuilder, GraphView, VertexId};
+use proptest::prelude::*;
+
+/// Mirror of the index's key packing: canonical pair, low id in the
+/// high half.
+fn pack(u: u32, v: u32) -> u64 {
+    let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+    (u64::from(lo) << 32) | u64::from(hi)
+}
+
+/// Mirror of the index's murmur3 64-bit finalizer.
+fn hash(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    x
+}
+
+/// The home slot of pair `(u, v)` in a table of `slots` slots.
+fn home_slot(u: u32, v: u32, slots: usize) -> usize {
+    usize::try_from(hash(pack(u, v)) % slots as u64).expect("slot fits usize")
+}
+
+/// Picks `count` distinct pairs from a 64-vertex universe whose home
+/// slots all sit in the last `tail` slots of a `slots`-slot table, so
+/// inserting them forces probe chains across the index wraparound.
+///
+/// # Panics
+///
+/// If the universe cannot supply enough tail-homed pairs (would mean
+/// the hash mirror no longer matches the implementation).
+fn tail_heavy_pairs(count: usize, slots: usize, tail: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::with_capacity(count);
+    for u in 0..64u32 {
+        for v in (u + 1)..64u32 {
+            if home_slot(u, v, slots) >= slots - tail {
+                pairs.push((u as usize, v as usize));
+                if pairs.len() == count {
+                    return pairs;
+                }
+            }
+        }
+    }
+    panic!("only {} of {count} tail-homed pairs found — hash mirror is stale", pairs.len());
+}
+
+/// The largest edge count whose table still has `slots` slots (load
+/// factor 7/8): the next edge would round the table up to `2·slots`.
+fn max_edges_for(slots: usize) -> usize {
+    (slots - 1) * 7 / 8
+}
+
+#[test]
+fn probe_chains_wrap_around_the_table_end() {
+    // 13 edges -> 16 slots; all 13 keys homed in the last 4 slots, so
+    // at least 9 insertions must wrap past slot 15 into slot 0.
+    let m = max_edges_for(16);
+    let pairs = tail_heavy_pairs(m, 16, 4);
+    let edges: Vec<(usize, usize, f64)> =
+        pairs.iter().enumerate().map(|(i, &(u, v))| (u, v, 1.0 + i as f64)).collect();
+    let g = GraphBuilder::from_edges(64, &edges).expect("distinct canonical pairs").build();
+    let index = EdgeIndex::for_graph(&g);
+    assert_eq!(index.len(), m);
+    for (i, &(u, v)) in pairs.iter().enumerate() {
+        let (a, b) = (VertexId::new(u), VertexId::new(v));
+        let found = index.edge_between(a, b);
+        assert_eq!(found, GraphView::edge_between(&g, a, b), "pair {u}-{v}");
+        assert!(found.is_some(), "pair {u}-{v} lost across the wraparound");
+        // float-cmp: weights are small integers stored verbatim — exact
+        assert_eq!(index.weight_between(b, a), Some(1.0 + i as f64));
+    }
+}
+
+#[test]
+fn absent_keys_terminate_on_a_maximally_loaded_table() {
+    // A 16-slot table at its 13/16 design limit: absent-key probes may
+    // walk long collision runs (including across the wraparound) and
+    // must still hit one of the three EMPTY slots and stop.
+    let m = max_edges_for(16);
+    let pairs = tail_heavy_pairs(m, 16, 4);
+    let edges: Vec<(usize, usize, f64)> = pairs.iter().map(|&(u, v)| (u, v, 1.0)).collect();
+    let g = GraphBuilder::from_edges(64, &edges).expect("distinct canonical pairs").build();
+    let index = EdgeIndex::for_graph(&g);
+    let present: std::collections::BTreeSet<(usize, usize)> = pairs.into_iter().collect();
+    for u in 0..64usize {
+        for v in u..64usize {
+            if u == v || present.contains(&(u, v)) {
+                continue;
+            }
+            let (a, b) = (VertexId::new(u), VertexId::new(v));
+            assert_eq!(index.edge_between(a, b), None, "phantom edge {u}-{v}");
+            assert_eq!(index.weight_between(a, b), None, "phantom weight {u}-{v}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every inserted pair is findable (with the right id and weight)
+    /// after interleaved inserts, with the table held at its maximum
+    /// 7/8 load factor across several table sizes.
+    #[test]
+    fn every_pair_findable_at_max_load(
+        slots_exp in 4u32..7,
+        seed in 0u64..1000,
+    ) {
+        let slots = 1usize << slots_exp;
+        let m = max_edges_for(slots);
+        // Enough vertices that gnm can always place m distinct edges,
+        // few enough that collisions stay likely.
+        let n = (3 * m / 2).max(8);
+        let g = gnm(n, m, WeightMode::Uniform { lo: 0.1, hi: 3.0 }, seed);
+        prop_assert_eq!(g.edge_count(), m);
+        let index = EdgeIndex::for_graph(&g);
+        prop_assert_eq!(index.len(), m);
+        for (id, e) in g.edges() {
+            let found = index.edge_between(e.source, e.target);
+            prop_assert_eq!(found, Some(id), "edge {}-{}", e.source.index(), e.target.index());
+            // float-cmp: the stored weight is copied verbatim at build,
+            // so lookup must return the identical bits
+            prop_assert_eq!(index.weight_between(e.target, e.source), Some(e.weight));
+        }
+        // A band of absent pairs must stay absent at this load.
+        for u in g.vertices() {
+            for v in g.vertices() {
+                if u != v && GraphView::edge_between(&g, u, v).is_none() {
+                    prop_assert_eq!(index.edge_between(u, v), None);
+                }
+            }
+        }
+    }
+}

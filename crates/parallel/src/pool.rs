@@ -306,8 +306,11 @@ impl WorkerPool {
         self.telemetry.add(Counter::PoolTasks, n as u64);
         // Sequence numbers label per-task trace events; the counter only
         // advances when a tracer is attached (one relaxed RMW per batch).
+        // ordering: uniqueness of the reserved range comes from RMW
+        // atomicity alone — no other memory is published through this
+        // counter, so Relaxed is exactly strong enough.
         let base_seq = if self.telemetry.is_tracing() {
-            self.task_seq.fetch_add(n as u64, Ordering::Relaxed)
+            self.task_seq.fetch_add(n as u64, Ordering::Relaxed) // ordering: see above
         } else {
             0
         };
@@ -587,6 +590,9 @@ mod tests {
                 .map(|i| {
                     let counter = Arc::clone(&counter);
                     Box::new(move || {
+                        // ordering: relaxed is enough — the reader below
+                        // happens-after this task via run_tasks' result
+                        // rendezvous, not via this RMW's ordering.
                         counter.fetch_add(1, Ordering::Relaxed);
                         round * 8 + i
                     }) as Task<usize>
@@ -596,6 +602,9 @@ mod tests {
             let expected: Vec<usize> = (0..8).map(|i| round * 8 + i).collect();
             assert_eq!(got, expected);
         }
+        // ordering: every fetch_add happens-before this read because
+        // each run_tasks call returned (its mpsc recv of the last result
+        // synchronizes-with the worker's send after the increment).
         assert_eq!(counter.load(Ordering::Relaxed), 400);
     }
 

@@ -1,0 +1,23 @@
+//! Seeded violations for rule family (a): atomics-ordering discipline.
+//! Analyzed by xtask's lint self-tests under two module paths: a
+//! non-allowlisted module (every site is `atomics-module`) and an
+//! allowlisted one (`atomics-justify` / `relaxed-publish` fire).
+//! This file is test data, never compiled into any crate.
+
+fn justified_load(x: &AtomicU64) -> u64 {
+    x.load(Ordering::Acquire) // ordering: pairs with the release store in publish()
+}
+
+fn unjustified_load(x: &AtomicU64) -> u64 {
+    x.load(Ordering::SeqCst)
+}
+
+fn unjustified_rmw(x: &AtomicU64) -> u64 {
+    x.fetch_add(1, Ordering::AcqRel)
+}
+
+fn relaxed_publish(x: &AtomicU64) {
+    // ordering: justified comment, but the relaxed *store* is still a
+    // cross-thread publish outside the trace-ring protocol.
+    x.store(42, Ordering::Relaxed);
+}

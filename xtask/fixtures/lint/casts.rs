@@ -1,0 +1,23 @@
+//! Seeded violations for rule family (d): truncating-cast audit.
+//! This file is test data, never compiled into any crate.
+
+fn bare_narrowing(e: u64) -> u32 {
+    e as u32
+}
+
+fn bare_usize_narrowing(e: u64) -> usize {
+    e as usize
+}
+
+fn justified_narrowing(e: u64) -> u32 {
+    // cast: edge count validated against u32::MAX at graph build
+    e as u32
+}
+
+fn widening_is_fine(v: u32) -> u64 {
+    v as u64
+}
+
+fn float_cast_is_fine(v: u32) -> f64 {
+    v as f64
+}

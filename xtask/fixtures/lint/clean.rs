@@ -1,0 +1,30 @@
+//! A fixture with zero violations, analyzed as `parallel::pool`: every
+//! ordering is justified, lock order is consistent, floats use
+//! total_cmp, casts are justified, and thread creation is sanctioned.
+//! This file is test data, never compiled into any crate.
+
+fn justified_atomics(x: &AtomicU64) -> u64 {
+    // ordering: release store pairs with the acquire load below
+    x.store(1, Ordering::Release);
+    x.load(Ordering::Acquire) // ordering: pairs with the release store above
+}
+
+fn consistent_lock_order(&self) {
+    let a = self.alpha.lock();
+    let b = self.beta.lock();
+    a.merge(&b);
+}
+
+fn consistent_lock_order_again(&self) {
+    let a = self.alpha.lock();
+    let b = self.beta.lock();
+    b.absorb(&a);
+}
+
+fn total_cmp_sort(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}
+
+fn sanctioned_spawn() {
+    let handle = thread::Builder::new().spawn(|| worker_loop());
+}

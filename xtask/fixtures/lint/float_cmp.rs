@@ -1,0 +1,23 @@
+//! Seeded violations for rule family (c): float-comparison discipline.
+//! This file is test data, never compiled into any crate.
+
+fn bare_literal_cmp(x: f64) -> bool {
+    x > 0.5
+}
+
+fn bare_equality(x: f64) -> bool {
+    x == 1.0
+}
+
+fn justified_cmp(x: f64) -> bool {
+    // float-cmp: threshold is exact in binary; NaN correctly falls through
+    x >= 0.25
+}
+
+fn partial_cmp_sort(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn integer_cmp_is_fine(x: u32) -> bool {
+    x > 5
+}

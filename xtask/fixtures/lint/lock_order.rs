@@ -1,0 +1,27 @@
+//! Seeded violations for rule family (b): lock-order analysis. The two
+//! functions acquire `alpha` and `beta` in opposite orders — the
+//! classic AB/BA deadlock schedule — and a second pair reproduces the
+//! same cycle interprocedurally through distinctively-named helpers.
+//! This file is test data, never compiled into any crate.
+
+fn ab_order(&self) {
+    let a = self.alpha.lock();
+    let b = self.beta.lock();
+    a.merge(&b);
+}
+
+fn ba_order(&self) {
+    let b = self.beta.lock();
+    let a = self.alpha.lock();
+    b.merge(&a);
+}
+
+fn outer_holds_alpha(&self) {
+    let a = self.alpha.lock();
+    self.fixture_grab_beta(a);
+}
+
+fn fixture_grab_beta(&self, a: Guard) {
+    let b = self.beta.lock();
+    b.absorb(a);
+}

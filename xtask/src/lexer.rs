@@ -1,0 +1,487 @@
+//! A minimal token-level Rust lexer with source spans.
+//!
+//! Shared substrate of the two static-analysis gates: the
+//! forbidden-pattern scanner ([`scan`](crate::scan)) and the
+//! concurrency/numeric-discipline lint pass ([`lint`](crate::lint)).
+//! It is deliberately not a full Rust front end — no parser, no types —
+//! but unlike a regex pass it gets the *contexts* right: string and
+//! char literals (including raw strings and byte strings), lifetimes
+//! vs. char literals, nested block comments, doc comments, and float
+//! literals are all recognized as single tokens, so downstream rules
+//! never fire on text inside a string or a comment and can report exact
+//! line/column positions.
+
+/// What a lexed token is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum TokenKind {
+    /// An identifier or keyword (`fn`, `Ordering`, `r#async`, ...).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// A numeric literal, integer or float, with any suffix.
+    Number,
+    /// A string literal: `"..."`, `r"..."`, `r#"..."#`, `b"..."`, ...
+    Str,
+    /// A char or byte-char literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// A `// ...` comment, including `///` and `//!` doc comments.
+    LineComment,
+    /// A `/* ... */` comment (nesting tracked), including `/** ... */`.
+    BlockComment,
+    /// Punctuation, with common multi-char operators joined (`::`,
+    /// `->`, `==`, `<=`, `..=`, ...).
+    Punct,
+}
+
+/// One token plus its 1-based source position (byte column).
+#[derive(Clone, Debug)]
+pub(crate) struct Token {
+    /// Token class.
+    pub(crate) kind: TokenKind,
+    /// The token's exact source text.
+    pub(crate) text: String,
+    /// 1-based line of the token's first byte.
+    pub(crate) line: usize,
+    /// 1-based byte column of the token's first byte within its line.
+    pub(crate) col: usize,
+}
+
+impl Token {
+    /// `true` for a numeric literal that is a float: has a fractional
+    /// part, an exponent, or an `f32`/`f64` suffix (hex/octal/binary
+    /// literals are never floats).
+    pub(crate) fn is_float_literal(&self) -> bool {
+        if self.kind != TokenKind::Number {
+            return false;
+        }
+        let t = &self.text;
+        if t.starts_with("0x") || t.starts_with("0o") || t.starts_with("0b") {
+            return false;
+        }
+        if t.contains('.') || t.contains("f32") || t.contains("f64") {
+            return true;
+        }
+        // An exponent is `e`/`E` followed by a digit or sign — a bare
+        // `e` inside an integer suffix (`42usize`) is not one.
+        t.as_bytes().windows(2).any(|w| {
+            matches!(w[0], b'e' | b'E') && (w[1].is_ascii_digit() || matches!(w[1], b'+' | b'-'))
+        })
+    }
+
+    /// `true` for `///`, `//!`, `/**`, or `/*!` comments.
+    pub(crate) fn is_doc_comment(&self) -> bool {
+        match self.kind {
+            TokenKind::LineComment => self.text.starts_with("///") || self.text.starts_with("//!"),
+            TokenKind::BlockComment => {
+                (self.text.starts_with("/**") && !self.text.starts_with("/***"))
+                    || self.text.starts_with("/*!")
+            }
+            _ => false,
+        }
+    }
+
+    /// `true` for any comment token, doc or not.
+    pub(crate) fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Multi-char punctuation joined into single tokens, longest first so
+/// `<<=` wins over `<<` wins over `<`.
+const JOINED_PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "..", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Lexes `text` into tokens (comments included). Never fails: bytes the
+/// lexer cannot classify become single-char [`TokenKind::Punct`] tokens,
+/// so a file with exotic syntax degrades gracefully instead of aborting
+/// the whole gate.
+pub(crate) fn lex(text: &str) -> Vec<Token> {
+    Lexer { text, chars: text.char_indices().collect(), i: 0, line: 1, col: 1, out: Vec::new() }
+        .run()
+}
+
+struct Lexer<'a> {
+    text: &'a str,
+    /// `(byte offset, char)` pairs of the whole input.
+    chars: Vec<(usize, char)>,
+    /// Index into `chars`.
+    i: usize,
+    line: usize,
+    col: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).map(|&(_, c)| c)
+    }
+
+    fn byte_at(&self, idx: usize) -> usize {
+        self.chars.get(idx).map_or(self.text.len(), |&(b, _)| b)
+    }
+
+    /// Consumes chars `[start_i, self.i)` as one token of `kind`,
+    /// starting at the recorded `(line, col)`.
+    fn emit(&mut self, kind: TokenKind, start_i: usize, line: usize, col: usize) {
+        let text = self.text[self.byte_at(start_i)..self.byte_at(self.i)].to_string();
+        self.out.push(Token { kind, text, line, col });
+    }
+
+    /// Advances one char, updating line/col bookkeeping.
+    fn bump(&mut self) {
+        if let Some(&(b, c)) = self.chars.get(self.i) {
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                // Columns are byte-based so they match editor/`grep -b`
+                // offsets for the ASCII-dominated sources we scan.
+                self.col += c.len_utf8().max(1);
+                let _ = b;
+            }
+            self.i += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let (start_i, line, col) = (self.i, self.line, self.col);
+            match c {
+                c if c.is_whitespace() => self.bump(),
+                '/' if self.peek(1) == Some('/') => {
+                    while self.peek(0).is_some_and(|c| c != '\n') {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::LineComment, start_i, line, col);
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    self.lex_block_comment();
+                    self.emit(TokenKind::BlockComment, start_i, line, col);
+                }
+                '"' => {
+                    self.lex_string_body();
+                    self.emit(TokenKind::Str, start_i, line, col);
+                }
+                '\'' => {
+                    let kind = self.lex_char_or_lifetime();
+                    self.emit(kind, start_i, line, col);
+                }
+                c if c.is_ascii_digit() => {
+                    self.lex_number();
+                    self.emit(TokenKind::Number, start_i, line, col);
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    if let Some(kind) = self.lex_prefixed_literal() {
+                        self.emit(kind, start_i, line, col);
+                    } else {
+                        while self.peek(0).is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                            self.bump();
+                        }
+                        self.emit(TokenKind::Ident, start_i, line, col);
+                    }
+                }
+                _ => {
+                    let rest = &self.text[self.byte_at(self.i)..];
+                    let joined = JOINED_PUNCTS.iter().find(|p| rest.starts_with(**p));
+                    match joined {
+                        Some(p) => self.bump_n(p.chars().count()),
+                        None => self.bump(),
+                    }
+                    self.emit(TokenKind::Punct, start_i, line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Consumes a `/* ... */` comment with nesting; an unterminated
+    /// comment runs to end of input.
+    fn lex_block_comment(&mut self) {
+        self.bump_n(2);
+        let mut depth = 1usize;
+        while depth > 0 && self.peek(0).is_some() {
+            if self.peek(0) == Some('/') && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.peek(0) == Some('*') && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes a `"..."` body starting at the opening quote; handles
+    /// `\` escapes. Unterminated strings run to end of input.
+    fn lex_string_body(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.bump_n(2);
+            } else if c == '"' {
+                self.bump();
+                return;
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes a raw string `r"..."` / `r#"..."#` starting at the `r`
+    /// (prefix chars before the hashes already consumed by the caller).
+    fn lex_raw_string_body(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.peek(0) {
+            self.bump();
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                self.bump_n(hashes);
+                return;
+            }
+        }
+    }
+
+    /// At an alphabetic char: if it starts a prefixed literal (`r"`,
+    /// `r#"`, `b"`, `b'`, `br"`, `br#"`) consume it and return its kind;
+    /// otherwise consume nothing and return `None` (plain ident — raw
+    /// identifiers `r#name` land here too and lex as idents).
+    fn lex_prefixed_literal(&mut self) -> Option<TokenKind> {
+        let c0 = self.peek(0)?;
+        let (skip, next) = match (c0, self.peek(1)) {
+            ('b', Some('r')) => (2, self.peek(2)),
+            ('b' | 'r', n) => (1, n),
+            _ => return None,
+        };
+        match next {
+            Some('"') => {
+                self.bump_n(skip);
+                if c0 == 'b' && skip == 1 {
+                    self.lex_string_body();
+                } else {
+                    self.lex_raw_string_body();
+                }
+                Some(TokenKind::Str)
+            }
+            Some('#') if c0 != 'b' || skip == 2 => {
+                // `r#...` is a raw string only if hashes lead to a quote
+                // (`r#"`); `r#ident` is a raw identifier.
+                let mut k = skip;
+                while self.peek(k) == Some('#') {
+                    k += 1;
+                }
+                if self.peek(k) == Some('"') {
+                    self.bump_n(skip);
+                    self.lex_raw_string_body();
+                    Some(TokenKind::Str)
+                } else {
+                    None
+                }
+            }
+            Some('\'') if c0 == 'b' && skip == 1 => {
+                self.bump(); // the `b`
+                self.lex_char_body();
+                Some(TokenKind::Char)
+            }
+            _ => None,
+        }
+    }
+
+    /// At a `'`: distinguishes a char literal from a lifetime. A literal
+    /// is `'\...'` or `'<one char>'`; a lifetime has no closing quote
+    /// after its first character.
+    fn lex_char_or_lifetime(&mut self) -> TokenKind {
+        let is_literal = self.peek(1) == Some('\\') || self.peek(2) == Some('\'');
+        if is_literal {
+            self.lex_char_body();
+            TokenKind::Char
+        } else {
+            self.bump(); // the quote
+            while self.peek(0).is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                self.bump();
+            }
+            TokenKind::Lifetime
+        }
+    }
+
+    /// Consumes a `'...'` char body starting at the opening quote.
+    fn lex_char_body(&mut self) {
+        self.bump(); // opening quote
+        if self.peek(0) == Some('\\') {
+            self.bump_n(2);
+            // Multi-char escapes (`\u{...}`, `\x41`) run to the quote.
+            while self.peek(0).is_some_and(|c| c != '\'') {
+                self.bump();
+            }
+            self.bump();
+        } else {
+            self.bump();
+            if self.peek(0) == Some('\'') {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes a numeric literal: integer/float body, exponent, and any
+    /// alphanumeric suffix (`u32`, `f64`, `usize`).
+    fn lex_number(&mut self) {
+        let radix_prefix = self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x' | 'o' | 'b' | 'X' | 'O' | 'B'));
+        if radix_prefix {
+            self.bump_n(2);
+            while self.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+                self.bump();
+            }
+            return;
+        }
+        let digits = |l: &mut Self| {
+            while l.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                l.bump();
+            }
+        };
+        digits(self);
+        // A fractional part only if `.` is followed by a digit — `1..n`
+        // ranges and `tuple.0.1` accesses stay separate tokens.
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            digits(self);
+        }
+        if matches!(self.peek(0), Some('e' | 'E'))
+            && (self.peek(1).is_some_and(|c| c.is_ascii_digit())
+                || matches!(self.peek(1), Some('+' | '-'))
+                    && self.peek(2).is_some_and(|c| c.is_ascii_digit()))
+        {
+            self.bump();
+            if matches!(self.peek(0), Some('+' | '-')) {
+                self.bump();
+            }
+            digits(self);
+        }
+        // Suffix (`u32`, `f64`, `usize`, ...).
+        while self.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+            self.bump();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<(TokenKind, String)> {
+        lex(text).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_positions() {
+        let toks = lex("fn main() {\n    x::y != z;\n}\n");
+        let find = |s: &str| toks.iter().find(|t| t.text == s).unwrap();
+        assert_eq!((find("fn").line, find("fn").col), (1, 1));
+        assert_eq!((find("main").line, find("main").col), (1, 4));
+        assert_eq!((find("::").line, find("::").col), (2, 6));
+        assert_eq!(find("::").kind, TokenKind::Punct);
+        assert_eq!((find("!=").line, find("!=").col), (2, 10));
+        assert_eq!((find("}").line, find("}").col), (3, 1));
+    }
+
+    #[test]
+    fn strings_and_chars_are_single_tokens() {
+        let toks = kinds(r#"let s = "a // not a comment { } \" x"; let c = '{';"#);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Str && t.contains("not a comment")));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Char && t == "'{'"));
+        // No brace puncts leaked out of the literals.
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Punct && (t == "{" || t == "}")));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds("let a = r#\"has \"quotes\" and ## inside\"#; let b = b\"bytes\";");
+        let strs: Vec<&String> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Str).map(|(_, t)| t).collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[0].contains("quotes"));
+        assert!(strs[1].contains("bytes"));
+        // `r#ident` stays an identifier.
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "r"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 1);
+        let toks = kinds(r"let nl = '\n'; let esc = '\u{1F600}';");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments_and_doc_comments() {
+        let toks = lex("/* outer /* inner */ still */ code\n/// doc\n//! inner doc\n// plain\n");
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert!(toks[0].text.ends_with("still */"));
+        assert_eq!(toks[1].text, "code");
+        assert!(toks[2].is_doc_comment());
+        assert!(toks[3].is_doc_comment());
+        assert!(!toks[4].is_doc_comment());
+        assert!(toks[4].is_comment());
+    }
+
+    #[test]
+    fn float_literal_detection() {
+        for (text, float) in [
+            ("1.5", true),
+            ("0.0", true),
+            ("1e9", true),
+            ("2.5e-3", true),
+            ("1.0f64", true),
+            ("3f32", true),
+            ("42", false),
+            ("42u32", false),
+            ("7usize", false),
+            ("100_isize", false),
+            ("0xff", false),
+            ("0b101", false),
+        ] {
+            let toks = lex(text);
+            assert_eq!(toks.len(), 1, "{text}");
+            assert_eq!(toks[0].is_float_literal(), float, "{text}");
+        }
+        // Ranges and tuple access do not glue into floats.
+        let toks = kinds("for i in 0..10 {} t.0");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Punct && t == ".."));
+        assert!(!lex("0..10").iter().any(Token::is_float_literal));
+    }
+
+    #[test]
+    fn multichar_puncts_join() {
+        let toks = kinds("a <= b >= c == d != e && f || g .. h ..= i -> j => k <<= l");
+        for p in ["<=", ">=", "==", "!=", "&&", "||", "..", "..=", "->", "=>", "<<="] {
+            assert!(toks.iter().any(|(k, t)| *k == TokenKind::Punct && t == p), "missing {p}");
+        }
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_loop() {
+        for text in ["\"unterminated", "/* unterminated", "r#\"unterminated", "'"] {
+            let _ = lex(text);
+        }
+    }
+}

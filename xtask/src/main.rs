@@ -3,15 +3,19 @@
 //! `cargo xtask check` is the single entry point CI and contributors run:
 //! it drives rustfmt, clippy (with the workspace lint tables of the root
 //! `Cargo.toml`), the documentation build, the forbidden-pattern scanner
-//! (see [`scan`]), a traced-CLI smoke run whose Chrome trace artifact is
-//! structurally validated (see [`tracecheck`]), and the full test suite,
-//! then prints a pass/fail summary. Every step is also available as its
-//! own subcommand so a failing gate can be re-run in isolation.
+//! (see [`scan`]), the concurrency & numeric-discipline lint pass with
+//! its ratchet file (see [`lint`]), a traced-CLI smoke run whose Chrome
+//! trace artifact is structurally validated (see [`tracecheck`]), and
+//! the full test suite, then prints a pass/fail summary. Every step is
+//! also available as its own subcommand so a failing gate can be re-run
+//! in isolation.
 //!
 //! The policy the harness enforces is documented in `VERIFICATION.md` at
 //! the workspace root.
 
 mod benchcheck;
+mod lexer;
+mod lint;
 mod scan;
 mod tracecheck;
 
@@ -31,6 +35,11 @@ const GATES: &[Gate] = &[
     Gate { name: "clippy", description: "clippy with the workspace lint tables", run: run_clippy },
     Gate { name: "doc", description: "rustdoc with warnings denied", run: run_doc },
     Gate { name: "scan", description: "forbidden-pattern scanner", run: run_scan },
+    Gate {
+        name: "lint",
+        description: "concurrency & numeric-discipline lint (ratchet: xtask/lint.baseline)",
+        run: lint::run_gate,
+    },
     Gate {
         name: "bench-build",
         description: "benchmarks compile (--no-run)",
@@ -82,6 +91,17 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "lint" if args.iter().any(|a| a == "--update-baseline") => {
+            // Regenerate the ratchet file from the current tree; the
+            // resulting diff of xtask/lint.baseline is the review artifact.
+            match lint::run_update(&root) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("lint --update-baseline failed: {msg}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         name => {
             if let Some(gate) = GATES.iter().find(|g| g.name == name) {
                 run_gates(&root, std::slice::from_ref(gate))
@@ -107,6 +127,9 @@ fn print_usage() {
     );
     eprintln!(
         "  bench-ladder run the scale ladder and schema-validate BENCH_scale.json (`--smoke` for the CI gate)"
+    );
+    eprintln!(
+        "  lint --update-baseline  regenerate xtask/lint.baseline from the tree (review the diff)"
     );
 }
 

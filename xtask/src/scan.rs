@@ -15,6 +15,13 @@
 //!   figure runs emit byte-identical artifacts (`Instant` is fine: it is
 //!   the timing primitive, not a date).
 //!
+//! The scanner runs on the shared token stream of [`crate::lexer`]:
+//! string/char literals and comments are whole tokens, so a `.unwrap()`
+//! inside a string literal or a comment can never fire, and every
+//! violation carries an exact 1-based line *and byte column*. Each
+//! source line is reconstructed from its non-literal code tokens (at
+//! their original columns) before the line-oriented rules run.
+//!
 //! Test code is exempt: `#[cfg(test)]` regions, doc comments (and the
 //! doctests inside them), and everything outside the scanned roots
 //! (`tests/`, `benches/`, `examples/`, `vendor/`, `xtask/`). A line can
@@ -26,12 +33,16 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::lexer::{lex, TokenKind};
+
 /// One rule violation at a source location.
 pub(crate) struct Violation {
     /// Absolute path of the offending file.
     pub(crate) file: PathBuf,
     /// 1-based line number.
     pub(crate) line: usize,
+    /// 1-based byte column of the offending pattern.
+    pub(crate) col: usize,
     /// Short rule identifier (e.g. `stray-unwrap`).
     pub(crate) rule: &'static str,
     /// Human-readable explanation.
@@ -39,12 +50,20 @@ pub(crate) struct Violation {
 }
 
 impl Violation {
-    /// Formats the violation as `path:line: [rule] message`, with `path`
-    /// relative to `root`.
+    /// Formats the violation as `path:line:col: [rule] message`, with
+    /// `path` relative to `root`.
     pub(crate) fn display(&self, root: &Path) -> String {
         let rel = self.file.strip_prefix(root).unwrap_or(&self.file);
         let mut out = String::new();
-        let _ = write!(out, "{}:{}: [{}] {}", rel.display(), self.line, self.rule, self.message);
+        let _ = write!(
+            out,
+            "{}:{}:{}: [{}] {}",
+            rel.display(),
+            self.line,
+            self.col,
+            self.rule,
+            self.message
+        );
         out
     }
 }
@@ -98,9 +117,56 @@ fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Per-file scanning state: a line-oriented approximation of the Rust
-/// grammar that tracks brace depth, `#[cfg(test)]` regions, and which
-/// function (documented-panic or not, `pub` or not) each line belongs to.
+/// The token stream of one file, re-sliced per line: `code[i]` is line
+/// `i + 1` reconstructed from its code tokens at their original byte
+/// columns (string/char literals and comments blanked out), `comment[i]`
+/// is the concatenated comment text starting on that line, and
+/// `doc_panics[i]` marks a doc comment mentioning `# Panics`.
+struct Lines {
+    code: Vec<String>,
+    comment: Vec<String>,
+    doc_panics: Vec<bool>,
+}
+
+fn reslice(text: &str) -> Lines {
+    let n_lines = text.lines().count().max(1);
+    let mut lines = Lines {
+        code: vec![String::new(); n_lines],
+        comment: vec![String::new(); n_lines],
+        doc_panics: vec![false; n_lines],
+    };
+    for t in lex(text) {
+        let idx = t.line - 1;
+        if t.is_comment() {
+            if t.is_doc_comment() && t.text.contains("# Panics") {
+                lines.doc_panics[idx] = true;
+            }
+            // Multi-line block comments attach to their starting line;
+            // waivers and `# Panics` sections sit on the first line in
+            // practice.
+            let buf = &mut lines.comment[idx];
+            if !buf.is_empty() {
+                buf.push(' ');
+            }
+            buf.push_str(&t.text);
+        } else if !matches!(t.kind, TokenKind::Str | TokenKind::Char) {
+            // Code token: overlay at its original column so pattern
+            // offsets in the reconstructed line are true byte columns.
+            // (Only literals and comments can span lines, so the text
+            // fits on one line.)
+            let buf = &mut lines.code[idx];
+            while buf.len() < t.col - 1 {
+                buf.push(' ');
+            }
+            buf.push_str(&t.text);
+        }
+    }
+    lines
+}
+
+/// Per-file scanning state: tracks brace depth, `#[cfg(test)]` regions,
+/// and which function (documented-panic or not, `pub` or not) each line
+/// belongs to.
 struct FileState {
     /// Current brace depth.
     depth: usize,
@@ -114,12 +180,11 @@ struct FileState {
     pending_fn: Option<(bool, bool)>,
     /// The doc block accumulated above the next item mentions `# Panics`.
     doc_has_panics: bool,
-    /// Inside a `/* ... */` block comment.
-    in_block_comment: bool,
 }
 
 fn scan_file(file: &Path, text: &str, report: &mut ScanReport) {
     let in_bench = file.components().any(|c| c.as_os_str() == "bench");
+    let lines = reslice(text);
     let mut st = FileState {
         depth: 0,
         test_regions: Vec::new(),
@@ -127,25 +192,17 @@ fn scan_file(file: &Path, text: &str, report: &mut ScanReport) {
         pending_test: false,
         pending_fn: None,
         doc_has_panics: false,
-        in_block_comment: false,
     };
 
-    for (idx, raw_line) in text.lines().enumerate() {
+    for idx in 0..lines.code.len() {
         let line_no = idx + 1;
-        let (code, comment) = split_code_and_comment(raw_line, &mut st.in_block_comment);
+        let code = lines.code[idx].as_str();
         let trimmed = code.trim();
 
-        // Doc comments: track `# Panics`, never scan their contents
-        // (doctests legitimately use unwrap/expect/panic).
-        let raw_trimmed = raw_line.trim_start();
-        if raw_trimmed.starts_with("///") || raw_trimmed.starts_with("//!") {
-            if raw_trimmed.contains("# Panics") {
-                st.doc_has_panics = true;
-            }
-            continue;
+        if lines.doc_panics[idx] {
+            st.doc_has_panics = true;
         }
-
-        let waived = comment.contains("xtask-allow:") || code.contains("xtask-allow:");
+        let waived = lines.comment[idx].contains("xtask-allow:");
         if waived {
             report.waivers += 1;
         }
@@ -154,23 +211,22 @@ fn scan_file(file: &Path, text: &str, report: &mut ScanReport) {
             st.pending_test = true;
         }
 
-        // Attribute or blank lines keep the pending doc block alive;
-        // anything else consumes it below.
+        // Attribute, comment-only, or blank lines keep the pending doc
+        // block alive; anything else consumes it below.
         let is_attr_or_blank = trimmed.is_empty() || trimmed.starts_with("#[");
 
         // A `fn` signature (free fn, method, or trait default) binds the
         // accumulated doc block.
-        if !st.in_test(st.depth) && st.pending_fn.is_none() && has_fn_keyword(trimmed) {
+        if !st.in_test() && st.pending_fn.is_none() && has_fn_keyword(trimmed) {
             let is_pub = trimmed.starts_with("pub ");
             st.pending_fn = Some((st.doc_has_panics, is_pub));
         }
 
-        let in_test = st.in_test(st.depth);
-        if !in_test && !waived {
-            check_patterns(file, line_no, trimmed, in_bench, &st, report);
+        if !st.in_test() && !waived {
+            check_patterns(file, line_no, code, in_bench, &st, report);
         }
 
-        // Brace accounting (on the comment/string-stripped code).
+        // Brace accounting (literals are already blanked out).
         for ch in code.chars() {
             match ch {
                 '{' => {
@@ -209,7 +265,7 @@ fn scan_file(file: &Path, text: &str, report: &mut ScanReport) {
 }
 
 impl FileState {
-    fn in_test(&self, _depth: usize) -> bool {
+    fn in_test(&self) -> bool {
         !self.test_regions.is_empty()
     }
 
@@ -233,13 +289,14 @@ fn check_patterns(
     st: &FileState,
     report: &mut ScanReport,
 ) {
-    let mut push = |rule: &'static str, message: String| {
-        report.violations.push(Violation { file: file.to_path_buf(), line, rule, message });
+    let mut push = |rule: &'static str, col: usize, message: String| {
+        report.violations.push(Violation { file: file.to_path_buf(), line, col, rule, message });
     };
 
-    if code.contains(".unwrap()") {
+    if let Some(pos) = code.find(".unwrap()") {
         push(
             "stray-unwrap",
+            pos + 1,
             "`.unwrap()` outside test code: use `.expect(\"<invariant>\")` inside a \
              `# Panics`-documented fn, a typed error, or an infallible rewrite"
                 .to_string(),
@@ -248,36 +305,51 @@ fn check_patterns(
     for (pat, rule) in
         [(".expect(", "undocumented-expect"), (".expect_err(", "undocumented-expect")]
     {
-        if code.contains(pat) && !st.panics_documented() {
-            push(rule, format!("`{pat}...)` in a fn without a `# Panics` doc section"));
+        if let Some(pos) = code.find(pat) {
+            if !st.panics_documented() {
+                push(
+                    rule,
+                    pos + 1,
+                    format!("`{pat}...)` in a fn without a `# Panics` doc section"),
+                );
+            }
         }
     }
     for pat in ["panic!(", "unimplemented!(", "todo!(", "dbg!("] {
-        if contains_macro(code, pat) {
+        if let Some(pos) = find_macro(code, pat) {
             let hard_forbidden = matches!(pat, "todo!(" | "unimplemented!(" | "dbg!(");
             if hard_forbidden {
-                push("forbidden-macro", format!("`{pat}...)` must not appear in shipped code"));
+                push(
+                    "forbidden-macro",
+                    pos + 1,
+                    format!("`{pat}...)` must not appear in shipped code"),
+                );
             } else if !st.panics_documented() {
                 push(
                     "undocumented-panic",
+                    pos + 1,
                     format!("`{pat}...)` in a fn without a `# Panics` doc section"),
                 );
             }
         }
     }
     for pat in ["assert!(", "assert_eq!(", "assert_ne!("] {
-        if contains_macro(code, pat) && st.innermost_is_pub() && !st.panics_documented() {
-            push(
-                "undocumented-assert",
-                format!("`{pat}...)` in a pub fn without a `# Panics` doc section"),
-            );
+        if let Some(pos) = find_macro(code, pat) {
+            if st.innermost_is_pub() && !st.panics_documented() {
+                push(
+                    "undocumented-assert",
+                    pos + 1,
+                    format!("`{pat}...)` in a pub fn without a `# Panics` doc section"),
+                );
+            }
         }
     }
     if in_bench {
         for pat in ["SystemTime", "chrono::", "Utc::now", "Local::now"] {
-            if code.contains(pat) {
+            if let Some(pos) = code.find(pat) {
                 push(
                     "bench-date",
+                    pos + 1,
                     format!(
                         "`{pat}` in bench code: figure artifacts must be date-free \
                              so repeated runs are byte-identical"
@@ -288,24 +360,22 @@ fn check_patterns(
     }
 }
 
-/// `true` if `code` invokes the macro `pat` (which ends in `!(`), with a
-/// non-identifier character before it — so `assert!(` does not match
-/// `debug_assert!(`.
-fn contains_macro(code: &str, pat: &str) -> bool {
-    let mut search = code;
+/// The 0-based byte offset where `code` invokes the macro `pat` (which
+/// ends in `!(`), with a non-identifier character before it — so
+/// `assert!(` does not match `debug_assert!(`.
+fn find_macro(code: &str, pat: &str) -> Option<usize> {
     let mut offset = 0;
-    while let Some(pos) = search.find(pat) {
+    while let Some(pos) = code[offset..].find(pat) {
         let abs = offset + pos;
         let boundary = abs == 0
             || !code.as_bytes()[abs - 1].is_ascii_alphanumeric()
                 && code.as_bytes()[abs - 1] != b'_';
         if boundary {
-            return true;
+            return Some(abs);
         }
         offset = abs + pat.len();
-        search = &code[offset..];
     }
-    false
+    None
 }
 
 /// `true` if the line starts a `fn` item (not `fn` inside a word, and not
@@ -328,71 +398,93 @@ fn has_fn_keyword(code: &str) -> bool {
     false
 }
 
-/// Splits a raw source line into its code part (string literals replaced
-/// by spaces, comments removed) and the trailing `//` comment, tracking
-/// multi-line `/* */` comments through `in_block_comment`.
-fn split_code_and_comment(raw: &str, in_block_comment: &mut bool) -> (String, String) {
-    let mut code = String::with_capacity(raw.len());
-    let mut comment = String::new();
-    let chars: Vec<(usize, char)> = raw.char_indices().collect();
-    let mut i = 0;
-    let mut in_string = false;
-    let mut in_char = false;
-    let at = |j: usize| chars.get(j).map(|&(_, c)| c);
-    while i < chars.len() {
-        let c = chars[i].1;
-        if *in_block_comment {
-            if c == '*' && at(i + 1) == Some('/') {
-                *in_block_comment = false;
-                i += 2;
-                continue;
-            }
-            i += 1;
-            continue;
-        }
-        if in_string || in_char {
-            let close = if in_string { '"' } else { '\'' };
-            if c == '\\' {
-                i += 2;
-                continue;
-            }
-            if c == close {
-                in_string = false;
-                in_char = false;
-            }
-            i += 1;
-            continue;
-        }
-        match c {
-            '"' => {
-                in_string = true;
-                code.push(' ');
-                i += 1;
-            }
-            '\'' => {
-                // Distinguish char literals from lifetimes: a literal is
-                // `'\...'` or `'<one char>'`; a lifetime has no closing
-                // quote right after its first character.
-                let is_char_literal = at(i + 1) == Some('\\') || at(i + 2) == Some('\'');
-                if is_char_literal {
-                    in_char = true;
-                }
-                code.push(' ');
-                i += 1;
-            }
-            '/' if at(i + 1) == Some('/') => {
-                comment = raw[chars[i].0..].to_string();
-                break;
-            }
-            '/' if at(i + 1) == Some('*') => {
-                *in_block_comment = true;
-                i += 2;
-            }
-            _ => {
-                code.push(c);
-                i += 1;
-            }
-        }
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(text: &str) -> ScanReport {
+        let mut report = ScanReport { violations: Vec::new(), files_scanned: 1, waivers: 0 };
+        scan_file(Path::new("crates/core/src/x.rs"), text, &mut report);
+        report
     }
-    (code, comment)
+
+    #[test]
+    fn unwrap_fires_with_line_and_column() {
+        let r = scan("fn f() {\n    thing().unwrap();\n}\n");
+        assert_eq!(r.violations.len(), 1);
+        let v = &r.violations[0];
+        assert_eq!((v.rule, v.line, v.col), ("stray-unwrap", 2, 12));
+        assert!(v.display(Path::new("crates")).contains("x.rs:2:12"));
+    }
+
+    #[test]
+    fn literals_and_comments_do_not_fire() {
+        // The historic false positives: the pattern inside a string, a
+        // char-adjacent string, and a comment.
+        let r = scan(
+            "fn f() -> String {\n    // .unwrap() in a comment\n    \
+             let s = \".unwrap() and panic!(\";\n    s.to_string()\n}\n",
+        );
+        assert!(
+            r.violations.is_empty(),
+            "{:?}",
+            r.violations.iter().map(|v| v.rule).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn test_regions_and_waivers_are_exempt() {
+        let r = scan(
+            "#[cfg(test)]\nmod tests {\n    fn f() { thing().unwrap(); }\n}\n\
+             fn g() { thing().unwrap(); } // xtask-allow: invariant upheld by caller\n",
+        );
+        assert!(r.violations.is_empty());
+        assert_eq!(r.waivers, 1);
+    }
+
+    #[test]
+    fn documented_panics_allow_expect_but_not_unwrap() {
+        let r = scan(
+            "/// Does a thing.\n///\n/// # Panics\n/// Panics when empty.\n\
+             pub fn f(v: &[u32]) -> u32 {\n    v.first().copied().expect(\"non-empty\")\n}\n",
+        );
+        assert!(
+            r.violations.is_empty(),
+            "{:?}",
+            r.violations.iter().map(|v| v.rule).collect::<Vec<_>>()
+        );
+        let r = scan("pub fn f(v: &[u32]) -> u32 {\n    v.first().copied().expect(\"x\")\n}\n");
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "undocumented-expect");
+    }
+
+    #[test]
+    fn assert_in_pub_fn_needs_docs_but_debug_assert_is_free() {
+        let r = scan("pub fn f(x: u32) {\n    assert!(x > 0);\n    debug_assert!(x < 10);\n}\n");
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "undocumented-assert");
+        assert_eq!(r.violations[0].col, 5);
+        // Private fns may assert freely.
+        let r = scan("fn f(x: u32) {\n    assert!(x > 0);\n}\n");
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn bench_dates_fire_only_under_bench() {
+        let text = "fn f() { let t = SystemTime::now(); }\n";
+        let mut report = ScanReport { violations: Vec::new(), files_scanned: 1, waivers: 0 };
+        scan_file(Path::new("crates/bench/src/x.rs"), text, &mut report);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "bench-date");
+        assert!(scan(text).violations.is_empty());
+    }
+
+    #[test]
+    fn reslice_preserves_byte_columns() {
+        let lines = reslice("let s = \"a { b\"; x.y();\n");
+        assert!(!lines.code[0].contains('{'), "{:?}", lines.code[0]);
+        // `x` sits at byte column 18 in the original line and must stay
+        // there in the reconstruction.
+        assert_eq!(lines.code[0].find("x.y"), Some(17));
+    }
 }
