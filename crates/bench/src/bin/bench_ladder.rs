@@ -19,7 +19,9 @@
 
 use std::process::{Command, Stdio};
 
-use linkclust_bench::ladder::{document_json, run_rung, rung_specs, RungSpec};
+use linkclust_bench::ladder::{
+    detect_hardware, document_json, run_rung, rung_specs, RungSpec, THREADS,
+};
 
 struct Args {
     smoke: bool,
@@ -97,15 +99,35 @@ fn main() {
     let mode = if args.smoke { "smoke" } else { "full" };
     eprintln!("bench_ladder ({mode}): {} rungs, {} runs each", specs.len(), args.runs);
 
+    let hardware = detect_hardware();
+    if hardware.threads_exceed_cores {
+        eprintln!(
+            "warning: the ladder times up to {} threads but this machine grants only \
+             {:.2} effective core(s) ({} visible{}) — multi-thread samples measure \
+             contention, not parallel scaling; the document flags this via \
+             hardware.threads_exceed_cores",
+            THREADS.iter().copied().max().unwrap_or(1),
+            hardware.effective_cores(),
+            hardware.cores,
+            hardware
+                .cgroup_quota_cores
+                .map_or_else(String::new, |q| format!(", cgroup quota {q:.2}")),
+        );
+    }
+
     let mut rung_objects = Vec::with_capacity(specs.len());
     let mut all_ok = true;
-    for spec in specs {
+    // Every rung at the ladder's largest tier must itself report
+    // positive parallel speedup for the document-level headline flag.
+    let largest_tier = specs.iter().map(|s| s.tier).max().unwrap_or(0);
+    let mut speedup_at_largest = true;
+    for spec in &specs {
         eprintln!("rung {} ...", spec.id());
-        let json = match measure_in_child(spec, args.runs) {
+        let json = match measure_in_child(*spec, args.runs) {
             Some(json) => json,
             None => {
                 eprintln!("  (child re-exec unavailable; measuring in-process)");
-                run_rung(spec, args.runs).to_json()
+                run_rung(*spec, args.runs).to_json()
             }
         };
         if json.contains("\"csr_matches_adjacency\":false")
@@ -114,10 +136,13 @@ fn main() {
             eprintln!("  CORRECTNESS FAILURE in rung {}", spec.id());
             all_ok = false;
         }
+        if spec.tier == largest_tier && json.contains("\"parallel_speedup_positive\":false") {
+            speedup_at_largest = false;
+        }
         rung_objects.push(json);
     }
 
-    let doc = document_json(args.smoke, args.runs, &rung_objects);
+    let doc = document_json(args.smoke, args.runs, &hardware, speedup_at_largest, &rung_objects);
     if let Err(e) = std::fs::write(&args.out_path, &doc) {
         eprintln!("failed to write {}: {e}", args.out_path);
         std::process::exit(1);

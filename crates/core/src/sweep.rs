@@ -78,7 +78,17 @@ impl SweepOutput {
         SweepOutput { dendrogram, slot_of_edge, merge_scores: Vec::new() }
     }
 
-    pub(crate) fn with_scores(
+    /// Assembles a sweep output from its parts. Public so alternative
+    /// sweep engines (the parallel `ufsweep` backend) can produce the
+    /// same output type the serial sweep does; `merge_scores` must be
+    /// aligned with `dendrogram.merges()`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `merge_scores` and the dendrogram's merge list
+    /// have the same length.
+    #[must_use]
+    pub fn with_scores(
         dendrogram: Dendrogram,
         slot_of_edge: Vec<u32>,
         merge_scores: Vec<f64>,

@@ -84,11 +84,20 @@ pub enum Phase {
     /// accumulators (parallel pass 2 only — replaces the hierarchical
     /// map merge).
     InitShardFold = 10,
+    /// Per-block local union-find candidate pass of the `ufsweep` engine
+    /// (one span per block, recorded on the worker that ran it).
+    SweepLocal = 11,
+    /// Boundary-stitch phase of the `ufsweep` engine: the Borůvka-style
+    /// minimum-spanning-forest filter over block-local candidates.
+    SweepStitch = 12,
+    /// Exact serial replay of surviving unions into the dendrogram
+    /// (`ufsweep` engine).
+    SweepReplay = 13,
 }
 
 impl Phase {
     /// All phases, in display order.
-    pub const ALL: [Phase; 11] = [
+    pub const ALL: [Phase; 14] = [
         Phase::InitPass1,
         Phase::InitPass2,
         Phase::InitShardFold,
@@ -96,6 +105,9 @@ impl Phase {
         Phase::InitPass3,
         Phase::Sort,
         Phase::Sweep,
+        Phase::SweepLocal,
+        Phase::SweepStitch,
+        Phase::SweepReplay,
         Phase::CoarseEpoch,
         Phase::ChunkProcess,
         Phase::ChunkCombine,
@@ -117,6 +129,9 @@ impl Phase {
             Phase::ChunkCombine => "chunk_combine",
             Phase::PoolQueueWait => "pool_queue_wait",
             Phase::InitShardFold => "init_shard_fold",
+            Phase::SweepLocal => "sweep_local",
+            Phase::SweepStitch => "sweep_stitch",
+            Phase::SweepReplay => "sweep_replay",
         }
     }
 

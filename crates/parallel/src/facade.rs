@@ -3,10 +3,13 @@
 //! One builder covers the whole repo: `threads(1)` (the default) runs
 //! the exact serial code path of [`linkclust_core::LinkClustering`] —
 //! bit-for-bit identical dendrograms — while `threads(n)` for `n > 1`
-//! dispatches Phase I, the sort of `L`, and (for the coarse sweep) the
-//! chunk processing to the multi-threaded implementations in this crate.
-//! The fine-grained sweep itself is inherently sequential (§IV), so
-//! `run` parallelizes initialization and sorting only.
+//! dispatches Phase I, the sort of `L`, the fine-grained sweep (the
+//! union-find engine of [`crate::ufsweep`], which reproduces the serial
+//! dendrogram exactly), and (for the coarse sweep) the chunk processing
+//! to the multi-threaded implementations in this crate. The paper's
+//! coarse chunk pipeline remains available through
+//! [`run_coarse`](LinkClustering::run_coarse) as the explicit
+//! approximate mode.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -21,6 +24,23 @@ use crate::init::compute_similarities_pooled;
 use crate::pool::WorkerPool;
 use crate::sort::parallel_into_sorted_pooled;
 use crate::sweep::ParallelChunkProcessor;
+use crate::ufsweep::ufsweep_with;
+
+/// Which Phase-II engine [`LinkClustering::run`] uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SweepEngine {
+    /// The default: the serial sweep at `threads == 1`, the exact
+    /// parallel union-find engine ([`crate::ufsweep`]) at `threads >= 2`.
+    #[default]
+    Auto,
+    /// Always the serial fine-grained sweep (Algorithm 2), even when
+    /// init and sort run on many threads — the pre-ufsweep behavior,
+    /// kept for A/B measurement.
+    Serial,
+    /// Always the union-find engine, even at `threads == 1` (useful for
+    /// testing the engine without a pool fan-out).
+    UnionFind,
+}
 
 /// End-to-end link clustering with a configurable thread count.
 ///
@@ -47,6 +67,7 @@ pub struct LinkClustering {
     threads: usize,
     edge_order: Option<EdgeOrder>,
     min_similarity: Option<f64>,
+    engine: SweepEngine,
     sink: TelemetrySink,
     tracer: Option<Arc<TraceCollector>>,
     trace_path: Option<PathBuf>,
@@ -58,6 +79,7 @@ impl Default for LinkClustering {
             threads: 1,
             edge_order: None,
             min_similarity: None,
+            engine: SweepEngine::Auto,
             sink: TelemetrySink::Off,
             tracer: None,
             trace_path: None,
@@ -96,6 +118,16 @@ impl LinkClustering {
     #[must_use]
     pub fn min_similarity(mut self, theta: f64) -> Self {
         self.min_similarity = Some(theta);
+        self
+    }
+
+    /// Selects the Phase-II engine for [`run`](Self::run). The default
+    /// ([`SweepEngine::Auto`]) uses the parallel union-find engine
+    /// whenever `threads >= 2`; every engine produces the identical
+    /// dendrogram, so this knob exists for A/B measurement and tests.
+    #[must_use]
+    pub fn sweep_engine(mut self, engine: SweepEngine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -272,17 +304,19 @@ impl LinkClustering {
         parallel_into_sorted_pooled(pool, sims, telemetry)
     }
 
-    /// Runs both phases on `g`: initialization and sort on the
-    /// configured threads, then the (sequential) fine-grained sweep.
-    /// Generic over the graph backend; adjacency-list and CSR inputs
-    /// produce bit-identical dendrograms.
+    /// Runs both phases on `g`: initialization, sort, and the
+    /// fine-grained sweep, all on the configured threads (the sweep runs
+    /// the exact parallel union-find engine of [`crate::ufsweep`] unless
+    /// [`sweep_engine`](Self::sweep_engine) says otherwise). Generic
+    /// over the graph backend; adjacency-list and CSR inputs — and every
+    /// engine — produce bit-identical dendrograms.
     pub fn run<G>(&self, g: &G) -> Result<ClusteringResult, ConfigError>
     where
         G: GraphView + Clone + Send + Sync + 'static,
     {
         self.check_threads()?;
         let collector = self.active_collector();
-        if self.threads == 1 {
+        if self.threads == 1 && self.engine != SweepEngine::UnionFind {
             let result = self.serial(collector.as_ref()).run(g);
             self.write_trace_file(collector.as_ref())?;
             return Ok(result);
@@ -293,9 +327,17 @@ impl LinkClustering {
             None => telemetry,
         };
         let (pool, g) = self.run_context(g, &telemetry);
-        let sims = Self::sorted_similarities(&pool, &g, &telemetry);
-        let output = sweep_with(&*g, &sims, self.sweep_config(), &telemetry);
+        let sims = Arc::new(Self::sorted_similarities(&pool, &g, &telemetry));
+        let output = match self.engine {
+            SweepEngine::Serial => sweep_with(&*g, &sims, self.sweep_config(), &telemetry),
+            SweepEngine::Auto | SweepEngine::UnionFind => {
+                ufsweep_with(&*g, &sims, self.sweep_config(), &pool, &telemetry)
+            }
+        };
         self.finish_trace(collector.as_ref(), &telemetry)?;
+        // All worker clones are gone once the pool tasks rendezvoused;
+        // the unwrap only clones if a tracer/recorder still holds one.
+        let sims = Arc::try_unwrap(sims).unwrap_or_else(|shared| (*shared).clone());
         Ok(ClusteringResult::from_parts(sims, output, recorder.map(|r| r.report())))
     }
 

@@ -4,10 +4,16 @@
 //! Re-parses the scale-ladder artifact with the harness's own JSON
 //! reader (shared with [`crate::tracecheck`]) so a bug in the bench
 //! crate's hand-rolled writer cannot hide behind the bench crate's own
-//! serializer. Checks the `linkclust-bench-scale/v1` schema: the
-//! document header, a non-empty `rungs` array, every per-rung field
-//! with the right type, per-rung correctness booleans true, and a
-//! non-empty `threads` sample array per rung.
+//! serializer. Checks the `linkclust-bench-scale/v2` schema: the
+//! document header, the hardware block (visible cores, optional cgroup
+//! quota, the `threads_exceed_cores` flag), the document-level
+//! `parallel_speedup_positive_at_largest_rung` boolean, a non-empty
+//! `rungs` array, every per-rung field with the right type (including
+//! the per-sample init/sort/sweep phase split and the per-rung speedup
+//! verdict), per-rung correctness booleans true, and a non-empty
+//! `threads` sample array per rung. The speedup booleans must be
+//! *present*, not *true*: a quota-limited one-core runner honestly
+//! reports false, and the gate must not punish honesty.
 
 use crate::tracecheck::{parse, Json};
 
@@ -24,14 +30,14 @@ pub(crate) struct ScaleSummary {
 
 const FAMILIES: &[&str] = &["gnm", "barabasi_albert", "lfr_like"];
 
-/// Validates `text` as a `linkclust-bench-scale/v1` document.
+/// Validates `text` as a `linkclust-bench-scale/v2` document.
 ///
 /// Returns a summary on success and a human-readable description of the
 /// first structural problem otherwise.
 pub(crate) fn check_scale_document(text: &str) -> Result<ScaleSummary, String> {
     let doc = parse(text)?;
     match doc.get("schema").and_then(Json::as_str) {
-        Some("linkclust-bench-scale/v1") => {}
+        Some("linkclust-bench-scale/v2") => {}
         Some(other) => return Err(format!("unexpected schema tag {other:?}")),
         None => return Err("top-level object lacks a string `schema` tag".to_string()),
     }
@@ -40,14 +46,31 @@ pub(crate) fn check_scale_document(text: &str) -> Result<ScaleSummary, String> {
     if runs < 1.0 {
         return Err(format!("`runs` must be at least 1, got {runs}"));
     }
-    let cores = doc
-        .get("hardware")
-        .and_then(|h| h.get("cores"))
-        .and_then(Json::as_f64)
-        .ok_or("`hardware.cores` must be a number")?;
+    let hardware = doc.get("hardware").ok_or("top-level object lacks a `hardware` object")?;
+    let cores =
+        hardware.get("cores").and_then(Json::as_f64).ok_or("`hardware.cores` must be a number")?;
     if cores < 1.0 {
         return Err(format!("`hardware.cores` must be at least 1, got {cores}"));
     }
+    match hardware.get("cgroup_quota_cores") {
+        Some(Json::Null) => {}
+        Some(v) => {
+            let q = v.as_f64().ok_or("`hardware.cgroup_quota_cores` must be a number or null")?;
+            if q <= 0.0 {
+                return Err(format!("`hardware.cgroup_quota_cores` must be positive, got {q}"));
+            }
+        }
+        None => return Err("`hardware` lacks `cgroup_quota_cores` (number or null)".to_string()),
+    }
+    hardware
+        .get("threads_exceed_cores")
+        .and_then(Json::as_bool)
+        .ok_or("`hardware.threads_exceed_cores` must be a boolean")?;
+    // Presence check only — false is the honest value on a runner whose
+    // thread grid exceeds its cores.
+    doc.get("parallel_speedup_positive_at_largest_rung")
+        .and_then(Json::as_bool)
+        .ok_or("`parallel_speedup_positive_at_largest_rung` must be a boolean")?;
 
     let rungs = match doc.get("rungs") {
         Some(Json::Arr(rungs)) => rungs,
@@ -91,6 +114,10 @@ fn check_rung(rung: &Json) -> Result<u64, String> {
             None => return Err(format!("lacks a boolean `{key}`")),
         }
     }
+    // Presence only — false is legitimate on core-starved runners.
+    rung.get("parallel_speedup_positive")
+        .and_then(Json::as_bool)
+        .ok_or("lacks a boolean `parallel_speedup_positive`")?;
 
     let samples = match rung.get("threads") {
         Some(Json::Arr(samples)) if !samples.is_empty() => samples,
@@ -105,6 +132,16 @@ fn check_rung(rung: &Json) -> Result<u64, String> {
                 .ok_or(format!("thread sample {j} lacks a numeric `{key}`"))?;
             if v < 0.0 {
                 return Err(format!("thread sample {j} has a negative `{key}`"));
+            }
+        }
+        let phases = s.get("phases").ok_or(format!("thread sample {j} lacks a `phases` object"))?;
+        for key in ["init_ms", "sort_ms", "sweep_ms"] {
+            let v = phases
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("thread sample {j} lacks a numeric `phases.{key}`"))?;
+            if v < 0.0 {
+                return Err(format!("thread sample {j} has a negative `phases.{key}`"));
             }
         }
     }
@@ -135,15 +172,20 @@ mod tests {
               \"csr_memory_bytes\":48804,\"peak_rss_bytes\":8294400,\
               \"bin_write_ms\":0.03,\"bin_read_ms\":0.05,\"bin_roundtrip_ok\":true,\
               \"csr_matches_adjacency\":{ok},\
-              \"threads\":[{{\"threads\":1,\"min_ms\":2.2,\"mean_ms\":2.4,\"speedup\":1.0}}],\
+              \"parallel_speedup_positive\":false,\
+              \"threads\":[{{\"threads\":1,\"min_ms\":2.2,\"mean_ms\":2.4,\"speedup\":1.0,\
+              \"phases\":{{\"init_ms\":1.1,\"sort_ms\":0.2,\"sweep_ms\":0.9}}}}],\
               \"nmi\":null,\"pair_f1\":null}}"
         )
     }
 
     fn doc(rungs: &[String]) -> String {
         format!(
-            "{{\"schema\":\"linkclust-bench-scale/v1\",\"smoke\":true,\"runs\":2,\
-              \"hardware\":{{\"cores\":1}},\"ba_edge_cap\":100000,\"rungs\":[{}]}}",
+            "{{\"schema\":\"linkclust-bench-scale/v2\",\"smoke\":true,\"runs\":2,\
+              \"hardware\":{{\"cores\":1,\"cgroup_quota_cores\":null,\
+              \"threads_exceed_cores\":true}},\
+              \"parallel_speedup_positive_at_largest_rung\":false,\
+              \"ba_edge_cap\":100000,\"rungs\":[{}]}}",
             rungs.join(",")
         )
     }
@@ -168,11 +210,44 @@ mod tests {
         let bad_family = doc(&[rung("erdos", 1000, true)]);
         assert!(check_scale_document(&bad_family).unwrap_err().contains("family"));
         let no_threads = rung("gnm", 1000, true).replace(
-            "\"threads\":[{\"threads\":1,\"min_ms\":2.2,\"mean_ms\":2.4,\"speedup\":1.0}]",
+            "\"threads\":[{\"threads\":1,\"min_ms\":2.2,\"mean_ms\":2.4,\"speedup\":1.0,\
+             \"phases\":{\"init_ms\":1.1,\"sort_ms\":0.2,\"sweep_ms\":0.9}}]",
             "\"threads\":[]",
         );
         assert!(check_scale_document(&doc(&[no_threads])).unwrap_err().contains("empty"));
         let bad_nmi = rung("gnm", 1000, true).replace("\"nmi\":null", "\"nmi\":1.5");
         assert!(check_scale_document(&doc(&[bad_nmi])).unwrap_err().contains("outside"));
+    }
+
+    #[test]
+    fn rejects_v2_specific_omissions() {
+        // An old v1 document must be rejected by its schema tag alone.
+        assert!(check_scale_document("{\"schema\":\"linkclust-bench-scale/v1\"}")
+            .unwrap_err()
+            .contains("schema"));
+        let no_flag = doc(&[rung("gnm", 1000, true)])
+            .replace("\"parallel_speedup_positive_at_largest_rung\":false,", "");
+        assert!(check_scale_document(&no_flag)
+            .unwrap_err()
+            .contains("parallel_speedup_positive_at_largest_rung"));
+        let no_quota = doc(&[rung("gnm", 1000, true)]).replace("\"cgroup_quota_cores\":null,", "");
+        assert!(check_scale_document(&no_quota).unwrap_err().contains("cgroup_quota_cores"));
+        let no_exceed =
+            doc(&[rung("gnm", 1000, true)]).replace(",\"threads_exceed_cores\":true", "");
+        assert!(check_scale_document(&no_exceed).unwrap_err().contains("threads_exceed_cores"));
+        let no_rung_flag =
+            doc(&[rung("gnm", 1000, true).replace("\"parallel_speedup_positive\":false,", "")]);
+        assert!(check_scale_document(&no_rung_flag)
+            .unwrap_err()
+            .contains("parallel_speedup_positive"));
+        let no_phases = doc(&[rung("gnm", 1000, true)
+            .replace(",\"phases\":{\"init_ms\":1.1,\"sort_ms\":0.2,\"sweep_ms\":0.9}", "")]);
+        assert!(check_scale_document(&no_phases).unwrap_err().contains("phases"));
+        // A quota-limited runner reporting cgroup_quota_cores as a
+        // number and every speedup flag false still validates: honesty
+        // is not a gate failure.
+        let quota = doc(&[rung("gnm", 1000, true)])
+            .replace("\"cgroup_quota_cores\":null", "\"cgroup_quota_cores\":0.5");
+        assert!(check_scale_document(&quota).is_ok());
     }
 }

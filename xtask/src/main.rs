@@ -126,7 +126,7 @@ fn print_usage() {
         "  bench-smoke  run the fixed-seed smoke benchmark (writes BENCH_parallel.json + BENCH_init.json)"
     );
     eprintln!(
-        "  bench-ladder run the scale ladder and schema-validate BENCH_scale.json (`--smoke` for the CI gate)"
+        "  bench-ladder run the scale ladder and schema-validate BENCH_scale.json (`--smoke` for the CI gate, `--check-only` to validate an existing artifact without running)"
     );
     eprintln!(
         "  lint --update-baseline  regenerate xtask/lint.baseline from the tree (review the diff)"
@@ -311,15 +311,21 @@ fn run_bench_smoke(root: &Path, extra: &[&str]) -> Result<(), String> {
 /// any extra CLI flags (`--smoke`, `--runs N`, `--out PATH`), then
 /// validates the artifact it wrote with the harness's own JSON reader
 /// (see [`benchcheck`]). A full (non-smoke) document must reach the
-/// million-edge tier.
+/// million-edge tier. With `--check-only` the (expensive) ladder run is
+/// skipped and an existing artifact is validated in place.
 fn run_bench_ladder(root: &Path, extra: &[&str]) -> Result<(), String> {
-    let mut args =
-        vec!["run", "--release", "--quiet", "-p", "linkclust-bench", "--bin", "bench_ladder"];
-    if !extra.is_empty() {
-        args.push("--");
-        args.extend_from_slice(extra);
+    let check_only = extra.contains(&"--check-only");
+    let extra: Vec<&str> = extra.iter().copied().filter(|a| *a != "--check-only").collect();
+    let extra = extra.as_slice();
+    if !check_only {
+        let mut args =
+            vec!["run", "--release", "--quiet", "-p", "linkclust-bench", "--bin", "bench_ladder"];
+        if !extra.is_empty() {
+            args.push("--");
+            args.extend_from_slice(extra);
+        }
+        cargo(root, &args, &[])?;
     }
-    cargo(root, &args, &[])?;
 
     let out = extra
         .iter()
