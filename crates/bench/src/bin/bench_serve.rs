@@ -1,0 +1,186 @@
+//! `bench_serve` — load benchmark for the `linkclustd` query server.
+//!
+//! ```text
+//! bench_serve [--queries N] [--smoke] [--out FILE] [--daemon PATH]
+//!             [--vertices N] [--edges M] [--threads N] [--seed S]
+//! ```
+//!
+//! Spawns a `linkclustd` daemon (by default the binary sitting next to
+//! this one — build the workspace first), generates a G(n, m) workload,
+//! drives a mixed query stream through the socket with one recluster
+//! admission at the halfway mark, and writes `BENCH_serve.json`
+//! (schema `linkclust-bench-serve/v1`).
+//!
+//! The full run issues 100 000 queries; `--smoke` drops to 2 000 for
+//! the CI gate (the emitted document records which one it was).
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::process::{Child, Command, Stdio};
+
+use linkclust_bench::serve::{run_load, SCHEMA};
+use linkclust_graph::generate::{gnm, WeightMode};
+
+struct Options {
+    queries: u64,
+    smoke: bool,
+    out: String,
+    daemon: Option<String>,
+    vertices: usize,
+    edges: usize,
+    threads: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Option<Options> {
+    let mut opts = Options {
+        queries: 100_000,
+        smoke: false,
+        out: "BENCH_serve.json".to_owned(),
+        daemon: None,
+        vertices: 500,
+        edges: 2_000,
+        threads: 2,
+        seed: 0x5EED,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--queries" => opts.queries = args.next()?.parse().ok()?,
+            "--smoke" => {
+                opts.smoke = true;
+                opts.queries = opts.queries.min(2_000);
+            }
+            "--out" => opts.out = args.next()?,
+            "--daemon" => opts.daemon = Some(args.next()?),
+            "--vertices" => opts.vertices = args.next()?.parse().ok()?,
+            "--edges" => opts.edges = args.next()?.parse().ok()?,
+            "--threads" => opts.threads = args.next()?.parse().ok()?,
+            "--seed" => opts.seed = args.next()?.parse().ok()?,
+            _ => return None,
+        }
+    }
+    (opts.queries > 0 && opts.vertices > 1 && opts.edges > 0 && opts.threads > 0).then_some(opts)
+}
+
+/// The daemon binary: `--daemon` if given, else `linkclustd` next to
+/// this executable.
+fn daemon_path(opts: &Options) -> Result<std::path::PathBuf, String> {
+    if let Some(p) = &opts.daemon {
+        return Ok(std::path::PathBuf::from(p));
+    }
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let dir = exe.parent().ok_or("executable has no parent directory")?;
+    let candidate = dir.join("linkclustd");
+    if candidate.exists() {
+        Ok(candidate)
+    } else {
+        Err(format!(
+            "{} not found — build it first (cargo build -p linkclust --bin linkclustd) \
+             or pass --daemon PATH",
+            candidate.display()
+        ))
+    }
+}
+
+/// Spawns the daemon over the edge list on its stdin and parses the
+/// `LISTENING <addr>` line from its stdout.
+fn spawn_daemon(
+    path: &std::path::Path,
+    edge_list: &[u8],
+    threads: usize,
+) -> Result<(Child, String), String> {
+    let mut child = Command::new(path)
+        .args(["-", "--listen", "127.0.0.1:0", "--threads", &threads.to_string()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("cannot spawn {}: {e}", path.display()))?;
+    child
+        .stdin
+        .take()
+        .ok_or("daemon stdin not piped")?
+        .write_all(edge_list)
+        .map_err(|e| format!("cannot feed the graph to the daemon: {e}"))?;
+    // stdin drops here, signalling EOF; the daemon clusters and binds.
+    let stdout = child.stdout.take().ok_or("daemon stdout not piped")?;
+    let mut lines = BufReader::new(stdout).lines();
+    match lines.next() {
+        Some(Ok(line)) if line.starts_with("LISTENING ") => {
+            Ok((child, line["LISTENING ".len()..].to_owned()))
+        }
+        other => {
+            let _ = child.kill();
+            Err(format!("daemon did not announce its address: {other:?}"))
+        }
+    }
+}
+
+fn main() -> std::process::ExitCode {
+    let Some(opts) = parse_args() else {
+        eprintln!(
+            "usage: bench_serve [--queries N] [--smoke] [--out FILE] [--daemon PATH] \
+             [--vertices N] [--edges M] [--threads N] [--seed S]"
+        );
+        return std::process::ExitCode::FAILURE;
+    };
+    let daemon = match daemon_path(&opts) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+
+    let g = gnm(opts.vertices, opts.edges, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, opts.seed);
+    let (vertices, edges) = (g.vertex_count(), g.edge_count());
+    let mut edge_list = Vec::new();
+    if let Err(e) = linkclust_graph::io::write_edge_list(&g, &mut edge_list) {
+        eprintln!("cannot serialize the workload: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+
+    eprintln!(
+        "spawning {} over G({vertices}, {edges}), {} queries ({} run)",
+        daemon.display(),
+        opts.queries,
+        if opts.smoke { "smoke" } else { "full" },
+    );
+    let (mut child, addr) = match spawn_daemon(&daemon, &edge_list, opts.threads) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("{e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+
+    let result = run_load(&addr, opts.queries, vertices, edges, opts.seed);
+    // Always try to shut the daemon down, even after a failed load.
+    if let Ok(mut client) = linkclust_bench::serve::ServeClient::connect(&addr) {
+        let _ = client.ask("{\"op\":\"shutdown\"}");
+    }
+    let _ = child.wait();
+
+    let report = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("load run failed: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let doc = report.to_json(opts.smoke, vertices, edges);
+    if let Err(e) = std::fs::write(&opts.out, doc + "\n") {
+        eprintln!("cannot write {}: {e}", opts.out);
+        return std::process::ExitCode::FAILURE;
+    }
+    eprintln!(
+        "{}: {} queries, cache hit rate {:.1}%, swap completed: {} \
+         ({} queries served during admission), schema {SCHEMA}",
+        opts.out,
+        report.queries,
+        100.0 * report.cache_hits as f64 / (report.cache_hits + report.cache_misses).max(1) as f64,
+        report.swap_completed,
+        report.queries_during_admission,
+    );
+    std::process::ExitCode::SUCCESS
+}

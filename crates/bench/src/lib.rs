@@ -23,6 +23,7 @@ pub mod figures;
 pub mod ladder;
 pub mod mapmerge;
 pub mod plots;
+pub mod serve;
 pub mod spawnchunk;
 pub mod table;
 pub mod telemetry;

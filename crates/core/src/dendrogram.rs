@@ -146,20 +146,23 @@ impl Dendrogram {
         out
     }
 
-    /// Finds the cut (level) maximizing partition density, replaying the
-    /// merge sequence once with incremental bookkeeping.
+    /// The partition-density profile: one point per distinct level, with
+    /// the cluster count and partition density after completing that
+    /// level, replaying the merge sequence once with incremental
+    /// bookkeeping. The implicit starting point (level 0, every edge a
+    /// singleton, density 0) is not included.
     ///
-    /// Returns `None` for an edgeless graph.
+    /// [`best_density_cut`](Self::best_density_cut) is a fold over this
+    /// profile, so the two are bit-identical by construction — the
+    /// contract the serialized `DendrogramIndex` in `linkclust-serve`
+    /// relies on.
     ///
     /// # Panics
     ///
     /// Panics if `g` does not have exactly `edge_count` edges.
     #[must_use]
-    pub fn best_density_cut<G: GraphView + ?Sized>(&self, g: &G) -> Option<DensityCut> {
+    pub fn density_profile<G: GraphView + ?Sized>(&self, g: &G) -> Vec<DensityCut> {
         assert_eq!(g.edge_count(), self.edge_count, "dendrogram does not match graph");
-        if self.edge_count == 0 {
-            return None;
-        }
         let m_total = self.edge_count as f64;
         // Per-cluster state, keyed by current root.
         let mut edge_counts: Vec<u64> = vec![1; self.edge_count];
@@ -172,7 +175,7 @@ impl Dendrogram {
         let mut uf = UnionFind::new(self.edge_count);
         // Σ m_c · D_c over clusters; singletons contribute 0.
         let mut sum = 0.0;
-        let mut best = DensityCut { level: 0, density: 0.0, cluster_count: self.edge_count };
+        let mut profile = Vec::new();
         let mut i = 0;
         while i < self.merges.len() {
             let level = self.merges[i].level;
@@ -201,9 +204,31 @@ impl Dendrogram {
                 edge_counts[other] = 0;
             }
             let density = 2.0 / m_total * sum;
-            let cluster_count = self.edge_count - i;
-            if density > best.density {
-                best = DensityCut { level, density, cluster_count };
+            profile.push(DensityCut { level, density, cluster_count: self.edge_count - i });
+        }
+        profile
+    }
+
+    /// Finds the cut (level) maximizing partition density: a fold over
+    /// [`density_profile`](Self::density_profile) preferring the
+    /// *earliest* level on exact ties, starting from the implicit
+    /// level-0 cut (all singletons, density 0).
+    ///
+    /// Returns `None` for an edgeless graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` does not have exactly `edge_count` edges.
+    #[must_use]
+    pub fn best_density_cut<G: GraphView + ?Sized>(&self, g: &G) -> Option<DensityCut> {
+        if self.edge_count == 0 {
+            assert_eq!(g.edge_count(), 0, "dendrogram does not match graph");
+            return None;
+        }
+        let mut best = DensityCut { level: 0, density: 0.0, cluster_count: self.edge_count };
+        for point in self.density_profile(g) {
+            if point.density > best.density {
+                best = point;
             }
         }
         Some(best)

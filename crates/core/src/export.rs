@@ -3,10 +3,48 @@
 //! Research users want to *look* at dendrograms: this module renders a
 //! [`Dendrogram`] as Newick (readable by standard tree viewers) and as a
 //! flat merge-list CSV.
+//!
+//! The tree renderers return a typed [`ExportError`] on structurally
+//! invalid merge lists (a cluster merged while dead) instead of
+//! panicking: dendrograms can now arrive from untrusted serialized
+//! indexes (`linkclust-serve`), so malformed input must be a recoverable
+//! error, never an abort.
 
 use std::fmt::Write as _;
 
 use crate::dendrogram::Dendrogram;
+
+/// A structural defect found while walking a merge list for export.
+///
+/// [`Dendrogram::from_merges`] validates levels, ranges, and the
+/// `into = min(left, right)` convention, but not *liveness*: a merge
+/// list may reference a cluster id that an earlier merge already
+/// consumed. Such a list cannot be rendered as a tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExportError {
+    /// Merge `merge_index` references `cluster`, but `cluster` was
+    /// already consumed by an earlier merge and never re-created.
+    DeadCluster {
+        /// Position of the offending record in the merge list.
+        merge_index: usize,
+        /// The cluster id that was no longer live.
+        cluster: u32,
+    },
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ExportError::DeadCluster { merge_index, cluster } => write!(
+                f,
+                "merge {merge_index} references cluster {cluster}, which an earlier merge \
+                 already consumed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
 
 /// Renders the dendrogram in Newick format.
 ///
@@ -22,35 +60,40 @@ use crate::dendrogram::Dendrogram;
 /// let d = Dendrogram::from_merges(3, vec![
 ///     MergeRecord { level: 1, left: 0, right: 1, into: 0 },
 /// ]);
-/// let newick = to_newick(&d);
+/// let newick = to_newick(&d)?;
 /// assert!(newick.starts_with('(') && newick.ends_with(';'));
 /// assert!(newick.contains("e2"));
+/// # Ok::<(), linkclust_core::export::ExportError>(())
 /// ```
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `d` merges a cluster that is no longer live (merged twice
-/// without an intervening merge re-creating it); dendrograms produced by
-/// this crate's sweeps never do.
-#[must_use]
-pub fn to_newick(d: &Dendrogram) -> String {
+/// Returns [`ExportError::DeadCluster`] if `d` merges a cluster that is
+/// no longer live (merged twice without an intervening merge re-creating
+/// it); dendrograms produced by this crate's sweeps never do, but
+/// deserialized merge lists are untrusted.
+pub fn to_newick(d: &Dendrogram) -> Result<String, ExportError> {
     let n = d.edge_count();
     if n == 0 {
-        return ";".to_owned();
+        return Ok(";".to_owned());
     }
     // Build the subtree expression for each live cluster incrementally.
     let mut expr: Vec<Option<String>> = (0..n).map(|i| Some(format!("e{i}"))).collect();
-    for m in d.merges() {
-        let left = expr[m.left as usize].take().expect("left cluster is live");
-        let right = expr[m.right as usize].take().expect("right cluster is live");
+    for (idx, m) in d.merges().iter().enumerate() {
+        let left = expr[m.left as usize]
+            .take()
+            .ok_or(ExportError::DeadCluster { merge_index: idx, cluster: m.left })?;
+        let right = expr[m.right as usize]
+            .take()
+            .ok_or(ExportError::DeadCluster { merge_index: idx, cluster: m.right })?;
         expr[m.into as usize] = Some(format!("({left},{right}):{}", m.level));
     }
     let mut roots: Vec<String> = expr.into_iter().flatten().collect();
-    if let [root] = roots.as_mut_slice() {
+    Ok(if let [root] = roots.as_mut_slice() {
         format!("{};", std::mem::take(root))
     } else {
         format!("({});", roots.join(","))
-    }
+    })
 }
 
 /// Renders the dendrogram as an ASCII tree (one line per node, children
@@ -68,18 +111,19 @@ pub fn to_newick(d: &Dendrogram) -> String {
 ///     MergeRecord { level: 1, left: 1, right: 2, into: 1 },
 ///     MergeRecord { level: 2, left: 0, right: 1, into: 0 },
 /// ]);
-/// let tree = to_ascii_tree(&d);
+/// let tree = to_ascii_tree(&d)?;
 /// assert!(tree.contains("[level 2]"));
 /// assert!(tree.contains("e0"));
+/// # Ok::<(), linkclust_core::export::ExportError>(())
 /// ```
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `d` merges a cluster that is no longer live (merged twice
-/// without an intervening merge re-creating it); dendrograms produced by
-/// this crate's sweeps never do.
-#[must_use]
-pub fn to_ascii_tree(d: &Dendrogram) -> String {
+/// Returns [`ExportError::DeadCluster`] if `d` merges a cluster that is
+/// no longer live (merged twice without an intervening merge re-creating
+/// it); dendrograms produced by this crate's sweeps never do, but
+/// deserialized merge lists are untrusted.
+pub fn to_ascii_tree(d: &Dendrogram) -> Result<String, ExportError> {
     #[derive(Clone)]
     enum Node {
         Leaf(usize),
@@ -117,9 +161,13 @@ pub fn to_ascii_tree(d: &Dendrogram) -> String {
 
     let n = d.edge_count();
     let mut nodes: Vec<Option<Node>> = (0..n).map(|i| Some(Node::Leaf(i))).collect();
-    for m in d.merges() {
-        let left = nodes[m.left as usize].take().expect("left cluster is live");
-        let right = nodes[m.right as usize].take().expect("right cluster is live");
+    for (idx, m) in d.merges().iter().enumerate() {
+        let left = nodes[m.left as usize]
+            .take()
+            .ok_or(ExportError::DeadCluster { merge_index: idx, cluster: m.left })?;
+        let right = nodes[m.right as usize]
+            .take()
+            .ok_or(ExportError::DeadCluster { merge_index: idx, cluster: m.right })?;
         nodes[m.into as usize] = Some(Node::Merge { level: m.level, children: vec![left, right] });
     }
     let mut out = String::new();
@@ -131,7 +179,7 @@ pub fn to_ascii_tree(d: &Dendrogram) -> String {
         }
         render(r, "", i + 1 == roots.len(), &mut out);
     }
-    out
+    Ok(out)
 }
 
 /// Renders the merge list as CSV (`level,left,right,into`).
@@ -156,26 +204,41 @@ mod tests {
     #[test]
     fn newick_of_full_merge() {
         let d = Dendrogram::from_merges(3, vec![rec(1, 1, 2), rec(2, 0, 1)]);
-        assert_eq!(to_newick(&d), "(e0,(e1,e2):1):2;");
+        assert_eq!(to_newick(&d).unwrap(), "(e0,(e1,e2):1):2;");
     }
 
     #[test]
     fn newick_with_multiple_roots() {
         let d = Dendrogram::from_merges(4, vec![rec(1, 0, 1)]);
-        let s = to_newick(&d);
+        let s = to_newick(&d).unwrap();
         assert_eq!(s, "((e0,e1):1,e2,e3);");
     }
 
     #[test]
     fn newick_of_empty() {
-        assert_eq!(to_newick(&Dendrogram::from_merges(0, vec![])), ";");
-        assert_eq!(to_newick(&Dendrogram::from_merges(1, vec![])), "e0;");
+        assert_eq!(to_newick(&Dendrogram::from_merges(0, vec![])).unwrap(), ";");
+        assert_eq!(to_newick(&Dendrogram::from_merges(1, vec![])).unwrap(), "e0;");
+    }
+
+    #[test]
+    fn hostile_merge_list_is_a_typed_error_not_a_panic() {
+        // Merge 0 consumes cluster 1; merge 1 then references the dead
+        // cluster 1 again. `from_merges` accepts this (levels are
+        // non-decreasing, ids in range, into = min), so the exporters
+        // must catch it themselves.
+        let d = Dendrogram::from_merges(3, vec![rec(1, 0, 1), rec(2, 1, 2)]);
+        assert_eq!(to_newick(&d), Err(ExportError::DeadCluster { merge_index: 1, cluster: 1 }),);
+        assert_eq!(to_ascii_tree(&d), Err(ExportError::DeadCluster { merge_index: 1, cluster: 1 }),);
+        // CSV is a flat dump with no tree invariant; it still renders.
+        assert_eq!(to_merge_csv(&d).lines().count(), 3);
+        let msg = to_newick(&d).unwrap_err().to_string();
+        assert!(msg.contains("merge 1") && msg.contains("cluster 1"), "{msg}");
     }
 
     #[test]
     fn ascii_tree_structure() {
         let d = Dendrogram::from_merges(3, vec![rec(1, 1, 2), rec(2, 0, 1)]);
-        let tree = to_ascii_tree(&d);
+        let tree = to_ascii_tree(&d).unwrap();
         assert!(tree.contains("[level 2]"));
         assert!(tree.contains("[level 1]"));
         for leaf in ["e0", "e1", "e2"] {
@@ -186,14 +249,14 @@ mod tests {
     #[test]
     fn ascii_tree_multiple_roots() {
         let d = Dendrogram::from_merges(4, vec![rec(1, 0, 1)]);
-        let tree = to_ascii_tree(&d);
+        let tree = to_ascii_tree(&d).unwrap();
         assert!(tree.contains("root 0:"));
         assert!(tree.contains("root 2:"));
     }
 
     #[test]
     fn ascii_tree_empty() {
-        assert_eq!(to_ascii_tree(&Dendrogram::from_merges(0, vec![])), "");
+        assert_eq!(to_ascii_tree(&Dendrogram::from_merges(0, vec![])).unwrap(), "");
     }
 
     #[test]
@@ -212,7 +275,7 @@ mod tests {
         let g = gnm(20, 60, WeightMode::Uniform { lo: 0.2, hi: 2.0 }, 3);
         let sims = crate::init::compute_similarities(&g).into_sorted();
         let out = crate::sweep::sweep(&g, &sims, crate::sweep::SweepConfig::default());
-        let s = to_newick(out.dendrogram());
+        let s = to_newick(out.dendrogram()).unwrap();
         let open = s.chars().filter(|&c| c == '(').count();
         let close = s.chars().filter(|&c| c == ')').count();
         assert_eq!(open, close);

@@ -8,12 +8,23 @@
 //! touches the pairs `{v, x}` for `x ∈ N(u)` and `{u, y}` for
 //! `y ∈ N(v)` — O(d(u) + d(v)) pair updates — because a new edge can
 //! only create or destroy common-neighbor relations *through its own
-//! endpoints*. The vertex norms `H₁`/`H₂` are recomputed per endpoint,
-//! and the adjacency correction plus final Tanimoto score are applied
-//! lazily when a snapshot is requested.
+//! endpoints*.
+//!
+//! Only the *combinatorial* state (adjacency and per-pair common
+//! neighbors) is maintained incrementally. All floating-point values —
+//! vertex norms `H₁`/`H₂`, pair product sums, adjacency correction, and
+//! the final Tanimoto score — are recomputed at snapshot time in the
+//! exact summation order of the batch pipeline. An earlier revision
+//! kept running `Σ w`, `Σ w²`, and per-pair product accumulators that
+//! were *adjusted* on each update; that drifts at the bit level
+//! (`((p₁+p₂)+p₃)−p₂ ≠ p₁+p₃` in IEEE arithmetic) and could leave
+//! stale near-zero pair accumulators behind after removals. Deriving
+//! every float from the exact combinatorial state makes both failure
+//! modes impossible by construction.
 //!
 //! This is an extension beyond the paper (see DESIGN.md); its
-//! correctness contract is exact agreement with the batch
+//! correctness contract is **bit-exact** (`f64::to_bits`) agreement
+//! with the batch
 //! [`compute_similarities`](crate::init::compute_similarities) on the
 //! same final graph, which the property tests enforce.
 
@@ -44,30 +55,17 @@ pub struct IncrementalSimilarities {
     /// Sorted adjacency per vertex: `(neighbor, weight)`.
     adj: Vec<Vec<(u32, f64)>>,
     edge_count: usize,
-    /// Running `Σ w` and `Σ w²` per vertex (H₁/H₂ derive from these).
-    weight_sum: Vec<f64>,
-    weight_sq_sum: Vec<f64>,
-    /// Map M state: raw product sums and common neighbors per pair.
-    pairs: HashMap<(u32, u32), PairState>,
-}
-
-#[derive(Clone, Debug, Default)]
-struct PairState {
-    products: f64,
-    commons: Vec<u32>, // sorted
+    /// Map M state: the sorted common-neighbor list per vertex pair. A
+    /// pair is present iff its list is non-empty, so stale entries
+    /// cannot exist; all floats derive from this at snapshot time.
+    pairs: HashMap<(u32, u32), Vec<u32>>,
 }
 
 impl IncrementalSimilarities {
     /// Creates the state for an edgeless graph on `n` vertices.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        IncrementalSimilarities {
-            adj: vec![Vec::new(); n],
-            edge_count: 0,
-            weight_sum: vec![0.0; n],
-            weight_sq_sum: vec![0.0; n],
-            pairs: HashMap::new(),
-        }
+        IncrementalSimilarities { adj: vec![Vec::new(); n], edge_count: 0, pairs: HashMap::new() }
     }
 
     /// Builds the state from an existing graph (batch initialization,
@@ -104,8 +102,6 @@ impl IncrementalSimilarities {
     pub fn add_vertex(&mut self) -> VertexId {
         let id = VertexId::new(self.adj.len());
         self.adj.push(Vec::new());
-        self.weight_sum.push(0.0);
-        self.weight_sq_sum.push(0.0);
         id
     }
 
@@ -143,16 +139,11 @@ impl IncrementalSimilarities {
 
         // New common-neighbor relations created by this edge: every
         // existing neighbor x of u now shares u with v (and vice versa).
-        self.touch_pairs_through(u, v, w, true);
-        self.touch_pairs_through(v, u, w, true);
+        self.touch_pairs_through(u, v, true);
+        self.touch_pairs_through(v, u, true);
 
-        // Adjacency and norms.
         insert_sorted(&mut self.adj[u.index()], u32::from(v), w);
         insert_sorted(&mut self.adj[v.index()], u32::from(u), w);
-        for x in [u, v] {
-            self.weight_sum[x.index()] += w;
-            self.weight_sq_sum[x.index()] += w * w;
-        }
         self.edge_count += 1;
         Ok(())
     }
@@ -170,57 +161,51 @@ impl IncrementalSimilarities {
                 return Err(GraphError::UnknownVertex { vertex: x, vertex_count: n });
             }
         }
-        let Some(w) = self.weight_between(u, v) else {
+        if self.weight_between(u, v).is_none() {
             return Ok(false);
-        };
+        }
 
         // Drop adjacency first so touch_pairs_through sees N(u) without v.
         remove_sorted(&mut self.adj[u.index()], u32::from(v));
         remove_sorted(&mut self.adj[v.index()], u32::from(u));
-        for x in [u, v] {
-            self.weight_sum[x.index()] -= w;
-            self.weight_sq_sum[x.index()] -= w * w;
-        }
         self.edge_count -= 1;
 
-        self.touch_pairs_through(u, v, w, false);
-        self.touch_pairs_through(v, u, w, false);
+        self.touch_pairs_through(u, v, false);
+        self.touch_pairs_through(v, u, false);
         Ok(true)
     }
 
-    /// For every current neighbor `x` of `hub`, credit or debit the pair
-    /// `{other, x}` with the product `w · w(hub, x)` and the common
-    /// neighbor `hub`.
+    /// For every current neighbor `x` of `hub`, record (or erase) `hub`
+    /// as a common neighbor of the pair `{other, x}`. Pairs whose
+    /// common-neighbor list empties are removed from the map outright.
     ///
     /// # Panics
     ///
-    /// In debit mode, panics if the pair map has no entry for a pair the
+    /// In erase mode, panics if the pair map has no entry for a pair the
     /// adjacency lists imply — the two structures are maintained in
     /// lockstep, so this indicates internal corruption.
-    fn touch_pairs_through(&mut self, hub: VertexId, other: VertexId, w: f64, add: bool) {
+    fn touch_pairs_through(&mut self, hub: VertexId, other: VertexId, add: bool) {
         let hub_u32 = u32::from(hub);
         let other_u32 = u32::from(other);
         // Clone is bounded by d(hub); avoids aliasing the map borrow.
         let neighbors: Vec<(u32, f64)> = self.adj[hub.index()].clone();
-        for (x, wx) in neighbors {
+        for (x, _) in neighbors {
             if x == other_u32 {
                 continue;
             }
             let key = (other_u32.min(x), other_u32.max(x));
             if add {
-                let slot = self.pairs.entry(key).or_default();
-                slot.products += w * wx;
-                match slot.commons.binary_search(&hub_u32) {
+                let commons = self.pairs.entry(key).or_default();
+                match commons.binary_search(&hub_u32) {
                     Ok(_) => unreachable!("hub was not previously a common neighbor"),
-                    Err(pos) => slot.commons.insert(pos, hub_u32),
+                    Err(pos) => commons.insert(pos, hub_u32),
                 }
             } else {
-                let slot = self.pairs.get_mut(&key).expect("pair existed before removal");
-                slot.products -= w * wx;
-                if let Ok(pos) = slot.commons.binary_search(&hub_u32) {
-                    slot.commons.remove(pos);
+                let commons = self.pairs.get_mut(&key).expect("pair existed before removal");
+                if let Ok(pos) = commons.binary_search(&hub_u32) {
+                    commons.remove(pos);
                 }
-                if slot.commons.is_empty() {
+                if commons.is_empty() {
                     self.pairs.remove(&key);
                 }
             }
@@ -229,25 +214,61 @@ impl IncrementalSimilarities {
 
     /// Snapshot: materializes the current [`PairSimilarities`] (unsorted;
     /// call [`into_sorted`](PairSimilarities::into_sorted) before
-    /// sweeping). Scores are computed lazily from the maintained state.
+    /// sweeping).
+    ///
+    /// Every float is recomputed here from the exact combinatorial
+    /// state, replaying the batch pipeline's summation orders: norms
+    /// sum incident weights in ascending-neighbor order (pass 1), pair
+    /// product sums accumulate over common neighbors in ascending hub
+    /// order (pass 2), and the adjacency correction plus Tanimoto
+    /// division match [`finalize_entries`](crate::init::finalize_entries)
+    /// (pass 3). The result is therefore bit-identical to
+    /// [`compute_similarities`](crate::init::compute_similarities) on
+    /// [`to_graph`](Self::to_graph).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair map references an edge absent from the
+    /// adjacency lists — the two structures are maintained in lockstep,
+    /// so this indicates internal corruption.
     #[must_use]
     pub fn similarities(&self) -> PairSimilarities {
         let h = |i: usize| -> (f64, f64) {
-            let d = self.adj[i].len();
-            if d == 0 {
+            let nbrs = &self.adj[i];
+            if nbrs.is_empty() {
                 return (0.0, 0.0);
             }
-            let mean = self.weight_sum[i] / d as f64;
-            (mean, mean * mean + self.weight_sq_sum[i])
+            let (mut sum, mut sq) = (0.0, 0.0);
+            for &(_, w) in nbrs {
+                sum += w;
+                sq += w * w;
+            }
+            let mean = sum / nbrs.len() as f64;
+            (mean, mean * mean + sq)
+        };
+        let weight_of = |a: u32, b: u32| -> f64 {
+            // cast: u32 id to index, lossless on 64-bit.
+            let list = &self.adj[a as usize];
+            let pos = list
+                .binary_search_by_key(&b, |&(n, _)| n)
+                .expect("pair state implies an edge the adjacency lists lack");
+            list[pos].1
         };
         let mut entries: Vec<SimilarityEntry> = self
             .pairs
             .iter()
-            .map(|(&(i, j), state)| {
+            .map(|(&(i, j), commons)| {
+                // cast: u32 ids to indices, lossless on 64-bit.
                 let (vi, vj) = (VertexId::new(i as usize), VertexId::new(j as usize));
                 let (h1i, h2i) = h(i as usize);
+                // cast: u32 id to index, lossless on 64-bit.
                 let (h1j, h2j) = h(j as usize);
-                let mut value = state.products;
+                // Pass-2 replay: commons is sorted ascending, matching
+                // the batch loop over hub vertices 0..n.
+                let mut value = 0.0;
+                for &c in commons {
+                    value += weight_of(c, i) * weight_of(c, j);
+                }
                 if let Some(w) = self.weight_between(vi, vj) {
                     value += (h1i + h1j) * w;
                 }
@@ -255,11 +276,8 @@ impl IncrementalSimilarities {
                 SimilarityEntry {
                     pair: VertexPair::new(vi, vj),
                     score,
-                    common_neighbors: state
-                        .commons
-                        .iter()
-                        .map(|&c| VertexId::new(c as usize))
-                        .collect(),
+                    // cast: u32 id to index, lossless on 64-bit.
+                    common_neighbors: commons.iter().map(|&c| VertexId::new(c as usize)).collect(),
                 }
             })
             .collect();
@@ -279,6 +297,8 @@ impl IncrementalSimilarities {
         let mut b = GraphBuilder::with_vertices(self.adj.len());
         for (u, nbrs) in self.adj.iter().enumerate() {
             for &(v, w) in nbrs {
+                // cast: `u` is addressable by the u32-backed `VertexId`
+                // (its neighbors store it as u32); `v` widens losslessly.
                 if (u as u32) < v {
                     b.add_edge(VertexId::new(u), VertexId::new(v as usize), w)
                         .expect("internal adjacency is consistent");
@@ -326,8 +346,9 @@ mod tests {
         for (a, b) in snap.entries().iter().zip(&be) {
             assert_eq!(a.pair, b.pair);
             assert_eq!(a.common_neighbors, b.common_neighbors, "pair {}", a.pair);
-            assert!(
-                (a.score - b.score).abs() < 1e-9,
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
                 "pair {} incremental {} batch {}",
                 a.pair,
                 a.score,
@@ -413,11 +434,7 @@ mod tests {
         assert_eq!(inc.edge_count(), 0);
         assert!(inc.similarities().is_empty());
         assert!(inc.pairs.is_empty(), "no residual pair state");
-        // Norm accumulators return to ~0 (floating-point residue only).
-        for i in 0..12 {
-            assert!(inc.weight_sum[i].abs() < 1e-9);
-            assert!(inc.weight_sq_sum[i].abs() < 1e-9);
-        }
+        assert!(inc.adj.iter().all(Vec::is_empty), "no residual adjacency");
     }
 
     #[test]

@@ -93,11 +93,20 @@ pub enum Phase {
     /// Exact serial replay of surviving unions into the dendrogram
     /// (`ufsweep` engine).
     SweepReplay = 13,
+    /// One light query answered by `linkclustd` (cut, membership, top-k,
+    /// or profile — one span per request).
+    ServeQuery = 14,
+    /// One batch-admission job (full recluster) executed by the serve
+    /// worker, from dequeue to fresh index built.
+    ServeAdmit = 15,
+    /// The atomic index swap publishing a freshly built index to query
+    /// traffic (one span per swap; should be nanoseconds).
+    ServeSwap = 16,
 }
 
 impl Phase {
     /// All phases, in display order.
-    pub const ALL: [Phase; 14] = [
+    pub const ALL: [Phase; 17] = [
         Phase::InitPass1,
         Phase::InitPass2,
         Phase::InitShardFold,
@@ -112,6 +121,9 @@ impl Phase {
         Phase::ChunkProcess,
         Phase::ChunkCombine,
         Phase::PoolQueueWait,
+        Phase::ServeQuery,
+        Phase::ServeAdmit,
+        Phase::ServeSwap,
     ];
 
     /// The stable snake_case name used in JSON and tables.
@@ -132,6 +144,9 @@ impl Phase {
             Phase::SweepLocal => "sweep_local",
             Phase::SweepStitch => "sweep_stitch",
             Phase::SweepReplay => "sweep_replay",
+            Phase::ServeQuery => "serve_query",
+            Phase::ServeAdmit => "serve_admit",
+            Phase::ServeSwap => "serve_swap",
         }
     }
 
@@ -179,11 +194,21 @@ pub enum Counter {
     /// (see [`trace::TraceCollector::dropped`]); non-zero means the
     /// exported timeline is missing its oldest events.
     TraceEventsDropped = 14,
+    /// Light queries answered by `linkclustd` (all kinds, hit or miss).
+    ServeQueries = 15,
+    /// Serve queries answered from the LRU answer cache.
+    ServeCacheHits = 16,
+    /// Serve queries computed from the index (cache misses).
+    ServeCacheMisses = 17,
+    /// Recluster jobs admitted to the serve worker queue.
+    ServeAdmissions = 18,
+    /// Index swaps published after a completed recluster.
+    ServeSwaps = 19,
 }
 
 impl Counter {
     /// All counters, in display order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 20] = [
         Counter::PairsK1,
         Counter::IncidentPairsK2,
         Counter::MergesApplied,
@@ -199,6 +224,11 @@ impl Counter {
         Counter::PoolTasks,
         Counter::ShardRecords,
         Counter::TraceEventsDropped,
+        Counter::ServeQueries,
+        Counter::ServeCacheHits,
+        Counter::ServeCacheMisses,
+        Counter::ServeAdmissions,
+        Counter::ServeSwaps,
     ];
 
     /// The stable snake_case name used in JSON and tables.
@@ -220,6 +250,11 @@ impl Counter {
             Counter::PoolTasks => "pool_tasks",
             Counter::ShardRecords => "shard_records",
             Counter::TraceEventsDropped => "trace_events_dropped",
+            Counter::ServeQueries => "serve_queries",
+            Counter::ServeCacheHits => "serve_cache_hits",
+            Counter::ServeCacheMisses => "serve_cache_misses",
+            Counter::ServeAdmissions => "serve_admissions",
+            Counter::ServeSwaps => "serve_swaps",
         }
     }
 

@@ -377,6 +377,38 @@ impl WorkerPool {
         collect_results(results)
     }
 
+    /// Enqueues a fire-and-forget job and returns without waiting for
+    /// it: the asynchronous counterpart of [`run_tasks`](Self::run_tasks),
+    /// used by batch admission in `linkclust-serve`, where a full
+    /// recluster must run *behind* the submitting thread while it keeps
+    /// serving queries.
+    ///
+    /// A parked worker picks the job up. With no workers
+    /// (`threads == 1`) the job runs inline before returning — the
+    /// degenerate serial pool keeps the "submitted means it executes"
+    /// guarantee without spawning; callers needing true background
+    /// execution must size the pool at ≥ 2 threads.
+    ///
+    /// Panics inside the job are contained and *discarded* (the pool
+    /// stays usable; nothing rendezvouses to re-raise them), so jobs
+    /// must report failure through their own channel — e.g. the swap
+    /// handshake admission jobs already perform.
+    pub fn submit<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.telemetry.add(Counter::PoolTasks, 1);
+        let wrapped: Job = Box::new(move || {
+            let _ = std::panic::catch_unwind(AssertUnwindSafe(job));
+        });
+        if self.workers.is_empty() {
+            wrapped();
+            return;
+        }
+        self.shared.lock().jobs.push_back(wrapped);
+        self.shared.work_ready.notify_one();
+    }
+
     /// Runs `f` over each range on the pool, collecting the results in
     /// range order — the pooled replacement for per-call scoped spawns.
     ///
@@ -654,6 +686,33 @@ mod tests {
     }
 
     #[test]
+    fn submit_runs_asynchronously_and_survives_panics() {
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = std::sync::mpsc::channel::<u32>();
+        // A panicking fire-and-forget job must not kill the worker.
+        pool.submit(|| panic!("contained"));
+        pool.submit(move || {
+            let _ = tx.send(7);
+        });
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(10)), Ok(7));
+        // The pool still serves synchronous batches afterwards.
+        let got = pool.run_tasks((0..3u32).map(|i| Box::new(move || i) as Task<u32>).collect());
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn submit_on_single_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        let hit = Arc::new(AtomicUsize::new(0));
+        let hit2 = Arc::clone(&hit);
+        pool.submit(move || {
+            // ordering: inline execution — same thread, no concurrency.
+            hit2.store(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
     fn join_propagating_reraises_payload() {
         let handle = std::thread::spawn(|| -> u32 { panic!("worker payload 7") });
         let err = std::panic::catch_unwind(AssertUnwindSafe(|| join_propagating(handle.join())))
@@ -681,7 +740,24 @@ mod tests {
         let collector = Arc::new(TraceCollector::new());
         let pool =
             WorkerPool::new(4).with_telemetry(Telemetry::disabled().with_tracer(collector.clone()));
-        let _ = pool.run_tasks((0..16u32).map(|i| Box::new(move || i) as Task<u32>).collect());
+        // Two rendezvous tasks: neither finishes until both are running,
+        // and the caller-help loop executes only one job at a time, so at
+        // least one task lands on a pool worker — the worker-name
+        // assertion below is deterministic, not a race against the
+        // caller draining the whole queue before the workers wake.
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let (a, b) = (Arc::clone(&gate), Arc::clone(&gate));
+        let _ = pool.run_tasks(vec![
+            Box::new(move || {
+                a.wait();
+                0u32
+            }) as Task<u32>,
+            Box::new(move || {
+                b.wait();
+                1u32
+            }) as Task<u32>,
+        ]);
+        let _ = pool.run_tasks((0..14u32).map(|i| Box::new(move || i) as Task<u32>).collect());
         let _ = pool.run_tasks((0..8u32).map(|i| Box::new(move || i) as Task<u32>).collect());
         let events = collector.events();
         let mut seqs: Vec<u64> = events

@@ -1,0 +1,159 @@
+//! The LRU answer cache.
+//!
+//! Queries against a frozen [`DendrogramIndex`](crate::index) are pure
+//! functions of (query kind, resolved dendrogram level, auxiliary
+//! argument), so rendered responses are cached under exactly that key.
+//! Distinct thresholds that resolve to the same level share an entry —
+//! the level *is* the bucket. The server clears the cache on every
+//! index swap, which keeps a stored generation tag inside the cached
+//! payload valid for the entry's whole lifetime.
+
+use std::collections::HashMap;
+
+/// The cache key: query kind discriminant, resolved cut level, and an
+/// auxiliary argument (edge/vertex id, or `k` for top-k queries).
+pub type CacheKey = (u8, u32, u64);
+
+/// A bounded LRU map from query keys to rendered responses.
+///
+/// Recency is tracked with a monotone tick; eviction scans for the
+/// minimum tick, which is O(capacity) but runs only when the cache is
+/// full — with the default capacity of a few hundred entries this is
+/// noise next to rendering a response.
+#[derive(Debug)]
+pub struct AnswerCache {
+    entries: HashMap<CacheKey, (u64, String)>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl AnswerCache {
+    /// Creates a cache holding at most `capacity` entries (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        AnswerCache {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit and counting the
+    /// outcome either way.
+    pub fn get(&mut self, key: &CacheKey) -> Option<String> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some((tick, payload)) => {
+                *tick = self.tick;
+                self.hits += 1;
+                Some(payload.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a rendered response, evicting the least-recently-used
+    /// entry if the cache is full.
+    pub fn put(&mut self, key: CacheKey, payload: String) {
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(oldest) =
+                self.entries.iter().min_by_key(|(_, (tick, _))| *tick).map(|(k, _)| *k)
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(key, (self.tick, payload));
+    }
+
+    /// Drops every entry (called on index swap); hit/miss counters are
+    /// preserved — they describe the whole serving session.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of cached entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime (hits, misses) counts.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_put_and_counters() {
+        let mut c = AnswerCache::new(4);
+        let key = (1u8, 5u32, 7u64);
+        assert!(c.get(&key).is_none());
+        c.put(key, "answer".to_string());
+        assert_eq!(c.get(&key).as_deref(), Some("answer"));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = AnswerCache::new(2);
+        c.put((0, 0, 0), "a".into());
+        c.put((0, 0, 1), "b".into());
+        assert!(c.get(&(0, 0, 0)).is_some()); // refresh "a"
+        c.put((0, 0, 2), "c".into()); // evicts "b"
+        assert!(c.get(&(0, 0, 0)).is_some());
+        assert!(c.get(&(0, 0, 1)).is_none());
+        assert!(c.get(&(0, 0, 2)).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let mut c = AnswerCache::new(2);
+        c.put((0, 0, 0), "a".into());
+        c.put((0, 0, 1), "b".into());
+        c.put((0, 0, 0), "a2".into());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&(0, 0, 0)).as_deref(), Some("a2"));
+        assert!(c.get(&(0, 0, 1)).is_some());
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let mut c = AnswerCache::new(2);
+        c.put((0, 0, 0), "a".into());
+        let _ = c.get(&(0, 0, 0));
+        c.clear();
+        assert!(c.is_empty());
+        assert!(c.get(&(0, 0, 0)).is_none());
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut c = AnswerCache::new(0);
+        c.put((0, 0, 0), "a".into());
+        assert_eq!(c.len(), 1);
+        c.put((0, 0, 1), "b".into());
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&(0, 0, 1)).is_some());
+    }
+}

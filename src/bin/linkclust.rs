@@ -294,7 +294,13 @@ fn main() -> ExitCode {
     }
 
     match opts.output {
-        Output::Newick => println!("{}", to_newick(&dendrogram)),
+        Output::Newick => match to_newick(&dendrogram) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("error: newick export failed: {e}");
+                std::process::exit(1);
+            }
+        },
         Output::Csv => print!("{}", to_merge_csv(&dendrogram)),
         Output::Labels => {
             for (i, l) in labels.iter().enumerate() {

@@ -1,0 +1,207 @@
+//! `linkclustd` — the resident link-clustering daemon.
+//!
+//! ```text
+//! linkclustd <graph-file|-> [options]
+//!
+//! options:
+//!   --listen <addr>     TCP address to bind            [127.0.0.1:0]
+//!   --threads <n>       clustering / admission threads [2]
+//!   --csr               serve from the CSR backend (edge-list input only)
+//!   --index <file>      load a serialized dendrogram index instead of
+//!                       clustering at startup (validated against the graph)
+//!   --save-index <file> write the startup index to <file> and continue
+//!   --cache <n>         answer-cache capacity           [512]
+//!   --stats-json <file> write the stats document there on shutdown
+//!                       (default: stderr)
+//! ```
+//!
+//! The graph file is sniffed by magic: the binary graph format from
+//! `linkclust::graph::binfmt` loads as CSR, anything else parses as a
+//! `u v [weight]` edge list. Once the index is ready the daemon prints
+//! `LISTENING <addr>` on stdout (the bound port, useful with `:0`) and
+//! serves line-delimited JSON queries until a client sends
+//! `{"op":"shutdown"}` — see `linkclust::serve::server` for the
+//! protocol.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use linkclust::graph::binfmt::GraphFile;
+use linkclust::graph::io::read_edge_list;
+use linkclust::serve::{DendrogramIndex, ServeGraph, Server, ServerConfig};
+use linkclust::CsrGraph;
+
+struct Options {
+    path: String,
+    listen: String,
+    threads: usize,
+    csr: bool,
+    index: Option<String>,
+    save_index: Option<String>,
+    cache: usize,
+    stats_json: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: linkclustd <graph-file|-> [--listen ADDR] [--threads N] [--csr] \
+         [--index FILE] [--save-index FILE] [--cache N] [--stats-json FILE]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_args() -> Option<Options> {
+    let mut opts = Options {
+        path: String::new(),
+        listen: "127.0.0.1:0".to_owned(),
+        threads: 2,
+        csr: false,
+        index: None,
+        save_index: None,
+        cache: 512,
+        stats_json: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--listen" => opts.listen = args.next()?,
+            "--threads" => opts.threads = args.next()?.parse().ok()?,
+            "--csr" => opts.csr = true,
+            "--index" => opts.index = Some(args.next()?),
+            "--save-index" => opts.save_index = Some(args.next()?),
+            "--cache" => opts.cache = args.next()?.parse().ok()?,
+            "--stats-json" => opts.stats_json = Some(args.next()?),
+            "--help" | "-h" => return None,
+            p if opts.path.is_empty() => opts.path = p.to_owned(),
+            _ => return None,
+        }
+    }
+    if opts.path.is_empty() || opts.threads == 0 || opts.cache == 0 {
+        return None;
+    }
+    Some(opts)
+}
+
+/// Loads the graph file, sniffing the binary-format magic.
+fn load_graph(bytes: &[u8], csr: bool) -> Result<ServeGraph, String> {
+    if bytes.starts_with(&linkclust::graph::binfmt::MAGIC) {
+        let g: CsrGraph =
+            GraphFile::read_streamed(bytes).map_err(|e| format!("binary graph: {e}"))?;
+        return Ok(ServeGraph::Csr(g));
+    }
+    let g = read_edge_list(bytes).map_err(|e| format!("edge list: {e}"))?;
+    if csr {
+        Ok(ServeGraph::Csr(CsrGraph::from_weighted(&g)))
+    } else {
+        Ok(ServeGraph::Weighted(g))
+    }
+}
+
+fn main() -> ExitCode {
+    let Some(opts) = parse_args() else {
+        return usage();
+    };
+
+    let bytes = if opts.path == "-" {
+        let mut b = Vec::new();
+        if std::io::stdin().read_to_end(&mut b).is_err() {
+            eprintln!("failed to read stdin");
+            return ExitCode::FAILURE;
+        }
+        b
+    } else {
+        match std::fs::read(&opts.path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", opts.path);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let graph = match load_graph(&bytes, opts.csr) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("cannot parse {}: {e}", opts.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("graph: {} vertices, {} edges", graph.vertex_count(), graph.edge_count());
+
+    let config = ServerConfig { threads: opts.threads, cache_capacity: opts.cache };
+    let server = match &opts.index {
+        Some(path) => {
+            let index = match std::fs::File::open(path).map_err(|e| e.to_string()).and_then(|f| {
+                DendrogramIndex::read(std::io::BufReader::new(f)).map_err(|e| e.to_string())
+            }) {
+                Ok(index) => index,
+                Err(e) => {
+                    eprintln!("cannot load index {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match Server::with_index(graph, index, config) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("index {path} does not describe this graph: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => match Server::new(graph, config) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("startup clustering failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    if let Some(path) = &opts.save_index {
+        let result = std::fs::File::create(path)
+            .map_err(linkclust::serve::IndexError::Io)
+            .and_then(|f| server.write_index(std::io::BufWriter::new(f)));
+        if let Err(e) = result {
+            eprintln!("cannot save index to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("index saved to {path}");
+    }
+
+    let listener = match TcpListener::bind(&opts.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", opts.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match listener.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cannot resolve bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The one stdout line; load generators parse it to find the port.
+    println!("LISTENING {addr}");
+    if std::io::stdout().flush().is_err() {
+        return ExitCode::FAILURE;
+    }
+
+    if let Err(e) = server.serve(&listener) {
+        eprintln!("serve loop failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let stats = server.stats_json();
+    match &opts.stats_json {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, stats + "\n") {
+                eprintln!("cannot write stats to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => eprintln!("{stats}"),
+    }
+    ExitCode::SUCCESS
+}

@@ -20,7 +20,11 @@
 //!   head/tail/rollback mode machine, the sigmoid decay model, and the
 //!   O(n²) baselines it is compared against;
 //! * [`parallel`] — the multi-threaded initialization and sweeping of
-//!   §VI.
+//!   §VI;
+//! * [`serve`] — the resident clustering service: a versioned
+//!   serialized dendrogram index ([`serve::DendrogramIndex`]) and the
+//!   `linkclustd` query server with cached answers and batch-admission
+//!   reclustering ([`serve::Server`]).
 //!
 //! The most common entry points are re-exported at the crate root; the
 //! main one is the unified [`LinkClustering`] facade — serial by
@@ -93,6 +97,7 @@ pub use linkclust_core as core;
 pub use linkclust_corpus as corpus;
 pub use linkclust_graph as graph;
 pub use linkclust_parallel as parallel;
+pub use linkclust_serve as serve;
 
 pub use linkclust_core::{
     baseline::{MstClustering, NbmClustering},

@@ -71,12 +71,12 @@ proptest! {
     fn exports_are_well_formed(g in arb_graph()) {
         let sims = compute_similarities(&g).into_sorted();
         let d = sweep(&g, &sims, SweepConfig::default()).into_dendrogram();
-        let newick = to_newick(&d);
+        let newick = to_newick(&d).unwrap();
         prop_assert!(newick.ends_with(';'));
         let open = newick.chars().filter(|&c| c == '(').count();
         let close = newick.chars().filter(|&c| c == ')').count();
         prop_assert_eq!(open, close);
-        let tree = to_ascii_tree(&d);
+        let tree = to_ascii_tree(&d).unwrap();
         // Every leaf appears exactly once in the ASCII tree.
         let leaf_count = tree.lines().filter(|l| l.trim_start_matches(['|', '`', '-', ' ']).starts_with('e')).count();
         prop_assert_eq!(leaf_count, g.edge_count());

@@ -58,7 +58,7 @@ fn edge_list_roundtrip_preserves_clustering() {
 fn newick_export_covers_every_edge() {
     let g = read_edge_list(KARATE_LIKE.as_bytes()).unwrap();
     let d = LinkClustering::new().run(&g).unwrap().into_dendrogram();
-    let newick = to_newick(&d);
+    let newick = to_newick(&d).unwrap();
     assert!(newick.ends_with(';'));
     for i in 0..g.edge_count() {
         assert!(newick.contains(&format!("e{i}")), "missing e{i} in {newick}");

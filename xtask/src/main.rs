@@ -50,6 +50,11 @@ const GATES: &[Gate] = &[
         description: "traced CLI run produces valid Chrome trace JSON",
         run: run_trace_smoke,
     },
+    Gate {
+        name: "serve-smoke",
+        description: "linkclustd answers every query kind over a socket; artifact schema-validated",
+        run: run_serve_smoke,
+    },
     Gate { name: "test", description: "full test suite", run: run_test },
 ];
 
@@ -91,6 +96,21 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "bench-serve" => {
+            // Build the daemon, run the serve load benchmark (pass
+            // `--smoke` for the short CI-sized run), then schema-validate
+            // the BENCH_serve.json it wrote. A full run must push 100k
+            // queries through the socket.
+            let extra: Vec<&str> =
+                args.iter().skip(1).map(String::as_str).filter(|a| *a != "--").collect();
+            match run_bench_serve(&root, &extra) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("bench-serve failed: {msg}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         "lint" if args.iter().any(|a| a == "--update-baseline") => {
             // Regenerate the ratchet file from the current tree; the
             // resulting diff of xtask/lint.baseline is the review artifact.
@@ -127,6 +147,9 @@ fn print_usage() {
     );
     eprintln!(
         "  bench-ladder run the scale ladder and schema-validate BENCH_scale.json (`--smoke` for the CI gate, `--check-only` to validate an existing artifact without running)"
+    );
+    eprintln!(
+        "  bench-serve  run the serve load benchmark and schema-validate BENCH_serve.json (`--smoke` for the CI-sized run, `--check-only` to validate an existing artifact without running)"
     );
     eprintln!(
         "  lint --update-baseline  regenerate xtask/lint.baseline from the tree (review the diff)"
@@ -346,6 +369,95 @@ fn run_bench_ladder(root: &Path, extra: &[&str]) -> Result<(), String> {
         "bench-ladder: {} rungs, largest rung {} edges, in {}",
         summary.rungs,
         summary.max_edges,
+        out.display()
+    );
+    Ok(())
+}
+
+/// Builds `linkclustd`, then drives a short mixed query load through a
+/// real socket with `bench_serve --smoke` and schema-validates the
+/// artifact it writes. The artifact is left at
+/// `target/serve-smoke/BENCH_serve_smoke.json` so CI can upload it.
+fn run_serve_smoke(root: &Path) -> Result<(), String> {
+    let dir = root.join("target").join("serve-smoke");
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let out = dir.join("BENCH_serve_smoke.json");
+    let out_arg = out.to_string_lossy().into_owned();
+    // bench_serve finds the daemon next to its own executable, so the
+    // daemon must be built into the same profile directory first.
+    cargo(root, &["build", "--release", "--quiet", "-p", "linkclust", "--bin", "linkclustd"], &[])?;
+    cargo(
+        root,
+        &[
+            "run",
+            "--release",
+            "--quiet",
+            "-p",
+            "linkclust-bench",
+            "--bin",
+            "bench_serve",
+            "--",
+            "--smoke",
+            "--queries",
+            "400",
+            "--out",
+            &out_arg,
+        ],
+        &[],
+    )?;
+    let text = std::fs::read_to_string(&out)
+        .map_err(|e| format!("serve smoke left no artifact at {}: {e}", out.display()))?;
+    let summary = benchcheck::check_serve_document(&text)
+        .map_err(|e| format!("{} fails schema validation: {e}", out.display()))?;
+    eprintln!(
+        "serve-smoke: {} queries, cache hit rate {:.1}%, {} served during admission, in {}",
+        summary.queries,
+        100.0 * summary.hit_rate,
+        summary.queries_during_admission,
+        out.display()
+    );
+    Ok(())
+}
+
+/// Builds the daemon and the `bench_serve` load generator in release
+/// mode, runs the load (forwarding `--smoke`, `--queries N`,
+/// `--out PATH`, ...), then validates the artifact it wrote. With
+/// `--check-only` the run is skipped and an existing artifact is
+/// validated in place.
+fn run_bench_serve(root: &Path, extra: &[&str]) -> Result<(), String> {
+    let check_only = extra.contains(&"--check-only");
+    let extra: Vec<&str> = extra.iter().copied().filter(|a| *a != "--check-only").collect();
+    let extra = extra.as_slice();
+    if !check_only {
+        cargo(
+            root,
+            &["build", "--release", "--quiet", "-p", "linkclust", "--bin", "linkclustd"],
+            &[],
+        )?;
+        let mut args =
+            vec!["run", "--release", "--quiet", "-p", "linkclust-bench", "--bin", "bench_serve"];
+        if !extra.is_empty() {
+            args.push("--");
+            args.extend_from_slice(extra);
+        }
+        cargo(root, &args, &[])?;
+    }
+
+    let out = extra
+        .iter()
+        .position(|a| *a == "--out")
+        .and_then(|i| extra.get(i + 1))
+        .map_or_else(|| root.join("BENCH_serve.json"), PathBuf::from);
+    let text = std::fs::read_to_string(&out)
+        .map_err(|e| format!("serve run left no artifact at {}: {e}", out.display()))?;
+    let summary = benchcheck::check_serve_document(&text)
+        .map_err(|e| format!("{} fails schema validation: {e}", out.display()))?;
+    eprintln!(
+        "bench-serve: {} queries ({}), cache hit rate {:.1}%, {} served during admission, in {}",
+        summary.queries,
+        if summary.smoke { "smoke" } else { "full" },
+        100.0 * summary.hit_rate,
+        summary.queries_during_admission,
         out.display()
     );
     Ok(())
