@@ -3,6 +3,7 @@
 //! ```text
 //! bench_serve [--queries N] [--smoke] [--out FILE] [--daemon PATH]
 //!             [--vertices N] [--edges M] [--threads N] [--seed S]
+//!             [--daemon-stats FILE] [--log FILE|stderr]
 //! ```
 //!
 //! Spawns a `linkclustd` daemon (by default the binary sitting next to
@@ -29,6 +30,8 @@ struct Options {
     edges: usize,
     threads: usize,
     seed: u64,
+    daemon_stats: Option<String>,
+    log: Option<String>,
 }
 
 fn parse_args() -> Option<Options> {
@@ -41,6 +44,8 @@ fn parse_args() -> Option<Options> {
         edges: 2_000,
         threads: 2,
         seed: 0x5EED,
+        daemon_stats: None,
+        log: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -56,6 +61,8 @@ fn parse_args() -> Option<Options> {
             "--edges" => opts.edges = args.next()?.parse().ok()?,
             "--threads" => opts.threads = args.next()?.parse().ok()?,
             "--seed" => opts.seed = args.next()?.parse().ok()?,
+            "--daemon-stats" => opts.daemon_stats = Some(args.next()?),
+            "--log" => opts.log = Some(args.next()?),
             _ => return None,
         }
     }
@@ -87,10 +94,20 @@ fn daemon_path(opts: &Options) -> Result<std::path::PathBuf, String> {
 fn spawn_daemon(
     path: &std::path::Path,
     edge_list: &[u8],
-    threads: usize,
+    opts: &Options,
 ) -> Result<(Child, String), String> {
+    let mut extra: Vec<String> = Vec::new();
+    if let Some(stats) = &opts.daemon_stats {
+        extra.push("--stats-json".to_owned());
+        extra.push(stats.clone());
+    }
+    if let Some(log) = &opts.log {
+        extra.push("--log".to_owned());
+        extra.push(log.clone());
+    }
     let mut child = Command::new(path)
-        .args(["-", "--listen", "127.0.0.1:0", "--threads", &threads.to_string()])
+        .args(["-", "--listen", "127.0.0.1:0", "--threads", &opts.threads.to_string()])
+        .args(&extra)
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
@@ -120,7 +137,8 @@ fn main() -> std::process::ExitCode {
     let Some(opts) = parse_args() else {
         eprintln!(
             "usage: bench_serve [--queries N] [--smoke] [--out FILE] [--daemon PATH] \
-             [--vertices N] [--edges M] [--threads N] [--seed S]"
+             [--vertices N] [--edges M] [--threads N] [--seed S] \
+             [--daemon-stats FILE] [--log FILE|stderr]"
         );
         return std::process::ExitCode::FAILURE;
     };
@@ -146,7 +164,7 @@ fn main() -> std::process::ExitCode {
         opts.queries,
         if opts.smoke { "smoke" } else { "full" },
     );
-    let (mut child, addr) = match spawn_daemon(&daemon, &edge_list, opts.threads) {
+    let (mut child, addr) = match spawn_daemon(&daemon, &edge_list, &opts) {
         Ok(pair) => pair,
         Err(e) => {
             eprintln!("{e}");

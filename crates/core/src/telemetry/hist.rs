@@ -156,6 +156,21 @@ impl LogHistogram {
         self.sum as f64 / self.count as f64
     }
 
+    /// Iterates the non-empty buckets in ascending value order as
+    /// `(upper_bound, count)` pairs, where `upper_bound` is the largest
+    /// value mapping to the bucket (the last bucket's bound is
+    /// `u64::MAX`). This is the exposition-facing view: a Prometheus
+    /// renderer turns these into cumulative `le` buckets without ever
+    /// touching the ~3.8k-slot internal table. Empty histograms yield
+    /// nothing.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(index, &c)| (bucket_high(index), c))
+    }
+
     /// The `q`-quantile (`q` clamped to `[0, 1]`) of the recorded
     /// samples, with the bucket layout's ~1.6% relative error: the value
     /// returned is the upper bound of the bucket holding the sample of
@@ -276,5 +291,52 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert!(h.mean().is_nan());
+        assert_eq!(h.nonzero_buckets().count(), 0, "empty histogram exposes no buckets");
+    }
+
+    #[test]
+    fn single_sample_round_trips_through_buckets_and_quantiles() {
+        let mut h = LogHistogram::new();
+        h.record(42);
+        assert_eq!(h.count(), 1);
+        assert_eq!((h.min(), h.max()), (42, 42));
+        let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        // 42 < SUB_BUCKETS lands in an exact one-value bucket.
+        assert_eq!(buckets, vec![(42, 1)]);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 42);
+        }
+    }
+
+    #[test]
+    fn top_octave_saturation_values_land_in_the_last_bucket() {
+        let mut h = LogHistogram::new();
+        // The largest representable values all map to the final bucket,
+        // whose upper bound is u64::MAX — nothing panics or wraps.
+        for v in [u64::MAX, u64::MAX - 1, bucket_low(BUCKET_COUNT - 1)] {
+            h.record(v);
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+        let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(buckets, vec![(u64::MAX, 3)]);
+        // All three samples share the final bucket, so every quantile
+        // reports that bucket's bound clamped to the observed range.
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.quantile(0.0), u64::MAX);
+        assert_eq!(h.min(), bucket_low(BUCKET_COUNT - 1));
+    }
+
+    #[test]
+    fn nonzero_buckets_are_ascending_and_sum_to_count() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 63, 64, 1000, 1000, 1 << 30, u64::MAX] {
+            h.record(v);
+        }
+        let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0), "bounds ascend: {buckets:?}");
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), h.count());
+        // Every recorded value is covered by some bucket's bound: the
+        // top bucket's inclusive upper bound saturates at u64::MAX.
+        assert!(buckets.iter().any(|&(le, _)| le == u64::MAX));
     }
 }

@@ -1,0 +1,375 @@
+//! Dependency-free Prometheus text-format exposition.
+//!
+//! The telemetry layer records counters, gauges, and [`LogHistogram`]s;
+//! this module renders them in the Prometheus text exposition format
+//! (version `0.0.4` — the `text/plain` format every scraper accepts),
+//! so a resident process like `linkclustd` can publish live metrics
+//! without taking on a client-library dependency.
+//!
+//! The writer is family-oriented: call [`MetricsWriter::family`] once
+//! per metric (it emits the `# HELP` / `# TYPE` pair), then one
+//! [`sample`](MetricsWriter::sample) per label set — or
+//! [`histogram`](MetricsWriter::histogram), which expands a
+//! [`LogHistogram`] into the cumulative `_bucket{le=...}` series plus
+//! `_sum` and `_count`. Only non-empty buckets are materialized, so a
+//! latency histogram costs a handful of lines, not one per internal
+//! bucket slot (~3.8k).
+//!
+//! [`TimeSeriesRing`] is the companion storage for runtime gauges
+//! sampled on a ticker: a fixed-capacity ring of `(timestamp, value)`
+//! pairs whose latest sample feeds a gauge family and whose window
+//! min/max make short-term spikes visible in a stats document.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use super::hist::LogHistogram;
+
+/// The metric kind announced in a family's `# TYPE` line.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MetricKind {
+    /// A monotonically increasing counter.
+    Counter,
+    /// A value that can go up and down.
+    Gauge,
+    /// A cumulative histogram (`_bucket`/`_sum`/`_count` series).
+    Histogram,
+}
+
+impl MetricKind {
+    /// The lowercase type keyword used on the `# TYPE` line.
+    #[must_use]
+    pub fn keyword(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// An incremental Prometheus text-format writer.
+///
+/// # Examples
+///
+/// ```
+/// use linkclust_core::telemetry::metrics::{MetricKind, MetricsWriter};
+///
+/// let mut w = MetricsWriter::new();
+/// w.family("linkclustd_queries_total", "Queries answered.", MetricKind::Counter);
+/// w.sample_u64("linkclustd_queries_total", &[("kind", "cut")], 17);
+/// let text = w.finish();
+/// assert!(text.contains("linkclustd_queries_total{kind=\"cut\"} 17"));
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsWriter {
+    out: String,
+}
+
+impl MetricsWriter {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsWriter { out: String::with_capacity(4096) }
+    }
+
+    /// Starts a metric family: emits the `# HELP name help` and
+    /// `# TYPE name kind` comment pair. Call once per family, before
+    /// its samples; newlines and backslashes in `help` are escaped per
+    /// the exposition format.
+    pub fn family(&mut self, name: &str, help: &str, kind: MetricKind) {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        for ch in help.chars() {
+            match ch {
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                _ => self.out.push(ch),
+            }
+        }
+        self.out.push('\n');
+        self.out.push_str("# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind.keyword());
+        self.out.push('\n');
+    }
+
+    /// Emits one sample line: `name{labels} value`. Label values are
+    /// escaped (`\`, `"`, newline); non-finite values render as the
+    /// exposition tokens `NaN` / `+Inf` / `-Inf`.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.sample_raw(name, labels, &format_value(value));
+    }
+
+    /// Emits one sample line with an exact integer value (no float
+    /// round-trip, so `u64` counters above 2^53 stay exact).
+    pub fn sample_u64(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        let mut buf = String::new();
+        let _ = write!(buf, "{value}");
+        self.sample_raw(name, labels, &buf);
+    }
+
+    /// Expands `hist` into the cumulative Prometheus histogram series
+    /// `name_bucket{le=...}` (ascending, ending with `le="+Inf"`), plus
+    /// `name_sum` and `name_count`. Recorded values are divided by
+    /// `unit_scale` (e.g. `1e9` renders nanosecond samples in seconds,
+    /// the Prometheus base unit); `labels` are attached to every line.
+    /// Empty histograms emit only the `+Inf` bucket, `_sum 0`, and
+    /// `_count 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit_scale` is not a positive finite number.
+    #[allow(clippy::cast_precision_loss)] // exposition values are approximate by design
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        hist: &LogHistogram,
+        unit_scale: f64,
+    ) {
+        assert!(
+            // float-cmp: exact sign check guarding division, not a tolerance test
+            unit_scale.is_finite() && unit_scale > 0.0,
+            "unit_scale must be positive and finite"
+        );
+        let bucket_name = format!("{name}_bucket");
+        let mut cumulative = 0u64;
+        for (upper, count) in hist.nonzero_buckets() {
+            cumulative += count;
+            let le = format_value(upper as f64 / unit_scale);
+            let mut with_le = Vec::with_capacity(labels.len() + 1);
+            with_le.extend_from_slice(labels);
+            with_le.push(("le", le.as_str()));
+            let mut buf = String::new();
+            let _ = write!(buf, "{cumulative}");
+            self.sample_raw(&bucket_name, &with_le, &buf);
+        }
+        let mut with_le = Vec::with_capacity(labels.len() + 1);
+        with_le.extend_from_slice(labels);
+        with_le.push(("le", "+Inf"));
+        let mut buf = String::new();
+        let _ = write!(buf, "{}", hist.count());
+        self.sample_raw(&bucket_name, &with_le, &buf);
+        self.sample(&format!("{name}_sum"), labels, hist.sum() as f64 / unit_scale);
+        self.sample_u64(&format!("{name}_count"), labels, hist.count());
+    }
+
+    /// The finished exposition document.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn sample_raw(&mut self, name: &str, labels: &[(&str, &str)], value: &str) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                for ch in v.chars() {
+                    match ch {
+                        '\\' => self.out.push_str("\\\\"),
+                        '"' => self.out.push_str("\\\""),
+                        '\n' => self.out.push_str("\\n"),
+                        _ => self.out.push(ch),
+                    }
+                }
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(value);
+        self.out.push('\n');
+    }
+}
+
+/// Renders a float in exposition syntax: shortest round-trip for finite
+/// values, the literal tokens `NaN` / `+Inf` / `-Inf` otherwise.
+fn format_value(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:?}")
+    } else if value.is_nan() {
+        "NaN".to_string()
+    // float-cmp: value is +/-infinity here; sign test is exact
+    } else if value > 0.0 {
+        "+Inf".to_string()
+    } else {
+        "-Inf".to_string()
+    }
+}
+
+/// A fixed-capacity ring of timestamped gauge samples — the storage a
+/// runtime-metrics ticker writes into. Pushing beyond capacity evicts
+/// the oldest sample, so memory stays bounded no matter how long the
+/// process runs.
+#[derive(Clone, Debug)]
+pub struct TimeSeriesRing {
+    cap: usize,
+    samples: VecDeque<(u64, f64)>,
+}
+
+impl TimeSeriesRing {
+    /// A ring holding at most `cap` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "a time-series ring needs capacity for at least one sample");
+        TimeSeriesRing { cap, samples: VecDeque::with_capacity(cap) }
+    }
+
+    /// Appends one `(timestamp, value)` sample, evicting the oldest
+    /// when full. Timestamps are caller-defined (seconds since process
+    /// start in the daemon).
+    pub fn push(&mut self, at: u64, value: f64) {
+        if self.samples.len() == self.cap {
+            self.samples.pop_front();
+        }
+        self.samples.push_back((at, value));
+    }
+
+    /// The most recent sample, if any.
+    #[must_use]
+    pub fn latest(&self) -> Option<(u64, f64)> {
+        self.samples.back().copied()
+    }
+
+    /// Number of retained samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no sample has been pushed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Maximum number of retained samples.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Smallest finite value in the window, if any.
+    #[must_use]
+    pub fn window_min(&self) -> Option<f64> {
+        self.samples.iter().map(|&(_, v)| v).filter(|v| v.is_finite()).reduce(f64::min)
+    }
+
+    /// Largest finite value in the window, if any.
+    #[must_use]
+    pub fn window_max(&self) -> Option<f64> {
+        self.samples.iter().map(|&(_, v)| v).filter(|v| v.is_finite()).reduce(f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_and_samples_render_in_exposition_syntax() {
+        let mut w = MetricsWriter::new();
+        w.family("up_total", "Uptime.", MetricKind::Counter);
+        w.sample_u64("up_total", &[], u64::MAX);
+        w.family("rss_bytes", "Resident set size.", MetricKind::Gauge);
+        w.sample("rss_bytes", &[("which", "peak")], 1.5e6);
+        let text = w.finish();
+        assert!(text.contains("# HELP up_total Uptime.\n# TYPE up_total counter\n"));
+        assert!(text.contains(&format!("up_total {}\n", u64::MAX)), "u64 stays exact");
+        assert!(text.contains("# TYPE rss_bytes gauge\n"));
+        assert!(text.contains("rss_bytes{which=\"peak\"} 1500000.0\n"));
+    }
+
+    #[test]
+    fn label_values_and_help_text_are_escaped() {
+        let mut w = MetricsWriter::new();
+        w.family("m", "line\nbreak \\ slash", MetricKind::Gauge);
+        w.sample("m", &[("k", "a\"b\\c\nd")], 1.0);
+        let text = w.finish();
+        assert!(text.contains("# HELP m line\\nbreak \\\\ slash\n"));
+        assert!(text.contains("m{k=\"a\\\"b\\\\c\\nd\"} 1.0\n"));
+    }
+
+    #[test]
+    fn non_finite_samples_use_exposition_tokens() {
+        let mut w = MetricsWriter::new();
+        w.family("g", "g", MetricKind::Gauge);
+        w.sample("g", &[], f64::NAN);
+        w.sample("g", &[], f64::INFINITY);
+        w.sample("g", &[], f64::NEG_INFINITY);
+        let text = w.finish();
+        assert!(text.contains("g NaN\n"));
+        assert!(text.contains("g +Inf\n"));
+        assert!(text.contains("g -Inf\n"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets_sum_and_count() {
+        let mut h = LogHistogram::new();
+        for v in [10u64, 10, 2_000, 5_000_000] {
+            h.record(v);
+        }
+        let mut w = MetricsWriter::new();
+        w.family("lat_seconds", "Latency.", MetricKind::Histogram);
+        w.histogram("lat_seconds", &[("kind", "cut")], &h, 1e9);
+        let text = w.finish();
+        // Bucket counts are cumulative and +Inf equals the total count.
+        let bucket_counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("lat_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(bucket_counts.windows(2).all(|w| w[0] <= w[1]), "not cumulative: {text}");
+        assert_eq!(*bucket_counts.last().unwrap(), 4);
+        assert!(text.contains("le=\"+Inf\"} 4\n"));
+        assert!(text.contains("lat_seconds_count{kind=\"cut\"} 4\n"));
+        // The sum is the nanosecond total scaled to seconds.
+        assert!(text.contains("lat_seconds_sum{kind=\"cut\"} 0.00500202\n"), "sum in {text}");
+        // Every line of every series carries the caller's label.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(line.contains("kind=\"cut\""), "missing label: {line}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_still_emits_a_complete_series() {
+        let mut w = MetricsWriter::new();
+        w.family("lat", "Latency.", MetricKind::Histogram);
+        w.histogram("lat", &[], &LogHistogram::new(), 1.0);
+        let text = w.finish();
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("lat_sum 0.0\n"));
+        assert!(text.contains("lat_count 0\n"));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_tracks_window_extremes() {
+        let mut ring = TimeSeriesRing::new(3);
+        assert!(ring.is_empty());
+        assert_eq!(ring.window_min(), None);
+        for (t, v) in [(1u64, 5.0f64), (2, 1.0), (3, 9.0), (4, 4.0)] {
+            ring.push(t, v);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.capacity(), 3);
+        assert_eq!(ring.latest(), Some((4, 4.0)));
+        // The (1, 5.0) sample was evicted.
+        assert_eq!(ring.window_min(), Some(1.0));
+        assert_eq!(ring.window_max(), Some(9.0));
+        ring.push(5, f64::NAN);
+        assert_eq!(ring.window_max(), Some(9.0), "non-finite samples are skipped");
+    }
+}

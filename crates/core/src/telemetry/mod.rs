@@ -26,6 +26,10 @@
 //!   ([`TraceCollector`], attached via [`Telemetry::with_tracer`]):
 //!   lock-free per-thread ring buffers drained into Chrome trace-event
 //!   JSON. [`hist`] holds the [`LogHistogram`] both layers share.
+//! * [`metrics`] — the dependency-free Prometheus text-format renderer
+//!   ([`MetricsWriter`]) plus [`TimeSeriesRing`] for ticker-sampled
+//!   runtime gauges; [`log`] — leveled, rate-limited, line-delimited
+//!   JSON structured logging ([`Logger`]).
 //!
 //! # Examples
 //!
@@ -45,6 +49,8 @@
 //! ```
 
 pub mod hist;
+pub mod log;
+pub mod metrics;
 pub mod trace;
 
 use std::fmt;
@@ -52,6 +58,8 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 pub use hist::LogHistogram;
+pub use log::{Level as LogLevel, Logger};
+pub use metrics::{MetricKind, MetricsWriter, TimeSeriesRing};
 pub use trace::{TraceCollector, TraceEvent, TraceLabel};
 
 /// A timed phase of the clustering pipeline.
@@ -255,6 +263,33 @@ impl Counter {
             Counter::ServeCacheMisses => "serve_cache_misses",
             Counter::ServeAdmissions => "serve_admissions",
             Counter::ServeSwaps => "serve_swaps",
+        }
+    }
+
+    /// A one-line human description, used as metrics HELP text.
+    #[must_use]
+    pub fn describe(self) -> &'static str {
+        match self {
+            Counter::PairsK1 => "Vertex pairs with a common neighbor (K1).",
+            Counter::IncidentPairsK2 => "Incident edge pairs (K2).",
+            Counter::MergesApplied => "Merges recorded into the dendrogram.",
+            Counter::PairsProcessed => "Incident edge pairs actually swept.",
+            Counter::EpochsCommitted => "Committed coarse epochs.",
+            Counter::Rollbacks => "Rolled-back coarse epochs.",
+            Counter::EpochsReused => "Saved rollback states committed wholesale.",
+            Counter::ForcedEpochs => "Epochs forced through despite the merge-rate bound.",
+            Counter::LevelsCommitted => "Dendrogram levels committed by the coarse sweep.",
+            Counter::ChunksProcessed => "Chunks handed to a chunk processor.",
+            Counter::SerialFallbackChunks => "Chunks handled serially (too small to fan out).",
+            Counter::ArrayCombines => "Pairwise chain-union combinations of cluster arrays.",
+            Counter::PoolTasks => "Tasks executed by the persistent worker pool.",
+            Counter::ShardRecords => "Records routed between threads by sharded pass 2.",
+            Counter::TraceEventsDropped => "Trace events lost to ring-buffer overflow.",
+            Counter::ServeQueries => "Light queries answered (all kinds, hit or miss).",
+            Counter::ServeCacheHits => "Serve queries answered from the answer cache.",
+            Counter::ServeCacheMisses => "Serve queries computed from the index.",
+            Counter::ServeAdmissions => "Recluster jobs admitted to the serve worker queue.",
+            Counter::ServeSwaps => "Index swaps published after a completed recluster.",
         }
     }
 

@@ -1,0 +1,53 @@
+//! Property tests for [`LogHistogram`] covering the edge cases the
+//! metrics exposition path hits: quantile monotonicity in `q`, bucket
+//! views that stay consistent with the recorded count, and saturation
+//! at the top octave.
+
+use linkclust_core::telemetry::LogHistogram;
+use proptest::prelude::*;
+
+/// Sample values spanning the exact linear region, mid octaves, and the
+/// saturated top of the `u64` range.
+fn sample_strategy() -> impl Strategy<Value = u64> {
+    (0u64..4, 0u64..u64::MAX).prop_map(|(kind, raw)| match kind {
+        0 => raw % 64,                // exact linear region
+        1 => raw % 1_000_000,         // small octaves
+        2 => u64::MAX - (raw % 1024), // top-octave saturation
+        _ => raw,                     // anywhere
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_are_monotone_in_q(samples in proptest::collection::vec(sample_strategy(), 1..200)) {
+        let mut h = LogHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let qs = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+        let values: Vec<u64> = qs.iter().map(|&q| h.quantile(q)).collect();
+        for w in values.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles regressed: {values:?} from {samples:?}");
+        }
+        // Every quantile stays inside the observed range.
+        for &v in &values {
+            prop_assert!(h.min() <= v && v <= h.max(), "quantile {v} outside [{}, {}]", h.min(), h.max());
+        }
+    }
+
+    #[test]
+    fn bucket_view_is_ascending_and_complete(samples in proptest::collection::vec(sample_strategy(), 0..200)) {
+        let mut h = LogHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        prop_assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0), "bounds not ascending: {buckets:?}");
+        prop_assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), h.count());
+        if let Some(&(last_le, _)) = buckets.last() {
+            prop_assert!(last_le >= h.max(), "max {} beyond last bound {last_le}", h.max());
+        }
+    }
+}

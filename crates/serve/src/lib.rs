@@ -15,7 +15,10 @@
 //!   an LRU [`cache::AnswerCache`] while *batch admissions* (full
 //!   reclusters) run on a worker pool and swap the index atomically;
 //! * [`json`] — the dependency-free strict JSON subset the protocol
-//!   uses.
+//!   uses;
+//! * [`metrics`] — live runtime observability: Prometheus text
+//!   exposition ([`Server::metrics_text`]), a runtime-gauge ticker, and
+//!   a plain-HTTP `GET /metrics` responder.
 //!
 //! The `linkclustd` binary in the workspace root wraps [`server`] in a
 //! CLI; `bench_serve` drives a load mix through the socket and emits
@@ -24,8 +27,10 @@
 pub mod cache;
 pub mod index;
 pub mod json;
+pub mod metrics;
 pub mod server;
 
 pub use cache::AnswerCache;
 pub use index::{DendrogramIndex, IndexError, TopCommunity};
+pub use metrics::{read_rss_bytes, spawn_http, spawn_ticker, RuntimeSample, TICK_INTERVAL};
 pub use server::{ServeGraph, Server, ServerConfig};

@@ -22,6 +22,7 @@
 //! {"op":"profile"}                    -> {"ok":true,"generation":1,"points":[..]}
 //! {"op":"best"}                       -> {"ok":true,"generation":1,"cut":{..}}
 //! {"op":"stats"}                      -> the stats document (see [`Server::stats_json`])
+//! {"op":"metrics"}                    -> {"ok":true,"exposition":"..."} (Prometheus text)
 //! {"op":"recluster"}                  -> {"ok":true,"enqueued":true}
 //! {"op":"shutdown"}                   -> {"ok":true,"bye":true}, then the server exits
 //! ```
@@ -39,13 +40,15 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::Instant;
 
-use linkclust_core::telemetry::{Counter, LogHistogram, Phase, RunRecorder, Telemetry};
+use linkclust_core::telemetry::metrics::{MetricKind, MetricsWriter};
+use linkclust_core::telemetry::{Counter, LogHistogram, Logger, Phase, RunRecorder, Telemetry};
 use linkclust_graph::{CsrGraph, GraphView, WeightedGraph};
 use linkclust_parallel::{LinkClustering, WorkerPool};
 
 use crate::cache::AnswerCache;
 use crate::index::{DendrogramIndex, IndexError};
 use crate::json::{self, Json};
+use crate::metrics::{read_rss_bytes, RuntimeRings, RuntimeSample};
 
 /// The graph a server answers queries about — either backend, fixed at
 /// startup (both produce bit-identical clusterings).
@@ -100,7 +103,7 @@ fn config_corrupt(e: &linkclust_core::ConfigError) -> IndexError {
 }
 
 /// Server tuning knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Worker threads for clustering runs and batch admissions. With 1
     /// thread, admissions run inline on the submitting thread (see
@@ -108,11 +111,14 @@ pub struct ServerConfig {
     pub threads: usize,
     /// Maximum cached rendered answers.
     pub cache_capacity: usize,
+    /// Structured-log sink for lifecycle events (connection open/close,
+    /// admission start/swap/failure). Disabled by default.
+    pub logger: Logger,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { threads: 2, cache_capacity: 512 }
+        ServerConfig { threads: 2, cache_capacity: 512, logger: Logger::disabled() }
     }
 }
 
@@ -188,6 +194,9 @@ struct Shared {
     stats: Mutex<ServeStats>,
     telemetry: Telemetry,
     recorder: Arc<RunRecorder>,
+    logger: Logger,
+    started: Instant,
+    runtime: Mutex<RuntimeRings>,
 }
 
 /// The resident clustering server. See the [module docs](self).
@@ -274,6 +283,9 @@ impl Server {
             stats: Mutex::new(ServeStats::new()),
             telemetry: telemetry.clone(),
             recorder,
+            logger: config.logger,
+            started: Instant::now(),
+            runtime: Mutex::new(RuntimeRings::new()),
         });
         let pool = WorkerPool::new(threads).with_telemetry(telemetry);
         Server { shared, pool }
@@ -287,6 +299,174 @@ impl Server {
     #[must_use]
     pub fn generation(&self) -> u64 {
         self.shared.published.read().unwrap_or_else(PoisonError::into_inner).generation
+    }
+
+    /// Seconds since the server was assembled.
+    #[must_use]
+    pub fn uptime_seconds(&self) -> f64 {
+        self.shared.started.elapsed().as_secs_f64()
+    }
+
+    /// Jobs currently waiting in the worker-pool queue (see
+    /// [`WorkerPool::queue_depth`]).
+    #[must_use]
+    pub fn pool_queue_depth(&self) -> usize {
+        self.pool.queue_depth()
+    }
+
+    /// The logger this server emits lifecycle events through.
+    #[must_use]
+    pub fn logger(&self) -> &Logger {
+        &self.shared.logger
+    }
+
+    /// Snapshots every runtime gauge (RSS, cache occupancy and hit
+    /// ratio, pool queue depth, generation, uptime). RSS fields are
+    /// `NaN` when `/proc/self/status` is unavailable.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)] // gauge exposition is approximate by design
+    pub fn runtime_sample(&self) -> RuntimeSample {
+        let (rss_current, rss_peak) =
+            read_rss_bytes().map_or((f64::NAN, f64::NAN), |(c, p)| (c as f64, p as f64));
+        let (entries, hits, misses) = {
+            let cache = self.shared.cache.lock().unwrap_or_else(PoisonError::into_inner);
+            let (h, m) = cache.stats();
+            (cache.len(), h, m)
+        };
+        let total = hits + misses;
+        RuntimeSample {
+            uptime_seconds: self.uptime_seconds(),
+            rss_current_bytes: rss_current,
+            rss_peak_bytes: rss_peak,
+            cache_entries: entries as f64,
+            cache_hit_ratio: if total == 0 { 0.0 } else { hits as f64 / total as f64 },
+            pool_queue_depth: self.pool.queue_depth() as f64,
+            index_generation: self.generation() as f64,
+        }
+    }
+
+    /// Takes one runtime sample and pushes it into the time-series
+    /// rings (bounded memory; see `metrics::RING_CAPACITY`). The
+    /// daemon's ticker calls this once per second;
+    /// [`stats_json`](Self::stats_json) also calls it so the stats
+    /// document is never staler than its own request.
+    pub fn sample_runtime(&self) {
+        let sample = self.runtime_sample();
+        let mut runtime = self.shared.runtime.lock().unwrap_or_else(PoisonError::into_inner);
+        runtime.push(&sample);
+    }
+
+    /// Renders the full Prometheus text exposition: every telemetry
+    /// counter (`linkclustd_<name>_total`), per-phase wall-clock and
+    /// call totals, the per-kind query latency histograms
+    /// (`linkclustd_query_latency_seconds{kind=...}`), and the runtime
+    /// gauges sampled live at scrape time.
+    ///
+    /// # Panics
+    ///
+    /// Never — lock poisoning is recovered from.
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        let report = self.shared.recorder.report();
+        let sample = self.runtime_sample();
+        let ticks = {
+            let runtime = self.shared.runtime.lock().unwrap_or_else(PoisonError::into_inner);
+            runtime.ticks
+        };
+        let mut w = MetricsWriter::new();
+
+        for c in Counter::ALL {
+            let name = format!("linkclustd_{}_total", c.name());
+            w.family(&name, c.describe(), MetricKind::Counter);
+            w.sample_u64(&name, &[], report.counter(c));
+        }
+
+        w.family(
+            "linkclustd_phase_seconds_total",
+            "Total wall-clock seconds spent in each telemetry phase.",
+            MetricKind::Counter,
+        );
+        for p in Phase::ALL {
+            #[allow(clippy::cast_precision_loss)] // exposition is approximate
+            let seconds = report.phase_nanos(p) as f64 / 1e9;
+            w.sample("linkclustd_phase_seconds_total", &[("phase", p.name())], seconds);
+        }
+        w.family(
+            "linkclustd_phase_calls_total",
+            "Spans recorded for each telemetry phase.",
+            MetricKind::Counter,
+        );
+        for p in Phase::ALL {
+            w.sample_u64(
+                "linkclustd_phase_calls_total",
+                &[("phase", p.name())],
+                report.phase_calls(p),
+            );
+        }
+
+        w.family(
+            "linkclustd_query_latency_seconds",
+            "Per-kind query latency (log-linear buckets, ~1.6% relative error).",
+            MetricKind::Histogram,
+        );
+        {
+            let stats = self.shared.stats.lock().unwrap_or_else(PoisonError::into_inner);
+            for kind in QueryKind::ALL {
+                w.histogram(
+                    "linkclustd_query_latency_seconds",
+                    &[("kind", kind.name())],
+                    &stats.hists[kind as usize],
+                    1e9,
+                );
+            }
+        }
+
+        w.family("linkclustd_uptime_seconds", "Seconds since startup.", MetricKind::Gauge);
+        w.sample("linkclustd_uptime_seconds", &[], sample.uptime_seconds);
+        w.family(
+            "linkclustd_rss_bytes",
+            "Resident set size in bytes (NaN where /proc is unavailable).",
+            MetricKind::Gauge,
+        );
+        w.sample("linkclustd_rss_bytes", &[("which", "current")], sample.rss_current_bytes);
+        w.sample("linkclustd_rss_bytes", &[("which", "peak")], sample.rss_peak_bytes);
+        w.family("linkclustd_cache_entries", "Rendered answers cached.", MetricKind::Gauge);
+        w.sample("linkclustd_cache_entries", &[], sample.cache_entries);
+        w.family(
+            "linkclustd_cache_hit_ratio",
+            "Lifetime answer-cache hit ratio.",
+            MetricKind::Gauge,
+        );
+        w.sample("linkclustd_cache_hit_ratio", &[], sample.cache_hit_ratio);
+        w.family(
+            "linkclustd_pool_queue_depth",
+            "Jobs waiting in the worker-pool queue.",
+            MetricKind::Gauge,
+        );
+        w.sample("linkclustd_pool_queue_depth", &[], sample.pool_queue_depth);
+        w.family(
+            "linkclustd_index_generation",
+            "Published index generation (starts at 1, bumps per swap).",
+            MetricKind::Gauge,
+        );
+        w.sample("linkclustd_index_generation", &[], sample.index_generation);
+        w.family(
+            "linkclustd_runtime_ticks_total",
+            "Runtime-gauge ticker invocations.",
+            MetricKind::Counter,
+        );
+        w.sample_u64("linkclustd_runtime_ticks_total", &[], ticks);
+        w.finish()
+    }
+
+    /// Renders the `metrics` op response: the full Prometheus
+    /// exposition carried as one JSON-escaped string so it fits the
+    /// line protocol.
+    fn metrics_response(&self) -> String {
+        let mut out = String::from("{\"ok\":true,\"exposition\":");
+        json::write_escaped(&mut out, &self.metrics_text());
+        out.push('}');
+        out
     }
 
     /// Writes the currently published index in the versioned binary
@@ -322,6 +502,24 @@ impl Server {
 
     /// Handles one connection; returns `true` if it requested shutdown.
     fn serve_connection(&self, stream: TcpStream) -> bool {
+        let peer = stream.peer_addr().map_or_else(|_| "unknown".to_string(), |a| a.to_string());
+        self.shared.logger.info("conn_open", &[("peer", (&peer).into())]);
+        let mut requests: u64 = 0;
+        let shutdown = self.drive_connection(stream, &mut requests);
+        self.shared.logger.info(
+            "conn_close",
+            &[
+                ("peer", (&peer).into()),
+                ("requests", requests.into()),
+                ("shutdown", shutdown.into()),
+            ],
+        );
+        shutdown
+    }
+
+    /// The connection read/respond loop; counts handled requests into
+    /// `requests` so the close event can report them.
+    fn drive_connection(&self, stream: TcpStream, requests: &mut u64) -> bool {
         let Ok(clone) = stream.try_clone() else { return false };
         let mut reader = BufReader::new(clone);
         let mut writer = BufWriter::new(stream);
@@ -337,6 +535,7 @@ impl Server {
                 continue;
             }
             let (response, shutdown) = self.handle_line(trimmed);
+            *requests += 1;
             if writer
                 .write_all(response.as_bytes())
                 .and_then(|()| writer.write_all(b"\n"))
@@ -372,6 +571,7 @@ impl Server {
             "profile" => (self.query(QueryKind::Profile, &request), false),
             "best" => (self.query(QueryKind::Best, &request), false),
             "stats" => (self.stats_json(), false),
+            "metrics" => (self.metrics_response(), false),
             "recluster" => (self.admit_recluster(), false),
             "shutdown" => ("{\"ok\":true,\"bye\":true}".to_string(), true),
             other => (error_response(&format!("unknown op {other:?}")), false),
@@ -463,6 +663,7 @@ impl Server {
             stats.admissions += 1;
         }
         self.shared.telemetry.add(Counter::ServeAdmissions, 1);
+        self.shared.logger.info("admit_enqueued", &[("generation", self.generation().into())]);
         let shared = Arc::clone(&self.shared);
         self.pool.submit(move || {
             let start = Instant::now();
@@ -489,12 +690,23 @@ impl Server {
                         u64::try_from(swap_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
                     shared.telemetry.record_phase_nanos(Phase::ServeSwap, swap_nanos);
                     shared.telemetry.add(Counter::ServeSwaps, 1);
-                    let mut stats = shared.stats.lock().unwrap_or_else(PoisonError::into_inner);
-                    stats.swaps += 1;
+                    let generation =
+                        shared.published.read().unwrap_or_else(PoisonError::into_inner).generation;
+                    {
+                        let mut stats = shared.stats.lock().unwrap_or_else(PoisonError::into_inner);
+                        stats.swaps += 1;
+                    }
+                    shared.logger.info(
+                        "admit_swap",
+                        &[("generation", generation.into()), ("build_nanos", nanos.into())],
+                    );
                 }
-                Err(_) => {
-                    let mut stats = shared.stats.lock().unwrap_or_else(PoisonError::into_inner);
-                    stats.admit_failures += 1;
+                Err(e) => {
+                    {
+                        let mut stats = shared.stats.lock().unwrap_or_else(PoisonError::into_inner);
+                        stats.admit_failures += 1;
+                    }
+                    shared.logger.error("admit_failure", &[("error", (&e.to_string()).into())]);
                 }
             }
         });
@@ -502,14 +714,17 @@ impl Server {
     }
 
     /// Renders the stats document: per-kind latency quantiles, cache
-    /// hit rate, admission/swap counts, and the serve-phase telemetry
-    /// totals. Schema `linkclust-serve-stats/v1`.
+    /// hit rate, admission/swap counts, the serve-phase telemetry
+    /// totals, trace-drop count, and the runtime-gauge rings (one
+    /// sample is taken first, so `runtime` is never empty or stale).
+    /// Schema `linkclust-serve-stats/v2`.
     ///
     /// # Panics
     ///
     /// Never — lock poisoning is recovered from.
     #[must_use]
     pub fn stats_json(&self) -> String {
+        self.sample_runtime();
         let generation = self.generation();
         let (hits, misses) = {
             let cache = self.shared.cache.lock().unwrap_or_else(PoisonError::into_inner);
@@ -517,8 +732,10 @@ impl Server {
         };
         let report = self.shared.recorder.report();
         let mut out = String::new();
-        out.push_str("{\"ok\":true,\"schema\":\"linkclust-serve-stats/v1\",\"generation\":");
+        out.push_str("{\"ok\":true,\"schema\":\"linkclust-serve-stats/v2\",\"generation\":");
         out.push_str(&generation.to_string());
+        out.push_str(",\"uptime_seconds\":");
+        json::write_f64(&mut out, self.uptime_seconds());
         out.push_str(",\"queries\":{");
         {
             let stats = self.shared.stats.lock().unwrap_or_else(PoisonError::into_inner);
@@ -554,6 +771,8 @@ impl Server {
             out.push_str(",\"swaps\":");
             out.push_str(&stats.swaps.to_string());
         }
+        out.push_str(",\"trace_events_dropped\":");
+        out.push_str(&report.counter(Counter::TraceEventsDropped).to_string());
         out.push_str(",\"phases\":{");
         for (i, phase) in
             [Phase::ServeQuery, Phase::ServeAdmit, Phase::ServeSwap].iter().enumerate()
@@ -568,7 +787,28 @@ impl Server {
             out.push_str(&report.phase_calls(*phase).to_string());
             out.push('}');
         }
-        out.push_str("}}");
+        out.push_str("},\"runtime\":{\"ticks\":");
+        {
+            let runtime = self.shared.runtime.lock().unwrap_or_else(PoisonError::into_inner);
+            out.push_str(&runtime.ticks.to_string());
+            out.push_str(",\"gauges\":{");
+            for (i, (name, ring)) in runtime.rings.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::write_escaped(&mut out, name);
+                out.push_str(":{\"latest\":");
+                json::write_f64(&mut out, ring.latest().map_or(f64::NAN, |(_, v)| v));
+                out.push_str(",\"window_min\":");
+                json::write_f64(&mut out, ring.window_min().unwrap_or(f64::NAN));
+                out.push_str(",\"window_max\":");
+                json::write_f64(&mut out, ring.window_max().unwrap_or(f64::NAN));
+                out.push_str(",\"samples\":");
+                out.push_str(&ring.len().to_string());
+                out.push('}');
+            }
+        }
+        out.push_str("}}}");
         out
     }
 
@@ -711,7 +951,8 @@ mod tests {
 
     fn test_server(threads: usize) -> Server {
         let g = gnm(24, 60, WeightMode::Uniform { lo: 0.3, hi: 1.5 }, 11);
-        Server::new(ServeGraph::Weighted(g), ServerConfig { threads, cache_capacity: 64 }).unwrap()
+        let config = ServerConfig { threads, cache_capacity: 64, ..ServerConfig::default() };
+        Server::new(ServeGraph::Weighted(g), config).unwrap()
     }
 
     fn ok_json(server: &Server, line: &str) -> Json {
@@ -742,7 +983,16 @@ mod tests {
         let best = ok_json(&server, r#"{"op":"best"}"#);
         assert!(best.get("cut").is_some());
         let stats = ok_json(&server, r#"{"op":"stats"}"#);
-        assert_eq!(stats.get("schema").and_then(Json::as_str), Some("linkclust-serve-stats/v1"));
+        assert_eq!(stats.get("schema").and_then(Json::as_str), Some("linkclust-serve-stats/v2"));
+        assert!(stats.get("uptime_seconds").and_then(Json::as_f64).is_some());
+        assert!(stats.get("trace_events_dropped").and_then(Json::as_index).is_some());
+        let runtime = stats.get("runtime").expect("v2 stats carry a runtime object");
+        assert!(runtime.get("ticks").and_then(Json::as_index).is_some_and(|t| t >= 1));
+        let gauges = runtime.get("gauges").expect("runtime gauges");
+        for name in crate::metrics::RING_NAMES {
+            let g = gauges.get(name).unwrap_or_else(|| panic!("runtime gauge {name}"));
+            assert!(g.get("samples").and_then(Json::as_index).is_some_and(|s| s >= 1), "{name}");
+        }
     }
 
     #[test]
@@ -803,6 +1053,70 @@ mod tests {
         let (response, shutdown) = server.handle_line(r#"{"op":"shutdown"}"#);
         assert!(shutdown);
         assert!(response.contains("\"bye\":true"));
+    }
+
+    #[test]
+    fn metrics_exposition_covers_counters_histograms_and_gauges() {
+        let server = test_server(1);
+        let _ = ok_json(&server, r#"{"op":"cut","theta":0.3}"#);
+        let text = server.metrics_text();
+        for c in Counter::ALL {
+            let family = format!("# TYPE linkclustd_{}_total counter", c.name());
+            assert!(text.contains(&family), "missing counter family {}", c.name());
+        }
+        for kind in QueryKind::ALL {
+            let count =
+                format!("linkclustd_query_latency_seconds_count{{kind=\"{}\"}}", kind.name());
+            assert!(text.contains(&count), "missing histogram for kind {}", kind.name());
+        }
+        assert!(text.contains("linkclustd_query_latency_seconds_count{kind=\"cut\"} 1"));
+        assert!(
+            text.contains("linkclustd_query_latency_seconds_bucket{kind=\"cut\",le=\"+Inf\"} 1")
+        );
+        for gauge in [
+            "linkclustd_uptime_seconds",
+            "linkclustd_rss_bytes",
+            "linkclustd_cache_entries",
+            "linkclustd_cache_hit_ratio",
+            "linkclustd_pool_queue_depth",
+            "linkclustd_index_generation",
+        ] {
+            assert!(text.contains(&format!("# TYPE {gauge} gauge")), "missing gauge {gauge}");
+        }
+        assert!(text.contains("linkclustd_index_generation 1"));
+    }
+
+    #[test]
+    fn metrics_op_carries_the_exposition_over_the_line_protocol() {
+        let server = test_server(1);
+        let v = ok_json(&server, r#"{"op":"metrics"}"#);
+        let exposition = v.get("exposition").and_then(Json::as_str).expect("exposition string");
+        assert!(exposition.contains("# TYPE linkclustd_serve_queries_total counter"));
+        assert!(exposition.ends_with('\n'), "exposition ends with a newline");
+    }
+
+    #[test]
+    fn admission_lifecycle_is_logged_as_json_lines() {
+        use linkclust_core::telemetry::LogLevel;
+        let path =
+            std::env::temp_dir().join(format!("linkclust-serve-log-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let logger = Logger::to_file(&path, LogLevel::Debug).expect("temp log file opens");
+        let g = gnm(24, 60, WeightMode::Uniform { lo: 0.3, hi: 1.5 }, 11);
+        let config = ServerConfig { threads: 2, cache_capacity: 64, logger };
+        let server = Server::new(ServeGraph::Weighted(g), config).unwrap();
+        let _ = ok_json(&server, r#"{"op":"recluster"}"#);
+        assert_eq!(server.await_generation(2, 30_000), 2);
+        let text = std::fs::read_to_string(&path).expect("log file readable");
+        let _ = std::fs::remove_file(&path);
+        assert!(text.contains("\"event\":\"admit_enqueued\""), "{text}");
+        assert!(text.contains("\"event\":\"admit_swap\""), "{text}");
+        assert!(text.contains("\"generation\":2"), "{text}");
+        for line in text.lines() {
+            let v = json::parse(line).expect("every log line is valid JSON");
+            assert!(v.get("ts_ms").and_then(Json::as_index).is_some(), "{line}");
+            assert!(v.get("level").and_then(Json::as_str).is_some(), "{line}");
+        }
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! `linkclust-analyze` — post-hoc analysis of exported trace timelines.
+//!
+//! ```text
+//! linkclust-analyze <trace.json|-> [--json]
+//! ```
+//!
+//! Loads a Chrome trace-event document written by `linkclust --trace`
+//! (or any tool using `TraceCollector::to_chrome_json`) and reports
+//! per-phase wall-clock attribution (total and self time), per-thread
+//! load and imbalance, the pool queue-wait share, and a critical-path
+//! estimate. `--json` emits the machine-readable document instead
+//! (schema `linkclust-trace-analysis/v1`); see `linkclust::analyze`.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use linkclust::analyze::{analyze, parse_chrome_trace};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: linkclust-analyze <trace.json|-> [--json]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut path = String::new();
+    let mut as_json = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--json" => as_json = true,
+            "--help" | "-h" => return usage(),
+            p if path.is_empty() => path = p.to_owned(),
+            _ => return usage(),
+        }
+    }
+    if path.is_empty() {
+        return usage();
+    }
+
+    let text = if path == "-" {
+        let mut s = String::new();
+        if std::io::stdin().read_to_string(&mut s).is_err() {
+            eprintln!("failed to read stdin");
+            return ExitCode::FAILURE;
+        }
+        s
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let trace = match parse_chrome_trace(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let analysis = analyze(&trace);
+    if analysis.events_dropped > 0 {
+        eprintln!(
+            "warning: {} events were dropped before export; attribution under-counts \
+             the oldest spans",
+            analysis.events_dropped
+        );
+    }
+    if as_json {
+        println!("{}", analysis.to_json());
+    } else {
+        print!("{analysis}");
+    }
+    ExitCode::SUCCESS
+}

@@ -14,6 +14,7 @@
 //!   --stats                graph stats + per-phase run report (stderr)
 //!   --stats-json           run report as JSON (stderr, printed last)
 //!   --trace <file>         write a Chrome trace-event JSON timeline
+//!   --log <file|stderr>    structured JSON-lines log of run lifecycle
 //! ```
 //!
 //! With both `--stats` and `--stats-json`, the human-readable report is
@@ -47,6 +48,7 @@ struct Options {
     stats: bool,
     stats_json: bool,
     trace: Option<String>,
+    log: Option<String>,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -67,7 +69,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: linkclust <edge-list-file|-> [--coarse] [--gamma G] [--phi P] \
          [--threads N] [--threshold T] [--cut best|final] [--stats] [--stats-json] \
-         [--trace FILE] [--output communities|newick|csv|labels]\n\
+         [--trace FILE] [--log FILE|stderr] [--output communities|newick|csv|labels]\n\
          \n\
          or:    linkclust generate <family> [seed]\n\
          families: gnm <n> <m> | complete <n> | kregular <n> <k> | \
@@ -131,6 +133,7 @@ fn parse_args() -> Option<Options> {
         stats: false,
         stats_json: false,
         trace: None,
+        log: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -143,6 +146,7 @@ fn parse_args() -> Option<Options> {
             "--threads" => opts.threads = args.next()?.parse().ok()?,
             "--threshold" => opts.threshold = Some(args.next()?.parse().ok()?),
             "--trace" => opts.trace = Some(args.next()?),
+            "--log" => opts.log = Some(args.next()?),
             "--cut" => {
                 opts.cut = match args.next()?.as_str() {
                     "best" => Cut::Best,
@@ -254,13 +258,58 @@ fn main() -> ExitCode {
         );
     }
 
+    let logger = match &opts.log {
+        Some(spec) => {
+            match linkclust::core::telemetry::Logger::from_spec(
+                spec,
+                linkclust::core::telemetry::LogLevel::Info,
+            ) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("cannot open log sink {spec}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => linkclust::core::telemetry::Logger::disabled(),
+    };
+    logger.info(
+        "run_start",
+        &[
+            ("graph", (&opts.path).into()),
+            ("vertices", g.vertex_count().into()),
+            ("edges", g.edge_count().into()),
+            ("threads", opts.threads.into()),
+            ("coarse", opts.coarse.into()),
+        ],
+    );
+
+    let run_started = std::time::Instant::now();
     let (dendrogram, final_labels, report) = match cluster(&g, &opts) {
         Ok(r) => r,
         Err(e) => {
+            logger.error("run_failed", &[("error", (&e.to_string()).into())]);
             eprintln!("invalid configuration: {e}");
             return ExitCode::FAILURE;
         }
     };
+    logger.info(
+        "run_done",
+        &[
+            ("seconds", run_started.elapsed().as_secs_f64().into()),
+            ("levels", dendrogram.levels().into()),
+        ],
+    );
+    if let Some(report) = &report {
+        let dropped = report.counter(linkclust::core::telemetry::Counter::TraceEventsDropped);
+        if dropped > 0 {
+            logger.warn("trace_events_dropped", &[("dropped", dropped.into())]);
+            eprintln!(
+                "warning: {dropped} trace events were dropped by ring-buffer overflow; \
+                 the exported timeline is missing its oldest events"
+            );
+        }
+    }
     let labels = match opts.cut {
         Cut::Final => final_labels,
         Cut::Best => match dendrogram.best_density_cut(&g) {

@@ -13,20 +13,27 @@
 //!   --cache <n>         answer-cache capacity           [512]
 //!   --stats-json <file> write the stats document there on shutdown
 //!                       (default: stderr)
+//!   --metrics-port <n>  serve plain-HTTP `GET /metrics` (Prometheus
+//!                       text) on 127.0.0.1:<n> (0 picks a free port)
+//!                       and run the runtime-gauge ticker
+//!   --log <file|stderr> structured JSON-lines log for lifecycle events
 //! ```
 //!
 //! The graph file is sniffed by magic: the binary graph format from
 //! `linkclust::graph::binfmt` loads as CSR, anything else parses as a
 //! `u v [weight]` edge list. Once the index is ready the daemon prints
-//! `LISTENING <addr>` on stdout (the bound port, useful with `:0`) and
-//! serves line-delimited JSON queries until a client sends
+//! `LISTENING <addr>` on stdout (the bound port, useful with `:0`),
+//! then `METRICS <addr>` when `--metrics-port` is given, and serves
+//! line-delimited JSON queries until a client sends
 //! `{"op":"shutdown"}` — see `linkclust::serve::server` for the
 //! protocol.
 
 use std::io::{Read as _, Write as _};
 use std::net::TcpListener;
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use linkclust::core::telemetry::{LogLevel, Logger};
 use linkclust::graph::binfmt::GraphFile;
 use linkclust::graph::io::read_edge_list;
 use linkclust::serve::{DendrogramIndex, ServeGraph, Server, ServerConfig};
@@ -41,12 +48,15 @@ struct Options {
     save_index: Option<String>,
     cache: usize,
     stats_json: Option<String>,
+    metrics_port: Option<u16>,
+    log: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: linkclustd <graph-file|-> [--listen ADDR] [--threads N] [--csr] \
-         [--index FILE] [--save-index FILE] [--cache N] [--stats-json FILE]"
+         [--index FILE] [--save-index FILE] [--cache N] [--stats-json FILE] \
+         [--metrics-port N] [--log FILE|stderr]"
     );
     ExitCode::FAILURE
 }
@@ -61,6 +71,8 @@ fn parse_args() -> Option<Options> {
         save_index: None,
         cache: 512,
         stats_json: None,
+        metrics_port: None,
+        log: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -72,6 +84,8 @@ fn parse_args() -> Option<Options> {
             "--save-index" => opts.save_index = Some(args.next()?),
             "--cache" => opts.cache = args.next()?.parse().ok()?,
             "--stats-json" => opts.stats_json = Some(args.next()?),
+            "--metrics-port" => opts.metrics_port = Some(args.next()?.parse().ok()?),
+            "--log" => opts.log = Some(args.next()?),
             "--help" | "-h" => return None,
             p if opts.path.is_empty() => opts.path = p.to_owned(),
             _ => return None,
@@ -128,7 +142,28 @@ fn main() -> ExitCode {
     };
     eprintln!("graph: {} vertices, {} edges", graph.vertex_count(), graph.edge_count());
 
-    let config = ServerConfig { threads: opts.threads, cache_capacity: opts.cache };
+    let logger = match &opts.log {
+        Some(spec) => match Logger::from_spec(spec, LogLevel::Info) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("cannot open log sink {spec}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Logger::disabled(),
+    };
+    logger.info(
+        "daemon_start",
+        &[
+            ("graph", (&opts.path).into()),
+            ("vertices", graph.vertex_count().into()),
+            ("edges", graph.edge_count().into()),
+            ("threads", opts.threads.into()),
+        ],
+    );
+
+    let config =
+        ServerConfig { threads: opts.threads, cache_capacity: opts.cache, logger: logger.clone() };
     let server = match &opts.index {
         Some(path) => {
             let index = match std::fs::File::open(path).map_err(|e| e.to_string()).and_then(|f| {
@@ -136,14 +171,26 @@ fn main() -> ExitCode {
             }) {
                 Ok(index) => index,
                 Err(e) => {
+                    logger.error(
+                        "index_load_failed",
+                        &[("path", path.into()), ("error", (&e).into())],
+                    );
                     eprintln!("cannot load index {path}: {e}");
                     return ExitCode::FAILURE;
                 }
             };
             match Server::with_index(graph, index, config) {
-                Ok(s) => s,
+                Ok(s) => {
+                    logger.info("index_loaded", &[("path", path.into())]);
+                    s
+                }
                 Err(e) => {
-                    eprintln!("index {path} does not describe this graph: {e}");
+                    let message = e.to_string();
+                    logger.error(
+                        "index_rejected",
+                        &[("path", path.into()), ("error", (&message).into())],
+                    );
+                    eprintln!("index {path} does not describe this graph: {message}");
                     return ExitCode::FAILURE;
                 }
             }
@@ -151,7 +198,9 @@ fn main() -> ExitCode {
         None => match Server::new(graph, config) {
             Ok(s) => s,
             Err(e) => {
-                eprintln!("startup clustering failed: {e}");
+                let message = e.to_string();
+                logger.error("startup_clustering_failed", &[("error", (&message).into())]);
+                eprintln!("startup clustering failed: {message}");
                 return ExitCode::FAILURE;
             }
         },
@@ -168,6 +217,8 @@ fn main() -> ExitCode {
         eprintln!("index saved to {path}");
     }
 
+    let server = Arc::new(server);
+
     let listener = match TcpListener::bind(&opts.listen) {
         Ok(l) => l,
         Err(e) => {
@@ -182,8 +233,33 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // The one stdout line; load generators parse it to find the port.
+    // The first stdout line; load generators parse it to find the port.
     println!("LISTENING {addr}");
+
+    // The metrics side-channel: a 1 s runtime-gauge ticker plus a plain
+    // HTTP responder any Prometheus scraper can pull. Held until after
+    // the serve loop so dropping them joins the service threads.
+    let mut observers = Vec::new();
+    if let Some(port) = opts.metrics_port {
+        let metrics_listener = match TcpListener::bind(("127.0.0.1", port)) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("cannot bind metrics port {port}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let metrics_addr = match metrics_listener.local_addr() {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("cannot resolve metrics address: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("METRICS {metrics_addr}");
+        logger.info("metrics_listening", &[("addr", (&metrics_addr.to_string()).into())]);
+        observers.push(linkclust::serve::spawn_ticker(Arc::clone(&server)));
+        observers.push(linkclust::serve::spawn_http(metrics_listener, Arc::clone(&server)));
+    }
     if std::io::stdout().flush().is_err() {
         return ExitCode::FAILURE;
     }
@@ -192,6 +268,8 @@ fn main() -> ExitCode {
         eprintln!("serve loop failed: {e}");
         return ExitCode::FAILURE;
     }
+    drop(observers);
+    logger.info("daemon_stop", &[("uptime_seconds", server.uptime_seconds().into())]);
 
     let stats = server.stats_json();
     match &opts.stats_json {

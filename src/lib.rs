@@ -93,6 +93,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
+
 pub use linkclust_core as core;
 pub use linkclust_corpus as corpus;
 pub use linkclust_graph as graph;

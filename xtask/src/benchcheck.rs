@@ -325,6 +325,132 @@ pub(crate) fn check_serve_document(text: &str) -> Result<ServeSummary, String> {
     })
 }
 
+/// What a validated daemon stats document contained, for the gate's
+/// log line.
+#[derive(Debug)]
+pub(crate) struct StatsSummary {
+    /// Published index generation at shutdown.
+    pub(crate) generation: u64,
+    /// Seconds the daemon was up.
+    pub(crate) uptime_seconds: f64,
+    /// Runtime-gauge sampler ticks recorded.
+    pub(crate) ticks: u64,
+}
+
+/// Runtime gauge rings every `linkclust-serve-stats/v2` document must
+/// report (mirrors `linkclust-serve`'s `RING_NAMES`).
+const STATS_GAUGES: &[&str] = &[
+    "rss_current_bytes",
+    "rss_peak_bytes",
+    "cache_entries",
+    "cache_hit_ratio",
+    "pool_queue_depth",
+    "index_generation",
+];
+
+/// Validates `text` as a `linkclust-serve-stats/v2` document — the
+/// stats block `linkclustd` prints at shutdown (and serves for the
+/// `stats` op). Checks the v2 additions explicitly: `uptime_seconds`,
+/// `admit_failures`, `trace_events_dropped`, and the `runtime` block
+/// with every gauge ring.
+pub(crate) fn check_serve_stats_document(text: &str) -> Result<StatsSummary, String> {
+    let doc = parse(text)?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("linkclust-serve-stats/v2") => {}
+        Some(other) => return Err(format!("unexpected schema tag {other:?}")),
+        None => return Err("top-level object lacks a string `schema` tag".to_string()),
+    }
+    if doc.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err("`ok` must be true".to_string());
+    }
+    let generation = doc
+        .get("generation")
+        .and_then(Json::as_index)
+        .ok_or("`generation` must be a non-negative integer")?;
+    if generation < 1 {
+        return Err("`generation` must be at least 1: the daemon serves an index".to_string());
+    }
+    let uptime = doc
+        .get("uptime_seconds")
+        .and_then(Json::as_f64)
+        .ok_or("`uptime_seconds` must be a number (v2 addition)")?;
+    if uptime < 0.0 {
+        return Err(format!("`uptime_seconds` is negative: {uptime}"));
+    }
+
+    let queries = doc.get("queries").ok_or("top-level object lacks a `queries` object")?;
+    for kind in SERVE_KINDS {
+        let entry = queries.get(kind).ok_or(format!("`queries` lacks kind {kind:?}"))?;
+        for key in ["count", "p50_ns", "p90_ns", "p99_ns"] {
+            let v = entry
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("kind {kind:?} lacks a numeric `{key}`"))?;
+            if v < 0.0 {
+                return Err(format!("kind {kind:?} has a negative `{key}`"));
+            }
+        }
+        // A never-queried kind has no mean (NaN renders as null).
+        match entry.get("mean_ns") {
+            Some(Json::Null | Json::Num(_)) => {}
+            _ => return Err(format!("kind {kind:?} lacks `mean_ns` (number or null)")),
+        }
+    }
+
+    let cache = doc.get("cache").ok_or("top-level object lacks a `cache` object")?;
+    let hit_rate =
+        cache.get("hit_rate").and_then(Json::as_f64).ok_or("`cache.hit_rate` must be a number")?;
+    if !(0.0..=1.0).contains(&hit_rate) {
+        return Err(format!("`cache.hit_rate` = {hit_rate} is outside [0, 1]"));
+    }
+    for key in ["admissions", "admit_failures", "swaps", "trace_events_dropped"] {
+        doc.get(key)
+            .and_then(Json::as_index)
+            .ok_or(format!("`{key}` must be a non-negative integer"))?;
+    }
+
+    let phases = doc.get("phases").ok_or("top-level object lacks a `phases` object")?;
+    for phase in ["serve_query", "serve_admit", "serve_swap"] {
+        let entry = phases.get(phase).ok_or(format!("`phases` lacks {phase:?}"))?;
+        for key in ["nanos", "calls"] {
+            entry
+                .get(key)
+                .and_then(Json::as_index)
+                .ok_or(format!("phase {phase:?} lacks a non-negative integer `{key}`"))?;
+        }
+    }
+
+    let runtime = doc.get("runtime").ok_or("top-level object lacks a `runtime` object")?;
+    let ticks = runtime
+        .get("ticks")
+        .and_then(Json::as_index)
+        .ok_or("`runtime.ticks` must be a non-negative integer")?;
+    if ticks < 1 {
+        return Err("`runtime.ticks` is 0: the gauge sampler never ran".to_string());
+    }
+    let gauges = runtime.get("gauges").ok_or("`runtime` lacks a `gauges` object")?;
+    for name in STATS_GAUGES {
+        let ring = gauges.get(name).ok_or(format!("`runtime.gauges` lacks {name:?}"))?;
+        // latest / window_min / window_max are null until a sample with
+        // a readable value lands (e.g. RSS on non-Linux hosts).
+        for key in ["latest", "window_min", "window_max"] {
+            match ring.get(key) {
+                Some(Json::Null | Json::Num(_)) => {}
+                _ => return Err(format!("gauge {name:?} lacks `{key}` (number or null)")),
+            }
+        }
+        let samples = ring
+            .get("samples")
+            .and_then(Json::as_index)
+            .ok_or(format!("gauge {name:?} lacks a non-negative integer `samples`"))?;
+        if samples < 1 {
+            return Err(format!("gauge {name:?} holds no samples"));
+        }
+    }
+
+    Ok(StatsSummary { generation, uptime_seconds: uptime, ticks })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -463,6 +589,96 @@ mod tests {
         // Patch the counts so only the volume check can fire.
         let short_full = short_full.replace("\"count\":99500", "\"count\":4500");
         assert!(check_serve_document(&short_full).unwrap_err().contains("100000"));
+    }
+
+    /// A daemon stats document (`linkclust-serve-stats/v2`) that
+    /// validates; tests below mutate it.
+    fn stats_doc() -> String {
+        let kinds: Vec<String> = SERVE_KINDS
+            .iter()
+            .map(|name| {
+                format!(
+                    "\"{name}\":{{\"count\":12,\"p50_ns\":9000,\"p90_ns\":21000,\
+                      \"p99_ns\":45000,\"mean_ns\":14000.5}}"
+                )
+            })
+            .collect();
+        let gauges: Vec<String> = STATS_GAUGES
+            .iter()
+            .map(|name| {
+                format!(
+                    "\"{name}\":{{\"latest\":4.0,\"window_min\":1.0,\
+                      \"window_max\":9.0,\"samples\":3}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\"ok\":true,\"schema\":\"linkclust-serve-stats/v2\",\"generation\":2,\
+              \"uptime_seconds\":12.5,\"queries\":{{{}}},\
+              \"cache\":{{\"hits\":40,\"misses\":32,\"hit_rate\":0.55}},\
+              \"admissions\":1,\"admit_failures\":0,\"swaps\":1,\
+              \"trace_events_dropped\":0,\
+              \"phases\":{{\"serve_query\":{{\"nanos\":100,\"calls\":72}},\
+              \"serve_admit\":{{\"nanos\":50,\"calls\":1}},\
+              \"serve_swap\":{{\"nanos\":20,\"calls\":1}}}},\
+              \"runtime\":{{\"ticks\":3,\"gauges\":{{{}}}}}}}",
+            kinds.join(","),
+            gauges.join(",")
+        )
+    }
+
+    #[test]
+    fn accepts_a_well_formed_stats_document() {
+        let summary = check_serve_stats_document(&stats_doc()).expect("document should validate");
+        assert_eq!(summary.generation, 2);
+        assert_eq!(summary.ticks, 3);
+        assert!((summary.uptime_seconds - 12.5).abs() < 1e-9);
+        // Pre-first-readable-sample gauges report null; still valid.
+        let nulls = stats_doc().replace("\"latest\":4.0", "\"latest\":null");
+        assert!(check_serve_stats_document(&nulls).is_ok());
+        // A never-queried kind has a null mean; still valid.
+        let no_mean = stats_doc().replace("\"mean_ns\":14000.5", "\"mean_ns\":null");
+        assert!(check_serve_stats_document(&no_mean).is_ok());
+    }
+
+    #[test]
+    fn rejects_stats_omissions() {
+        // An old v1 document is rejected by its schema tag alone.
+        assert!(check_serve_stats_document(
+            "{\"ok\":true,\"schema\":\"linkclust-serve-stats/v1\"}"
+        )
+        .unwrap_err()
+        .contains("schema"));
+        let base = stats_doc();
+        let cases: &[(&str, &str, &str)] = &[
+            ("\"ok\":true,", "\"ok\":false,", "ok"),
+            ("\"uptime_seconds\":12.5,", "", "uptime_seconds"),
+            ("\"admit_failures\":0,", "", "admit_failures"),
+            ("\"trace_events_dropped\":0,", "", "trace_events_dropped"),
+            ("\"hit_rate\":0.55", "\"hit_rate\":2.0", "outside"),
+            ("\"ticks\":3", "\"ticks\":0", "sampler never ran"),
+            (
+                "\"pool_queue_depth\":{\"latest\":4.0,\"window_min\":1.0,\
+                 \"window_max\":9.0,\"samples\":3},",
+                "",
+                "pool_queue_depth",
+            ),
+            ("\"samples\":3}}}}", "\"samples\":0}}}}", "no samples"),
+            ("\"serve_swap\":{\"nanos\":20,\"calls\":1}", "\"serve_swap\":{\"nanos\":20}", "calls"),
+            (
+                "\"best\":{\"count\":12,\"p50_ns\":9000,\"p90_ns\":21000,\
+                 \"p99_ns\":45000,\"mean_ns\":14000.5}",
+                "\"best\":{\"count\":12}",
+                "p50_ns",
+            ),
+        ];
+        for (from, to, expect) in cases {
+            let mutated = base.replace(from, to);
+            assert_ne!(mutated, base, "mutation {from:?} did not apply");
+            let err = check_serve_stats_document(&mutated)
+                .expect_err(&format!("mutation {from:?} should invalidate the document"));
+            assert!(err.contains(expect), "mutation {from:?}: error {err:?} lacks {expect:?}");
+        }
     }
 
     #[test]

@@ -14,8 +14,10 @@
 //! the workspace root.
 
 mod benchcheck;
+mod benchdiff;
 mod lexer;
 mod lint;
+mod metricscheck;
 mod scan;
 mod tracecheck;
 
@@ -54,6 +56,11 @@ const GATES: &[Gate] = &[
         name: "serve-smoke",
         description: "linkclustd answers every query kind over a socket; artifact schema-validated",
         run: run_serve_smoke,
+    },
+    Gate {
+        name: "metrics-smoke",
+        description: "linkclustd --metrics-port serves valid Prometheus exposition over HTTP",
+        run: run_metrics_smoke,
     },
     Gate { name: "test", description: "full test suite", run: run_test },
 ];
@@ -111,6 +118,19 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "bench-diff" => {
+            // Compare two same-schema BENCH_*.json artifacts with
+            // noise-aware thresholds; exits non-zero on regression.
+            let extra: Vec<&str> =
+                args.iter().skip(1).map(String::as_str).filter(|a| *a != "--").collect();
+            match benchdiff::run(&root, &extra) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("bench-diff failed: {msg}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         "lint" if args.iter().any(|a| a == "--update-baseline") => {
             // Regenerate the ratchet file from the current tree; the
             // resulting diff of xtask/lint.baseline is the review artifact.
@@ -150,6 +170,9 @@ fn print_usage() {
     );
     eprintln!(
         "  bench-serve  run the serve load benchmark and schema-validate BENCH_serve.json (`--smoke` for the CI-sized run, `--check-only` to validate an existing artifact without running)"
+    );
+    eprintln!(
+        "  bench-diff   compare two same-schema BENCH_*.json artifacts for perf regressions (`--threshold X` relative ratio, `--out PATH` for the verdict document; exits non-zero on regression)"
     );
     eprintln!(
         "  lint --update-baseline  regenerate xtask/lint.baseline from the tree (review the diff)"
@@ -383,6 +406,8 @@ fn run_serve_smoke(root: &Path) -> Result<(), String> {
     std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
     let out = dir.join("BENCH_serve_smoke.json");
     let out_arg = out.to_string_lossy().into_owned();
+    let stats = dir.join("daemon_stats.json");
+    let stats_arg = stats.to_string_lossy().into_owned();
     // bench_serve finds the daemon next to its own executable, so the
     // daemon must be built into the same profile directory first.
     cargo(root, &["build", "--release", "--quiet", "-p", "linkclust", "--bin", "linkclustd"], &[])?;
@@ -402,6 +427,8 @@ fn run_serve_smoke(root: &Path) -> Result<(), String> {
             "400",
             "--out",
             &out_arg,
+            "--daemon-stats",
+            &stats_arg,
         ],
         &[],
     )?;
@@ -409,14 +436,165 @@ fn run_serve_smoke(root: &Path) -> Result<(), String> {
         .map_err(|e| format!("serve smoke left no artifact at {}: {e}", out.display()))?;
     let summary = benchcheck::check_serve_document(&text)
         .map_err(|e| format!("{} fails schema validation: {e}", out.display()))?;
+    // The daemon writes its own stats document at shutdown; validate
+    // the v2 schema end to end (uptime, admit failures, runtime rings).
+    let stats_text = std::fs::read_to_string(&stats)
+        .map_err(|e| format!("daemon left no stats document at {}: {e}", stats.display()))?;
+    let stats_summary = benchcheck::check_serve_stats_document(&stats_text)
+        .map_err(|e| format!("{} fails stats-schema validation: {e}", stats.display()))?;
     eprintln!(
-        "serve-smoke: {} queries, cache hit rate {:.1}%, {} served during admission, in {}",
+        "serve-smoke: {} queries, cache hit rate {:.1}%, {} served during admission, in {}; \
+         daemon stats v2 ok (generation {}, {} ticks, up {:.1}s)",
         summary.queries,
         100.0 * summary.hit_rate,
         summary.queries_during_admission,
-        out.display()
+        out.display(),
+        stats_summary.generation,
+        stats_summary.ticks,
+        stats_summary.uptime_seconds,
     );
     Ok(())
+}
+
+/// Spawns a real `linkclustd --metrics-port 0` on a tiny generated
+/// graph, scrapes `GET /metrics` over plain HTTP, and validates the
+/// exposition with the harness's own reader (see [`metricscheck`]):
+/// format 0.0.4 structure, histogram coherence, and coverage of every
+/// serve counter, the per-kind latency histogram, and the runtime
+/// gauges. The scraped body is left at `target/metrics-smoke/metrics.txt`
+/// so CI can upload it.
+fn run_metrics_smoke(root: &Path) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let dir = root.join("target").join("metrics-smoke");
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let edges = dir.join("edges.txt");
+    let graph = cargo_capture(
+        root,
+        &[
+            "run",
+            "--release",
+            "--quiet",
+            "-p",
+            "linkclust",
+            "--bin",
+            "linkclust",
+            "--",
+            "generate",
+            "gnm",
+            "400",
+            "1600",
+        ],
+    )?;
+    std::fs::write(&edges, graph).map_err(|e| format!("cannot write {}: {e}", edges.display()))?;
+    cargo(root, &["build", "--release", "--quiet", "-p", "linkclust", "--bin", "linkclustd"], &[])?;
+
+    let daemon = root.join("target").join("release").join("linkclustd");
+    let mut child = Command::new(&daemon)
+        .arg(&edges)
+        .args(["--listen", "127.0.0.1:0", "--threads", "2", "--metrics-port", "0"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("cannot spawn {}: {e}", daemon.display()))?;
+
+    // Everything after the spawn must reach the kill below on failure.
+    let result = (|| -> Result<(), String> {
+        let stdout = child.stdout.take().ok_or("daemon stdout was not captured")?;
+        let mut lines = BufReader::new(stdout).lines();
+        let mut serve_addr = None;
+        let mut metrics_addr = None;
+        while serve_addr.is_none() || metrics_addr.is_none() {
+            let line = lines
+                .next()
+                .ok_or("daemon exited before announcing its listeners")?
+                .map_err(|e| format!("cannot read daemon stdout: {e}"))?;
+            if let Some(addr) = line.strip_prefix("LISTENING ") {
+                serve_addr = Some(addr.trim().to_owned());
+            } else if let Some(addr) = line.strip_prefix("METRICS ") {
+                metrics_addr = Some(addr.trim().to_owned());
+            }
+        }
+        let (serve_addr, metrics_addr) =
+            (serve_addr.ok_or("no LISTENING line")?, metrics_addr.ok_or("no METRICS line")?);
+
+        // Scrape with a raw HTTP/1.1 request — the same thing a
+        // Prometheus scraper sends.
+        let mut conn = std::net::TcpStream::connect(&metrics_addr)
+            .map_err(|e| format!("cannot connect to metrics listener {metrics_addr}: {e}"))?;
+        conn.write_all(
+            format!("GET /metrics HTTP/1.1\r\nHost: {metrics_addr}\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .map_err(|e| format!("cannot send scrape request: {e}"))?;
+        let mut response = String::new();
+        conn.read_to_string(&mut response)
+            .map_err(|e| format!("cannot read scrape response: {e}"))?;
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .ok_or("metrics response has no header/body separator")?;
+        let status = head.lines().next().unwrap_or("");
+        if !status.starts_with("HTTP/1.1 200") {
+            return Err(format!("metrics scrape returned {status:?}"));
+        }
+        let content_type_ok = head
+            .lines()
+            .any(|l| l.to_ascii_lowercase().starts_with("content-type:") && l.contains("0.0.4"));
+        if !content_type_ok {
+            return Err(
+                "metrics response lacks the text/plain; version=0.0.4 content type".to_owned()
+            );
+        }
+        let artifact = dir.join("metrics.txt");
+        std::fs::write(&artifact, body)
+            .map_err(|e| format!("cannot write {}: {e}", artifact.display()))?;
+
+        let required = [
+            "linkclustd_serve_queries_total",
+            "linkclustd_serve_cache_hits_total",
+            "linkclustd_serve_cache_misses_total",
+            "linkclustd_serve_admissions_total",
+            "linkclustd_serve_swaps_total",
+            "linkclustd_phase_seconds_total",
+            "linkclustd_phase_calls_total",
+            "linkclustd_query_latency_seconds",
+            "linkclustd_uptime_seconds",
+            "linkclustd_rss_bytes",
+            "linkclustd_cache_entries",
+            "linkclustd_cache_hit_ratio",
+            "linkclustd_pool_queue_depth",
+            "linkclustd_index_generation",
+            "linkclustd_runtime_ticks_total",
+        ];
+        let summary = metricscheck::check_exposition(body, &required)
+            .map_err(|e| format!("{} is not valid exposition: {e}", artifact.display()))?;
+        for kind in ["cut", "edge", "vertex", "topk", "profile", "best"] {
+            if !summary.has_labeled_sample("linkclustd_query_latency_seconds_bucket", "kind", kind)
+            {
+                return Err(format!("latency histogram has no series for kind {kind:?}"));
+            }
+        }
+
+        // Clean shutdown through the line protocol.
+        let mut conn = std::net::TcpStream::connect(&serve_addr)
+            .map_err(|e| format!("cannot connect to serve listener {serve_addr}: {e}"))?;
+        conn.write_all(b"{\"op\":\"shutdown\"}\n")
+            .map_err(|e| format!("cannot send shutdown: {e}"))?;
+        let mut ack = String::new();
+        let _ = conn.read_to_string(&mut ack);
+        eprintln!(
+            "metrics-smoke: {} families, {} samples scraped from {metrics_addr}, in {}",
+            summary.families,
+            summary.samples,
+            artifact.display()
+        );
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = child.kill();
+    }
+    let _ = child.wait();
+    result
 }
 
 /// Builds the daemon and the `bench_serve` load generator in release

@@ -53,6 +53,15 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The value as a non-negative integer, when it is one exactly.
+    #[allow(clippy::float_cmp, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub(crate) fn as_index(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.trunc() == *n && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
 }
 
 /// What a validated trace contained, for the gate's log line.
